@@ -1,0 +1,340 @@
+// Package modemerge's root benchmark suite regenerates every table and
+// figure of the paper (see EXPERIMENTS.md for the index):
+//
+//	go test -bench . -benchmem
+//
+// Table 5 / Table 6 benches run the full merge / STA campaigns per design
+// (A–F); set MODEMERGE_BENCH_SCALE to grow or shrink the synthetic
+// designs.
+package modemerge
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"modemerge/internal/core"
+	"modemerge/internal/experiments"
+	"modemerge/internal/gen"
+	"modemerge/internal/graph"
+	"modemerge/internal/sdc"
+	"modemerge/internal/sta"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("MODEMERGE_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 1
+}
+
+// ---------- shared fixtures ----------
+
+var (
+	fixMu    sync.Mutex
+	prepared = map[string]*experiments.Prepared{}
+	mergedRe = map[string]*experiments.MergeResult{}
+)
+
+func preparedDesign(b *testing.B, label string) *experiments.Prepared {
+	b.Helper()
+	fixMu.Lock()
+	defer fixMu.Unlock()
+	if p, ok := prepared[label]; ok {
+		return p
+	}
+	for _, c := range experiments.PaperDesigns(benchScale()) {
+		if c.Label == label {
+			p, err := experiments.Prepare(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prepared[label] = p
+			return p
+		}
+	}
+	b.Fatalf("no design %q", label)
+	return nil
+}
+
+func mergedDesign(b *testing.B, label string) *experiments.MergeResult {
+	b.Helper()
+	p := preparedDesign(b, label)
+	fixMu.Lock()
+	defer fixMu.Unlock()
+	if mr, ok := mergedRe[label]; ok {
+		return mr
+	}
+	mr, err := experiments.RunTable5(p, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mergedRe[label] = mr
+	return mr
+}
+
+// ---------- Table 1 / Figure 1: relations on the example circuit ----------
+
+// BenchmarkTable1Relations measures the timing-relationship computation
+// that fills Table 1 (Constraint Set 1 on the Figure 1 circuit).
+func BenchmarkTable1Relations(b *testing.B) {
+	d := gen.PaperCircuit()
+	g, err := graph.Build(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mode, _, err := sdc.Parse("set1", `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_multicycle_path 2 -through [get_pins inv1/Z]
+set_false_path -through [get_pins and1/Z]
+`, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, err := sta.NewContext(g, mode, sta.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rels := ctx.EndpointRelations()
+		if len(rels) == 0 {
+			b.Fatal("no relations")
+		}
+	}
+}
+
+// ---------- Figure 2: mergeability graph and cliques ----------
+
+func BenchmarkFig2Cliques(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mb, cliques, err := experiments.Figure2Demo()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cliques) != 3 {
+			b.Fatalf("cliques = %v", mb.GroupNames(cliques))
+		}
+	}
+}
+
+// ---------- Tables 2–4: the 3-pass algorithm on Constraint Set 6 ----------
+
+func BenchmarkThreePass(b *testing.B) {
+	d := gen.PaperCircuit()
+	modeA, _, err := sdc.Parse("A", `
+create_clock -p 10 -name clkA [get_ports clk1]
+set_false_path -to rX/D
+set_false_path -to rY/D
+set_false_path -through inv3/Z
+`, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modeB, _, err := sdc.Parse("B", `
+create_clock -p 10 -name clkA [get_ports clk1]
+set_false_path -from rA/CP
+set_false_path -to rZ/D
+`, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged, _, err := core.Merge(d, []*sdc.Mode{modeA, modeB}, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(merged.Exceptions) < 3 {
+			b.Fatal("refinement did not produce the Set-6 false paths")
+		}
+	}
+}
+
+// ---------- Table 5: mode merging per design ----------
+
+func benchTable5(b *testing.B, label string) {
+	p := preparedDesign(b, label)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mr, err := experiments.RunTable5(p, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(mr.Row.Individual), "modes")
+		b.ReportMetric(float64(mr.Row.Merged), "merged")
+		b.ReportMetric(mr.Row.ReductionPct, "%reduction")
+	}
+}
+
+func BenchmarkTable5_DesignA(b *testing.B) { benchTable5(b, "A") }
+func BenchmarkTable5_DesignB(b *testing.B) { benchTable5(b, "B") }
+func BenchmarkTable5_DesignC(b *testing.B) { benchTable5(b, "C") }
+func BenchmarkTable5_DesignD(b *testing.B) { benchTable5(b, "D") }
+func BenchmarkTable5_DesignE(b *testing.B) { benchTable5(b, "E") }
+func BenchmarkTable5_DesignF(b *testing.B) { benchTable5(b, "F") }
+
+// ---------- Table 6: STA with individual vs merged modes ----------
+
+func staCampaign(b *testing.B, g *graph.Graph, modes []*sdc.Mode) {
+	b.Helper()
+	for _, m := range modes {
+		ctx, err := sta.NewContext(g, m, sta.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx.AnalyzeEndpoints()
+	}
+}
+
+func benchTable6(b *testing.B, label string, merged bool) {
+	mr := mergedDesign(b, label)
+	modes := mr.Prepared.Modes
+	if merged {
+		modes = mr.Merged
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		staCampaign(b, mr.Prepared.Graph, modes)
+	}
+	b.ReportMetric(float64(len(modes)), "modes")
+}
+
+func BenchmarkTable6_STA_Individual_DesignA(b *testing.B) { benchTable6(b, "A", false) }
+func BenchmarkTable6_STA_Merged_DesignA(b *testing.B)     { benchTable6(b, "A", true) }
+func BenchmarkTable6_STA_Individual_DesignB(b *testing.B) { benchTable6(b, "B", false) }
+func BenchmarkTable6_STA_Merged_DesignB(b *testing.B)     { benchTable6(b, "B", true) }
+func BenchmarkTable6_STA_Individual_DesignC(b *testing.B) { benchTable6(b, "C", false) }
+func BenchmarkTable6_STA_Merged_DesignC(b *testing.B)     { benchTable6(b, "C", true) }
+func BenchmarkTable6_STA_Individual_DesignD(b *testing.B) { benchTable6(b, "D", false) }
+func BenchmarkTable6_STA_Merged_DesignD(b *testing.B)     { benchTable6(b, "D", true) }
+func BenchmarkTable6_STA_Individual_DesignE(b *testing.B) { benchTable6(b, "E", false) }
+func BenchmarkTable6_STA_Merged_DesignE(b *testing.B)     { benchTable6(b, "E", true) }
+func BenchmarkTable6_STA_Individual_DesignF(b *testing.B) { benchTable6(b, "F", false) }
+func BenchmarkTable6_STA_Merged_DesignF(b *testing.B)     { benchTable6(b, "F", true) }
+
+// ---------- Ablation: naive textual merge vs graph-based merge ----------
+
+func BenchmarkNaiveVsGraphMerge(b *testing.B) {
+	mr := mergedDesign(b, "B")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.RunNaiveAblation(mr, core.Options{}, sta.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.GraphConformity, "%conf-graph")
+		b.ReportMetric(row.NaiveConformity, "%conf-naive")
+	}
+}
+
+// ---------- Ablation: worker scaling (the paper's 4-core machine) ----------
+
+func benchWorkers(b *testing.B, workers int) {
+	mr := mergedDesign(b, "E")
+	g := mr.Prepared.Graph
+	mode := mr.Merged[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, err := sta.NewContext(g, mode, sta.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx.AnalyzeEndpoints()
+	}
+}
+
+func BenchmarkMergedSTAWorkers1(b *testing.B) { benchWorkers(b, 1) }
+func BenchmarkMergedSTAWorkers2(b *testing.B) { benchWorkers(b, 2) }
+func BenchmarkMergedSTAWorkers4(b *testing.B) { benchWorkers(b, 4) }
+func BenchmarkMergedSTAWorkers8(b *testing.B) { benchWorkers(b, 8) }
+
+// ---------- sanity: the bench fixtures reproduce the paper's shape ----------
+
+// TestPaperShape asserts the headline claims on the bench designs: mode
+// count drops by roughly two thirds, merged STA is never slower than the
+// individual campaign by more than noise, and conformity stays above 99%.
+func TestPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign; skipped with -short")
+	}
+	totalRed, totalConf := 0.0, 0.0
+	n := 0
+	for _, c := range experiments.PaperDesigns(0.5) {
+		p, err := experiments.Prepare(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, err := experiments.RunTable5(p, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mr.Row.Merged != c.PaperMerged {
+			t.Errorf("design %s: merged modes = %d, paper structure expects %d",
+				c.Label, mr.Row.Merged, c.PaperMerged)
+		}
+		row6, err := experiments.RunTable6(mr, sta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row6.ConformityPct < 99 {
+			t.Errorf("design %s: conformity %.2f%% < 99%%", c.Label, row6.ConformityPct)
+		}
+		totalRed += mr.Row.ReductionPct
+		totalConf += row6.ConformityPct
+		n++
+	}
+	avgRed := totalRed / float64(n)
+	if avgRed < 55 || avgRed > 80 {
+		t.Errorf("average mode reduction %.1f%% far from the paper's 67.5%%", avgRed)
+	}
+	avgConf := totalConf / float64(n)
+	if avgConf < 99 {
+		t.Errorf("average conformity %.2f%% below the paper's 99.82%%", avgConf)
+	}
+	fmt.Printf("paper shape: avg mode reduction %.1f%% (paper 67.5%%), avg conformity %.2f%% (paper 99.82%%)\n",
+		avgRed, avgConf)
+}
+
+// TestMergedNeverOptimistic validates every bench design's merged modes
+// with the equivalence checker — the correct-by-construction claim.
+func TestMergedNeverOptimistic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign; skipped with -short")
+	}
+	for _, c := range experiments.PaperDesigns(0.3) {
+		if c.Label == "A" {
+			continue // 95 modes; covered by the structure via B..F
+		}
+		p, err := experiments.Prepare(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, err := experiments.RunTable5(p, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cliques := mr.Mb.Cliques()
+		for ci, clique := range cliques {
+			if len(clique) < 2 {
+				continue
+			}
+			group := make([]*sdc.Mode, len(clique))
+			for i, mi := range clique {
+				group[i] = p.Modes[mi]
+			}
+			res, err := core.CheckEquivalence(p.Graph, group, mr.Merged[ci], core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Equivalent() {
+				t.Errorf("design %s merged mode %s is optimistic:\n  %v",
+					c.Label, mr.Merged[ci].Name, res.OptimisticMismatches)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command gendesign emits a synthetic industrial-shaped design and a
+// family of SDC timing modes, for experimenting with the merging flow:
+//
+//	gendesign -o out -domains 3 -blocks 2 -stages 4 -regs 8 -groups 2 -modes 3,4
+//
+// The output directory receives design.v, the built-in library as
+// cells.mlf, and one .sdc file per mode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"modemerge/internal/gen"
+	"modemerge/internal/library"
+	"modemerge/internal/netlist"
+)
+
+func main() {
+	var (
+		outDir  = flag.String("o", "gendesign_out", "output directory")
+		name    = flag.String("name", "synth", "design name")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		domains = flag.Int("domains", 2, "clock domains")
+		blocks  = flag.Int("blocks", 2, "blocks per domain")
+		stages  = flag.Int("stages", 3, "pipeline stages per block")
+		regs    = flag.Int("regs", 6, "registers per stage")
+		depth   = flag.Int("depth", 3, "combinational depth between stages")
+		cross   = flag.Int("cross", 2, "cross-domain paths")
+		groups  = flag.Int("groups", 1, "non-mergeable mode groups")
+		modes   = flag.String("modes", "3", "comma-separated modes per group")
+		period  = flag.Float64("period", 2, "base clock period")
+	)
+	flag.Parse()
+	if err := run(*outDir, *name, *seed, *domains, *blocks, *stages, *regs, *depth, *cross, *groups, *modes, *period); err != nil {
+		fmt.Fprintln(os.Stderr, "gendesign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir, name string, seed int64, domains, blocks, stages, regs, depth, cross, groups int, modesSpec string, period float64) error {
+	spec := gen.DesignSpec{
+		Name: name, Seed: seed, Domains: domains, BlocksPerDomain: blocks,
+		Stages: stages, RegsPerStage: regs, CloudDepth: depth, CrossPaths: cross,
+	}
+	g, err := gen.Generate(spec)
+	if err != nil {
+		return err
+	}
+	var sizes []int
+	for _, part := range strings.Split(modesSpec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad -modes entry %q", part)
+		}
+		sizes = append(sizes, v)
+	}
+	for len(sizes) < groups {
+		sizes = append(sizes, sizes[len(sizes)-1])
+	}
+	sizes = sizes[:groups]
+	family := gen.FamilySpec{Groups: groups, ModesPerGroup: sizes, BasePeriod: period}
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	vPath := filepath.Join(outDir, "design.v")
+	if err := os.WriteFile(vPath, []byte(netlist.WriteVerilog(g.Design)), 0o644); err != nil {
+		return err
+	}
+	libPath := filepath.Join(outDir, "cells.mlf")
+	if err := os.WriteFile(libPath, []byte(library.Format(library.Default())), 0o644); err != nil {
+		return err
+	}
+	var files []string
+	for _, m := range g.Modes(family) {
+		p := filepath.Join(outDir, m.Name+".sdc")
+		if err := os.WriteFile(p, []byte(m.Text), 0o644); err != nil {
+			return err
+		}
+		files = append(files, filepath.Base(p))
+	}
+	s := g.Design.Stats()
+	fmt.Printf("wrote %s: %d cells (%d sequential), %d ports\n", vPath, s.Cells, s.Sequential, s.Ports)
+	fmt.Printf("wrote %s and %d modes: %s\n", libPath, len(files), strings.Join(files, " "))
+	fmt.Printf("try:\n  modemerge -v %s -lib %s -o %s/merged %s/*.sdc\n",
+		vPath, libPath, outDir, outDir)
+	return nil
+}

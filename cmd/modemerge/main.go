@@ -1,0 +1,184 @@
+// Command modemerge merges SDC timing modes of a gate-level design into
+// superset modes using the timing-graph based algorithm:
+//
+//	modemerge -v design.v [-top top] [-lib cells.mlf] -o merged_dir mode1.sdc mode2.sdc ...
+//
+// Mergeability is analyzed first; each merge clique produces one merged
+// SDC file in the output directory, together with a merge report. Modes
+// that cannot merge with anything are copied through unchanged.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"modemerge/internal/core"
+	"modemerge/internal/graph"
+	"modemerge/internal/library"
+	"modemerge/internal/netlist"
+	"modemerge/internal/sdc"
+	"modemerge/internal/sta"
+)
+
+func main() {
+	var (
+		verilog   = flag.String("v", "", "structural Verilog netlist (required)")
+		top       = flag.String("top", "", "top module name (default: inferred)")
+		libFile   = flag.String("lib", "", "cell library in mini library format (default: built-in)")
+		outDir    = flag.String("o", "merged", "output directory for merged SDC files")
+		tolerance = flag.Float64("tolerance", 0.05, "relative tolerance for clock/drive/load constraint merging")
+		workers   = flag.Int("workers", 0, "worker count (0 = all cores)")
+		validate  = flag.Bool("validate", true, "run the equivalence check on each merged mode")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	if *verilog == "" || flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*verilog, *top, *libFile, *outDir, *tolerance, *workers, *validate, *quiet, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "modemerge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(verilog, top, libFile, outDir string, tolerance float64, workers int, validate, quiet bool, sdcFiles []string) error {
+	lib := library.Default()
+	if libFile != "" {
+		data, err := os.ReadFile(libFile)
+		if err != nil {
+			return err
+		}
+		lib, err = library.Parse(string(data))
+		if err != nil {
+			return err
+		}
+	}
+	vsrc, err := os.ReadFile(verilog)
+	if err != nil {
+		return err
+	}
+	design, err := netlist.ParseVerilog(string(vsrc), lib, top)
+	if err != nil {
+		return err
+	}
+	if warnings, err := design.Validate(); err != nil {
+		return err
+	} else if len(warnings) > 0 && !quiet {
+		for _, w := range warnings {
+			fmt.Fprintln(os.Stderr, "warning:", w)
+		}
+	}
+	g, err := graph.Build(design)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		s := design.Stats()
+		fmt.Fprintf(os.Stderr, "design %s: %d cells (%d sequential), %d nets, %d ports\n",
+			design.Name, s.Cells, s.Sequential, s.Nets, s.Ports)
+	}
+
+	var modes []*sdc.Mode
+	for _, f := range sdcFiles {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(f), filepath.Ext(f))
+		mode, ignored, err := sdc.Parse(name, string(src), design)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		if len(ignored) > 0 && !quiet {
+			fmt.Fprintf(os.Stderr, "%s: ignored commands: %s\n", f, strings.Join(dedup(ignored), ", "))
+		}
+		modes = append(modes, mode)
+	}
+
+	opt := core.Options{Tolerance: tolerance, STA: sta.Options{Workers: workers}}
+	merged, reports, mb, err := core.MergeAll(g, modes, opt)
+	if err != nil {
+		return err
+	}
+	cliques := mb.Cliques()
+	if !quiet {
+		fmt.Fprint(os.Stderr, core.FormatMergeability(mb, cliques))
+		fmt.Fprintf(os.Stderr, "%d modes -> %d merged modes\n", len(modes), len(merged))
+	}
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for i, m := range merged {
+		path := filepath.Join(outDir, sanitize(m.Name)+".sdc")
+		if err := os.WriteFile(path, []byte(sdc.Write(m)), 0o644); err != nil {
+			return err
+		}
+		rep := reports[i]
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s (uniquified=%d dropped=%d refinement FPs=%d stops=%d)\n",
+				path, rep.UniquifiedExceptions, rep.DroppedExceptions,
+				rep.AddedFalsePaths+rep.LaunchBlocks, rep.ClockStops)
+			for _, w := range rep.Warnings {
+				fmt.Fprintln(os.Stderr, "  warning:", w)
+			}
+		}
+	}
+
+	if validate {
+		ok := true
+		for ci, clique := range cliques {
+			if len(clique) < 2 {
+				continue
+			}
+			group := make([]*sdc.Mode, len(clique))
+			for i, mi := range clique {
+				group[i] = modes[mi]
+			}
+			res, err := core.CheckEquivalence(g, group, merged[ci], opt)
+			if err != nil {
+				return err
+			}
+			status := "OK"
+			if !res.Equivalent() {
+				status = "FAILED"
+				ok = false
+			}
+			fmt.Printf("validation %s: %s (%s)\n", merged[ci].Name, status, res)
+			for _, m := range res.OptimisticMismatches {
+				fmt.Printf("  optimistic: %s\n", m)
+			}
+		}
+		if !ok {
+			return fmt.Errorf("equivalence validation failed")
+		}
+	}
+	return nil
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-', r == '+':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+func dedup(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

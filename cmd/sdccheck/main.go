@@ -1,0 +1,150 @@
+// Command sdccheck decides whether two SDC constraint sets are
+// timing-equivalent on a design — the paper's §2 definition, compared on
+// timing relationships rather than text:
+//
+//	sdccheck -v design.v [-top top] [-lib cells.mlf] a.sdc b.sdc
+//
+// It reports, in both directions, path groups one side relaxes
+// (sign-off-unsafe differences) or tightens (pessimism). Exit status 0
+// means exactly equivalent, 1 means different, 2 means usage/parse error.
+//
+// With -super, b.sdc is instead validated as a superset (merged) mode of
+// one or more a.sdc files: b must never relax any of them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"modemerge/internal/core"
+	"modemerge/internal/graph"
+	"modemerge/internal/library"
+	"modemerge/internal/netlist"
+	"modemerge/internal/sdc"
+)
+
+func main() {
+	var (
+		verilog = flag.String("v", "", "structural Verilog netlist (required)")
+		top     = flag.String("top", "", "top module name (default: inferred)")
+		libFile = flag.String("lib", "", "cell library in mini library format (default: built-in)")
+		super   = flag.Bool("super", false, "treat the last SDC as a superset mode of all preceding ones")
+		maxDiff = flag.Int("maxdiff", 20, "maximum differences to print per direction")
+	)
+	flag.Parse()
+	if *verilog == "" || flag.NArg() < 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	equal, err := run(*verilog, *top, *libFile, *super, *maxDiff, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdccheck:", err)
+		os.Exit(2)
+	}
+	if !equal {
+		os.Exit(1)
+	}
+}
+
+func run(verilog, top, libFile string, super bool, maxDiff int, files []string) (bool, error) {
+	lib := library.Default()
+	if libFile != "" {
+		data, err := os.ReadFile(libFile)
+		if err != nil {
+			return false, err
+		}
+		lib, err = library.Parse(string(data))
+		if err != nil {
+			return false, err
+		}
+	}
+	vsrc, err := os.ReadFile(verilog)
+	if err != nil {
+		return false, err
+	}
+	design, err := netlist.ParseVerilog(string(vsrc), lib, top)
+	if err != nil {
+		return false, err
+	}
+	g, err := graph.Build(design)
+	if err != nil {
+		return false, err
+	}
+	var modes []*sdc.Mode
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return false, err
+		}
+		name := strings.TrimSuffix(filepath.Base(f), filepath.Ext(f))
+		m, _, err := sdc.Parse(name, string(src), design)
+		if err != nil {
+			return false, fmt.Errorf("%s: %w", f, err)
+		}
+		modes = append(modes, m)
+	}
+
+	printDiffs := func(title string, diffs []string) {
+		if len(diffs) == 0 {
+			return
+		}
+		fmt.Printf("%s (%d):\n", title, len(diffs))
+		for i, d := range diffs {
+			if i >= maxDiff {
+				fmt.Printf("  ... and %d more\n", len(diffs)-maxDiff)
+				break
+			}
+			fmt.Printf("  %s\n", d)
+		}
+	}
+
+	if super {
+		individual := modes[:len(modes)-1]
+		merged := modes[len(modes)-1]
+		res, err := core.CheckEquivalence(g, individual, merged, core.Options{})
+		if err != nil {
+			return false, err
+		}
+		fmt.Printf("superset check %s vs %d modes: %s\n", merged.Name, len(individual), res)
+		printDiffs("optimistic (sign-off unsafe)", res.OptimisticMismatches)
+		if res.Equivalent() {
+			fmt.Println("VERDICT: superset is sign-off safe")
+			return true, nil
+		}
+		fmt.Println("VERDICT: superset RELAXES the individual modes")
+		return false, nil
+	}
+
+	if len(modes) != 2 {
+		return false, fmt.Errorf("pairwise check wants exactly two SDC files (use -super for more)")
+	}
+	a, b := modes[0], modes[1]
+	resAB, err := core.CheckEquivalence(g, []*sdc.Mode{a}, b, core.Options{})
+	if err != nil {
+		return false, err
+	}
+	resBA, err := core.CheckEquivalence(g, []*sdc.Mode{b}, a, core.Options{})
+	if err != nil {
+		return false, err
+	}
+	fmt.Printf("%s vs %s: %s / reverse: %s\n", a.Name, b.Name, resAB, resBA)
+	printDiffs(fmt.Sprintf("%s relaxes %s", b.Name, a.Name), resAB.OptimisticMismatches)
+	printDiffs(fmt.Sprintf("%s relaxes %s", a.Name, b.Name), resBA.OptimisticMismatches)
+	if resAB.PessimisticGroups > 0 {
+		fmt.Printf("%s tightens %s on %d path groups\n", b.Name, a.Name, resAB.PessimisticGroups)
+	}
+	if resBA.PessimisticGroups > 0 {
+		fmt.Printf("%s tightens %s on %d path groups\n", a.Name, b.Name, resBA.PessimisticGroups)
+	}
+	equal := resAB.Equivalent() && resBA.Equivalent() &&
+		resAB.PessimisticGroups == 0 && resBA.PessimisticGroups == 0
+	if equal {
+		fmt.Println("VERDICT: equivalent")
+	} else {
+		fmt.Println("VERDICT: different")
+	}
+	return equal, nil
+}

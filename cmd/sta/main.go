@@ -1,0 +1,152 @@
+// Command sta runs static timing analysis for a design under one or more
+// SDC modes and reports endpoint slacks:
+//
+//	sta -v design.v [-top top] [-lib cells.mlf] [-n 20] mode.sdc [more.sdc ...]
+//
+// With several SDC files it reports the worst slack per endpoint across
+// all of them (the multi-mode signoff view the merging flow compares
+// against).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"modemerge/internal/graph"
+	"modemerge/internal/library"
+	"modemerge/internal/netlist"
+	"modemerge/internal/sdc"
+	"modemerge/internal/sta"
+)
+
+func main() {
+	var (
+		verilog = flag.String("v", "", "structural Verilog netlist (required)")
+		top     = flag.String("top", "", "top module name (default: inferred)")
+		libFile = flag.String("lib", "", "cell library in mini library format (default: built-in)")
+		n       = flag.Int("n", 20, "number of critical endpoints to report")
+		workers = flag.Int("workers", 0, "worker count (0 = all cores)")
+		trace   = flag.Int("trace", 0, "trace the critical path of the N worst endpoints")
+	)
+	flag.Parse()
+	if *verilog == "" || flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*verilog, *top, *libFile, *n, *workers, *trace, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "sta:", err)
+		os.Exit(1)
+	}
+}
+
+func run(verilog, top, libFile string, n, workers, trace int, sdcFiles []string) error {
+	lib := library.Default()
+	if libFile != "" {
+		data, err := os.ReadFile(libFile)
+		if err != nil {
+			return err
+		}
+		lib, err = library.Parse(string(data))
+		if err != nil {
+			return err
+		}
+	}
+	vsrc, err := os.ReadFile(verilog)
+	if err != nil {
+		return err
+	}
+	design, err := netlist.ParseVerilog(string(vsrc), lib, top)
+	if err != nil {
+		return err
+	}
+	g, err := graph.Build(design)
+	if err != nil {
+		return err
+	}
+	s := design.Stats()
+	fmt.Printf("design %s: %d cells (%d sequential), %d endpoints\n",
+		design.Name, s.Cells, s.Sequential, len(g.Endpoints()))
+
+	type worst struct {
+		r   sta.EndpointResult
+		ctx *sta.Context
+		has bool
+	}
+	acc := map[string]*worst{}
+	start := time.Now()
+	for _, f := range sdcFiles {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(f), filepath.Ext(f))
+		mode, _, err := sdc.Parse(name, string(src), design)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		ctx, err := sta.NewContext(g, mode, sta.Options{Workers: workers})
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		for _, w := range ctx.Warnings {
+			fmt.Fprintf(os.Stderr, "%s: warning: %s\n", f, w)
+		}
+		results := ctx.AnalyzeEndpoints()
+		worstSetup, worstHold, checked := sta.Summarize(results)
+		fmt.Printf("mode %-16s worst setup %8.3f  worst hold %8.3f  endpoints checked %d\n",
+			name, finite(worstSetup), finite(worstHold), checked)
+		for _, r := range results {
+			w := acc[r.Name]
+			if w == nil {
+				w = &worst{}
+				acc[r.Name] = w
+			}
+			if r.HasSetup && (!w.has || r.SetupSlack < w.r.SetupSlack) {
+				w.r = r
+				w.ctx = ctx
+				w.has = true
+			}
+		}
+	}
+	fmt.Printf("analysis time: %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	var all []sta.EndpointResult
+	for _, w := range acc {
+		if w.has {
+			all = append(all, w.r)
+		}
+	}
+	sta.SortBySetupSlack(all)
+	fmt.Printf("critical endpoints (worst across %d modes):\n", len(sdcFiles))
+	for i, r := range all {
+		if i >= n {
+			break
+		}
+		fmt.Println("  " + sta.FormatEndpoint(r))
+	}
+	for i, r := range all {
+		if i >= trace {
+			break
+		}
+		w := acc[r.Name]
+		if w == nil || w.ctx == nil {
+			continue
+		}
+		if p, ok := w.ctx.TraceWorstArrival(r.Node); ok {
+			fmt.Printf("\npath to %s (slack %.4f):\n%s", r.Name, r.SetupSlack, p.String())
+		}
+	}
+	return nil
+}
+
+func finite(v float64) float64 {
+	if math.IsInf(v, 0) {
+		return math.NaN()
+	}
+	return v
+}

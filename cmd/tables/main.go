@@ -1,0 +1,111 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation on the synthetic design suite:
+//
+//	tables -table5 -table6          # the evaluation tables (default)
+//	tables -fig2                    # the mergeability graph demo
+//	tables -ablation                # naive vs graph-based merging
+//	tables -scale 2 -workers 8      # bigger designs, more parallelism
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"modemerge/internal/core"
+	"modemerge/internal/experiments"
+	"modemerge/internal/report"
+	"modemerge/internal/sta"
+)
+
+func main() {
+	var (
+		t5       = flag.Bool("table5", false, "reproduce Table 5 (mode reduction, merging runtime)")
+		t6       = flag.Bool("table6", false, "reproduce Table 6 (STA runtime, conformity)")
+		fig2     = flag.Bool("fig2", false, "reproduce Figure 2 (mergeability graph, cliques)")
+		ablation = flag.Bool("ablation", false, "naive textual merge vs graph-based merge")
+		scale    = flag.Float64("scale", 1, "design size multiplier")
+		workers  = flag.Int("workers", 0, "STA worker count (0 = all cores)")
+		designs  = flag.String("designs", "ABCDEF", "subset of designs to run")
+	)
+	flag.Parse()
+	if !*t5 && !*t6 && !*fig2 && !*ablation {
+		*t5, *t6 = true, true
+	}
+	if err := run(*t5, *t6, *fig2, *ablation, *scale, *workers, *designs); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(t5, t6, fig2, ablation bool, scale float64, workers int, designs string) error {
+	staOpt := sta.Options{Workers: workers}
+	coreOpt := core.Options{STA: staOpt}
+
+	if fig2 {
+		mb, cliques, err := experiments.Figure2Demo()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 2: mergeability graph")
+		fmt.Print(core.FormatMergeability(mb, cliques))
+		fmt.Println()
+	}
+
+	if !t5 && !t6 && !ablation {
+		return nil
+	}
+
+	var rows5 []experiments.Table5Row
+	var rows6 []experiments.Table6Row
+	var rowsAbl []experiments.AblationRow
+	for _, c := range experiments.PaperDesigns(scale) {
+		if !contains(designs, c.Label) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running design %s (~%d cells, %d modes)...\n",
+			c.Label, c.Spec.CellEstimate(), c.Family.TotalModes())
+		p, err := experiments.Prepare(c)
+		if err != nil {
+			return err
+		}
+		mr, err := experiments.RunTable5(p, coreOpt)
+		if err != nil {
+			return err
+		}
+		rows5 = append(rows5, mr.Row)
+		if t6 || ablation {
+			row6, err := experiments.RunTable6(mr, staOpt)
+			if err != nil {
+				return err
+			}
+			rows6 = append(rows6, row6)
+		}
+		if ablation {
+			abl, err := experiments.RunNaiveAblation(mr, coreOpt, staOpt)
+			if err != nil {
+				return err
+			}
+			rowsAbl = append(rowsAbl, abl)
+		}
+	}
+	if t5 {
+		fmt.Println(report.Table5(rows5))
+	}
+	if t6 {
+		fmt.Println(report.Table6(rows6))
+	}
+	if ablation {
+		fmt.Println(report.Ablation(rowsAbl))
+	}
+	return nil
+}
+
+func contains(set string, label string) bool {
+	for i := 0; i < len(set); i++ {
+		if string(set[i]) == label {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,3 @@
+module modemerge
+
+go 1.22

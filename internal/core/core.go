@@ -1,0 +1,220 @@
+// Package core implements the paper's contribution: automated timing-graph
+// based mode merging. N mergeable SDC modes are reduced to one superset
+// mode in two phases — preliminary mode merging (§3.1: clock union,
+// tolerance-based clock-constraint merge, external-delay union,
+// case/disable intersection, inferred clock exclusivity, clock refinement,
+// exception intersection and uniquification) and refinement of the
+// preliminary merged mode (§3.2: data-network clock blocking plus the
+// 3-pass timing-relationship comparison that inserts corrective false
+// paths). Mergeability analysis groups arbitrary mode sets into merge
+// cliques (Figure 2), and an equivalence checker validates the result.
+package core
+
+import (
+	"fmt"
+
+	"modemerge/internal/graph"
+	"modemerge/internal/netlist"
+	"modemerge/internal/sdc"
+	"modemerge/internal/sta"
+)
+
+// Options tunes the merging flow.
+type Options struct {
+	// Tolerance is the relative tolerance for merging clock-based and
+	// drive/load constraint values across modes (§3.1.2). Values within
+	// the tolerance merge to min-of-mins / max-of-maxes; beyond it the
+	// modes are non-mergeable. Default 0.05.
+	Tolerance float64
+	// MergedName names the merged mode; default joins the input names
+	// with "+".
+	MergedName string
+	// MaxRefineIterations bounds the refine→validate loop. Default 4.
+	MaxRefineIterations int
+	// STA carries analysis options (worker count etc.).
+	STA sta.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tolerance <= 0 {
+		o.Tolerance = 0.05
+	}
+	if o.MaxRefineIterations <= 0 {
+		o.MaxRefineIterations = 4
+	}
+	return o
+}
+
+// Report summarizes one merge run.
+type Report struct {
+	// Preliminary merging counters.
+	MergedClocks         int
+	RenamedClocks        int
+	DroppedCases         int
+	TranslatedCases      int // always-cased conflicting objects → disables
+	DroppedExceptions    int
+	UniquifiedExceptions int
+	ExclusivePairs       int
+	// Refinement counters.
+	ClockStops      int // set_clock_sense -stop_propagation added
+	LaunchBlocks    int // data-refinement false paths added
+	Pass1Mismatch   int
+	Pass1Ambiguous  int
+	Pass2Mismatch   int
+	Pass2Ambiguous  int
+	Pass3Mismatch   int
+	AddedFalsePaths int
+	// Validation.
+	Iterations        int
+	PessimisticGroups int // merged tighter than needed (sign-off safe)
+	ResidualMismatch  int // should be zero
+	Warnings          []string
+}
+
+func (r *Report) warnf(format string, args ...any) {
+	r.Warnings = append(r.Warnings, fmt.Sprintf(format, args...))
+}
+
+// clockMap tracks the mapping between individual-mode clocks and merged
+// clocks.
+type clockMap struct {
+	// toMerged[m][localName] = merged name.
+	toMerged []map[string]string
+	// members[mergedName][m] = local name ("" if the clock does not exist
+	// in mode m).
+	members map[string][]string
+	// order of merged clock names.
+	order []string
+}
+
+func newClockMap(nModes int) *clockMap {
+	return &clockMap{
+		toMerged: make([]map[string]string, nModes),
+		members:  map[string][]string{},
+	}
+}
+
+// mapName maps a local clock name of mode m to the merged namespace; names
+// with no mapping (e.g. already-merged names) pass through.
+func (cm *clockMap) mapName(m int, local string) string {
+	if mapped, ok := cm.toMerged[m][local]; ok {
+		return mapped
+	}
+	return local
+}
+
+// existsIn reports whether the merged clock exists in mode m.
+func (cm *clockMap) existsIn(merged string, m int) bool {
+	mem, ok := cm.members[merged]
+	return ok && mem[m] != ""
+}
+
+// localName returns mode m's local name for a merged clock ("" if absent).
+func (cm *clockMap) localName(merged string, m int) string {
+	if mem, ok := cm.members[merged]; ok {
+		return mem[m]
+	}
+	return ""
+}
+
+// Merger drives one merge of a group of modes on one design.
+type Merger struct {
+	design *netlist.Design
+	g      *graph.Graph
+	modes  []*sdc.Mode
+	opt    Options
+
+	merged *sdc.Mode
+	cmap   *clockMap
+	ctxs   []*sta.Context // per individual mode
+	mctx   *sta.Context   // merged (rebuilt after constraint additions)
+
+	Report *Report
+}
+
+// NewMerger prepares a merge of the given modes. The graph is built once
+// and shared.
+func NewMerger(design *netlist.Design, modes []*sdc.Mode, opt Options) (*Merger, error) {
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("core: no modes to merge")
+	}
+	g, err := graph.Build(design)
+	if err != nil {
+		return nil, err
+	}
+	return newMergerWithGraph(g, modes, opt)
+}
+
+func newMergerWithGraph(g *graph.Graph, modes []*sdc.Mode, opt Options) (*Merger, error) {
+	opt = opt.withDefaults()
+	name := opt.MergedName
+	if name == "" {
+		for i, m := range modes {
+			if i > 0 {
+				name += "+"
+			}
+			name += m.Name
+		}
+	}
+	mg := &Merger{
+		design: g.Design,
+		g:      g,
+		modes:  modes,
+		opt:    opt,
+		merged: &sdc.Mode{Name: name},
+		cmap:   newClockMap(len(modes)),
+		Report: &Report{},
+	}
+	for _, m := range modes {
+		ctx, err := sta.NewContext(g, m, opt.STA)
+		if err != nil {
+			return nil, fmt.Errorf("mode %s: %w", m.Name, err)
+		}
+		mg.ctxs = append(mg.ctxs, ctx)
+	}
+	return mg, nil
+}
+
+// Merge runs the full flow and returns the merged mode.
+func (mg *Merger) Merge() (*sdc.Mode, error) {
+	if err := mg.preliminary(); err != nil {
+		return nil, err
+	}
+	if err := mg.rebuildMerged(); err != nil {
+		return nil, err
+	}
+	if err := mg.clockRefinement(); err != nil {
+		return nil, err
+	}
+	if err := mg.dataRefinement(); err != nil {
+		return nil, err
+	}
+	return mg.merged, nil
+}
+
+// Merged returns the merged mode built so far.
+func (mg *Merger) Merged() *sdc.Mode { return mg.merged }
+
+// rebuildMerged re-resolves the merged mode against the graph after
+// constraints were added.
+func (mg *Merger) rebuildMerged() error {
+	ctx, err := sta.NewContext(mg.g, mg.merged, mg.opt.STA)
+	if err != nil {
+		return fmt.Errorf("merged mode %s: %w", mg.merged.Name, err)
+	}
+	mg.mctx = ctx
+	return nil
+}
+
+// Merge is the package-level convenience: merge one group of modes.
+func Merge(design *netlist.Design, modes []*sdc.Mode, opt Options) (*sdc.Mode, *Report, error) {
+	mg, err := NewMerger(design, modes, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	merged, err := mg.Merge()
+	if err != nil {
+		return nil, mg.Report, err
+	}
+	return merged, mg.Report, nil
+}

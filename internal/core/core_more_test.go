@@ -1,0 +1,596 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"modemerge/internal/graph"
+	"modemerge/internal/library"
+	"modemerge/internal/netlist"
+	"modemerge/internal/sdc"
+	"modemerge/internal/sta"
+)
+
+func TestMergeGeneratedClock(t *testing.T) {
+	// Mode A uses the root clock through the mux; mode B divides it at
+	// the mux output. The merged mode must carry both (the -add form) and
+	// declare them exclusive because the undivided clock captures nothing
+	// in mode B.
+	srcs := map[string]string{
+		"A": `
+create_clock -name clkA -period 10 [get_ports clk1]
+`,
+		"B": `
+create_clock -name clkA -period 10 [get_ports clk1]
+create_generated_clock -name gdiv -source [get_ports clk1] -divide_by 2 [get_pins mux1/Z]
+`,
+	}
+	g := paperGraph(t)
+	merged, _ := mergeModes(t, g, srcs, "A", "B")
+	if merged.ClockByName("gdiv") == nil {
+		t.Fatal("generated clock lost in merge")
+	}
+	if got := len(merged.Clocks); got != 2 {
+		t.Fatalf("merged clocks = %v", merged.ClockNames())
+	}
+	requireEquivalent(t, g, srcs, merged, "A", "B")
+}
+func TestMergeVirtualClocks(t *testing.T) {
+	srcs := map[string]string{
+		"A": `
+create_clock -name clkA -period 10 [get_ports clk1]
+create_clock -name vio -period 10
+set_output_delay 2 -clock vio [get_ports out1]
+`,
+		"B": `
+create_clock -name clkA -period 10 [get_ports clk1]
+create_clock -name vio -period 10
+set_output_delay 3 -clock vio [get_ports out1]
+`,
+	}
+	g := paperGraph(t)
+	merged, _ := mergeModes(t, g, srcs, "A", "B")
+	v := merged.ClockByName("vio")
+	if v == nil || !v.Virtual() {
+		t.Fatalf("virtual clock lost: %v", merged.ClockNames())
+	}
+	// Both output delays survive (union).
+	if len(merged.IODelays) != 2 {
+		t.Errorf("io delays = %d, want 2", len(merged.IODelays))
+	}
+	requireEquivalent(t, g, srcs, merged, "A", "B")
+}
+func TestMergeDeterministic(t *testing.T) {
+	g := paperGraph(t)
+	run := func() string {
+		merged, _ := mergeModes(t, g, set6, "A", "B")
+		return sdc.Write(merged)
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("merge output differs between runs:\n--- first\n%s\n--- run %d\n%s", first, i, got)
+		}
+	}
+}
+func TestMergeOrderIndependentBehaviour(t *testing.T) {
+	// Merging [A,B] and [B,A] may name things differently, but both
+	// results must be equivalent to the same individual modes.
+	g := paperGraph(t)
+	ab, _ := mergeModes(t, g, set6, "A", "B")
+	ba, _ := mergeModes(t, g, set6, "B", "A")
+	requireEquivalent(t, g, set6, ab, "A", "B")
+	requireEquivalent(t, g, set6, ba, "A", "B")
+}
+func TestHoldOnlyFalsePathMerge(t *testing.T) {
+	srcs := map[string]string{
+		"A": `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_false_path -hold -to [get_pins rX/D]
+`,
+		"B": `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_false_path -hold -to [get_pins rX/D]
+`,
+	}
+	g := paperGraph(t)
+	merged, _ := mergeModes(t, g, srcs, "A", "B")
+	found := false
+	for _, e := range merged.Exceptions {
+		if e.Kind == sdc.FalsePath && e.SetupHold == sdc.MinOnly {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hold-only false path lost:\n%s", sdc.Write(merged))
+	}
+	requireEquivalent(t, g, srcs, merged, "A", "B")
+}
+func TestKeptMaxDelaySubsetMode(t *testing.T) {
+	// A max_delay present in one mode only, on a shared clock: cannot be
+	// uniquified, must be KEPT (pessimistic-safe), never dropped.
+	srcs := map[string]string{
+		"A": `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_max_delay 4 -to [get_pins rX/D]
+`,
+		"B": `
+create_clock -name clkA -period 10 [get_ports clk1]
+`,
+	}
+	g := paperGraph(t)
+	merged, rep := mergeModes(t, g, srcs, "A", "B")
+	found := false
+	for _, e := range merged.Exceptions {
+		if e.Kind == sdc.MaxDelay && e.Value == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("subset max_delay dropped:\n%s", sdc.Write(merged))
+	}
+	if len(rep.Warnings) == 0 {
+		t.Error("expected a pessimism warning")
+	}
+	requireEquivalent(t, g, srcs, merged, "A", "B")
+}
+func TestMergedModeReusableAsInput(t *testing.T) {
+	// Merge A+B, then merge the result with a third mode: the flow must
+	// accept its own output.
+	g := paperGraph(t)
+	ab, _ := mergeModes(t, g, set6, "A", "B")
+	text := sdc.Write(ab)
+	reparsed := parseMode(t, g, "AB", text)
+	third := parseMode(t, g, "C", `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_false_path -to rX/D
+`)
+	mg, err := newMergerWithGraph(g, []*sdc.Mode{reparsed, third}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.Merge(); err != nil {
+		t.Fatalf("re-merge failed: %v", err)
+	}
+}
+func TestToleranceOption(t *testing.T) {
+	g := paperGraph(t)
+	mk := func(lat string) *sdc.Mode {
+		return parseMode(t, g, "m"+lat, `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_clock_latency `+lat+` [get_clocks clkA]
+`)
+	}
+	a, b := mk("1.00"), mk("1.04")
+	// 4% apart: mergeable at 5% tolerance, not at 1%.
+	mb5, err := AnalyzeMergeability(g, []*sdc.Mode{a, b}, Options{Tolerance: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mb5.Edge[0][1] {
+		t.Error("4% latency difference must merge at 5% tolerance")
+	}
+	mb1, err := AnalyzeMergeability(g, []*sdc.Mode{a, b}, Options{Tolerance: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb1.Edge[0][1] {
+		t.Error("4% latency difference must not merge at 1% tolerance")
+	}
+}
+func TestCliquesGreedyMaximal(t *testing.T) {
+	// 5 modes: 0-1-2 mutually mergeable, 3-4 mergeable, no cross edges.
+	mb := &Mergeability{ModeNames: []string{"a", "b", "c", "d", "e"}}
+	mb.Edge = make([][]bool, 5)
+	for i := range mb.Edge {
+		mb.Edge[i] = make([]bool, 5)
+	}
+	link := func(i, j int) { mb.Edge[i][j], mb.Edge[j][i] = true, true }
+	link(0, 1)
+	link(0, 2)
+	link(1, 2)
+	link(3, 4)
+	cliques := mb.Cliques()
+	if len(cliques) != 2 || len(cliques[0]) != 3 || len(cliques[1]) != 2 {
+		t.Errorf("cliques = %v", mb.GroupNames(cliques))
+	}
+	// Every mode appears exactly once.
+	seen := map[int]bool{}
+	for _, c := range cliques {
+		for _, m := range c {
+			if seen[m] {
+				t.Errorf("mode %d in two cliques", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("cliques cover %d of 5 modes", len(seen))
+	}
+}
+func TestSingleModeGroupPassesThrough(t *testing.T) {
+	g := paperGraph(t)
+	lone := parseMode(t, g, "lone", `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_input_transition 0.9 [get_ports in1]
+`)
+	other := parseMode(t, g, "other", `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_input_transition 0.1 [get_ports in1]
+`)
+	out, _, _, err := MergeAll(g, []*sdc.Mode{lone, other}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("merged = %d modes, want 2 passthroughs", len(out))
+	}
+	// Unmerged modes pass through untouched (same pointer).
+	if out[0] != lone && out[1] != lone {
+		t.Error("singleton mode was not passed through unchanged")
+	}
+}
+
+// randomCircuit builds a small random DAG of gates between two register
+// banks, deterministic per seed.
+func randomCircuit(seed int64) *netlist.Design {
+	rng := rand.New(rand.NewSource(seed))
+	b := netlist.NewBuilder(fmt.Sprintf("rand%d", seed), library.Default())
+	b.Port("ck1", netlist.In)
+	b.Port("ck2", netlist.In)
+	b.Port("sel", netlist.In)
+	b.Port("din", netlist.In)
+	b.Port("dout", netlist.Out)
+	b.Inst("MUX2", "cmux", map[string]string{"I0": "ck1", "I1": "ck2", "S": "sel", "Z": "gck"})
+	nLaunch := 2 + rng.Intn(3)
+	var sigs []string
+	for i := 0; i < nLaunch; i++ {
+		q := fmt.Sprintf("q%d", i)
+		clk := "ck1"
+		if rng.Intn(3) == 0 {
+			clk = "gck"
+		}
+		b.Inst("DFF", fmt.Sprintf("L%d", i), map[string]string{"CP": clk, "D": "din", "Q": q})
+		sigs = append(sigs, q)
+	}
+	gates := []string{"AND2", "OR2", "XOR2", "NAND2", "INV", "BUF"}
+	nGates := 3 + rng.Intn(6)
+	for i := 0; i < nGates; i++ {
+		cell := gates[rng.Intn(len(gates))]
+		z := fmt.Sprintf("n%d", i)
+		conns := map[string]string{"Z": z}
+		for _, pin := range library.Default().Cell(cell).Inputs() {
+			conns[pin] = sigs[rng.Intn(len(sigs))]
+		}
+		b.Inst(cell, fmt.Sprintf("G%d", i), conns)
+		sigs = append(sigs, z)
+	}
+	nCap := 2 + rng.Intn(3)
+	for i := 0; i < nCap; i++ {
+		clk := "ck1"
+		if rng.Intn(3) == 0 {
+			clk = "gck"
+		}
+		q := "dout"
+		if i > 0 {
+			q = fmt.Sprintf("cq%d", i)
+		}
+		b.Inst("DFF", fmt.Sprintf("C%d", i), map[string]string{
+			"CP": clk, "D": sigs[len(sigs)-1-i%len(sigs)], "Q": q})
+	}
+	return b.MustBuild()
+}
+
+// randomMode writes a random SDC mode for the random circuit.
+func randomMode(d *netlist.Design, rng *rand.Rand, name string) string {
+	var s string
+	period := []string{"2", "4", "10"}[rng.Intn(3)]
+	switch rng.Intn(3) {
+	case 0:
+		s += "create_clock -name CK -period " + period + " [get_ports ck1]\n"
+	case 1:
+		s += "create_clock -name CK -period " + period + " [get_ports ck2]\n"
+	default:
+		s += "create_clock -name CK -period " + period + " [get_ports ck1]\n"
+		s += "create_clock -name CK2 -period 8 [get_ports ck2]\n"
+	}
+	if rng.Intn(2) == 0 {
+		s += fmt.Sprintf("set_case_analysis %d [get_ports sel]\n", rng.Intn(2))
+	}
+	if rng.Intn(2) == 0 {
+		s += "set_input_delay 0.5 -clock CK [get_ports din]\n"
+	}
+	if rng.Intn(2) == 0 {
+		s += "set_output_delay 0.5 -clock CK [get_ports dout]\n"
+	}
+	// Random exceptions on existing objects.
+	for i := 0; i < rng.Intn(3); i++ {
+		switch rng.Intn(3) {
+		case 0:
+			s += fmt.Sprintf("set_false_path -from [get_pins L%d/CP]\n", rng.Intn(2))
+		case 1:
+			s += "set_false_path -to [get_pins C0/D]\n"
+		default:
+			s += fmt.Sprintf("set_multicycle_path %d -setup -to [get_pins C0/D]\n", 2+rng.Intn(2))
+		}
+	}
+	return s
+}
+
+// TestRandomMergesNeverOptimistic is the killer property test: for many
+// random circuits and random mode pairs, the merged mode must never relax
+// any individual mode (the correct-by-construction claim).
+func TestRandomMergesNeverOptimistic(t *testing.T) {
+	iterations := 60
+	if testing.Short() {
+		iterations = 10
+	}
+	for seed := int64(0); seed < int64(iterations); seed++ {
+		d := randomCircuit(seed)
+		g, err := graph.Build(d)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rng := rand.New(rand.NewSource(seed * 7919))
+		srcA := randomMode(d, rng, "A")
+		srcB := randomMode(d, rng, "B")
+		a, _, err := sdc.Parse("A", srcA, d)
+		if err != nil {
+			t.Fatalf("seed %d mode A: %v\n%s", seed, err, srcA)
+		}
+		bm, _, err := sdc.Parse("B", srcB, d)
+		if err != nil {
+			t.Fatalf("seed %d mode B: %v\n%s", seed, err, srcB)
+		}
+		mg, err := newMergerWithGraph(g, []*sdc.Mode{a, bm}, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		merged, err := mg.Merge()
+		if err != nil {
+			t.Fatalf("seed %d merge: %v\nA:\n%s\nB:\n%s", seed, err, srcA, srcB)
+		}
+		// The written SDC must re-parse and still be equivalent.
+		reparsed, _, err := sdc.Parse(merged.Name, sdc.Write(merged), d)
+		if err != nil {
+			t.Fatalf("seed %d: merged SDC does not re-parse: %v\n%s", seed, err, sdc.Write(merged))
+		}
+		res, err := CheckEquivalence(g, []*sdc.Mode{a, bm}, reparsed, Options{})
+		if err != nil {
+			t.Fatalf("seed %d equivalence: %v", seed, err)
+		}
+		if !res.Equivalent() {
+			t.Errorf("seed %d: merged mode is optimistic:\nA:\n%s\nB:\n%s\nmerged:\n%s\nmismatches: %v",
+				seed, srcA, srcB, sdc.Write(merged), res.OptimisticMismatches)
+		}
+	}
+}
+
+// TestRandomMergedSlackNeverOptimistic cross-checks the relation-level
+// guarantee at the slack level: the merged worst setup slack per endpoint
+// is never larger (more optimistic) than the individual worst, beyond
+// rounding.
+func TestRandomMergedSlackNeverOptimistic(t *testing.T) {
+	iterations := 30
+	if testing.Short() {
+		iterations = 6
+	}
+	for seed := int64(100); seed < 100+int64(iterations); seed++ {
+		d := randomCircuit(seed)
+		g, err := graph.Build(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a, _, err := sdc.Parse("A", randomMode(d, rng, "A"), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm, _, err := sdc.Parse("B", randomMode(d, rng, "B"), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mg, err := newMergerWithGraph(g, []*sdc.Mode{a, bm}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged, err := mg.Merge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := func(modes ...*sdc.Mode) map[string]float64 {
+			out := map[string]float64{}
+			for _, m := range modes {
+				ctx, err := sta.NewContext(g, m, sta.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range ctx.AnalyzeEndpoints() {
+					if !r.HasSetup {
+						continue
+					}
+					if w, ok := out[r.Name]; !ok || r.SetupSlack < w {
+						out[r.Name] = r.SetupSlack
+					}
+				}
+			}
+			return out
+		}
+		ind := worst(a, bm)
+		mrg := worst(merged)
+		for name, iw := range ind {
+			if mw, ok := mrg[name]; ok && mw > iw+1e-6 {
+				t.Errorf("seed %d endpoint %s: merged slack %g more optimistic than individual %g",
+					seed, name, mw, iw)
+			}
+		}
+	}
+}
+
+func TestMergeErrorPaths(t *testing.T) {
+	g := paperGraph(t)
+	if _, _, err := Merge(g.Design, nil, Options{}); err == nil {
+		t.Error("empty mode list accepted")
+	}
+	// A mode whose constraints reference objects missing from the design
+	// fails context construction with a mode-named error.
+	bad := &sdc.Mode{Name: "bad", Cases: []*sdc.CaseAnalysis{{
+		Objects: []sdc.ObjRef{{Kind: sdc.PinObj, Name: "ghost/X"}},
+	}}}
+	ok := parseMode(t, g, "ok", `create_clock -name c -period 1 [get_ports clk1]`)
+	if _, _, err := Merge(g.Design, []*sdc.Mode{ok, bad}, Options{}); err == nil {
+		t.Error("unresolvable mode accepted")
+	} else if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("error does not name the failing mode: %v", err)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Tolerance != 0.05 || o.MaxRefineIterations != 4 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o2 := Options{Tolerance: 0.2, MaxRefineIterations: 9}.withDefaults()
+	if o2.Tolerance != 0.2 || o2.MaxRefineIterations != 9 {
+		t.Errorf("explicit options overridden: %+v", o2)
+	}
+}
+
+func TestMergedNameOption(t *testing.T) {
+	g := paperGraph(t)
+	a := parseMode(t, g, "alpha", `create_clock -name c -period 1 [get_ports clk1]`)
+	b := parseMode(t, g, "beta", `create_clock -name c -period 1 [get_ports clk1]`)
+	mg, err := newMergerWithGraph(g, []*sdc.Mode{a, b}, Options{MergedName: "custom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := mg.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Name != "custom" {
+		t.Errorf("merged name = %q", merged.Name)
+	}
+}
+
+func TestConvergenceWithinIterations(t *testing.T) {
+	// Every merge in the suite must converge without the
+	// "did not converge" warning.
+	g := paperGraph(t)
+	for _, srcs := range []map[string]string{set3, set4, set5, set6} {
+		var names []string
+		for n := range srcs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		_, rep := mergeModes(t, g, srcs, names...)
+		for _, w := range rep.Warnings {
+			if strings.Contains(w, "converge") {
+				t.Errorf("merge did not converge: %v", rep.Warnings)
+			}
+		}
+		if rep.Iterations > 3 {
+			t.Errorf("refinement took %d iterations", rep.Iterations)
+		}
+	}
+}
+
+// TestRandomTripleMergesNeverOptimistic extends the fuzz property to
+// three-way merges, where uniquification and exclusivity interactions are
+// richer.
+func TestRandomTripleMergesNeverOptimistic(t *testing.T) {
+	iterations := 25
+	if testing.Short() {
+		iterations = 5
+	}
+	for seed := int64(500); seed < 500+int64(iterations); seed++ {
+		d := randomCircuit(seed)
+		g, err := graph.Build(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed * 31))
+		var modes []*sdc.Mode
+		var srcs []string
+		for i := 0; i < 3; i++ {
+			src := randomMode(d, rng, fmt.Sprintf("m%d", i))
+			m, _, err := sdc.Parse(fmt.Sprintf("m%d", i), src, d)
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, src)
+			}
+			modes = append(modes, m)
+			srcs = append(srcs, src)
+		}
+		mg, err := newMergerWithGraph(g, modes, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged, err := mg.Merge()
+		if err != nil {
+			t.Fatalf("seed %d merge: %v\nmodes:\n%s", seed, err, strings.Join(srcs, "\n---\n"))
+		}
+		res, err := CheckEquivalence(g, modes, merged, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent() {
+			t.Errorf("seed %d: optimistic triple merge:\n%s\nmerged:\n%s\nmismatches: %v",
+				seed, strings.Join(srcs, "\n---\n"), sdc.Write(merged), res.OptimisticMismatches)
+		}
+	}
+}
+
+func TestMergeMultiplyByGeneratedClock(t *testing.T) {
+	srcs := map[string]string{
+		"A": `
+create_clock -name clkA -period 10 [get_ports clk1]
+`,
+		"B": `
+create_clock -name clkA -period 10 [get_ports clk1]
+create_generated_clock -name g2x -source [get_ports clk1] -multiply_by 2 [get_pins mux1/Z]
+`,
+	}
+	g := paperGraph(t)
+	merged, _ := mergeModes(t, g, srcs, "A", "B")
+	g2x := merged.ClockByName("g2x")
+	if g2x == nil || g2x.Period != 5 {
+		t.Fatalf("multiplied clock wrong: %+v", g2x)
+	}
+	requireEquivalent(t, g, srcs, merged, "A", "B")
+}
+
+func TestMergeRespectsSetupHoldScopedExceptions(t *testing.T) {
+	srcs := map[string]string{
+		"A": `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_false_path -setup -to [get_pins rX/D]
+`,
+		"B": `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_false_path -setup -to [get_pins rX/D]
+set_false_path -hold -to [get_pins rY/D]
+`,
+	}
+	g := paperGraph(t)
+	merged, _ := mergeModes(t, g, srcs, "A", "B")
+	// Common -setup FP survives intersection; B-only -hold FP is dropped
+	// and the hold check at rY/D must remain in the merged mode (mode A
+	// times it).
+	var setupFP bool
+	for _, e := range merged.Exceptions {
+		if e.Kind == sdc.FalsePath && e.SetupHold == sdc.MaxOnly {
+			for _, p := range e.To.Pins {
+				if p.Name == "rX/D" {
+					setupFP = true
+				}
+			}
+		}
+	}
+	if !setupFP {
+		t.Errorf("common setup FP lost:\n%s", sdc.Write(merged))
+	}
+	requireEquivalent(t, g, srcs, merged, "A", "B")
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"modemerge/internal/graph"
+	"modemerge/internal/relation"
+	"modemerge/internal/sdc"
+	"modemerge/internal/sta"
+)
+
+// EquivalenceResult reports the timing-relationship comparison between a
+// merged mode and its individual modes — the paper's correct-by-
+// construction validation, also usable standalone as an SDC equivalence
+// checker.
+type EquivalenceResult struct {
+	// MatchedGroups count path groups whose merged state equals the
+	// per-path most-restrictive individual state.
+	MatchedGroups int
+	// PessimisticGroups are timed more tightly by the merged mode than
+	// any individual mode requires (sign-off safe).
+	PessimisticGroups int
+	// OptimisticMismatches are groups the merged mode relaxes or drops
+	// relative to the target — sign-off violations. Must be empty for a
+	// valid merge.
+	OptimisticMismatches []string
+	// Unresolved groups stayed ambiguous through pass 3.
+	Unresolved []string
+}
+
+// Equivalent reports overall success: no optimistic mismatches.
+func (r *EquivalenceResult) Equivalent() bool { return len(r.OptimisticMismatches) == 0 }
+
+// String summarizes the result.
+func (r *EquivalenceResult) String() string {
+	return fmt.Sprintf("matched=%d pessimistic=%d optimistic=%d unresolved=%d",
+		r.MatchedGroups, r.PessimisticGroups, len(r.OptimisticMismatches), len(r.Unresolved))
+}
+
+// CheckEquivalence compares the merged mode against the individual modes
+// at the three granularities of §3.2, without modifying anything. The
+// clock mapping is rediscovered structurally (same source set and
+// waveform).
+func CheckEquivalence(g *graph.Graph, individual []*sdc.Mode, merged *sdc.Mode, opt Options) (*EquivalenceResult, error) {
+	mg, err := newMergerWithGraph(g, individual, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild only the clock map (union without emitting).
+	mg.unionClocks()
+	mg.merged = merged
+	if err := mg.rebuildMerged(); err != nil {
+		return nil, err
+	}
+	return mg.checkEquivalence()
+}
+
+// moreRelaxed reports whether the merged state relaxes the target —
+// an optimistic (unsafe) difference.
+func moreRelaxed(merged, target relation.State) bool {
+	return relation.Relaxed(merged, target)
+}
+
+// checkEquivalence runs the non-mutating 3-pass comparison on the
+// merger's current merged context.
+func (mg *Merger) checkEquivalence() (*EquivalenceResult, error) {
+	res := &EquivalenceResult{}
+
+	describe := func(k sta.RelKey, target, merged relation.Set) string {
+		return fmt.Sprintf("%s -> %s [%s/%s %s]: individual=%s merged=%s",
+			k.Start, k.End, k.Launch, k.Capture, k.Check, target.String(), merged.String())
+	}
+	classify := func(k sta.RelKey, gs *groupStates) (ambiguous bool) {
+		target, ok := gs.target()
+		if !ok {
+			return true
+		}
+		ts, _ := target.Single()
+		merged := gs.merged
+		if merged.Empty() {
+			merged = relation.NewSet(relation.StateFalse)
+		}
+		ms, single := merged.Single()
+		if !single {
+			return true
+		}
+		switch {
+		case ms == ts:
+			res.MatchedGroups++
+		case moreRelaxed(ms, ts):
+			res.OptimisticMismatches = append(res.OptimisticMismatches, describe(k, target, merged))
+		default:
+			res.PessimisticGroups++
+		}
+		return false
+	}
+
+	// Pass 1.
+	perMode, mergedRels := mg.endpointAll()
+	groups := mg.gatherGroups(perMode, mergedRels)
+	pass2 := map[string]bool{}
+	for k, gs := range groups {
+		if classify(k, gs) {
+			pass2[k.End] = true
+		}
+	}
+
+	// Pass 2 (relations per endpoint computed in parallel).
+	var ends []string
+	for e := range pass2 {
+		ends = append(ends, e)
+	}
+	sort.Strings(ends)
+	type sePair struct{ start, end string }
+	pass3 := map[sePair]bool{}
+	seGroupsPerEnd := make([]map[sta.RelKey]*groupStates, len(ends))
+	var firstErr error
+	var errMu sync.Mutex
+	forEachParallel(len(ends), func(i int) {
+		endID, ok := mg.g.NodeByName(ends[i])
+		if !ok {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("internal: endpoint %q not in graph", ends[i])
+			}
+			errMu.Unlock()
+			return
+		}
+		perModeSE := make([]map[sta.RelKey]relation.Set, len(mg.ctxs))
+		for m, ctx := range mg.ctxs {
+			perModeSE[m] = ctx.StartEndRelations(endID)
+		}
+		seGroupsPerEnd[i] = mg.gatherGroups(perModeSE, mg.mctx.StartEndRelations(endID))
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, seGroups := range seGroupsPerEnd {
+		for k, gs := range seGroups {
+			if classify(k, gs) {
+				pass3[sePair{k.Start, k.End}] = true
+			}
+		}
+	}
+
+	// Pass 3.
+	var pairs []sePair
+	for p := range pass3 {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].start != pairs[j].start {
+			return pairs[i].start < pairs[j].start
+		}
+		return pairs[i].end < pairs[j].end
+	})
+	for _, p := range pairs {
+		unresolved, err := mg.checkPass3(p.start, p.end, res)
+		if err != nil {
+			return nil, err
+		}
+		res.Unresolved = append(res.Unresolved, unresolved...)
+	}
+	return res, nil
+}
+
+// checkPass3 compares through-point relations for one pair, recording
+// matches/pessimism/optimism on res. Nodes that remain multi-state on
+// both sides after pass 3 are reported unresolved only when the sets
+// differ.
+func (mg *Merger) checkPass3(startName, endName string, res *EquivalenceResult) ([]string, error) {
+	startID, ok1 := mg.g.NodeByName(startName)
+	endID, ok2 := mg.g.NodeByName(endName)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("internal: pass-3 pair %s→%s not in graph", startName, endName)
+	}
+	perModeTR, mergedTR := mg.throughAll(startID, endID)
+	perMode := make([]map[graph.NodeID]map[sta.RelKey]relation.Set, len(mg.modes))
+	for m := range mg.ctxs {
+		perMode[m] = map[graph.NodeID]map[sta.RelKey]relation.Set{}
+		for _, tr := range perModeTR[m] {
+			mapped := map[sta.RelKey]relation.Set{}
+			for k, set := range tr.States {
+				mapped[mg.mapRelKey(m, k)] = set
+			}
+			perMode[m][tr.Node] = mapped
+		}
+	}
+	var unresolved []string
+	for _, tr := range mergedTR {
+		for k, mergedSet := range tr.States {
+			states := make([]relation.State, 0, len(mg.modes))
+			nodeAmbiguous := false
+			for m := range mg.modes {
+				var set relation.Set
+				if rels := perMode[m][tr.Node]; rels != nil {
+					set = rels[k]
+				}
+				if set.Empty() {
+					states = append(states, relation.StateFalse)
+					continue
+				}
+				st, single := set.Single()
+				if !single {
+					nodeAmbiguous = true
+					break
+				}
+				states = append(states, st)
+			}
+			ms, single := mergedSet.Single()
+			if nodeAmbiguous || !single {
+				// Reconvergent subclasses meet here; finer nodes resolve
+				// them. Only a leaf-level disagreement is unresolved, and
+				// those were counted at the nodes that stayed uniform.
+				continue
+			}
+			target := relation.MergeTarget(states)
+			switch {
+			case ms == target:
+				res.MatchedGroups++
+			case moreRelaxed(ms, target):
+				res.OptimisticMismatches = append(res.OptimisticMismatches,
+					fmt.Sprintf("%s -through %s-> %s [%s/%s %s]: individual=%s merged=%s",
+						startName, tr.Name, endName, k.Launch, k.Capture, k.Check,
+						target.String(), ms.String()))
+			default:
+				res.PessimisticGroups++
+			}
+		}
+	}
+	return unresolved, nil
+}

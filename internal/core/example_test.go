@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"modemerge/internal/core"
+	"modemerge/internal/gen"
+	"modemerge/internal/graph"
+	"modemerge/internal/sdc"
+)
+
+// ExampleMerge merges two modes of the paper's example circuit and prints
+// the corrective constraints the refinement inferred.
+func ExampleMerge() {
+	design := gen.PaperCircuit()
+	modeA, _, err := sdc.Parse("A", `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_false_path -to rX/D
+set_false_path -to rY/D
+set_false_path -through inv3/Z
+`, design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	modeB, _, err := sdc.Parse("B", `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_false_path -from rA/CP
+set_false_path -to rZ/D
+`, design)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	merged, report, err := core.Merge(design, []*sdc.Mode{modeA, modeB}, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged %q with %d inferred false paths\n", merged.Name, report.AddedFalsePaths)
+	for _, e := range merged.Exceptions {
+		fmt.Print(sdc.WriteException(e))
+	}
+	// Output:
+	// merged "A+B" with 3 inferred false paths
+	// set_false_path -to [get_pins {rX/D}] -comment "inferred by relationship refinement"
+	// set_false_path -from [get_pins {rA/CP}] -to [get_pins {rY/D}] -comment "inferred by relationship refinement"
+	// set_false_path -from [get_pins {rC/CP}] -through [get_pins {inv3/A}] -to [get_pins {rZ/D}] -comment "inferred by pass-3 refinement"
+}
+
+// ExampleCheckEquivalence validates a hand-written superset mode.
+func ExampleCheckEquivalence() {
+	design := gen.PaperCircuit()
+	g, err := graph.Build(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	individual, _, _ := sdc.Parse("ind", `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_max_delay 1 -to [get_pins rX/D]
+`, design)
+	// A "merged" mode that silently dropped the max_delay.
+	broken, _, _ := sdc.Parse("broken", `
+create_clock -name clkA -period 10 [get_ports clk1]
+`, design)
+	res, err := core.CheckEquivalence(g, []*sdc.Mode{individual}, broken, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sign-off safe:", res.Equivalent())
+	// Output:
+	// sign-off safe: false
+}
+
+// ExampleAnalyzeMergeability groups modes into merge cliques.
+func ExampleAnalyzeMergeability() {
+	design := gen.PaperCircuit()
+	g, err := graph.Build(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mk := func(name, tr string) *sdc.Mode {
+		m, _, err := sdc.Parse(name, `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_input_transition `+tr+` [get_ports in1]
+`, design)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+	modes := []*sdc.Mode{mk("fast1", "0.1"), mk("fast2", "0.1"), mk("slow", "0.9")}
+	mb, err := core.AnalyzeMergeability(g, modes, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, names := range mb.GroupNames(mb.Cliques()) {
+		fmt.Printf("M%d: %v\n", i+1, names)
+	}
+	// Output:
+	// M1: [fast1 fast2]
+	// M2: [slow]
+}

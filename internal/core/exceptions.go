@@ -1,0 +1,168 @@
+package core
+
+import (
+	"modemerge/internal/sdc"
+)
+
+// mapException clones an exception of mode m with its clock references
+// mapped into the merged namespace.
+func (mg *Merger) mapException(m int, e *sdc.Exception) *sdc.Exception {
+	c := e.Clone()
+	mapClocks := func(pl *sdc.PointList) {
+		for i, name := range pl.Clocks {
+			pl.Clocks[i] = mg.cmap.mapName(m, name)
+		}
+	}
+	if c.From != nil {
+		mapClocks(c.From)
+	}
+	if c.To != nil {
+		mapClocks(c.To)
+	}
+	return c
+}
+
+// mergeExceptions implements §3.1.9 and §3.1.10: exceptions present in
+// every mode join the merged mode directly; exceptions present in a subset
+// are uniquified by restricting their launch clocks to clocks that exist
+// only in that subset, or dropped (false paths are recovered exactly by
+// refinement; dropped relaxations make the merged mode pessimistic but
+// sign-off safe).
+func (mg *Merger) mergeExceptions() error {
+	type excInfo struct {
+		mapped  *sdc.Exception
+		inModes []int
+	}
+	byKey := map[string]*excInfo{}
+	var order []string
+	for m, mode := range mg.modes {
+		seenInMode := map[string]bool{}
+		for _, e := range mode.Exceptions {
+			me := mg.mapException(m, e)
+			key := me.Key()
+			if seenInMode[key] {
+				continue
+			}
+			seenInMode[key] = true
+			info := byKey[key]
+			if info == nil {
+				info = &excInfo{mapped: me}
+				byKey[key] = info
+				order = append(order, key)
+			}
+			info.inModes = append(info.inModes, m)
+		}
+	}
+	for _, key := range order {
+		info := byKey[key]
+		if len(info.inModes) == len(mg.modes) {
+			mg.merged.Exceptions = append(mg.merged.Exceptions, info.mapped)
+			continue
+		}
+		if uniq := mg.uniquify(info.mapped, info.inModes); uniq != nil {
+			mg.merged.Exceptions = append(mg.merged.Exceptions, uniq)
+			mg.Report.UniquifiedExceptions++
+			continue
+		}
+		switch info.mapped.Kind {
+		case sdc.MaxDelay, sdc.MinDelay:
+			// An explicit delay bound tightens checks: applying it to the
+			// other modes' paths is pessimistic but sign-off safe, while
+			// dropping it would be optimistic. Keep it.
+			mg.merged.Exceptions = append(mg.merged.Exceptions, info.mapped)
+			mg.Report.warnf("%s (line %d) exists only in a subset of modes and cannot be uniquified; "+
+				"keeping it applies the bound to all modes' paths (pessimistic)",
+				info.mapped.Kind, info.mapped.Line)
+		case sdc.MulticyclePath:
+			// Dropping a relaxation is pessimistic but safe; the
+			// refinement passes cannot restore it precisely.
+			mg.Report.DroppedExceptions++
+			mg.Report.warnf("%s (line %d) exists only in a subset of modes and cannot be uniquified; "+
+				"dropping it makes the merged mode pessimistic for its paths",
+				info.mapped.Kind, info.mapped.Line)
+		default:
+			// False paths are recovered exactly by the refinement passes.
+			mg.Report.DroppedExceptions++
+		}
+	}
+	return nil
+}
+
+// uniquify implements §3.1.10: restrict the exception to the launch clocks
+// its paths use in the modes that carry it. This is sound only when none
+// of those clocks exists in any mode that lacks the exception. The
+// original -from pins move into a leading -through group (the paper's
+// mode A′ rewrite), preserving behaviour within the carrying modes.
+func (mg *Merger) uniquify(e *sdc.Exception, inModes []int) *sdc.Exception {
+	inSet := map[int]bool{}
+	for _, m := range inModes {
+		inSet[m] = true
+	}
+
+	// Launch clocks used by the exception in the carrying modes, in the
+	// merged namespace.
+	launch := map[string]bool{}
+	for _, m := range inModes {
+		ctx := mg.ctxs[m]
+		switch {
+		case len(e.From.Clocks) > 0:
+			// Mapped from-clocks that exist in this mode.
+			for _, c := range e.From.Clocks {
+				if mg.cmap.existsIn(c, m) {
+					launch[c] = true
+				}
+			}
+		case len(e.From.Pins) > 0:
+			for _, pin := range e.From.Pins {
+				for _, local := range ctx.StartpointLaunchClocks(pin.Name) {
+					launch[mg.cmap.mapName(m, local)] = true
+				}
+			}
+		default:
+			// Unanchored from side: any clock of the mode can launch.
+			for _, local := range ctx.AllClockNames() {
+				launch[mg.cmap.mapName(m, local)] = true
+			}
+		}
+	}
+	if len(launch) == 0 {
+		return nil
+	}
+	// Soundness: none of those clocks may exist in a mode without the
+	// exception — otherwise the restricted exception would still hit that
+	// mode's valid paths.
+	for m := range mg.modes {
+		if inSet[m] {
+			continue
+		}
+		for c := range launch {
+			if mg.cmap.existsIn(c, m) {
+				return nil
+			}
+		}
+	}
+
+	uniq := e.Clone()
+	var clocks []string
+	for c := range launch {
+		clocks = append(clocks, c)
+	}
+	sortStrings(clocks)
+	// Move original -from pins into a leading through group, then anchor
+	// the from side on the clocks (a point list cannot mix a clock
+	// restriction with pins and keep AND semantics).
+	if len(uniq.From.Pins) > 0 {
+		lead := &sdc.PointList{Pins: uniq.From.Pins, Edge: uniq.From.Edge}
+		uniq.Throughs = append([]*sdc.PointList{lead}, uniq.Throughs...)
+	}
+	uniq.From = &sdc.PointList{Clocks: clocks}
+	return uniq
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

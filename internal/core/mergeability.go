@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"modemerge/internal/graph"
+	"modemerge/internal/sdc"
+)
+
+// NonMergeable explains why a mode pair cannot merge.
+type NonMergeable struct {
+	A, B   string
+	Reason string
+}
+
+// Mergeability is the result of the mock-merge analysis: the mergeability
+// graph of Figure 2.
+type Mergeability struct {
+	ModeNames []string
+	// Edge[i][j] reports that modes i and j are mergeable.
+	Edge [][]bool
+	// Conflicts lists the reasons for non-mergeable pairs.
+	Conflicts []NonMergeable
+}
+
+// AnalyzeMergeability performs the paper's mock run of preliminary mode
+// merging on every mode pair and builds the mergeability graph. A pair is
+// non-mergeable when corresponding clock-based constraints or drive/load
+// constraints disagree beyond the tolerance, or when the clock union
+// would force one mode's generated clock to conflict with another clock
+// of the same name and derivation point.
+func AnalyzeMergeability(g *graph.Graph, modes []*sdc.Mode, opt Options) (*Mergeability, error) {
+	opt = opt.withDefaults()
+	n := len(modes)
+	mb := &Mergeability{
+		ModeNames: make([]string, n),
+		Edge:      make([][]bool, n),
+	}
+	for i, m := range modes {
+		mb.ModeNames[i] = m.Name
+		mb.Edge[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			reason := mockMerge(modes[i], modes[j], opt.Tolerance)
+			if reason == "" {
+				mb.Edge[i][j] = true
+				mb.Edge[j][i] = true
+			} else {
+				mb.Conflicts = append(mb.Conflicts, NonMergeable{
+					A: modes[i].Name, B: modes[j].Name, Reason: reason})
+			}
+		}
+	}
+	return mb, nil
+}
+
+// mockMerge checks one pair; it returns "" when mergeable or the first
+// conflict found.
+func mockMerge(a, b *sdc.Mode, tol float64) string {
+	within := func(x, y float64) bool {
+		scale := math.Max(math.Abs(x), math.Abs(y))
+		return math.Abs(x-y) <= tol*scale
+	}
+
+	// Corresponding clocks: same sources + waveform → same merged clock.
+	// Their latency/uncertainty/transition values must agree within
+	// tolerance.
+	type clockVals struct {
+		latency, srcLatency, uncertainty, transition float64
+		hasLat, hasSrcLat, hasUnc, hasTr             bool
+	}
+	collect := func(m *sdc.Mode) map[string]*clockVals {
+		out := map[string]*clockVals{}
+		keyOf := map[string]string{} // local name → union key
+		for _, c := range m.Clocks {
+			key := c.SourceKey() + "|" + c.WaveformKey()
+			keyOf[c.Name] = key
+			out[key] = &clockVals{}
+		}
+		for _, l := range m.ClockLatencies {
+			for _, cn := range l.Clocks {
+				if v, ok := out[keyOf[cn]]; ok {
+					if l.Source {
+						v.srcLatency, v.hasSrcLat = l.Value, true
+					} else {
+						v.latency, v.hasLat = l.Value, true
+					}
+				}
+			}
+		}
+		for _, u := range m.ClockUncertainties {
+			for _, cn := range u.Clocks {
+				if v, ok := out[keyOf[cn]]; ok {
+					v.uncertainty, v.hasUnc = math.Max(v.uncertainty, u.Value), true
+				}
+			}
+		}
+		for _, tr := range m.ClockTransitions {
+			for _, cn := range tr.Clocks {
+				if v, ok := out[keyOf[cn]]; ok {
+					v.transition, v.hasTr = tr.Value, true
+				}
+			}
+		}
+		return out
+	}
+	va, vb := collect(a), collect(b)
+	for key, ca := range va {
+		cb, shared := vb[key]
+		if !shared {
+			continue
+		}
+		if ca.hasLat && cb.hasLat && !within(ca.latency, cb.latency) {
+			return fmt.Sprintf("clock latency differs beyond tolerance (%g vs %g)", ca.latency, cb.latency)
+		}
+		if ca.hasSrcLat && cb.hasSrcLat && !within(ca.srcLatency, cb.srcLatency) {
+			return fmt.Sprintf("source latency differs beyond tolerance (%g vs %g)", ca.srcLatency, cb.srcLatency)
+		}
+		if ca.hasUnc && cb.hasUnc && !within(ca.uncertainty, cb.uncertainty) {
+			return fmt.Sprintf("clock uncertainty differs beyond tolerance (%g vs %g)", ca.uncertainty, cb.uncertainty)
+		}
+		if ca.hasTr && cb.hasTr && !within(ca.transition, cb.transition) {
+			return fmt.Sprintf("clock transition differs beyond tolerance (%g vs %g)", ca.transition, cb.transition)
+		}
+	}
+
+	// Drive/load environment must agree within tolerance per port.
+	portVals := func(m *sdc.Mode) (tr, load, drive map[string]float64, cells map[string]string) {
+		tr, load, drive = map[string]float64{}, map[string]float64{}, map[string]float64{}
+		cells = map[string]string{}
+		for _, t := range m.InputTransitions {
+			for _, p := range t.Ports {
+				tr[p.Name] = t.Value
+			}
+		}
+		for _, l := range m.Loads {
+			for _, p := range l.Ports {
+				load[p.Name] = l.Value
+			}
+		}
+		for _, dc := range m.DrivingCells {
+			for _, p := range dc.Ports {
+				if dc.CellName != "" {
+					cells[p.Name] = dc.CellName
+				} else {
+					drive[p.Name] = dc.Resistance
+				}
+			}
+		}
+		return
+	}
+	trA, loadA, drvA, cellA := portVals(a)
+	trB, loadB, drvB, cellB := portVals(b)
+	for port, x := range trA {
+		if y, ok := trB[port]; ok && !within(x, y) {
+			return fmt.Sprintf("input transition on %s differs beyond tolerance (%g vs %g)", port, x, y)
+		}
+	}
+	for port, x := range loadA {
+		if y, ok := loadB[port]; ok && !within(x, y) {
+			return fmt.Sprintf("load on %s differs beyond tolerance (%g vs %g)", port, x, y)
+		}
+	}
+	for port, x := range drvA {
+		if y, ok := drvB[port]; ok && !within(x, y) {
+			return fmt.Sprintf("drive on %s differs beyond tolerance (%g vs %g)", port, x, y)
+		}
+	}
+	for port, x := range cellA {
+		if y, ok := cellB[port]; ok && x != y {
+			return fmt.Sprintf("driving cell on %s differs (%s vs %s)", port, x, y)
+		}
+	}
+	return ""
+}
+
+// Cliques greedily partitions the mergeability graph into maximal merge
+// groups (the paper uses a greedy algorithm "as the number of modes is
+// small"). Modes are seeded in input order; each clique greedily absorbs
+// every remaining mode adjacent to all current members.
+func (mb *Mergeability) Cliques() [][]int {
+	n := len(mb.ModeNames)
+	assigned := make([]bool, n)
+	var cliques [][]int
+	for i := 0; i < n; i++ {
+		if assigned[i] {
+			continue
+		}
+		clique := []int{i}
+		assigned[i] = true
+		for j := i + 1; j < n; j++ {
+			if assigned[j] {
+				continue
+			}
+			ok := true
+			for _, member := range clique {
+				if !mb.Edge[member][j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				clique = append(clique, j)
+				assigned[j] = true
+			}
+		}
+		cliques = append(cliques, clique)
+	}
+	return cliques
+}
+
+// GroupNames renders cliques as mode-name lists.
+func (mb *Mergeability) GroupNames(cliques [][]int) [][]string {
+	out := make([][]string, len(cliques))
+	for i, c := range cliques {
+		for _, m := range c {
+			out[i] = append(out[i], mb.ModeNames[m])
+		}
+	}
+	return out
+}
+
+// MergeAll analyzes mergeability, groups the modes into cliques and merges
+// each clique, returning one merged mode per clique (singleton cliques
+// pass the original mode through untouched).
+func MergeAll(g *graph.Graph, modes []*sdc.Mode, opt Options) ([]*sdc.Mode, []*Report, *Mergeability, error) {
+	mb, err := AnalyzeMergeability(g, modes, opt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cliques := mb.Cliques()
+	var out []*sdc.Mode
+	var reports []*Report
+	for _, clique := range cliques {
+		if len(clique) == 1 {
+			out = append(out, modes[clique[0]])
+			reports = append(reports, &Report{})
+			continue
+		}
+		group := make([]*sdc.Mode, len(clique))
+		for i, m := range clique {
+			group[i] = modes[m]
+		}
+		mg, err := newMergerWithGraph(g, group, opt)
+		if err != nil {
+			return nil, nil, mb, err
+		}
+		merged, err := mg.Merge()
+		if err != nil {
+			return nil, nil, mb, fmt.Errorf("merging %v: %w", mb.GroupNames([][]int{clique})[0], err)
+		}
+		out = append(out, merged)
+		reports = append(reports, mg.Report)
+	}
+	return out, reports, mb, nil
+}
+
+// FormatMergeability renders the mergeability graph as text (Figure 2
+// companion).
+func FormatMergeability(mb *Mergeability, cliques [][]int) string {
+	var b []byte
+	b = append(b, "Mergeability graph:\n"...)
+	for i, name := range mb.ModeNames {
+		adj := []string{}
+		for j := range mb.ModeNames {
+			if i != j && mb.Edge[i][j] {
+				adj = append(adj, mb.ModeNames[j])
+			}
+		}
+		sort.Strings(adj)
+		b = append(b, fmt.Sprintf("  %-12s -- %v\n", name, adj)...)
+	}
+	b = append(b, "Merge groups (greedy cliques):\n"...)
+	for i, names := range mb.GroupNames(cliques) {
+		b = append(b, fmt.Sprintf("  M%d: %v\n", i+1, names)...)
+	}
+	if len(mb.Conflicts) > 0 {
+		b = append(b, "Conflicts:\n"...)
+		for _, c := range mb.Conflicts {
+			b = append(b, fmt.Sprintf("  %s / %s: %s\n", c.A, c.B, c.Reason)...)
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"modemerge/internal/graph"
+	"modemerge/internal/sdc"
+)
+
+// NaiveMerge is the textual merged-mode baseline (in the spirit of the
+// DAC'09 user-track reference [4] the paper contrasts with): union of
+// clocks and external delays, intersection of cases, disables and
+// exceptions — but no mergeability tolerance handling, no exception
+// uniquification, no clock exclusivity inference and, crucially, no
+// timing-graph refinement. The result over-times paths that individual
+// modes disable (hurting conformity) and under-constrains nothing it can
+// detect. The benchmark harness uses it to quantify what the graph-based
+// method buys.
+func NaiveMerge(g *graph.Graph, modes []*sdc.Mode, opt Options) (*sdc.Mode, error) {
+	mg, err := newMergerWithGraph(g, modes, opt)
+	if err != nil {
+		return nil, err
+	}
+	mg.merged.Name += "_naive"
+	mg.unionClocks()
+	mg.mergeClockConstraints()
+	mg.unionIODelays()
+	// Intersections without the conflicting-case translation.
+	naiveIntersectCases(mg)
+	mg.intersectDisables()
+	mg.mergeDriveLoad()
+	// Exceptions: plain intersection, no uniquification.
+	type excCount struct {
+		mapped *sdc.Exception
+		n      int
+	}
+	byKey := map[string]*excCount{}
+	var order []string
+	for m, mode := range mg.modes {
+		seen := map[string]bool{}
+		for _, e := range mode.Exceptions {
+			me := mg.mapException(m, e)
+			key := me.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			c := byKey[key]
+			if c == nil {
+				c = &excCount{mapped: me}
+				byKey[key] = c
+				order = append(order, key)
+			}
+			c.n++
+		}
+	}
+	for _, key := range order {
+		if c := byKey[key]; c.n == len(mg.modes) {
+			mg.merged.Exceptions = append(mg.merged.Exceptions, c.mapped)
+		}
+	}
+	naiveClockExclusivity(mg)
+	return mg.merged, nil
+}
+
+// naiveClockExclusivity is the textual approximation of §3.1.7: merged
+// clocks are exclusive when they are never *defined* in the same mode —
+// no timing-graph activity analysis (a clock fully replaced by a
+// generated clock still "coexists" textually).
+func naiveClockExclusivity(mg *Merger) {
+	names := mg.cmap.order
+	n := len(names)
+	if n < 2 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			coexist := false
+			for m := range mg.modes {
+				if mg.cmap.existsIn(names[i], m) && mg.cmap.existsIn(names[j], m) {
+					coexist = true
+					break
+				}
+			}
+			if !coexist {
+				mg.merged.ClockGroups = append(mg.merged.ClockGroups, &sdc.ClockGroups{
+					Name:   fmt.Sprintf("naive_excl_%s_%s", names[i], names[j]),
+					Kind:   sdc.PhysicallyExclusive,
+					Groups: [][]string{{names[i]}, {names[j]}},
+				})
+			}
+		}
+	}
+}
+
+// naiveIntersectCases keeps only cases identical in every mode; conflicts
+// are silently dropped (no inferred disables).
+func naiveIntersectCases(mg *Merger) {
+	type info struct {
+		value   string
+		obj     sdc.ObjRef
+		n       int
+		consist bool
+	}
+	byObj := map[string]*info{}
+	var order []string
+	for _, mode := range mg.modes {
+		seen := map[string]bool{}
+		for _, ca := range mode.Cases {
+			for _, obj := range ca.Objects {
+				key := obj.String()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				in := byObj[key]
+				if in == nil {
+					in = &info{value: ca.Value.String(), obj: obj, consist: true}
+					byObj[key] = in
+					order = append(order, key)
+				} else if in.value != ca.Value.String() {
+					in.consist = false
+				}
+				in.n++
+			}
+		}
+	}
+	for _, key := range order {
+		in := byObj[key]
+		if in.n == len(mg.modes) && in.consist {
+			mg.merged.Cases = append(mg.merged.Cases, &sdc.CaseAnalysis{
+				Value: parseLogic(in.value), Objects: []sdc.ObjRef{in.obj}})
+		}
+	}
+}

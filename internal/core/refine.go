@@ -1,0 +1,934 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"modemerge/internal/graph"
+	"modemerge/internal/relation"
+	"modemerge/internal/sdc"
+	"modemerge/internal/sta"
+)
+
+// startEndAll computes pass-2 relations for every individual context and
+// the merged context concurrently (one goroutine per context; a context
+// is only ever used from one goroutine at a time).
+func (mg *Merger) startEndAll(endID graph.NodeID) (perMode []map[sta.RelKey]relation.Set, merged map[sta.RelKey]relation.Set) {
+	perMode = make([]map[sta.RelKey]relation.Set, len(mg.ctxs))
+	var wg sync.WaitGroup
+	for m, ctx := range mg.ctxs {
+		wg.Add(1)
+		go func(m int, ctx *sta.Context) {
+			defer wg.Done()
+			perMode[m] = ctx.StartEndRelations(endID)
+		}(m, ctx)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		merged = mg.mctx.StartEndRelations(endID)
+	}()
+	wg.Wait()
+	return perMode, merged
+}
+
+// throughAll computes pass-3 relations for every context concurrently.
+func (mg *Merger) throughAll(startID, endID graph.NodeID) (perMode [][]sta.ThroughRel, merged []sta.ThroughRel) {
+	perMode = make([][]sta.ThroughRel, len(mg.ctxs))
+	var wg sync.WaitGroup
+	for m, ctx := range mg.ctxs {
+		wg.Add(1)
+		go func(m int, ctx *sta.Context) {
+			defer wg.Done()
+			perMode[m] = ctx.ThroughRelations(startID, endID)
+		}(m, ctx)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		merged = mg.mctx.ThroughRelations(startID, endID)
+	}()
+	wg.Wait()
+	return perMode, merged
+}
+
+// forEachParallel runs fn(i) for i in [0,n) on a bounded worker pool.
+func forEachParallel(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// endpointAll computes pass-1 relations for every context concurrently.
+func (mg *Merger) endpointAll() (perMode []map[sta.RelKey]relation.Set, merged map[sta.RelKey]relation.Set) {
+	perMode = make([]map[sta.RelKey]relation.Set, len(mg.ctxs))
+	var wg sync.WaitGroup
+	for m, ctx := range mg.ctxs {
+		wg.Add(1)
+		go func(m int, ctx *sta.Context) {
+			defer wg.Done()
+			perMode[m] = ctx.EndpointRelations()
+		}(m, ctx)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		merged = mg.mctx.EndpointRelations()
+	}()
+	wg.Wait()
+	return perMode, merged
+}
+
+// clockRefinement implements §3.1.8: walk the merged clock network and
+// stop every clock at the first node where no individual mode propagates
+// it, emitting set_clock_sense -stop_propagation.
+func (mg *Merger) clockRefinement() error {
+	justify := func(node graph.NodeID, mergedClock string) bool {
+		for m, ctx := range mg.ctxs {
+			local := mg.cmap.localName(mergedClock, m)
+			if local == "" {
+				continue
+			}
+			for _, name := range ctx.ClockNamesAt(node) {
+				if name == local {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	frontiers := mg.mctx.ExtraClocks(justify)
+	for _, f := range frontiers {
+		pins := mg.nodeRefs(f.Nodes)
+		mg.merged.ClockSenses = append(mg.merged.ClockSenses, &sdc.ClockSense{
+			StopPropagation: true,
+			Clocks:          []string{f.Clock},
+			Pins:            pins,
+			Comment:         "inferred by clock refinement",
+		})
+		mg.Report.ClockStops += len(pins)
+	}
+	if len(frontiers) > 0 {
+		return mg.rebuildMerged()
+	}
+	return nil
+}
+
+// dataRefinement implements §3.2: first block launch clocks that no
+// individual mode produces (emitting scoped false paths), then run the
+// 3-pass timing-relationship comparison, adding corrective false paths
+// until the merged mode matches the per-path most-restrictive individual
+// behaviour.
+func (mg *Merger) dataRefinement() error {
+	if err := mg.blockExtraLaunchClocks(); err != nil {
+		return err
+	}
+	for iter := 0; iter < mg.opt.MaxRefineIterations; iter++ {
+		mg.Report.Iterations = iter + 1
+		added, err := mg.threePass()
+		if err != nil {
+			return err
+		}
+		if added == 0 {
+			return nil
+		}
+		if err := mg.rebuildMerged(); err != nil {
+			return err
+		}
+	}
+	mg.Report.warnf("refinement did not converge in %d iterations", mg.opt.MaxRefineIterations)
+	return nil
+}
+
+// blockExtraLaunchClocks is §3.2's first data refinement step, run at arc
+// granularity: a launch clock's data may cross an arc in the merged mode
+// only if it does so in at least one individual mode.
+func (mg *Merger) blockExtraLaunchClocks() error {
+	seedJustify := func(node graph.NodeID, mergedClock string) bool {
+		for m, ctx := range mg.ctxs {
+			local := mg.cmap.localName(mergedClock, m)
+			if local == "" {
+				continue
+			}
+			if ctx.HasLaunchClockAt(node, local) {
+				return true
+			}
+		}
+		return false
+	}
+	arcJustify := func(ai int32, mergedClock string) bool {
+		from := mg.g.Arc(ai).From
+		for m, ctx := range mg.ctxs {
+			local := mg.cmap.localName(mergedClock, m)
+			if local == "" {
+				continue
+			}
+			if !ctx.ArcDisabledAt(ai) && ctx.HasLaunchClockAt(from, local) {
+				return true
+			}
+		}
+		return false
+	}
+	frontiers := mg.mctx.ExtraLaunchFlows(seedJustify, arcJustify)
+	for _, f := range frontiers {
+		if len(f.Nodes) > 0 {
+			through := &sdc.PointList{Pins: mg.nodeRefs(f.Nodes)}
+			mg.merged.Exceptions = append(mg.merged.Exceptions, &sdc.Exception{
+				Kind:     sdc.FalsePath,
+				From:     &sdc.PointList{Clocks: []string{f.Clock}},
+				Throughs: []*sdc.PointList{through},
+				To:       &sdc.PointList{},
+				Comment:  "inferred by data refinement (unjustified launch clock)",
+			})
+			mg.Report.LaunchBlocks += len(f.Nodes)
+		}
+		for _, pair := range f.Arcs {
+			mg.merged.Exceptions = append(mg.merged.Exceptions, &sdc.Exception{
+				Kind: sdc.FalsePath,
+				From: &sdc.PointList{Clocks: []string{f.Clock}},
+				Throughs: []*sdc.PointList{
+					{Pins: mg.nodeRefs(pair[:1])},
+					{Pins: mg.nodeRefs(pair[1:])},
+				},
+				To:      &sdc.PointList{},
+				Comment: "inferred by data refinement (unjustified launch flow)",
+			})
+			mg.Report.LaunchBlocks++
+		}
+	}
+	if len(frontiers) > 0 {
+		return mg.rebuildMerged()
+	}
+	return nil
+}
+
+// nodeRefs converts graph nodes to pin/port references, sorted by name.
+func (mg *Merger) nodeRefs(nodes []graph.NodeID) []sdc.ObjRef {
+	refs := make([]sdc.ObjRef, 0, len(nodes))
+	for _, n := range nodes {
+		node := mg.g.Node(n)
+		kind := sdc.PinObj
+		if node.Port != nil {
+			kind = sdc.PortObj
+		}
+		refs = append(refs, sdc.ObjRef{Kind: kind, Name: node.Name})
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Name < refs[j].Name })
+	return refs
+}
+
+// groupStates is the per-path-group comparison input: the per-mode state
+// sets (merged clock namespace) and the merged mode's state set.
+type groupStates struct {
+	perMode []relation.Set // indexed by mode; zero set = group absent
+	merged  relation.Set
+}
+
+// mergedTimes reports whether the merged mode actually times the group
+// (non-empty and not purely false).
+func mergedTimes(gs *groupStates) bool {
+	return !gs.merged.Empty() && !gs.merged.Equal(relation.NewSet(relation.StateFalse))
+}
+
+// target computes the merged-target state set: for singleton per-mode
+// sets, the most restrictive state across modes (absent = not timed =
+// false). Multi-state mode sets make the group ambiguous (nil, false).
+func (gs *groupStates) target() (relation.Set, bool) {
+	states := make([]relation.State, 0, len(gs.perMode))
+	for _, set := range gs.perMode {
+		if set.Empty() {
+			states = append(states, relation.StateFalse)
+			continue
+		}
+		st, single := set.Single()
+		if !single {
+			return relation.Set{}, false
+		}
+		states = append(states, st)
+	}
+	return relation.NewSet(relation.MergeTarget(states)), true
+}
+
+// mapRelKey rewrites a mode-local relation key into the merged clock
+// namespace.
+func (mg *Merger) mapRelKey(m int, k sta.RelKey) sta.RelKey {
+	k.Launch = mg.cmap.mapName(m, k.Launch)
+	k.Capture = mg.cmap.mapName(m, k.Capture)
+	return k
+}
+
+// gatherGroups aligns relation maps of all modes and the merged mode.
+func (mg *Merger) gatherGroups(perMode []map[sta.RelKey]relation.Set, merged map[sta.RelKey]relation.Set) map[sta.RelKey]*groupStates {
+	out := map[sta.RelKey]*groupStates{}
+	get := func(k sta.RelKey) *groupStates {
+		gs := out[k]
+		if gs == nil {
+			gs = &groupStates{perMode: make([]relation.Set, len(mg.modes))}
+			out[k] = gs
+		}
+		return gs
+	}
+	for m, rels := range perMode {
+		for k, set := range rels {
+			mk := mg.mapRelKey(m, k)
+			gs := get(mk)
+			gs.perMode[m].AddSet(set)
+		}
+	}
+	for k, set := range merged {
+		get(k).merged = set
+	}
+	return out
+}
+
+// threePass runs passes 1–3 of §3.2 once, emitting corrective false
+// paths; it returns how many constraints were added.
+func (mg *Merger) threePass() (int, error) {
+	added := 0
+
+	// ---- Pass 1: endpoint granularity ----
+	perMode, mergedRels := mg.endpointAll()
+	groups := mg.gatherGroups(perMode, mergedRels)
+
+	// Ambiguous endpoints to forward to pass 2, deduplicated.
+	pass2 := map[string]bool{}
+	var p1Fixes []fixEntry
+	for key, gs := range groups {
+		target, ok := gs.target()
+		if !ok {
+			mg.Report.Pass1Ambiguous++
+			pass2[key.End] = true
+			continue
+		}
+		switch relation.Compare(target, gs.merged) {
+		case relation.Match:
+		case relation.Mismatch:
+			mg.Report.Pass1Mismatch++
+			if f, ok := fixFor(key, target, gs.merged); ok {
+				p1Fixes = append(p1Fixes, f)
+			} else {
+				mg.Report.PessimisticGroups++
+			}
+		case relation.Ambiguous:
+			mg.Report.Pass1Ambiguous++
+			pass2[key.End] = true
+		}
+	}
+	added += mg.emitFixes(p1Fixes, groups)
+
+	// ---- Pass 2: startpoint–endpoint granularity ----
+	var pass2Ends []string
+	for end := range pass2 {
+		pass2Ends = append(pass2Ends, end)
+	}
+	sort.Strings(pass2Ends)
+	type sePair struct{ start, end string }
+	pass3 := map[sePair]bool{}
+	// Per-endpoint relations compute in parallel (contexts are safe for
+	// concurrent relation queries); comparison stays sequential and
+	// deterministic. Fixes and groups accumulate across endpoints so the
+	// emission step can aggregate clock-pair kills into few constraints
+	// (keys are unique per endpoint, so merging the maps is safe).
+	seGroupsPerEnd := make([]map[sta.RelKey]*groupStates, len(pass2Ends))
+	var firstErr error
+	var errMu sync.Mutex
+	forEachParallel(len(pass2Ends), func(i int) {
+		endID, ok := mg.g.NodeByName(pass2Ends[i])
+		if !ok {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("internal: endpoint %q not in graph", pass2Ends[i])
+			}
+			errMu.Unlock()
+			return
+		}
+		perModeSE := make([]map[sta.RelKey]relation.Set, len(mg.ctxs))
+		for m, ctx := range mg.ctxs {
+			perModeSE[m] = ctx.StartEndRelations(endID)
+		}
+		seGroupsPerEnd[i] = mg.gatherGroups(perModeSE, mg.mctx.StartEndRelations(endID))
+	})
+	if firstErr != nil {
+		return added, firstErr
+	}
+	allSEGroups := map[sta.RelKey]*groupStates{}
+	var p2Fixes []fixEntry
+	for _, seGroups := range seGroupsPerEnd {
+		for key, gs := range seGroups {
+			allSEGroups[key] = gs
+			target, ok := gs.target()
+			if !ok {
+				mg.Report.Pass2Ambiguous++
+				pass3[sePair{key.Start, key.End}] = true
+				continue
+			}
+			switch relation.Compare(target, gs.merged) {
+			case relation.Match:
+			case relation.Mismatch:
+				mg.Report.Pass2Mismatch++
+				if f, ok := fixFor(key, target, gs.merged); ok {
+					p2Fixes = append(p2Fixes, f)
+				} else {
+					mg.Report.PessimisticGroups++
+				}
+			case relation.Ambiguous:
+				mg.Report.Pass2Ambiguous++
+				pass3[sePair{key.Start, key.End}] = true
+			}
+		}
+	}
+	added += mg.emitFixes(p2Fixes, allSEGroups)
+
+	// ---- Pass 3: through-point granularity ----
+	var pairs []sePair
+	for p := range pass3 {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].start != pairs[j].start {
+			return pairs[i].start < pairs[j].start
+		}
+		return pairs[i].end < pairs[j].end
+	})
+	// Relations per pair compute in parallel; comparison and constraint
+	// emission stay sequential and deterministic.
+	type p3data struct {
+		perMode [][]sta.ThroughRel
+		merged  []sta.ThroughRel
+		err     error
+	}
+	data := make([]p3data, len(pairs))
+	forEachParallel(len(pairs), func(i int) {
+		startID, ok1 := mg.g.NodeByName(pairs[i].start)
+		endID, ok2 := mg.g.NodeByName(pairs[i].end)
+		if !ok1 || !ok2 {
+			data[i].err = fmt.Errorf("internal: pass-3 pair %s→%s not in graph", pairs[i].start, pairs[i].end)
+			return
+		}
+		perMode := make([][]sta.ThroughRel, len(mg.ctxs))
+		for m, ctx := range mg.ctxs {
+			perMode[m] = ctx.ThroughRelations(startID, endID)
+		}
+		data[i] = p3data{perMode: perMode, merged: mg.mctx.ThroughRelations(startID, endID)}
+	})
+	for i, p := range pairs {
+		if data[i].err != nil {
+			return added, data[i].err
+		}
+		n, err := mg.pass3(p.start, p.end, data[i].perMode, data[i].merged)
+		if err != nil {
+			return added, err
+		}
+		added += n
+	}
+	return added, nil
+}
+
+// fixEntry is one corrective constraint request: a mismatching path group
+// plus the target state the merged mode must be brought to (StateFalse →
+// a false path, Multicycle → a multicycle path, Max/MinDelay → a delay
+// bound).
+type fixEntry struct {
+	key   sta.RelKey
+	state relation.State
+}
+
+// fixFor decides whether a pass-1/2 mismatch is correctable. Two cases
+// get a corrective constraint:
+//
+//   - the target is false (the merged mode times paths no mode times —
+//     the paper's accuracy fix, a corrective false path), or
+//   - the merged state relaxes the target (e.g. a kept MCP(3) where one
+//     mode demands MCP(2) — a sign-off safety fix, a corrective
+//     exception of the target state).
+//
+// Remaining differences leave the merged mode tighter than needed, which
+// is sign-off safe and only counted.
+func fixFor(key sta.RelKey, target, merged relation.Set) (fixEntry, bool) {
+	ts, ok1 := target.Single()
+	ms, ok2 := merged.Single()
+	if !ok1 || !ok2 {
+		return fixEntry{}, false
+	}
+	if ts != relation.StateFalse && !relation.Relaxed(ms, ts) {
+		return fixEntry{}, false
+	}
+	return fixEntry{key: key, state: ts}, true
+}
+
+// fixException builds the corrective exception skeleton for a target
+// state and check side.
+func fixException(state relation.State, check relation.CheckType) *sdc.Exception {
+	e := &sdc.Exception{From: &sdc.PointList{}, To: &sdc.PointList{},
+		Comment: "inferred by relationship refinement", Multiplier: 1}
+	switch state.Kind {
+	case relation.Multicycle:
+		e.Kind = sdc.MulticyclePath
+		e.Multiplier = state.Mult
+	case relation.MaxDelayK:
+		e.Kind = sdc.MaxDelay
+		e.Value = state.Value
+	case relation.MinDelayK:
+		e.Kind = sdc.MinDelay
+		e.Value = state.Value
+	default:
+		e.Kind = sdc.FalsePath
+	}
+	switch check {
+	case relation.Setup:
+		e.SetupHold = sdc.MaxOnly
+	case relation.Hold:
+		e.SetupHold = sdc.MinOnly
+	}
+	return e
+}
+
+// emitFixes turns mismatch entries into corrective constraints, keeping
+// the output compact without ever widening a constraint beyond its fixed
+// path groups:
+//
+//   - Entries sharing (launch, capture, check, target state) aggregate
+//     into one exception -from [launch] -through {startpoints} -through
+//     {endpoints} -to [capture] when the fixed set is the full
+//     startpoints×endpoints cartesian product; otherwise one exception
+//     per startpoint carries exactly its endpoints.
+//   - Pass-1 entries (start "*") aggregate over endpoints only.
+//   - Corrective setup and hold twins collapse into one unrestricted
+//     exception (see addFalsePath).
+func (mg *Merger) emitFixes(fixes []fixEntry, groups map[sta.RelKey]*groupStates) int {
+	if len(fixes) == 0 {
+		return 0
+	}
+
+	// Step 1: when every (launch, capture) pair the merged mode times
+	// between one start and one end mismatches with the same false
+	// target, one unscoped false path covers the whole group — the
+	// paper's "set_false_path -to rX/D" CSTR1 form. The check is safe
+	// here because `groups` contains every pair of the group.
+	type groupID struct{ start, end string }
+	fixedKeys := map[sta.RelKey]bool{}
+	for _, f := range fixes {
+		fixedKeys[f.key] = true
+	}
+	groupOK := map[groupID]bool{}
+	for _, f := range fixes {
+		if f.state == relation.StateFalse {
+			groupOK[groupID{f.key.Start, f.key.End}] = true
+		}
+	}
+	// One pass over all groups: any validly timed, unfixed pair disables
+	// its (start, end) group.
+	for gk, gs := range groups {
+		gid := groupID{gk.Start, gk.End}
+		if ok, interesting := groupOK[gid]; !interesting || !ok {
+			continue
+		}
+		if gs.merged.Empty() {
+			continue
+		}
+		if !fixedKeys[gk] && !gs.merged.Equal(relation.NewSet(relation.StateFalse)) {
+			groupOK[gid] = false
+		}
+	}
+	added := 0
+	var rest []fixEntry
+	emittedGroup := map[groupID]bool{}
+	for _, f := range fixes {
+		gid := groupID{f.key.Start, f.key.End}
+		if f.state == relation.StateFalse && groupOK[gid] {
+			if !emittedGroup[gid] {
+				emittedGroup[gid] = true
+				e := &sdc.Exception{
+					Kind:    sdc.FalsePath,
+					From:    &sdc.PointList{},
+					To:      &sdc.PointList{Pins: []sdc.ObjRef{mg.objRefFor(gid.end)}},
+					Comment: "inferred by relationship refinement",
+				}
+				if gid.start != "*" && gid.start != "" {
+					e.From = &sdc.PointList{Pins: []sdc.ObjRef{mg.objRefFor(gid.start)}}
+				}
+				mg.addFalsePath(e)
+				added++
+			}
+			continue
+		}
+		rest = append(rest, f)
+	}
+	fixes = rest
+	if len(fixes) == 0 {
+		return added
+	}
+	type aggKey struct {
+		launch, capture string
+		check           relation.CheckType
+		state           relation.State
+	}
+	byAgg := map[aggKey][]fixEntry{}
+	var order []aggKey
+	for _, f := range fixes {
+		k := aggKey{f.key.Launch, f.key.Capture, f.key.Check, f.state}
+		if _, seen := byAgg[k]; !seen {
+			order = append(order, k)
+		}
+		byAgg[k] = append(byAgg[k], f)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.launch != b.launch {
+			return a.launch < b.launch
+		}
+		if a.capture != b.capture {
+			return a.capture < b.capture
+		}
+		if a.check != b.check {
+			return a.check < b.check
+		}
+		return a.state.String() < b.state.String()
+	})
+
+	emit := func(k aggKey, starts, ends []string) {
+		e := fixException(k.state, k.check)
+		e.From = &sdc.PointList{Clocks: []string{k.launch}}
+		e.To = &sdc.PointList{Clocks: []string{k.capture}}
+		if len(starts) > 0 {
+			refs := make([]sdc.ObjRef, 0, len(starts))
+			for _, s := range starts {
+				refs = append(refs, mg.objRefFor(s))
+			}
+			e.Throughs = append(e.Throughs, &sdc.PointList{Pins: refs})
+		}
+		refs := make([]sdc.ObjRef, 0, len(ends))
+		for _, s := range ends {
+			refs = append(refs, mg.objRefFor(s))
+		}
+		e.Throughs = append(e.Throughs, &sdc.PointList{Pins: refs})
+		mg.addFalsePath(e)
+		added++
+	}
+
+	for _, k := range order {
+		entries := byAgg[k]
+		starts := map[string]bool{}
+		ends := map[string]bool{}
+		pairs := map[[2]string]bool{}
+		for _, f := range entries {
+			start := f.key.Start
+			if start == "*" {
+				start = ""
+			}
+			starts[start] = true
+			ends[f.key.End] = true
+			pairs[[2]string{start, f.key.End}] = true
+		}
+		sortedKeys := func(m map[string]bool) []string {
+			out := make([]string, 0, len(m))
+			for s := range m {
+				out = append(out, s)
+			}
+			sort.Strings(out)
+			return out
+		}
+		ss, es := sortedKeys(starts), sortedKeys(ends)
+		// Cartesian closure: a pair absent from the fixes may still be
+		// safely covered when its path group either has no live paths
+		// (constraining nothing is harmless) or is already false in the
+		// merged mode. Only pairs the merged mode validly times exclude
+		// their startpoint from the aggregate.
+		closureSafe := func(s, e string) bool {
+			if pairs[[2]string{s, e}] {
+				return true
+			}
+			start := s
+			if start == "" {
+				start = "*"
+			}
+			gk := sta.RelKey{Start: start, End: e, Launch: k.launch, Capture: k.capture, Check: k.check}
+			gs, exists := groups[gk]
+			if !exists {
+				return true // no such path group
+			}
+			return fixedKeys[gk] || !mergedTimes(gs)
+		}
+		var aggStarts, soloStarts []string
+		for _, s := range ss {
+			ok := true
+			for _, e := range es {
+				if !closureSafe(s, e) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				aggStarts = append(aggStarts, s)
+			} else {
+				soloStarts = append(soloStarts, s)
+			}
+		}
+		if len(aggStarts) > 0 {
+			if len(aggStarts) == 1 && aggStarts[0] == "" {
+				emit(k, nil, es)
+			} else {
+				emit(k, aggStarts, es)
+			}
+		}
+		// Startpoints with a validly timed pair keep exactly their own
+		// endpoints, grouped by identical endpoint signature.
+		bySig := map[string][]string{}
+		sigEnds := map[string][]string{}
+		var sigOrder []string
+		for _, s := range soloStarts {
+			var myEnds []string
+			for _, e := range es {
+				if pairs[[2]string{s, e}] {
+					myEnds = append(myEnds, e)
+				}
+			}
+			sig := strings.Join(myEnds, "\x00")
+			if _, seen := bySig[sig]; !seen {
+				sigOrder = append(sigOrder, sig)
+				sigEnds[sig] = myEnds
+			}
+			bySig[sig] = append(bySig[sig], s)
+		}
+		for _, sig := range sigOrder {
+			group := bySig[sig]
+			if len(group) == 1 && group[0] == "" {
+				emit(k, nil, sigEnds[sig])
+			} else {
+				emit(k, group, sigEnds[sig])
+			}
+		}
+	}
+	return added
+}
+
+// addFalsePath appends an inferred false path, first merging it with an
+// existing setup/hold twin into a single both-sides exception.
+func (mg *Merger) addFalsePath(e *sdc.Exception) {
+	if e.SetupHold != sdc.MinMaxBoth {
+		twin := e.Clone()
+		if e.SetupHold == sdc.MaxOnly {
+			twin.SetupHold = sdc.MinOnly
+		} else {
+			twin.SetupHold = sdc.MaxOnly
+		}
+		twinKey := twin.Key()
+		for i, have := range mg.merged.Exceptions {
+			if have.Key() == twinKey {
+				both := e.Clone()
+				both.SetupHold = sdc.MinMaxBoth
+				mg.merged.Exceptions[i] = both
+				return
+			}
+		}
+	}
+	mg.merged.Exceptions = append(mg.merged.Exceptions, e)
+	mg.Report.AddedFalsePaths++
+}
+
+// pass3 refines one ambiguous (start, end) pair at through-point
+// granularity.
+func (mg *Merger) pass3(startName, endName string, perModeTR [][]sta.ThroughRel, mergedRels []sta.ThroughRel) (int, error) {
+	startID, ok1 := mg.g.NodeByName(startName)
+	endID, ok2 := mg.g.NodeByName(endName)
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("internal: pass-3 pair %s→%s not in graph", startName, endName)
+	}
+	// Through relations per mode and merged, indexed by node.
+	type nodeStates struct {
+		perMode []map[sta.RelKey]relation.Set
+		merged  map[sta.RelKey]relation.Set
+		modeAmb []bool
+		mergAmb bool
+	}
+	byNode := map[graph.NodeID]*nodeStates{}
+	get := func(n graph.NodeID) *nodeStates {
+		ns := byNode[n]
+		if ns == nil {
+			ns = &nodeStates{perMode: make([]map[sta.RelKey]relation.Set, len(mg.modes)),
+				modeAmb: make([]bool, len(mg.modes))}
+			byNode[n] = ns
+		}
+		return ns
+	}
+	for m := range mg.ctxs {
+		for _, tr := range perModeTR[m] {
+			ns := get(tr.Node)
+			mapped := map[sta.RelKey]relation.Set{}
+			for k, set := range tr.States {
+				mapped[mg.mapRelKey(m, k)] = set
+			}
+			ns.perMode[m] = mapped
+			ns.modeAmb[m] = tr.Ambiguous
+		}
+	}
+	for _, tr := range mergedRels {
+		ns := get(tr.Node)
+		ns.merged = tr.States
+		ns.mergAmb = tr.Ambiguous
+	}
+
+	// Walk cone nodes in topological order; collect the frontier of
+	// mismatching nodes (not dominated by an already-chosen node) per
+	// (launch, capture, check).
+	cone := mg.g.ConeBetween(startID, endID)
+	type fixKey struct {
+		launch, capture string
+		check           relation.CheckType
+		state           relation.State
+	}
+	chosen := map[fixKey][]graph.NodeID{}
+	var chosenOrder []fixKey
+	covered := map[fixKey][]bool{} // per key: nodes already downstream of a fix
+	// Clock pairs the merged mode times anywhere in this cone; when only
+	// one exists, emitted false paths can skip the clock scoping.
+	allPairs := map[[2]string]bool{}
+
+	markCovered := func(k fixKey, n graph.NodeID) {
+		reach := mg.g.ForwardReach([]graph.NodeID{n})
+		cov := covered[k]
+		if cov == nil {
+			cov = make([]bool, mg.g.NumNodes())
+			covered[k] = cov
+		}
+		for i, r := range reach {
+			if r {
+				cov[i] = true
+			}
+		}
+	}
+
+	for _, n := range cone {
+		if n == startID || n == endID {
+			continue
+		}
+		ns := byNode[n]
+		if ns == nil {
+			continue
+		}
+		// Align keys across modes and merged for this node.
+		keys := map[sta.RelKey]bool{}
+		for _, rels := range ns.perMode {
+			for k := range rels {
+				keys[k] = true
+			}
+		}
+		for k := range ns.merged {
+			keys[k] = true
+		}
+		for k := range keys {
+			covKey := fixKey{launch: k.Launch, capture: k.Capture, check: k.Check}
+			if ns.merged != nil && !ns.merged[k].Empty() {
+				allPairs[[2]string{k.Launch, k.Capture}] = true
+			}
+			if cov := covered[covKey]; cov != nil && cov[n] {
+				continue
+			}
+			// Target over modes at this node.
+			states := make([]relation.State, 0, len(mg.modes))
+			ambiguous := false
+			for m := range mg.modes {
+				var set relation.Set
+				if ns.perMode[m] != nil {
+					set = ns.perMode[m][k]
+				}
+				if set.Empty() {
+					states = append(states, relation.StateFalse)
+					continue
+				}
+				st, single := set.Single()
+				if !single {
+					ambiguous = true
+					break
+				}
+				states = append(states, st)
+			}
+			if ambiguous || ns.mergAmb {
+				continue // finer than pass 3; no fix at this node
+			}
+			target := relation.MergeTarget(states)
+			var mergedSet relation.Set
+			if ns.merged != nil {
+				mergedSet = ns.merged[k]
+			}
+			if mergedSet.Empty() {
+				continue // merged does not time these paths
+			}
+			ms, single := mergedSet.Single()
+			if !single {
+				continue // reconverging subclasses; a later node resolves them
+			}
+			if ms == target {
+				continue
+			}
+			if target != relation.StateFalse && !relation.Relaxed(ms, target) {
+				mg.Report.PessimisticGroups++
+				continue
+			}
+			// False target or relaxed mismatch: constrain paths through
+			// this node to the target state.
+			mg.Report.Pass3Mismatch++
+			fk := fixKey{k.Launch, k.Capture, k.Check, target}
+			if len(chosen[fk]) == 0 {
+				chosenOrder = append(chosenOrder, fk)
+			}
+			chosen[fk] = append(chosen[fk], n)
+			markCovered(covKey, n)
+		}
+	}
+
+	added := 0
+	for _, fk := range chosenOrder {
+		nodes := chosen[fk]
+		e := fixException(fk.state, fk.check)
+		e.Comment = "inferred by pass-3 refinement"
+		e.From = &sdc.PointList{Pins: []sdc.ObjRef{mg.objRefFor(startName)}}
+		e.Throughs = []*sdc.PointList{{Pins: mg.nodeRefs(nodes)}}
+		e.To = &sdc.PointList{Pins: []sdc.ObjRef{mg.objRefFor(endName)}}
+		if len(allPairs) > 1 {
+			// Several clock pairs share the cone: keep the fix scoped to
+			// its own launch/capture clocks (pins move into throughs).
+			e.Throughs = append([]*sdc.PointList{{Pins: e.From.Pins}}, e.Throughs...)
+			e.Throughs = append(e.Throughs, &sdc.PointList{Pins: e.To.Pins})
+			e.From = &sdc.PointList{Clocks: []string{fk.launch}}
+			e.To = &sdc.PointList{Clocks: []string{fk.capture}}
+		}
+		mg.addFalsePath(e)
+		added++
+	}
+	return added, nil
+}
+
+// objRefFor builds a pin or port reference for a flat name.
+func (mg *Merger) objRefFor(name string) sdc.ObjRef {
+	if mg.design.PortByName(name) != nil {
+		return sdc.ObjRef{Kind: sdc.PortObj, Name: name}
+	}
+	return sdc.ObjRef{Kind: sdc.PinObj, Name: name}
+}

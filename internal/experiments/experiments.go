@@ -1,0 +1,364 @@
+// Package experiments reproduces the paper's evaluation: Table 5 (mode
+// reduction and merging runtime on designs A–F), Table 6 (STA runtime with
+// individual vs merged modes and endpoint-slack conformity), the Figure 2
+// mergeability graph, and two ablations (naive textual merging, worker
+// scaling). Both cmd/tables and the root benchmark suite drive it.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"modemerge/internal/core"
+	"modemerge/internal/gen"
+	"modemerge/internal/graph"
+	"modemerge/internal/sdc"
+	"modemerge/internal/sta"
+)
+
+// DesignCase is one row of the paper's evaluation: a synthetic design
+// shaped like the corresponding industrial design plus its mode family.
+type DesignCase struct {
+	Label string
+	// PaperMCells is the size column of Table 5 (millions of cells) —
+	// reproduced at a scaled-down cell count.
+	PaperMCells float64
+	// PaperModes / PaperMerged are Table 5's mode counts, mirrored by the
+	// generated family structure.
+	PaperModes  int
+	PaperMerged int
+	Spec        gen.DesignSpec
+	Family      gen.FamilySpec
+}
+
+// PaperDesigns returns the six design cases of Tables 5/6. scale ≥ 1
+// multiplies the register count per stage (and so roughly the cell
+// count); scale 1 keeps the suite laptop-sized while preserving the
+// relative sizes 0.2 : 0.2 : 0.3 : 1.4 : 1.6 : 2.8.
+func PaperDesigns(scale float64) []DesignCase {
+	if scale <= 0 {
+		scale = 1
+	}
+	regs := func(base int) int {
+		n := int(math.Round(float64(base) * scale))
+		if n < 2 {
+			n = 2
+		}
+		return n
+	}
+	groups := func(sizes ...int) gen.FamilySpec {
+		return gen.FamilySpec{Groups: len(sizes), ModesPerGroup: sizes, BasePeriod: 2}
+	}
+	// Design A: 95 modes in 16 merge groups (15×6 + 1×5).
+	aSizes := make([]int, 16)
+	for i := range aSizes {
+		aSizes[i] = 6
+	}
+	aSizes[15] = 5
+	return []DesignCase{
+		{
+			Label: "A", PaperMCells: 0.2, PaperModes: 95, PaperMerged: 16,
+			Spec: gen.DesignSpec{Name: "designA", Seed: 0xA, Domains: 2, BlocksPerDomain: 2,
+				Stages: 4, RegsPerStage: regs(10), CloudDepth: 3, CrossPaths: 4},
+			Family: groups(aSizes...),
+		},
+		{
+			Label: "B", PaperMCells: 0.2, PaperModes: 3, PaperMerged: 1,
+			Spec: gen.DesignSpec{Name: "designB", Seed: 0xB, Domains: 2, BlocksPerDomain: 2,
+				Stages: 4, RegsPerStage: regs(10), CloudDepth: 3, CrossPaths: 4},
+			Family: groups(3),
+		},
+		{
+			Label: "C", PaperMCells: 0.3, PaperModes: 12, PaperMerged: 1,
+			Spec: gen.DesignSpec{Name: "designC", Seed: 0xC, Domains: 2, BlocksPerDomain: 3,
+				Stages: 4, RegsPerStage: regs(12), CloudDepth: 3, CrossPaths: 4},
+			Family: groups(12),
+		},
+		{
+			Label: "D", PaperMCells: 1.4, PaperModes: 3, PaperMerged: 1,
+			Spec: gen.DesignSpec{Name: "designD", Seed: 0xD, Domains: 3, BlocksPerDomain: 3,
+				Stages: 5, RegsPerStage: regs(24), CloudDepth: 4, CrossPaths: 6},
+			Family: groups(3),
+		},
+		{
+			Label: "E", PaperMCells: 1.6, PaperModes: 5, PaperMerged: 1,
+			Spec: gen.DesignSpec{Name: "designE", Seed: 0xE, Domains: 3, BlocksPerDomain: 3,
+				Stages: 5, RegsPerStage: regs(27), CloudDepth: 4, CrossPaths: 6},
+			Family: groups(5),
+		},
+		{
+			Label: "F", PaperMCells: 2.8, PaperModes: 3, PaperMerged: 2,
+			Spec: gen.DesignSpec{Name: "designF", Seed: 0xF, Domains: 4, BlocksPerDomain: 3,
+				Stages: 6, RegsPerStage: regs(30), CloudDepth: 4, CrossPaths: 8},
+			Family: groups(2, 1),
+		},
+	}
+}
+
+// Prepared holds a generated design with its parsed modes, ready for
+// merging and STA.
+type Prepared struct {
+	Case  DesignCase
+	Gen   *gen.Generated
+	Graph *graph.Graph
+	Modes []*sdc.Mode
+	Cells int
+}
+
+// Prepare generates the design and parses every mode of the family.
+func Prepare(c DesignCase) (*Prepared, error) {
+	g, err := gen.Generate(c.Spec)
+	if err != nil {
+		return nil, err
+	}
+	tg, err := graph.Build(g.Design)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{Case: c, Gen: g, Graph: tg, Cells: g.Design.Stats().Cells}
+	for _, ms := range g.Modes(c.Family) {
+		mode, _, err := sdc.Parse(ms.Name, ms.Text, g.Design)
+		if err != nil {
+			return nil, fmt.Errorf("design %s mode %s: %w", c.Label, ms.Name, err)
+		}
+		p.Modes = append(p.Modes, mode)
+	}
+	return p, nil
+}
+
+// Table5Row is one row of Table 5.
+type Table5Row struct {
+	Design       string
+	Cells        int
+	Individual   int
+	Merged       int
+	ReductionPct float64
+	MergeTime    time.Duration
+}
+
+// MergeResult carries the merged modes forward into Table 6.
+type MergeResult struct {
+	Prepared *Prepared
+	Merged   []*sdc.Mode
+	Reports  []*core.Report
+	Mb       *core.Mergeability
+	Row      Table5Row
+}
+
+// RunTable5 merges a prepared design's modes and measures the reduction
+// and merge runtime.
+func RunTable5(p *Prepared, opt core.Options) (*MergeResult, error) {
+	start := time.Now()
+	merged, reports, mb, err := core.MergeAll(p.Graph, p.Modes, opt)
+	if err != nil {
+		return nil, fmt.Errorf("design %s: %w", p.Case.Label, err)
+	}
+	elapsed := time.Since(start)
+	row := Table5Row{
+		Design:     p.Case.Label,
+		Cells:      p.Cells,
+		Individual: len(p.Modes),
+		Merged:     len(merged),
+		MergeTime:  elapsed,
+	}
+	row.ReductionPct = 100 * float64(row.Individual-row.Merged) / float64(row.Individual)
+	return &MergeResult{Prepared: p, Merged: merged, Reports: reports, Mb: mb, Row: row}, nil
+}
+
+// Table6Row is one row of Table 6.
+type Table6Row struct {
+	Design        string
+	IndividualSTA time.Duration
+	MergedSTA     time.Duration
+	ReductionPct  float64
+	ConformityPct float64
+	Endpoints     int
+}
+
+// endpointWorst tracks the worst setup slack and its capture period.
+type endpointWorst struct {
+	slack  float64
+	period float64
+	has    bool
+}
+
+// staRepeats is how often the STA campaigns of Table 6 run; the reported
+// time is the fastest repeat (standard benchmarking practice — a single
+// run on a busy machine is too noisy for a runtime table).
+const staRepeats = 3
+
+// staAll runs STA for every mode, returning campaign runtime (best of
+// staRepeats) and per-endpoint worst setup slack across the modes.
+func staAll(g *graph.Graph, modes []*sdc.Mode, opt sta.Options) (time.Duration, map[string]endpointWorst, error) {
+	worst := map[string]endpointWorst{}
+	best := time.Duration(0)
+	for rep := 0; rep < staRepeats; rep++ {
+		start := time.Now()
+		for _, m := range modes {
+			ctx, err := sta.NewContext(g, m, opt)
+			if err != nil {
+				return 0, nil, fmt.Errorf("mode %s: %w", m.Name, err)
+			}
+			for _, r := range ctx.AnalyzeEndpoints() {
+				if !r.HasSetup {
+					continue
+				}
+				w := worst[r.Name]
+				if !w.has || r.SetupSlack < w.slack {
+					w.has = true
+					w.slack = r.SetupSlack
+					w.period = r.CapturePeriod
+				}
+				worst[r.Name] = w
+			}
+		}
+		if elapsed := time.Since(start); rep == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, worst, nil
+}
+
+// Conformity computes the paper's QoR metric: the percentage of endpoints
+// whose merged-mode worst slack deviates from the individual-mode worst
+// slack by at most 1% of the capture clock period.
+func Conformity(individual, merged map[string]endpointWorst) (pct float64, endpoints int) {
+	conforming, total := 0, 0
+	for name, iw := range individual {
+		if !iw.has {
+			continue
+		}
+		total++
+		mw, ok := merged[name]
+		if !ok || !mw.has {
+			continue // endpoint unchecked in merged modes: non-conforming
+		}
+		period := iw.period
+		if period <= 0 {
+			period = mw.period
+		}
+		if period <= 0 {
+			continue
+		}
+		if math.Abs(mw.slack-iw.slack) <= 0.01*period {
+			conforming++
+		}
+	}
+	if total == 0 {
+		return 100, 0
+	}
+	return 100 * float64(conforming) / float64(total), total
+}
+
+// RunTable6 measures STA runtime with the individual modes versus the
+// merged modes and the endpoint-slack conformity.
+func RunTable6(mr *MergeResult, opt sta.Options) (Table6Row, error) {
+	p := mr.Prepared
+	indTime, indWorst, err := staAll(p.Graph, p.Modes, opt)
+	if err != nil {
+		return Table6Row{}, err
+	}
+	mergedTime, mergedWorst, err := staAll(p.Graph, mr.Merged, opt)
+	if err != nil {
+		return Table6Row{}, err
+	}
+	conf, endpoints := Conformity(indWorst, mergedWorst)
+	row := Table6Row{
+		Design:        p.Case.Label,
+		IndividualSTA: indTime,
+		MergedSTA:     mergedTime,
+		ConformityPct: conf,
+		Endpoints:     endpoints,
+	}
+	if indTime > 0 {
+		row.ReductionPct = 100 * float64(indTime-mergedTime) / float64(indTime)
+	}
+	return row, nil
+}
+
+// AblationRow compares graph-based merging with the naive textual
+// baseline on one design.
+type AblationRow struct {
+	Design          string
+	GraphConformity float64
+	NaiveConformity float64
+	GraphFalsePaths int
+}
+
+// RunNaiveAblation merges each clique naively and compares conformity
+// against the graph-based result.
+func RunNaiveAblation(mr *MergeResult, opt core.Options, staOpt sta.Options) (AblationRow, error) {
+	p := mr.Prepared
+	cliques := mr.Mb.Cliques()
+	var naiveModes []*sdc.Mode
+	for _, clique := range cliques {
+		if len(clique) == 1 {
+			naiveModes = append(naiveModes, p.Modes[clique[0]])
+			continue
+		}
+		group := make([]*sdc.Mode, len(clique))
+		for i, m := range clique {
+			group[i] = p.Modes[m]
+		}
+		nm, err := core.NaiveMerge(p.Graph, group, opt)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		naiveModes = append(naiveModes, nm)
+	}
+	_, indWorst, err := staAll(p.Graph, p.Modes, staOpt)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	_, graphWorst, err := staAll(p.Graph, mr.Merged, staOpt)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	_, naiveWorst, err := staAll(p.Graph, naiveModes, staOpt)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	graphConf, _ := Conformity(indWorst, graphWorst)
+	naiveConf, _ := Conformity(indWorst, naiveWorst)
+	fps := 0
+	for _, rep := range mr.Reports {
+		fps += rep.AddedFalsePaths + rep.LaunchBlocks
+	}
+	return AblationRow{
+		Design:          p.Case.Label,
+		GraphConformity: graphConf,
+		NaiveConformity: naiveConf,
+		GraphFalsePaths: fps,
+	}, nil
+}
+
+// Figure2Demo builds a 9-mode family with the compatibility structure of
+// the paper's Figure 2 mergeability graph (three cliques) and returns the
+// analysis.
+func Figure2Demo() (*core.Mergeability, [][]int, error) {
+	spec := gen.DesignSpec{Name: "fig2", Seed: 2, Domains: 2, BlocksPerDomain: 2,
+		Stages: 2, RegsPerStage: 4, CloudDepth: 2, CrossPaths: 2}
+	g, err := gen.Generate(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	tg, err := graph.Build(g.Design)
+	if err != nil {
+		return nil, nil, err
+	}
+	family := gen.FamilySpec{Groups: 3, ModesPerGroup: []int{4, 3, 2}, BasePeriod: 2}
+	var modes []*sdc.Mode
+	for _, ms := range g.Modes(family) {
+		mode, _, err := sdc.Parse(ms.Name, ms.Text, g.Design)
+		if err != nil {
+			return nil, nil, err
+		}
+		modes = append(modes, mode)
+	}
+	mb, err := core.AnalyzeMergeability(tg, modes, core.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return mb, mb.Cliques(), nil
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"testing"
+
+	"modemerge/internal/core"
+	"modemerge/internal/sta"
+)
+
+func TestPaperDesignsStructure(t *testing.T) {
+	designs := PaperDesigns(1)
+	if len(designs) != 6 {
+		t.Fatalf("designs = %d, want 6 (A–F)", len(designs))
+	}
+	wantModes := map[string]int{"A": 95, "B": 3, "C": 12, "D": 3, "E": 5, "F": 3}
+	wantMerged := map[string]int{"A": 16, "B": 1, "C": 1, "D": 1, "E": 1, "F": 2}
+	for _, c := range designs {
+		if got := c.Family.TotalModes(); got != wantModes[c.Label] {
+			t.Errorf("design %s: %d modes, want %d", c.Label, got, wantModes[c.Label])
+		}
+		if c.Family.Groups != wantMerged[c.Label] {
+			t.Errorf("design %s: %d groups, want %d", c.Label, c.Family.Groups, wantMerged[c.Label])
+		}
+		if c.PaperModes != wantModes[c.Label] || c.PaperMerged != wantMerged[c.Label] {
+			t.Errorf("design %s: paper columns inconsistent", c.Label)
+		}
+	}
+	// Relative sizes follow the paper's 0.2 : 1.4 : 2.8 progression.
+	est := map[string]int{}
+	for _, c := range designs {
+		est[c.Label] = c.Spec.CellEstimate()
+	}
+	if !(est["A"] <= est["C"] && est["C"] < est["D"] && est["D"] <= est["E"] && est["E"] < est["F"]) {
+		t.Errorf("size progression broken: %v", est)
+	}
+}
+
+func TestPaperDesignsScale(t *testing.T) {
+	small := PaperDesigns(0.5)[0].Spec.CellEstimate()
+	big := PaperDesigns(2)[0].Spec.CellEstimate()
+	if big <= small {
+		t.Errorf("scaling has no effect: %d vs %d", small, big)
+	}
+	// Degenerate scale falls back to 1.
+	def := PaperDesigns(0)[0].Spec.CellEstimate()
+	one := PaperDesigns(1)[0].Spec.CellEstimate()
+	if def != one {
+		t.Errorf("scale 0 should default to 1")
+	}
+}
+
+func TestConformityMetric(t *testing.T) {
+	ind := map[string]endpointWorst{
+		"a": {slack: 1.0, period: 10, has: true},
+		"b": {slack: 2.0, period: 10, has: true},
+		"c": {slack: 3.0, period: 10, has: true},
+	}
+	merged := map[string]endpointWorst{
+		"a": {slack: 1.05, period: 10, has: true}, // within 1% of 10
+		"b": {slack: 2.5, period: 10, has: true},  // off by 0.5 > 0.1
+		// c missing in merged → non-conforming
+	}
+	pct, n := Conformity(ind, merged)
+	if n != 3 {
+		t.Errorf("endpoints = %d, want 3", n)
+	}
+	if pct < 33.2 || pct > 33.4 {
+		t.Errorf("conformity = %g, want 33.3", pct)
+	}
+	// Empty input.
+	pct, n = Conformity(map[string]endpointWorst{}, merged)
+	if pct != 100 || n != 0 {
+		t.Errorf("empty conformity = %g/%d", pct, n)
+	}
+}
+
+func TestFigure2DemoStructure(t *testing.T) {
+	mb, cliques, err := Figure2Demo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mb.ModeNames) != 9 {
+		t.Errorf("modes = %d, want 9", len(mb.ModeNames))
+	}
+	if len(cliques) != 3 {
+		t.Fatalf("cliques = %v", mb.GroupNames(cliques))
+	}
+	sizes := []int{len(cliques[0]), len(cliques[1]), len(cliques[2])}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 2 {
+		t.Errorf("clique sizes = %v, want [4 3 2]", sizes)
+	}
+}
+
+func TestEndToEndSmallest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	c := PaperDesigns(0.25)[1] // design B, tiny
+	p, err := Prepare(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := RunTable5(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Row.Merged != 1 {
+		t.Errorf("design B merged = %d, want 1", mr.Row.Merged)
+	}
+	row6, err := RunTable6(mr, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row6.ConformityPct < 99 {
+		t.Errorf("conformity = %g", row6.ConformityPct)
+	}
+	abl, err := RunNaiveAblation(mr, core.Options{}, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abl.NaiveConformity > abl.GraphConformity {
+		t.Errorf("naive (%g) beat graph (%g)", abl.NaiveConformity, abl.GraphConformity)
+	}
+}

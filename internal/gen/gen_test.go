@@ -1,0 +1,219 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"modemerge/internal/graph"
+	"modemerge/internal/library"
+	"modemerge/internal/netlist"
+	"modemerge/internal/sdc"
+)
+
+func TestPaperCircuitStructure(t *testing.T) {
+	d := PaperCircuit()
+	s := d.Stats()
+	if s.Sequential != 6 {
+		t.Errorf("sequential = %d, want 6", s.Sequential)
+	}
+	for _, inst := range []string{"rA", "rB", "rC", "rX", "rY", "rZ", "inv1", "inv2", "inv3", "and1", "and2", "mux1", "xor1"} {
+		if d.InstByName(inst) == nil {
+			t.Errorf("instance %s missing", inst)
+		}
+	}
+	for _, port := range []string{"clk1", "clk2", "in1", "out1", "sel1", "sel2"} {
+		if d.PortByName(port) == nil {
+			t.Errorf("port %s missing", port)
+		}
+	}
+	if _, err := graph.Build(d); err != nil {
+		t.Fatalf("graph build: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := DesignSpec{Name: "det", Seed: 42, Domains: 2, BlocksPerDomain: 2, Stages: 2, RegsPerStage: 3, CloudDepth: 2, CrossPaths: 2}
+	g1, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := g1.Design.Stats(), g2.Design.Stats()
+	if s1 != s2 {
+		t.Errorf("stats differ across identical seeds: %+v vs %+v", s1, s2)
+	}
+	// Same instances cell-by-cell.
+	for i, inst := range g1.Design.Insts {
+		other := g2.Design.Insts[i]
+		if inst.Name != other.Name || inst.Cell.Name != other.Cell.Name {
+			t.Fatalf("instance %d differs: %s/%s vs %s/%s",
+				i, inst.Name, inst.Cell.Name, other.Name, other.Cell.Name)
+		}
+	}
+}
+
+func TestGenerateDifferentSeeds(t *testing.T) {
+	a, err := Generate(DesignSpec{Name: "a", Seed: 1, Domains: 1, BlocksPerDomain: 1, Stages: 2, RegsPerStage: 4, CloudDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DesignSpec{Name: "b", Seed: 2, Domains: 1, BlocksPerDomain: 1, Stages: 2, RegsPerStage: 4, CloudDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Design.Insts {
+		if a.Design.Insts[i].Cell.Name != b.Design.Insts[i].Cell.Name {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical cell sequences")
+	}
+}
+
+func TestGeneratedDesignBuildsGraph(t *testing.T) {
+	g, err := Generate(DesignSpec{Name: "g", Seed: 7, Domains: 3, BlocksPerDomain: 2, Stages: 3, RegsPerStage: 4, CloudDepth: 2, CrossPaths: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := graph.Build(g.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tg.Endpoints()) == 0 || len(tg.Startpoints()) == 0 {
+		t.Error("generated design has no timing paths")
+	}
+	warnings, err := g.Design.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) > 0 {
+		t.Errorf("validation warnings: %v", warnings[:min(3, len(warnings))])
+	}
+}
+
+func TestCellEstimate(t *testing.T) {
+	spec := DesignSpec{Name: "e", Seed: 1, Domains: 2, BlocksPerDomain: 3, Stages: 4, RegsPerStage: 8, CloudDepth: 4}
+	g, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Design.Stats().Cells
+	est := spec.CellEstimate()
+	if got < est/2 || got > est*2 {
+		t.Errorf("cell estimate %d far from actual %d", est, got)
+	}
+}
+
+func TestModesParse(t *testing.T) {
+	g, err := Generate(DesignSpec{Name: "m", Seed: 3, Domains: 2, BlocksPerDomain: 2, Stages: 2, RegsPerStage: 3, CloudDepth: 2, CrossPaths: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := FamilySpec{Groups: 2, ModesPerGroup: []int{4, 3}, BasePeriod: 2}
+	modes := g.Modes(fam)
+	if len(modes) != fam.TotalModes() {
+		t.Fatalf("modes = %d, want %d", len(modes), fam.TotalModes())
+	}
+	for _, ms := range modes {
+		mode, _, err := sdc.Parse(ms.Name, ms.Text, g.Design)
+		if err != nil {
+			t.Fatalf("mode %s does not parse: %v\n%s", ms.Name, err, ms.Text)
+		}
+		if len(mode.Clocks) == 0 {
+			t.Errorf("mode %s has no clocks", ms.Name)
+		}
+	}
+}
+
+func TestModeVariantsDiffer(t *testing.T) {
+	g, err := Generate(DesignSpec{Name: "v", Seed: 5, Domains: 2, BlocksPerDomain: 2, Stages: 2, RegsPerStage: 3, CloudDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := g.Modes(FamilySpec{Groups: 1, ModesPerGroup: []int{3}, BasePeriod: 2})
+	// Functional vs scan-shift vs test-capture must have different clock
+	// sets.
+	m0, _, err := sdc.Parse("m0", modes[0].Text, g.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _, err := sdc.Parse("m1", modes[1].Text, g.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := sdc.Parse("m2", modes[2].Text, g.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m0.Clocks) == len(m1.Clocks) && m0.Clocks[0].Name == m1.Clocks[0].Name {
+		t.Error("functional and scan modes look identical")
+	}
+	hasGen := false
+	for _, c := range m2.Clocks {
+		if c.Generated {
+			hasGen = true
+		}
+	}
+	if !hasGen {
+		t.Error("test-capture mode lacks a generated clock")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestGeneratedDesignVerilogRoundTrip(t *testing.T) {
+	g, err := Generate(DesignSpec{Name: "rt", Seed: 9, Domains: 2, BlocksPerDomain: 2,
+		Stages: 2, RegsPerStage: 3, CloudDepth: 2, CrossPaths: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := netlist.WriteVerilog(g.Design)
+	re, err := netlist.ParseVerilog(text, library.Default(), "rt")
+	if err != nil {
+		t.Fatalf("generated design does not re-parse: %v", err)
+	}
+	if re.Stats() != g.Design.Stats() {
+		t.Errorf("stats changed: %+v vs %+v", re.Stats(), g.Design.Stats())
+	}
+	// The re-parsed design must accept the generated modes too (this is
+	// the gendesign → modemerge CLI contract).
+	for _, ms := range g.Modes(FamilySpec{Groups: 1, ModesPerGroup: []int{3}, BasePeriod: 2}) {
+		if _, _, err := sdc.Parse(ms.Name, ms.Text, re); err != nil {
+			t.Fatalf("mode %s does not parse against the re-parsed design: %v", ms.Name, err)
+		}
+	}
+	if _, err := graph.Build(re); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModesUseTclControlFlow(t *testing.T) {
+	g, err := Generate(DesignSpec{Name: "cf", Seed: 4, Domains: 1, BlocksPerDomain: 1,
+		Stages: 2, RegsPerStage: 2, CloudDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := g.Modes(FamilySpec{Groups: 1, ModesPerGroup: []int{1}, BasePeriod: 2})
+	if !strings.Contains(modes[0].Text, "foreach") {
+		t.Error("generated SDC does not exercise control flow")
+	}
+	m, _, err := sdc.Parse("m", modes[0].Text, g.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.InputTransitions) != len(g.allDataIns()) {
+		t.Errorf("foreach produced %d transitions, want %d",
+			len(m.InputTransitions), len(g.allDataIns()))
+	}
+}

@@ -1,0 +1,65 @@
+// Package gen builds the designs the experiments run on: the paper's
+// Figure 1 example circuit, and seeded synthetic industrial-shaped designs
+// with families of timing modes (see generator.go).
+package gen
+
+import (
+	"modemerge/internal/library"
+	"modemerge/internal/netlist"
+)
+
+// PaperCircuit reconstructs the example circuit of Figure 1 of the paper,
+// as implied by Constraint Sets 1–6 and Tables 1–4:
+//
+//   - Ports: clk1, clk2, in1, sel1, sel2 (inputs), out1 (output).
+//   - Registers rA, rB, rC (launching) and rX, rY, rZ (capturing).
+//   - Data paths:
+//     (i)   rA/Q → inv1/Z → rX/D
+//     (ii)  rA/Q → inv1/Z → and1/A; and1/Z → inv2/Z → rY/D
+//     (iii) rB/Q → and1/B → inv2/Z → rY/D
+//     (iv)  rC/Q → and2/A → rZ/D
+//     (v)   rC/Q → inv3/A; inv3/Z → and2/B → rZ/D   (reconverges at and2)
+//   - in1 feeds the launching registers through bufin; rZ/Q drives out1
+//     through bufout.
+//   - Clock network: clk1 clocks rA, rB, rC, rX and rY directly; rZ is
+//     clocked by mux1/Z with mux1 selecting between clk1 (I0) and clk2
+//     (I1) under xor1(sel1, sel2) — so with {sel1=0,sel2=1} or
+//     {sel1=1,sel2=0} the select is 1 and clk1's clock cannot pass.
+func PaperCircuit() *netlist.Design {
+	b := netlist.NewBuilder("paper_fig1", library.Default())
+	b.Port("clk1", netlist.In)
+	b.Port("clk2", netlist.In)
+	b.Port("in1", netlist.In)
+	b.Port("sel1", netlist.In)
+	b.Port("sel2", netlist.In)
+	b.Port("out1", netlist.Out)
+
+	// Clock select logic and rZ clock mux.
+	b.Inst("XOR2", "xor1", map[string]string{"A": "sel1", "B": "sel2", "Z": "msel"})
+	b.Inst("MUX2", "mux1", map[string]string{"I0": "clk1", "I1": "clk2", "S": "msel", "Z": "gclk"})
+
+	// Input distribution.
+	b.Inst("BUF", "bufin", map[string]string{"A": "in1", "Z": "din"})
+
+	// Launch registers.
+	b.Inst("DFF", "rA", map[string]string{"CP": "clk1", "D": "din", "Q": "qa"})
+	b.Inst("DFF", "rB", map[string]string{"CP": "clk1", "D": "din", "Q": "qb"})
+	b.Inst("DFF", "rC", map[string]string{"CP": "clk1", "D": "din", "Q": "qc"})
+
+	// Combinational cloud.
+	b.Inst("INV", "inv1", map[string]string{"A": "qa", "Z": "n1"})
+	b.Inst("AND2", "and1", map[string]string{"A": "n1", "B": "qb", "Z": "n2"})
+	b.Inst("INV", "inv2", map[string]string{"A": "n2", "Z": "n3"})
+	b.Inst("INV", "inv3", map[string]string{"A": "qc", "Z": "n4"})
+	b.Inst("AND2", "and2", map[string]string{"A": "qc", "B": "n4", "Z": "n5"})
+
+	// Capture registers.
+	b.Inst("DFF", "rX", map[string]string{"CP": "clk1", "D": "n1", "Q": "qx"})
+	b.Inst("DFF", "rY", map[string]string{"CP": "clk1", "D": "n3", "Q": "qy"})
+	b.Inst("DFF", "rZ", map[string]string{"CP": "gclk", "D": "n5", "Q": "qz"})
+
+	// Output.
+	b.Inst("BUF", "bufout", map[string]string{"A": "qz", "Z": "out1"})
+
+	return b.MustBuild()
+}

@@ -1,0 +1,158 @@
+package library
+
+import "sync"
+
+var (
+	defaultOnce sync.Once
+	defaultLib  *Library
+)
+
+// Default returns the built-in primitive library shared by the synthetic
+// designs, the paper's example circuit and the tests. The returned library
+// is shared and must not be mutated.
+func Default() *Library {
+	defaultOnce.Do(func() { defaultLib = buildDefault() })
+	return defaultLib
+}
+
+// mustExpr parses a function or panics; for static library construction.
+func mustExpr(s string) Expr {
+	e, err := ParseExpr(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// comb builds a combinational cell whose single output Z computes fn over
+// the inputs, with one delay arc per input.
+func comb(name string, inputs []string, fn string, unate Unateness, intrinsic, slope float64) *Cell {
+	c := &Cell{Name: name, Functions: map[string]Expr{"Z": mustExpr(fn)}}
+	for _, in := range inputs {
+		c.Pins = append(c.Pins, Pin{Name: in, Dir: Input, Cap: 1.0})
+		c.Arcs = append(c.Arcs, Arc{From: in, To: "Z", Kind: CombArc, Unate: unate, Intrinsic: intrinsic, Slope: slope})
+	}
+	c.Pins = append(c.Pins, Pin{Name: "Z", Dir: Output})
+	return c
+}
+
+// dff builds a flip-flop with clock pin CP, the given data pins, output Q
+// (and QN when withQN), and optional async pins that act as data-side
+// constraint inputs.
+func dff(name string, dataPins []string, withQN bool) *Cell {
+	c := &Cell{Name: name, Sequential: true, Functions: map[string]Expr{}}
+	c.Pins = append(c.Pins, Pin{Name: "CP", Dir: Input, Clock: true, Cap: 1.2})
+	for _, d := range dataPins {
+		c.Pins = append(c.Pins, Pin{Name: d, Dir: Input, Cap: 1.0})
+		c.Arcs = append(c.Arcs,
+			Arc{From: d, To: "CP", Kind: SetupArc, Margin: 0.08},
+			Arc{From: d, To: "CP", Kind: HoldArc, Margin: 0.03},
+		)
+	}
+	c.Pins = append(c.Pins, Pin{Name: "Q", Dir: Output})
+	c.Arcs = append(c.Arcs, Arc{From: "CP", To: "Q", Kind: LaunchArc, Unate: NonUnate, Intrinsic: 0.18, Slope: 0.014})
+	if withQN {
+		c.Pins = append(c.Pins, Pin{Name: "QN", Dir: Output})
+		c.Arcs = append(c.Arcs, Arc{From: "CP", To: "QN", Kind: LaunchArc, Unate: NonUnate, Intrinsic: 0.20, Slope: 0.014})
+	}
+	return c
+}
+
+func buildDefault() *Library {
+	l := NewLibrary("builtin", WireLoad{C0: 0.6, C1: 0.35})
+
+	l.MustAdd(&Cell{Name: "TIEHI", Pins: []Pin{{Name: "Z", Dir: Output}},
+		Functions: map[string]Expr{"Z": ConstExpr(L1)}})
+	l.MustAdd(&Cell{Name: "TIELO", Pins: []Pin{{Name: "Z", Dir: Output}},
+		Functions: map[string]Expr{"Z": ConstExpr(L0)}})
+
+	l.MustAdd(comb("BUF", []string{"A"}, "A", PositiveUnate, 0.06, 0.010))
+	l.MustAdd(comb("INV", []string{"A"}, "!A", NegativeUnate, 0.04, 0.009))
+	l.MustAdd(comb("CLKBUF", []string{"A"}, "A", PositiveUnate, 0.05, 0.006))
+
+	l.MustAdd(comb("AND2", []string{"A", "B"}, "A&B", PositiveUnate, 0.09, 0.012))
+	l.MustAdd(comb("AND3", []string{"A", "B", "C"}, "A&B&C", PositiveUnate, 0.11, 0.013))
+	l.MustAdd(comb("AND4", []string{"A", "B", "C", "D"}, "A&B&C&D", PositiveUnate, 0.13, 0.014))
+	l.MustAdd(comb("NAND2", []string{"A", "B"}, "!(A&B)", NegativeUnate, 0.05, 0.011))
+	l.MustAdd(comb("NAND3", []string{"A", "B", "C"}, "!(A&B&C)", NegativeUnate, 0.07, 0.012))
+	l.MustAdd(comb("OR2", []string{"A", "B"}, "A|B", PositiveUnate, 0.10, 0.012))
+	l.MustAdd(comb("OR3", []string{"A", "B", "C"}, "A|B|C", PositiveUnate, 0.12, 0.013))
+	l.MustAdd(comb("OR4", []string{"A", "B", "C", "D"}, "A|B|C|D", PositiveUnate, 0.14, 0.014))
+	l.MustAdd(comb("NOR2", []string{"A", "B"}, "!(A|B)", NegativeUnate, 0.06, 0.011))
+	l.MustAdd(comb("NOR3", []string{"A", "B", "C"}, "!(A|B|C)", NegativeUnate, 0.08, 0.012))
+	l.MustAdd(comb("XOR2", []string{"A", "B"}, "A^B", NonUnate, 0.12, 0.015))
+	l.MustAdd(comb("XNOR2", []string{"A", "B"}, "!(A^B)", NonUnate, 0.12, 0.015))
+	l.MustAdd(comb("AOI21", []string{"A", "B", "C"}, "!((A&B)|C)", NegativeUnate, 0.08, 0.013))
+	l.MustAdd(comb("OAI21", []string{"A", "B", "C"}, "!((A|B)&C)", NegativeUnate, 0.08, 0.013))
+
+	// 2:1 mux: Z = I0 when S=0, I1 when S=1. Data-to-output arcs are
+	// positive unate (a selected input passes non-inverted — this is what
+	// lets a clock keep its polarity through a clock mux); the select arc
+	// is non-unate.
+	mux2 := &Cell{Name: "MUX2", Functions: map[string]Expr{"Z": MuxExpr{S: VarExpr("S"), A: VarExpr("I0"), B: VarExpr("I1")}}}
+	for _, in := range []string{"I0", "I1", "S"} {
+		unate := PositiveUnate
+		if in == "S" {
+			unate = NonUnate
+		}
+		mux2.Pins = append(mux2.Pins, Pin{Name: in, Dir: Input, Cap: 1.0})
+		mux2.Arcs = append(mux2.Arcs, Arc{From: in, To: "Z", Kind: CombArc, Unate: unate, Intrinsic: 0.11, Slope: 0.013})
+	}
+	mux2.Pins = append(mux2.Pins, Pin{Name: "Z", Dir: Output})
+	l.MustAdd(mux2)
+
+	// 4:1 mux with a two-bit select.
+	mux4 := &Cell{Name: "MUX4", Functions: map[string]Expr{"Z": MuxExpr{
+		S: VarExpr("S1"),
+		A: MuxExpr{S: VarExpr("S0"), A: VarExpr("I0"), B: VarExpr("I1")},
+		B: MuxExpr{S: VarExpr("S0"), A: VarExpr("I2"), B: VarExpr("I3")},
+	}}}
+	for _, in := range []string{"I0", "I1", "I2", "I3", "S0", "S1"} {
+		unate := PositiveUnate
+		if in == "S0" || in == "S1" {
+			unate = NonUnate
+		}
+		mux4.Pins = append(mux4.Pins, Pin{Name: in, Dir: Input, Cap: 1.1})
+		mux4.Arcs = append(mux4.Arcs, Arc{From: in, To: "Z", Kind: CombArc, Unate: unate, Intrinsic: 0.16, Slope: 0.015})
+	}
+	mux4.Pins = append(mux4.Pins, Pin{Name: "Z", Dir: Output})
+	l.MustAdd(mux4)
+
+	// Integrated clock gate: the enable is latched in silicon; for timing
+	// purposes GCK follows CK gated by EN.
+	icg := &Cell{Name: "ICG", Functions: map[string]Expr{"GCK": mustExpr("CK&EN")}}
+	icg.Pins = []Pin{
+		{Name: "CK", Dir: Input, Clock: false, Cap: 1.3},
+		{Name: "EN", Dir: Input, Cap: 1.0},
+		{Name: "GCK", Dir: Output},
+	}
+	icg.Arcs = []Arc{
+		{From: "CK", To: "GCK", Kind: CombArc, Unate: PositiveUnate, Intrinsic: 0.07, Slope: 0.008},
+		{From: "EN", To: "GCK", Kind: CombArc, Unate: PositiveUnate, Intrinsic: 0.09, Slope: 0.010},
+	}
+	l.MustAdd(icg)
+
+	l.MustAdd(dff("DFF", []string{"D"}, false))
+	l.MustAdd(dff("DFFQN", []string{"D"}, true))
+	// Scan flop: functional data D, scan-in SI, scan-enable SE.
+	l.MustAdd(dff("SDFF", []string{"D", "SI", "SE"}, false))
+	// Reset/set flops: async pins are modeled as extra data-side inputs.
+	l.MustAdd(dff("DFFR", []string{"D", "RN"}, false))
+	l.MustAdd(dff("DFFS", []string{"D", "SN"}, false))
+
+	// Level-sensitive latch: G is the (transparent-high) gate.
+	latch := &Cell{Name: "LATCH", Sequential: true, Level: true, Functions: map[string]Expr{}}
+	latch.Pins = []Pin{
+		{Name: "G", Dir: Input, Clock: true, Cap: 1.1},
+		{Name: "D", Dir: Input, Cap: 1.0},
+		{Name: "Q", Dir: Output},
+	}
+	latch.Arcs = []Arc{
+		{From: "D", To: "G", Kind: SetupArc, Margin: 0.06},
+		{From: "D", To: "G", Kind: HoldArc, Margin: 0.03},
+		{From: "G", To: "Q", Kind: LaunchArc, Unate: NonUnate, Intrinsic: 0.15, Slope: 0.013},
+	}
+	l.MustAdd(latch)
+
+	return l
+}

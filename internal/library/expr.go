@@ -1,0 +1,418 @@
+package library
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a boolean function over cell input pins, evaluated in
+// three-valued logic for case-analysis constant propagation.
+type Expr interface {
+	// Eval computes the output level given a lookup for input pin levels.
+	Eval(in func(pin string) Logic) Logic
+	// Sensitive reports whether the output can change when the target pin
+	// toggles, given the other inputs' levels — the arc sensitization
+	// test constant propagation uses to kill arcs from unselected mux
+	// inputs or gated-off gate inputs. It is pessimistic: it returns true
+	// whenever sensitivity cannot be ruled out.
+	Sensitive(target string, in func(pin string) Logic) bool
+	// Vars appends the referenced pin names to dst.
+	Vars(dst []string) []string
+	// String renders the function in mini-library syntax.
+	String() string
+}
+
+// VarExpr references an input pin.
+type VarExpr string
+
+// Eval implements Expr.
+func (v VarExpr) Eval(in func(string) Logic) Logic { return in(string(v)) }
+
+// Sensitive implements Expr.
+func (v VarExpr) Sensitive(target string, _ func(string) Logic) bool {
+	return string(v) == target
+}
+
+// Vars implements Expr.
+func (v VarExpr) Vars(dst []string) []string { return append(dst, string(v)) }
+
+func (v VarExpr) String() string { return string(v) }
+
+// ConstExpr is a constant level (TIEHI / TIELO outputs).
+type ConstExpr Logic
+
+// Eval implements Expr.
+func (c ConstExpr) Eval(func(string) Logic) Logic { return Logic(c) }
+
+// Sensitive implements Expr.
+func (c ConstExpr) Sensitive(string, func(string) Logic) bool { return false }
+
+// Vars implements Expr.
+func (c ConstExpr) Vars(dst []string) []string { return dst }
+
+func (c ConstExpr) String() string { return Logic(c).String() }
+
+// NotExpr is logical negation.
+type NotExpr struct{ X Expr }
+
+// Eval implements Expr.
+func (n NotExpr) Eval(in func(string) Logic) Logic { return n.X.Eval(in).Not() }
+
+// Sensitive implements Expr.
+func (n NotExpr) Sensitive(target string, in func(string) Logic) bool {
+	return n.X.Sensitive(target, in)
+}
+
+// Vars implements Expr.
+func (n NotExpr) Vars(dst []string) []string { return n.X.Vars(dst) }
+
+func (n NotExpr) String() string { return "!" + paren(n.X) }
+
+// AndExpr is an n-ary AND.
+type AndExpr []Expr
+
+// Eval implements Expr: 0 dominates, else X dominates, else 1.
+func (a AndExpr) Eval(in func(string) Logic) Logic {
+	out := L1
+	for _, x := range a {
+		switch x.Eval(in) {
+		case L0:
+			return L0
+		case LX:
+			out = LX
+		}
+	}
+	return out
+}
+
+// Sensitive implements Expr: a controlling 0 on any other term blocks the
+// target.
+func (a AndExpr) Sensitive(target string, in func(string) Logic) bool {
+	sensitive := false
+	for _, x := range a {
+		if x.Sensitive(target, in) {
+			sensitive = true
+		} else if x.Eval(in) == L0 {
+			return false
+		}
+	}
+	return sensitive
+}
+
+// Vars implements Expr.
+func (a AndExpr) Vars(dst []string) []string {
+	for _, x := range a {
+		dst = x.Vars(dst)
+	}
+	return dst
+}
+
+func (a AndExpr) String() string { return joinOp(a, "&") }
+
+// OrExpr is an n-ary OR.
+type OrExpr []Expr
+
+// Eval implements Expr: 1 dominates, else X dominates, else 0.
+func (o OrExpr) Eval(in func(string) Logic) Logic {
+	out := L0
+	for _, x := range o {
+		switch x.Eval(in) {
+		case L1:
+			return L1
+		case LX:
+			out = LX
+		}
+	}
+	return out
+}
+
+// Sensitive implements Expr: a controlling 1 on any other term blocks the
+// target.
+func (o OrExpr) Sensitive(target string, in func(string) Logic) bool {
+	sensitive := false
+	for _, x := range o {
+		if x.Sensitive(target, in) {
+			sensitive = true
+		} else if x.Eval(in) == L1 {
+			return false
+		}
+	}
+	return sensitive
+}
+
+// Vars implements Expr.
+func (o OrExpr) Vars(dst []string) []string {
+	for _, x := range o {
+		dst = x.Vars(dst)
+	}
+	return dst
+}
+
+func (o OrExpr) String() string { return joinOp(o, "|") }
+
+// XorExpr is a two-input XOR.
+type XorExpr struct{ A, B Expr }
+
+// Eval implements Expr: X if either side unknown.
+func (x XorExpr) Eval(in func(string) Logic) Logic {
+	a, b := x.A.Eval(in), x.B.Eval(in)
+	if !a.Known() || !b.Known() {
+		return LX
+	}
+	if a != b {
+		return L1
+	}
+	return L0
+}
+
+// Sensitive implements Expr: xor never blocks.
+func (x XorExpr) Sensitive(target string, in func(string) Logic) bool {
+	return x.A.Sensitive(target, in) || x.B.Sensitive(target, in)
+}
+
+// Vars implements Expr.
+func (x XorExpr) Vars(dst []string) []string { return x.B.Vars(x.A.Vars(dst)) }
+
+func (x XorExpr) String() string { return paren(x.A) + "^" + paren(x.B) }
+
+// MuxExpr selects A when S=0, B when S=1. When S is unknown the output is
+// known only if both data inputs agree on a constant.
+type MuxExpr struct{ S, A, B Expr }
+
+// Eval implements Expr.
+func (m MuxExpr) Eval(in func(string) Logic) Logic {
+	s := m.S.Eval(in)
+	switch s {
+	case L0:
+		return m.A.Eval(in)
+	case L1:
+		return m.B.Eval(in)
+	default:
+		a, b := m.A.Eval(in), m.B.Eval(in)
+		if a.Known() && a == b {
+			return a
+		}
+		return LX
+	}
+}
+
+// Sensitive implements Expr: a constant select deselects one data leg;
+// select sensitivity requires the data legs to possibly differ.
+func (m MuxExpr) Sensitive(target string, in func(string) Logic) bool {
+	switch m.S.Eval(in) {
+	case L0:
+		return m.A.Sensitive(target, in)
+	case L1:
+		return m.B.Sensitive(target, in)
+	default:
+		if m.S.Sensitive(target, in) {
+			a, b := m.A.Eval(in), m.B.Eval(in)
+			if !(a.Known() && a == b) {
+				return true
+			}
+		}
+		return m.A.Sensitive(target, in) || m.B.Sensitive(target, in)
+	}
+}
+
+// Vars implements Expr.
+func (m MuxExpr) Vars(dst []string) []string { return m.B.Vars(m.A.Vars(m.S.Vars(dst))) }
+
+func (m MuxExpr) String() string {
+	return fmt.Sprintf("mux(%s,%s,%s)", m.S.String(), m.A.String(), m.B.String())
+}
+
+func paren(e Expr) string {
+	switch e.(type) {
+	case VarExpr, ConstExpr, NotExpr:
+		return e.String()
+	default:
+		return "(" + e.String() + ")"
+	}
+}
+
+func joinOp(es []Expr, op string) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = paren(e)
+	}
+	return strings.Join(parts, op)
+}
+
+// ParseExpr parses a boolean function in the mini-library syntax:
+// identifiers, ! & | ^ parentheses, the constants 0 and 1, and
+// mux(S,A,B). Operator precedence: ! > & > ^ > |.
+func ParseExpr(s string) (Expr, error) {
+	p := &exprParser{src: s}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, fmt.Errorf("function %q: %w", s, err)
+	}
+	p.skip()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("function %q: trailing %q", s, p.src[p.pos:])
+	}
+	return e, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) skip() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) parseOr() (Expr, error) {
+	e, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{e}
+	for {
+		p.skip()
+		if p.pos >= len(p.src) || (p.src[p.pos] != '|' && p.src[p.pos] != '+') {
+			break
+		}
+		p.pos++
+		t, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return OrExpr(terms), nil
+}
+
+func (p *exprParser) parseXor() (Expr, error) {
+	e, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if p.pos >= len(p.src) || p.src[p.pos] != '^' {
+			return e, nil
+		}
+		p.pos++
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		e = XorExpr{A: e, B: r}
+	}
+}
+
+func (p *exprParser) parseAnd() (Expr, error) {
+	e, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{e}
+	for {
+		p.skip()
+		if p.pos >= len(p.src) || (p.src[p.pos] != '&' && p.src[p.pos] != '*') {
+			break
+		}
+		p.pos++
+		t, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return AndExpr(terms), nil
+}
+
+func (p *exprParser) parseUnary() (Expr, error) {
+	p.skip()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("unexpected end of function")
+	}
+	switch p.src[p.pos] {
+	case '!', '~':
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{X: e}, nil
+	case '(':
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("missing )")
+		}
+		p.pos++
+		return e, nil
+	case '0':
+		p.pos++
+		return ConstExpr(L0), nil
+	case '1':
+		p.pos++
+		return ConstExpr(L1), nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if start == p.pos {
+		return nil, fmt.Errorf("unexpected character %q", p.src[p.pos])
+	}
+	name := p.src[start:p.pos]
+	if name == "mux" {
+		p.skip()
+		if p.pos < len(p.src) && p.src[p.pos] == '(' {
+			p.pos++
+			s, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(','); err != nil {
+				return nil, err
+			}
+			a, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(','); err != nil {
+				return nil, err
+			}
+			b, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(')'); err != nil {
+				return nil, err
+			}
+			return MuxExpr{S: s, A: a, B: b}, nil
+		}
+	}
+	return VarExpr(name), nil
+}
+
+func (p *exprParser) expect(c byte) error {
+	p.skip()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

@@ -1,0 +1,307 @@
+// Package library models the standard-cell library a timing engine works
+// against: cells with pins, boolean functions over three-valued logic
+// (0/1/X), timing arcs with unateness, and a wire-load delay model.
+//
+// A built-in primitive library (see Default) covers the gate set the
+// synthetic designs and the paper's example circuit use. Custom libraries
+// can be parsed from the mini library format (see Parse).
+package library
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Logic is a three-valued logic level used by case-analysis constant
+// propagation.
+type Logic int8
+
+// Logic levels.
+const (
+	LX Logic = iota // unknown / toggling
+	L0              // constant zero
+	L1              // constant one
+)
+
+// String returns "0", "1" or "X".
+func (l Logic) String() string {
+	switch l {
+	case L0:
+		return "0"
+	case L1:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+// Known reports whether the level is a constant.
+func (l Logic) Known() bool { return l == L0 || l == L1 }
+
+// Not returns the logical negation, with NOT X = X.
+func (l Logic) Not() Logic {
+	switch l {
+	case L0:
+		return L1
+	case L1:
+		return L0
+	default:
+		return LX
+	}
+}
+
+// PinDir is the direction of a cell pin.
+type PinDir int8
+
+// Pin directions.
+const (
+	Input PinDir = iota
+	Output
+)
+
+func (d PinDir) String() string {
+	if d == Output {
+		return "output"
+	}
+	return "input"
+}
+
+// Unateness of a timing arc: whether a rising input causes a rising
+// (positive), falling (negative) or either (non-unate) output transition.
+type Unateness int8
+
+// Unateness values.
+const (
+	NonUnate Unateness = iota
+	PositiveUnate
+	NegativeUnate
+)
+
+func (u Unateness) String() string {
+	switch u {
+	case PositiveUnate:
+		return "positive"
+	case NegativeUnate:
+		return "negative"
+	default:
+		return "nonunate"
+	}
+}
+
+// ArcKind classifies a timing arc.
+type ArcKind int8
+
+// Arc kinds.
+const (
+	// CombArc is a combinational input→output delay arc.
+	CombArc ArcKind = iota
+	// LaunchArc is the clock→output arc of a sequential cell (CP→Q).
+	LaunchArc
+	// SetupArc is a data-before-clock setup constraint arc (D→CP).
+	SetupArc
+	// HoldArc is a data-after-clock hold constraint arc (D→CP).
+	HoldArc
+)
+
+func (k ArcKind) String() string {
+	switch k {
+	case CombArc:
+		return "comb"
+	case LaunchArc:
+		return "launch"
+	case SetupArc:
+		return "setup"
+	case HoldArc:
+		return "hold"
+	default:
+		return fmt.Sprintf("ArcKind(%d)", int(k))
+	}
+}
+
+// Pin describes one pin of a library cell.
+type Pin struct {
+	Name string
+	Dir  PinDir
+	// Clock marks the clock pin of a sequential cell.
+	Clock bool
+	// Cap is the input capacitance in library units; it contributes to the
+	// load seen by the driving arc.
+	Cap float64
+}
+
+// Arc is a timing arc between two pins of a cell.
+type Arc struct {
+	From, To  string
+	Kind      ArcKind
+	Unate     Unateness
+	Intrinsic float64 // fixed delay component
+	Slope     float64 // delay per unit of output load (comb/launch arcs)
+	// Margin is the setup or hold margin for constraint arcs.
+	Margin float64
+}
+
+// Cell is a library cell definition.
+type Cell struct {
+	Name       string
+	Pins       []Pin
+	Arcs       []Arc
+	Sequential bool
+	// Level marks a level-sensitive sequential (latch): its data setup
+	// check may borrow time through the transparency window.
+	Level bool
+	// Functions maps each output pin to its boolean function for constant
+	// propagation. Sequential outputs have no entry (their value is
+	// unknown unless forced by case analysis).
+	Functions map[string]Expr
+
+	pinIndex map[string]int
+}
+
+// Pin returns the named pin, or nil.
+func (c *Cell) Pin(name string) *Pin {
+	if i, ok := c.pinIndex[name]; ok {
+		return &c.Pins[i]
+	}
+	return nil
+}
+
+// Inputs returns the input pin names in declaration order.
+func (c *Cell) Inputs() []string {
+	var out []string
+	for _, p := range c.Pins {
+		if p.Dir == Input {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// Outputs returns the output pin names in declaration order.
+func (c *Cell) Outputs() []string {
+	var out []string
+	for _, p := range c.Pins {
+		if p.Dir == Output {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// ClockPin returns the name of the clock pin of a sequential cell, or "".
+func (c *Cell) ClockPin() string {
+	for _, p := range c.Pins {
+		if p.Clock {
+			return p.Name
+		}
+	}
+	return ""
+}
+
+// DataPins returns the non-clock input pins that have setup arcs to the
+// clock pin (the "D" pins of a sequential cell).
+func (c *Cell) DataPins() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range c.Arcs {
+		if a.Kind == SetupArc && !seen[a.From] {
+			seen[a.From] = true
+			out = append(out, a.From)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// finish builds internal indexes and validates the cell.
+func (c *Cell) finish() error {
+	c.pinIndex = make(map[string]int, len(c.Pins))
+	for i, p := range c.Pins {
+		if _, dup := c.pinIndex[p.Name]; dup {
+			return fmt.Errorf("cell %s: duplicate pin %s", c.Name, p.Name)
+		}
+		c.pinIndex[p.Name] = i
+	}
+	for _, a := range c.Arcs {
+		from, to := c.Pin(a.From), c.Pin(a.To)
+		if from == nil || to == nil {
+			return fmt.Errorf("cell %s: arc %s->%s references unknown pin", c.Name, a.From, a.To)
+		}
+		switch a.Kind {
+		case CombArc, LaunchArc:
+			if from.Dir != Input || to.Dir != Output {
+				return fmt.Errorf("cell %s: arc %s->%s must be input->output", c.Name, a.From, a.To)
+			}
+		case SetupArc, HoldArc:
+			if from.Dir != Input || !to.Clock {
+				return fmt.Errorf("cell %s: constraint arc %s->%s must be data->clock", c.Name, a.From, a.To)
+			}
+		}
+	}
+	for out := range c.Functions {
+		p := c.Pin(out)
+		if p == nil || p.Dir != Output {
+			return fmt.Errorf("cell %s: function on non-output pin %s", c.Name, out)
+		}
+	}
+	return nil
+}
+
+// WireLoad is a fanout-based wire load model: the wire capacitance seen by
+// a driver is C0 + C1·fanout.
+type WireLoad struct {
+	C0, C1 float64
+}
+
+// Cap returns the wire capacitance for a net with the given fanout.
+func (w WireLoad) Cap(fanout int) float64 {
+	if fanout <= 0 {
+		return 0
+	}
+	return w.C0 + w.C1*float64(fanout)
+}
+
+// Library is a set of cells plus the wire-load model used for delay
+// calculation.
+type Library struct {
+	Name     string
+	WireLoad WireLoad
+	cells    map[string]*Cell
+	names    []string
+}
+
+// NewLibrary returns an empty library with the given wire-load model.
+func NewLibrary(name string, wl WireLoad) *Library {
+	return &Library{Name: name, WireLoad: wl, cells: make(map[string]*Cell)}
+}
+
+// Add registers a cell, validating it.
+func (l *Library) Add(c *Cell) error {
+	if err := c.finish(); err != nil {
+		return err
+	}
+	if _, dup := l.cells[c.Name]; dup {
+		return fmt.Errorf("library %s: duplicate cell %s", l.Name, c.Name)
+	}
+	l.cells[c.Name] = c
+	l.names = append(l.names, c.Name)
+	return nil
+}
+
+// MustAdd is Add that panics on error; for building static libraries.
+func (l *Library) MustAdd(c *Cell) {
+	if err := l.Add(c); err != nil {
+		panic(err)
+	}
+}
+
+// Cell returns the named cell, or nil.
+func (l *Library) Cell(name string) *Cell { return l.cells[name] }
+
+// Cells returns cell names in registration order.
+func (l *Library) Cells() []string { return append([]string(nil), l.names...) }
+
+// ArcDelay computes the delay of a delay arc driving the given total load
+// capacitance (sink pin caps + wire cap).
+func ArcDelay(a *Arc, load float64) float64 {
+	return a.Intrinsic + a.Slope*load
+}

@@ -1,0 +1,351 @@
+package library
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLogicNot(t *testing.T) {
+	if L0.Not() != L1 || L1.Not() != L0 || LX.Not() != LX {
+		t.Error("Not truth table wrong")
+	}
+	if L0.String() != "0" || L1.String() != "1" || LX.String() != "X" {
+		t.Error("String values wrong")
+	}
+}
+
+func levels(m map[string]Logic) func(string) Logic {
+	return func(p string) Logic {
+		if v, ok := m[p]; ok {
+			return v
+		}
+		return LX
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	cases := []struct {
+		fn   string
+		in   map[string]Logic
+		want Logic
+	}{
+		{"A&B", map[string]Logic{"A": L1, "B": L1}, L1},
+		{"A&B", map[string]Logic{"A": L0}, L0},          // 0 dominates AND even with X
+		{"A&B", map[string]Logic{"A": L1}, LX},          // 1 AND X = X
+		{"A|B", map[string]Logic{"A": L1}, L1},          // 1 dominates OR even with X
+		{"A|B", map[string]Logic{"A": L0}, LX},          // 0 OR X = X
+		{"A|B", map[string]Logic{"A": L0, "B": L0}, L0}, // 0 OR 0
+		{"!A", map[string]Logic{"A": L1}, L0},
+		{"!A", map[string]Logic{}, LX},
+		{"A^B", map[string]Logic{"A": L1, "B": L0}, L1},
+		{"A^B", map[string]Logic{"A": L1}, LX},
+		{"!(A&B)|C", map[string]Logic{"C": L1}, L1},
+		{"mux(S,A,B)", map[string]Logic{"S": L0, "A": L1}, L1},
+		{"mux(S,A,B)", map[string]Logic{"S": L1, "B": L0}, L0},
+		{"mux(S,A,B)", map[string]Logic{"A": L1, "B": L1}, L1}, // X select, agreeing data
+		{"mux(S,A,B)", map[string]Logic{"A": L1, "B": L0}, LX},
+		{"0", nil, L0},
+		{"1", nil, L1},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.fn)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", c.fn, err)
+		}
+		if got := e.Eval(levels(c.in)); got != c.want {
+			t.Errorf("%s with %v = %v, want %v", c.fn, c.in, got, c.want)
+		}
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	// ! > & > ^ > |
+	e, err := ParseExpr("A|B&C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A=0 B=1 C=0: if parsed (A|B)&C -> 0; A|(B&C) -> 0. Use A=1: (1|B)&0=0 vs 1|(..)=1.
+	got := e.Eval(levels(map[string]Logic{"A": L1, "B": L1, "C": L0}))
+	if got != L1 {
+		t.Errorf("A|B&C misparsed: got %v", got)
+	}
+	e2, _ := ParseExpr("!A&B")
+	got = e2.Eval(levels(map[string]Logic{"A": L0, "B": L1}))
+	if got != L1 {
+		t.Errorf("!A&B misparsed: got %v", got)
+	}
+}
+
+func TestExprVars(t *testing.T) {
+	e, err := ParseExpr("mux(S,!A,B&C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := e.Vars(nil)
+	want := map[string]bool{"S": true, "A": true, "B": true, "C": true}
+	if len(vars) != 4 {
+		t.Fatalf("vars = %v", vars)
+	}
+	for _, v := range vars {
+		if !want[v] {
+			t.Errorf("unexpected var %q", v)
+		}
+	}
+}
+
+func TestExprParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "A&", "(A", "A)", "&A", "mux(A,B)", "A %% B"} {
+		if _, err := ParseExpr(bad); err == nil {
+			t.Errorf("ParseExpr(%q): expected error", bad)
+		}
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	for _, fn := range []string{"A&B", "!(A|B)", "A^B", "mux(S,I0,I1)", "!((A&B)|C)", "A&B&C&D"} {
+		e, err := ParseExpr(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := ParseExpr(e.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", e.String(), fn, err)
+		}
+		// Equivalence check over all input assignments in {0,1,X}^vars.
+		vars := dedup(e.Vars(nil))
+		if len(vars) > 4 {
+			t.Fatalf("too many vars in test fn %q", fn)
+		}
+		assign := make(map[string]Logic)
+		var rec func(i int) bool
+		rec = func(i int) bool {
+			if i == len(vars) {
+				return e.Eval(levels(assign)) == e2.Eval(levels(assign))
+			}
+			for _, l := range []Logic{L0, L1, LX} {
+				assign[vars[i]] = l
+				if !rec(i + 1) {
+					return false
+				}
+			}
+			return true
+		}
+		if !rec(0) {
+			t.Errorf("round trip of %q changed semantics (printed %q)", fn, e.String())
+		}
+	}
+}
+
+func dedup(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestDefaultLibrary(t *testing.T) {
+	l := Default()
+	for _, name := range []string{"INV", "BUF", "AND2", "NAND2", "OR2", "NOR2", "XOR2",
+		"MUX2", "MUX4", "DFF", "SDFF", "DFFR", "LATCH", "ICG", "TIEHI", "TIELO", "CLKBUF"} {
+		if l.Cell(name) == nil {
+			t.Errorf("default library missing %s", name)
+		}
+	}
+	dffc := l.Cell("DFF")
+	if !dffc.Sequential {
+		t.Error("DFF not sequential")
+	}
+	if dffc.ClockPin() != "CP" {
+		t.Errorf("DFF clock pin = %q", dffc.ClockPin())
+	}
+	dp := dffc.DataPins()
+	if len(dp) != 1 || dp[0] != "D" {
+		t.Errorf("DFF data pins = %v", dp)
+	}
+	sdff := l.Cell("SDFF")
+	if got := sdff.DataPins(); len(got) != 3 {
+		t.Errorf("SDFF data pins = %v", got)
+	}
+	if l.Cell("MUX2").Pin("S") == nil {
+		t.Error("MUX2 missing S pin")
+	}
+}
+
+func TestDefaultLibraryFunctions(t *testing.T) {
+	l := Default()
+	and2 := l.Cell("AND2").Functions["Z"]
+	if and2.Eval(levels(map[string]Logic{"A": L1, "B": L0})) != L0 {
+		t.Error("AND2 function wrong")
+	}
+	icg := l.Cell("ICG").Functions["GCK"]
+	if icg.Eval(levels(map[string]Logic{"EN": L0})) != L0 {
+		t.Error("ICG with EN=0 must force GCK=0")
+	}
+	tiehi := l.Cell("TIEHI").Functions["Z"]
+	if tiehi.Eval(levels(nil)) != L1 {
+		t.Error("TIEHI must output 1")
+	}
+}
+
+func TestCellValidation(t *testing.T) {
+	l := NewLibrary("t", WireLoad{})
+	bad := &Cell{Name: "BAD",
+		Pins: []Pin{{Name: "A", Dir: Input}, {Name: "A", Dir: Output}}}
+	if err := l.Add(bad); err == nil {
+		t.Error("duplicate pin accepted")
+	}
+	bad2 := &Cell{Name: "BAD2",
+		Pins: []Pin{{Name: "A", Dir: Input}, {Name: "Z", Dir: Output}},
+		Arcs: []Arc{{From: "A", To: "NOPE", Kind: CombArc}}}
+	if err := l.Add(bad2); err == nil {
+		t.Error("arc to unknown pin accepted")
+	}
+	bad3 := &Cell{Name: "BAD3",
+		Pins: []Pin{{Name: "A", Dir: Input}, {Name: "Z", Dir: Output}},
+		Arcs: []Arc{{From: "Z", To: "A", Kind: CombArc}}}
+	if err := l.Add(bad3); err == nil {
+		t.Error("output->input comb arc accepted")
+	}
+	ok := &Cell{Name: "OK", Pins: []Pin{{Name: "A", Dir: Input}, {Name: "Z", Dir: Output}},
+		Arcs: []Arc{{From: "A", To: "Z", Kind: CombArc}}}
+	if err := l.Add(ok); err != nil {
+		t.Errorf("valid cell rejected: %v", err)
+	}
+	if err := l.Add(ok); err == nil {
+		t.Error("duplicate cell accepted")
+	}
+}
+
+func TestWireLoad(t *testing.T) {
+	wl := WireLoad{C0: 1, C1: 0.5}
+	if wl.Cap(0) != 0 {
+		t.Error("zero fanout must have zero wire cap")
+	}
+	if wl.Cap(2) != 2 {
+		t.Errorf("Cap(2) = %g, want 2", wl.Cap(2))
+	}
+}
+
+func TestArcDelayMonotonic(t *testing.T) {
+	f := func(load1, load2 float64) bool {
+		if load1 < 0 || load2 < 0 {
+			return true
+		}
+		a := &Arc{Intrinsic: 0.1, Slope: 0.01}
+		if load1 <= load2 {
+			return ArcDelay(a, load1) <= ArcDelay(a, load2)
+		}
+		return ArcDelay(a, load1) >= ArcDelay(a, load2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMLFRoundTrip(t *testing.T) {
+	src := Format(Default())
+	lib, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(Format(Default())): %v", err)
+	}
+	if len(lib.Cells()) != len(Default().Cells()) {
+		t.Fatalf("cell count %d != %d", len(lib.Cells()), len(Default().Cells()))
+	}
+	for _, name := range Default().Cells() {
+		orig, got := Default().Cell(name), lib.Cell(name)
+		if got == nil {
+			t.Errorf("missing cell %s after round trip", name)
+			continue
+		}
+		if len(got.Pins) != len(orig.Pins) || len(got.Arcs) != len(orig.Arcs) {
+			t.Errorf("cell %s: pins/arcs %d/%d != %d/%d", name,
+				len(got.Pins), len(got.Arcs), len(orig.Pins), len(orig.Arcs))
+		}
+		if got.Sequential != orig.Sequential {
+			t.Errorf("cell %s: sequential flag lost", name)
+		}
+		if len(got.Functions) != len(orig.Functions) {
+			t.Errorf("cell %s: functions lost", name)
+		}
+	}
+	if lib.WireLoad != Default().WireLoad {
+		t.Errorf("wire load %+v != %+v", lib.WireLoad, Default().WireLoad)
+	}
+}
+
+func TestMLFParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`library() {}`,
+		`library(x) { cell(A) }`,
+		`library(x) { cell(A) { pin(P) { dir sideways; } } }`,
+		`library(x) { cell(A) { arc(A) { } } }`,
+		`library(x) { bogus }`,
+		`library(x) { wire_load { c0 nan_x; } }`,
+		`library(x) { cell(A) { pin(Z) { dir output; function "&&"; } } }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestMLFComments(t *testing.T) {
+	src := `
+# full line comment
+library(c) { // trailing comment
+  wire_load { c0 1; c1 2; }
+  cell(B) {
+    pin(A) { dir input; cap 1; }
+    pin(Z) { dir output; function "A"; }
+    arc(A Z) { kind comb; unate positive; intrinsic 0.1; slope 0.01; }
+  }
+}`
+	lib, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Cell("B") == nil {
+		t.Error("cell B missing")
+	}
+}
+
+func TestSensitive(t *testing.T) {
+	cases := []struct {
+		fn     string
+		target string
+		in     map[string]Logic
+		want   bool
+	}{
+		{"A&B", "A", map[string]Logic{"B": L1}, true},
+		{"A&B", "A", map[string]Logic{"B": L0}, false}, // gated by controlling 0
+		{"A&B", "A", nil, true},                        // B unknown: pessimistic
+		{"A|B", "A", map[string]Logic{"B": L1}, false}, // gated by controlling 1
+		{"A|B", "A", map[string]Logic{"B": L0}, true},
+		{"A^B", "A", map[string]Logic{"B": L1}, true}, // xor never blocks
+		{"!A", "A", nil, true},
+		{"B", "A", nil, false},                                   // not referenced
+		{"mux(S,I0,I1)", "I0", map[string]Logic{"S": L1}, false}, // deselected
+		{"mux(S,I0,I1)", "I0", map[string]Logic{"S": L0}, true},
+		{"mux(S,I0,I1)", "I0", nil, true},
+		{"mux(S,I0,I1)", "S", map[string]Logic{"I0": L1, "I1": L1}, false}, // legs agree
+		{"mux(S,I0,I1)", "S", map[string]Logic{"I0": L1, "I1": L0}, true},
+		{"!((A&B)|C)", "A", map[string]Logic{"C": L1}, false}, // OR gated
+		{"!((A&B)|C)", "A", map[string]Logic{"B": L1, "C": L0}, true},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Sensitive(c.target, levels(c.in)); got != c.want {
+			t.Errorf("Sensitive(%s, %s, %v) = %v, want %v", c.fn, c.target, c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,434 @@
+package library
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a library from the mini library format (MLF), a small
+// liberty-inspired text format:
+//
+//	library(mylib) {
+//	    wire_load { c0 0.6; c1 0.35; }
+//	    cell(INV) {
+//	        pin(A) { dir input; cap 1.0; }
+//	        pin(Z) { dir output; function "!A"; }
+//	        arc(A Z) { kind comb; unate negative; intrinsic 0.04; slope 0.009; }
+//	    }
+//	    cell(DFF) {
+//	        sequential;
+//	        pin(CP) { dir input; clock; cap 1.2; }
+//	        pin(D)  { dir input; cap 1.0; }
+//	        pin(Q)  { dir output; }
+//	        arc(CP Q) { kind launch; intrinsic 0.18; slope 0.014; }
+//	        arc(D CP) { kind setup; margin 0.08; }
+//	        arc(D CP) { kind hold;  margin 0.03; }
+//	    }
+//	}
+//
+// Statements end with ';' or a newline; '#' and '//' start comments.
+func Parse(src string) (*Library, error) {
+	p := &mlfParser{toks: mlfTokenize(src)}
+	lib, err := p.parseLibrary()
+	if err != nil {
+		return nil, err
+	}
+	return lib, nil
+}
+
+type mlfTok struct {
+	text string
+	line int
+}
+
+func mlfTokenize(src string) []mlfTok {
+	var toks []mlfTok
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r' || c == ';':
+			i++
+		case c == '#' || (c == '/' && i+1 < n && src[i+1] == '/'):
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '(' || c == ')' || c == '{' || c == '}':
+			toks = append(toks, mlfTok{string(c), line})
+			i++
+		case c == '"':
+			j := i + 1
+			for j < n && src[j] != '"' {
+				j++
+			}
+			toks = append(toks, mlfTok{src[i+1 : j], line})
+			if j < n {
+				j++
+			}
+			i = j
+		default:
+			j := i
+			for j < n && !strings.ContainsRune(" \t\r\n(){};#\"", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, mlfTok{src[i:j], line})
+			i = j
+		}
+	}
+	return toks
+}
+
+type mlfParser struct {
+	toks []mlfTok
+	pos  int
+}
+
+func (p *mlfParser) errf(format string, args ...any) error {
+	line := 0
+	if p.pos < len(p.toks) {
+		line = p.toks[p.pos].line
+	} else if len(p.toks) > 0 {
+		line = p.toks[len(p.toks)-1].line
+	}
+	return fmt.Errorf("mlf line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *mlfParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos].text
+	}
+	return ""
+}
+
+func (p *mlfParser) next() (string, error) {
+	if p.pos >= len(p.toks) {
+		return "", p.errf("unexpected end of input")
+	}
+	t := p.toks[p.pos].text
+	p.pos++
+	return t, nil
+}
+
+func (p *mlfParser) expect(tok string) error {
+	got, err := p.next()
+	if err != nil {
+		return err
+	}
+	if got != tok {
+		p.pos--
+		return p.errf("expected %q, got %q", tok, got)
+	}
+	return nil
+}
+
+// parseHeader parses name(arg1 arg2 ...) and returns the args.
+func (p *mlfParser) parseHeader() ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []string
+	for p.peek() != ")" {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, t)
+	}
+	return args, p.expect(")")
+}
+
+func (p *mlfParser) parseFloat() (float64, error) {
+	t, err := p.next()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		p.pos--
+		return 0, p.errf("expected number, got %q", t)
+	}
+	return v, nil
+}
+
+func (p *mlfParser) parseLibrary() (*Library, error) {
+	if err := p.expect("library"); err != nil {
+		return nil, err
+	}
+	args, err := p.parseHeader()
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != 1 {
+		return nil, p.errf("library wants one name argument")
+	}
+	lib := NewLibrary(args[0], WireLoad{})
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case "}":
+			p.pos++
+			return lib, nil
+		case "wire_load":
+			p.pos++
+			if err := p.parseWireLoad(lib); err != nil {
+				return nil, err
+			}
+		case "cell":
+			p.pos++
+			c, err := p.parseCell()
+			if err != nil {
+				return nil, err
+			}
+			if err := lib.Add(c); err != nil {
+				return nil, p.errf("%v", err)
+			}
+		case "":
+			return nil, p.errf("unterminated library block")
+		default:
+			return nil, p.errf("unexpected token %q in library block", p.peek())
+		}
+	}
+}
+
+func (p *mlfParser) parseWireLoad(lib *Library) error {
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		switch t {
+		case "}":
+			return nil
+		case "c0":
+			if lib.WireLoad.C0, err = p.parseFloat(); err != nil {
+				return err
+			}
+		case "c1":
+			if lib.WireLoad.C1, err = p.parseFloat(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected token %q in wire_load", t)
+		}
+	}
+}
+
+func (p *mlfParser) parseCell() (*Cell, error) {
+	args, err := p.parseHeader()
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != 1 {
+		return nil, p.errf("cell wants one name argument")
+	}
+	c := &Cell{Name: args[0], Functions: map[string]Expr{}}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case "}":
+			return c, nil
+		case "sequential":
+			c.Sequential = true
+		case "latch":
+			c.Sequential = true
+			c.Level = true
+		case "pin":
+			if err := p.parsePin(c); err != nil {
+				return nil, err
+			}
+		case "arc":
+			if err := p.parseArc(c); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unexpected token %q in cell %s", t, c.Name)
+		}
+	}
+}
+
+func (p *mlfParser) parsePin(c *Cell) error {
+	args, err := p.parseHeader()
+	if err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return p.errf("pin wants one name argument")
+	}
+	pin := Pin{Name: args[0]}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		switch t {
+		case "}":
+			c.Pins = append(c.Pins, pin)
+			return nil
+		case "dir":
+			d, err := p.next()
+			if err != nil {
+				return err
+			}
+			switch d {
+			case "input":
+				pin.Dir = Input
+			case "output":
+				pin.Dir = Output
+			default:
+				return p.errf("bad pin direction %q", d)
+			}
+		case "clock":
+			pin.Clock = true
+		case "cap":
+			if pin.Cap, err = p.parseFloat(); err != nil {
+				return err
+			}
+		case "function":
+			f, err := p.next()
+			if err != nil {
+				return err
+			}
+			e, err := ParseExpr(f)
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			c.Functions[pin.Name] = e
+		default:
+			return p.errf("unexpected token %q in pin %s", t, pin.Name)
+		}
+	}
+}
+
+func (p *mlfParser) parseArc(c *Cell) error {
+	args, err := p.parseHeader()
+	if err != nil {
+		return err
+	}
+	if len(args) != 2 {
+		return p.errf("arc wants (from to) arguments")
+	}
+	a := Arc{From: args[0], To: args[1]}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		switch t {
+		case "}":
+			c.Arcs = append(c.Arcs, a)
+			return nil
+		case "kind":
+			k, err := p.next()
+			if err != nil {
+				return err
+			}
+			switch k {
+			case "comb":
+				a.Kind = CombArc
+			case "launch":
+				a.Kind = LaunchArc
+			case "setup":
+				a.Kind = SetupArc
+			case "hold":
+				a.Kind = HoldArc
+			default:
+				return p.errf("bad arc kind %q", k)
+			}
+		case "unate":
+			u, err := p.next()
+			if err != nil {
+				return err
+			}
+			switch u {
+			case "positive":
+				a.Unate = PositiveUnate
+			case "negative":
+				a.Unate = NegativeUnate
+			case "nonunate":
+				a.Unate = NonUnate
+			default:
+				return p.errf("bad unateness %q", u)
+			}
+		case "intrinsic":
+			if a.Intrinsic, err = p.parseFloat(); err != nil {
+				return err
+			}
+		case "slope":
+			if a.Slope, err = p.parseFloat(); err != nil {
+				return err
+			}
+		case "margin":
+			if a.Margin, err = p.parseFloat(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected token %q in arc", t)
+		}
+	}
+}
+
+// Format renders a library back to MLF text, primarily for tooling and
+// round-trip tests.
+func Format(l *Library) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "library(%s) {\n", l.Name)
+	fmt.Fprintf(&b, "  wire_load { c0 %g; c1 %g; }\n", l.WireLoad.C0, l.WireLoad.C1)
+	for _, name := range l.Cells() {
+		c := l.Cell(name)
+		fmt.Fprintf(&b, "  cell(%s) {\n", c.Name)
+		if c.Level {
+			b.WriteString("    latch;\n")
+		} else if c.Sequential {
+			b.WriteString("    sequential;\n")
+		}
+		for _, pin := range c.Pins {
+			fmt.Fprintf(&b, "    pin(%s) { dir %s;", pin.Name, pin.Dir)
+			if pin.Clock {
+				b.WriteString(" clock;")
+			}
+			if pin.Cap != 0 {
+				fmt.Fprintf(&b, " cap %g;", pin.Cap)
+			}
+			if f, ok := c.Functions[pin.Name]; ok {
+				fmt.Fprintf(&b, " function %q;", f.String())
+			}
+			b.WriteString(" }\n")
+		}
+		for _, a := range c.Arcs {
+			fmt.Fprintf(&b, "    arc(%s %s) { kind %s;", a.From, a.To, a.Kind)
+			switch a.Kind {
+			case CombArc, LaunchArc:
+				fmt.Fprintf(&b, " unate %s; intrinsic %g; slope %g;", a.Unate, a.Intrinsic, a.Slope)
+			case SetupArc, HoldArc:
+				fmt.Fprintf(&b, " margin %g;", a.Margin)
+			}
+			b.WriteString(" }\n")
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

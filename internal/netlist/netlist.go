@@ -1,0 +1,331 @@
+// Package netlist models a flat gate-level design: top-level ports,
+// library-cell instances and the nets connecting them. Designs come from
+// the builder API, from the structural-Verilog-subset parser (see
+// ParseVerilog), or from the synthetic generator.
+//
+// Hierarchical Verilog input is elaborated and flattened; flat instance
+// and net names join hierarchy levels with '/'. Pins are referenced as
+// "instance/PIN".
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"modemerge/internal/library"
+)
+
+// PortDir is the direction of a top-level port.
+type PortDir int8
+
+// Port directions.
+const (
+	In PortDir = iota
+	Out
+)
+
+func (d PortDir) String() string {
+	if d == Out {
+		return "output"
+	}
+	return "input"
+}
+
+// Port is a top-level design port. Each port is attached to exactly one
+// net.
+type Port struct {
+	Name  string
+	Dir   PortDir
+	Net   *Net
+	Index int // position in Design.Ports
+}
+
+// Instance is one placed library cell.
+type Instance struct {
+	Name  string
+	Cell  *library.Cell
+	Conns []*Net // one per cell pin, by pin index; nil = unconnected
+	Index int    // position in Design.Insts
+}
+
+// PinName returns "inst/PIN" for the pin at index i.
+func (inst *Instance) PinName(i int) string {
+	return inst.Name + "/" + inst.Cell.Pins[i].Name
+}
+
+// Conn identifies one instance pin attached to a net.
+type Conn struct {
+	Inst *Instance
+	Pin  int // index into Inst.Cell.Pins
+}
+
+// Net is an electrical node connecting instance pins and ports.
+type Net struct {
+	Name  string
+	Index int // position in Design.Nets
+	Conns []Conn
+	Ports []*Port
+}
+
+// Fanout returns the number of input pins and output ports the net feeds.
+func (n *Net) Fanout() int {
+	count := 0
+	for _, c := range n.Conns {
+		if c.Inst.Cell.Pins[c.Pin].Dir == library.Input {
+			count++
+		}
+	}
+	for _, p := range n.Ports {
+		if p.Dir == Out {
+			count++
+		}
+	}
+	return count
+}
+
+// LoadCap returns the total pin capacitance of the net's sinks.
+func (n *Net) LoadCap() float64 {
+	total := 0.0
+	for _, c := range n.Conns {
+		p := c.Inst.Cell.Pins[c.Pin]
+		if p.Dir == library.Input {
+			total += p.Cap
+		}
+	}
+	return total
+}
+
+// Design is a flat elaborated design.
+type Design struct {
+	Name  string
+	Lib   *library.Library
+	Ports []*Port
+	Insts []*Instance
+	Nets  []*Net
+
+	portByName map[string]*Port
+	instByName map[string]*Instance
+	netByName  map[string]*Net
+}
+
+// PortByName returns the named port, or nil.
+func (d *Design) PortByName(name string) *Port { return d.portByName[name] }
+
+// InstByName returns the named instance, or nil.
+func (d *Design) InstByName(name string) *Instance { return d.instByName[name] }
+
+// NetByName returns the named net, or nil.
+func (d *Design) NetByName(name string) *Net { return d.netByName[name] }
+
+// FindPin resolves "inst/PIN" to the instance and pin index. It returns an
+// error for unknown instances or pins.
+func (d *Design) FindPin(name string) (*Instance, int, error) {
+	slash := strings.LastIndexByte(name, '/')
+	if slash < 0 {
+		return nil, 0, fmt.Errorf("pin name %q has no '/'", name)
+	}
+	inst := d.instByName[name[:slash]]
+	if inst == nil {
+		return nil, 0, fmt.Errorf("no instance %q", name[:slash])
+	}
+	pinName := name[slash+1:]
+	for i, p := range inst.Cell.Pins {
+		if p.Name == pinName {
+			return inst, i, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("instance %q (cell %s) has no pin %q", inst.Name, inst.Cell.Name, pinName)
+}
+
+// Stats summarizes a design.
+type Stats struct {
+	Cells      int
+	Sequential int
+	Nets       int
+	Ports      int
+}
+
+// Stats computes design statistics.
+func (d *Design) Stats() Stats {
+	s := Stats{Cells: len(d.Insts), Nets: len(d.Nets), Ports: len(d.Ports)}
+	for _, inst := range d.Insts {
+		if inst.Cell.Sequential {
+			s.Sequential++
+		}
+	}
+	return s
+}
+
+// Validate checks structural sanity: no multiply-driven nets, every net
+// has a name, connections are direction-consistent. Floating input pins
+// are reported in the returned warnings rather than as errors (tie cells
+// are not mandatory in test designs).
+func (d *Design) Validate() (warnings []string, err error) {
+	for _, n := range d.Nets {
+		drivers := 0
+		for _, c := range n.Conns {
+			if c.Inst.Cell.Pins[c.Pin].Dir == library.Output {
+				drivers++
+			}
+		}
+		for _, p := range n.Ports {
+			if p.Dir == In {
+				drivers++
+			}
+		}
+		if drivers > 1 {
+			return warnings, fmt.Errorf("net %q has %d drivers", n.Name, drivers)
+		}
+		if drivers == 0 && n.Fanout() > 0 {
+			warnings = append(warnings, fmt.Sprintf("net %q is undriven", n.Name))
+		}
+	}
+	for _, inst := range d.Insts {
+		for i, net := range inst.Conns {
+			if net == nil && inst.Cell.Pins[i].Dir == library.Input {
+				warnings = append(warnings, fmt.Sprintf("pin %s is unconnected", inst.PinName(i)))
+			}
+		}
+	}
+	return warnings, nil
+}
+
+// Builder assembles a flat design programmatically. Nets are created on
+// first reference; declaring a port creates (or adopts) the same-named
+// net.
+type Builder struct {
+	d    *Design
+	errs []error
+}
+
+// NewBuilder starts a design with the given name and library.
+func NewBuilder(name string, lib *library.Library) *Builder {
+	return &Builder{d: &Design{
+		Name:       name,
+		Lib:        lib,
+		portByName: make(map[string]*Port),
+		instByName: make(map[string]*Instance),
+		netByName:  make(map[string]*Net),
+	}}
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Net returns the named net, creating it if needed.
+func (b *Builder) Net(name string) *Net {
+	if n, ok := b.d.netByName[name]; ok {
+		return n
+	}
+	n := &Net{Name: name, Index: len(b.d.Nets)}
+	b.d.Nets = append(b.d.Nets, n)
+	b.d.netByName[name] = n
+	return n
+}
+
+// Port declares a top-level port attached to the same-named net.
+func (b *Builder) Port(name string, dir PortDir) *Port {
+	if _, dup := b.d.portByName[name]; dup {
+		b.errf("duplicate port %q", name)
+		return b.d.portByName[name]
+	}
+	p := &Port{Name: name, Dir: dir, Net: b.Net(name), Index: len(b.d.Ports)}
+	p.Net.Ports = append(p.Net.Ports, p)
+	b.d.Ports = append(b.d.Ports, p)
+	b.d.portByName[name] = p
+	return p
+}
+
+// Inst places a cell instance with pin→net connections given by name.
+// Unlisted pins are left unconnected.
+func (b *Builder) Inst(cellName, instName string, conns map[string]string) *Instance {
+	cell := b.d.Lib.Cell(cellName)
+	if cell == nil {
+		b.errf("instance %q: unknown cell %q", instName, cellName)
+		return nil
+	}
+	if _, dup := b.d.instByName[instName]; dup {
+		b.errf("duplicate instance %q", instName)
+		return nil
+	}
+	inst := &Instance{Name: instName, Cell: cell, Conns: make([]*Net, len(cell.Pins)), Index: len(b.d.Insts)}
+	for pinName, netName := range conns {
+		idx := -1
+		for i, p := range cell.Pins {
+			if p.Name == pinName {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			b.errf("instance %q: cell %s has no pin %q", instName, cellName, pinName)
+			continue
+		}
+		net := b.Net(netName)
+		inst.Conns[idx] = net
+		net.Conns = append(net.Conns, Conn{Inst: inst, Pin: idx})
+	}
+	b.d.Insts = append(b.d.Insts, inst)
+	b.d.instByName[instName] = inst
+	return inst
+}
+
+// Build finalizes and validates the design.
+func (b *Builder) Build() (*Design, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if _, err := b.d.Validate(); err != nil {
+		return nil, err
+	}
+	return b.d, nil
+}
+
+// MustBuild is Build that panics on error; for tests and static examples.
+func (b *Builder) MustBuild() *Design {
+	d, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// SortedInstNames returns all instance names sorted, for deterministic
+// iteration in reports.
+func (d *Design) SortedInstNames() []string {
+	names := make([]string, len(d.Insts))
+	for i, inst := range d.Insts {
+		names[i] = inst.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PinNet returns the name of the net attached to pin pinName of a
+// previously placed instance.
+func (b *Builder) PinNet(instName, pinName string) (string, error) {
+	inst, ok := b.d.instByName[instName]
+	if !ok {
+		return "", fmt.Errorf("PinNet: no instance %q", instName)
+	}
+	for i, p := range inst.Cell.Pins {
+		if p.Name == pinName {
+			if inst.Conns[i] == nil {
+				return "", fmt.Errorf("PinNet: %s/%s is unconnected", instName, pinName)
+			}
+			return inst.Conns[i].Name, nil
+		}
+	}
+	return "", fmt.Errorf("PinNet: cell %s has no pin %q", inst.Cell.Name, pinName)
+}
+
+// MustPinNet is PinNet that panics on error; for generators.
+func (b *Builder) MustPinNet(instName, pinName string) string {
+	n, err := b.PinNet(instName, pinName)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

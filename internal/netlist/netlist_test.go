@@ -1,0 +1,437 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"modemerge/internal/library"
+)
+
+func buildSmall(t *testing.T) *Design {
+	t.Helper()
+	b := NewBuilder("small", library.Default())
+	b.Port("clk", In)
+	b.Port("d", In)
+	b.Port("q", Out)
+	b.Inst("DFF", "r1", map[string]string{"CP": "clk", "D": "d", "Q": "n1"})
+	b.Inst("INV", "inv1", map[string]string{"A": "n1", "Z": "n2"})
+	b.Inst("DFF", "r2", map[string]string{"CP": "clk", "D": "n2", "Q": "q"})
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBuilderBasics(t *testing.T) {
+	d := buildSmall(t)
+	if got := d.Stats(); got.Cells != 3 || got.Sequential != 2 || got.Ports != 3 {
+		t.Errorf("stats = %+v", got)
+	}
+	if d.InstByName("inv1") == nil || d.PortByName("clk") == nil || d.NetByName("n1") == nil {
+		t.Fatal("lookups failed")
+	}
+	inst, pin, err := d.FindPin("inv1/A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Name != "inv1" || inst.Cell.Pins[pin].Name != "A" {
+		t.Errorf("FindPin returned %s pin %d", inst.Name, pin)
+	}
+	if _, _, err := d.FindPin("nosuch/A"); err == nil {
+		t.Error("expected error for unknown instance")
+	}
+	if _, _, err := d.FindPin("inv1/NOPE"); err == nil {
+		t.Error("expected error for unknown pin")
+	}
+	if _, _, err := d.FindPin("noslash"); err == nil {
+		t.Error("expected error for missing slash")
+	}
+}
+
+func TestNetConnectivity(t *testing.T) {
+	d := buildSmall(t)
+	clk := d.NetByName("clk")
+	if clk.Fanout() != 2 {
+		t.Errorf("clk fanout = %d, want 2", clk.Fanout())
+	}
+	if clk.LoadCap() <= 0 {
+		t.Error("clk load cap must be positive")
+	}
+	n1 := d.NetByName("n1")
+	drivers := 0
+	for _, c := range n1.Conns {
+		if c.Inst.Cell.Pins[c.Pin].Dir == library.Output {
+			drivers++
+		}
+	}
+	if drivers != 1 {
+		t.Errorf("n1 has %d drivers", drivers)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("bad", library.Default())
+	b.Port("p", In)
+	b.Port("p", In)
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate port accepted")
+	}
+
+	b2 := NewBuilder("bad2", library.Default())
+	b2.Inst("NOSUCHCELL", "x", nil)
+	if _, err := b2.Build(); err == nil {
+		t.Error("unknown cell accepted")
+	}
+
+	b3 := NewBuilder("bad3", library.Default())
+	b3.Inst("INV", "a", map[string]string{"NOPE": "n"})
+	if _, err := b3.Build(); err == nil {
+		t.Error("unknown pin accepted")
+	}
+
+	b4 := NewBuilder("bad4", library.Default())
+	b4.Inst("INV", "a", map[string]string{"Z": "n"})
+	b4.Inst("INV", "b", map[string]string{"Z": "n"})
+	if _, err := b4.Build(); err == nil {
+		t.Error("multiply driven net accepted")
+	}
+
+	b5 := NewBuilder("bad5", library.Default())
+	b5.Inst("INV", "a", map[string]string{"A": "x", "Z": "y"})
+	b5.Inst("INV", "a", map[string]string{"A": "y", "Z": "z"})
+	if _, err := b5.Build(); err == nil {
+		t.Error("duplicate instance accepted")
+	}
+}
+
+func TestValidateWarnings(t *testing.T) {
+	b := NewBuilder("warn", library.Default())
+	b.Inst("AND2", "g", map[string]string{"A": "in", "Z": "out"}) // B unconnected, in undriven
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warnings, err := d.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(warnings, "\n")
+	if !strings.Contains(joined, "g/B") {
+		t.Errorf("expected unconnected-pin warning, got %q", joined)
+	}
+	if !strings.Contains(joined, "undriven") {
+		t.Errorf("expected undriven-net warning, got %q", joined)
+	}
+}
+
+const flatVerilog = `
+// flat example
+module top (clk, d, q);
+  input clk, d;
+  output q;
+  wire n1, n2;
+  DFF r1 (.CP(clk), .D(d), .Q(n1));
+  INV inv1 (.A(n1), .Z(n2));
+  DFF r2 (.CP(clk), .D(n2), .Q(q));
+endmodule
+`
+
+func TestParseVerilogFlat(t *testing.T) {
+	d, err := ParseVerilog(flatVerilog, library.Default(), "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Cells != 3 || s.Sequential != 2 || s.Ports != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if d.InstByName("inv1") == nil {
+		t.Error("inv1 missing")
+	}
+	// r1/Q and inv1/A share a net.
+	r1 := d.InstByName("r1")
+	inv1 := d.InstByName("inv1")
+	var qNet, aNet *Net
+	for i, p := range r1.Cell.Pins {
+		if p.Name == "Q" {
+			qNet = r1.Conns[i]
+		}
+	}
+	for i, p := range inv1.Cell.Pins {
+		if p.Name == "A" {
+			aNet = inv1.Conns[i]
+		}
+	}
+	if qNet == nil || qNet != aNet {
+		t.Error("r1/Q and inv1/A not connected")
+	}
+}
+
+const hierVerilog = `
+module stage (input ck, input din, output dout);
+  wire m;
+  DFF r (.CP(ck), .D(din), .Q(m));
+  INV i (.A(m), .Z(dout));
+endmodule
+
+module top (input clk, input d, output q);
+  wire mid;
+  stage s1 (.ck(clk), .din(d), .dout(mid));
+  stage s2 (.ck(clk), .din(mid), .dout(q));
+endmodule
+`
+
+func TestParseVerilogHierarchy(t *testing.T) {
+	d, err := ParseVerilog(hierVerilog, library.Default(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Cells != 4 || s.Sequential != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if d.InstByName("s1/r") == nil || d.InstByName("s2/i") == nil {
+		t.Error("flattened instance names missing")
+	}
+	// s1/i/Z connects to s2/r/D via net "mid".
+	mid := d.NetByName("mid")
+	if mid == nil {
+		t.Fatal("net mid missing")
+	}
+	var pins []string
+	for _, c := range mid.Conns {
+		pins = append(pins, c.Inst.PinName(c.Pin))
+	}
+	joined := strings.Join(pins, ",")
+	if !strings.Contains(joined, "s1/i/Z") || !strings.Contains(joined, "s2/r/D") {
+		t.Errorf("net mid connects %q", joined)
+	}
+}
+
+const vectorVerilog = `
+module top (input clk, input [3:0] d, output [3:0] q);
+  wire [3:0] n;
+  DFF r0 (.CP(clk), .D(d[0]), .Q(n[0]));
+  DFF r1 (.CP(clk), .D(d[1]), .Q(n[1]));
+  DFF r2 (.CP(clk), .D(d[2]), .Q(n[2]));
+  DFF r3 (.CP(clk), .D(d[3]), .Q(n[3]));
+  assign q = n;
+endmodule
+`
+
+func TestParseVerilogVectors(t *testing.T) {
+	d, err := ParseVerilog(vectorVerilog, library.Default(), "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PortByName("d[2]") == nil || d.PortByName("q[0]") == nil {
+		t.Fatal("vector ports not expanded")
+	}
+	// assign q = n merges each q[i] with n[i]; r0/Q must reach port q[0].
+	r0 := d.InstByName("r0")
+	var qNet *Net
+	for i, p := range r0.Cell.Pins {
+		if p.Name == "Q" {
+			qNet = r0.Conns[i]
+		}
+	}
+	found := false
+	for _, p := range qNet.Ports {
+		if p.Name == "q[0]" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("r0/Q net %q does not reach port q[0]", qNet.Name)
+	}
+}
+
+const tieVerilog = `
+module top (input clk, output q);
+  wire n;
+  AND2 g (.A(1'b1), .B(clk), .Z(n));
+  DFF r (.CP(n), .D(1'b0), .Q(q));
+endmodule
+`
+
+func TestParseVerilogTies(t *testing.T) {
+	d, err := ParseVerilog(tieVerilog, library.Default(), "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.InstByName("__tiehi") == nil || d.InstByName("__tielo") == nil {
+		t.Error("tie cells not created")
+	}
+}
+
+const posVerilog = `
+module top (a, z);
+  input a;
+  output z;
+  INV i1 (a, z);
+endmodule
+`
+
+func TestParseVerilogPositional(t *testing.T) {
+	d, err := ParseVerilog(posVerilog, library.Default(), "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1 := d.InstByName("i1")
+	if i1.Conns[0] == nil || i1.Conns[0].Name != "a" {
+		t.Error("positional connection to A failed")
+	}
+}
+
+const concatVerilog = `
+module pair (input [1:0] din, output [1:0] dout);
+  BUF b0 (.A(din[0]), .Z(dout[0]));
+  BUF b1 (.A(din[1]), .Z(dout[1]));
+endmodule
+
+module top (input x, input y, output [1:0] z);
+  pair p (.din({x, y}), .dout(z));
+endmodule
+`
+
+func TestParseVerilogConcat(t *testing.T) {
+	d, err := ParseVerilog(concatVerilog, library.Default(), "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {x,y}: x is msb → din[1]=x, din[0]=y. b1 reads din[1]=x.
+	b1 := d.InstByName("p/b1")
+	if b1.Conns[0].Name != "x" {
+		t.Errorf("p/b1/A connected to %q, want x", b1.Conns[0].Name)
+	}
+	b0 := d.InstByName("p/b0")
+	if b0.Conns[0].Name != "y" {
+		t.Errorf("p/b0/A connected to %q, want y", b0.Conns[0].Name)
+	}
+}
+
+func TestParseVerilogErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`module m (a); input a;`, // no endmodule
+		`module m (a); input a; NOSUCH g (.A(a)); endmodule`,
+		`module m (a); input a; INV g (.NOPE(a)); endmodule`,
+		`module m (a); input a; INV g (.A(undeclared)); endmodule`,
+		`module m (); wire w; assign w = {w, w}; endmodule`, // width mismatch
+		`module m (a); input [1:0] a; INV g (.A(a)); endmodule`,
+		`module a (); b i (); endmodule
+		 module b (); a i (); endmodule`, // recursion, and no single top
+	}
+	for _, src := range cases {
+		if _, err := ParseVerilog(src, library.Default(), ""); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParseVerilogRecursionDepth(t *testing.T) {
+	src := `module a (); a i (); endmodule`
+	if _, err := ParseVerilog(src, library.Default(), "a"); err == nil {
+		t.Error("recursive instantiation must error")
+	}
+}
+
+func TestWriteVerilogRoundTrip(t *testing.T) {
+	orig, err := ParseVerilog(hierVerilog, library.Default(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := WriteVerilog(orig)
+	re, err := ParseVerilog(text, library.Default(), "top")
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	if re.Stats() != orig.Stats() {
+		t.Errorf("stats changed: %+v vs %+v", re.Stats(), orig.Stats())
+	}
+	for _, inst := range orig.Insts {
+		got := re.InstByName(inst.Name)
+		if got == nil {
+			t.Errorf("instance %q lost", inst.Name)
+			continue
+		}
+		if got.Cell.Name != inst.Cell.Name {
+			t.Errorf("instance %q cell %q != %q", inst.Name, got.Cell.Name, inst.Cell.Name)
+		}
+	}
+}
+
+func TestBlockComments(t *testing.T) {
+	src := `/* header
+	comment */ module top (input a, output z);
+	INV i (.A(a), .Z(z)); /* inline */
+	endmodule`
+	if _, err := ParseVerilog(src, library.Default(), "top"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPinNet(t *testing.T) {
+	b := NewBuilder("p", library.Default())
+	b.Port("clk", In)
+	b.Inst("DFF", "r", map[string]string{"CP": "clk", "D": "din", "Q": "q"})
+	net, err := b.PinNet("r", "Q")
+	if err != nil || net != "q" {
+		t.Errorf("PinNet = %q, %v", net, err)
+	}
+	if _, err := b.PinNet("nosuch", "Q"); err == nil {
+		t.Error("unknown instance accepted")
+	}
+	if _, err := b.PinNet("r", "NOPE"); err == nil {
+		t.Error("unknown pin accepted")
+	}
+	b.Inst("INV", "i", map[string]string{"Z": "z"})
+	if _, err := b.PinNet("i", "A"); err == nil {
+		t.Error("unconnected pin accepted")
+	}
+	if got := b.MustPinNet("r", "D"); got != "din" {
+		t.Errorf("MustPinNet = %q", got)
+	}
+}
+
+func TestWriteVerilogEscapedIdentifiers(t *testing.T) {
+	// Hierarchical names with '/' and bus bits with '[]' must survive a
+	// write/parse round trip via escaped identifiers.
+	b := NewBuilder("esc", library.Default())
+	b.Port("clk", In)
+	b.Port("d[0]", In)
+	b.Inst("DFF", "u_core/r1", map[string]string{"CP": "clk", "D": "d[0]", "Q": "core/q[3]"})
+	b.Inst("INV", "u_core/i1", map[string]string{"A": "core/q[3]", "Z": "out_n"})
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := WriteVerilog(d)
+	re, err := ParseVerilog(text, library.Default(), "esc")
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if re.InstByName("u_core/r1") == nil {
+		t.Error("escaped instance name lost")
+	}
+	if re.PortByName("d[0]") == nil {
+		t.Error("escaped port name lost")
+	}
+	if re.NetByName("core/q[3]") == nil {
+		t.Error("escaped net name lost")
+	}
+}
+
+func TestStatsAndSortedNames(t *testing.T) {
+	d := buildSmall(t)
+	names := d.SortedInstNames()
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+}

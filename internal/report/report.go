@@ -1,0 +1,132 @@
+// Package report renders the paper's tables (1–6) and the mergeability
+// figure as aligned text, shared by cmd/tables, the examples and the
+// benchmark harness.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"modemerge/internal/experiments"
+)
+
+// Table renders rows of cells with a header, padded per column.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Footer []string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range [][]string{t.Footer} {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if len(t.Footer) > 0 {
+		line(sep)
+		line(t.Footer)
+	}
+	return b.String()
+}
+
+// Seconds formats a duration the way the paper's tables do.
+func Seconds(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// Table5 renders mode-reduction results in the layout of the paper's
+// Table 5.
+func Table5(rows []experiments.Table5Row) string {
+	t := &Table{
+		Title:  "Table 5: Mode reduction and merging runtime [size → cells, time → seconds]",
+		Header: []string{"Design", "Size", "# Individual", "# Merged", "% Reduction", "Merging Runtime"},
+	}
+	totalRed := 0.0
+	for _, r := range rows {
+		t.Add(r.Design, fmt.Sprintf("%d", r.Cells),
+			fmt.Sprintf("%d", r.Individual), fmt.Sprintf("%d", r.Merged),
+			fmt.Sprintf("%.1f", r.ReductionPct), Seconds(r.MergeTime))
+		totalRed += r.ReductionPct
+	}
+	if len(rows) > 0 {
+		t.Footer = []string{"", "", "", "Average", fmt.Sprintf("%.1f", totalRed/float64(len(rows))), ""}
+	}
+	return t.String()
+}
+
+// Table6 renders STA-runtime and conformity results in the layout of the
+// paper's Table 6.
+func Table6(rows []experiments.Table6Row) string {
+	t := &Table{
+		Title:  "Table 6: Overall STA runtime and QoR of merged modes [time → seconds; conformity → % endpoints within 1% of capture period]",
+		Header: []string{"Design", "STA Individual", "STA Merged", "% Reduction", "Conformity"},
+	}
+	totalRed, totalConf := 0.0, 0.0
+	for _, r := range rows {
+		t.Add(r.Design, Seconds(r.IndividualSTA), Seconds(r.MergedSTA),
+			fmt.Sprintf("%.1f", r.ReductionPct), fmt.Sprintf("%.2f", r.ConformityPct))
+		totalRed += r.ReductionPct
+		totalConf += r.ConformityPct
+	}
+	if n := len(rows); n > 0 {
+		t.Footer = []string{"Average", "", "",
+			fmt.Sprintf("%.1f", totalRed/float64(n)), fmt.Sprintf("%.2f", totalConf/float64(n))}
+	}
+	return t.String()
+}
+
+// Ablation renders the naive-vs-graph comparison.
+func Ablation(rows []experiments.AblationRow) string {
+	t := &Table{
+		Title:  "Ablation: naive textual merging vs graph-based merging (conformity %)",
+		Header: []string{"Design", "Graph-based", "Naive", "Refinement constraints"},
+	}
+	for _, r := range rows {
+		t.Add(r.Design, fmt.Sprintf("%.2f", r.GraphConformity),
+			fmt.Sprintf("%.2f", r.NaiveConformity), fmt.Sprintf("%d", r.GraphFalsePaths))
+	}
+	return t.String()
+}

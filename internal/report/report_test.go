@@ -1,0 +1,79 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"modemerge/internal/experiments"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "T",
+		Header: []string{"a", "bb", "ccc"},
+		Footer: []string{"f", "", ""},
+	}
+	tbl.Add("1", "22", "333")
+	tbl.Add("longest", "2", "3")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + sep + 2 rows + sep + footer.
+	if len(lines) != 7 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All data lines share the same width alignment: the separator row
+	// must be at least as long as every row.
+	sep := lines[2]
+	for _, l := range lines[3:5] {
+		if len(l) > len(sep) {
+			t.Errorf("row wider than separator:\n%s", out)
+		}
+	}
+	if !strings.Contains(out, "longest") {
+		t.Error("row content lost")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := Seconds(1500 * time.Millisecond); got != "1.500" {
+		t.Errorf("Seconds = %q", got)
+	}
+}
+
+func TestTable5Format(t *testing.T) {
+	rows := []experiments.Table5Row{
+		{Design: "A", Cells: 100, Individual: 95, Merged: 16, ReductionPct: 83.1, MergeTime: 2 * time.Second},
+		{Design: "B", Cells: 200, Individual: 3, Merged: 1, ReductionPct: 66.6, MergeTime: time.Second},
+	}
+	out := Table5(rows)
+	for _, want := range []string{"Design", "95", "16", "83.1", "2.000", "Average", "74.8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table5 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable6Format(t *testing.T) {
+	rows := []experiments.Table6Row{
+		{Design: "A", IndividualSTA: time.Second, MergedSTA: 400 * time.Millisecond, ReductionPct: 60, ConformityPct: 99.9},
+	}
+	out := Table6(rows)
+	for _, want := range []string{"1.000", "0.400", "60.0", "99.90"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table6 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationFormat(t *testing.T) {
+	rows := []experiments.AblationRow{
+		{Design: "B", GraphConformity: 100, NaiveConformity: 76.19, GraphFalsePaths: 365},
+	}
+	out := Ablation(rows)
+	for _, want := range []string{"100.00", "76.19", "365"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Ablation output missing %q:\n%s", want, out)
+		}
+	}
+}

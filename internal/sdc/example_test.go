@@ -1,0 +1,50 @@
+package sdc_test
+
+import (
+	"fmt"
+	"log"
+
+	"modemerge/internal/gen"
+	"modemerge/internal/sdc"
+)
+
+// ExampleParse parses an SDC script (with Tcl loops and variables)
+// against a design and prints the resolved constraints.
+func ExampleParse() {
+	design := gen.PaperCircuit()
+	mode, ignored, err := sdc.Parse("func", `
+set PERIOD 10
+create_clock -name clkA -period $PERIOD [get_ports clk1]
+set_units -time ns
+foreach pin {inv1/Z and1/Z} {
+    set_false_path -through [get_pins $pin]
+}
+`, design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clock %s period %g\n", mode.Clocks[0].Name, mode.Clocks[0].Period)
+	fmt.Printf("%d exceptions, ignored commands: %v\n", len(mode.Exceptions), ignored)
+	fmt.Print(sdc.WriteException(mode.Exceptions[0]))
+	// Output:
+	// clock clkA period 10
+	// 2 exceptions, ignored commands: [set_units]
+	// set_false_path -through [get_pins {inv1/Z}]
+}
+
+// ExampleWrite round-trips a mode through SDC text.
+func ExampleWrite() {
+	design := gen.PaperCircuit()
+	mode, _, err := sdc.Parse("m", `
+create_clock -name clkA -period 4 [get_ports clk1]
+set_case_analysis 0 [get_ports sel1]
+`, design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sdc.Write(mode))
+	// Output:
+	// # Mode: m
+	// create_clock -name clkA -period 4 [get_ports {clk1}]
+	// set_case_analysis 0 [get_ports {sel1}]
+}

@@ -1,0 +1,483 @@
+// Package sdc implements the Synopsys Design Constraints subset the mode
+// merging flow consumes: an object model for parsed constraints, a parser
+// built on the tcl interpreter with design-object queries (get_ports,
+// get_pins, get_clocks, …), exception precedence rules, and an SDC writer.
+//
+// A Mode is the parsed form of one SDC file: one timing mode of the
+// design. Constraints reference design objects by resolved name; clock
+// references are by clock name.
+package sdc
+
+import (
+	"fmt"
+	"strings"
+
+	"modemerge/internal/library"
+)
+
+// ObjKind is the kind of a resolved design object reference.
+type ObjKind int8
+
+// Object kinds.
+const (
+	PinObj ObjKind = iota
+	PortObj
+	ClockObj
+	CellObj
+)
+
+func (k ObjKind) String() string {
+	switch k {
+	case PinObj:
+		return "pin"
+	case PortObj:
+		return "port"
+	case ClockObj:
+		return "clock"
+	case CellObj:
+		return "cell"
+	default:
+		return fmt.Sprintf("ObjKind(%d)", int(k))
+	}
+}
+
+// ObjRef is a typed reference to a design object.
+type ObjRef struct {
+	Kind ObjKind
+	Name string
+}
+
+func (o ObjRef) String() string { return o.Kind.String() + ":" + o.Name }
+
+// Clock is a create_clock or create_generated_clock definition.
+type Clock struct {
+	Name   string
+	Period float64
+	// Waveform holds the edge times (rise, fall, …); len is even. For a
+	// simple 50% clock it is [0, Period/2].
+	Waveform []float64
+	// Sources are the ports/pins the clock is defined on; empty for a
+	// virtual clock.
+	Sources []ObjRef
+	// Add marks -add (do not replace other clocks on the same source).
+	Add bool
+
+	// Generated clock fields.
+	Generated  bool
+	Master     string // master clock name (resolved)
+	MasterPins []ObjRef
+	DivideBy   int
+	MultiplyBy int
+	Invert     bool
+
+	Line    int
+	Comment string
+}
+
+// WaveformKey returns a canonical string for period+waveform equality.
+func (c *Clock) WaveformKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p%.9g", c.Period)
+	for _, w := range c.Waveform {
+		fmt.Fprintf(&b, ",%.9g", w)
+	}
+	return b.String()
+}
+
+// SourceKey returns a canonical string for the source pin set.
+func (c *Clock) SourceKey() string {
+	names := make([]string, len(c.Sources))
+	for i, s := range c.Sources {
+		names[i] = s.String()
+	}
+	sortStrings(names)
+	return strings.Join(names, "|")
+}
+
+// GenKey canonicalizes the generated-clock derivation for duplicate
+// detection (master + factors + inversion).
+func (c *Clock) GenKey() string {
+	if !c.Generated {
+		return ""
+	}
+	return fmt.Sprintf("g:%s/d%d/m%d/i%v", c.Master, c.DivideBy, c.MultiplyBy, c.Invert)
+}
+
+// Virtual reports whether the clock has no sources.
+func (c *Clock) Virtual() bool { return len(c.Sources) == 0 }
+
+// MinMax selects min, max or both for constraints that carry the flags.
+type MinMax int8
+
+// MinMax values.
+const (
+	MinMaxBoth MinMax = iota
+	MinOnly
+	MaxOnly
+)
+
+func (m MinMax) String() string {
+	switch m {
+	case MinOnly:
+		return "min"
+	case MaxOnly:
+		return "max"
+	default:
+		return "minmax"
+	}
+}
+
+// EdgeSel selects rise, fall or both edges.
+type EdgeSel int8
+
+// EdgeSel values.
+const (
+	EdgeBoth EdgeSel = iota
+	EdgeRise
+	EdgeFall
+)
+
+func (e EdgeSel) String() string {
+	switch e {
+	case EdgeRise:
+		return "rise"
+	case EdgeFall:
+		return "fall"
+	default:
+		return "both"
+	}
+}
+
+// PointList is the contents of a -from / -through / -to specification: a
+// mix of clock references and pin/port references, plus an edge selector
+// (-rise_from etc.).
+type PointList struct {
+	Clocks []string
+	Pins   []ObjRef // pins and ports
+	Edge   EdgeSel
+}
+
+// Empty reports whether the list holds no objects.
+func (p *PointList) Empty() bool {
+	return p == nil || len(p.Clocks) == 0 && len(p.Pins) == 0
+}
+
+// Clone deep-copies the point list.
+func (p *PointList) Clone() *PointList {
+	if p == nil {
+		return nil
+	}
+	q := &PointList{Edge: p.Edge}
+	q.Clocks = append(q.Clocks, p.Clocks...)
+	q.Pins = append(q.Pins, p.Pins...)
+	return q
+}
+
+// Key canonicalizes a point list for structural comparison.
+func (p *PointList) Key() string {
+	if p.Empty() {
+		return ""
+	}
+	parts := make([]string, 0, len(p.Clocks)+len(p.Pins))
+	for _, c := range p.Clocks {
+		parts = append(parts, "c:"+c)
+	}
+	for _, pin := range p.Pins {
+		parts = append(parts, pin.String())
+	}
+	sortStrings(parts)
+	return p.Edge.String() + "{" + strings.Join(parts, ",") + "}"
+}
+
+// ExceptionKind classifies a timing exception command.
+type ExceptionKind int8
+
+// Exception kinds.
+const (
+	FalsePath ExceptionKind = iota
+	MulticyclePath
+	MaxDelay
+	MinDelay
+)
+
+func (k ExceptionKind) String() string {
+	switch k {
+	case FalsePath:
+		return "set_false_path"
+	case MulticyclePath:
+		return "set_multicycle_path"
+	case MaxDelay:
+		return "set_max_delay"
+	case MinDelay:
+		return "set_min_delay"
+	default:
+		return fmt.Sprintf("ExceptionKind(%d)", int(k))
+	}
+}
+
+// Exception is a path exception: set_false_path, set_multicycle_path,
+// set_max_delay or set_min_delay.
+type Exception struct {
+	Kind     ExceptionKind
+	From     *PointList
+	Throughs []*PointList // ordered through groups
+	To       *PointList
+
+	// Multiplier is the multicycle multiplier; Start selects -start
+	// (launch-clock cycles) semantics.
+	Multiplier int
+	Start      bool
+	// Value is the set_max_delay / set_min_delay value.
+	Value float64
+	// SetupHold selects -setup / -hold application (multicycle, false
+	// path). MinMaxBoth applies to both checks.
+	SetupHold MinMax
+
+	Line    int
+	Comment string
+}
+
+// Key canonicalizes an exception for structural equality across modes.
+func (e *Exception) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|sh=%s|", e.Kind, e.SetupHold)
+	switch e.Kind {
+	case MulticyclePath:
+		fmt.Fprintf(&b, "m=%d,start=%v|", e.Multiplier, e.Start)
+	case MaxDelay, MinDelay:
+		fmt.Fprintf(&b, "v=%.9g|", e.Value)
+	}
+	fmt.Fprintf(&b, "from=%s|", e.From.Key())
+	for _, t := range e.Throughs {
+		fmt.Fprintf(&b, "thru=%s|", t.Key())
+	}
+	fmt.Fprintf(&b, "to=%s", e.To.Key())
+	return b.String()
+}
+
+// Clone deep-copies the exception.
+func (e *Exception) Clone() *Exception {
+	c := *e
+	c.From = e.From.Clone()
+	c.To = e.To.Clone()
+	c.Throughs = nil
+	for _, t := range e.Throughs {
+		c.Throughs = append(c.Throughs, t.Clone())
+	}
+	return &c
+}
+
+// CaseAnalysis is a set_case_analysis constraint.
+type CaseAnalysis struct {
+	Value   library.Logic
+	Objects []ObjRef // pins/ports
+	Line    int
+}
+
+// DisableTiming is a set_disable_timing constraint on ports, pins or
+// whole instances (optionally one cell arc via -from/-to pin names).
+type DisableTiming struct {
+	Objects  []ObjRef
+	FromPin  string // cell-internal arc selection (with instance objects)
+	ToPin    string
+	Line     int
+	Comment  string
+	Inferred bool // added by the merger, not the user
+}
+
+// Key canonicalizes a disable for intersection across modes.
+func (d *DisableTiming) Key() string {
+	names := make([]string, len(d.Objects))
+	for i, o := range d.Objects {
+		names[i] = o.String()
+	}
+	sortStrings(names)
+	return strings.Join(names, ",") + "|" + d.FromPin + ">" + d.ToPin
+}
+
+// IODelay is a set_input_delay or set_output_delay constraint.
+type IODelay struct {
+	IsInput   bool
+	Value     float64
+	Clock     string
+	ClockFall bool
+	Level     MinMax
+	Add       bool
+	Ports     []ObjRef
+	Line      int
+}
+
+// Key canonicalizes an IO delay for union across modes (clock name mapped
+// by the caller first).
+func (d *IODelay) Key() string {
+	names := make([]string, len(d.Ports))
+	for i, o := range d.Ports {
+		names[i] = o.String()
+	}
+	sortStrings(names)
+	return fmt.Sprintf("in=%v|v=%.9g|c=%s|cf=%v|l=%s|%s",
+		d.IsInput, d.Value, d.Clock, d.ClockFall, d.Level, strings.Join(names, ","))
+}
+
+// ExclusiveKind is the set_clock_groups relation kind.
+type ExclusiveKind int8
+
+// ExclusiveKind values.
+const (
+	PhysicallyExclusive ExclusiveKind = iota
+	LogicallyExclusive
+	Asynchronous
+)
+
+func (k ExclusiveKind) String() string {
+	switch k {
+	case PhysicallyExclusive:
+		return "physically_exclusive"
+	case LogicallyExclusive:
+		return "logically_exclusive"
+	default:
+		return "asynchronous"
+	}
+}
+
+// ClockGroups is a set_clock_groups constraint.
+type ClockGroups struct {
+	Name   string
+	Kind   ExclusiveKind
+	Groups [][]string // clock names per -group
+	Line   int
+}
+
+// ClockLatency is a set_clock_latency constraint.
+type ClockLatency struct {
+	Value  float64
+	Level  MinMax
+	Source bool
+	Edge   EdgeSel
+	Clocks []string
+	Pins   []ObjRef
+	Line   int
+}
+
+// ClockUncertainty is a set_clock_uncertainty constraint; either simple
+// (on clocks/pins) or inter-clock (-from/-to).
+type ClockUncertainty struct {
+	Value     float64
+	Setup     bool
+	Hold      bool
+	Clocks    []string
+	Pins      []ObjRef
+	FromClock string
+	ToClock   string
+	Line      int
+}
+
+// ClockTransition is a set_clock_transition constraint.
+type ClockTransition struct {
+	Value  float64
+	Level  MinMax
+	Clocks []string
+	Line   int
+}
+
+// ClockSense is a set_clock_sense (or set_sense -type clock) constraint;
+// the merger uses -stop_propagation.
+type ClockSense struct {
+	StopPropagation bool
+	Positive        bool
+	Negative        bool
+	Clocks          []string
+	Pins            []ObjRef
+	Line            int
+	Comment         string
+}
+
+// PropagatedClock is a set_propagated_clock constraint.
+type PropagatedClock struct {
+	Clocks []string
+	Pins   []ObjRef
+	Line   int
+}
+
+// InputTransition is a set_input_transition constraint.
+type InputTransition struct {
+	Value float64
+	Level MinMax
+	Ports []ObjRef
+	Line  int
+}
+
+// PortLoad is a set_load constraint on ports.
+type PortLoad struct {
+	Value float64
+	Ports []ObjRef
+	Line  int
+}
+
+// DrivingCell is a set_driving_cell (or set_drive, with Resistance set)
+// constraint on input ports.
+type DrivingCell struct {
+	CellName   string
+	Resistance float64 // set_drive value; 0 when a cell is named
+	Ports      []ObjRef
+	Line       int
+}
+
+// Mode is one parsed SDC constraint set: one timing mode.
+type Mode struct {
+	Name string
+
+	Clocks             []*Clock
+	Exceptions         []*Exception
+	Cases              []*CaseAnalysis
+	Disables           []*DisableTiming
+	IODelays           []*IODelay
+	ClockGroups        []*ClockGroups
+	ClockLatencies     []*ClockLatency
+	ClockUncertainties []*ClockUncertainty
+	ClockTransitions   []*ClockTransition
+	ClockSenses        []*ClockSense
+	PropagatedClocks   []*PropagatedClock
+	InputTransitions   []*InputTransition
+	Loads              []*PortLoad
+	DrivingCells       []*DrivingCell
+	MaxTimeBorrows     []*MaxTimeBorrow
+}
+
+// ClockByName returns the clock with the given name, or nil.
+func (m *Mode) ClockByName(name string) *Clock {
+	for _, c := range m.Clocks {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ClockNames returns all clock names in definition order.
+func (m *Mode) ClockNames() []string {
+	out := make([]string, len(m.Clocks))
+	for i, c := range m.Clocks {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	// insertion sort: lists here are tiny and this avoids importing sort
+	// into the hot Key() paths repeatedly (and keeps allocations flat).
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// MaxTimeBorrow is a set_max_time_borrow constraint limiting latch time
+// borrowing on clocks, pins or cells.
+type MaxTimeBorrow struct {
+	Value   float64
+	Clocks  []string
+	Objects []ObjRef
+	Line    int
+}

@@ -1,0 +1,569 @@
+package sdc
+
+import (
+	"strings"
+	"testing"
+
+	"modemerge/internal/gen"
+	"modemerge/internal/library"
+)
+
+func parseOK(t *testing.T, src string) *Mode {
+	t.Helper()
+	m, _, err := Parse("test", src, gen.PaperCircuit())
+	if err != nil {
+		t.Fatalf("Parse: %v\nsource:\n%s", err, src)
+	}
+	return m
+}
+
+func parseErr(t *testing.T, src string) {
+	t.Helper()
+	if _, _, err := Parse("test", src, gen.PaperCircuit()); err == nil {
+		t.Errorf("expected parse error for:\n%s", src)
+	}
+}
+
+func TestCreateClock(t *testing.T) {
+	m := parseOK(t, `create_clock -name clkA -period 10 [get_ports clk1]`)
+	if len(m.Clocks) != 1 {
+		t.Fatalf("clocks = %d", len(m.Clocks))
+	}
+	c := m.Clocks[0]
+	if c.Name != "clkA" || c.Period != 10 {
+		t.Errorf("clock = %+v", c)
+	}
+	if len(c.Waveform) != 2 || c.Waveform[0] != 0 || c.Waveform[1] != 5 {
+		t.Errorf("waveform = %v", c.Waveform)
+	}
+	if len(c.Sources) != 1 || c.Sources[0] != (ObjRef{PortObj, "clk1"}) {
+		t.Errorf("sources = %v", c.Sources)
+	}
+}
+
+func TestCreateClockDefaults(t *testing.T) {
+	m := parseOK(t, `create_clock -period 4 [get_ports clk2]`)
+	if m.Clocks[0].Name != "clk2" {
+		t.Errorf("default name = %q, want clk2", m.Clocks[0].Name)
+	}
+	// Virtual clock needs -name.
+	m2 := parseOK(t, `create_clock -period 4 -name vclk`)
+	if !m2.Clocks[0].Virtual() {
+		t.Error("expected virtual clock")
+	}
+	parseErr(t, `create_clock -period 4`)
+	parseErr(t, `create_clock -name x [get_ports clk1]`)
+	parseErr(t, `create_clock -period -3 -name x`)
+	parseErr(t, `create_clock -period 10 -waveform {2 1} -name x`)
+}
+
+func TestCreateClockReplaceAndAdd(t *testing.T) {
+	// Without -add, the second clock on clk1 replaces the first.
+	m := parseOK(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+create_clock -name clkB -period 20 [get_ports clk1]
+`)
+	if len(m.Clocks) != 1 || m.Clocks[0].Name != "clkB" {
+		t.Errorf("clocks = %v", m.ClockNames())
+	}
+	// With -add both survive.
+	m2 := parseOK(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+create_clock -name clkB -period 20 -add [get_ports clk1]
+`)
+	if len(m2.Clocks) != 2 {
+		t.Errorf("clocks = %v", m2.ClockNames())
+	}
+	// Duplicate names rejected.
+	parseErr(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+create_clock -name clkA -period 20 [get_ports clk2]
+`)
+}
+
+func TestCreateGeneratedClock(t *testing.T) {
+	m := parseOK(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+create_generated_clock -name gdiv -source [get_ports clk1] -divide_by 2 [get_pins mux1/Z]
+`)
+	g := m.ClockByName("gdiv")
+	if g == nil || !g.Generated {
+		t.Fatal("generated clock missing")
+	}
+	if g.Master != "clkA" || g.Period != 20 || g.DivideBy != 2 {
+		t.Errorf("generated = %+v", g)
+	}
+	parseErr(t, `create_generated_clock -name g -source [get_ports clk1] [get_pins mux1/Z]`)
+	parseErr(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+create_generated_clock -name g -source [get_ports clk1] -divide_by 0 [get_pins mux1/Z]`)
+}
+
+func TestGetObjectsGlob(t *testing.T) {
+	m := parseOK(t, `
+create_clock -name clkA -period 10 [get_ports clk*]
+`)
+	if len(m.Clocks[0].Sources) != 2 {
+		t.Errorf("glob clk* matched %v", m.Clocks[0].Sources)
+	}
+	parseErr(t, `create_clock -name c -period 1 [get_ports nonexistent*]`)
+	parseErr(t, `create_clock -name c -period 1 [get_ports bogus]`)
+}
+
+func TestGlobFunction(t *testing.T) {
+	cases := []struct {
+		pat, name string
+		want      bool
+	}{
+		{"clk*", "clk1", true},
+		{"clk*", "cl", false},
+		{"r?/CP", "rA/CP", true},
+		{"r?/CP", "rAB/CP", false},
+		{"*", "anything", true},
+		{"d[3]", "d[3]", true}, // brackets literal
+		{"d[*]", "d[12]", true},
+		{"a*b*c", "aXbYc", true},
+		{"a*b*c", "aXbY", false},
+	}
+	for _, c := range cases {
+		if got := Glob(c.pat, c.name); got != c.want {
+			t.Errorf("Glob(%q,%q) = %v, want %v", c.pat, c.name, got, c.want)
+		}
+	}
+}
+
+func TestCaseAnalysis(t *testing.T) {
+	m := parseOK(t, `
+set_case_analysis 0 [get_ports sel1]
+set_case_analysis 1 [get_pins mux1/S]
+`)
+	if len(m.Cases) != 2 {
+		t.Fatalf("cases = %d", len(m.Cases))
+	}
+	if m.Cases[0].Value != library.L0 || m.Cases[0].Objects[0].Name != "sel1" {
+		t.Errorf("case0 = %+v", m.Cases[0])
+	}
+	if m.Cases[1].Value != library.L1 || m.Cases[1].Objects[0].Kind != PinObj {
+		t.Errorf("case1 = %+v", m.Cases[1])
+	}
+	parseErr(t, `set_case_analysis 2 [get_ports sel1]`)
+	parseErr(t, `set_case_analysis 0`)
+}
+
+func TestBareNameResolution(t *testing.T) {
+	// Pins and ports given without get_* must resolve.
+	m := parseOK(t, `
+create_clock -name clkA -period 10 clk1
+set_case_analysis 0 sel1
+set_false_path -through and1/Z
+`)
+	if m.Clocks[0].Sources[0].Kind != PortObj {
+		t.Errorf("bare port resolved to %v", m.Clocks[0].Sources[0])
+	}
+	if m.Exceptions[0].Throughs[0].Pins[0] != (ObjRef{PinObj, "and1/Z"}) {
+		t.Errorf("bare pin resolved to %v", m.Exceptions[0].Throughs[0].Pins[0])
+	}
+	// A clock sharing a port name: bare reference in -from prefers clock.
+	m2 := parseOK(t, `
+create_clock -name clk1 -period 10 [get_ports clk1]
+set_false_path -from clk1
+`)
+	if len(m2.Exceptions[0].From.Clocks) != 1 {
+		t.Errorf("bare name did not prefer clock: %+v", m2.Exceptions[0].From)
+	}
+}
+
+func TestExceptions(t *testing.T) {
+	m := parseOK(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_multicycle_path 2 -through [get_pins inv1/Z]
+set_false_path -through [get_pins and1/Z]
+set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]
+set_max_delay 5.5 -from [get_clocks clkA] -to [get_ports out1]
+set_min_delay 0.2 -to [get_pins rX/D]
+set_multicycle_path 1 -hold -from [get_pins rA/CP]
+`)
+	if len(m.Exceptions) != 6 {
+		t.Fatalf("exceptions = %d", len(m.Exceptions))
+	}
+	mcp := m.Exceptions[0]
+	if mcp.Kind != MulticyclePath || mcp.Multiplier != 2 || len(mcp.Throughs) != 1 {
+		t.Errorf("mcp = %+v", mcp)
+	}
+	fp2 := m.Exceptions[2]
+	if fp2.From.Pins[0].Name != "rA/CP" || fp2.To.Pins[0].Name != "rY/D" {
+		t.Errorf("fp2 = %+v from=%+v to=%+v", fp2, fp2.From, fp2.To)
+	}
+	md := m.Exceptions[3]
+	if md.Kind != MaxDelay || md.Value != 5.5 || md.From.Clocks[0] != "clkA" {
+		t.Errorf("max_delay = %+v", md)
+	}
+	hold := m.Exceptions[5]
+	if hold.SetupHold != MinOnly {
+		t.Errorf("hold mcp SetupHold = %v", hold.SetupHold)
+	}
+	parseErr(t, `set_false_path`)
+	parseErr(t, `set_multicycle_path -from [get_pins rA/CP]`)
+	parseErr(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_false_path -through [get_clocks clkA]`)
+}
+
+func TestExceptionThroughOrder(t *testing.T) {
+	m := parseOK(t, `set_false_path -through [get_pins inv1/Z] -through [get_pins and1/Z]`)
+	e := m.Exceptions[0]
+	if len(e.Throughs) != 2 {
+		t.Fatalf("throughs = %d", len(e.Throughs))
+	}
+	if e.Throughs[0].Pins[0].Name != "inv1/Z" || e.Throughs[1].Pins[0].Name != "and1/Z" {
+		t.Errorf("through order wrong: %v then %v", e.Throughs[0].Pins, e.Throughs[1].Pins)
+	}
+}
+
+func TestRiseFallPoints(t *testing.T) {
+	m := parseOK(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_false_path -rise_from [get_clocks clkA] -fall_to [get_pins rX/D]
+`)
+	e := m.Exceptions[0]
+	if e.From.Edge != EdgeRise || e.To.Edge != EdgeFall {
+		t.Errorf("edges = %v, %v", e.From.Edge, e.To.Edge)
+	}
+}
+
+func TestIODelays(t *testing.T) {
+	m := parseOK(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_input_delay 2.0 -clock clkA [get_ports in1]
+set_output_delay 1.5 -clock [get_clocks clkA] -min [get_ports out1]
+set_input_delay 2.5 -clock clkA -add_delay -clock_fall [get_ports in1]
+`)
+	if len(m.IODelays) != 3 {
+		t.Fatalf("iodelays = %d", len(m.IODelays))
+	}
+	in := m.IODelays[0]
+	if !in.IsInput || in.Value != 2 || in.Clock != "clkA" || in.Ports[0].Name != "in1" {
+		t.Errorf("input delay = %+v", in)
+	}
+	out := m.IODelays[1]
+	if out.IsInput || out.Level != MinOnly {
+		t.Errorf("output delay = %+v", out)
+	}
+	add := m.IODelays[2]
+	if !add.Add || !add.ClockFall {
+		t.Errorf("add delay = %+v", add)
+	}
+	parseErr(t, `set_input_delay 2.0 -clock nosuchclock [get_ports in1]`)
+}
+
+func TestClockGroups(t *testing.T) {
+	m := parseOK(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+create_clock -name clkB -period 20 [get_ports clk2]
+set_clock_groups -physically_exclusive -name g1 -group [get_clocks clkA] -group [get_clocks clkB]
+`)
+	g := m.ClockGroups[0]
+	if g.Kind != PhysicallyExclusive || len(g.Groups) != 2 || g.Groups[0][0] != "clkA" {
+		t.Errorf("groups = %+v", g)
+	}
+	parseErr(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_clock_groups -physically_exclusive -group [get_clocks clkA]`)
+	parseErr(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+create_clock -name clkB -period 20 [get_ports clk2]
+set_clock_groups -group [get_clocks clkA] -group [get_clocks clkB]`)
+}
+
+func TestClockConstraints(t *testing.T) {
+	m := parseOK(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_clock_latency 0.5 [get_clocks clkA]
+set_clock_latency -source -min 0.2 [get_clocks clkA]
+set_clock_uncertainty 0.1 [get_clocks clkA]
+set_clock_uncertainty -setup 0.15 [get_clocks clkA]
+set_clock_transition 0.08 [get_clocks clkA]
+set_propagated_clock [get_clocks clkA]
+`)
+	if len(m.ClockLatencies) != 2 || len(m.ClockUncertainties) != 2 ||
+		len(m.ClockTransitions) != 1 || len(m.PropagatedClocks) != 1 {
+		t.Errorf("counts: lat=%d unc=%d tr=%d prop=%d",
+			len(m.ClockLatencies), len(m.ClockUncertainties),
+			len(m.ClockTransitions), len(m.PropagatedClocks))
+	}
+	if m.ClockLatencies[1].Level != MinOnly || !m.ClockLatencies[1].Source {
+		t.Errorf("latency = %+v", m.ClockLatencies[1])
+	}
+	u := m.ClockUncertainties[1]
+	if !u.Setup || u.Hold {
+		t.Errorf("uncertainty = %+v", u)
+	}
+}
+
+func TestInterClockUncertainty(t *testing.T) {
+	m := parseOK(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+create_clock -name clkB -period 20 [get_ports clk2]
+set_clock_uncertainty -from [get_clocks clkA] -to [get_clocks clkB] 0.3
+`)
+	u := m.ClockUncertainties[0]
+	if u.FromClock != "clkA" || u.ToClock != "clkB" || u.Value != 0.3 {
+		t.Errorf("uncertainty = %+v", u)
+	}
+}
+
+func TestClockSense(t *testing.T) {
+	m := parseOK(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_clock_sense -stop_propagation -clock [get_clocks clkA] [get_pins mux1/Z]
+`)
+	s := m.ClockSenses[0]
+	if !s.StopPropagation || s.Clocks[0] != "clkA" || s.Pins[0].Name != "mux1/Z" {
+		t.Errorf("sense = %+v", s)
+	}
+}
+
+func TestDisableTiming(t *testing.T) {
+	m := parseOK(t, `
+set_disable_timing [get_ports sel1]
+set_disable_timing [get_pins and1/A]
+set_disable_timing -from I0 -to Z [get_cells mux1]
+`)
+	if len(m.Disables) != 3 {
+		t.Fatalf("disables = %d", len(m.Disables))
+	}
+	if m.Disables[2].FromPin != "I0" || m.Disables[2].ToPin != "Z" {
+		t.Errorf("arc disable = %+v", m.Disables[2])
+	}
+	parseErr(t, `set_disable_timing -from A -to Z [get_ports sel1]`)
+}
+
+func TestDriveLoad(t *testing.T) {
+	m := parseOK(t, `
+set_input_transition 0.1 [get_ports in1]
+set_load 3.5 [get_ports out1]
+set_drive 0.7 [get_ports in1]
+set_driving_cell -lib_cell BUF [get_ports sel1]
+`)
+	if len(m.InputTransitions) != 1 || len(m.Loads) != 1 || len(m.DrivingCells) != 2 {
+		t.Errorf("counts: tr=%d load=%d drv=%d",
+			len(m.InputTransitions), len(m.Loads), len(m.DrivingCells))
+	}
+}
+
+func TestIgnoredCommands(t *testing.T) {
+	m, ignored, err := Parse("t", `
+set_units -time ns
+set_operating_conditions typical
+set_wire_load_model -name small
+set_max_transition 0.5 [current_design]
+group_path -name io -from [all_inputs]
+`, gen.PaperCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ignored) < 5 {
+		t.Errorf("ignored = %v", ignored)
+	}
+	_ = m
+}
+
+func TestAllQueries(t *testing.T) {
+	m := parseOK(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_input_delay 1 -clock clkA [all_inputs]
+set_output_delay 1 -clock clkA [all_outputs]
+set_false_path -from [all_registers -clock_pins] -to [all_registers -data_pins]
+`)
+	// all_inputs includes clk1, clk2, in1, sel1, sel2 (5 ports).
+	if len(m.IODelays[0].Ports) != 5 {
+		t.Errorf("all_inputs gave %d ports", len(m.IODelays[0].Ports))
+	}
+	if len(m.IODelays[1].Ports) != 1 {
+		t.Errorf("all_outputs gave %d ports", len(m.IODelays[1].Ports))
+	}
+	e := m.Exceptions[0]
+	if len(e.From.Pins) != 6 || len(e.To.Pins) != 6 {
+		t.Errorf("all_registers: from=%d to=%d pins", len(e.From.Pins), len(e.To.Pins))
+	}
+}
+
+func TestVariablesAndExpr(t *testing.T) {
+	m := parseOK(t, `
+set PERIOD 10
+create_clock -name clkA -period $PERIOD [get_ports clk1]
+create_clock -name clkB -period [expr $PERIOD * 2] [get_ports clk2]
+`)
+	if m.Clocks[0].Period != 10 || m.Clocks[1].Period != 20 {
+		t.Errorf("periods = %g, %g", m.Clocks[0].Period, m.Clocks[1].Period)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	src := `
+create_clock -name clkA -period 10 [get_ports clk1]
+create_clock -name clkB -period 20 -waveform {5 15} -add [get_ports clk1]
+create_generated_clock -name gdiv -source [get_ports clk1] -master_clock clkA -divide_by 2 [get_pins mux1/Z]
+set_clock_groups -physically_exclusive -name cg -group [get_clocks clkA] -group [get_clocks clkB]
+set_clock_latency 0.5 [get_clocks clkA]
+set_clock_latency -source -min 0.2 [get_clocks clkB]
+set_clock_uncertainty -setup 0.1 [get_clocks clkA]
+set_clock_transition 0.05 [get_clocks clkA]
+set_clock_sense -stop_propagation -clock [get_clocks clkA] [get_pins mux1/Z]
+set_propagated_clock [get_clocks clkA]
+set_case_analysis 0 [get_ports sel1]
+set_disable_timing [get_ports sel2]
+set_input_delay 2 -clock [get_clocks clkA] [get_ports in1]
+set_output_delay 2 -clock [get_clocks clkB] -add_delay [get_ports out1]
+set_input_transition 0.1 [get_ports in1]
+set_load 2 [get_ports out1]
+set_driving_cell -lib_cell BUF [get_ports in1]
+set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]
+set_multicycle_path 2 -through [get_pins inv1/Z]
+set_max_delay 4 -from [get_clocks clkA] -through [get_pins and1/Z] -to [get_pins rY/D]
+set_min_delay 0.5 -to [get_pins rX/D]
+set_multicycle_path 1 -hold -from [get_clocks clkA]
+`
+	m1 := parseOK(t, src)
+	text := Write(m1)
+	m2, _, err := Parse("test", text, gen.PaperCircuit())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nwritten:\n%s", err, text)
+	}
+	if len(m2.Clocks) != len(m1.Clocks) ||
+		len(m2.Exceptions) != len(m1.Exceptions) ||
+		len(m2.Cases) != len(m1.Cases) ||
+		len(m2.IODelays) != len(m1.IODelays) ||
+		len(m2.ClockGroups) != len(m1.ClockGroups) ||
+		len(m2.ClockLatencies) != len(m1.ClockLatencies) ||
+		len(m2.ClockSenses) != len(m1.ClockSenses) {
+		t.Fatalf("counts changed after round trip:\n%s", text)
+	}
+	for i := range m1.Exceptions {
+		if m1.Exceptions[i].Key() != m2.Exceptions[i].Key() {
+			t.Errorf("exception %d key changed:\n  %s\n  %s", i,
+				m1.Exceptions[i].Key(), m2.Exceptions[i].Key())
+		}
+	}
+	for i := range m1.Clocks {
+		c1, c2 := m1.Clocks[i], m2.Clocks[i]
+		if c1.Name != c2.Name || c1.WaveformKey() != c2.WaveformKey() || c1.SourceKey() != c2.SourceKey() {
+			t.Errorf("clock %d changed: %+v vs %+v", i, c1, c2)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	m := parseOK(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_false_path -through [get_pins and1/Z]
+set_multicycle_path 2 -through [get_pins inv1/Z]
+set_multicycle_path 3 -from [get_clocks clkA]
+set_multicycle_path 4 -from [get_pins rA/CP]
+set_max_delay 5 -through [get_pins inv1/Z]
+`)
+	fp, mcpT, mcpC, mcpP, md := m.Exceptions[0], m.Exceptions[1], m.Exceptions[2], m.Exceptions[3], m.Exceptions[4]
+	if w := Winner([]*Exception{mcpT, fp}); w != fp {
+		t.Error("FP must beat MCP")
+	}
+	if w := Winner([]*Exception{mcpT, md}); w != md {
+		t.Error("max_delay must beat MCP")
+	}
+	if w := Winner([]*Exception{fp, md}); w != fp {
+		t.Error("FP must beat max_delay")
+	}
+	if w := Winner([]*Exception{mcpC, mcpP}); w != mcpP {
+		t.Error("-from pin must beat -from clock")
+	}
+	if w := Winner([]*Exception{mcpT, mcpC}); w != mcpC {
+		t.Error("-from clock must beat through-only")
+	}
+	if Winner(nil) != nil {
+		t.Error("Winner(nil) must be nil")
+	}
+}
+
+func TestPrecedencePessimism(t *testing.T) {
+	a := &Exception{Kind: MulticyclePath, Multiplier: 3, From: &PointList{}, To: &PointList{}}
+	b := &Exception{Kind: MulticyclePath, Multiplier: 2, From: &PointList{}, To: &PointList{}}
+	if w := Winner([]*Exception{a, b}); w != b {
+		t.Error("smaller MCP multiplier must win ties")
+	}
+	c := &Exception{Kind: MaxDelay, Value: 5, From: &PointList{}, To: &PointList{}}
+	d := &Exception{Kind: MaxDelay, Value: 3, From: &PointList{}, To: &PointList{}}
+	if w := Winner([]*Exception{c, d}); w != d {
+		t.Error("smaller max_delay must win ties")
+	}
+	e := &Exception{Kind: MinDelay, Value: 1, From: &PointList{}, To: &PointList{}}
+	f := &Exception{Kind: MinDelay, Value: 2, From: &PointList{}, To: &PointList{}}
+	if w := Winner([]*Exception{e, f}); w != f {
+		t.Error("larger min_delay must win ties")
+	}
+}
+
+func TestExceptionClone(t *testing.T) {
+	m := parseOK(t, `set_false_path -from [get_pins rA/CP] -through [get_pins and1/Z] -to [get_pins rY/D]`)
+	e := m.Exceptions[0]
+	c := e.Clone()
+	c.From.Pins[0].Name = "changed"
+	c.Throughs[0].Pins[0].Name = "changed"
+	if e.From.Pins[0].Name != "rA/CP" || e.Throughs[0].Pins[0].Name != "and1/Z" {
+		t.Error("Clone did not deep-copy")
+	}
+	if e.Key() == c.Key() {
+		t.Error("keys should differ after mutation")
+	}
+}
+
+func TestIncrementalParse(t *testing.T) {
+	p := NewParser("inc", gen.PaperCircuit())
+	if err := p.Eval(`create_clock -name clkA -period 10 [get_ports clk1]`); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Eval(`set_false_path -from [get_clocks clkA]`); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Mode().Clocks) != 1 || len(p.Mode().Exceptions) != 1 {
+		t.Error("incremental parse lost constraints")
+	}
+}
+
+func TestErrorHasLine(t *testing.T) {
+	_, _, err := Parse("t", "create_clock -name a -period 10 [get_ports clk1]\nset_false_path -from [get_pins nope/X]\n", gen.PaperCircuit())
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q does not carry line info", err)
+	}
+}
+
+func TestNegativeValuePositional(t *testing.T) {
+	m := parseOK(t, `
+create_clock -name clkA -period 10 [get_ports clk1]
+set_input_delay -0.5 -clock clkA [get_ports in1]
+`)
+	if m.IODelays[0].Value != -0.5 {
+		t.Errorf("negative delay = %g", m.IODelays[0].Value)
+	}
+}
+
+func TestClockWaveformKey(t *testing.T) {
+	a := &Clock{Period: 10, Waveform: []float64{0, 5}}
+	b := &Clock{Period: 10, Waveform: []float64{0, 5}}
+	c := &Clock{Period: 10, Waveform: []float64{2, 7}}
+	if a.WaveformKey() != b.WaveformKey() {
+		t.Error("identical waveforms must share keys")
+	}
+	if a.WaveformKey() == c.WaveformKey() {
+		t.Error("shifted waveform must differ")
+	}
+}
+
+func TestSourceKeyOrderIndependent(t *testing.T) {
+	a := &Clock{Sources: []ObjRef{{PortObj, "p1"}, {PortObj, "p2"}}}
+	b := &Clock{Sources: []ObjRef{{PortObj, "p2"}, {PortObj, "p1"}}}
+	if a.SourceKey() != b.SourceKey() {
+		t.Error("SourceKey must be order independent")
+	}
+}

@@ -1,0 +1,398 @@
+package sta
+
+import (
+	"modemerge/internal/graph"
+	"modemerge/internal/library"
+	"modemerge/internal/netlist"
+)
+
+// Frontier records where an unjustified clock first appears during a
+// refinement traversal: the clock name and the nodes to block it at.
+type Frontier struct {
+	Clock string
+	Nodes []graph.NodeID
+}
+
+// ExtraClocks re-propagates this context's clocks through the clock
+// network, asking the justify callback at every node whether each clock is
+// allowed there (i.e. present at that node in at least one individual
+// mode). Unjustified clocks are blocked on the spot — exactly the paper's
+// §3.1.8 breadth-first clock refinement — and the blocking frontier is
+// returned so the merger can emit set_clock_sense -stop_propagation
+// constraints. Blocking is applied on the fly, so downstream nodes only
+// see justified clocks and the frontier is minimal.
+func (ctx *Context) ExtraClocks(justify func(node graph.NodeID, clock string) bool) []Frontier {
+	g := ctx.G
+	type key = clockKey
+	tags := make([]map[key]bool, g.NumNodes())
+	frontier := map[string][]graph.NodeID{}
+	var order []string
+
+	rootAt := map[graph.NodeID][]ClockID{}
+	genAt := map[graph.NodeID][]ClockID{}
+	for _, c := range ctx.Clocks {
+		for _, n := range c.SrcNodes {
+			if c.Def.Generated {
+				genAt[n] = append(genAt[n], c.ID)
+			} else {
+				rootAt[n] = append(rootAt[n], c.ID)
+			}
+		}
+	}
+
+	for _, id := range g.Topo() {
+		cur := map[key]bool{}
+		if !ctx.NodeDisabled[id] && !ctx.Consts[id].Known() {
+			for _, ai := range g.InArcs(id) {
+				if ctx.ArcDisabled[ai] {
+					continue
+				}
+				a := g.Arc(ai)
+				if a.Kind == graph.LaunchArc {
+					continue
+				}
+				for t := range tags[a.From] {
+					switch a.Unate() {
+					case library.PositiveUnate:
+						cur[key{t.clock, t.inv}] = true
+					case library.NegativeUnate:
+						cur[key{t.clock, !t.inv}] = true
+					default:
+						cur[key{t.clock, false}] = true
+						cur[key{t.clock, true}] = true
+					}
+				}
+			}
+		}
+		for _, gid := range genAt[id] {
+			gc := ctx.Clocks[gid]
+			masterID, ok := ctx.clockByName[gc.Def.Master]
+			if ok {
+				found := false
+				for t := range cur {
+					if t.clock == masterID {
+						found = true
+						if !gc.Def.Add {
+							delete(cur, t)
+						}
+					}
+				}
+				if found {
+					cur[key{gid, gc.Def.Invert}] = true
+				}
+			}
+		}
+		for _, cid := range rootAt[id] {
+			if !ctx.Consts[id].Known() && !ctx.NodeDisabled[id] {
+				cur[key{cid, false}] = true
+			}
+		}
+		// Justify every clock present; block the unjustified ones here.
+		blocked := map[ClockID]bool{}
+		for t := range cur {
+			if blocked[t.clock] {
+				delete(cur, t)
+				continue
+			}
+			name := ctx.Clocks[t.clock].Def.Name
+			if !justify(id, name) {
+				blocked[t.clock] = true
+				if _, seen := frontier[name]; !seen {
+					order = append(order, name)
+				}
+				frontier[name] = append(frontier[name], id)
+				delete(cur, t)
+			}
+		}
+		// A second sweep: blocking one polarity removes the other too.
+		for t := range cur {
+			if blocked[t.clock] {
+				delete(cur, t)
+			}
+		}
+		if len(cur) > 0 {
+			tags[id] = cur
+		}
+	}
+
+	out := make([]Frontier, 0, len(order))
+	for _, name := range order {
+		out = append(out, Frontier{Clock: name, Nodes: frontier[name]})
+	}
+	return out
+}
+
+// FlowFrontier describes where unjustified launch-clock data flows must
+// be blocked: whole nodes (every path of the clock through them dies) and
+// individual from→to hops (only that arc dies — e.g. the deselected leg
+// of a scan mux whose select is cased differently across modes).
+type FlowFrontier struct {
+	Clock string
+	Nodes []graph.NodeID
+	Arcs  [][2]graph.NodeID
+}
+
+// ExtraLaunchFlows propagates launch-clock identities through the data
+// network at arc granularity — the paper's §3.2 first data-refinement
+// step. seedJustify is asked whether some individual mode launches the
+// clock at a seed node (register output or input port); arcJustify is
+// asked whether some individual mode actually propagates the clock's data
+// across a given arc. Unjustified flows are blocked on the fly so the
+// frontier stays minimal, then blocked hops collapse to node blocks where
+// every attempted flow into (preferred, matching the paper's pin lists)
+// or out of a node died.
+func (ctx *Context) ExtraLaunchFlows(
+	seedJustify func(node graph.NodeID, clock string) bool,
+	arcJustify func(arc int32, clock string) bool,
+) []FlowFrontier {
+	g := ctx.G
+	tags := make([]map[ClockID]bool, g.NumNodes())
+
+	type flowStat struct {
+		attempts, blocked int
+	}
+	type nodeClock struct {
+		node  graph.NodeID
+		clock ClockID
+	}
+	inStat := map[nodeClock]*flowStat{}
+	outStat := map[nodeClock]*flowStat{}
+	blockedArcs := map[ClockID][]int32{}
+	blockedSeeds := map[ClockID][]graph.NodeID{}
+	var clockOrder []ClockID
+	seenClock := map[ClockID]bool{}
+	noteClock := func(c ClockID) {
+		if !seenClock[c] {
+			seenClock[c] = true
+			clockOrder = append(clockOrder, c)
+		}
+	}
+	stat := func(m map[nodeClock]*flowStat, n graph.NodeID, c ClockID) *flowStat {
+		k := nodeClock{n, c}
+		s := m[k]
+		if s == nil {
+			s = &flowStat{}
+			m[k] = s
+		}
+		return s
+	}
+
+	for _, id := range g.Topo() {
+		if ctx.NodeDisabled[id] || ctx.Consts[id].Known() {
+			continue
+		}
+		cur := map[ClockID]bool{}
+		addSeed := func(c ClockID) {
+			name := ctx.Clocks[c].Def.Name
+			if seedJustify(id, name) {
+				cur[c] = true
+			} else {
+				noteClock(c)
+				blockedSeeds[c] = append(blockedSeeds[c], id)
+			}
+		}
+		for _, ai := range g.InArcs(id) {
+			if ctx.ArcDisabled[ai] {
+				continue
+			}
+			a := g.Arc(ai)
+			if a.Kind == graph.LaunchArc {
+				// Launch: the clocks at the register clock pin become
+				// launch clocks of the data at the output.
+				for _, ct := range ctx.ClockTags[a.From] {
+					if !cur[ct.Clock] {
+						addSeed(ct.Clock)
+					}
+				}
+				continue
+			}
+			for c := range tags[a.From] {
+				name := ctx.Clocks[c].Def.Name
+				stat(outStat, a.From, c).attempts++
+				stat(inStat, id, c).attempts++
+				if arcJustify(ai, name) {
+					cur[c] = true
+				} else {
+					noteClock(c)
+					stat(outStat, a.From, c).blocked++
+					stat(inStat, id, c).blocked++
+					blockedArcs[c] = append(blockedArcs[c], ai)
+				}
+			}
+		}
+		node := g.Node(id)
+		if node.Port != nil && node.Port.Dir == netlist.In {
+			for _, d := range ctx.inputDelays(id) {
+				if d.Clock != "" {
+					if cid, ok := ctx.clockByName[d.Clock]; ok && !cur[cid] {
+						addSeed(cid)
+					}
+				}
+			}
+		}
+		if len(cur) > 0 {
+			tags[id] = cur
+		}
+	}
+
+	var out []FlowFrontier
+	for _, c := range clockOrder {
+		f := FlowFrontier{Clock: ctx.Clocks[c].Def.Name}
+		nodeChosen := map[graph.NodeID]bool{}
+		for _, n := range blockedSeeds[c] {
+			if !nodeChosen[n] {
+				nodeChosen[n] = true
+				f.Nodes = append(f.Nodes, n)
+			}
+		}
+		for _, ai := range blockedArcs[c] {
+			a := g.Arc(ai)
+			if nodeChosen[a.From] || nodeChosen[a.To] {
+				continue
+			}
+			// Prefer blocking at the sink when every attempted in-flow
+			// died and nothing else (seed) revives the clock there.
+			inS := stat(inStat, a.To, c)
+			if inS.blocked == inS.attempts && !tags[a.To][c] {
+				nodeChosen[a.To] = true
+				f.Nodes = append(f.Nodes, a.To)
+				continue
+			}
+			outS := stat(outStat, a.From, c)
+			if outS.blocked == outS.attempts {
+				nodeChosen[a.From] = true
+				f.Nodes = append(f.Nodes, a.From)
+				continue
+			}
+			f.Arcs = append(f.Arcs, [2]graph.NodeID{a.From, a.To})
+		}
+		// Drop arc blocks made redundant by later node choices.
+		var arcs [][2]graph.NodeID
+		for _, pair := range f.Arcs {
+			if !nodeChosen[pair[0]] && !nodeChosen[pair[1]] {
+				arcs = append(arcs, pair)
+			}
+		}
+		f.Arcs = arcs
+		if len(f.Nodes) > 0 || len(f.Arcs) > 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// HasLaunchClockAt reports whether data launched by the named clock
+// reaches the node in this mode.
+func (ctx *Context) HasLaunchClockAt(id graph.NodeID, name string) bool {
+	cid, ok := ctx.clockByName[name]
+	if !ok {
+		return false
+	}
+	for _, te := range ctx.tags()[id].entries {
+		if te.tag.launch == cid {
+			return true
+		}
+	}
+	return false
+}
+
+// ArcDisabledAt exposes arc liveness for the merger's cross-mode flow
+// justification (arc indices are shared across contexts on one graph).
+func (ctx *Context) ArcDisabledAt(ai int32) bool { return ctx.ArcDisabled[ai] }
+
+// LaunchClocksAt returns the distinct launch-clock names of the data tags
+// present at a node (full-design propagation).
+func (ctx *Context) LaunchClocksAt(id graph.NodeID) []string {
+	seen := map[ClockID]bool{}
+	var out []string
+	for _, te := range ctx.tags()[id].entries {
+		if te.tag.launch == NoClock || seen[te.tag.launch] {
+			continue
+		}
+		seen[te.tag.launch] = true
+		out = append(out, ctx.Clocks[te.tag.launch].Def.Name)
+	}
+	sortStringsInPlace(out)
+	return out
+}
+
+func sortStringsInPlace(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ConstPortsNeverTiming returns input ports that are case-constant (so
+// they never launch data), used by the merger to infer set_disable_timing
+// when case statements are dropped.
+func (ctx *Context) ConstPortsNeverTiming() []string {
+	var out []string
+	for _, p := range ctx.G.Design.Ports {
+		if p.Dir != netlist.In {
+			continue
+		}
+		if id, ok := ctx.G.NodeByName(p.Name); ok && ctx.Consts[id].Known() {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// ConstValueAt returns the case-analysis constant at a named node.
+func (ctx *Context) ConstValueAt(name string) (library.Logic, bool) {
+	id, ok := ctx.G.NodeByName(name)
+	if !ok {
+		return library.LX, false
+	}
+	v := ctx.Consts[id]
+	return v, v.Known()
+}
+
+// HasDirectCase reports whether a node carries a direct set_case_analysis.
+func (ctx *Context) HasDirectCase(name string) (library.Logic, bool) {
+	id, ok := ctx.G.NodeByName(name)
+	if !ok {
+		return library.LX, false
+	}
+	v, has := ctx.forcedCase[id]
+	return v, has
+}
+
+// StartpointLaunchClocks returns the clock names that can launch paths
+// anchored at the given -from object in this mode: for register pins, the
+// clocks present at the register's clock pin; for input ports, the
+// reference clocks of their input delays.
+func (ctx *Context) StartpointLaunchClocks(pinName string) []string {
+	id, ok := ctx.G.NodeByName(pinName)
+	if !ok {
+		return nil
+	}
+	id = expandStartpoint(ctx.G, id)
+	node := ctx.G.Node(id)
+	if node.IsRegClock {
+		return ctx.ClockNamesAt(id)
+	}
+	if node.Port != nil {
+		var out []string
+		seen := map[string]bool{}
+		for _, d := range ctx.inputDelays(id) {
+			if d.Clock != "" && !seen[d.Clock] {
+				seen[d.Clock] = true
+				out = append(out, d.Clock)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// AllClockNames lists every clock defined in this mode.
+func (ctx *Context) AllClockNames() []string {
+	out := make([]string, len(ctx.Clocks))
+	for i, c := range ctx.Clocks {
+		out[i] = c.Def.Name
+	}
+	return out
+}

@@ -1,0 +1,372 @@
+package sta
+
+import (
+	"fmt"
+
+	"modemerge/internal/graph"
+	"modemerge/internal/relation"
+	"modemerge/internal/sdc"
+)
+
+// RelKey identifies one timing-relationship path group. Clock names are in
+// the context's local namespace; the merging core maps them into the
+// merged namespace before comparing across modes.
+type RelKey struct {
+	Start   string // "*" at endpoint granularity
+	End     string
+	Launch  string
+	Capture string
+	Check   relation.CheckType
+}
+
+// EndpointRelations computes pass-1 timing relationships: for every
+// endpoint and (launch clock, capture clock, check side), the set of
+// constraint states over all paths reaching it. Path groups with no live
+// paths are absent; callers treat absence as "not timed" (false).
+func (ctx *Context) EndpointRelations() map[RelKey]relation.Set {
+	out := map[RelKey]relation.Set{}
+	tags := ctx.tags()
+	for _, end := range ctx.G.Endpoints() {
+		ctx.accumulateRelations(out, end, tags[end], "*")
+	}
+	return out
+}
+
+// StartEndRelations computes pass-2 timing relationships for one
+// endpoint: path groups keyed by concrete startpoint. Propagation is
+// restricted to the endpoint's fan-in cone with startpoint tracking.
+func (ctx *Context) StartEndRelations(end graph.NodeID) map[RelKey]relation.Set {
+	cone := ctx.G.BackwardReach([]graph.NodeID{end})
+	tags := ctx.getTagArray()
+	touched := ctx.propagateInto(propOpts{withStart: true, nodeFilter: cone}, tags)
+	out := map[RelKey]relation.Set{}
+	ctx.accumulateRelations(out, end, tags[end], "")
+	ctx.putTagArray(tags, touched)
+	return out
+}
+
+// accumulateRelations folds one endpoint's tags into relation sets.
+// startLabel overrides the start field ("*" for pass 1); when empty the
+// tag's tracked startpoint name is used.
+func (ctx *Context) accumulateRelations(out map[RelKey]relation.Set, end graph.NodeID, m tagMap, startLabel string) {
+	if len(m.entries) == 0 {
+		return
+	}
+	endName := ctx.G.Node(end).Name
+	captures := ctx.CaptureClocksAt(end)
+	for _, te := range m.entries {
+		tag := te.tag
+		if tag.launch == NoClock {
+			continue
+		}
+		start := startLabel
+		if start == "" {
+			if tag.start < 0 {
+				start = "*"
+			} else {
+				start = ctx.G.Node(tag.start).Name
+			}
+		}
+		launchName := ctx.Clocks[tag.launch].Def.Name
+		for _, ct := range captures {
+			capName := ctx.Clocks[ct.Clock].Def.Name
+			for _, check := range []relation.CheckType{relation.Setup, relation.Hold} {
+				key := RelKey{Start: start, End: endName, Launch: launchName, Capture: capName, Check: check}
+				var st relation.State
+				if ctx.Exclusive(tag.launch, ct.Clock) {
+					st = relation.StateFalse
+				} else {
+					winner := sdc.Winner(ctx.exc.completed(tag.vec, end, ct.Clock, tag.trans, check))
+					st = stateOf(winner)
+					if winner != nil {
+						// Normalize kinds that do not apply to this side.
+						switch {
+						case check == relation.Setup && winner.Kind == sdc.MinDelay:
+							st = relation.StateValid
+						case check == relation.Hold && winner.Kind == sdc.MaxDelay:
+							st = relation.StateValid
+						}
+					}
+				}
+				set := out[key]
+				set.Add(st)
+				out[key] = set
+			}
+		}
+	}
+}
+
+// ThroughRel is the pass-3 result for one candidate through node between a
+// startpoint and an endpoint.
+type ThroughRel struct {
+	Node graph.NodeID
+	Name string
+	// States holds the per-(launch, capture, check) state sets of all
+	// paths start→node→end. Keys carry Start and End names.
+	States map[RelKey]relation.Set
+	// Ambiguous marks nodes where some exception matched only part of the
+	// through paths — a finer granularity than pass 3 would be required,
+	// which the algorithm does not expect (paper: "No ambiguity is
+	// expected at this phase").
+	Ambiguous bool
+}
+
+// suffix-completion status for the pass-3 DP.
+type suffStatus int8
+
+const (
+	suffNone suffStatus = iota
+	suffAll
+	suffSome
+)
+
+func combineSuff(a, b suffStatus) suffStatus {
+	if a == b {
+		return a
+	}
+	return suffSome
+}
+
+// ThroughRelations computes pass-3 timing relationships: for every node on
+// a path between start and end, the constraint states of the path subset
+// through that node. It combines forward tags (prefix exception progress)
+// with a backward all/none/some completion DP per exception.
+func (ctx *Context) ThroughRelations(start, end graph.NodeID) []ThroughRel {
+	g := ctx.G
+	fwd := g.ForwardReach([]graph.NodeID{start})
+	bwd := g.BackwardReach([]graph.NodeID{end})
+	cone := make([]bool, g.NumNodes())
+	var coneNodes []graph.NodeID
+	for _, id := range g.Topo() {
+		if fwd[id] && bwd[id] {
+			cone[id] = true
+			coneNodes = append(coneNodes, id)
+		}
+	}
+	if len(coneNodes) == 0 {
+		return nil
+	}
+
+	tags := ctx.getTagArray()
+	touched := ctx.propagateInto(propOpts{
+		withStart:  true,
+		nodeFilter: cone,
+		seedFilter: func(s graph.NodeID) bool { return s == start },
+	}, tags)
+	defer ctx.putTagArray(tags, touched)
+
+	// Backward DP per exception: status[n][p] with p = progress after n.
+	nExc := len(ctx.exc.matchers)
+	type excDP struct {
+		full          int8
+		edgeSensitive bool
+		status        map[graph.NodeID][]suffStatus
+	}
+	dps := make([]excDP, nExc)
+	for i := range dps {
+		m := &ctx.exc.matchers[i]
+		dp := excDP{full: int8(len(m.throughs)), status: map[graph.NodeID][]suffStatus{}}
+		if m.toEdge != sdc.EdgeBoth {
+			dp.edgeSensitive = true
+		}
+		for _, e := range m.thruEdges {
+			if e != sdc.EdgeBoth {
+				dp.edgeSensitive = true
+			}
+		}
+		dps[i] = dp
+	}
+	// Reverse topological order over cone nodes.
+	for ci := len(coneNodes) - 1; ci >= 0; ci-- {
+		n := coneNodes[ci]
+		for i := range dps {
+			dp := &dps[i]
+			m := &ctx.exc.matchers[i]
+			st := make([]suffStatus, dp.full+1)
+			for p := int8(0); p <= dp.full; p++ {
+				if n == end {
+					if p == dp.full {
+						st[p] = suffAll
+					} else {
+						st[p] = suffNone
+					}
+					continue
+				}
+				first := true
+				var acc suffStatus
+				for _, ai := range g.OutArcs(n) {
+					if ctx.ArcDisabled[ai] {
+						continue
+					}
+					a := g.Arc(ai)
+					if !cone[a.To] || a.Kind == graph.LaunchArc && n != start {
+						continue
+					}
+					succ := a.To
+					pp := advanceOne(m, p, succ, sdc.EdgeBoth)
+					sStat := dp.status[succ][pp]
+					if first {
+						acc = sStat
+						first = false
+					} else {
+						acc = combineSuff(acc, sStat)
+					}
+				}
+				if first {
+					acc = suffNone
+				}
+				st[p] = acc
+			}
+			dp.status[n] = st
+		}
+	}
+
+	endName := g.Node(end).Name
+	startName := g.Node(start).Name
+	captures := ctx.CaptureClocksAt(end)
+	liveBwd := ctx.liveBackwardReach(end)
+	var out []ThroughRel
+	for _, n := range coneNodes {
+		m := tags[n]
+		if len(m.entries) == 0 || !liveBwd[n] {
+			// No live paths start→n or n→end in this mode: the node's
+			// path subset is empty here and contributes no states.
+			continue
+		}
+		tr := ThroughRel{Node: n, Name: g.Node(n).Name, States: map[RelKey]relation.Set{}}
+		for _, te := range m.entries {
+			tag := te.tag
+			if tag.launch == NoClock {
+				continue
+			}
+			launchName := ctx.Clocks[tag.launch].Def.Name
+			vec := ctx.exc.vec(tag.vec)
+			for _, ct := range captures {
+				capName := ctx.Clocks[ct.Clock].Def.Name
+				for _, check := range []relation.CheckType{relation.Setup, relation.Hold} {
+					key := RelKey{Start: startName, End: endName, Launch: launchName, Capture: capName, Check: check}
+					if ctx.Exclusive(tag.launch, ct.Clock) {
+						set := tr.States[key]
+						set.Add(relation.StateFalse)
+						tr.States[key] = set
+						continue
+					}
+					var winners []*sdc.Exception
+					ambiguous := false
+					for i := range dps {
+						dp := &dps[i]
+						mi := &ctx.exc.matchers[i]
+						if vec[i] == progDead || !mi.appliesTo(check) {
+							continue
+						}
+						toAcc := len(mi.toNodes) == 0 && len(mi.toClocks) == 0 ||
+							mi.toNodes[end] || mi.toClocks[ct.Clock]
+						if !toAcc {
+							continue
+						}
+						var stat suffStatus
+						if n == end {
+							if vec[i] == dp.full {
+								stat = suffAll
+							} else {
+								stat = suffNone
+							}
+						} else {
+							stat = dp.status[n][vec[i]]
+						}
+						if dp.edgeSensitive && stat != suffNone {
+							ambiguous = true
+							continue
+						}
+						switch stat {
+						case suffAll:
+							winners = append(winners, mi.e)
+						case suffSome:
+							ambiguous = true
+						}
+					}
+					set := tr.States[key]
+					if ambiguous {
+						tr.Ambiguous = true
+						// Record both possibilities so comparisons see an
+						// ambiguous (multi-state) set.
+						set.Add(relation.StateValid)
+						set.Add(relation.StateFalse)
+					} else {
+						set.Add(stateOf(sdc.Winner(winners)))
+					}
+					tr.States[key] = set
+				}
+			}
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// liveBackwardReach marks the nodes from which the endpoint is reachable
+// over arcs live in this mode (disabled arcs, disabled nodes and
+// case-constant nodes block).
+func (ctx *Context) liveBackwardReach(end graph.NodeID) []bool {
+	g := ctx.G
+	mark := make([]bool, g.NumNodes())
+	if ctx.NodeDisabled[end] || ctx.Consts[end].Known() {
+		return mark
+	}
+	mark[end] = true
+	stack := []graph.NodeID{end}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ai := range g.InArcs(id) {
+			if ctx.ArcDisabled[ai] {
+				continue
+			}
+			from := g.Arc(ai).From
+			if mark[from] || ctx.NodeDisabled[from] || ctx.Consts[from].Known() {
+				continue
+			}
+			mark[from] = true
+			stack = append(stack, from)
+		}
+	}
+	return mark
+}
+
+// RelationTable renders a relation map as sorted rows (debug/report aid).
+func RelationTable(rels map[RelKey]relation.Set) []string {
+	var keys []RelKey
+	for k := range rels {
+		keys = append(keys, k)
+	}
+	sortRelKeys(keys)
+	var out []string
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s -> %s [%s/%s %s]: %s",
+			k.Start, k.End, k.Launch, k.Capture, k.Check, rels[k].String()))
+	}
+	return out
+}
+
+func sortRelKeys(keys []RelKey) {
+	less := func(a, b RelKey) bool {
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Launch != b.Launch {
+			return a.Launch < b.Launch
+		}
+		if a.Capture != b.Capture {
+			return a.Capture < b.Capture
+		}
+		return a.Check < b.Check
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && less(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}

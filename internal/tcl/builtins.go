@@ -1,0 +1,445 @@
+package tcl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+func cmdSet(i *Interp, args []string) (string, error) {
+	switch len(args) {
+	case 1:
+		v, ok := i.vars[args[0]]
+		if !ok {
+			return "", fmt.Errorf("can't read %q: no such variable", args[0])
+		}
+		return v, nil
+	case 2:
+		i.vars[args[0]] = args[1]
+		return args[1], nil
+	default:
+		return "", fmt.Errorf("set: want 1 or 2 args, got %d", len(args))
+	}
+}
+
+func cmdUnset(i *Interp, args []string) (string, error) {
+	for _, a := range args {
+		delete(i.vars, a)
+	}
+	return "", nil
+}
+
+func cmdList(_ *Interp, args []string) (string, error) {
+	return JoinList(args), nil
+}
+
+func cmdConcat(_ *Interp, args []string) (string, error) {
+	parts := make([]string, 0, len(args))
+	for _, a := range args {
+		a = strings.TrimSpace(a)
+		if a != "" {
+			parts = append(parts, a)
+		}
+	}
+	return strings.Join(parts, " "), nil
+}
+
+func cmdPuts(_ *Interp, args []string) (string, error) {
+	// SDC files occasionally puts progress messages; silently accept
+	// (including the -nonewline flag) rather than pollute tool output.
+	return "", nil
+}
+
+// cmdExpr implements a small Tcl expr: + - * / ( ) unary minus over
+// numbers, comparison operators (< > <= >= == !=) returning 0/1, the
+// string comparators eq/ne, and double-quoted or bare string operands.
+// Comparisons are numeric when both sides parse as numbers, lexical
+// otherwise.
+func cmdExpr(_ *Interp, args []string) (string, error) {
+	src := strings.Join(args, " ")
+	e := &exprParser{src: src}
+	v, err := e.parseCompare()
+	if err != nil {
+		return "", fmt.Errorf("expr %q: %w", src, err)
+	}
+	e.skipSpace()
+	if !e.eof() {
+		return "", fmt.Errorf("expr %q: trailing garbage at %q", src, e.src[e.pos:])
+	}
+	return v.text(), nil
+}
+
+// FormatNumber renders a float the way Tcl's expr would: integers without a
+// decimal point.
+func FormatNumber(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// exprValue is a number or a string operand.
+type exprValue struct {
+	num   float64
+	str   string
+	isNum bool
+}
+
+func numVal(v float64) exprValue { return exprValue{num: v, isNum: true} }
+func strVal(s string) exprValue  { return exprValue{str: s} }
+func boolVal(b bool) exprValue {
+	if b {
+		return numVal(1)
+	}
+	return numVal(0)
+}
+
+func (v exprValue) text() string {
+	if v.isNum {
+		return FormatNumber(v.num)
+	}
+	return v.str
+}
+
+// number coerces to a float, failing for non-numeric strings.
+func (v exprValue) number() (float64, error) {
+	if v.isNum {
+		return v.num, nil
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(v.str), 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a number", v.str)
+	}
+	return f, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (e *exprParser) eof() bool { return e.pos >= len(e.src) }
+
+func (e *exprParser) skipSpace() {
+	for !e.eof() && (e.src[e.pos] == ' ' || e.src[e.pos] == '\t') {
+		e.pos++
+	}
+}
+
+func (e *exprParser) parseCompare() (exprValue, error) {
+	v, err := e.parseAddSub()
+	if err != nil {
+		return v, err
+	}
+	for {
+		e.skipSpace()
+		op := ""
+		for _, cand := range []string{"<=", ">=", "==", "!=", "<", ">", "eq ", "ne "} {
+			if strings.HasPrefix(e.src[e.pos:], cand) {
+				op = strings.TrimSpace(cand)
+				e.pos += len(cand)
+				break
+			}
+		}
+		if op == "" {
+			return v, nil
+		}
+		r, err := e.parseAddSub()
+		if err != nil {
+			return v, err
+		}
+		v, err = compareValues(op, v, r)
+		if err != nil {
+			return v, err
+		}
+	}
+}
+
+// compareValues applies a comparison, numerically when possible.
+func compareValues(op string, l, r exprValue) (exprValue, error) {
+	if op == "eq" || op == "ne" {
+		eq := l.text() == r.text()
+		return boolVal(eq == (op == "eq")), nil
+	}
+	ln, lerr := l.number()
+	rn, rerr := r.number()
+	if lerr == nil && rerr == nil {
+		switch op {
+		case "<":
+			return boolVal(ln < rn), nil
+		case ">":
+			return boolVal(ln > rn), nil
+		case "<=":
+			return boolVal(ln <= rn), nil
+		case ">=":
+			return boolVal(ln >= rn), nil
+		case "==":
+			return boolVal(ln == rn), nil
+		case "!=":
+			return boolVal(ln != rn), nil
+		}
+	}
+	// String comparison for non-numeric operands.
+	ls, rs := l.text(), r.text()
+	switch op {
+	case "<":
+		return boolVal(ls < rs), nil
+	case ">":
+		return boolVal(ls > rs), nil
+	case "<=":
+		return boolVal(ls <= rs), nil
+	case ">=":
+		return boolVal(ls >= rs), nil
+	case "==":
+		return boolVal(ls == rs), nil
+	case "!=":
+		return boolVal(ls != rs), nil
+	}
+	return exprValue{}, fmt.Errorf("bad comparison %q", op)
+}
+
+func (e *exprParser) parseAddSub() (exprValue, error) {
+	v, err := e.parseMulDiv()
+	if err != nil {
+		return v, err
+	}
+	for {
+		e.skipSpace()
+		if e.eof() {
+			return v, nil
+		}
+		op := e.src[e.pos]
+		if op != '+' && op != '-' {
+			return v, nil
+		}
+		e.pos++
+		r, err := e.parseMulDiv()
+		if err != nil {
+			return v, err
+		}
+		ln, err := v.number()
+		if err != nil {
+			return v, err
+		}
+		rn, err := r.number()
+		if err != nil {
+			return v, err
+		}
+		if op == '+' {
+			v = numVal(ln + rn)
+		} else {
+			v = numVal(ln - rn)
+		}
+	}
+}
+
+func (e *exprParser) parseMulDiv() (exprValue, error) {
+	v, err := e.parseUnary()
+	if err != nil {
+		return v, err
+	}
+	for {
+		e.skipSpace()
+		if e.eof() {
+			return v, nil
+		}
+		op := e.src[e.pos]
+		if op != '*' && op != '/' && op != '%' {
+			return v, nil
+		}
+		e.pos++
+		r, err := e.parseUnary()
+		if err != nil {
+			return v, err
+		}
+		ln, err := v.number()
+		if err != nil {
+			return v, err
+		}
+		rn, err := r.number()
+		if err != nil {
+			return v, err
+		}
+		switch op {
+		case '*':
+			v = numVal(ln * rn)
+		case '%':
+			if int64(rn) == 0 {
+				return v, fmt.Errorf("division by zero")
+			}
+			v = numVal(float64(int64(ln) % int64(rn)))
+		default:
+			if rn == 0 {
+				return v, fmt.Errorf("division by zero")
+			}
+			v = numVal(ln / rn)
+		}
+	}
+}
+
+func (e *exprParser) parseUnary() (exprValue, error) {
+	e.skipSpace()
+	if e.eof() {
+		return exprValue{}, fmt.Errorf("unexpected end of expression")
+	}
+	switch e.src[e.pos] {
+	case '-':
+		e.pos++
+		v, err := e.parseUnary()
+		if err != nil {
+			return v, err
+		}
+		n, err := v.number()
+		if err != nil {
+			return v, err
+		}
+		return numVal(-n), nil
+	case '+':
+		e.pos++
+		return e.parseUnary()
+	case '!':
+		e.pos++
+		v, err := e.parseUnary()
+		if err != nil {
+			return v, err
+		}
+		n, err := v.number()
+		if err != nil {
+			return v, err
+		}
+		return boolVal(n == 0), nil
+	case '(':
+		e.pos++
+		v, err := e.parseCompare()
+		if err != nil {
+			return v, err
+		}
+		e.skipSpace()
+		if e.eof() || e.src[e.pos] != ')' {
+			return v, fmt.Errorf("missing )")
+		}
+		e.pos++
+		return v, nil
+	case '"':
+		e.pos++
+		start := e.pos
+		for !e.eof() && e.src[e.pos] != '"' {
+			e.pos++
+		}
+		if e.eof() {
+			return exprValue{}, fmt.Errorf("unterminated string")
+		}
+		s := e.src[start:e.pos]
+		e.pos++
+		return strVal(s), nil
+	}
+	start := e.pos
+	for !e.eof() {
+		c := e.src[e.pos]
+		if c >= '0' && c <= '9' || c == '.' ||
+			(c == 'e' || c == 'E') && e.pos > start ||
+			(c == '-' || c == '+') && e.pos > start && (e.src[e.pos-1] == 'e' || e.src[e.pos-1] == 'E') {
+			e.pos++
+			continue
+		}
+		break
+	}
+	if e.pos > start {
+		if v, err := strconv.ParseFloat(e.src[start:e.pos], 64); err == nil {
+			return numVal(v), nil
+		}
+		e.pos = start
+	}
+	// Bare word → string operand (identifiers, pin names, …).
+	for !e.eof() {
+		c := e.src[e.pos]
+		if c == ' ' || c == '\t' || c == ')' || c == '(' ||
+			strings.IndexByte("<>=!+-*/%\"", c) >= 0 {
+			break
+		}
+		e.pos++
+	}
+	if e.pos == start {
+		return exprValue{}, fmt.Errorf("expected operand at %q", e.src[start:])
+	}
+	word := e.src[start:e.pos]
+	// "eq"/"ne" are operators, not operands; never reached here because
+	// parseCompare consumes them with their trailing space first.
+	return strVal(word), nil
+}
+
+// SplitList splits a Tcl list into its elements, honoring brace and quote
+// grouping. Malformed trailing groups are returned as-is rather than
+// erroring, matching the forgiving behaviour SDC consumers expect.
+func SplitList(s string) []string {
+	var out []string
+	i := 0
+	n := len(s)
+	for i < n {
+		for i < n && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r') {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		switch s[i] {
+		case '{':
+			depth := 1
+			j := i + 1
+			for j < n && depth > 0 {
+				switch s[j] {
+				case '{':
+					depth++
+				case '}':
+					depth--
+				}
+				j++
+			}
+			if depth == 0 {
+				out = append(out, s[i+1:j-1])
+			} else {
+				out = append(out, s[i+1:])
+			}
+			i = j
+		case '"':
+			j := i + 1
+			for j < n && s[j] != '"' {
+				j++
+			}
+			out = append(out, s[i+1:j])
+			if j < n {
+				j++
+			}
+			i = j
+		default:
+			j := i
+			for j < n && s[j] != ' ' && s[j] != '\t' && s[j] != '\n' && s[j] != '\r' {
+				j++
+			}
+			out = append(out, s[i:j])
+			i = j
+		}
+	}
+	return out
+}
+
+// JoinList builds a Tcl list from elements, brace-quoting any element that
+// needs it.
+func JoinList(elems []string) string {
+	parts := make([]string, len(elems))
+	for i, e := range elems {
+		parts[i] = QuoteElem(e)
+	}
+	return strings.Join(parts, " ")
+}
+
+// QuoteElem quotes a single element for inclusion in a Tcl list.
+func QuoteElem(e string) string {
+	if e == "" {
+		return "{}"
+	}
+	if strings.ContainsAny(e, " \t\n\r\"$[]{};\\") {
+		return "{" + e + "}"
+	}
+	return e
+}

@@ -1,0 +1,319 @@
+package tcl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Control-flow commands. Real-world SDC files are Tcl scripts and commonly
+// wrap constraints in foreach loops over bus bits or if blocks keyed on a
+// mode variable; the interpreter supports the forms those files use:
+//
+//	if {<expr>} { body } [elseif {<expr>} { body }]... [else { body }]
+//	foreach var {a b c} { body }
+//	foreach {a b} {1 2 3 4} { body }
+//	while {<expr>} { body }
+//	for {init} {<expr>} {next} { body }
+//	proc name {args} { body }
+//	break / continue / return [value]
+func init() { registerControl = installControl }
+
+// registerControl is called from New (kept as a hook so the core
+// interpreter file stays independent of control flow).
+var registerControl func(*Interp)
+
+func installControl(i *Interp) {
+	i.Register("if", cmdIf)
+	i.Register("foreach", cmdForeach)
+	i.Register("while", cmdWhile)
+	i.Register("for", cmdFor)
+	i.Register("proc", cmdProc)
+	i.Register("break", func(*Interp, []string) (string, error) { return "", errBreak })
+	i.Register("continue", func(*Interp, []string) (string, error) { return "", errContinue })
+	i.Register("return", cmdReturn)
+	i.Register("incr", cmdIncr)
+}
+
+// flow-control sentinel errors.
+var (
+	errBreak    = fmt.Errorf("break outside loop")
+	errContinue = fmt.Errorf("continue outside loop")
+)
+
+// returnValue carries a proc return.
+type returnValue struct{ value string }
+
+func (r *returnValue) Error() string { return "return outside proc" }
+
+func cmdReturn(_ *Interp, args []string) (string, error) {
+	v := ""
+	if len(args) > 0 {
+		v = args[0]
+	}
+	return "", &returnValue{value: v}
+}
+
+// condTrue evaluates an expr-style condition word.
+func condTrue(i *Interp, cond string) (bool, error) {
+	// The condition may contain $var and [cmd] substitutions that the
+	// brace word protected; run them through a quote-word evaluation.
+	substituted, err := i.Eval("concat \"" + escapeForQuote(cond) + "\"")
+	if err != nil {
+		return false, err
+	}
+	res, err := cmdExpr(i, []string{substituted})
+	if err != nil {
+		return false, err
+	}
+	v, err := strconv.ParseFloat(res, 64)
+	if err != nil {
+		return false, fmt.Errorf("condition %q is not boolean", cond)
+	}
+	return v != 0, nil
+}
+
+// escapeForQuote protects quote characters when re-wrapping a brace body
+// for substitution.
+func escapeForQuote(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}
+
+func cmdIf(i *Interp, args []string) (string, error) {
+	// if cond body ?elseif cond body?... ?else body?
+	pos := 0
+	for {
+		if pos+1 >= len(args) {
+			return "", fmt.Errorf("if: missing condition or body")
+		}
+		ok, err := condTrue(i, args[pos])
+		if err != nil {
+			return "", err
+		}
+		body := args[pos+1]
+		if body == "then" { // tolerate optional then
+			pos++
+			if pos+1 >= len(args) {
+				return "", fmt.Errorf("if: missing body after then")
+			}
+			body = args[pos+1]
+		}
+		if ok {
+			return i.Eval(body)
+		}
+		pos += 2
+		if pos >= len(args) {
+			return "", nil
+		}
+		switch args[pos] {
+		case "elseif":
+			pos++
+			continue
+		case "else":
+			if pos+1 >= len(args) {
+				return "", fmt.Errorf("if: missing else body")
+			}
+			return i.Eval(args[pos+1])
+		default:
+			return "", fmt.Errorf("if: expected elseif/else, got %q", args[pos])
+		}
+	}
+}
+
+func cmdForeach(i *Interp, args []string) (string, error) {
+	if len(args) != 3 {
+		return "", fmt.Errorf("foreach: want varlist list body")
+	}
+	vars := SplitList(args[0])
+	if len(vars) == 0 {
+		return "", fmt.Errorf("foreach: empty variable list")
+	}
+	items := SplitList(args[1])
+	body := args[2]
+	for pos := 0; pos < len(items); pos += len(vars) {
+		for vi, v := range vars {
+			val := ""
+			if pos+vi < len(items) {
+				val = items[pos+vi]
+			}
+			i.SetVar(v, val)
+		}
+		if _, err := i.Eval(body); err != nil {
+			if err == errBreak || isWrapped(err, errBreak) {
+				return "", nil
+			}
+			if err == errContinue || isWrapped(err, errContinue) {
+				continue
+			}
+			return "", err
+		}
+	}
+	return "", nil
+}
+
+func cmdWhile(i *Interp, args []string) (string, error) {
+	if len(args) != 2 {
+		return "", fmt.Errorf("while: want condition body")
+	}
+	const maxIterations = 1 << 20
+	for iter := 0; ; iter++ {
+		if iter > maxIterations {
+			return "", fmt.Errorf("while: exceeded %d iterations", maxIterations)
+		}
+		ok, err := condTrue(i, args[0])
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			return "", nil
+		}
+		if _, err := i.Eval(args[1]); err != nil {
+			if err == errBreak || isWrapped(err, errBreak) {
+				return "", nil
+			}
+			if err == errContinue || isWrapped(err, errContinue) {
+				continue
+			}
+			return "", err
+		}
+	}
+}
+
+func cmdFor(i *Interp, args []string) (string, error) {
+	if len(args) != 4 {
+		return "", fmt.Errorf("for: want init condition next body")
+	}
+	if _, err := i.Eval(args[0]); err != nil {
+		return "", err
+	}
+	const maxIterations = 1 << 20
+	for iter := 0; ; iter++ {
+		if iter > maxIterations {
+			return "", fmt.Errorf("for: exceeded %d iterations", maxIterations)
+		}
+		ok, err := condTrue(i, args[1])
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			return "", nil
+		}
+		if _, err := i.Eval(args[3]); err != nil {
+			if err == errBreak || isWrapped(err, errBreak) {
+				return "", nil
+			}
+			if err != errContinue && !isWrapped(err, errContinue) {
+				return "", err
+			}
+		}
+		if _, err := i.Eval(args[2]); err != nil {
+			return "", err
+		}
+	}
+}
+
+func cmdIncr(i *Interp, args []string) (string, error) {
+	if len(args) < 1 || len(args) > 2 {
+		return "", fmt.Errorf("incr: want varName ?increment?")
+	}
+	cur, ok := i.Var(args[0])
+	if !ok {
+		cur = "0"
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(cur))
+	if err != nil {
+		return "", fmt.Errorf("incr: %q is not an integer", cur)
+	}
+	by := 1
+	if len(args) == 2 {
+		by, err = strconv.Atoi(args[1])
+		if err != nil {
+			return "", fmt.Errorf("incr: bad increment %q", args[1])
+		}
+	}
+	v += by
+	out := strconv.Itoa(v)
+	i.SetVar(args[0], out)
+	return out, nil
+}
+
+// cmdProc defines a user procedure. Arguments may carry defaults
+// ({name default}); "args" as the last parameter collects the rest.
+func cmdProc(i *Interp, args []string) (string, error) {
+	if len(args) != 3 {
+		return "", fmt.Errorf("proc: want name arguments body")
+	}
+	name := args[0]
+	params := SplitList(args[1])
+	body := args[2]
+	i.Register(name, func(i *Interp, callArgs []string) (string, error) {
+		// Procs share the global variable scope (sufficient for SDC
+		// helper procs, which overwhelmingly set design constraints).
+		for pi, p := range params {
+			parts := SplitList(p)
+			pname := parts[0]
+			if pname == "args" && pi == len(params)-1 {
+				i.SetVar("args", JoinList(callArgs[min(pi, len(callArgs)):]))
+				break
+			}
+			switch {
+			case pi < len(callArgs):
+				i.SetVar(pname, callArgs[pi])
+			case len(parts) > 1:
+				i.SetVar(pname, parts[1])
+			default:
+				return "", fmt.Errorf("%s: missing argument %q", name, pname)
+			}
+		}
+		res, err := i.Eval(body)
+		if err != nil {
+			var rv *returnValue
+			if asReturn(err, &rv) {
+				return rv.value, nil
+			}
+			return "", err
+		}
+		return res, nil
+	})
+	return "", nil
+}
+
+// isWrapped reports whether err is an *Error wrapping target.
+func isWrapped(err, target error) bool {
+	for err != nil {
+		if err == target {
+			return true
+		}
+		w, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = w.Unwrap()
+	}
+	return false
+}
+
+// asReturn unwraps a returnValue.
+func asReturn(err error, out **returnValue) bool {
+	for err != nil {
+		if rv, ok := err.(*returnValue); ok {
+			*out = rv
+			return true
+		}
+		w, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = w.Unwrap()
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

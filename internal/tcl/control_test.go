@@ -1,0 +1,189 @@
+package tcl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIf(t *testing.T) {
+	cases := []struct{ script, want string }{
+		{"set r 0\nif {1 < 2} { set r yes }\nset q $r", "yes"},
+		{"set r keep\nif {1 > 2} { set r yes }\nset q $r", "keep"},
+		{"set x 5\nif {$x == 5} { set r five } else { set r other }\nset q $r", "five"},
+		{"set x 7\nif {$x == 5} { set r five } elseif {$x == 7} { set r seven } else { set r other }\nset q $r", "seven"},
+		{"set x 9\nif {$x == 5} { set r five } elseif {$x == 7} { set r seven } else { set r other }\nset q $r", "other"},
+		{"if {1} then { set r thenform }\nset q $r", "thenform"},
+	}
+	for _, c := range cases {
+		if got := eval(t, c.script); got != c.want {
+			t.Errorf("script %q = %q, want %q", c.script, got, c.want)
+		}
+	}
+}
+
+func TestIfErrors(t *testing.T) {
+	i := New()
+	for _, bad := range []string{
+		"if {1}",
+
+		"if {notanumber} { set a 1 }",
+	} {
+		if _, err := i.Eval(bad); err == nil {
+			t.Errorf("%q: expected error", bad)
+		}
+	}
+}
+
+func TestForeach(t *testing.T) {
+	got := eval(t, `
+set acc ""
+foreach x {a b c} { set acc "$acc$x" }
+set r $acc
+`)
+	if got != "abc" {
+		t.Errorf("foreach acc = %q", got)
+	}
+	// Multi-variable form.
+	got = eval(t, `
+set acc ""
+foreach {k v} {a 1 b 2} { set acc "$acc$k=$v;" }
+set r $acc
+`)
+	if got != "a=1;b=2;" {
+		t.Errorf("foreach kv = %q", got)
+	}
+}
+
+func TestForeachBreakContinue(t *testing.T) {
+	got := eval(t, `
+set acc ""
+foreach x {a b c d} {
+  if {$x == "c"} { break }
+  set acc "$acc$x"
+}
+set r $acc
+`)
+	if got != "ab" {
+		t.Errorf("string-compare break acc = %q", got)
+	}
+}
+
+func TestForeachBreakNumeric(t *testing.T) {
+	got := eval(t, `
+set acc ""
+foreach x {1 2 3 4} {
+  if {$x == 3} { break }
+  set acc "$acc$x"
+}
+set r $acc
+`)
+	if got != "12" {
+		t.Errorf("break acc = %q", got)
+	}
+	got = eval(t, `
+set acc ""
+foreach x {1 2 3 4} {
+  if {$x == 2} { continue }
+  set acc "$acc$x"
+}
+set r $acc
+`)
+	if got != "134" {
+		t.Errorf("continue acc = %q", got)
+	}
+}
+
+func TestWhileAndIncr(t *testing.T) {
+	got := eval(t, `
+set i 0
+set acc ""
+while {$i < 4} {
+  set acc "$acc$i"
+  incr i
+}
+set r $acc
+`)
+	if got != "0123" {
+		t.Errorf("while acc = %q", got)
+	}
+	if got := eval(t, "set i 10\nincr i -3"); got != "7" {
+		t.Errorf("incr -3 = %q", got)
+	}
+	if got := eval(t, "incr fresh"); got != "1" {
+		t.Errorf("incr on unset = %q", got)
+	}
+}
+
+func TestFor(t *testing.T) {
+	got := eval(t, `
+set acc ""
+for {set i 0} {$i < 3} {incr i} { set acc "$acc$i" }
+set r $acc
+`)
+	if got != "012" {
+		t.Errorf("for acc = %q", got)
+	}
+}
+
+func TestProc(t *testing.T) {
+	got := eval(t, `
+proc double {x} { return [expr $x * 2] }
+set r [double 21]
+`)
+	if got != "42" {
+		t.Errorf("proc = %q", got)
+	}
+	// Default arguments.
+	got = eval(t, `
+proc scaled {x {factor 3}} { return [expr $x * $factor] }
+set r [scaled 5]
+`)
+	if got != "15" {
+		t.Errorf("proc default = %q", got)
+	}
+	// Missing required argument errors.
+	i := New()
+	if _, err := i.Eval("proc f {a b} { return $a }\nf 1"); err == nil {
+		t.Error("missing arg accepted")
+	}
+}
+
+func TestProcArgsCollector(t *testing.T) {
+	got := eval(t, `
+proc count {first args} { return "[llength_sim $args]" }
+proc llength_sim {l} { set n 0; foreach _ $l { incr n }; return $n }
+set r [count a b c d]
+`)
+	if got != "3" {
+		t.Errorf("args collector = %q", got)
+	}
+}
+
+func TestWhileRunaway(t *testing.T) {
+	i := New()
+	_, err := i.Eval("while {1} { set a 1 }")
+	if err == nil || !strings.Contains(err.Error(), "iterations") {
+		t.Errorf("runaway loop not caught: %v", err)
+	}
+}
+
+func TestSDCStyleForeachLoop(t *testing.T) {
+	// The realistic use: constraints emitted in a loop.
+	i := New()
+	var got []string
+	i.Register("set_false_path", func(i *Interp, args []string) (string, error) {
+		got = append(got, strings.Join(args, " "))
+		return "", nil
+	})
+	script := `
+foreach idx {0 1 2} {
+  set_false_path -from reg_$idx/CP
+}
+`
+	if _, err := i.Eval(script); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "-from reg_0/CP" || got[2] != "-from reg_2/CP" {
+		t.Errorf("emitted = %v", got)
+	}
+}

@@ -1,0 +1,329 @@
+package tcl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func eval(t *testing.T, script string) string {
+	t.Helper()
+	i := New()
+	got, err := i.Eval(script)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", script, err)
+	}
+	return got
+}
+
+func TestSetAndSubstitution(t *testing.T) {
+	cases := []struct{ script, want string }{
+		{`set a 5`, "5"},
+		{"set a 5\nset b $a", "5"},
+		{"set a 5\nset b ${a}x", "5x"},
+		{`set a "hello world"`, "hello world"},
+		{"set a {raw $notvar [nocmd]}", "raw $notvar [nocmd]"},
+		{"set a 3\nset b [expr $a + 4]", "7"},
+		{`set a "pre [expr 1+1] post"`, "pre 2 post"},
+	}
+	for _, c := range cases {
+		if got := eval(t, c.script); got != c.want {
+			t.Errorf("Eval(%q) = %q, want %q", c.script, got, c.want)
+		}
+	}
+}
+
+func TestCommandSeparators(t *testing.T) {
+	if got := eval(t, "set a 1; set b 2; set c 3"); got != "3" {
+		t.Errorf("semicolon separation: got %q", got)
+	}
+	if got := eval(t, "set a \\\n 42"); got != "42" {
+		t.Errorf("line continuation: got %q", got)
+	}
+}
+
+func TestComments(t *testing.T) {
+	script := `
+# a comment line
+set a 1
+# another comment with a continuation \
+this is still comment
+set b 2
+`
+	if got := eval(t, script); got != "2" {
+		t.Errorf("got %q, want 2", got)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	i := New()
+	_, err := i.Eval("create_warp_drive 9")
+	if err == nil {
+		t.Fatal("expected error for unknown command")
+	}
+	var te *Error
+	if !errors.As(err, &te) {
+		t.Fatalf("expected *Error, got %T", err)
+	}
+	if te.Line != 1 {
+		t.Errorf("error line = %d, want 1", te.Line)
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	i := New()
+	_, err := i.Eval("set a 1\nset b 2\nbogus_cmd\n")
+	var te *Error
+	if !errors.As(err, &te) {
+		t.Fatalf("expected *Error, got %v", err)
+	}
+	if te.Line != 3 {
+		t.Errorf("error line = %d, want 3", te.Line)
+	}
+}
+
+func TestRegisteredCommand(t *testing.T) {
+	i := New()
+	var gotArgs []string
+	i.Register("get_ports", func(i *Interp, args []string) (string, error) {
+		gotArgs = args
+		return JoinList(args), nil
+	})
+	res, err := i.Eval(`get_ports {clk1 clk2} reset`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotArgs) != 2 || gotArgs[0] != "clk1 clk2" || gotArgs[1] != "reset" {
+		t.Errorf("args = %q", gotArgs)
+	}
+	if res != "{clk1 clk2} reset" {
+		t.Errorf("result = %q", res)
+	}
+}
+
+func TestNestedBrackets(t *testing.T) {
+	i := New()
+	i.Register("inner", func(i *Interp, args []string) (string, error) { return "X", nil })
+	i.Register("outer", func(i *Interp, args []string) (string, error) {
+		return "(" + strings.Join(args, ",") + ")", nil
+	})
+	got, err := i.Eval(`set r [outer [inner] [inner]]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "(X,X)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestBracketWithBraces(t *testing.T) {
+	i := New()
+	i.Register("echo", func(i *Interp, args []string) (string, error) {
+		return strings.Join(args, "|"), nil
+	})
+	// A brace word containing ] inside a bracket substitution must not
+	// terminate the bracket early.
+	got, err := i.Eval(`set r [echo {a]b} c]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "a]b|c" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestExpr(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"expr 1 + 2", "3"},
+		{"expr 2 * 3 + 4", "10"},
+		{"expr 2 + 3 * 4", "14"},
+		{"expr (2 + 3) * 4", "20"},
+		{"expr 10 / 4", "2.5"},
+		{"expr -5 + 2", "-3"},
+		{"expr 1.5 * 2", "3"},
+		{"expr 3 < 4", "1"},
+		{"expr 3 >= 4", "0"},
+		{"expr 2 == 2", "1"},
+		{"expr 1e3 + 1", "1001"},
+	}
+	for _, c := range cases {
+		if got := eval(t, c.in); got != c.want {
+			t.Errorf("%s = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	i := New()
+	for _, bad := range []string{"expr 1 / 0", "expr (1 + 2", "expr 1 +", "expr abc + 1"} {
+		if _, err := i.Eval(bad); err == nil {
+			t.Errorf("%s: expected error", bad)
+		}
+	}
+}
+
+func TestUnterminated(t *testing.T) {
+	i := New()
+	for _, bad := range []string{`set a "unclosed`, `set a {unclosed`, `set a [set b`, `set a ${unclosed`} {
+		if _, err := i.Eval(bad); err == nil {
+			t.Errorf("%q: expected error", bad)
+		}
+	}
+}
+
+func TestUndefinedVariable(t *testing.T) {
+	i := New()
+	if _, err := i.Eval(`set a $nope`); err == nil {
+		t.Fatal("expected error for undefined variable")
+	}
+}
+
+func TestBackslashEscapes(t *testing.T) {
+	if got := eval(t, `set a "x\ty"`); got != "x\ty" {
+		t.Errorf("tab escape: %q", got)
+	}
+	if got := eval(t, `set a a\ b`); got != "a b" {
+		t.Errorf("escaped space: %q", got)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a b c", []string{"a", "b", "c"}},
+		{"{a b} c", []string{"a b", "c"}},
+		{`"a b" c`, []string{"a b", "c"}},
+		{"", nil},
+		{"   ", nil},
+		{"{nested {deep}} x", []string{"nested {deep}", "x"}},
+		{"a\tb\nc", []string{"a", "b", "c"}},
+	}
+	for _, c := range cases {
+		got := SplitList(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("SplitList(%q) = %q, want %q", c.in, got, c.want)
+			continue
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Errorf("SplitList(%q)[%d] = %q, want %q", c.in, j, got[j], c.want[j])
+			}
+		}
+	}
+}
+
+func TestJoinSplitRoundTrip(t *testing.T) {
+	f := func(elems []string) bool {
+		// Elements containing braces/newlines are not guaranteed to round
+		// trip through the simplified quoting; restrict to realistic SDC
+		// object names.
+		clean := make([]string, 0, len(elems))
+		for _, e := range elems {
+			if e == "" || strings.ContainsAny(e, "{}\"\\\n\r") {
+				continue
+			}
+			clean = append(clean, e)
+		}
+		got := SplitList(JoinList(clean))
+		if len(got) != len(clean) {
+			return false
+		}
+		for i := range got {
+			if got[i] != clean[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalNeverPanics(t *testing.T) {
+	f := func(script string) bool {
+		i := New()
+		i.Register("get_ports", func(i *Interp, args []string) (string, error) {
+			return JoinList(args), nil
+		})
+		_, _ = i.Eval(script) // must not panic, errors are fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineTracking(t *testing.T) {
+	i := New()
+	var lines []int
+	i.Register("mark", func(i *Interp, args []string) (string, error) {
+		lines = append(lines, i.Line)
+		return "", nil
+	})
+	_, err := i.Eval("mark\n\nmark\n# comment\nmark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 5}
+	if len(lines) != 3 || lines[0] != want[0] || lines[1] != want[1] || lines[2] != want[2] {
+		t.Errorf("lines = %v, want %v", lines, want)
+	}
+}
+
+func TestConcatAndUnset(t *testing.T) {
+	i := New()
+	got, err := i.Eval(`concat a "" {b c}  d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "a b c d" {
+		t.Errorf("concat = %q", got)
+	}
+	if _, err := i.Eval("set x 1\nunset x\nset y $x"); err == nil {
+		t.Error("unset variable still readable")
+	}
+}
+
+func TestQuoteElem(t *testing.T) {
+	cases := map[string]string{
+		"plain":   "plain",
+		"":        "{}",
+		"a b":     "{a b}",
+		"d[3]":    "{d[3]}",
+		"semi;":   "{semi;}",
+		"dollar$": "{dollar$}",
+	}
+	for in, want := range cases {
+		if got := QuoteElem(in); got != want {
+			t.Errorf("QuoteElem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatNumber(t *testing.T) {
+	if FormatNumber(3) != "3" || FormatNumber(2.5) != "2.5" || FormatNumber(-4) != "-4" {
+		t.Error("FormatNumber wrong")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`expr "abc" eq "abc"`, "1"},
+		{`expr "abc" ne "abc"`, "0"},
+		{`expr abc == abd`, "0"},
+		{`expr abc < abd`, "1"},
+		{`expr "5" == 5`, "1"}, // numeric when both coerce
+		{`expr 7 % 3`, "1"},
+		{`expr !0`, "1"},
+		{`expr !3`, "0"},
+	}
+	for _, c := range cases {
+		if got := eval(t, c.in); got != c.want {
+			t.Errorf("%s = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
