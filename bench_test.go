@@ -9,6 +9,7 @@
 package modemerge
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -69,7 +70,7 @@ func mergedDesign(b *testing.B, label string) *experiments.MergeResult {
 	if mr, ok := mergedRe[label]; ok {
 		return mr
 	}
-	mr, err := experiments.RunTable5(p, core.Options{})
+	mr, err := experiments.RunTable5(context.Background(), p, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -101,7 +102,7 @@ set_false_path -through [get_pins and1/Z]
 		if err != nil {
 			b.Fatal(err)
 		}
-		rels := ctx.EndpointRelations()
+		rels := ctx.EndpointRelations(context.Background())
 		if len(rels) == 0 {
 			b.Fatal("no relations")
 		}
@@ -145,7 +146,7 @@ set_false_path -to rZ/D
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		merged, _, err := core.Merge(d, []*sdc.Mode{modeA, modeB}, core.Options{})
+		merged, _, err := core.Merge(context.Background(), d, []*sdc.Mode{modeA, modeB}, core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -161,7 +162,7 @@ func benchTable5(b *testing.B, label string) {
 	p := preparedDesign(b, label)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mr, err := experiments.RunTable5(p, core.Options{})
+		mr, err := experiments.RunTable5(context.Background(), p, core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,7 +188,7 @@ func staCampaign(b *testing.B, g *graph.Graph, modes []*sdc.Mode) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		ctx.AnalyzeEndpoints()
+		ctx.AnalyzeEndpoints(context.Background())
 	}
 }
 
@@ -223,7 +224,7 @@ func BenchmarkNaiveVsGraphMerge(b *testing.B) {
 	mr := mergedDesign(b, "B")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		row, err := experiments.RunNaiveAblation(mr, core.Options{}, sta.Options{})
+		row, err := experiments.RunNaiveAblation(context.Background(), mr, core.Options{}, sta.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -244,7 +245,7 @@ func benchWorkers(b *testing.B, workers int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		ctx.AnalyzeEndpoints()
+		ctx.AnalyzeEndpoints(context.Background())
 	}
 }
 
@@ -269,7 +270,7 @@ func TestPaperShape(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mr, err := experiments.RunTable5(p, core.Options{})
+		mr, err := experiments.RunTable5(context.Background(), p, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -277,7 +278,7 @@ func TestPaperShape(t *testing.T) {
 			t.Errorf("design %s: merged modes = %d, paper structure expects %d",
 				c.Label, mr.Row.Merged, c.PaperMerged)
 		}
-		row6, err := experiments.RunTable6(mr, sta.Options{})
+		row6, err := experiments.RunTable6(context.Background(), mr, sta.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -314,7 +315,7 @@ func TestMergedNeverOptimistic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mr, err := experiments.RunTable5(p, core.Options{})
+		mr, err := experiments.RunTable5(context.Background(), p, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -327,7 +328,7 @@ func TestMergedNeverOptimistic(t *testing.T) {
 			for i, mi := range clique {
 				group[i] = p.Modes[mi]
 			}
-			res, err := core.CheckEquivalence(p.Graph, group, mr.Merged[ci], core.Options{})
+			res, err := core.CheckEquivalence(context.Background(), p.Graph, group, mr.Merged[ci], core.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,19 +35,29 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker count (0 = all cores)")
 		validate  = flag.Bool("validate", true, "run the equivalence check on each merged mode")
 		quiet     = flag.Bool("q", false, "suppress progress output")
+		timeout   = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit); exits with code 3 on deadline")
 	)
 	flag.Parse()
 	if *verilog == "" || flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*verilog, *top, *libFile, *outDir, *tolerance, *workers, *validate, *quiet, flag.Args()); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *verilog, *top, *libFile, *outDir, *tolerance, *workers, *validate, *quiet, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "modemerge:", err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(verilog, top, libFile, outDir string, tolerance float64, workers int, validate, quiet bool, sdcFiles []string) error {
+func run(ctx context.Context, verilog, top, libFile, outDir string, tolerance float64, workers int, validate, quiet bool, sdcFiles []string) error {
 	lib := library.Default()
 	if libFile != "" {
 		data, err := os.ReadFile(libFile)
@@ -100,7 +112,7 @@ func run(verilog, top, libFile, outDir string, tolerance float64, workers int, v
 	}
 
 	opt := core.Options{Tolerance: tolerance, STA: sta.Options{Workers: workers}}
-	merged, reports, mb, err := core.MergeAll(g, modes, opt)
+	merged, reports, mb, err := core.MergeAll(ctx, g, modes, opt)
 	if err != nil {
 		return err
 	}
@@ -139,7 +151,7 @@ func run(verilog, top, libFile, outDir string, tolerance float64, workers int, v
 			for i, mi := range clique {
 				group[i] = modes[mi]
 			}
-			res, err := core.CheckEquivalence(g, group, merged[ci], opt)
+			res, err := core.CheckEquivalence(ctx, g, group, merged[ci], opt)
 			if err != nil {
 				return err
 			}

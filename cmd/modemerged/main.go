@@ -1,0 +1,82 @@
+// Command modemerged serves the mode-merging flow over an HTTP JSON API.
+// Clients POST a design + SDC modes to /v1/merge, poll /v1/jobs/{id},
+// and fetch merged SDC from /v1/jobs/{id}/result. Jobs run on a bounded
+// worker pool with content-addressed caching of parsed designs and
+// finished results; SIGINT/SIGTERM drains in-flight jobs before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"modemerge/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "merge worker pool size (0 = all cores)")
+		queueDepth  = flag.Int("queue", 64, "maximum queued jobs before submissions are rejected")
+		jobTimeout  = flag.Duration("job-timeout", 2*time.Minute, "default per-job execution deadline")
+		maxTimeout  = flag.Duration("max-job-timeout", 15*time.Minute, "upper clamp for client-requested job deadlines")
+		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		designCache = flag.Int("design-cache", 32, "prepared-design cache entries")
+		resultCache = flag.Int("result-cache", 256, "finished-result cache entries")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		DefaultJobTimeout: *jobTimeout,
+		MaxJobTimeout:     *maxTimeout,
+		DesignCacheSize:   *designCache,
+		ResultCacheSize:   *resultCache,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("modemerged listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("modemerged: %v", err)
+	case <-sigCtx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, then give queued and
+	// running jobs the grace period before canceling them.
+	log.Printf("modemerged: shutting down (grace %s)", *drainGrace)
+	graceCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(graceCtx); err != nil {
+		log.Printf("modemerged: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(graceCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "modemerged: drain incomplete:", err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			os.Exit(3)
+		}
+		os.Exit(1)
+	}
+	log.Printf("modemerged: drained cleanly")
+}

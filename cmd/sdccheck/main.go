@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -104,7 +105,7 @@ func run(verilog, top, libFile string, super bool, maxDiff int, files []string) 
 	if super {
 		individual := modes[:len(modes)-1]
 		merged := modes[len(modes)-1]
-		res, err := core.CheckEquivalence(g, individual, merged, core.Options{})
+		res, err := core.CheckEquivalence(context.Background(), g, individual, merged, core.Options{})
 		if err != nil {
 			return false, err
 		}
@@ -122,11 +123,11 @@ func run(verilog, top, libFile string, super bool, maxDiff int, files []string) 
 		return false, fmt.Errorf("pairwise check wants exactly two SDC files (use -super for more)")
 	}
 	a, b := modes[0], modes[1]
-	resAB, err := core.CheckEquivalence(g, []*sdc.Mode{a}, b, core.Options{})
+	resAB, err := core.CheckEquivalence(context.Background(), g, []*sdc.Mode{a}, b, core.Options{})
 	if err != nil {
 		return false, err
 	}
-	resBA, err := core.CheckEquivalence(g, []*sdc.Mode{b}, a, core.Options{})
+	resBA, err := core.CheckEquivalence(context.Background(), g, []*sdc.Mode{b}, a, core.Options{})
 	if err != nil {
 		return false, err
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -96,7 +97,7 @@ func run(verilog, top, libFile string, n, workers, trace int, sdcFiles []string)
 		for _, w := range ctx.Warnings {
 			fmt.Fprintf(os.Stderr, "%s: warning: %s\n", f, w)
 		}
-		results := ctx.AnalyzeEndpoints()
+		results := ctx.AnalyzeEndpoints(context.Background())
 		worstSetup, worstHold, checked := sta.Summarize(results)
 		fmt.Printf("mode %-16s worst setup %8.3f  worst hold %8.3f  endpoints checked %d\n",
 			name, finite(worstSetup), finite(worstHold), checked)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -69,20 +70,20 @@ func run(t5, t6, fig2, ablation bool, scale float64, workers int, designs string
 		if err != nil {
 			return err
 		}
-		mr, err := experiments.RunTable5(p, coreOpt)
+		mr, err := experiments.RunTable5(context.Background(), p, coreOpt)
 		if err != nil {
 			return err
 		}
 		rows5 = append(rows5, mr.Row)
 		if t6 || ablation {
-			row6, err := experiments.RunTable6(mr, staOpt)
+			row6, err := experiments.RunTable6(context.Background(), mr, staOpt)
 			if err != nil {
 				return err
 			}
 			rows6 = append(rows6, row6)
 		}
 		if ablation {
-			abl, err := experiments.RunNaiveAblation(mr, coreOpt, staOpt)
+			abl, err := experiments.RunNaiveAblation(context.Background(), mr, coreOpt, staOpt)
 			if err != nil {
 				return err
 			}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,11 +34,11 @@ func main() {
 		}
 		// Equivalence is symmetric containment: b must not relax a, and
 		// a must not relax b.
-		res1, err := core.CheckEquivalence(g, []*sdc.Mode{a}, b, core.Options{})
+		res1, err := core.CheckEquivalence(context.Background(), g, []*sdc.Mode{a}, b, core.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		res2, err := core.CheckEquivalence(g, []*sdc.Mode{b}, a, core.Options{})
+		res2, err := core.CheckEquivalence(context.Background(), g, []*sdc.Mode{b}, a, core.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

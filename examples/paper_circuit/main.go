@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -49,7 +50,7 @@ create_clock -name clkA -period 10 [get_ports clk1]
 set_multicycle_path 2 -through [get_pins inv1/Z]
 set_false_path -through [get_pins and1/Z]
 `)
-	rels := ctx.EndpointRelations()
+	rels := ctx.EndpointRelations(context.Background())
 	fmt.Printf("%-8s %-8s %-8s %-8s %s\n", "Start", "End", "Launch", "Capture", "State")
 	for _, end := range []string{"rX/D", "rY/D", "rZ/D"} {
 		key := sta.RelKey{Start: "*", End: end, Launch: "clkA", Capture: "clkA", Check: relation.Setup}
@@ -83,7 +84,7 @@ set_false_path -to rZ/D
 	g := ctxM.G
 
 	fmt.Println("=== Table 2: pass-1 comparison (Constraint Set 6) ===")
-	relA, relB, relM := ctxA.EndpointRelations(), ctxB.EndpointRelations(), ctxM.EndpointRelations()
+	relA, relB, relM := ctxA.EndpointRelations(context.Background()), ctxB.EndpointRelations(context.Background()), ctxM.EndpointRelations(context.Background())
 	fmt.Printf("%-8s %-8s %-8s %-8s %-12s %-12s %s\n",
 		"Start", "End", "Launch", "Capture", "Individual", "Merged", "Result")
 	var ambiguousEnds []string
@@ -155,7 +156,7 @@ set_false_path -to rZ/D
 	fmt.Println("=== Constraint Set 6: the merged mode after refinement ===")
 	mA, _, _ := sdc.Parse("A", modeA, design)
 	mB, _, _ := sdc.Parse("B", modeB, design)
-	merged, _, err := core.Merge(design, []*sdc.Mode{mA, mB}, core.Options{})
+	merged, _, err := core.Merge(context.Background(), design, []*sdc.Mode{mA, mB}, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func constraintSets345() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		merged, _, err := core.Merge(design, []*sdc.Mode{mA, mB}, core.Options{})
+		merged, _, err := core.Merge(context.Background(), design, []*sdc.Mode{mA, mB}, core.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

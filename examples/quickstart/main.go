@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,7 +60,7 @@ set_output_delay 1.0 -clock TCLK [get_ports dout]
 set_multicycle_path 2 -setup -from [get_clocks TCLK]
 `)
 
-	merged, report, err := core.Merge(design, []*sdc.Mode{functional, test}, core.Options{})
+	merged, report, err := core.Merge(context.Background(), design, []*sdc.Mode{functional, test}, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +70,7 @@ set_multicycle_path 2 -setup -from [get_clocks TCLK]
 		report.MergedClocks, report.ExclusivePairs,
 		report.UniquifiedExceptions, report.AddedFalsePaths+report.LaunchBlocks)
 
-	res, err := core.CheckEquivalence(g, []*sdc.Mode{functional, test}, merged, core.Options{})
+	res, err := core.CheckEquivalence(context.Background(), g, []*sdc.Mode{functional, test}, merged, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -48,7 +49,7 @@ func main() {
 	}
 
 	start := time.Now()
-	merged, rep, err := core.Merge(g.Design, modes, core.Options{})
+	merged, rep, err := core.Merge(context.Background(), g.Design, modes, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func main() {
 		rep.UniquifiedExceptions, rep.AddedFalsePaths+rep.LaunchBlocks, rep.Iterations)
 
 	// Validation.
-	res, err := core.CheckEquivalence(tg, modes, merged, core.Options{})
+	res, err := core.CheckEquivalence(context.Background(), tg, modes, merged, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, r := range ctx.AnalyzeEndpoints() {
+		for _, r := range ctx.AnalyzeEndpoints(context.Background()) {
 			if !r.HasSetup {
 				continue
 			}
@@ -90,7 +91,7 @@ func main() {
 		log.Fatal(err)
 	}
 	mergedWorst := map[string]sta.EndpointResult{}
-	for _, r := range mctx.AnalyzeEndpoints() {
+	for _, r := range mctx.AnalyzeEndpoints(context.Background()) {
 		if r.HasSetup {
 			mergedWorst[r.Name] = r
 		}

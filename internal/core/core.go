@@ -11,7 +11,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"modemerge/internal/graph"
 	"modemerge/internal/netlist"
@@ -33,6 +35,20 @@ type Options struct {
 	MaxRefineIterations int
 	// STA carries analysis options (worker count etc.).
 	STA sta.Options
+	// StageHook, when set, receives the wall time of each completed flow
+	// stage ("mergeability", "prelim", "clock_refine", "data_refine").
+	// Hooks must be cheap and safe for serial calls from the merging
+	// goroutine.
+	StageHook func(stage string, d time.Duration)
+}
+
+// stage times one flow stage and reports it to the hook.
+func (o Options) stage(name string) func() {
+	if o.StageHook == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { o.StageHook(name, time.Since(start)) }
 }
 
 func (o Options) withDefaults() Options {
@@ -133,8 +149,8 @@ type Merger struct {
 }
 
 // NewMerger prepares a merge of the given modes. The graph is built once
-// and shared.
-func NewMerger(design *netlist.Design, modes []*sdc.Mode, opt Options) (*Merger, error) {
+// and shared. Cancelling cx aborts between per-mode context builds.
+func NewMerger(cx context.Context, design *netlist.Design, modes []*sdc.Mode, opt Options) (*Merger, error) {
 	if len(modes) == 0 {
 		return nil, fmt.Errorf("core: no modes to merge")
 	}
@@ -142,10 +158,10 @@ func NewMerger(design *netlist.Design, modes []*sdc.Mode, opt Options) (*Merger,
 	if err != nil {
 		return nil, err
 	}
-	return newMergerWithGraph(g, modes, opt)
+	return newMergerWithGraph(cx, g, modes, opt)
 }
 
-func newMergerWithGraph(g *graph.Graph, modes []*sdc.Mode, opt Options) (*Merger, error) {
+func newMergerWithGraph(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options) (*Merger, error) {
 	opt = opt.withDefaults()
 	name := opt.MergedName
 	if name == "" {
@@ -166,6 +182,9 @@ func newMergerWithGraph(g *graph.Graph, modes []*sdc.Mode, opt Options) (*Merger
 		Report: &Report{},
 	}
 	for _, m := range modes {
+		if err := cx.Err(); err != nil {
+			return nil, err
+		}
 		ctx, err := sta.NewContext(g, m, opt.STA)
 		if err != nil {
 			return nil, fmt.Errorf("mode %s: %w", m.Name, err)
@@ -175,20 +194,34 @@ func newMergerWithGraph(g *graph.Graph, modes []*sdc.Mode, opt Options) (*Merger
 	return mg, nil
 }
 
-// Merge runs the full flow and returns the merged mode.
-func (mg *Merger) Merge() (*sdc.Mode, error) {
+// Merge runs the full flow and returns the merged mode. Cancelling cx
+// aborts promptly between stages and inside the parallel refinement
+// loops, returning the context error.
+func (mg *Merger) Merge(cx context.Context) (*sdc.Mode, error) {
+	done := mg.opt.stage("prelim")
 	if err := mg.preliminary(); err != nil {
 		return nil, err
 	}
 	if err := mg.rebuildMerged(); err != nil {
 		return nil, err
 	}
+	done()
+	if err := cx.Err(); err != nil {
+		return nil, err
+	}
+	done = mg.opt.stage("clock_refine")
 	if err := mg.clockRefinement(); err != nil {
 		return nil, err
 	}
-	if err := mg.dataRefinement(); err != nil {
+	done()
+	if err := cx.Err(); err != nil {
 		return nil, err
 	}
+	done = mg.opt.stage("data_refine")
+	if err := mg.dataRefinement(cx); err != nil {
+		return nil, err
+	}
+	done()
 	return mg.merged, nil
 }
 
@@ -207,12 +240,13 @@ func (mg *Merger) rebuildMerged() error {
 }
 
 // Merge is the package-level convenience: merge one group of modes.
-func Merge(design *netlist.Design, modes []*sdc.Mode, opt Options) (*sdc.Mode, *Report, error) {
-	mg, err := NewMerger(design, modes, opt)
+// Cancelling cx aborts the flow promptly with the context error.
+func Merge(cx context.Context, design *netlist.Design, modes []*sdc.Mode, opt Options) (*sdc.Mode, *Report, error) {
+	mg, err := NewMerger(cx, design, modes, opt)
 	if err != nil {
 		return nil, nil, err
 	}
-	merged, err := mg.Merge()
+	merged, err := mg.Merge(cx)
 	if err != nil {
 		return nil, mg.Report, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -148,11 +149,11 @@ func TestMergedModeReusableAsInput(t *testing.T) {
 create_clock -name clkA -period 10 [get_ports clk1]
 set_false_path -to rX/D
 `)
-	mg, err := newMergerWithGraph(g, []*sdc.Mode{reparsed, third}, Options{})
+	mg, err := newMergerWithGraph(context.Background(), g, []*sdc.Mode{reparsed, third}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mg.Merge(); err != nil {
+	if _, err := mg.Merge(context.Background()); err != nil {
 		t.Fatalf("re-merge failed: %v", err)
 	}
 }
@@ -221,7 +222,7 @@ set_input_transition 0.9 [get_ports in1]
 create_clock -name clkA -period 10 [get_ports clk1]
 set_input_transition 0.1 [get_ports in1]
 `)
-	out, _, _, err := MergeAll(g, []*sdc.Mode{lone, other}, Options{})
+	out, _, _, err := MergeAll(context.Background(), g, []*sdc.Mode{lone, other}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,11 +346,11 @@ func TestRandomMergesNeverOptimistic(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d mode B: %v\n%s", seed, err, srcB)
 		}
-		mg, err := newMergerWithGraph(g, []*sdc.Mode{a, bm}, Options{})
+		mg, err := newMergerWithGraph(context.Background(), g, []*sdc.Mode{a, bm}, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		merged, err := mg.Merge()
+		merged, err := mg.Merge(context.Background())
 		if err != nil {
 			t.Fatalf("seed %d merge: %v\nA:\n%s\nB:\n%s", seed, err, srcA, srcB)
 		}
@@ -358,7 +359,7 @@ func TestRandomMergesNeverOptimistic(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: merged SDC does not re-parse: %v\n%s", seed, err, sdc.Write(merged))
 		}
-		res, err := CheckEquivalence(g, []*sdc.Mode{a, bm}, reparsed, Options{})
+		res, err := CheckEquivalence(context.Background(), g, []*sdc.Mode{a, bm}, reparsed, Options{})
 		if err != nil {
 			t.Fatalf("seed %d equivalence: %v", seed, err)
 		}
@@ -393,11 +394,11 @@ func TestRandomMergedSlackNeverOptimistic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mg, err := newMergerWithGraph(g, []*sdc.Mode{a, bm}, Options{})
+		mg, err := newMergerWithGraph(context.Background(), g, []*sdc.Mode{a, bm}, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		merged, err := mg.Merge()
+		merged, err := mg.Merge(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -408,7 +409,7 @@ func TestRandomMergedSlackNeverOptimistic(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				for _, r := range ctx.AnalyzeEndpoints() {
+				for _, r := range ctx.AnalyzeEndpoints(context.Background()) {
 					if !r.HasSetup {
 						continue
 					}
@@ -432,7 +433,7 @@ func TestRandomMergedSlackNeverOptimistic(t *testing.T) {
 
 func TestMergeErrorPaths(t *testing.T) {
 	g := paperGraph(t)
-	if _, _, err := Merge(g.Design, nil, Options{}); err == nil {
+	if _, _, err := Merge(context.Background(), g.Design, nil, Options{}); err == nil {
 		t.Error("empty mode list accepted")
 	}
 	// A mode whose constraints reference objects missing from the design
@@ -441,7 +442,7 @@ func TestMergeErrorPaths(t *testing.T) {
 		Objects: []sdc.ObjRef{{Kind: sdc.PinObj, Name: "ghost/X"}},
 	}}}
 	ok := parseMode(t, g, "ok", `create_clock -name c -period 1 [get_ports clk1]`)
-	if _, _, err := Merge(g.Design, []*sdc.Mode{ok, bad}, Options{}); err == nil {
+	if _, _, err := Merge(context.Background(), g.Design, []*sdc.Mode{ok, bad}, Options{}); err == nil {
 		t.Error("unresolvable mode accepted")
 	} else if !strings.Contains(err.Error(), "bad") {
 		t.Errorf("error does not name the failing mode: %v", err)
@@ -463,11 +464,11 @@ func TestMergedNameOption(t *testing.T) {
 	g := paperGraph(t)
 	a := parseMode(t, g, "alpha", `create_clock -name c -period 1 [get_ports clk1]`)
 	b := parseMode(t, g, "beta", `create_clock -name c -period 1 [get_ports clk1]`)
-	mg, err := newMergerWithGraph(g, []*sdc.Mode{a, b}, Options{MergedName: "custom"})
+	mg, err := newMergerWithGraph(context.Background(), g, []*sdc.Mode{a, b}, Options{MergedName: "custom"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	merged, err := mg.Merge()
+	merged, err := mg.Merge(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -524,15 +525,15 @@ func TestRandomTripleMergesNeverOptimistic(t *testing.T) {
 			modes = append(modes, m)
 			srcs = append(srcs, src)
 		}
-		mg, err := newMergerWithGraph(g, modes, Options{})
+		mg, err := newMergerWithGraph(context.Background(), g, modes, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		merged, err := mg.Merge()
+		merged, err := mg.Merge(context.Background())
 		if err != nil {
 			t.Fatalf("seed %d merge: %v\nmodes:\n%s", seed, err, strings.Join(srcs, "\n---\n"))
 		}
-		res, err := CheckEquivalence(g, modes, merged, Options{})
+		res, err := CheckEquivalence(context.Background(), g, modes, merged, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -33,11 +34,11 @@ func mergeModes(t *testing.T, g *graph.Graph, srcs map[string]string, names ...s
 	for _, n := range names {
 		modes = append(modes, parseMode(t, g, n, srcs[n]))
 	}
-	mg, err := newMergerWithGraph(g, modes, Options{})
+	mg, err := newMergerWithGraph(context.Background(), g, modes, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	merged, err := mg.Merge()
+	merged, err := mg.Merge(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func requireEquivalent(t *testing.T, g *graph.Graph, srcs map[string]string, mer
 	for _, n := range names {
 		modes = append(modes, parseMode(t, g, n, srcs[n]))
 	}
-	res, err := CheckEquivalence(g, modes, reparsed, Options{})
+	res, err := CheckEquivalence(context.Background(), g, modes, reparsed, Options{})
 	if err != nil {
 		t.Fatalf("equivalence check: %v", err)
 	}
@@ -487,7 +488,7 @@ set_input_transition 0.9 [get_ports in1]`,
 	for i, s := range srcs {
 		modes = append(modes, parseMode(t, g, string(rune('a'+i)), s))
 	}
-	out, reports, mb, err := MergeAll(g, modes, Options{})
+	out, reports, mb, err := MergeAll(context.Background(), g, modes, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -507,7 +508,7 @@ func TestNaiveMergeLosesRefinement(t *testing.T) {
 	for _, n := range []string{"A", "B"} {
 		modes = append(modes, parseMode(t, g, n, set6[n]))
 	}
-	naive, err := NaiveMerge(g, modes, Options{})
+	naive, err := NaiveMerge(context.Background(), g, modes, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -518,7 +519,7 @@ func TestNaiveMergeLosesRefinement(t *testing.T) {
 	// The naive merge times paths that are false in every individual
 	// mode: inaccurate (pessimistic) groups the refined merge does not
 	// have.
-	res, err := CheckEquivalence(g, modes, naive, Options{})
+	res, err := CheckEquivalence(context.Background(), g, modes, naive, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -526,7 +527,7 @@ func TestNaiveMergeLosesRefinement(t *testing.T) {
 		t.Errorf("naive merge shows no pessimistic groups: %s", res)
 	}
 	refined, _ := mergeModes(t, g, set6, "A", "B")
-	refRes, err := CheckEquivalence(g, modes, refined, Options{})
+	refRes, err := CheckEquivalence(context.Background(), g, modes, refined, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -548,7 +549,7 @@ set_max_delay 1 -to [get_pins rX/D]
 	broken := parseMode(t, g, "broken", `
 create_clock -name clkA -period 10 [get_ports clk1]
 `)
-	res, err := CheckEquivalence(g, individual, broken, Options{})
+	res, err := CheckEquivalence(context.Background(), g, individual, broken, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -566,7 +567,7 @@ set_multicycle_path 3 -to [get_pins rX/D]
 `
 	mode := parseMode(t, g, "A", src)
 	same := parseMode(t, g, "same", src)
-	res, err := CheckEquivalence(g, []*sdc.Mode{mode}, same, Options{})
+	res, err := CheckEquivalence(context.Background(), g, []*sdc.Mode{mode}, same, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -42,9 +43,10 @@ func (r *EquivalenceResult) String() string {
 // CheckEquivalence compares the merged mode against the individual modes
 // at the three granularities of §3.2, without modifying anything. The
 // clock mapping is rediscovered structurally (same source set and
-// waveform).
-func CheckEquivalence(g *graph.Graph, individual []*sdc.Mode, merged *sdc.Mode, opt Options) (*EquivalenceResult, error) {
-	mg, err := newMergerWithGraph(g, individual, opt)
+// waveform). Cancelling cx aborts between and inside the passes with the
+// context error.
+func CheckEquivalence(cx context.Context, g *graph.Graph, individual []*sdc.Mode, merged *sdc.Mode, opt Options) (*EquivalenceResult, error) {
+	mg, err := newMergerWithGraph(cx, g, individual, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +56,7 @@ func CheckEquivalence(g *graph.Graph, individual []*sdc.Mode, merged *sdc.Mode, 
 	if err := mg.rebuildMerged(); err != nil {
 		return nil, err
 	}
-	return mg.checkEquivalence()
+	return mg.checkEquivalence(cx)
 }
 
 // moreRelaxed reports whether the merged state relaxes the target —
@@ -65,7 +67,7 @@ func moreRelaxed(merged, target relation.State) bool {
 
 // checkEquivalence runs the non-mutating 3-pass comparison on the
 // merger's current merged context.
-func (mg *Merger) checkEquivalence() (*EquivalenceResult, error) {
+func (mg *Merger) checkEquivalence(cx context.Context) (*EquivalenceResult, error) {
 	res := &EquivalenceResult{}
 
 	describe := func(k sta.RelKey, target, merged relation.Set) string {
@@ -98,7 +100,10 @@ func (mg *Merger) checkEquivalence() (*EquivalenceResult, error) {
 	}
 
 	// Pass 1.
-	perMode, mergedRels := mg.endpointAll()
+	perMode, mergedRels := mg.endpointAll(cx)
+	if err := cx.Err(); err != nil {
+		return nil, err
+	}
 	groups := mg.gatherGroups(perMode, mergedRels)
 	pass2 := map[string]bool{}
 	for k, gs := range groups {
@@ -118,7 +123,7 @@ func (mg *Merger) checkEquivalence() (*EquivalenceResult, error) {
 	seGroupsPerEnd := make([]map[sta.RelKey]*groupStates, len(ends))
 	var firstErr error
 	var errMu sync.Mutex
-	forEachParallel(len(ends), func(i int) {
+	forEachParallel(cx, len(ends), func(i int) {
 		endID, ok := mg.g.NodeByName(ends[i])
 		if !ok {
 			errMu.Lock()
@@ -136,6 +141,9 @@ func (mg *Merger) checkEquivalence() (*EquivalenceResult, error) {
 	})
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := cx.Err(); err != nil {
+		return nil, err
 	}
 	for _, seGroups := range seGroupsPerEnd {
 		for k, gs := range seGroups {
@@ -157,6 +165,9 @@ func (mg *Merger) checkEquivalence() (*EquivalenceResult, error) {
 		return pairs[i].end < pairs[j].end
 	})
 	for _, p := range pairs {
+		if err := cx.Err(); err != nil {
+			return nil, err
+		}
 		unresolved, err := mg.checkPass3(p.start, p.end, res)
 		if err != nil {
 			return nil, err

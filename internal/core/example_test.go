@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ set_false_path -to rZ/D
 		log.Fatal(err)
 	}
 
-	merged, report, err := core.Merge(design, []*sdc.Mode{modeA, modeB}, core.Options{})
+	merged, report, err := core.Merge(context.Background(), design, []*sdc.Mode{modeA, modeB}, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +63,7 @@ set_max_delay 1 -to [get_pins rX/D]
 	broken, _, _ := sdc.Parse("broken", `
 create_clock -name clkA -period 10 [get_ports clk1]
 `, design)
-	res, err := core.CheckEquivalence(g, []*sdc.Mode{individual}, broken, core.Options{})
+	res, err := core.CheckEquivalence(context.Background(), g, []*sdc.Mode{individual}, broken, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

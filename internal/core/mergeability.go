@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -225,16 +226,22 @@ func (mb *Mergeability) GroupNames(cliques [][]int) [][]string {
 
 // MergeAll analyzes mergeability, groups the modes into cliques and merges
 // each clique, returning one merged mode per clique (singleton cliques
-// pass the original mode through untouched).
-func MergeAll(g *graph.Graph, modes []*sdc.Mode, opt Options) ([]*sdc.Mode, []*Report, *Mergeability, error) {
+// pass the original mode through untouched). Cancelling cx aborts between
+// cliques and inside each merge with the context error.
+func MergeAll(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options) ([]*sdc.Mode, []*Report, *Mergeability, error) {
+	done := opt.stage("mergeability")
 	mb, err := AnalyzeMergeability(g, modes, opt)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	cliques := mb.Cliques()
+	done()
 	var out []*sdc.Mode
 	var reports []*Report
 	for _, clique := range cliques {
+		if err := cx.Err(); err != nil {
+			return nil, nil, mb, err
+		}
 		if len(clique) == 1 {
 			out = append(out, modes[clique[0]])
 			reports = append(reports, &Report{})
@@ -244,11 +251,11 @@ func MergeAll(g *graph.Graph, modes []*sdc.Mode, opt Options) ([]*sdc.Mode, []*R
 		for i, m := range clique {
 			group[i] = modes[m]
 		}
-		mg, err := newMergerWithGraph(g, group, opt)
+		mg, err := newMergerWithGraph(cx, g, group, opt)
 		if err != nil {
 			return nil, nil, mb, err
 		}
-		merged, err := mg.Merge()
+		merged, err := mg.Merge(cx)
 		if err != nil {
 			return nil, nil, mb, fmt.Errorf("merging %v: %w", mb.GroupNames([][]int{clique})[0], err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"modemerge/internal/graph"
@@ -16,8 +17,8 @@ import (
 // modes disable (hurting conformity) and under-constrains nothing it can
 // detect. The benchmark harness uses it to quantify what the graph-based
 // method buys.
-func NaiveMerge(g *graph.Graph, modes []*sdc.Mode, opt Options) (*sdc.Mode, error) {
-	mg, err := newMergerWithGraph(g, modes, opt)
+func NaiveMerge(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options) (*sdc.Mode, error) {
+	mg, err := newMergerWithGraph(cx, g, modes, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -56,13 +57,19 @@ func (mg *Merger) throughAll(startID, endID graph.NodeID) (perMode [][]sta.Throu
 }
 
 // forEachParallel runs fn(i) for i in [0,n) on a bounded worker pool.
-func forEachParallel(n int, fn func(i int)) {
+// Cancelling cx stops feeding new indices; already-started fn calls run
+// to completion. Callers must check cx.Err() afterwards — results for
+// unvisited indices are missing.
+func forEachParallel(cx context.Context, n int, fn func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if cx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -74,6 +81,9 @@ func forEachParallel(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if cx.Err() != nil {
+					continue // drain without working
+				}
 				fn(i)
 			}
 		}()
@@ -86,20 +96,21 @@ func forEachParallel(n int, fn func(i int)) {
 }
 
 // endpointAll computes pass-1 relations for every context concurrently.
-func (mg *Merger) endpointAll() (perMode []map[sta.RelKey]relation.Set, merged map[sta.RelKey]relation.Set) {
+// On cancellation the maps are partial; callers check cx.Err().
+func (mg *Merger) endpointAll(cx context.Context) (perMode []map[sta.RelKey]relation.Set, merged map[sta.RelKey]relation.Set) {
 	perMode = make([]map[sta.RelKey]relation.Set, len(mg.ctxs))
 	var wg sync.WaitGroup
 	for m, ctx := range mg.ctxs {
 		wg.Add(1)
 		go func(m int, ctx *sta.Context) {
 			defer wg.Done()
-			perMode[m] = ctx.EndpointRelations()
+			perMode[m] = ctx.EndpointRelations(cx)
 		}(m, ctx)
 	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		merged = mg.mctx.EndpointRelations()
+		merged = mg.mctx.EndpointRelations(cx)
 	}()
 	wg.Wait()
 	return perMode, merged
@@ -145,13 +156,16 @@ func (mg *Merger) clockRefinement() error {
 // 3-pass timing-relationship comparison, adding corrective false paths
 // until the merged mode matches the per-path most-restrictive individual
 // behaviour.
-func (mg *Merger) dataRefinement() error {
+func (mg *Merger) dataRefinement(cx context.Context) error {
 	if err := mg.blockExtraLaunchClocks(); err != nil {
 		return err
 	}
 	for iter := 0; iter < mg.opt.MaxRefineIterations; iter++ {
+		if err := cx.Err(); err != nil {
+			return err
+		}
 		mg.Report.Iterations = iter + 1
-		added, err := mg.threePass()
+		added, err := mg.threePass(cx)
 		if err != nil {
 			return err
 		}
@@ -308,12 +322,16 @@ func (mg *Merger) gatherGroups(perMode []map[sta.RelKey]relation.Set, merged map
 }
 
 // threePass runs passes 1–3 of §3.2 once, emitting corrective false
-// paths; it returns how many constraints were added.
-func (mg *Merger) threePass() (int, error) {
+// paths; it returns how many constraints were added. Cancelling cx
+// aborts between and inside the passes with the context error.
+func (mg *Merger) threePass(cx context.Context) (int, error) {
 	added := 0
 
 	// ---- Pass 1: endpoint granularity ----
-	perMode, mergedRels := mg.endpointAll()
+	perMode, mergedRels := mg.endpointAll(cx)
+	if err := cx.Err(); err != nil {
+		return 0, err
+	}
 	groups := mg.gatherGroups(perMode, mergedRels)
 
 	// Ambiguous endpoints to forward to pass 2, deduplicated.
@@ -358,7 +376,7 @@ func (mg *Merger) threePass() (int, error) {
 	seGroupsPerEnd := make([]map[sta.RelKey]*groupStates, len(pass2Ends))
 	var firstErr error
 	var errMu sync.Mutex
-	forEachParallel(len(pass2Ends), func(i int) {
+	forEachParallel(cx, len(pass2Ends), func(i int) {
 		endID, ok := mg.g.NodeByName(pass2Ends[i])
 		if !ok {
 			errMu.Lock()
@@ -376,6 +394,9 @@ func (mg *Merger) threePass() (int, error) {
 	})
 	if firstErr != nil {
 		return added, firstErr
+	}
+	if err := cx.Err(); err != nil {
+		return added, err
 	}
 	allSEGroups := map[sta.RelKey]*groupStates{}
 	var p2Fixes []fixEntry
@@ -424,7 +445,7 @@ func (mg *Merger) threePass() (int, error) {
 		err     error
 	}
 	data := make([]p3data, len(pairs))
-	forEachParallel(len(pairs), func(i int) {
+	forEachParallel(cx, len(pairs), func(i int) {
 		startID, ok1 := mg.g.NodeByName(pairs[i].start)
 		endID, ok2 := mg.g.NodeByName(pairs[i].end)
 		if !ok1 || !ok2 {
@@ -437,6 +458,9 @@ func (mg *Merger) threePass() (int, error) {
 		}
 		data[i] = p3data{perMode: perMode, merged: mg.mctx.ThroughRelations(startID, endID)}
 	})
+	if err := cx.Err(); err != nil {
+		return added, err
+	}
 	for i, p := range pairs {
 		if data[i].err != nil {
 			return added, data[i].err

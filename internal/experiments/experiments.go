@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -148,9 +149,9 @@ type MergeResult struct {
 
 // RunTable5 merges a prepared design's modes and measures the reduction
 // and merge runtime.
-func RunTable5(p *Prepared, opt core.Options) (*MergeResult, error) {
+func RunTable5(cx context.Context, p *Prepared, opt core.Options) (*MergeResult, error) {
 	start := time.Now()
-	merged, reports, mb, err := core.MergeAll(p.Graph, p.Modes, opt)
+	merged, reports, mb, err := core.MergeAll(cx, p.Graph, p.Modes, opt)
 	if err != nil {
 		return nil, fmt.Errorf("design %s: %w", p.Case.Label, err)
 	}
@@ -190,7 +191,7 @@ const staRepeats = 3
 
 // staAll runs STA for every mode, returning campaign runtime (best of
 // staRepeats) and per-endpoint worst setup slack across the modes.
-func staAll(g *graph.Graph, modes []*sdc.Mode, opt sta.Options) (time.Duration, map[string]endpointWorst, error) {
+func staAll(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt sta.Options) (time.Duration, map[string]endpointWorst, error) {
 	worst := map[string]endpointWorst{}
 	best := time.Duration(0)
 	for rep := 0; rep < staRepeats; rep++ {
@@ -200,7 +201,11 @@ func staAll(g *graph.Graph, modes []*sdc.Mode, opt sta.Options) (time.Duration, 
 			if err != nil {
 				return 0, nil, fmt.Errorf("mode %s: %w", m.Name, err)
 			}
-			for _, r := range ctx.AnalyzeEndpoints() {
+			results := ctx.AnalyzeEndpoints(cx)
+			if err := cx.Err(); err != nil {
+				return 0, nil, err
+			}
+			for _, r := range results {
 				if !r.HasSetup {
 					continue
 				}
@@ -253,13 +258,13 @@ func Conformity(individual, merged map[string]endpointWorst) (pct float64, endpo
 
 // RunTable6 measures STA runtime with the individual modes versus the
 // merged modes and the endpoint-slack conformity.
-func RunTable6(mr *MergeResult, opt sta.Options) (Table6Row, error) {
+func RunTable6(cx context.Context, mr *MergeResult, opt sta.Options) (Table6Row, error) {
 	p := mr.Prepared
-	indTime, indWorst, err := staAll(p.Graph, p.Modes, opt)
+	indTime, indWorst, err := staAll(cx, p.Graph, p.Modes, opt)
 	if err != nil {
 		return Table6Row{}, err
 	}
-	mergedTime, mergedWorst, err := staAll(p.Graph, mr.Merged, opt)
+	mergedTime, mergedWorst, err := staAll(cx, p.Graph, mr.Merged, opt)
 	if err != nil {
 		return Table6Row{}, err
 	}
@@ -288,7 +293,7 @@ type AblationRow struct {
 
 // RunNaiveAblation merges each clique naively and compares conformity
 // against the graph-based result.
-func RunNaiveAblation(mr *MergeResult, opt core.Options, staOpt sta.Options) (AblationRow, error) {
+func RunNaiveAblation(cx context.Context, mr *MergeResult, opt core.Options, staOpt sta.Options) (AblationRow, error) {
 	p := mr.Prepared
 	cliques := mr.Mb.Cliques()
 	var naiveModes []*sdc.Mode
@@ -301,21 +306,21 @@ func RunNaiveAblation(mr *MergeResult, opt core.Options, staOpt sta.Options) (Ab
 		for i, m := range clique {
 			group[i] = p.Modes[m]
 		}
-		nm, err := core.NaiveMerge(p.Graph, group, opt)
+		nm, err := core.NaiveMerge(cx, p.Graph, group, opt)
 		if err != nil {
 			return AblationRow{}, err
 		}
 		naiveModes = append(naiveModes, nm)
 	}
-	_, indWorst, err := staAll(p.Graph, p.Modes, staOpt)
+	_, indWorst, err := staAll(cx, p.Graph, p.Modes, staOpt)
 	if err != nil {
 		return AblationRow{}, err
 	}
-	_, graphWorst, err := staAll(p.Graph, mr.Merged, staOpt)
+	_, graphWorst, err := staAll(cx, p.Graph, mr.Merged, staOpt)
 	if err != nil {
 		return AblationRow{}, err
 	}
-	_, naiveWorst, err := staAll(p.Graph, naiveModes, staOpt)
+	_, naiveWorst, err := staAll(cx, p.Graph, naiveModes, staOpt)
 	if err != nil {
 		return AblationRow{}, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"modemerge/internal/core"
@@ -100,21 +101,21 @@ func TestEndToEndSmallest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mr, err := RunTable5(p, core.Options{})
+	mr, err := RunTable5(context.Background(), p, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if mr.Row.Merged != 1 {
 		t.Errorf("design B merged = %d, want 1", mr.Row.Merged)
 	}
-	row6, err := RunTable6(mr, sta.Options{})
+	row6, err := RunTable6(context.Background(), mr, sta.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if row6.ConformityPct < 99 {
 		t.Errorf("conformity = %g", row6.ConformityPct)
 	}
-	abl, err := RunNaiveAblation(mr, core.Options{}, sta.Options{})
+	abl, err := RunNaiveAblation(context.Background(), mr, core.Options{}, sta.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

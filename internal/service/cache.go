@@ -1,0 +1,125 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+
+	"modemerge/internal/graph"
+	"modemerge/internal/library"
+	"modemerge/internal/netlist"
+)
+
+// contentHash hashes an ordered list of strings with length prefixes, so
+// no concatenation of parts can collide with a different split of the
+// same bytes. It is the content address for both cache layers.
+func contentHash(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// lruCache is a small thread-safe LRU keyed by content hash.
+type lruCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *lruEntry
+	entries map[string]*list.Element
+}
+
+type lruEntry struct {
+	key   string
+	value any
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{cap: capacity, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+func (c *lruCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).value, true
+}
+
+func (c *lruCache) put(key string, value any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, value: value})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*lruEntry).key)
+	}
+}
+
+// preparedDesign is a parsed and graph-built design, shared read-only by
+// every job that addresses the same (library, top, verilog) content.
+type preparedDesign struct {
+	lib    *library.Library
+	design *netlist.Design
+	graph  *graph.Graph
+}
+
+// designEntry carries the build-once state for one design key, so
+// concurrent first submissions of the same design parse it exactly once
+// (singleflight) while other designs build in parallel.
+type designEntry struct {
+	once sync.Once
+	prep *preparedDesign
+	err  error
+}
+
+// designCache content-addresses prepared designs.
+type designCache struct {
+	lru *lruCache
+}
+
+func newDesignCache(capacity int) *designCache {
+	return &designCache{lru: newLRU(capacity)}
+}
+
+// get returns the prepared design for the key, building it at most once
+// per entry via build. hit reports whether the entry already existed
+// (even if its build is still in flight on another goroutine).
+func (c *designCache) get(key string, build func() (*preparedDesign, error)) (prep *preparedDesign, hit bool, err error) {
+	c.lru.mu.Lock()
+	var entry *designEntry
+	if el, ok := c.lru.entries[key]; ok {
+		entry = el.Value.(*lruEntry).value.(*designEntry)
+		c.lru.order.MoveToFront(el)
+		hit = true
+	} else {
+		entry = &designEntry{}
+		c.lru.entries[key] = c.lru.order.PushFront(&lruEntry{key: key, value: entry})
+		for c.lru.order.Len() > c.lru.cap {
+			last := c.lru.order.Back()
+			c.lru.order.Remove(last)
+			delete(c.lru.entries, last.Value.(*lruEntry).key)
+		}
+	}
+	c.lru.mu.Unlock()
+
+	entry.once.Do(func() { entry.prep, entry.err = build() })
+	return entry.prep, hit, entry.err
+}

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"net/http"
+)
+
+// maxRequestBytes caps POST /v1/merge bodies (netlists are text; 32 MiB
+// is far beyond anything this flow handles in one job).
+const maxRequestBytes = 32 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/merge            submit a job (202 + {id, status, cached})
+//	GET  /v1/jobs/{id}        job status snapshot
+//	GET  /v1/jobs/{id}/result finished result (409 until done)
+//	POST /v1/jobs/{id}/cancel request cooperative cancellation
+//	GET  /v1/stats            this server's counters and stage timings
+//	GET  /healthz             liveness probe
+//	GET  /debug/vars          process-wide expvar (includes "modemerged")
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/merge", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+type submitResponse struct {
+	ID     string `json:"id"`
+	Status Status `json:"status"`
+	Cached bool   `json:"cached"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	var req MergeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	job, err := s.Submit(&req)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	view := job.View()
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: job.ID, Status: view.Status, Cached: view.CacheHit})
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	if !idSafe(id) {
+		writeError(w, http.StatusBadRequest, "malformed job id")
+		return nil, false
+	}
+	job, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.lookupJob(w, r); ok {
+		writeJSON(w, http.StatusOK, job.View())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	view := job.View()
+	switch view.Status {
+	case StatusDone:
+		writeJSON(w, http.StatusOK, job.Result())
+	case StatusFailed, StatusCanceled:
+		writeError(w, http.StatusConflict, "job "+job.ID+" is "+string(view.Status)+": "+view.Error)
+	default:
+		writeError(w, http.StatusConflict, "job "+job.ID+" is still "+string(view.Status))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusAccepted, job.View())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot()
+	snap["queue"] = s.QueueStatus()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

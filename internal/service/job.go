@@ -1,0 +1,263 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"modemerge/internal/core"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle: Queued → Running → one of Done / Failed / Canceled.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// ModeInput is one SDC mode of a merge request.
+type ModeInput struct {
+	Name string `json:"name"`
+	SDC  string `json:"sdc"`
+}
+
+// RequestOptions mirrors the tunable subset of core.Options.
+type RequestOptions struct {
+	Tolerance           float64 `json:"tolerance,omitempty"`
+	Workers             int     `json:"workers,omitempty"`
+	MaxRefineIterations int     `json:"max_refine_iterations,omitempty"`
+}
+
+// MergeRequest is the POST /v1/merge payload.
+type MergeRequest struct {
+	// Verilog is the structural netlist source (required).
+	Verilog string `json:"verilog"`
+	// Top selects the top module (default: inferred).
+	Top string `json:"top,omitempty"`
+	// Library is mini-library-format cell source (default: built-in).
+	Library string `json:"library,omitempty"`
+	// Modes are the SDC modes to merge (at least one).
+	Modes []ModeInput `json:"modes"`
+	// Options tunes the merge flow.
+	Options RequestOptions `json:"options"`
+	// Validate runs the equivalence check on each merged clique
+	// (default true).
+	Validate *bool `json:"validate,omitempty"`
+	// TimeoutMS bounds the job's execution time, counted from the moment
+	// a worker picks it up. 0 uses the server default; values above the
+	// server maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+func (r *MergeRequest) validateRequest() error {
+	if r.Verilog == "" {
+		return fmt.Errorf("verilog source is required")
+	}
+	if len(r.Modes) == 0 {
+		return fmt.Errorf("at least one mode is required")
+	}
+	seen := map[string]bool{}
+	for i, m := range r.Modes {
+		if m.Name == "" {
+			return fmt.Errorf("mode %d: name is required", i)
+		}
+		if m.SDC == "" {
+			return fmt.Errorf("mode %q: sdc text is required", m.Name)
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("duplicate mode name %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	return nil
+}
+
+func (r *MergeRequest) wantValidate() bool { return r.Validate == nil || *r.Validate }
+
+// resultKey content-addresses a request: identical design + library +
+// modes + options (+ validate switch) share one cached result.
+func (r *MergeRequest) resultKey() string {
+	parts := []string{
+		"lib", r.Library,
+		"top", r.Top,
+		"v", r.Verilog,
+		"opt", fmt.Sprintf("%g|%d|%v", r.Options.Tolerance, r.Options.MaxRefineIterations, r.wantValidate()),
+	}
+	// Mode order is part of the key: clique seeding and merged-mode
+	// naming follow submission order, so reordered mode lists are
+	// different jobs.
+	for _, m := range r.Modes {
+		parts = append(parts, "mode", m.Name, m.SDC)
+	}
+	return contentHash(parts...)
+}
+
+// designKey content-addresses only the parse inputs.
+func (r *MergeRequest) designKey() string {
+	return contentHash("lib", r.Library, "top", r.Top, "v", r.Verilog)
+}
+
+// MergedMode is one merged output mode.
+type MergedMode struct {
+	Name string `json:"name"`
+	SDC  string `json:"sdc"`
+}
+
+// EquivalenceReport summarizes the equivalence check of one merged clique.
+type EquivalenceReport struct {
+	Merged      string   `json:"merged"`
+	Equivalent  bool     `json:"equivalent"`
+	Matched     int      `json:"matched_groups"`
+	Pessimistic int      `json:"pessimistic_groups"`
+	Optimistic  []string `json:"optimistic_mismatches,omitempty"`
+	Unresolved  int      `json:"unresolved"`
+}
+
+// Result is the final payload of a finished merge job.
+type Result struct {
+	// Merged holds one mode per merge clique (singletons pass through).
+	Merged []MergedMode `json:"merged"`
+	// Reports are the per-clique merge reports, parallel to Merged.
+	Reports []*core.Report `json:"reports"`
+	// Groups lists the clique members by mode name, parallel to Merged.
+	Groups [][]string `json:"groups"`
+	// Conflicts explains non-mergeable mode pairs.
+	Conflicts []core.NonMergeable `json:"conflicts,omitempty"`
+	// Equivalence holds one report per validated multi-mode clique.
+	Equivalence []EquivalenceReport `json:"equivalence,omitempty"`
+}
+
+// Job is one queued merge. All mutable fields are guarded by mu; the
+// HTTP layer reads them through snapshots.
+type Job struct {
+	ID string
+
+	// req is set before the job is enqueued and read only by the worker.
+	req *MergeRequest
+
+	// ctx governs the job end to end; cancel aborts it (user cancel or
+	// server drain). The per-job execution deadline wraps ctx when a
+	// worker picks the job up.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	status   Status
+	err      string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cacheHit bool
+	stages   map[string]time.Duration
+	result   *Result
+
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+}
+
+func newJob(id string, ctx context.Context, cancel context.CancelFunc) *Job {
+	return &Job{
+		ID:      id,
+		ctx:     ctx,
+		cancel:  cancel,
+		status:  StatusQueued,
+		created: time.Now(),
+		stages:  map[string]time.Duration{},
+		done:    make(chan struct{}),
+	}
+}
+
+// Cancel requests cooperative cancellation of the job.
+func (j *Job) Cancel() { j.cancel() }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status returns the job's current state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Result returns the result once the job is done (nil otherwise).
+func (j *Job) Result() *Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+func (j *Job) markRunning() {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *Job) addStage(stage string, d time.Duration) {
+	j.mu.Lock()
+	j.stages[stage] += d
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(status Status, result *Result, err error) {
+	j.mu.Lock()
+	j.status = status
+	j.result = result
+	if err != nil {
+		j.err = err.Error()
+	}
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.cancel() // release the context's timer resources
+	close(j.done)
+}
+
+// JobView is the JSON snapshot served at GET /v1/jobs/{id}.
+type JobView struct {
+	ID        string            `json:"id"`
+	Status    Status            `json:"status"`
+	Error     string            `json:"error,omitempty"`
+	Created   time.Time         `json:"created"`
+	Started   *time.Time        `json:"started,omitempty"`
+	Finished  *time.Time        `json:"finished,omitempty"`
+	CacheHit  bool              `json:"cache_hit"`
+	StagesMS  map[string]string `json:"stage_times_ms,omitempty"`
+	HasResult bool              `json:"has_result"`
+}
+
+// View snapshots the job for JSON serving.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:       j.ID,
+		Status:   j.status,
+		Error:    j.err,
+		Created:  j.created,
+		CacheHit: j.cacheHit,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if len(j.stages) > 0 {
+		v.StagesMS = make(map[string]string, len(j.stages))
+		for stage, d := range j.stages {
+			v.StagesMS[stage] = strconv.FormatFloat(float64(d)/1e6, 'f', 3, 64)
+		}
+	}
+	v.HasResult = j.result != nil
+	return v
+}

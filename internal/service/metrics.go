@@ -1,0 +1,115 @@
+package service
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the service counters and per-stage timing aggregates. A
+// Server owns one instance; every update also mirrors into the
+// process-global aggregate published at /debug/vars, so per-server stats
+// (served at /v1/stats) stay isolated while expvar shows the whole
+// process.
+type Metrics struct {
+	parent *Metrics
+
+	JobsQueued   atomic.Int64
+	JobsRunning  atomic.Int64
+	JobsDone     atomic.Int64
+	JobsFailed   atomic.Int64
+	JobsCanceled atomic.Int64
+
+	CacheHitsResult atomic.Int64
+	CacheHitsDesign atomic.Int64
+	CacheMisses     atomic.Int64
+
+	mu     sync.Mutex
+	stages map[string]*stageStat
+}
+
+type stageStat struct {
+	Count   int64
+	TotalNs int64
+	MaxNs   int64
+}
+
+// processMetrics aggregates every server in the process for /debug/vars.
+var processMetrics = newMetrics(nil)
+
+func init() {
+	expvar.Publish("modemerged", expvar.Func(func() any { return processMetrics.Snapshot() }))
+}
+
+func newMetrics(parent *Metrics) *Metrics {
+	return &Metrics{parent: parent, stages: map[string]*stageStat{}}
+}
+
+func (m *Metrics) add(c func(*Metrics) *atomic.Int64, delta int64) {
+	c(m).Add(delta)
+	if m.parent != nil {
+		c(m.parent).Add(delta)
+	}
+}
+
+// ObserveStage records one stage execution time.
+func (m *Metrics) ObserveStage(stage string, d time.Duration) {
+	m.mu.Lock()
+	s := m.stages[stage]
+	if s == nil {
+		s = &stageStat{}
+		m.stages[stage] = s
+	}
+	s.Count++
+	s.TotalNs += int64(d)
+	if int64(d) > s.MaxNs {
+		s.MaxNs = int64(d)
+	}
+	m.mu.Unlock()
+	if m.parent != nil {
+		m.parent.ObserveStage(stage, d)
+	}
+}
+
+// StageSnapshot is the JSON view of one stage's timing aggregate.
+type StageSnapshot struct {
+	Stage   string  `json:"stage"`
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	AvgMS   float64 `json:"avg_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// Snapshot renders the counters and stage aggregates as a JSON-friendly
+// map (used both by /v1/stats and the expvar func).
+func (m *Metrics) Snapshot() map[string]any {
+	out := map[string]any{
+		"jobs_queued":       m.JobsQueued.Load(),
+		"jobs_running":      m.JobsRunning.Load(),
+		"jobs_done":         m.JobsDone.Load(),
+		"jobs_failed":       m.JobsFailed.Load(),
+		"jobs_canceled":     m.JobsCanceled.Load(),
+		"cache_hits_result": m.CacheHitsResult.Load(),
+		"cache_hits_design": m.CacheHitsDesign.Load(),
+		"cache_misses":      m.CacheMisses.Load(),
+	}
+	m.mu.Lock()
+	stages := make([]StageSnapshot, 0, len(m.stages))
+	for name, s := range m.stages {
+		ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+		avg := int64(0)
+		if s.Count > 0 {
+			avg = s.TotalNs / s.Count
+		}
+		stages = append(stages, StageSnapshot{
+			Stage: name, Count: s.Count,
+			TotalMS: ms(s.TotalNs), AvgMS: ms(avg), MaxMS: ms(s.MaxNs),
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(stages, func(i, j int) bool { return stages[i].Stage < stages[j].Stage })
+	out["stages"] = stages
+	return out
+}

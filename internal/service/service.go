@@ -1,0 +1,392 @@
+// Package service is the long-running merge service behind cmd/modemerged:
+// an HTTP JSON API that accepts merge jobs (Verilog netlist + cell library
+// + N SDC modes), runs them through the timing-graph merging flow on a
+// bounded worker pool, and serves results asynchronously.
+//
+// Design:
+//
+//   - A bounded queue feeds a fixed worker pool; submissions beyond the
+//     queue depth are rejected with 503 so load sheds at the edge instead
+//     of piling up.
+//   - Two content-addressed caches make repeated submissions near-free:
+//     prepared designs (parsed netlist + library + built timing graph,
+//     keyed by the parse inputs) and finished results (keyed by the full
+//     request). Concurrent first submissions of one design parse it once.
+//   - Every job runs under a context.Context carrying a per-job execution
+//     deadline; cancellation propagates through core.MergeAll and
+//     core.CheckEquivalence into the STA worker pools, so canceled jobs
+//     release their workers promptly.
+//   - Shutdown drains cooperatively: submissions stop, queued and running
+//     jobs get the drain grace period, then everything still running is
+//     canceled and marked canceled.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"modemerge/internal/core"
+	"modemerge/internal/graph"
+	"modemerge/internal/library"
+	"modemerge/internal/netlist"
+	"modemerge/internal/sdc"
+	"modemerge/internal/sta"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the merge worker pool size. Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds queued (not yet running) jobs. Default 64.
+	QueueDepth int
+	// DefaultJobTimeout applies when a request carries no timeout_ms.
+	// Default 2m.
+	DefaultJobTimeout time.Duration
+	// MaxJobTimeout clamps request timeouts. Default 15m.
+	MaxJobTimeout time.Duration
+	// DesignCacheSize bounds the prepared-design cache. Default 32.
+	DesignCacheSize int
+	// ResultCacheSize bounds the finished-result cache. Default 256.
+	ResultCacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultJobTimeout <= 0 {
+		c.DefaultJobTimeout = 2 * time.Minute
+	}
+	if c.MaxJobTimeout <= 0 {
+		c.MaxJobTimeout = 15 * time.Minute
+	}
+	if c.DesignCacheSize <= 0 {
+		c.DesignCacheSize = 32
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 256
+	}
+	return c
+}
+
+// ErrQueueFull rejects submissions when the queue is at capacity.
+var ErrQueueFull = errors.New("service: job queue is full")
+
+// ErrDraining rejects submissions during shutdown.
+var ErrDraining = errors.New("service: server is draining")
+
+// Server is one merge service instance.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+
+	designs *designCache
+	results *lruCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	draining bool
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	seq atomic.Int64
+}
+
+// New starts a Server with its worker pool running.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		metrics:    newMetrics(processMetrics),
+		designs:    newDesignCache(cfg.DesignCacheSize),
+		results:    newLRU(cfg.ResultCacheSize),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		jobs:       map[string]*Job{},
+		queue:      make(chan *Job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the server's counters (used by /v1/stats and tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Job looks a job up by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Submit validates and enqueues a merge request. When the result cache
+// already holds the answer the returned job is immediately done (status
+// StatusDone, cache_hit=true) without touching the queue.
+func (s *Server) Submit(req *MergeRequest) (*Job, error) {
+	if err := req.validateRequest(); err != nil {
+		return nil, err
+	}
+	id := fmt.Sprintf("j%06d", s.seq.Add(1))
+	jobCtx, jobCancel := context.WithCancel(s.baseCtx)
+	job := newJob(id, jobCtx, jobCancel)
+
+	if cached, ok := s.results.get(req.resultKey()); ok {
+		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.CacheHitsResult }, 1)
+		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsDone }, 1)
+		job.mu.Lock()
+		job.cacheHit = true
+		job.mu.Unlock()
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			jobCancel()
+			return nil, ErrDraining
+		}
+		s.jobs[id] = job
+		s.mu.Unlock()
+		job.finish(StatusDone, cached.(*Result), nil)
+		return job, nil
+	}
+	s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.CacheMisses }, 1)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		jobCancel()
+		return nil, ErrDraining
+	}
+	s.jobs[id] = job
+	s.mu.Unlock()
+
+	job.req = req
+	select {
+	case s.queue <- job:
+		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsQueued }, 1)
+		return job, nil
+	default:
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		jobCancel()
+		return nil, ErrQueueFull
+	}
+}
+
+// worker drains the queue until it closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job end to end.
+func (s *Server) runJob(job *Job) {
+	if job.ctx.Err() != nil {
+		// Canceled (or drained) while still queued.
+		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsCanceled }, 1)
+		job.finish(StatusCanceled, nil, job.ctx.Err())
+		return
+	}
+	req := job.req
+	timeout := s.cfg.DefaultJobTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxJobTimeout {
+		timeout = s.cfg.MaxJobTimeout
+	}
+	ctx, cancel := context.WithTimeout(job.ctx, timeout)
+	defer cancel()
+
+	job.markRunning()
+	s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsRunning }, 1)
+	defer s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsRunning }, -1)
+
+	result, err := s.execute(ctx, job, req)
+	switch {
+	case err == nil:
+		s.results.put(req.resultKey(), result)
+		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsDone }, 1)
+		job.finish(StatusDone, result, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsCanceled }, 1)
+		job.finish(StatusCanceled, nil, err)
+	default:
+		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsFailed }, 1)
+		job.finish(StatusFailed, nil, err)
+	}
+}
+
+// execute runs the parse → merge → validate pipeline for one job.
+func (s *Server) execute(ctx context.Context, job *Job, req *MergeRequest) (*Result, error) {
+	observe := func(stage string, d time.Duration) {
+		job.addStage(stage, d)
+		s.metrics.ObserveStage(stage, d)
+	}
+
+	// Parse (or reuse) the design, then parse the modes against it.
+	parseStart := time.Now()
+	prep, hit, err := s.designs.get(req.designKey(), func() (*preparedDesign, error) {
+		return prepareDesign(req)
+	})
+	if hit {
+		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.CacheHitsDesign }, 1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	modes := make([]*sdc.Mode, len(req.Modes))
+	for i, m := range req.Modes {
+		mode, _, err := sdc.Parse(m.Name, m.SDC, prep.design)
+		if err != nil {
+			return nil, fmt.Errorf("mode %s: %w", m.Name, err)
+		}
+		modes[i] = mode
+	}
+	observe("parse", time.Since(parseStart))
+
+	opt := core.Options{
+		Tolerance:           req.Options.Tolerance,
+		MaxRefineIterations: req.Options.MaxRefineIterations,
+		STA:                 sta.Options{Workers: req.Options.Workers},
+		StageHook:           observe,
+	}
+	merged, reports, mb, err := core.MergeAll(ctx, prep.graph, modes, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	cliques := mb.Cliques()
+	result := &Result{
+		Reports:   reports,
+		Groups:    mb.GroupNames(cliques),
+		Conflicts: mb.Conflicts,
+	}
+	for _, m := range merged {
+		result.Merged = append(result.Merged, MergedMode{Name: m.Name, SDC: sdc.Write(m)})
+	}
+
+	if req.wantValidate() {
+		validateStart := time.Now()
+		for ci, clique := range cliques {
+			if len(clique) < 2 {
+				continue
+			}
+			group := make([]*sdc.Mode, len(clique))
+			for i, mi := range clique {
+				group[i] = modes[mi]
+			}
+			res, err := core.CheckEquivalence(ctx, prep.graph, group, merged[ci], opt)
+			if err != nil {
+				return nil, fmt.Errorf("validating %s: %w", merged[ci].Name, err)
+			}
+			result.Equivalence = append(result.Equivalence, EquivalenceReport{
+				Merged:      merged[ci].Name,
+				Equivalent:  res.Equivalent(),
+				Matched:     res.MatchedGroups,
+				Pessimistic: res.PessimisticGroups,
+				Optimistic:  res.OptimisticMismatches,
+				Unresolved:  len(res.Unresolved),
+			})
+		}
+		observe("validate", time.Since(validateStart))
+	}
+	return result, nil
+}
+
+// prepareDesign parses the library and netlist and builds the timing
+// graph; the result is immutable and shared across jobs.
+func prepareDesign(req *MergeRequest) (*preparedDesign, error) {
+	lib := library.Default()
+	if req.Library != "" {
+		parsed, err := library.Parse(req.Library)
+		if err != nil {
+			return nil, fmt.Errorf("library: %w", err)
+		}
+		lib = parsed
+	}
+	design, err := netlist.ParseVerilog(req.Verilog, lib, req.Top)
+	if err != nil {
+		return nil, fmt.Errorf("verilog: %w", err)
+	}
+	if _, err := design.Validate(); err != nil {
+		return nil, fmt.Errorf("design: %w", err)
+	}
+	g, err := graph.Build(design)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	return &preparedDesign{lib: lib, design: design, graph: g}, nil
+}
+
+// Shutdown drains the server: no new submissions, queued and running jobs
+// get until ctx is done to finish, then everything left is canceled. It
+// returns nil on a clean drain or ctx.Err() when the grace period ran
+// out (all jobs are still accounted for: late ones finish canceled).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyDraining := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !alreadyDraining {
+		close(s.queue)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Grace period over: cancel every job (running ones abort
+		// cooperatively through their contexts) and wait for workers.
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// DrainTimeoutStatus summarizes queue state for /v1/stats.
+type DrainTimeoutStatus struct {
+	Draining bool `json:"draining"`
+	Queued   int  `json:"queued"`
+	Jobs     int  `json:"jobs"`
+}
+
+// QueueStatus snapshots queue occupancy.
+func (s *Server) QueueStatus() DrainTimeoutStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return DrainTimeoutStatus{Draining: s.draining, Queued: len(s.queue), Jobs: len(s.jobs)}
+}
+
+// idSafe reports whether a job id is well-formed (defense for path
+// parameters).
+func idSafe(id string) bool {
+	return id != "" && !strings.ContainsAny(id, "/\\")
+}

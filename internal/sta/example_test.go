@@ -1,6 +1,7 @@
 package sta_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ set_clock_uncertainty 0.1 [get_clocks clkA]
 	if err != nil {
 		log.Fatal(err)
 	}
-	results := ctx.AnalyzeEndpoints()
+	results := ctx.AnalyzeEndpoints(context.Background())
 	sta.SortBySetupSlack(results)
 	worst := results[0]
 	fmt.Printf("worst endpoint %s (%s -> %s)\n", worst.Name, worst.SetupLaunch, worst.SetupCapture)
@@ -55,7 +56,7 @@ set_false_path -through [get_pins and1/Z]
 	if err != nil {
 		log.Fatal(err)
 	}
-	rels := ctx.EndpointRelations()
+	rels := ctx.EndpointRelations(context.Background())
 	for _, end := range []string{"rX/D", "rY/D", "rZ/D"} {
 		key := sta.RelKey{Start: "*", End: end, Launch: "clkA", Capture: "clkA"}
 		fmt.Printf("%s: %s\n", end, rels[key])

@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 
 	"modemerge/internal/graph"
@@ -23,10 +24,15 @@ type RelKey struct {
 // endpoint and (launch clock, capture clock, check side), the set of
 // constraint states over all paths reaching it. Path groups with no live
 // paths are absent; callers treat absence as "not timed" (false).
-func (ctx *Context) EndpointRelations() map[RelKey]relation.Set {
+// Cancelling cx aborts the endpoint loop early; the returned map is then
+// partial and the caller must consult cx.Err() before trusting it.
+func (ctx *Context) EndpointRelations(cx context.Context) map[RelKey]relation.Set {
 	out := map[RelKey]relation.Set{}
 	tags := ctx.tags()
 	for _, end := range ctx.G.Endpoints() {
+		if cx.Err() != nil {
+			return out
+		}
 		ctx.accumulateRelations(out, end, tags[end], "*")
 	}
 	return out

@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -28,8 +29,10 @@ type EndpointResult struct {
 }
 
 // AnalyzeEndpoints computes worst setup and hold slack for every endpoint,
-// in parallel.
-func (ctx *Context) AnalyzeEndpoints() []EndpointResult {
+// in parallel. Cancelling cx stops the worker pool between endpoints; the
+// returned slice is then partial (unvisited entries stay zero) and the
+// caller must consult cx.Err() before trusting it.
+func (ctx *Context) AnalyzeEndpoints(cx context.Context) []EndpointResult {
 	ends := ctx.G.Endpoints()
 	results := make([]EndpointResult, len(ends))
 	tags := ctx.tags() // force propagation before fan-out
@@ -56,6 +59,9 @@ func (ctx *Context) AnalyzeEndpoints() []EndpointResult {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
+				if cx.Err() != nil {
+					return
+				}
 				results[i] = ctx.analyzeEndpoint(ends[i], tags[ends[i]])
 			}
 		}(lo, hi)

@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -15,7 +16,7 @@ import (
 
 func endpointResult(t *testing.T, ctx *Context, name string) EndpointResult {
 	t.Helper()
-	for _, r := range ctx.AnalyzeEndpoints() {
+	for _, r := range ctx.AnalyzeEndpoints(context.Background()) {
 		if r.Name == name {
 			return r
 		}
@@ -182,8 +183,8 @@ set_clock_uncertainty -from [get_clocks clkA] -to [get_clocks clkB] 0.7
 	// Worst setup across endpoints must tighten by exactly 0.7 if the
 	// worst pair is clkA→clkB; both clocks are identical so cross pairs
 	// behave like same-clock pairs.
-	wb, _, _ := Summarize(base.AnalyzeEndpoints())
-	wu, _, _ := Summarize(unc.AnalyzeEndpoints())
+	wb, _, _ := Summarize(base.AnalyzeEndpoints(context.Background()))
+	wu, _, _ := Summarize(unc.AnalyzeEndpoints(context.Background()))
 	if diff := wb - wu; math.Abs(diff-0.7) > 1e-9 {
 		t.Errorf("inter-clock uncertainty tightened worst slack by %g, want 0.7", diff)
 	}
@@ -378,7 +379,7 @@ func TestEndpointRelationsHoldSide(t *testing.T) {
 create_clock -name clkA -period 10 [get_ports clk1]
 set_false_path -hold -to [get_pins rX/D]
 `)
-	rels := ctx.EndpointRelations()
+	rels := ctx.EndpointRelations(context.Background())
 	setup := rels[RelKey{Start: "*", End: "rX/D", Launch: "clkA", Capture: "clkA", Check: relation.Setup}]
 	hold := rels[RelKey{Start: "*", End: "rX/D", Launch: "clkA", Capture: "clkA", Check: relation.Hold}]
 	if !setup.Equal(relation.NewSet(relation.StateValid)) {
@@ -442,7 +443,7 @@ func TestContextOnGeneratedDesign(t *testing.T) {
 		if err != nil {
 			t.Fatalf("mode %s: %v", ms.Name, err)
 		}
-		results := ctx.AnalyzeEndpoints()
+		results := ctx.AnalyzeEndpoints(context.Background())
 		_, _, checked := Summarize(results)
 		if checked == 0 {
 			t.Errorf("mode %s checks no endpoints", ms.Name)
@@ -527,7 +528,7 @@ func latchCtx(t *testing.T, sdcSrc string) *Context {
 func TestLatchTimeBorrowing(t *testing.T) {
 	base := latchCtx(t, `create_clock -name c -period 10 [get_ports clk]`)
 	var latch, flop EndpointResult
-	for _, r := range base.AnalyzeEndpoints() {
+	for _, r := range base.AnalyzeEndpoints(context.Background()) {
 		switch r.Name {
 		case "l1/D":
 			latch = r
@@ -557,7 +558,7 @@ create_clock -name c -period 10 [get_ports clk]
 set_max_time_borrow 0 [get_clocks c]
 `)
 	get := func(ctx *Context) float64 {
-		for _, r := range ctx.AnalyzeEndpoints() {
+		for _, r := range ctx.AnalyzeEndpoints(context.Background()) {
 			if r.Name == "l1/D" {
 				return r.SetupSlack
 			}

@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -175,7 +176,7 @@ create_clock -name clkA -period 10 [get_ports clk1]
 set_multicycle_path 2 -through [get_pins inv1/Z]
 set_false_path -through [get_pins and1/Z]
 `)
-	rels := ctx.EndpointRelations()
+	rels := ctx.EndpointRelations(context.Background())
 	get := func(end string) relation.Set {
 		return rels[RelKey{Start: "*", End: end, Launch: "clkA", Capture: "clkA", Check: relation.Setup}]
 	}
@@ -198,7 +199,7 @@ set_false_path -to rX/D
 set_false_path -to rY/D
 set_false_path -through inv3/Z
 `)
-	rels := ctx.EndpointRelations()
+	rels := ctx.EndpointRelations(context.Background())
 	get := func(end string) relation.Set {
 		return rels[RelKey{Start: "*", End: end, Launch: "clkA", Capture: "clkA", Check: relation.Setup}]
 	}
@@ -220,7 +221,7 @@ create_clock -p 10 -name clkA [get_ports clk1]
 set_false_path -from rA/CP
 set_false_path -to rZ/D
 `)
-	rels := ctx.EndpointRelations()
+	rels := ctx.EndpointRelations(context.Background())
 	get := func(end string) relation.Set {
 		return rels[RelKey{Start: "*", End: end, Launch: "clkA", Capture: "clkA", Check: relation.Setup}]
 	}
@@ -292,7 +293,7 @@ set_false_path -through inv3/Z
 
 func TestSlackBasics(t *testing.T) {
 	ctx := ctxFor(t, `create_clock -name clkA -period 10 [get_ports clk1]`)
-	results := ctx.AnalyzeEndpoints()
+	results := ctx.AnalyzeEndpoints(context.Background())
 	byName := map[string]EndpointResult{}
 	for _, r := range results {
 		byName[r.Name] = r
@@ -320,7 +321,7 @@ func TestSlackBasics(t *testing.T) {
 func TestSlackScalesWithPeriod(t *testing.T) {
 	slackAt := func(period string) float64 {
 		ctx := ctxFor(t, `create_clock -name clkA -period `+period+` [get_ports clk1]`)
-		for _, r := range ctx.AnalyzeEndpoints() {
+		for _, r := range ctx.AnalyzeEndpoints(context.Background()) {
 			if r.Name == "rX/D" {
 				return r.SetupSlack
 			}
@@ -341,7 +342,7 @@ create_clock -name clkA -period 10 [get_ports clk1]
 set_multicycle_path 2 -setup -to [get_pins rX/D]
 `)
 	get := func(ctx *Context) float64 {
-		for _, r := range ctx.AnalyzeEndpoints() {
+		for _, r := range ctx.AnalyzeEndpoints(context.Background()) {
 			if r.Name == "rX/D" {
 				return r.SetupSlack
 			}
@@ -358,7 +359,7 @@ func TestFalsePathRemovesCheck(t *testing.T) {
 create_clock -name clkA -period 10 [get_ports clk1]
 set_false_path -to [get_pins rX/D]
 `)
-	for _, r := range ctx.AnalyzeEndpoints() {
+	for _, r := range ctx.AnalyzeEndpoints(context.Background()) {
 		if r.Name == "rX/D" && (r.HasSetup || r.HasHold) {
 			t.Errorf("rX/D still checked under false path: %+v", r)
 		}
@@ -370,7 +371,7 @@ func TestMaxDelayOverride(t *testing.T) {
 create_clock -name clkA -period 10 [get_ports clk1]
 set_max_delay 0.1 -to [get_pins rX/D]
 `)
-	for _, r := range ctx.AnalyzeEndpoints() {
+	for _, r := range ctx.AnalyzeEndpoints(context.Background()) {
 		if r.Name == "rX/D" {
 			if !r.HasSetup {
 				t.Fatal("no setup check")
@@ -390,7 +391,7 @@ create_clock -name clkA -period 10 [get_ports clk1]
 set_clock_uncertainty -setup 0.5 [get_clocks clkA]
 `)
 	get := func(ctx *Context) float64 {
-		for _, r := range ctx.AnalyzeEndpoints() {
+		for _, r := range ctx.AnalyzeEndpoints(context.Background()) {
 			if r.Name == "rX/D" {
 				return r.SetupSlack
 			}
@@ -408,7 +409,7 @@ create_clock -name clkA -period 10 [get_ports clk1]
 set_input_delay 2.0 -clock clkA [get_ports in1]
 set_output_delay 3.0 -clock clkA [get_ports out1]
 `)
-	results := ctx.AnalyzeEndpoints()
+	results := ctx.AnalyzeEndpoints(context.Background())
 	var rAD, out1 EndpointResult
 	for _, r := range results {
 		switch r.Name {
@@ -445,15 +446,15 @@ create_clock -name ClkA -period 2 [get_ports clk1]
 create_clock -name ClkB -period 1 -add [get_ports clk1]
 set_clock_groups -physically_exclusive -group [get_clocks ClkA] -group [get_clocks ClkB]
 `)
-	worstBase, _, _ := Summarize(base.AnalyzeEndpoints())
-	worstExcl, _, _ := Summarize(excl.AnalyzeEndpoints())
+	worstBase, _, _ := Summarize(base.AnalyzeEndpoints(context.Background()))
+	worstExcl, _, _ := Summarize(excl.AnalyzeEndpoints(context.Background()))
 	// Cross-clock ClkA→ClkB with period 1 vs 2 gives a tighter relation
 	// than same-clock; exclusivity must relax the worst slack.
 	if worstExcl < worstBase {
 		t.Errorf("exclusive groups made things worse: %g vs %g", worstExcl, worstBase)
 	}
 	// Relations must show FP for cross pairs under exclusivity.
-	rels := excl.EndpointRelations()
+	rels := excl.EndpointRelations(context.Background())
 	s := rels[RelKey{Start: "*", End: "rX/D", Launch: "ClkA", Capture: "ClkB", Check: relation.Setup}]
 	if !s.Equal(relation.NewSet(relation.StateFalse)) {
 		t.Errorf("exclusive cross relation = %v, want FP", s)
@@ -605,7 +606,7 @@ set_multicycle_path 2 -through [get_pins inv1/Z]
 	serial.Opt.Workers = 1
 	parallel := ctxFor(t, src)
 	parallel.Opt.Workers = 8
-	rs, rp := serial.AnalyzeEndpoints(), parallel.AnalyzeEndpoints()
+	rs, rp := serial.AnalyzeEndpoints(context.Background()), parallel.AnalyzeEndpoints(context.Background())
 	if len(rs) != len(rp) {
 		t.Fatalf("result counts differ: %d vs %d", len(rs), len(rp))
 	}
@@ -642,7 +643,7 @@ func TestWarningsForUnknownExceptionObjects(t *testing.T) {
 		t.Error("expected a warning for the unknown -from clock")
 	}
 	// The exception must be inert: rX/D still valid.
-	rels := ctx.EndpointRelations()
+	rels := ctx.EndpointRelations(context.Background())
 	s := rels[RelKey{Start: "*", End: "rX/D", Launch: "clkA", Capture: "clkA", Check: relation.Setup}]
 	if !s.Equal(relation.NewSet(relation.StateValid)) {
 		t.Errorf("rX/D = %v, want V", s)
