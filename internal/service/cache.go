@@ -2,9 +2,11 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"sync"
 
 	"modemerge/internal/graph"
@@ -83,9 +85,11 @@ type preparedDesign struct {
 
 // designEntry carries the build-once state for one design key, so
 // concurrent first submissions of the same design parse it exactly once
-// (singleflight) while other designs build in parallel.
+// (singleflight) while other designs build in parallel. done closes when
+// the build finishes; prep/err are immutable after that.
 type designEntry struct {
 	once sync.Once
+	done chan struct{}
 	prep *preparedDesign
 	err  error
 }
@@ -101,8 +105,10 @@ func newDesignCache(capacity int) *designCache {
 
 // get returns the prepared design for the key, building it at most once
 // per entry via build. hit reports whether the entry already existed
-// (even if its build is still in flight on another goroutine).
-func (c *designCache) get(key string, build func() (*preparedDesign, error)) (prep *preparedDesign, hit bool, err error) {
+// (even if its build is still in flight on another goroutine). The build
+// runs on its own goroutine so a waiter whose ctx ends leaves promptly
+// without aborting the shared entry for everyone else.
+func (c *designCache) get(ctx context.Context, key string, build func() (*preparedDesign, error)) (prep *preparedDesign, hit bool, err error) {
 	c.lru.mu.Lock()
 	var entry *designEntry
 	if el, ok := c.lru.entries[key]; ok {
@@ -110,7 +116,7 @@ func (c *designCache) get(key string, build func() (*preparedDesign, error)) (pr
 		c.lru.order.MoveToFront(el)
 		hit = true
 	} else {
-		entry = &designEntry{}
+		entry = &designEntry{done: make(chan struct{})}
 		c.lru.entries[key] = c.lru.order.PushFront(&lruEntry{key: key, value: entry})
 		for c.lru.order.Len() > c.lru.cap {
 			last := c.lru.order.Back()
@@ -120,6 +126,32 @@ func (c *designCache) get(key string, build func() (*preparedDesign, error)) (pr
 	}
 	c.lru.mu.Unlock()
 
-	entry.once.Do(func() { entry.prep, entry.err = build() })
-	return entry.prep, hit, entry.err
+	entry.once.Do(func() {
+		go func() {
+			defer close(entry.done)
+			entry.prep, entry.err = build()
+		}()
+	})
+	select {
+	case <-entry.done:
+		if entry.err != nil && (errors.Is(entry.err, context.Canceled) || errors.Is(entry.err, context.DeadlineExceeded)) {
+			// Only a build aborted by server shutdown lands here; drop
+			// the entry so it cannot serve a stale cancellation error.
+			c.evict(key, entry)
+		}
+		return entry.prep, hit, entry.err
+	case <-ctx.Done():
+		return nil, hit, ctx.Err()
+	}
+}
+
+// evict removes the cache entry for key if it still is the given one (a
+// newer rebuild under the same key is left alone).
+func (c *designCache) evict(key string, entry *designEntry) {
+	c.lru.mu.Lock()
+	defer c.lru.mu.Unlock()
+	if el, ok := c.lru.entries[key]; ok && el.Value.(*lruEntry).value.(*designEntry) == entry {
+		c.lru.order.Remove(el)
+		delete(c.lru.entries, key)
+	}
 }

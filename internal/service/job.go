@@ -207,8 +207,16 @@ func (j *Job) addStage(stage string, d time.Duration) {
 	j.mu.Unlock()
 }
 
-func (j *Job) finish(status Status, result *Result, err error) {
+// finish moves the job to a terminal state. It reports false (and does
+// nothing) when the job is already terminal, so late or duplicate
+// completions cannot overwrite the first outcome or re-close done.
+func (j *Job) finish(status Status, result *Result, err error) bool {
 	j.mu.Lock()
+	switch j.status {
+	case StatusDone, StatusFailed, StatusCanceled:
+		j.mu.Unlock()
+		return false
+	}
 	j.status = status
 	j.result = result
 	if err != nil {
@@ -218,6 +226,7 @@ func (j *Job) finish(status Status, result *Result, err error) {
 	j.mu.Unlock()
 	j.cancel() // release the context's timer resources
 	close(j.done)
+	return true
 }
 
 // JobView is the JSON snapshot served at GET /v1/jobs/{id}.

@@ -25,7 +25,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -54,6 +56,10 @@ type Config struct {
 	DesignCacheSize int
 	// ResultCacheSize bounds the finished-result cache. Default 256.
 	ResultCacheSize int
+	// JobHistoryLimit bounds how many finished (done/failed/canceled)
+	// jobs stay available for status polling; beyond it the oldest
+	// terminal jobs are evicted from the job table. Default 1024.
+	JobHistoryLimit int
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +80,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ResultCacheSize <= 0 {
 		c.ResultCacheSize = 256
+	}
+	if c.JobHistoryLimit <= 0 {
+		c.JobHistoryLimit = 1024
 	}
 	return c
 }
@@ -97,6 +106,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
+	finished []string // terminal job ids, oldest first, len ≤ JobHistoryLimit
 	draining bool
 
 	queue chan *Job
@@ -149,8 +159,6 @@ func (s *Server) Submit(req *MergeRequest) (*Job, error) {
 	job := newJob(id, jobCtx, jobCancel)
 
 	if cached, ok := s.results.get(req.resultKey()); ok {
-		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.CacheHitsResult }, 1)
-		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsDone }, 1)
 		job.mu.Lock()
 		job.cacheHit = true
 		job.mu.Unlock()
@@ -162,32 +170,51 @@ func (s *Server) Submit(req *MergeRequest) (*Job, error) {
 		}
 		s.jobs[id] = job
 		s.mu.Unlock()
-		job.finish(StatusDone, cached.(*Result), nil)
+		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.CacheHitsResult }, 1)
+		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsDone }, 1)
+		s.finishJob(job, StatusDone, cached.(*Result), nil)
 		return job, nil
 	}
-	s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.CacheMisses }, 1)
 
+	job.req = req
+	// The draining check and the enqueue must be one atomic step: Shutdown
+	// sets draining and closes the queue under the same lock, so checking
+	// and sending outside it could send on a closed channel.
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		jobCancel()
 		return nil, ErrDraining
 	}
-	s.jobs[id] = job
-	s.mu.Unlock()
-
-	job.req = req
 	select {
 	case s.queue <- job:
+		s.jobs[id] = job
+		s.mu.Unlock()
+		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.CacheMisses }, 1)
 		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsQueued }, 1)
 		return job, nil
 	default:
-		s.mu.Lock()
-		delete(s.jobs, id)
 		s.mu.Unlock()
 		jobCancel()
 		return nil, ErrQueueFull
 	}
+}
+
+// finishJob moves a job to a terminal state and records it in the
+// finished-job history, evicting the oldest terminal jobs beyond
+// JobHistoryLimit so s.jobs cannot grow without bound.
+func (s *Server) finishJob(job *Job, status Status, result *Result, err error) {
+	if !job.finish(status, result, err) {
+		return
+	}
+	s.mu.Lock()
+	s.finished = append(s.finished, job.ID)
+	for len(s.finished) > s.cfg.JobHistoryLimit {
+		delete(s.jobs, s.finished[0])
+		s.finished[0] = ""
+		s.finished = s.finished[1:]
+	}
+	s.mu.Unlock()
 }
 
 // worker drains the queue until it closes.
@@ -200,10 +227,19 @@ func (s *Server) worker() {
 
 // runJob executes one job end to end.
 func (s *Server) runJob(job *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			// A panic in the merge flow on one job's input must not take
+			// down the daemon: fail the job and keep the worker alive.
+			log.Printf("service: job %s panicked: %v\n%s", job.ID, r, debug.Stack())
+			s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsFailed }, 1)
+			s.finishJob(job, StatusFailed, nil, fmt.Errorf("internal error: %v", r))
+		}
+	}()
 	if job.ctx.Err() != nil {
 		// Canceled (or drained) while still queued.
 		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsCanceled }, 1)
-		job.finish(StatusCanceled, nil, job.ctx.Err())
+		s.finishJob(job, StatusCanceled, nil, job.ctx.Err())
 		return
 	}
 	req := job.req
@@ -226,13 +262,13 @@ func (s *Server) runJob(job *Job) {
 	case err == nil:
 		s.results.put(req.resultKey(), result)
 		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsDone }, 1)
-		job.finish(StatusDone, result, nil)
+		s.finishJob(job, StatusDone, result, nil)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsCanceled }, 1)
-		job.finish(StatusCanceled, nil, err)
+		s.finishJob(job, StatusCanceled, nil, err)
 	default:
 		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsFailed }, 1)
-		job.finish(StatusFailed, nil, err)
+		s.finishJob(job, StatusFailed, nil, err)
 	}
 }
 
@@ -243,10 +279,13 @@ func (s *Server) execute(ctx context.Context, job *Job, req *MergeRequest) (*Res
 		s.metrics.ObserveStage(stage, d)
 	}
 
-	// Parse (or reuse) the design, then parse the modes against it.
+	// Parse (or reuse) the design, then parse the modes against it. The
+	// shared singleflight build runs under the server's base context, not
+	// the job's, so one job's cancellation cannot poison the cache entry;
+	// the waiter still leaves promptly when its own ctx is done.
 	parseStart := time.Now()
-	prep, hit, err := s.designs.get(req.designKey(), func() (*preparedDesign, error) {
-		return prepareDesign(req)
+	prep, hit, err := s.designs.get(ctx, req.designKey(), func() (*preparedDesign, error) {
+		return prepareDesign(s.baseCtx, req)
 	})
 	if hit {
 		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.CacheHitsDesign }, 1)
@@ -317,8 +356,13 @@ func (s *Server) execute(ctx context.Context, job *Job, req *MergeRequest) (*Res
 }
 
 // prepareDesign parses the library and netlist and builds the timing
-// graph; the result is immutable and shared across jobs.
-func prepareDesign(req *MergeRequest) (*preparedDesign, error) {
+// graph; the result is immutable and shared across jobs. ctx is checked
+// between the pipeline steps so a canceled build releases its goroutine
+// instead of grinding through a potentially huge design.
+func prepareDesign(ctx context.Context, req *MergeRequest) (*preparedDesign, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	lib := library.Default()
 	if req.Library != "" {
 		parsed, err := library.Parse(req.Library)
@@ -327,12 +371,21 @@ func prepareDesign(req *MergeRequest) (*preparedDesign, error) {
 		}
 		lib = parsed
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	design, err := netlist.ParseVerilog(req.Verilog, lib, req.Top)
 	if err != nil {
 		return nil, fmt.Errorf("verilog: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if _, err := design.Validate(); err != nil {
 		return nil, fmt.Errorf("design: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	g, err := graph.Build(design)
 	if err != nil {
@@ -347,12 +400,11 @@ func prepareDesign(req *MergeRequest) (*preparedDesign, error) {
 // out (all jobs are still accounted for: late ones finish canceled).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	alreadyDraining := s.draining
-	s.draining = true
-	s.mu.Unlock()
-	if !alreadyDraining {
+	if !s.draining {
+		s.draining = true
 		close(s.queue)
 	}
+	s.mu.Unlock()
 
 	done := make(chan struct{})
 	go func() {
@@ -361,6 +413,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.baseCancel()
 		return nil
 	case <-ctx.Done():
 		// Grace period over: cancel every job (running ones abort

@@ -419,6 +419,104 @@ func TestLRUEviction(t *testing.T) {
 	}
 }
 
+// TestSubmitShutdownRace hammers Submit concurrently with Shutdown: no
+// submission may panic (send on closed queue) and every accepted job must
+// still reach a terminal state.
+func TestSubmitShutdownRace(t *testing.T) {
+	for iter := 0; iter < 10; iter++ {
+		s := New(Config{Workers: 2, QueueDepth: 4})
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			accepted []*Job
+		)
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for k := 0; k < 8; k++ {
+					job, err := s.Submit(quickRequest())
+					if err != nil {
+						// ErrDraining / ErrQueueFull are the expected
+						// rejections under contention.
+						continue
+					}
+					mu.Lock()
+					accepted = append(accepted, job)
+					mu.Unlock()
+				}
+			}()
+		}
+		close(start)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := s.Shutdown(ctx); err != nil {
+			t.Fatalf("iter %d: shutdown: %v", iter, err)
+		}
+		cancel()
+		wg.Wait()
+		for _, job := range accepted {
+			waitDone(t, job)
+		}
+	}
+}
+
+// TestJobHistoryBounded keeps the job table from growing without bound:
+// terminal jobs beyond JobHistoryLimit are evicted, oldest first.
+func TestJobHistoryBounded(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, JobHistoryLimit: 4})
+
+	first, err := s.Submit(quickRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, first)
+	// Every further identical submission is a result-cache hit and
+	// finishes instantly — but must still be pruned from the job table.
+	for i := 0; i < 20; i++ {
+		job, err := s.Submit(quickRequest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, job)
+	}
+	if n := s.QueueStatus().Jobs; n > 4 {
+		t.Errorf("job table holds %d entries, want <= JobHistoryLimit 4", n)
+	}
+	if _, ok := s.Job(first.ID); ok {
+		t.Errorf("oldest finished job %s still retained past the history limit", first.ID)
+	}
+}
+
+// TestWorkerPanicRecovery confirms a panicking job is marked failed and
+// does not take the worker (or the process) down.
+func TestWorkerPanicRecovery(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+
+	// A job with no request panics inside runJob (nil dereference); the
+	// recover path must fail the job instead of crashing.
+	ctx, cancel := context.WithCancel(context.Background())
+	bad := newJob("jpanic", ctx, cancel)
+	s.runJob(bad)
+	if st := bad.Status(); st != StatusFailed {
+		t.Fatalf("panicked job = %s, want failed", st)
+	}
+	if got := s.Metrics().JobsFailed.Load(); got != 1 {
+		t.Errorf("jobs_failed = %d, want 1", got)
+	}
+
+	// The pool still serves real work afterwards.
+	job, err := s.Submit(quickRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if st := job.Status(); st != StatusDone {
+		t.Fatalf("follow-up job = %s, want done", st)
+	}
+}
+
 func decodeBody(t *testing.T, resp *http.Response, wantStatus int, v any) {
 	t.Helper()
 	defer resp.Body.Close()
