@@ -1,0 +1,215 @@
+// Command modefuzz is the differential fuzzing driver for the mode-merge
+// flow. Each trial samples a random synthetic design, a random mode
+// family and random constraint perturbations, merges the modes with the
+// timing-graph flow and checks three properties (equivalence, SDC
+// round-trip, pessimism bound vs the naive baseline). Failures shrink to
+// a minimal spec and are saved as JSON reproducers in the corpus, which
+// `go test ./internal/difftest` replays as regressions.
+//
+// Usage:
+//
+//	modefuzz -trials 100 -seed 1                 # fuzz, fail on violations
+//	modefuzz -trials 25 -seed 7 -fault keep-subset-exceptions
+//	                                             # prove the oracle catches
+//	                                             # an injected merge bug
+//	modefuzz -replay                             # replay the corpus only
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"modemerge/internal/core"
+	"modemerge/internal/difftest"
+)
+
+func main() {
+	var (
+		trials    = flag.Int("trials", 100, "number of random trials")
+		seed      = flag.Int64("seed", 1, "base PRNG seed; trial i uses seed+i")
+		corpusDir = flag.String("corpus", "internal/difftest/testdata/corpus", "corpus directory for replay and new reproducers")
+		fault     = flag.String("fault", "", "inject a merge bug: keep-subset-exceptions, skip-clock-refine, skip-data-refine")
+		replay    = flag.Bool("replay", false, "only replay the corpus, no random trials")
+		noShrink  = flag.Bool("noshrink", false, "save failing specs without shrinking")
+		save      = flag.Bool("save", false, "save shrunk reproducers of new failures into the corpus")
+		tolerance = flag.Float64("tolerance", 0, "merge tolerance (0 = default)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent trials")
+		timeout   = flag.Duration("timeout", 0, "overall deadline (0 = none)")
+	)
+	flag.Parse()
+
+	cx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		cx, cancel = context.WithTimeout(cx, *timeout)
+		defer cancel()
+	}
+
+	injectFault, err := difftest.ParseFault(*fault)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modefuzz:", err)
+		os.Exit(2)
+	}
+	inject := injectFault.Inject
+
+	if !replayCorpus(cx, *corpusDir) {
+		os.Exit(1)
+	}
+	if *replay {
+		return
+	}
+
+	// Random trials. With a fault injected the expectation flips: every
+	// trial whose design exercises the broken stage should FAIL, and the
+	// run errors out if no trial does (the oracle lost its teeth).
+	start := time.Now()
+	type outcome struct {
+		trial int
+		res   *difftest.TrialResult
+	}
+	results := make([]outcome, *trials)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(1, *workers))
+	for i := 0; i < *trials; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(*seed + int64(i)))
+			spec := difftest.RandomSpec(rng)
+			spec.Tolerance = *tolerance
+			results[i] = outcome{trial: i, res: difftest.Run(cx, spec, inject)}
+		}(i)
+	}
+	wg.Wait()
+
+	failures, infra := 0, 0
+	propCount := map[string]int{}
+	for _, o := range results {
+		res := o.res
+		if res == nil {
+			continue
+		}
+		if res.Err != nil {
+			infra++
+			fmt.Fprintf(os.Stderr, "trial %d: ERROR %v\n  spec: %s\n", o.trial, res.Err, res.Spec)
+			continue
+		}
+		if !res.Failed() {
+			continue
+		}
+		failures++
+		fmt.Printf("trial %d: FAIL %s\n", o.trial, res.Spec)
+		for _, v := range res.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		if *fault == "" || *save {
+			reportFailure(cx, o.trial, res, inject, *fault, *seed, *trials, *corpusDir, !*noShrink, *save)
+		}
+	}
+	for _, o := range results {
+		if o.res != nil {
+			for _, v := range o.res.Violations {
+				propCount[v.Property]++
+			}
+		}
+	}
+	var props []string
+	for p, n := range propCount {
+		props = append(props, fmt.Sprintf("%s=%d", p, n))
+	}
+	sort.Strings(props)
+	fmt.Printf("modefuzz: %d trials in %v: %d failing, %d errors %v\n",
+		*trials, time.Since(start).Round(time.Millisecond), failures, infra, props)
+
+	switch {
+	case infra > 0:
+		os.Exit(1)
+	case *fault != "" && injectFault.Detectable && failures == 0:
+		fmt.Fprintf(os.Stderr, "modefuzz: injected fault %q was never detected — oracle regression\n", *fault)
+		os.Exit(1)
+	case *fault != "" && !injectFault.Detectable:
+		fmt.Printf("modefuzz: fault %q is pessimism-only (%s); %d detections is informational\n",
+			*fault, injectFault.Note, failures)
+	case *fault == "" && failures > 0:
+		os.Exit(1)
+	}
+}
+
+// replayCorpus re-runs every committed reproducer; returns false when an
+// entry no longer reproduces its pinned expectation.
+func replayCorpus(cx context.Context, dir string) bool {
+	corpus, err := difftest.LoadDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modefuzz: corpus:", err)
+		return false
+	}
+	if len(corpus) == 0 {
+		return true
+	}
+	names := make([]string, 0, len(corpus))
+	for name := range corpus {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ok := true
+	for _, name := range names {
+		r := corpus[name]
+		f, err := difftest.ParseFault(r.Fault)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "corpus %s: %v\n", name, err)
+			ok = false
+			continue
+		}
+		res := difftest.Run(cx, &r.Spec, f.Inject)
+		if err := r.Replay(res); err != nil {
+			fmt.Fprintf(os.Stderr, "corpus %s: %v\n", name, err)
+			ok = false
+		}
+	}
+	fmt.Printf("modefuzz: corpus replay: %d entries, ok=%v\n", len(corpus), ok)
+	return ok
+}
+
+// reportFailure shrinks a failing trial and optionally saves it.
+func reportFailure(cx context.Context, trial int, res *difftest.TrialResult, inject core.FaultInjection, fault string, seed int64, trials int, corpusDir string, shrink, save bool) {
+	spec := res.Spec
+	if shrink {
+		spec = difftest.Shrink(cx, spec, inject)
+		fmt.Printf("  shrunk: %s\n", spec)
+	}
+	if !save {
+		return
+	}
+	final := difftest.Run(cx, spec, inject)
+	var props []string
+	seen := map[string]bool{}
+	for _, v := range final.Violations {
+		if !seen[v.Property] {
+			seen[v.Property] = true
+			props = append(props, v.Property)
+		}
+	}
+	sort.Strings(props)
+	r := &difftest.Reproducer{
+		Spec:             *spec,
+		Fault:            fault,
+		ExpectViolations: true,
+		Properties:       props,
+		FoundBy:          fmt.Sprintf("modefuzz -seed %d -trials %d (trial %d)", seed, trials, trial),
+	}
+	path, err := r.Save(corpusDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modefuzz: save:", err)
+		return
+	}
+	fmt.Printf("  saved reproducer: %s\n", path)
+}

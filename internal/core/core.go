@@ -40,6 +40,29 @@ type Options struct {
 	// Hooks must be cheap and safe for serial calls from the merging
 	// goroutine.
 	StageHook func(stage string, d time.Duration)
+	// Inject deliberately breaks parts of the flow. Production callers
+	// leave it zero; the differential fuzzing harness (internal/difftest)
+	// uses it to prove its oracles catch real merge bugs.
+	Inject FaultInjection
+}
+
+// FaultInjection selects deliberate merge bugs for differential testing.
+type FaultInjection struct {
+	// KeepSubsetExceptions skips §3.1.9/§3.1.10 entirely: an exception
+	// present in only a subset of the modes joins the merged mode
+	// unconditionally (the naive textual-union bug). The merged mode then
+	// relaxes paths that other modes time — an optimistic, sign-off unsafe
+	// merge that CheckEquivalence must flag.
+	KeepSubsetExceptions bool
+	// SkipClockRefinement skips §3.1.8 (clock stop insertion).
+	SkipClockRefinement bool
+	// SkipDataRefinement skips §3.2 (launch blocking + 3-pass fixes).
+	SkipDataRefinement bool
+}
+
+// Any reports whether any fault is enabled.
+func (f FaultInjection) Any() bool {
+	return f.KeepSubsetExceptions || f.SkipClockRefinement || f.SkipDataRefinement
 }
 
 // stage times one flow stage and reports it to the hook.
@@ -209,19 +232,23 @@ func (mg *Merger) Merge(cx context.Context) (*sdc.Mode, error) {
 	if err := cx.Err(); err != nil {
 		return nil, err
 	}
-	done = mg.opt.stage("clock_refine")
-	if err := mg.clockRefinement(); err != nil {
-		return nil, err
+	if !mg.opt.Inject.SkipClockRefinement {
+		done = mg.opt.stage("clock_refine")
+		if err := mg.clockRefinement(); err != nil {
+			return nil, err
+		}
+		done()
 	}
-	done()
 	if err := cx.Err(); err != nil {
 		return nil, err
 	}
-	done = mg.opt.stage("data_refine")
-	if err := mg.dataRefinement(cx); err != nil {
-		return nil, err
+	if !mg.opt.Inject.SkipDataRefinement {
+		done = mg.opt.stage("data_refine")
+		if err := mg.dataRefinement(cx); err != nil {
+			return nil, err
+		}
+		done()
 	}
-	done()
 	return mg.merged, nil
 }
 

@@ -59,6 +59,12 @@ func (mg *Merger) mergeExceptions() error {
 			mg.merged.Exceptions = append(mg.merged.Exceptions, info.mapped)
 			continue
 		}
+		if mg.opt.Inject.KeepSubsetExceptions {
+			// Injected fault: the naive textual union keeps the subset
+			// exception unconditionally, relaxing the other modes' paths.
+			mg.merged.Exceptions = append(mg.merged.Exceptions, info.mapped)
+			continue
+		}
 		if uniq := mg.uniquify(info.mapped, info.inModes); uniq != nil {
 			mg.merged.Exceptions = append(mg.merged.Exceptions, uniq)
 			mg.Report.UniquifiedExceptions++

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"modemerge/internal/sdc"
+)
+
+// TestMergeExceptionsUniquification pins the §3.1.9/§3.1.10 subset-
+// exception decision table at the preliminary-merge level (union the
+// clocks, then merge exceptions — no refinement, so the counters reflect
+// exactly what the intersection/uniquification logic decided).
+func TestMergeExceptionsUniquification(t *testing.T) {
+	bothClocks := `
+create_clock -name clkA -period 10 [get_ports clk1]
+create_clock -name clkB -period 10 [get_ports clk2]
+`
+	tests := []struct {
+		name  string
+		modes map[string]string
+		order []string
+
+		wantDropped    int
+		wantUniquified int
+		wantMergedKeys []string // substrings that must appear in merged exception keys
+		banMergedKeys  []string // substrings that must NOT appear
+		wantWarnings   []string // substrings of expected warnings
+	}{
+		{
+			// The exception's launch clock (clkA through rA/CP) also
+			// exists in the mode lacking the exception: restricting to
+			// launch clocks is unsound, the false path is dropped (and
+			// left for refinement to recover).
+			name: "subset FP with overlapping launch clock is dropped",
+			modes: map[string]string{
+				"M1": bothClocks + "set_false_path -from [get_pins rA/CP] -to [get_pins rX/D]\n",
+				"M2": bothClocks,
+			},
+			order:         []string{"M1", "M2"},
+			wantDropped:   1,
+			banMergedKeys: []string{"rA/CP"},
+		},
+		{
+			// The exception is anchored on clkB, which only the carrying
+			// mode defines: inert in every other mode, so it uniquifies
+			// (launch restricted to clkB) instead of being dropped.
+			name: "subset FP inert in other modes is uniquified",
+			modes: map[string]string{
+				"M1": bothClocks + "set_false_path -from [get_clocks clkB] -to [get_clocks clkA]\n",
+				"M2": "create_clock -name clkA -period 10 [get_ports clk1]\n",
+			},
+			order:          []string{"M1", "M2"},
+			wantUniquified: 1,
+			wantMergedKeys: []string{"clkB"},
+		},
+		{
+			// The startpoint port has no launch clocks (no input delay
+			// associates a clock with in1): the launch-clock intersection
+			// is empty, uniquification has nothing to anchor on, and the
+			// false path is dropped.
+			name: "subset FP with empty launch-clock set is dropped",
+			modes: map[string]string{
+				"M1": bothClocks + "set_false_path -from [get_ports in1] -to [get_pins rX/D]\n",
+				"M2": bothClocks,
+			},
+			order:         []string{"M1", "M2"},
+			wantDropped:   1,
+			banMergedKeys: []string{"in1"},
+		},
+		{
+			// Disjoint exception sets: no exception is common to all
+			// modes, so nothing joins directly. The subset multicycle
+			// (a relaxation) is dropped with a warning; the subset
+			// max_delay (a tightening) is kept pessimistically with a
+			// warning.
+			name: "disjoint sets: subset MCP dropped, subset max_delay kept",
+			modes: map[string]string{
+				"M1": bothClocks + "set_max_delay 5 -from [get_pins rA/CP] -to [get_pins rX/D]\n",
+				"M2": bothClocks + "set_multicycle_path 2 -setup -from [get_pins rB/CP]\n",
+			},
+			order:          []string{"M1", "M2"},
+			wantDropped:    1,
+			wantMergedKeys: []string{"max_delay"},
+			banMergedKeys:  []string{"multicycle"},
+			wantWarnings: []string{
+				"keeping it applies the bound to all modes' paths",
+				"dropping it makes the merged mode pessimistic",
+			},
+		},
+		{
+			// An exception present in every mode joins the merged mode
+			// directly: no drop, no uniquification.
+			name: "common exception joins directly",
+			modes: map[string]string{
+				"M1": bothClocks + "set_false_path -from [get_pins rA/CP] -to [get_pins rX/D]\n",
+				"M2": bothClocks + "set_false_path -from [get_pins rA/CP] -to [get_pins rX/D]\n",
+			},
+			order:          []string{"M1", "M2"},
+			wantMergedKeys: []string{"rA/CP"},
+		},
+	}
+
+	g := paperGraph(t)
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var modes []*sdc.Mode
+			for _, n := range tc.order {
+				modes = append(modes, parseMode(t, g, n, tc.modes[n]))
+			}
+			mg, err := newMergerWithGraph(context.Background(), g, modes, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mg.unionClocks()
+			if err := mg.mergeExceptions(); err != nil {
+				t.Fatal(err)
+			}
+			if mg.Report.DroppedExceptions != tc.wantDropped {
+				t.Errorf("DroppedExceptions = %d, want %d", mg.Report.DroppedExceptions, tc.wantDropped)
+			}
+			if mg.Report.UniquifiedExceptions != tc.wantUniquified {
+				t.Errorf("UniquifiedExceptions = %d, want %d", mg.Report.UniquifiedExceptions, tc.wantUniquified)
+			}
+			var keys []string
+			for _, e := range mg.merged.Exceptions {
+				keys = append(keys, e.Key())
+			}
+			all := strings.Join(keys, "\n")
+			for _, want := range tc.wantMergedKeys {
+				if !strings.Contains(all, want) {
+					t.Errorf("merged exceptions lack %q:\n%s", want, all)
+				}
+			}
+			for _, ban := range tc.banMergedKeys {
+				if strings.Contains(all, ban) {
+					t.Errorf("merged exceptions unexpectedly contain %q:\n%s", ban, all)
+				}
+			}
+			warnings := strings.Join(mg.Report.Warnings, "\n")
+			for _, want := range tc.wantWarnings {
+				if !strings.Contains(warnings, want) {
+					t.Errorf("warnings lack %q:\n%s", want, warnings)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeExceptionsInjectedKeepSubset locks the fault-injection hook the
+// differential fuzzing harness relies on: with KeepSubsetExceptions the
+// subset exception joins verbatim (the naive textual-union bug) and the
+// full merge becomes detectably optimistic.
+func TestMergeExceptionsInjectedKeepSubset(t *testing.T) {
+	g := paperGraph(t)
+	srcs := map[string]string{
+		"M1": "create_clock -name clkA -period 10 [get_ports clk1]\nset_false_path -from [get_pins rA/CP] -to [get_pins rX/D]\n",
+		"M2": "create_clock -name clkA -period 10 [get_ports clk1]\n",
+	}
+	var modes []*sdc.Mode
+	for _, n := range []string{"M1", "M2"} {
+		modes = append(modes, parseMode(t, g, n, srcs[n]))
+	}
+	opt := Options{Inject: FaultInjection{KeepSubsetExceptions: true}}
+	mg, err := newMergerWithGraph(context.Background(), g, modes, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := mg.Merge(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range merged.Exceptions {
+		if strings.Contains(e.Key(), "rA/CP") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("injected fault did not keep the subset exception")
+	}
+	res, err := CheckEquivalence(context.Background(), g, modes, merged, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent() {
+		t.Fatal("equivalence checker missed the injected optimism")
+	}
+}

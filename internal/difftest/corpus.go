@@ -1,0 +1,157 @@
+package difftest
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"modemerge/internal/core"
+)
+
+// Reproducer is one corpus entry: a (usually shrunk) trial spec plus the
+// expectation it must keep satisfying when replayed. Clean entries pin
+// past false alarms — specs that once tripped an oracle incorrectly and
+// must now pass. Fault entries pin detector power — specs where an
+// injected merge bug must still be caught.
+type Reproducer struct {
+	// Spec regenerates the design, family and perturbations.
+	Spec TrialSpec `json:"spec"`
+	// Fault names the injected merge bug, "" for a clean merge. See
+	// ParseFault for the accepted names.
+	Fault string `json:"fault,omitempty"`
+	// ExpectViolations: replay must find at least one violation (fault
+	// entries) or none at all (clean entries).
+	ExpectViolations bool `json:"expect_violations"`
+	// Properties lists which oracles must fire when ExpectViolations.
+	// Detail strings are NOT pinned — CheckEquivalence's mismatch listing
+	// order is not deterministic, only its contents are.
+	Properties []string `json:"properties,omitempty"`
+	// FoundBy records provenance (e.g. "modefuzz -seed 7 -trials 100").
+	FoundBy string `json:"found_by,omitempty"`
+}
+
+// Fault describes one injectable merge bug.
+type Fault struct {
+	Inject core.FaultInjection
+	// Detectable: the oracles can catch this fault, so a fuzz run that
+	// injects it must produce failures. The oracles only reject optimism
+	// (sign-off unsafe merges) and baseline regressions; a fault that
+	// merely adds pessimism is sign-off safe and deliberately invisible.
+	Detectable bool
+	Note       string
+}
+
+// FaultNames maps the CLI/corpus fault names to injections.
+var FaultNames = map[string]Fault{
+	"keep-subset-exceptions": {
+		Inject:     core.FaultInjection{KeepSubsetExceptions: true},
+		Detectable: true,
+		Note:       "subset exceptions join unconditionally: optimism, caught by the equivalence oracle",
+	},
+	"skip-clock-refine": {
+		Inject: core.FaultInjection{SkipClockRefinement: true},
+		Note:   "missing clock stops over-time paths: pessimism only, sign-off safe",
+	},
+	"skip-data-refine": {
+		Inject: core.FaultInjection{SkipDataRefinement: true},
+		Note:   "missing corrective false paths: pessimism only, sign-off safe",
+	},
+}
+
+// ParseFault resolves a fault name ("" means no injection).
+func ParseFault(name string) (Fault, error) {
+	if name == "" {
+		return Fault{}, nil
+	}
+	if f, ok := FaultNames[name]; ok {
+		return f, nil
+	}
+	var known []string
+	for k := range FaultNames {
+		known = append(known, k)
+	}
+	sort.Strings(known)
+	return Fault{}, fmt.Errorf("unknown fault %q (known: %s)", name, strings.Join(known, ", "))
+}
+
+// Name is the content-addressed corpus file name of the reproducer.
+func (r *Reproducer) Name() string {
+	data, _ := json.Marshal(r.Spec)
+	sum := sha256.Sum256(append(data, []byte(r.Fault)...))
+	return fmt.Sprintf("%x.json", sum[:8])
+}
+
+// Save writes the reproducer under dir with its content-addressed name
+// and returns the path.
+func (r *Reproducer) Save(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, r.Name())
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadDir reads every *.json reproducer under dir, sorted by file name.
+// A missing directory is an empty corpus, not an error.
+func LoadDir(dir string) (map[string]*Reproducer, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*Reproducer{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var r Reproducer
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		out[e.Name()] = &r
+	}
+	return out, nil
+}
+
+// Replay runs the reproducer's spec with its fault and checks the pinned
+// expectation. It returns the trial result plus a verdict error when the
+// expectation no longer holds (nil error means the corpus entry still
+// reproduces).
+func (r *Reproducer) Replay(res *TrialResult) error {
+	if res.Err != nil {
+		return fmt.Errorf("infrastructure error: %w", res.Err)
+	}
+	if !r.ExpectViolations {
+		if res.Failed() {
+			return fmt.Errorf("expected clean run, got %d violations: %v", len(res.Violations), res.Violations)
+		}
+		return nil
+	}
+	if !res.Failed() {
+		return fmt.Errorf("expected violations, merge passed all properties")
+	}
+	seen := map[string]bool{}
+	for _, v := range res.Violations {
+		seen[v.Property] = true
+	}
+	for _, want := range r.Properties {
+		if !seen[want] {
+			return fmt.Errorf("expected a %s violation, got %v", want, res.Violations)
+		}
+	}
+	return nil
+}

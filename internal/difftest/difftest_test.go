@@ -1,0 +1,182 @@
+package difftest
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"modemerge/internal/core"
+	"modemerge/internal/gen"
+	"modemerge/internal/sdc"
+)
+
+// TestCorpusReplay replays every committed reproducer: clean entries must
+// stay clean (they pin past oracle false alarms), fault entries must
+// still be caught (they pin detector power).
+func TestCorpusReplay(t *testing.T) {
+	corpus, err := LoadDir("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) == 0 {
+		t.Fatal("empty corpus: testdata/corpus reproducers are expected to be committed")
+	}
+	for name, r := range corpus {
+		r := r
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			f, err := ParseFault(r.Fault)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := Run(context.Background(), &r.Spec, f.Inject)
+			if err := r.Replay(res); err != nil {
+				t.Errorf("%s (found by %s): %v", name, r.FoundBy, err)
+			}
+		})
+	}
+}
+
+// TestRandomTrialsClean is the in-tree slice of the fuzz loop: a fixed
+// band of seeds must produce zero property violations on the unmodified
+// merge flow. cmd/modefuzz runs the same oracle over many more seeds.
+func TestRandomTrialsClean(t *testing.T) {
+	trials := 15
+	if testing.Short() {
+		trials = 4
+	}
+	for i := 0; i < trials; i++ {
+		rng := rand.New(rand.NewSource(1000 + int64(i)))
+		spec := RandomSpec(rng)
+		res := Run(context.Background(), spec, core.FaultInjection{})
+		if res.Err != nil {
+			t.Fatalf("trial %d: %v\n  spec: %s", i, res.Err, spec)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("trial %d: %s\n  spec: %s", i, v, spec)
+		}
+	}
+}
+
+// TestInjectedFaultCaughtAndShrunk is the harness's own acceptance test:
+// a deliberately injected merge bug (subset exceptions kept verbatim, the
+// naive textual-union mistake) must be detected by the equivalence
+// oracle, shrink to a minimal spec that still reproduces, and round-trip
+// through a saved corpus file.
+func TestInjectedFaultCaughtAndShrunk(t *testing.T) {
+	cx := context.Background()
+	fault, err := ParseFault("keep-subset-exceptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fault.Detectable {
+		t.Fatal("keep-subset-exceptions must be marked detectable")
+	}
+
+	// Hunt a failing trial over a deterministic seed band. The fault
+	// fires whenever a clique's modes carry subset exceptions, which the
+	// generator's functional variants produce in most specs.
+	var spec *TrialSpec
+	for i := int64(0); i < 20; i++ {
+		rng := rand.New(rand.NewSource(7000 + i))
+		s := RandomSpec(rng)
+		res := Run(cx, s, fault.Inject)
+		if res.Err == nil && res.Failed() {
+			spec = s
+			break
+		}
+	}
+	if spec == nil {
+		t.Fatal("injected fault keep-subset-exceptions was never detected in 20 trials")
+	}
+
+	shrunk := Shrink(cx, spec, fault.Inject)
+	if shrunk.Size() > spec.Size() {
+		t.Fatalf("shrinking grew the spec: %d -> %d", spec.Size(), shrunk.Size())
+	}
+	res := Run(cx, shrunk, fault.Inject)
+	if res.Err != nil || !res.Failed() {
+		t.Fatalf("shrunk spec no longer reproduces: err=%v violations=%d", res.Err, len(res.Violations))
+	}
+	sawEquiv := false
+	for _, v := range res.Violations {
+		if v.Property == PropEquivalence {
+			sawEquiv = true
+		}
+	}
+	if !sawEquiv {
+		t.Fatalf("expected an equivalence violation from the injected optimism, got %v", res.Violations)
+	}
+
+	// The shrunk reproducer must be locally minimal: no single
+	// simplification step keeps the failure.
+	for _, cand := range candidates(shrunk) {
+		if cand.Size() >= shrunk.Size() {
+			continue
+		}
+		if r := Run(cx, cand, fault.Inject); r.Err == nil && r.Failed() {
+			t.Fatalf("shrunk spec is not minimal: %s still fails", cand)
+		}
+	}
+
+	// Save → load → replay round trip.
+	dir := t.TempDir()
+	repro := &Reproducer{
+		Spec:             *shrunk,
+		Fault:            "keep-subset-exceptions",
+		ExpectViolations: true,
+		Properties:       []string{PropEquivalence},
+		FoundBy:          "TestInjectedFaultCaughtAndShrunk",
+	}
+	path, err := repro.Save(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := loaded[filepath.Base(path)]
+	if !ok {
+		t.Fatalf("saved reproducer %s not found on reload", path)
+	}
+	if err := got.Replay(Run(cx, &got.Spec, fault.Inject)); err != nil {
+		t.Fatalf("reloaded reproducer: %v", err)
+	}
+}
+
+// TestShrinkKeepsPassingSpec: shrinking only applies to failures.
+func TestShrinkKeepsPassingSpec(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	spec := RandomSpec(rng)
+	if got := Shrink(context.Background(), spec, core.FaultInjection{}); got != spec {
+		t.Fatal("Shrink of a passing spec must return it unchanged")
+	}
+}
+
+// TestPerturbRenderingAlwaysValid: any integer selectors must render to
+// SDC the parser accepts on the generated design (modulo clamping).
+func TestPerturbRenderingAlwaysValid(t *testing.T) {
+	g, err := gen.Generate(gen.DesignSpec{Name: "p", Seed: 9, Domains: 2, BlocksPerDomain: 2,
+		Stages: 1, RegsPerStage: 1, CloudDepth: 1, CrossPaths: 1, IOPairs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	fam := gen.FamilySpec{Groups: 1, ModesPerGroup: []int{2}, BasePeriod: 2}
+	for trial := 0; trial < 50; trial++ {
+		spec := &TrialSpec{Design: g.Spec, Family: fam}
+		for i := 0; i < 3; i++ {
+			p := RandomPerturb(rng)
+			p.D, p.B, p.D2, p.B2, p.Mode = rng.Int(), rng.Int(), rng.Int(), rng.Int(), rng.Int()
+			spec.Perturbs = append(spec.Perturbs, p)
+		}
+		for _, m := range g.ModesWithExtra(fam, spec.ExtraHook(g)) {
+			if _, _, err := sdc.Parse(m.Name, m.Text, g.Design); err != nil {
+				t.Fatalf("trial %d: perturbed mode %s does not parse: %v\nperturbs: %+v",
+					trial, m.Name, err, spec.Perturbs)
+			}
+		}
+	}
+}

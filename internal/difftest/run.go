@@ -1,0 +1,304 @@
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"modemerge/internal/core"
+	"modemerge/internal/gen"
+	"modemerge/internal/graph"
+	"modemerge/internal/relation"
+	"modemerge/internal/sdc"
+	"modemerge/internal/sta"
+)
+
+// Property names reported in violations.
+const (
+	PropEquivalence = "equivalence" // CheckEquivalence finds optimism
+	PropRoundTrip   = "roundtrip"   // merged SDC fails Write→Parse→Write
+	PropPessimism   = "pessimism"   // merged stricter than NaiveMerge
+)
+
+// maxDetails bounds the per-property detail strings kept in a violation
+// list; counts stay exact.
+const maxDetails = 8
+
+// Violation is one property failure in one merged clique.
+type Violation struct {
+	Property string `json:"property"`
+	Clique   string `json:"clique"` // merged mode name
+	Count    int    `json:"count"`  // offending groups/keys under this property
+	Details  []string
+}
+
+func (v Violation) String() string {
+	s := fmt.Sprintf("%s[%s] count=%d", v.Property, v.Clique, v.Count)
+	for _, d := range v.Details {
+		s += "\n    " + d
+	}
+	return s
+}
+
+// TrialResult is the outcome of running the oracle on one spec.
+type TrialResult struct {
+	Spec       *TrialSpec
+	Modes      int
+	Cliques    int
+	Violations []Violation
+	// Err is an infrastructure failure (generation, parse of a *generated*
+	// mode, merge error) — distinct from a property violation.
+	Err error
+}
+
+// Failed reports whether the trial found a property violation.
+func (r *TrialResult) Failed() bool { return len(r.Violations) > 0 }
+
+// Run generates the design and mode family from the spec, applies its
+// perturbations, merges with the given fault injection, and checks the
+// three properties on every merged clique. The fault injection applies
+// only to the merge under test — the oracles themselves (equivalence
+// check, naive baseline) always run clean.
+func Run(cx context.Context, spec *TrialSpec, fault core.FaultInjection) *TrialResult {
+	res := &TrialResult{Spec: spec}
+
+	g, err := gen.Generate(spec.Design)
+	if err != nil {
+		res.Err = fmt.Errorf("generate: %w", err)
+		return res
+	}
+	texts := g.ModesWithExtra(spec.Family, spec.ExtraHook(g))
+	res.Modes = len(texts)
+
+	var modes []*sdc.Mode
+	for _, t := range texts {
+		m, _, err := sdc.Parse(t.Name, t.Text, g.Design)
+		if err != nil {
+			res.Err = fmt.Errorf("parse generated mode %s: %w", t.Name, err)
+			return res
+		}
+		modes = append(modes, m)
+	}
+
+	tg, err := graph.Build(g.Design)
+	if err != nil {
+		res.Err = fmt.Errorf("graph: %w", err)
+		return res
+	}
+
+	opt := core.Options{Tolerance: spec.Tolerance, Inject: fault}
+	cleanOpt := core.Options{Tolerance: spec.Tolerance}
+
+	mergedModes, _, mb, err := core.MergeAll(cx, tg, modes, opt)
+	if err != nil {
+		res.Err = fmt.Errorf("merge: %w", err)
+		return res
+	}
+	cliques := mb.Cliques()
+	res.Cliques = len(cliques)
+
+	for i, clique := range cliques {
+		if len(clique) < 2 {
+			// A singleton clique's "merged" mode is the mode itself; the
+			// properties hold trivially and checking it only costs time.
+			continue
+		}
+		if err := cx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
+		var members []*sdc.Mode
+		for _, mi := range clique {
+			members = append(members, modes[mi])
+		}
+		merged := mergedModes[i]
+		res.Violations = append(res.Violations, checkClique(cx, tg, members, merged, cleanOpt)...)
+		if err := cx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
+	}
+	return res
+}
+
+// checkClique runs the three properties on one merged clique.
+func checkClique(cx context.Context, tg *graph.Graph, members []*sdc.Mode, merged *sdc.Mode, opt core.Options) []Violation {
+	var out []Violation
+
+	// Property 1: no optimistic mismatches against the individual modes.
+	eq, err := core.CheckEquivalence(cx, tg, members, merged, opt)
+	switch {
+	case err != nil:
+		out = append(out, Violation{Property: PropEquivalence, Clique: merged.Name, Count: 1,
+			Details: []string{"checker error: " + err.Error()}})
+	case !eq.Equivalent():
+		out = append(out, Violation{Property: PropEquivalence, Clique: merged.Name,
+			Count: len(eq.OptimisticMismatches), Details: cap8(eq.OptimisticMismatches)})
+	}
+
+	// Property 2: the merged SDC round-trips through the parser and the
+	// reparse writes back byte-identically (fixpoint after one pass).
+	if v, ok := checkRoundTrip(tg, merged); !ok {
+		out = append(out, v)
+	}
+
+	// Property 3: merged never more pessimistic than the naive baseline.
+	if v, ok := checkPessimism(cx, tg, members, merged, opt); !ok {
+		out = append(out, v)
+	}
+	return out
+}
+
+// checkRoundTrip verifies the merged mode survives the parser: its
+// written SDC must load without error, and after one normalizing
+// Parse→Write pass the text must be a fixpoint (the writer may annotate
+// with `;#` comments the parser legitimately drops, so the raw first
+// write is not required to be stable — only the reparsed form is).
+func checkRoundTrip(tg *graph.Graph, merged *sdc.Mode) (Violation, bool) {
+	text := sdc.Write(merged)
+	re, _, err := sdc.Parse(merged.Name, text, tg.Design)
+	if err != nil {
+		return Violation{Property: PropRoundTrip, Clique: merged.Name, Count: 1,
+			Details: []string{"merged SDC does not reparse: " + err.Error()}}, false
+	}
+	norm := sdc.Write(re)
+	re2, _, err := sdc.Parse(merged.Name, norm, tg.Design)
+	if err != nil {
+		return Violation{Property: PropRoundTrip, Clique: merged.Name, Count: 1,
+			Details: []string{"normalized merged SDC does not reparse: " + err.Error()}}, false
+	}
+	if again := sdc.Write(re2); again != norm {
+		return Violation{Property: PropRoundTrip, Clique: merged.Name, Count: 1,
+			Details: []string{"merged SDC is not a parse→write fixpoint: " + firstDiff(norm, again)}}, false
+	}
+	return Violation{}, true
+}
+
+// firstDiff summarizes the first divergence between two texts.
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			return fmt.Sprintf("byte %d: %q vs %q", i, clip(a[lo:]), clip(b[lo:]))
+		}
+	}
+	return fmt.Sprintf("length %d vs %d", len(a), len(b))
+}
+
+func clip(s string) string {
+	if len(s) > 80 {
+		return s[:80]
+	}
+	return s
+}
+
+// checkPessimism compares endpoint-granularity timing relationships of the
+// merged mode against core.NaiveMerge on the same members. The naive
+// baseline intersects exceptions and infers exclusivity textually, so it
+// is pessimistic-or-equal everywhere the graph-based method claims to
+// win; a merged relation strictly tighter than naive means the refinement
+// passes regressed below the baseline. Keys where either side holds
+// several distinct states are skipped — endpoint granularity cannot order
+// them (the equivalence checker covers those at finer granularity).
+func checkPessimism(cx context.Context, tg *graph.Graph, members []*sdc.Mode, merged *sdc.Mode, opt core.Options) (Violation, bool) {
+	naive, err := core.NaiveMerge(cx, tg, members, opt)
+	if err != nil {
+		return Violation{Property: PropPessimism, Clique: merged.Name, Count: 1,
+			Details: []string{"naive merge error: " + err.Error()}}, false
+	}
+	relM, err := endpointRelations(cx, tg, merged)
+	if err != nil {
+		return Violation{Property: PropPessimism, Clique: merged.Name, Count: 1,
+			Details: []string{"merged STA error: " + err.Error()}}, false
+	}
+	relN, err := endpointRelations(cx, tg, naive)
+	if err != nil {
+		return Violation{Property: PropPessimism, Clique: merged.Name, Count: 1,
+			Details: []string{"naive STA error: " + err.Error()}}, false
+	}
+
+	var details []string
+	count := 0
+	keys := make([]sta.RelKey, 0, len(relM))
+	for k := range relM {
+		keys = append(keys, k)
+	}
+	for k := range relN {
+		if _, ok := relM[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return relKeyLess(keys[i], keys[j]) })
+	for _, k := range keys {
+		mset, mpresent := relM[k]
+		nset, npresent := relN[k]
+		ms, mok := single(mset, mpresent)
+		ns, nok := single(nset, npresent)
+		if !mok || !nok {
+			continue // ambiguous at this granularity
+		}
+		// Merged more pessimistic than naive ⇔ naive is the relaxed one.
+		if relation.Relaxed(ns, ms) {
+			count++
+			if len(details) < maxDetails {
+				details = append(details, fmt.Sprintf("%s -> %s (%s/%s %v): merged %v stricter than naive %v",
+					k.Start, k.End, k.Launch, k.Capture, k.Check, ms, ns))
+			}
+		}
+	}
+	if count > 0 {
+		return Violation{Property: PropPessimism, Clique: merged.Name, Count: count, Details: details}, false
+	}
+	return Violation{}, true
+}
+
+// single resolves a relation set to one state; a missing/empty set means
+// the path group is not timed (false).
+func single(s relation.Set, present bool) (relation.State, bool) {
+	if !present || s.Empty() {
+		return relation.StateFalse, true
+	}
+	return s.Single()
+}
+
+func endpointRelations(cx context.Context, tg *graph.Graph, m *sdc.Mode) (map[sta.RelKey]relation.Set, error) {
+	ctx, err := sta.NewContext(tg, m, sta.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rel := ctx.EndpointRelations(cx)
+	if err := cx.Err(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+func relKeyLess(a, b sta.RelKey) bool {
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	if a.Launch != b.Launch {
+		return a.Launch < b.Launch
+	}
+	if a.Capture != b.Capture {
+		return a.Capture < b.Capture
+	}
+	if a.Check != b.Check {
+		return a.Check < b.Check
+	}
+	return a.Start < b.Start
+}
+
+func cap8(s []string) []string {
+	if len(s) > maxDetails {
+		return s[:maxDetails]
+	}
+	return s
+}

@@ -1,0 +1,107 @@
+package difftest
+
+import (
+	"context"
+
+	"modemerge/internal/core"
+)
+
+// maxShrinkRuns bounds the total oracle invocations one Shrink may spend;
+// each run is a full generate→merge→check cycle.
+const maxShrinkRuns = 200
+
+// Shrink reduces a failing spec to a locally minimal reproducer: no
+// single simplification step keeps the failure. Greedy first-improvement
+// search — each accepted candidate restarts the scan — with the oracle
+// re-run (same fault injection) as the acceptance test. The returned spec
+// always still fails; if the input does not fail, it is returned as is.
+func Shrink(cx context.Context, spec *TrialSpec, fault core.FaultInjection) *TrialSpec {
+	runs := 0
+	fails := func(s *TrialSpec) bool {
+		if runs >= maxShrinkRuns || cx.Err() != nil {
+			return false
+		}
+		runs++
+		r := Run(cx, s, fault)
+		return r.Err == nil && r.Failed()
+	}
+	if !fails(spec) {
+		return spec
+	}
+	cur := spec.Clone()
+	for {
+		improved := false
+		for _, cand := range candidates(cur) {
+			if cand.Size() >= cur.Size() {
+				continue
+			}
+			if fails(cand) {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// candidates enumerates one-step simplifications of the spec, most
+// aggressive first (dropping whole perturbations and groups shrinks the
+// search space fastest).
+func candidates(s *TrialSpec) []*TrialSpec {
+	var out []*TrialSpec
+	add := func(f func(c *TrialSpec)) {
+		c := s.Clone()
+		f(c)
+		out = append(out, c)
+	}
+
+	// Drop one perturbation at a time.
+	for i := range s.Perturbs {
+		i := i
+		add(func(c *TrialSpec) {
+			c.Perturbs = append(c.Perturbs[:i], c.Perturbs[i+1:]...)
+		})
+	}
+	// Drop one whole mode group.
+	if len(s.Family.ModesPerGroup) > 1 {
+		for i := range s.Family.ModesPerGroup {
+			i := i
+			add(func(c *TrialSpec) {
+				c.Family.ModesPerGroup = append(c.Family.ModesPerGroup[:i], c.Family.ModesPerGroup[i+1:]...)
+				c.Family.Groups = len(c.Family.ModesPerGroup)
+			})
+		}
+	}
+	// Remove one mode from a group.
+	for i, n := range s.Family.ModesPerGroup {
+		if n > 1 {
+			i := i
+			add(func(c *TrialSpec) { c.Family.ModesPerGroup[i]-- })
+		}
+	}
+	// Decrement each design dimension toward its floor. Floors stay at 1
+	// (0 for CrossPaths): gen.DesignSpec.Validate refills zero values with
+	// larger defaults, which would grow the spec instead of shrinking it.
+	dims := []struct {
+		get func(c *TrialSpec) *int
+		min int
+	}{
+		{func(c *TrialSpec) *int { return &c.Design.Domains }, 1},
+		{func(c *TrialSpec) *int { return &c.Design.BlocksPerDomain }, 1},
+		{func(c *TrialSpec) *int { return &c.Design.Stages }, 1},
+		{func(c *TrialSpec) *int { return &c.Design.RegsPerStage }, 1},
+		{func(c *TrialSpec) *int { return &c.Design.CloudDepth }, 1},
+		{func(c *TrialSpec) *int { return &c.Design.CrossPaths }, 0},
+		{func(c *TrialSpec) *int { return &c.Design.IOPairs }, 1},
+	}
+	for _, d := range dims {
+		d := d
+		if *d.get(s) > d.min {
+			add(func(c *TrialSpec) { *d.get(c)-- })
+		}
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+// Package difftest is a property-based differential fuzzing harness for
+// the mode-merging flow. It samples randomized designs and mode families
+// (internal/gen) plus random constraint perturbations, runs the
+// timing-graph merge, and checks every merged clique against three
+// independent oracles:
+//
+//  1. equivalence — core.CheckEquivalence reports no optimistic
+//     mismatches (the paper's §3.2 sign-off safety claim);
+//  2. round-trip — the merged mode survives sdc.Write → sdc.Parse →
+//     sdc.Write byte-identically (the merged SDC is real, loadable SDC);
+//  3. pessimism bound — per-endpoint timing relationships of the merged
+//     mode are never more pessimistic than core.NaiveMerge on the same
+//     modes (the graph-based method must not lose to the textual
+//     baseline it claims to beat).
+//
+// Failures shrink to a minimal reproducer spec and are written as JSON
+// corpus files under testdata/corpus/, which go test replays as
+// deterministic regressions. cmd/modefuzz is the CLI driver.
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"modemerge/internal/gen"
+)
+
+// Perturb is one randomized constraint added to one mode of the family.
+// Selectors are free integers resolved by modulo against the generated
+// design's structural handles, so every integer combination is valid and
+// shrinking never produces a dangling reference.
+type Perturb struct {
+	// Mode selects the target mode by global index (mod total modes).
+	Mode int `json:"mode"`
+	// Kind is one of "false_path", "multicycle", "case", "disable".
+	Kind string `json:"kind"`
+	// D/B select a domain and block (mod the respective counts).
+	D int `json:"d"`
+	B int `json:"b"`
+	// D2/B2 select the -to side of a false path.
+	D2 int `json:"d2,omitempty"`
+	B2 int `json:"b2,omitempty"`
+	// Mult parameterizes the multicycle multiplier (2 + Mult mod 3).
+	Mult int `json:"mult,omitempty"`
+	// Val is the case-analysis value (mod 2).
+	Val int `json:"val,omitempty"`
+}
+
+// TrialSpec is one fully serialized fuzz trial: enough to regenerate the
+// exact design, mode family and perturbations deterministically.
+type TrialSpec struct {
+	Design    gen.DesignSpec `json:"design"`
+	Family    gen.FamilySpec `json:"family"`
+	Perturbs  []Perturb      `json:"perturbs,omitempty"`
+	Tolerance float64        `json:"tolerance,omitempty"`
+}
+
+// Clone deep-copies the spec.
+func (s *TrialSpec) Clone() *TrialSpec {
+	c := *s
+	c.Family.ModesPerGroup = append([]int(nil), s.Family.ModesPerGroup...)
+	c.Perturbs = append([]Perturb(nil), s.Perturbs...)
+	return &c
+}
+
+// Size is the shrinking order: smaller specs are simpler reproducers.
+func (s *TrialSpec) Size() int {
+	d := s.Design
+	modes := 0
+	for _, n := range s.Family.ModesPerGroup {
+		modes += n
+	}
+	return d.Domains*d.BlocksPerDomain*d.Stages*d.RegsPerStage*(1+d.CloudDepth) +
+		d.CrossPaths + d.IOPairs + 10*modes + 5*len(s.Perturbs)
+}
+
+// String is a compact summary for logs.
+func (s *TrialSpec) String() string {
+	return fmt.Sprintf("design{dom=%d blk=%d stg=%d reg=%d cloud=%d x=%d io=%d seed=%d} groups=%v perturbs=%d",
+		s.Design.Domains, s.Design.BlocksPerDomain, s.Design.Stages, s.Design.RegsPerStage,
+		s.Design.CloudDepth, s.Design.CrossPaths, s.Design.IOPairs, s.Design.Seed,
+		s.Family.ModesPerGroup, len(s.Perturbs))
+}
+
+// MarshalIndent renders the canonical JSON form used for corpus files.
+func (s *TrialSpec) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// renderPerturb emits the SDC lines for one perturbation, resolving its
+// selectors against the generated design's structural handles.
+func renderPerturb(g *gen.Generated, p Perturb) []string {
+	nd := len(g.BlockFirstRegs)
+	if nd == 0 {
+		return nil
+	}
+	pick := func(d, b int) (int, int) {
+		d = mod(d, nd)
+		return d, mod(b, len(g.BlockFirstRegs[d]))
+	}
+	switch p.Kind {
+	case "false_path":
+		d, b := pick(p.D, p.B)
+		d2, b2 := pick(p.D2, p.B2)
+		return []string{fmt.Sprintf("set_false_path -from [get_pins %s/CP] -to [get_pins %s/D]",
+			g.BlockLastRegs[d][b], g.BlockFirstRegs[d2][b2])}
+	case "multicycle":
+		d, b := pick(p.D, p.B)
+		return []string{fmt.Sprintf("set_multicycle_path %d -setup -from [get_pins %s/CP]",
+			2+mod(p.Mult, 3), g.BlockLastRegs[d][b])}
+	case "case":
+		// Data-input ports only: the generator's built-in modes case the
+		// block-enable and test-control ports with mode-specific values,
+		// and a second set_case_analysis with the opposite value inside
+		// the same mode is a parse error, not a merge bug.
+		port, ok := casePort(g, p)
+		if !ok {
+			return nil
+		}
+		return []string{fmt.Sprintf("set_case_analysis %d [get_ports %s]",
+			mod(p.Val, 2), port)}
+	case "disable":
+		// The scan mux in front of a block's first register; I1 is the
+		// scan-in leg (see gen.Generate's naming contract).
+		d, b := pick(p.D, p.B)
+		return []string{fmt.Sprintf("set_disable_timing [get_pins %s_smux/I1]",
+			g.BlockFirstRegs[d][b])}
+	default:
+		return nil
+	}
+}
+
+// casePort resolves a case perturbation's target data-input port.
+func casePort(g *gen.Generated, p Perturb) (string, bool) {
+	if len(g.DataIn) == 0 {
+		return "", false
+	}
+	d := mod(p.D, len(g.DataIn))
+	ports := g.DataIn[d]
+	if len(ports) == 0 {
+		return "", false
+	}
+	return ports[mod(p.B, len(ports))], true
+}
+
+// PerturbKinds lists the valid Perturb.Kind values.
+var PerturbKinds = []string{"false_path", "multicycle", "case", "disable"}
+
+func mod(v, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	v %= n
+	if v < 0 {
+		v += n
+	}
+	return v
+}
+
+// ExtraHook builds the gen.ModesWithExtra callback applying the spec's
+// perturbations: a perturbation targets the mode whose global index equals
+// Perturb.Mode mod the family's total mode count.
+func (s *TrialSpec) ExtraHook(g *gen.Generated) func(grp, v int) []string {
+	if len(s.Perturbs) == 0 {
+		return nil
+	}
+	total := s.Family.TotalModes()
+	return func(grp, v int) []string {
+		// Global index of (grp, v) in generation order.
+		mi := 0
+		for i := 0; i < grp; i++ {
+			mi += s.Family.ModesPerGroup[i]
+		}
+		mi += v
+		var out []string
+		// Two case perturbations landing on the same port of the same
+		// mode with opposite values would make that mode invalid SDC;
+		// first one wins.
+		caseVals := map[string]int{}
+		for _, p := range s.Perturbs {
+			if mod(p.Mode, total) != mi {
+				continue
+			}
+			if p.Kind == "case" {
+				port, ok := casePort(g, p)
+				if !ok {
+					continue
+				}
+				val := mod(p.Val, 2)
+				if prev, seen := caseVals[port]; seen && prev != val {
+					continue
+				}
+				caseVals[port] = val
+			}
+			out = append(out, renderPerturb(g, p)...)
+		}
+		return out
+	}
+}

@@ -313,6 +313,16 @@ func (f FamilySpec) TotalModes() int {
 //	v≥3: functional variants — different block-enable cases and different
 //	     per-variant false paths / multicycles.
 func (g *Generated) Modes(f FamilySpec) []ModeSDC {
+	return g.ModesWithExtra(f, nil)
+}
+
+// ModesWithExtra generates the family like Modes, then appends the SDC
+// lines returned by extra(grp, v) to each mode's text. It is the
+// perturbation hook the differential fuzzing harness uses to inject
+// randomized per-mode constraints (extra exceptions, case analysis,
+// disabled arcs) without re-deriving the structural handles. A nil extra
+// is allowed and means no perturbation.
+func (g *Generated) ModesWithExtra(f FamilySpec, extra func(grp, v int) []string) []ModeSDC {
 	if f.BasePeriod <= 0 {
 		f.BasePeriod = 2.0
 	}
@@ -337,6 +347,11 @@ func (g *Generated) Modes(f FamilySpec) []ModeSDC {
 				g.testCaptureMode(m, f, grp)
 			default:
 				g.functionalMode(m, f, grp, v)
+			}
+			if extra != nil {
+				for _, line := range extra(grp, v) {
+					m.addf("%s", line)
+				}
 			}
 			out = append(out, ModeSDC{Name: name, Text: m.b.String()})
 		}

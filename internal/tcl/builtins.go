@@ -114,9 +114,14 @@ func (v exprValue) number() (float64, error) {
 }
 
 type exprParser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	depth int
 }
+
+// maxExprDepth bounds expression nesting ("((((…", "!!!!…") so malformed
+// input fails with an error instead of exhausting the stack.
+const maxExprDepth = 200
 
 func (e *exprParser) eof() bool { return e.pos >= len(e.src) }
 
@@ -282,6 +287,11 @@ func (e *exprParser) parseUnary() (exprValue, error) {
 	if e.eof() {
 		return exprValue{}, fmt.Errorf("unexpected end of expression")
 	}
+	if e.depth >= maxExprDepth {
+		return exprValue{}, fmt.Errorf("expression nested too deeply")
+	}
+	e.depth++
+	defer func() { e.depth-- }()
 	switch e.src[e.pos] {
 	case '-':
 		e.pos++

@@ -1,0 +1,78 @@
+package tcl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzEvalTcl feeds arbitrary scripts to the interpreter. The property is
+// simply "no panic, no hang": every input must either evaluate or return
+// an error within the step/depth budgets.
+func FuzzEvalTcl(f *testing.F) {
+	seeds := []string{
+		"set a 1\nset b [expr $a + 2]\nputs $b",
+		"foreach p {a b c} {\n  set_thing 0.1 $p\n}",
+		"foreach {k v} {a 1 b 2} { set $k $v }",
+		"if {1 > 0} { set x yes } else { set x no }",
+		"while {$i < 4} { incr i }",
+		"for {set i 0} {$i < 3} {incr i} { puts $i }",
+		"proc twice {x} { return [expr $x * 2] }\ntwice 21",
+		"set l [list a {b c} \"d e\"]\nconcat $l f",
+		"expr (1 + 2) * -3 <= 4 && \"ab\" eq \"ab\"",
+		"# comment \\\ncontinued\nset x 1 ;# trailing",
+		"set v ${weird}",
+		"puts \"nested [list [expr 1+1]] done\"",
+		"set a [",
+		"{unbalanced",
+		"\"unterminated",
+		"expr ((((((1))))))",
+		"create_clock -name CLK -period 2 [get_ports clk]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		i := New()
+		i.MaxSteps = 10000
+		// Stub the common SDC-shaped commands so scripts exercising them
+		// reach deeper interpreter paths instead of "unknown command".
+		nop := func(_ *Interp, args []string) (string, error) { return strings.Join(args, " "), nil }
+		for _, name := range []string{"get_ports", "get_pins", "get_clocks", "set_thing", "create_clock"} {
+			i.Register(name, nop)
+		}
+		_, _ = i.Eval(src) // must not panic or hang
+	})
+}
+
+func TestEvalStepBudget(t *testing.T) {
+	i := New()
+	i.MaxSteps = 100
+	_, err := i.Eval("while {1} { set x 1 }")
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Fatalf("infinite loop not stopped by budget, err=%v", err)
+	}
+}
+
+func TestEvalDepthLimit(t *testing.T) {
+	i := New()
+	_, err := i.Eval("proc p {} { p }\np")
+	if err == nil || !strings.Contains(err.Error(), "too deeply") {
+		t.Fatalf("unbounded recursion not stopped, err=%v", err)
+	}
+	i2 := New()
+	deep := strings.Repeat("[concat ", 500) + "x" + strings.Repeat("]", 500)
+	if _, err := i2.Eval("set a " + deep); err == nil {
+		t.Fatal("deep bracket nesting not stopped")
+	}
+}
+
+func TestExprDepthLimit(t *testing.T) {
+	i := New()
+	_, err := i.Eval("expr " + strings.Repeat("(", 100000) + "1" + strings.Repeat(")", 100000))
+	if err == nil || !strings.Contains(err.Error(), "nested too deeply") {
+		t.Fatalf("deep expr not stopped, err=%v", err)
+	}
+}

@@ -10,6 +10,7 @@
 package tcl
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
@@ -28,7 +29,29 @@ type Interp struct {
 	// Line is the 1-based line number of the command currently being
 	// evaluated, for error reporting by registered commands.
 	Line int
+
+	// MaxSteps bounds the total number of command invocations per
+	// top-level Eval, guarding against runaway loops in untrusted
+	// scripts. 0 means unlimited.
+	MaxSteps int
+	// MaxDepth bounds Eval nesting (bracket substitution, control-flow
+	// bodies, proc calls). 0 uses DefaultMaxDepth.
+	MaxDepth int
+
+	steps int
+	depth int
 }
+
+// DefaultMaxDepth is the Eval nesting bound used when MaxDepth is 0. Real
+// SDC scripts nest a handful of levels; the bound exists so pathological
+// input exhausts a counter instead of the goroutine stack.
+const DefaultMaxDepth = 100
+
+// ErrTooDeep reports Eval nesting beyond MaxDepth.
+var ErrTooDeep = errors.New("evaluation nested too deeply")
+
+// ErrStepBudget reports a script exceeding MaxSteps command invocations.
+var ErrStepBudget = errors.New("script exceeded its evaluation step budget")
 
 // New returns an interpreter with the built-in commands registered: set,
 // unset, list, concat, expr, puts, and the control-flow subset real SDC
@@ -79,6 +102,18 @@ func (e *Error) Unwrap() error { return e.Err }
 
 // Eval evaluates a script and returns the result of the last command.
 func (i *Interp) Eval(script string) (string, error) {
+	maxDepth := i.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	if i.depth >= maxDepth {
+		return "", &Error{Line: i.Line, Err: ErrTooDeep}
+	}
+	if i.depth == 0 {
+		i.steps = 0
+	}
+	i.depth++
+	defer func() { i.depth-- }()
 	p := &parser{src: script, line: 1}
 	result := ""
 	for {
@@ -106,6 +141,12 @@ func (i *Interp) Eval(script string) (string, error) {
 }
 
 func (i *Interp) invoke(words []string) (string, error) {
+	if i.MaxSteps > 0 {
+		i.steps++
+		if i.steps > i.MaxSteps {
+			return "", ErrStepBudget
+		}
+	}
 	cmd, ok := i.cmds[words[0]]
 	if !ok {
 		return "", fmt.Errorf("unknown command %q", words[0])
