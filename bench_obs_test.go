@@ -1,0 +1,194 @@
+// Observability benchmark harness: measures the merge pipeline over three
+// generated design sizes, with and without span tracing, and writes the
+// machine-readable artifact BENCH_modemerge.json when MODEMERGE_BENCH_JSON
+// names the output path:
+//
+//	MODEMERGE_BENCH_JSON=BENCH_modemerge.json go test . -run WriteBenchArtifact -count=1
+//
+// The artifact carries ns/op, allocs/op and the per-stage breakdown folded
+// from the obs span totals, plus the tracing overhead in percent (the
+// tentpole's ≤5% budget; reported, not gated — CI treats this step as
+// non-gating because shared runners are noisy).
+package modemerge
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"modemerge/internal/core"
+	"modemerge/internal/gen"
+	"modemerge/internal/graph"
+	"modemerge/internal/obs"
+	"modemerge/internal/sdc"
+)
+
+type obsBenchSize struct {
+	Name  string
+	DSpec gen.DesignSpec
+	FSpec gen.FamilySpec
+}
+
+func obsBenchSizes() []obsBenchSize {
+	family := gen.FamilySpec{Groups: 1, ModesPerGroup: []int{3}, BasePeriod: 2}
+	return []obsBenchSize{
+		{"small", gen.DesignSpec{Name: "obs_s", Seed: 11, Domains: 1, BlocksPerDomain: 1,
+			Stages: 2, RegsPerStage: 2, CloudDepth: 1, CrossPaths: 0}, family},
+		{"medium", gen.DesignSpec{Name: "obs_m", Seed: 12, Domains: 2, BlocksPerDomain: 2,
+			Stages: 3, RegsPerStage: 3, CloudDepth: 2, CrossPaths: 2}, family},
+		{"large", gen.DesignSpec{Name: "obs_l", Seed: 13, Domains: 3, BlocksPerDomain: 2,
+			Stages: 4, RegsPerStage: 4, CloudDepth: 3, CrossPaths: 3}, family},
+	}
+}
+
+func obsBenchFixture(tb testing.TB, s obsBenchSize) (*graph.Graph, []*sdc.Mode) {
+	tb.Helper()
+	gd, err := gen.Generate(s.DSpec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g, err := graph.Build(gd.Design)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var modes []*sdc.Mode
+	for _, m := range gd.Modes(s.FSpec) {
+		mode, _, err := sdc.Parse(m.Name, m.Text, g.Design)
+		if err != nil {
+			tb.Fatalf("mode %s: %v", m.Name, err)
+		}
+		modes = append(modes, mode)
+	}
+	return g, modes
+}
+
+// obsMergeOnce runs one full traced or untraced MergeAll and returns the
+// tracer (nil when untraced).
+func obsMergeOnce(tb testing.TB, g *graph.Graph, modes []*sdc.Mode, traced bool) *obs.Tracer {
+	tb.Helper()
+	var tr *obs.Tracer
+	opt := core.Options{}
+	var root *obs.Span
+	if traced {
+		tr = obs.NewTracer()
+		root = tr.Start("merge_all")
+		opt.Trace = root
+	}
+	if _, _, _, err := core.MergeAll(context.Background(), g, modes, opt); err != nil {
+		tb.Fatal(err)
+	}
+	root.Finish()
+	return tr
+}
+
+func benchObsMerge(b *testing.B, s obsBenchSize, traced bool) {
+	g, modes := obsBenchFixture(b, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obsMergeOnce(b, g, modes, traced)
+	}
+}
+
+func BenchmarkObsMergeSmall(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[0], true) }
+func BenchmarkObsMergeMedium(b *testing.B) { benchObsMerge(b, obsBenchSizes()[1], true) }
+func BenchmarkObsMergeLarge(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[2], true) }
+
+func BenchmarkObsMergeSmallUntraced(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[0], false) }
+func BenchmarkObsMergeMediumUntraced(b *testing.B) { benchObsMerge(b, obsBenchSizes()[1], false) }
+func BenchmarkObsMergeLargeUntraced(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[2], false) }
+
+// benchStageEntry is one per-stage row of the artifact, folded from the
+// obs span totals of a traced run.
+type benchStageEntry struct {
+	Stage      string `json:"stage"`
+	Count      int64  `json:"count"`
+	TotalNS    int64  `json:"total_ns"`
+	AllocBytes int64  `json:"alloc_bytes"`
+}
+
+type benchDesignEntry struct {
+	Design           string            `json:"design"`
+	Cells            int               `json:"cells"`
+	Modes            int               `json:"modes"`
+	NsPerOp          int64             `json:"ns_per_op"`
+	AllocsPerOp      int64             `json:"allocs_per_op"`
+	BytesPerOp       int64             `json:"bytes_per_op"`
+	UntracedNsPerOp  int64             `json:"untraced_ns_per_op"`
+	TraceOverheadPct float64           `json:"trace_overhead_pct"`
+	Stages           []benchStageEntry `json:"stages"`
+}
+
+type benchArtifact struct {
+	GeneratedUnix int64              `json:"generated_unix"`
+	GoVersion     string             `json:"go_version"`
+	NumCPU        int                `json:"num_cpu"`
+	Designs       []benchDesignEntry `json:"designs"`
+}
+
+// TestWriteBenchArtifact runs the three-size merge benchmark and writes
+// BENCH_modemerge.json (or whatever MODEMERGE_BENCH_JSON names). Skipped
+// unless the env var is set, so plain `go test ./...` stays fast.
+func TestWriteBenchArtifact(t *testing.T) {
+	path := os.Getenv("MODEMERGE_BENCH_JSON")
+	if path == "" {
+		t.Skip("MODEMERGE_BENCH_JSON not set; skipping bench artifact")
+	}
+	art := benchArtifact{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+	}
+	for _, s := range obsBenchSizes() {
+		g, modes := obsBenchFixture(t, s)
+		measure := func(traced bool) testing.BenchmarkResult {
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					obsMergeOnce(b, g, modes, traced)
+				}
+			})
+		}
+		tracedRes := measure(true)
+		plainRes := measure(false)
+
+		tr := obsMergeOnce(t, g, modes, true)
+		totals := tr.StageTotals()
+		stages := make([]benchStageEntry, 0, len(totals))
+		for name, st := range totals {
+			stages = append(stages, benchStageEntry{Stage: name, Count: st.Count,
+				TotalNS: st.TotalNS, AllocBytes: st.AllocBytes})
+		}
+		sort.Slice(stages, func(i, j int) bool { return stages[i].Stage < stages[j].Stage })
+
+		overhead := 0.0
+		if plain := plainRes.NsPerOp(); plain > 0 {
+			overhead = float64(tracedRes.NsPerOp()-plain) / float64(plain) * 100
+		}
+		art.Designs = append(art.Designs, benchDesignEntry{
+			Design:           s.Name,
+			Cells:            g.Design.Stats().Cells,
+			Modes:            len(modes),
+			NsPerOp:          tracedRes.NsPerOp(),
+			AllocsPerOp:      tracedRes.AllocsPerOp(),
+			BytesPerOp:       tracedRes.AllocedBytesPerOp(),
+			UntracedNsPerOp:  plainRes.NsPerOp(),
+			TraceOverheadPct: overhead,
+			Stages:           stages,
+		})
+		t.Logf("%s: %d ns/op traced, %d ns/op untraced, overhead %.2f%%",
+			s.Name, tracedRes.NsPerOp(), plainRes.NsPerOp(), overhead)
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

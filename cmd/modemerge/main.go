@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,6 +36,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker count (0 = all cores)")
 		validate  = flag.Bool("validate", true, "run the equivalence check on each merged mode")
 		quiet     = flag.Bool("q", false, "suppress progress output")
+		explain   = flag.Bool("explain", false, "print an explain report per merged mode and write <name>.explain.{txt,json} beside the SDC output")
 		timeout   = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit); exits with code 3 on deadline")
 	)
 	flag.Parse()
@@ -48,7 +50,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *verilog, *top, *libFile, *outDir, *tolerance, *workers, *validate, *quiet, flag.Args()); err != nil {
+	if err := run(ctx, *verilog, *top, *libFile, *outDir, *tolerance, *workers, *validate, *quiet, *explain, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "modemerge:", err)
 		if errors.Is(err, context.DeadlineExceeded) {
 			os.Exit(3)
@@ -57,7 +59,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, verilog, top, libFile, outDir string, tolerance float64, workers int, validate, quiet bool, sdcFiles []string) error {
+func run(ctx context.Context, verilog, top, libFile, outDir string, tolerance float64, workers int, validate, quiet, explain bool, sdcFiles []string) error {
 	lib := library.Default()
 	if libFile != "" {
 		data, err := os.ReadFile(libFile)
@@ -137,6 +139,22 @@ func run(ctx context.Context, verilog, top, libFile, outDir string, tolerance fl
 				rep.AddedFalsePaths+rep.LaunchBlocks, rep.ClockStops)
 			for _, w := range rep.Warnings {
 				fmt.Fprintln(os.Stderr, "  warning:", w)
+			}
+		}
+		if explain {
+			exp := rep.Explain(m.Name)
+			text := exp.Text()
+			fmt.Print(text)
+			base := filepath.Join(outDir, sanitize(m.Name))
+			if err := os.WriteFile(base+".explain.txt", []byte(text), 0o644); err != nil {
+				return err
+			}
+			data, err := json.MarshalIndent(exp, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(base+".explain.json", append(data, '\n'), 0o644); err != nil {
+				return err
 			}
 		}
 	}

@@ -3,6 +3,9 @@
 // and fetch merged SDC from /v1/jobs/{id}/result. Jobs run on a bounded
 // worker pool with content-addressed caching of parsed designs and
 // finished results; SIGINT/SIGTERM drains in-flight jobs before exit.
+// Observability: GET /metrics serves Prometheus text, every job exposes
+// its span tree at /v1/jobs/{id}/trace, and -debug-addr starts a separate
+// listener with net/http/pprof profiles.
 package main
 
 import (
@@ -10,8 +13,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,6 +27,9 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
+		debugAddr   = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty = disabled)")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		workers     = flag.Int("workers", 0, "merge worker pool size (0 = all cores)")
 		queueDepth  = flag.Int("queue", 64, "maximum queued jobs before submissions are rejected")
 		jobTimeout  = flag.Duration("job-timeout", 2*time.Minute, "default per-job execution deadline")
@@ -33,6 +40,13 @@ func main() {
 	)
 	flag.Parse()
 
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modemerged:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
 	srv := service.New(service.Config{
 		Workers:           *workers,
 		QueueDepth:        *queueDepth,
@@ -40,6 +54,7 @@ func main() {
 		MaxJobTimeout:     *maxTimeout,
 		DesignCacheSize:   *designCache,
 		ResultCacheSize:   *resultCache,
+		Logger:            logger,
 	})
 
 	httpSrv := &http.Server{
@@ -53,30 +68,90 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("modemerged listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           pprofHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server failed", "error", err)
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
-		log.Fatalf("modemerged: %v", err)
+		logger.Error("server failed", "error", err)
+		os.Exit(1)
 	case <-sigCtx.Done():
 	}
 
 	// Graceful drain: stop accepting connections, then give queued and
 	// running jobs the grace period before canceling them.
-	log.Printf("modemerged: shutting down (grace %s)", *drainGrace)
+	logger.Info("shutting down", "grace", drainGrace.String())
 	graceCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 	defer cancel()
 	if err := httpSrv.Shutdown(graceCtx); err != nil {
-		log.Printf("modemerged: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(graceCtx); err != nil {
+			logger.Warn("pprof shutdown", "error", err)
+		}
 	}
 	if err := srv.Shutdown(graceCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "modemerged: drain incomplete:", err)
+		logger.Error("drain incomplete", "error", err)
 		if errors.Is(err, context.DeadlineExceeded) {
 			os.Exit(3)
 		}
 		os.Exit(1)
 	}
-	log.Printf("modemerged: drained cleanly")
+	logger.Info("drained cleanly")
+}
+
+// buildLogger constructs the process logger from the -log-format and
+// -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q", format)
+	}
+}
+
+// pprofHandler builds the pprof mux explicitly so the profiles live only
+// on the debug listener, never on the public API address.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -17,6 +17,7 @@ import (
 
 	"modemerge/internal/graph"
 	"modemerge/internal/netlist"
+	"modemerge/internal/obs"
 	"modemerge/internal/sdc"
 	"modemerge/internal/sta"
 )
@@ -40,6 +41,11 @@ type Options struct {
 	// Hooks must be cheap and safe for serial calls from the merging
 	// goroutine.
 	StageHook func(stage string, d time.Duration)
+	// Trace, when set, is the parent span under which the flow records
+	// one child span per stage (and sub-stage) with wall time, heap
+	// allocation delta and domain counters. Nil disables tracing at
+	// near-zero cost.
+	Trace *obs.Span
 	// Inject deliberately breaks parts of the flow. Production callers
 	// leave it zero; the differential fuzzing harness (internal/difftest)
 	// uses it to prove its oracles catch real merge bugs.
@@ -108,10 +114,24 @@ type Report struct {
 	PessimisticGroups int // merged tighter than needed (sign-off safe)
 	ResidualMismatch  int // should be zero
 	Warnings          []string
+	// Provenance explains, one record per constraint decision, why the
+	// merged mode contains (or lacks) each inserted, dropped, renamed or
+	// uniquified constraint — the raw material of the explain report.
+	Provenance []obs.Provenance
 }
 
 func (r *Report) warnf(format string, args ...any) {
 	r.Warnings = append(r.Warnings, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) prov(p obs.Provenance) {
+	r.Provenance = append(r.Provenance, p)
+}
+
+// Explain packages the report's provenance as an explain report for the
+// named merged mode.
+func (r *Report) Explain(merged string) *obs.Explain {
+	return &obs.Explain{Merged: merged, Records: r.Provenance}
 }
 
 // clockMap tracks the mapping between individual-mode clocks and merged
@@ -168,6 +188,10 @@ type Merger struct {
 	ctxs   []*sta.Context // per individual mode
 	mctx   *sta.Context   // merged (rebuilt after constraint additions)
 
+	// span is the parent for this merge's stage spans (opt.Trace; nil
+	// disables tracing).
+	span *obs.Span
+
 	Report *Report
 }
 
@@ -202,51 +226,84 @@ func newMergerWithGraph(cx context.Context, g *graph.Graph, modes []*sdc.Mode, o
 		opt:    opt,
 		merged: &sdc.Mode{Name: name},
 		cmap:   newClockMap(len(modes)),
+		span:   opt.Trace,
 		Report: &Report{},
 	}
+	sp := mg.span.Child("build_contexts")
+	sp.Add("modes", int64(len(modes)))
 	for _, m := range modes {
 		if err := cx.Err(); err != nil {
 			return nil, err
 		}
-		ctx, err := sta.NewContext(g, m, opt.STA)
+		ctx, err := sta.NewContext(g, m, mg.staOptions())
 		if err != nil {
 			return nil, fmt.Errorf("mode %s: %w", m.Name, err)
 		}
 		mg.ctxs = append(mg.ctxs, ctx)
 	}
+	sp.Finish()
 	return mg, nil
+}
+
+// staOptions wires the merge's trace parent into the analysis contexts so
+// the heavy sta loops report their own spans.
+func (mg *Merger) staOptions() sta.Options {
+	o := mg.opt.STA
+	o.Span = mg.span
+	return o
 }
 
 // Merge runs the full flow and returns the merged mode. Cancelling cx
 // aborts promptly between stages and inside the parallel refinement
 // loops, returning the context error.
 func (mg *Merger) Merge(cx context.Context) (*sdc.Mode, error) {
+	sp := mg.span.Child("prelim")
 	done := mg.opt.stage("prelim")
-	if err := mg.preliminary(); err != nil {
+	if err := mg.preliminary(sp); err != nil {
+		sp.Finish()
 		return nil, err
 	}
 	if err := mg.rebuildMerged(); err != nil {
+		sp.Finish()
 		return nil, err
 	}
+	sp.Add("clocks_merged", int64(mg.Report.MergedClocks))
+	sp.Add("clocks_renamed", int64(mg.Report.RenamedClocks))
+	sp.Add("cases_dropped", int64(mg.Report.DroppedCases))
+	sp.Add("cases_translated", int64(mg.Report.TranslatedCases))
+	sp.Add("exceptions_dropped", int64(mg.Report.DroppedExceptions))
+	sp.Add("exceptions_uniquified", int64(mg.Report.UniquifiedExceptions))
+	sp.Add("exclusive_pairs", int64(mg.Report.ExclusivePairs))
+	sp.Finish()
 	done()
 	if err := cx.Err(); err != nil {
 		return nil, err
 	}
 	if !mg.opt.Inject.SkipClockRefinement {
+		sp = mg.span.Child("clock_refine")
 		done = mg.opt.stage("clock_refine")
 		if err := mg.clockRefinement(); err != nil {
+			sp.Finish()
 			return nil, err
 		}
+		sp.Add("sense_stops", int64(mg.Report.ClockStops))
+		sp.Finish()
 		done()
 	}
 	if err := cx.Err(); err != nil {
 		return nil, err
 	}
 	if !mg.opt.Inject.SkipDataRefinement {
+		sp = mg.span.Child("data_refine")
 		done = mg.opt.stage("data_refine")
-		if err := mg.dataRefinement(cx); err != nil {
+		if err := mg.dataRefinement(cx, sp); err != nil {
+			sp.Finish()
 			return nil, err
 		}
+		sp.Add("launch_blocks", int64(mg.Report.LaunchBlocks))
+		sp.Add("false_paths_added", int64(mg.Report.AddedFalsePaths))
+		sp.Add("iterations", int64(mg.Report.Iterations))
+		sp.Finish()
 		done()
 	}
 	return mg.merged, nil
@@ -258,7 +315,9 @@ func (mg *Merger) Merged() *sdc.Mode { return mg.merged }
 // rebuildMerged re-resolves the merged mode against the graph after
 // constraints were added.
 func (mg *Merger) rebuildMerged() error {
-	ctx, err := sta.NewContext(mg.g, mg.merged, mg.opt.STA)
+	sp := mg.span.Child("rebuild_merged")
+	defer sp.Finish()
+	ctx, err := sta.NewContext(mg.g, mg.merged, mg.staOptions())
 	if err != nil {
 		return fmt.Errorf("merged mode %s: %w", mg.merged.Name, err)
 	}

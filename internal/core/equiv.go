@@ -69,6 +69,14 @@ func moreRelaxed(merged, target relation.State) bool {
 // merger's current merged context.
 func (mg *Merger) checkEquivalence(cx context.Context) (*EquivalenceResult, error) {
 	res := &EquivalenceResult{}
+	esp := mg.span.Child("equivalence")
+	defer func() {
+		esp.Add("matched", int64(res.MatchedGroups))
+		esp.Add("pessimistic", int64(res.PessimisticGroups))
+		esp.Add("optimistic", int64(len(res.OptimisticMismatches)))
+		esp.Add("unresolved", int64(len(res.Unresolved)))
+		esp.Finish()
+	}()
 
 	describe := func(k sta.RelKey, target, merged relation.Set) string {
 		return fmt.Sprintf("%s -> %s [%s/%s %s]: individual=%s merged=%s",
@@ -100,8 +108,10 @@ func (mg *Merger) checkEquivalence(cx context.Context) (*EquivalenceResult, erro
 	}
 
 	// Pass 1.
+	p1 := esp.Child("equiv_pass1")
 	perMode, mergedRels := mg.endpointAll(cx)
 	if err := cx.Err(); err != nil {
+		p1.Finish()
 		return nil, err
 	}
 	groups := mg.gatherGroups(perMode, mergedRels)
@@ -111,8 +121,11 @@ func (mg *Merger) checkEquivalence(cx context.Context) (*EquivalenceResult, erro
 			pass2[k.End] = true
 		}
 	}
+	p1.Add("path_groups", int64(len(groups)))
+	p1.Finish()
 
 	// Pass 2 (relations per endpoint computed in parallel).
+	p2 := esp.Child("equiv_pass2")
 	var ends []string
 	for e := range pass2 {
 		ends = append(ends, e)
@@ -140,9 +153,11 @@ func (mg *Merger) checkEquivalence(cx context.Context) (*EquivalenceResult, erro
 		seGroupsPerEnd[i] = mg.gatherGroups(perModeSE, mg.mctx.StartEndRelations(endID))
 	})
 	if firstErr != nil {
+		p2.Finish()
 		return nil, firstErr
 	}
 	if err := cx.Err(); err != nil {
+		p2.Finish()
 		return nil, err
 	}
 	for _, seGroups := range seGroupsPerEnd {
@@ -152,8 +167,12 @@ func (mg *Merger) checkEquivalence(cx context.Context) (*EquivalenceResult, erro
 			}
 		}
 	}
+	p2.Add("endpoints", int64(len(ends)))
+	p2.Finish()
 
 	// Pass 3.
+	p3 := esp.Child("equiv_pass3")
+	defer p3.Finish()
 	var pairs []sePair
 	for p := range pass3 {
 		pairs = append(pairs, p)
@@ -164,6 +183,7 @@ func (mg *Merger) checkEquivalence(cx context.Context) (*EquivalenceResult, erro
 		}
 		return pairs[i].end < pairs[j].end
 	})
+	p3.Add("pairs", int64(len(pairs)))
 	for _, p := range pairs {
 		if err := cx.Err(); err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"modemerge/internal/obs"
 	"modemerge/internal/sdc"
 )
 
@@ -55,8 +56,16 @@ func (mg *Merger) mergeExceptions() error {
 	}
 	for _, key := range order {
 		info := byKey[key]
+		carriers := mg.modeNames(info.inModes)
 		if len(info.inModes) == len(mg.modes) {
 			mg.merged.Exceptions = append(mg.merged.Exceptions, info.mapped)
+			mg.Report.prov(obs.Provenance{
+				Stage:      "prelim/exception_merge",
+				Rule:       "§3.1.9 exception intersection",
+				Action:     obs.ActionKeep,
+				Constraint: sdc.WriteException(info.mapped),
+				Detail:     "present in every merged mode",
+			})
 			continue
 		}
 		if mg.opt.Inject.KeepSubsetExceptions {
@@ -68,6 +77,15 @@ func (mg *Merger) mergeExceptions() error {
 		if uniq := mg.uniquify(info.mapped, info.inModes); uniq != nil {
 			mg.merged.Exceptions = append(mg.merged.Exceptions, uniq)
 			mg.Report.UniquifiedExceptions++
+			mg.Report.prov(obs.Provenance{
+				Stage:      "prelim/exception_merge",
+				Rule:       "§3.1.10 exception uniquification",
+				Action:     obs.ActionUniquify,
+				Constraint: sdc.WriteException(uniq),
+				Clocks:     append([]string(nil), uniq.From.Clocks...),
+				Modes:      carriers,
+				Detail:     "restricted to launch clocks that exist only in the carrying modes",
+			})
 			continue
 		}
 		switch info.mapped.Kind {
@@ -79,6 +97,14 @@ func (mg *Merger) mergeExceptions() error {
 			mg.Report.warnf("%s (line %d) exists only in a subset of modes and cannot be uniquified; "+
 				"keeping it applies the bound to all modes' paths (pessimistic)",
 				info.mapped.Kind, info.mapped.Line)
+			mg.Report.prov(obs.Provenance{
+				Stage:      "prelim/exception_merge",
+				Rule:       "§3.1.10 exception uniquification",
+				Action:     obs.ActionKeep,
+				Constraint: sdc.WriteException(info.mapped),
+				Modes:      carriers,
+				Detail:     "delay bound not uniquifiable; kept for all modes' paths (pessimistic, sign-off safe)",
+			})
 		case sdc.MulticyclePath:
 			// Dropping a relaxation is pessimistic but safe; the
 			// refinement passes cannot restore it precisely.
@@ -86,9 +112,25 @@ func (mg *Merger) mergeExceptions() error {
 			mg.Report.warnf("%s (line %d) exists only in a subset of modes and cannot be uniquified; "+
 				"dropping it makes the merged mode pessimistic for its paths",
 				info.mapped.Kind, info.mapped.Line)
+			mg.Report.prov(obs.Provenance{
+				Stage:      "prelim/exception_merge",
+				Rule:       "§3.1.10 exception uniquification",
+				Action:     obs.ActionDrop,
+				Constraint: sdc.WriteException(info.mapped),
+				Modes:      carriers,
+				Detail:     "relaxation not uniquifiable; dropped (pessimistic, sign-off safe)",
+			})
 		default:
 			// False paths are recovered exactly by the refinement passes.
 			mg.Report.DroppedExceptions++
+			mg.Report.prov(obs.Provenance{
+				Stage:      "prelim/exception_merge",
+				Rule:       "§3.1.9 exception intersection",
+				Action:     obs.ActionDrop,
+				Constraint: sdc.WriteException(info.mapped),
+				Modes:      carriers,
+				Detail:     "subset-only false path; data refinement recovers the behaviour exactly",
+			})
 		}
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"modemerge/internal/graph"
 	"modemerge/internal/sdc"
@@ -229,12 +230,18 @@ func (mb *Mergeability) GroupNames(cliques [][]int) [][]string {
 // pass the original mode through untouched). Cancelling cx aborts between
 // cliques and inside each merge with the context error.
 func MergeAll(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options) ([]*sdc.Mode, []*Report, *Mergeability, error) {
+	sp := opt.Trace.Child("mergeability")
 	done := opt.stage("mergeability")
 	mb, err := AnalyzeMergeability(g, modes, opt)
 	if err != nil {
+		sp.Finish()
 		return nil, nil, nil, err
 	}
 	cliques := mb.Cliques()
+	sp.Add("modes", int64(len(modes)))
+	sp.Add("cliques", int64(len(cliques)))
+	sp.Add("conflicts", int64(len(mb.Conflicts)))
+	sp.Finish()
 	done()
 	var out []*sdc.Mode
 	var reports []*Report
@@ -251,13 +258,18 @@ func MergeAll(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options
 		for i, m := range clique {
 			group[i] = modes[m]
 		}
-		mg, err := newMergerWithGraph(cx, g, group, opt)
+		names := mb.GroupNames([][]int{clique})[0]
+		copt := opt
+		copt.Trace = opt.Trace.Child("merge:" + strings.Join(names, "+"))
+		mg, err := newMergerWithGraph(cx, g, group, copt)
 		if err != nil {
+			copt.Trace.Finish()
 			return nil, nil, mb, err
 		}
 		merged, err := mg.Merge(cx)
+		copt.Trace.Finish()
 		if err != nil {
-			return nil, nil, mb, fmt.Errorf("merging %v: %w", mb.GroupNames([][]int{clique})[0], err)
+			return nil, nil, mb, fmt.Errorf("merging %v: %w", names, err)
 		}
 		out = append(out, merged)
 		reports = append(reports, mg.Report)

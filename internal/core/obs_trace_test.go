@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"modemerge/internal/gen"
+	"modemerge/internal/graph"
+	"modemerge/internal/obs"
+	"modemerge/internal/sdc"
+	"modemerge/internal/sta"
+)
+
+var updateExplainGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// genFamily generates a synthetic design plus a parsed mode family.
+func genFamily(t *testing.T, dspec gen.DesignSpec, fspec gen.FamilySpec) (*graph.Graph, []*sdc.Mode) {
+	t.Helper()
+	gd, err := gen.Generate(dspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(gd.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modes []*sdc.Mode
+	for _, m := range gd.Modes(fspec) {
+		mode, _, err := sdc.Parse(m.Name, m.Text, g.Design)
+		if err != nil {
+			t.Fatalf("mode %s: %v", m.Name, err)
+		}
+		modes = append(modes, mode)
+	}
+	return g, modes
+}
+
+func walkSpans(vs []*obs.SpanView, fn func(*obs.SpanView)) {
+	for _, v := range vs {
+		fn(v)
+		walkSpans(v.Children, fn)
+	}
+}
+
+// TestTraceWellFormedParallelMergeAll hammers the span API from MergeAll
+// over a multi-clique family with a parallel STA worker pool (run under
+// -race in CI) and asserts the recorded trace is a single well-formed
+// tree covering every merge stage of every clique.
+func TestTraceWellFormedParallelMergeAll(t *testing.T) {
+	g, modes := genFamily(t,
+		gen.DesignSpec{Name: "trace", Seed: 21, Domains: 2, BlocksPerDomain: 2,
+			Stages: 2, RegsPerStage: 2, CloudDepth: 1, CrossPaths: 2, IOPairs: 2},
+		gen.FamilySpec{Groups: 2, ModesPerGroup: []int{3, 2}, BasePeriod: 2})
+
+	tr := obs.NewTracer()
+	root := tr.Start("merge_all")
+	opt := Options{Trace: root, STA: sta.Options{Workers: 4}}
+	merged, _, mb, err := MergeAll(context.Background(), g, modes, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.Finish()
+	if len(merged) != 2 {
+		t.Fatalf("merged %d modes, want 2 cliques", len(merged))
+	}
+
+	tree := tr.Tree()
+	if len(tree) != 1 || tree[0].Name != "merge_all" {
+		t.Fatalf("trace roots = %d, want single merge_all root", len(tree))
+	}
+	if err := obs.CheckWellFormed(tree); err != nil {
+		t.Fatalf("trace not well-formed: %v", err)
+	}
+
+	counts := map[string]int{}
+	walkSpans(tree, func(v *obs.SpanView) {
+		name := v.Name
+		if strings.HasPrefix(name, "merge:") {
+			name = "merge:"
+		}
+		counts[name]++
+	})
+	if counts["mergeability"] != 1 {
+		t.Errorf("mergeability spans = %d, want 1", counts["mergeability"])
+	}
+	if counts["merge:"] != len(mb.Cliques()) {
+		t.Errorf("merge:* spans = %d, want %d (one per clique)", counts["merge:"], len(mb.Cliques()))
+	}
+	for _, stage := range []string{"build_contexts", "prelim", "clock_refine", "data_refine"} {
+		if counts[stage] != 2 {
+			t.Errorf("%s spans = %d, want 2 (one per clique)", stage, counts[stage])
+		}
+	}
+	// The merged mode is rebuilt once per data-refinement iteration, so at
+	// least once per clique.
+	if counts["rebuild_merged"] < 2 {
+		t.Errorf("rebuild_merged spans = %d, want >= 2", counts["rebuild_merged"])
+	}
+
+	totals := tr.StageTotals()
+	for _, stage := range []string{"prelim", "data_refine"} {
+		st, ok := totals[stage]
+		if !ok || st.Count != 2 {
+			t.Errorf("StageTotals[%s] = %+v, want count 2", stage, st)
+		}
+	}
+}
+
+// stripComment cuts the trailing -comment argument so rendered exceptions
+// compare on their timing content.
+func stripComment(s string) string {
+	if i := strings.Index(s, " -comment "); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// TestProvenanceCoversRefinementInserts merges a multi-domain family and
+// asserts the explain report carries an insert record for every
+// refinement-inserted constraint of the merged mode: each inferred false
+// path and each set_clock_sense stop.
+func TestProvenanceCoversRefinementInserts(t *testing.T) {
+	g, modes := genFamily(t,
+		gen.DesignSpec{Name: "prov", Seed: 7, Domains: 2, BlocksPerDomain: 2,
+			Stages: 3, RegsPerStage: 4, CloudDepth: 3, CrossPaths: 2},
+		gen.FamilySpec{Groups: 1, ModesPerGroup: []int{3}, BasePeriod: 2})
+
+	merged, reports, _, err := MergeAll(context.Background(), g, modes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 1 {
+		t.Fatalf("merged %d modes, want 1", len(merged))
+	}
+	rep := reports[0]
+	if rep.AddedFalsePaths+rep.LaunchBlocks == 0 || rep.ClockStops == 0 {
+		t.Fatalf("design exercises no refinement (FPs=%d stops=%d); pick a different spec",
+			rep.AddedFalsePaths+rep.LaunchBlocks, rep.ClockStops)
+	}
+
+	inserted := map[string]bool{}
+	for _, r := range rep.Provenance {
+		if r.Action == obs.ActionInsert {
+			inserted[stripComment(r.Constraint)] = true
+		}
+	}
+	for _, e := range merged[0].Exceptions {
+		if !strings.Contains(e.Comment, "inferred by") {
+			continue
+		}
+		key := stripComment(sdc.WriteException(e))
+		if !inserted[key] {
+			t.Errorf("inserted exception has no provenance record: %s", key)
+		}
+	}
+
+	stops := 0
+	for _, r := range rep.Provenance {
+		if r.Stage == "clock_refine" && r.Action == obs.ActionInsert {
+			stops++
+		}
+	}
+	if stops != rep.ClockStops {
+		t.Errorf("clock_refine insert records = %d, want %d (one per stop)", stops, rep.ClockStops)
+	}
+}
+
+// TestExplainTextGolden locks the text explain report for one fixed gen
+// seed. The report must be deterministic: record order may not depend on
+// map iteration or worker scheduling. Regenerate deliberately with
+//
+//	go test ./internal/core -run ExplainTextGolden -update
+func TestExplainTextGolden(t *testing.T) {
+	run := func() string {
+		g, modes := genFamily(t,
+			gen.DesignSpec{Name: "exg", Seed: 4242, Domains: 2, BlocksPerDomain: 1,
+				Stages: 2, RegsPerStage: 2, CloudDepth: 1, CrossPaths: 1},
+			gen.FamilySpec{Groups: 1, ModesPerGroup: []int{3}, BasePeriod: 2})
+		merged, reports, _, err := MergeAll(context.Background(), g, modes, Options{STA: sta.Options{Workers: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(merged) != 1 {
+			t.Fatalf("merged %d modes, want 1", len(merged))
+		}
+		return reports[0].Explain(merged[0].Name).Text()
+	}
+
+	got := run()
+	if again := run(); again != got {
+		t.Fatal("explain text is not deterministic across runs")
+	}
+
+	path := filepath.Join("testdata", "explain_golden.txt")
+	if *updateExplainGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("explain text differs from %s (run with -update after a deliberate change)\ngot:\n%s", path, got)
+	}
+}

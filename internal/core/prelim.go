@@ -6,22 +6,38 @@ import (
 	"sort"
 
 	"modemerge/internal/library"
+	"modemerge/internal/obs"
 	"modemerge/internal/sdc"
 )
 
-// preliminary runs §3.1: the preliminary mode merging steps.
-func (mg *Merger) preliminary() error {
-	mg.unionClocks()                             // §3.1.1
-	mg.mergeClockConstraints()                   // §3.1.2
-	mg.unionIODelays()                           // §3.1.3
-	mg.intersectCases()                          // §3.1.4
-	mg.intersectDisables()                       // §3.1.5
-	mg.mergeDriveLoad()                          // §3.1.6
-	mg.inferClockExclusivity()                   // §3.1.7
-	if err := mg.mergeExceptions(); err != nil { // §3.1.9 + §3.1.10
-		return err
+// preliminary runs §3.1: the preliminary mode merging steps, each under
+// its own child span of sp.
+func (mg *Merger) preliminary(sp *obs.Span) error {
+	step := func(name string, fn func()) {
+		c := sp.Child(name)
+		fn()
+		c.Finish()
 	}
-	return nil
+	step("clock_union", mg.unionClocks)                   // §3.1.1
+	step("clock_constraints", mg.mergeClockConstraints)   // §3.1.2
+	step("io_delays", mg.unionIODelays)                   // §3.1.3
+	step("case_intersect", mg.intersectCases)             // §3.1.4
+	step("disable_intersect", mg.intersectDisables)       // §3.1.5
+	step("drive_load", mg.mergeDriveLoad)                 // §3.1.6
+	step("clock_exclusivity", mg.inferClockExclusivity)   // §3.1.7
+	c := sp.Child("exception_merge")                      // §3.1.9 + §3.1.10
+	err := mg.mergeExceptions()
+	c.Finish()
+	return err
+}
+
+// modeNames maps mode indices to names.
+func (mg *Merger) modeNames(idx []int) []string {
+	out := make([]string, len(idx))
+	for i, m := range idx {
+		out[i] = mg.modes[m].Name
+	}
+	return out
 }
 
 // clockUnionKey identifies duplicate clocks across modes: same sources and
@@ -56,6 +72,15 @@ func (mg *Merger) unionClocks() {
 			}
 			if name != c.Name {
 				mg.Report.RenamedClocks++
+				mg.Report.prov(obs.Provenance{
+					Stage:      "prelim/clock_union",
+					Rule:       "§3.1.1 clock union",
+					Action:     obs.ActionRename,
+					Constraint: fmt.Sprintf("create_clock %s -> %s", c.Name, name),
+					Clocks:     []string{name},
+					Modes:      []string{mode.Name},
+					Detail:     "name collides with a non-duplicate clock of an earlier mode",
+				})
 			}
 			taken[name] = true
 			byKey[key] = name
@@ -303,6 +328,14 @@ func (mg *Merger) intersectCases() {
 	}
 	byObj := map[string]*caseInfo{}
 	var order []string
+	modesOf := func(info *caseInfo) []string {
+		var idx []int
+		for m := range info.values {
+			idx = append(idx, m)
+		}
+		sort.Ints(idx)
+		return mg.modeNames(idx)
+	}
 	for m, mode := range mg.modes {
 		for _, ca := range mode.Cases {
 			for _, obj := range ca.Objects {
@@ -350,9 +383,27 @@ func (mg *Merger) intersectCases() {
 				Comment:  "inferred: case-analysis values conflict across merged modes",
 			})
 			mg.Report.TranslatedCases++
+			mg.Report.prov(obs.Provenance{
+				Stage:      "prelim/case_intersect",
+				Rule:       "§3.1.4 case-analysis intersection",
+				Action:     obs.ActionTranslate,
+				Constraint: "set_case_analysis -> set_disable_timing " + info.obj.String(),
+				Pins:       []string{info.obj.String()},
+				Modes:      modesOf(info),
+				Detail:     "cased in every mode with conflicting values; object never toggles",
+			})
 			continue
 		}
 		mg.Report.DroppedCases++
+		mg.Report.prov(obs.Provenance{
+			Stage:      "prelim/case_intersect",
+			Rule:       "§3.1.4 case-analysis intersection",
+			Action:     obs.ActionDrop,
+			Constraint: "set_case_analysis " + info.obj.String(),
+			Pins:       []string{info.obj.String()},
+			Modes:      modesOf(info),
+			Detail:     "not cased consistently in every mode; refinement restores precision",
+		})
 	}
 }
 
@@ -389,7 +440,16 @@ func (mg *Merger) intersectDisables() {
 			d := *first[key]
 			d.Objects = append([]sdc.ObjRef(nil), first[key].Objects...)
 			mg.merged.Disables = append(mg.merged.Disables, &d)
+			continue
 		}
+		mg.Report.prov(obs.Provenance{
+			Stage:      "prelim/disable_intersect",
+			Rule:       "§3.1.5 disable intersection",
+			Action:     obs.ActionDrop,
+			Constraint: "set_disable_timing " + key,
+			Detail: fmt.Sprintf("present in %d of %d modes; only disables common to all modes survive",
+				counts[key], len(mg.modes)),
+		})
 	}
 }
 

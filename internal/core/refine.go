@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"modemerge/internal/graph"
+	"modemerge/internal/obs"
 	"modemerge/internal/relation"
 	"modemerge/internal/sdc"
 	"modemerge/internal/sta"
@@ -144,6 +145,19 @@ func (mg *Merger) clockRefinement() error {
 			Comment:         "inferred by clock refinement",
 		})
 		mg.Report.ClockStops += len(pins)
+		pinNames := make([]string, len(pins))
+		for i, p := range pins {
+			pinNames[i] = p.Name
+		}
+		mg.Report.prov(obs.Provenance{
+			Stage:      "clock_refine",
+			Rule:       "§3.1.8 clock refinement",
+			Action:     obs.ActionInsert,
+			Constraint: "set_clock_sense -stop_propagation",
+			Clocks:     []string{f.Clock},
+			Pins:       pinNames,
+			Detail:     "no individual mode propagates the clock past these pins",
+		})
 	}
 	if len(frontiers) > 0 {
 		return mg.rebuildMerged()
@@ -156,8 +170,12 @@ func (mg *Merger) clockRefinement() error {
 // 3-pass timing-relationship comparison, adding corrective false paths
 // until the merged mode matches the per-path most-restrictive individual
 // behaviour.
-func (mg *Merger) dataRefinement(cx context.Context) error {
-	if err := mg.blockExtraLaunchClocks(); err != nil {
+func (mg *Merger) dataRefinement(cx context.Context, sp *obs.Span) error {
+	bsp := sp.Child("launch_blocking")
+	err := mg.blockExtraLaunchClocks()
+	bsp.Add("launch_blocks", int64(mg.Report.LaunchBlocks))
+	bsp.Finish()
+	if err != nil {
 		return err
 	}
 	for iter := 0; iter < mg.opt.MaxRefineIterations; iter++ {
@@ -165,7 +183,10 @@ func (mg *Merger) dataRefinement(cx context.Context) error {
 			return err
 		}
 		mg.Report.Iterations = iter + 1
-		added, err := mg.threePass(cx)
+		isp := sp.Child(fmt.Sprintf("iteration_%d", iter+1))
+		added, err := mg.threePass(cx, isp)
+		isp.Add("constraints_added", int64(added))
+		isp.Finish()
 		if err != nil {
 			return err
 		}
@@ -213,17 +234,21 @@ func (mg *Merger) blockExtraLaunchClocks() error {
 	for _, f := range frontiers {
 		if len(f.Nodes) > 0 {
 			through := &sdc.PointList{Pins: mg.nodeRefs(f.Nodes)}
-			mg.merged.Exceptions = append(mg.merged.Exceptions, &sdc.Exception{
+			e := &sdc.Exception{
 				Kind:     sdc.FalsePath,
 				From:     &sdc.PointList{Clocks: []string{f.Clock}},
 				Throughs: []*sdc.PointList{through},
 				To:       &sdc.PointList{},
 				Comment:  "inferred by data refinement (unjustified launch clock)",
-			})
+			}
+			mg.merged.Exceptions = append(mg.merged.Exceptions, e)
 			mg.Report.LaunchBlocks += len(f.Nodes)
+			mg.provException("data_refine/launch_blocking",
+				"§3.2 launch clock blocking", e, f.Clock,
+				"no individual mode launches this clock at these pins")
 		}
 		for _, pair := range f.Arcs {
-			mg.merged.Exceptions = append(mg.merged.Exceptions, &sdc.Exception{
+			e := &sdc.Exception{
 				Kind: sdc.FalsePath,
 				From: &sdc.PointList{Clocks: []string{f.Clock}},
 				Throughs: []*sdc.PointList{
@@ -232,14 +257,34 @@ func (mg *Merger) blockExtraLaunchClocks() error {
 				},
 				To:      &sdc.PointList{},
 				Comment: "inferred by data refinement (unjustified launch flow)",
-			})
+			}
+			mg.merged.Exceptions = append(mg.merged.Exceptions, e)
 			mg.Report.LaunchBlocks++
+			mg.provException("data_refine/launch_blocking",
+				"§3.2 launch clock blocking", e, f.Clock,
+				"no individual mode drives this clock across the arc")
 		}
 	}
 	if len(frontiers) > 0 {
 		return mg.rebuildMerged()
 	}
 	return nil
+}
+
+// provException records provenance for one refinement-inserted exception,
+// rendering the exact SDC command it contributes to the merged mode.
+func (mg *Merger) provException(stage, rule string, e *sdc.Exception, clock, detail string) {
+	p := obs.Provenance{
+		Stage:      stage,
+		Rule:       rule,
+		Action:     obs.ActionInsert,
+		Constraint: sdc.WriteException(e),
+		Detail:     detail,
+	}
+	if clock != "" {
+		p.Clocks = []string{clock}
+	}
+	mg.Report.prov(p)
 }
 
 // nodeRefs converts graph nodes to pin/port references, sorted by name.
@@ -324,12 +369,14 @@ func (mg *Merger) gatherGroups(perMode []map[sta.RelKey]relation.Set, merged map
 // threePass runs passes 1–3 of §3.2 once, emitting corrective false
 // paths; it returns how many constraints were added. Cancelling cx
 // aborts between and inside the passes with the context error.
-func (mg *Merger) threePass(cx context.Context) (int, error) {
+func (mg *Merger) threePass(cx context.Context, sp *obs.Span) (int, error) {
 	added := 0
 
 	// ---- Pass 1: endpoint granularity ----
+	p1 := sp.Child("pass1")
 	perMode, mergedRels := mg.endpointAll(cx)
 	if err := cx.Err(); err != nil {
+		p1.Finish()
 		return 0, err
 	}
 	groups := mg.gatherGroups(perMode, mergedRels)
@@ -358,9 +405,13 @@ func (mg *Merger) threePass(cx context.Context) (int, error) {
 			pass2[key.End] = true
 		}
 	}
-	added += mg.emitFixes(p1Fixes, groups)
+	added += mg.emitFixes(p1Fixes, groups, "data_refine/pass1", "§3.2 pass-1 endpoint comparison")
+	p1.Add("path_groups", int64(len(groups)))
+	p1.Add("fixes", int64(len(p1Fixes)))
+	p1.Finish()
 
 	// ---- Pass 2: startpoint–endpoint granularity ----
+	p2 := sp.Child("pass2")
 	var pass2Ends []string
 	for end := range pass2 {
 		pass2Ends = append(pass2Ends, end)
@@ -393,9 +444,11 @@ func (mg *Merger) threePass(cx context.Context) (int, error) {
 		seGroupsPerEnd[i] = mg.gatherGroups(perModeSE, mg.mctx.StartEndRelations(endID))
 	})
 	if firstErr != nil {
+		p2.Finish()
 		return added, firstErr
 	}
 	if err := cx.Err(); err != nil {
+		p2.Finish()
 		return added, err
 	}
 	allSEGroups := map[sta.RelKey]*groupStates{}
@@ -424,9 +477,15 @@ func (mg *Merger) threePass(cx context.Context) (int, error) {
 			}
 		}
 	}
-	added += mg.emitFixes(p2Fixes, allSEGroups)
+	added += mg.emitFixes(p2Fixes, allSEGroups, "data_refine/pass2", "§3.2 pass-2 start-end comparison")
+	p2.Add("endpoints", int64(len(pass2Ends)))
+	p2.Add("path_groups", int64(len(allSEGroups)))
+	p2.Add("fixes", int64(len(p2Fixes)))
+	p2.Finish()
 
 	// ---- Pass 3: through-point granularity ----
+	p3 := sp.Child("pass3")
+	defer p3.Finish()
 	var pairs []sePair
 	for p := range pass3 {
 		pairs = append(pairs, p)
@@ -461,6 +520,7 @@ func (mg *Merger) threePass(cx context.Context) (int, error) {
 	if err := cx.Err(); err != nil {
 		return added, err
 	}
+	p3.Add("pairs", int64(len(pairs)))
 	for i, p := range pairs {
 		if data[i].err != nil {
 			return added, data[i].err
@@ -545,7 +605,7 @@ func fixException(state relation.State, check relation.CheckType) *sdc.Exception
 //   - Pass-1 entries (start "*") aggregate over endpoints only.
 //   - Corrective setup and hold twins collapse into one unrestricted
 //     exception (see addFalsePath).
-func (mg *Merger) emitFixes(fixes []fixEntry, groups map[sta.RelKey]*groupStates) int {
+func (mg *Merger) emitFixes(fixes []fixEntry, groups map[sta.RelKey]*groupStates, stage, rule string) int {
 	if len(fixes) == 0 {
 		return 0
 	}
@@ -597,7 +657,8 @@ func (mg *Merger) emitFixes(fixes []fixEntry, groups map[sta.RelKey]*groupStates
 				if gid.start != "*" && gid.start != "" {
 					e.From = &sdc.PointList{Pins: []sdc.ObjRef{mg.objRefFor(gid.start)}}
 				}
-				mg.addFalsePath(e)
+				mg.addFalsePath(e, stage, rule,
+					"every clock pair timed through this path group mismatches with a false target")
 				added++
 			}
 			continue
@@ -652,7 +713,8 @@ func (mg *Merger) emitFixes(fixes []fixEntry, groups map[sta.RelKey]*groupStates
 			refs = append(refs, mg.objRefFor(s))
 		}
 		e.Throughs = append(e.Throughs, &sdc.PointList{Pins: refs})
-		mg.addFalsePath(e)
+		mg.addFalsePath(e, stage, rule,
+			"merged mode relaxes the most restrictive individual-mode relation")
 		added++
 	}
 
@@ -753,8 +815,9 @@ func (mg *Merger) emitFixes(fixes []fixEntry, groups map[sta.RelKey]*groupStates
 }
 
 // addFalsePath appends an inferred false path, first merging it with an
-// existing setup/hold twin into a single both-sides exception.
-func (mg *Merger) addFalsePath(e *sdc.Exception) {
+// existing setup/hold twin into a single both-sides exception. Stage and
+// rule feed the provenance record for the inserted (or widened) exception.
+func (mg *Merger) addFalsePath(e *sdc.Exception, stage, rule, detail string) {
 	if e.SetupHold != sdc.MinMaxBoth {
 		twin := e.Clone()
 		if e.SetupHold == sdc.MaxOnly {
@@ -768,12 +831,14 @@ func (mg *Merger) addFalsePath(e *sdc.Exception) {
 				both := e.Clone()
 				both.SetupHold = sdc.MinMaxBoth
 				mg.merged.Exceptions[i] = both
+				mg.provException(stage, rule, both, "", detail+" (merged with setup/hold twin)")
 				return
 			}
 		}
 	}
 	mg.merged.Exceptions = append(mg.merged.Exceptions, e)
 	mg.Report.AddedFalsePaths++
+	mg.provException(stage, rule, e, "", detail)
 }
 
 // pass3 refines one ambiguous (start, end) pair at through-point
@@ -866,7 +931,23 @@ func (mg *Merger) pass3(startName, endName string, perModeTR [][]sta.ThroughRel,
 		for k := range ns.merged {
 			keys[k] = true
 		}
+		// Sorted key order keeps fix emission (and thus merged output and
+		// provenance records) deterministic across runs.
+		sortedKeys := make([]sta.RelKey, 0, len(keys))
 		for k := range keys {
+			sortedKeys = append(sortedKeys, k)
+		}
+		sort.Slice(sortedKeys, func(i, j int) bool {
+			a, b := sortedKeys[i], sortedKeys[j]
+			if a.Launch != b.Launch {
+				return a.Launch < b.Launch
+			}
+			if a.Capture != b.Capture {
+				return a.Capture < b.Capture
+			}
+			return a.Check < b.Check
+		})
+		for _, k := range sortedKeys {
 			covKey := fixKey{launch: k.Launch, capture: k.Capture, check: k.Check}
 			if ns.merged != nil && !ns.merged[k].Empty() {
 				allPairs[[2]string{k.Launch, k.Capture}] = true
@@ -943,7 +1024,8 @@ func (mg *Merger) pass3(startName, endName string, perModeTR [][]sta.ThroughRel,
 			e.From = &sdc.PointList{Clocks: []string{fk.launch}}
 			e.To = &sdc.PointList{Clocks: []string{fk.capture}}
 		}
-		mg.addFalsePath(e)
+		mg.addFalsePath(e, "data_refine/pass3", "§3.2 pass-3 through-point refinement",
+			"mismatch localized to through points inside the start-end cone")
 		added++
 	}
 	return added, nil

@@ -1,0 +1,48 @@
+package obs
+
+import "fmt"
+
+// CheckWellFormed validates a span forest: every span is finished with a
+// non-negative duration, children start no earlier than their parent and
+// end no later than it, and sibling order is monotonic in start time.
+// Orphan spans cannot occur in a Tree() result (unknown parents surface
+// as roots), so any structural surprise here is a tracer bug. Returns
+// the first violation found, nil when the forest is well formed.
+func CheckWellFormed(roots []*SpanView) error {
+	var walk func(v *SpanView, parent *SpanView) error
+	walk = func(v, parent *SpanView) error {
+		if !v.Finished {
+			return fmt.Errorf("span %d (%s) not finished", v.ID, v.Name)
+		}
+		if v.DurationNS < 0 {
+			return fmt.Errorf("span %d (%s) has negative duration %d", v.ID, v.Name, v.DurationNS)
+		}
+		if parent != nil {
+			if v.StartNS < parent.StartNS {
+				return fmt.Errorf("span %d (%s) starts at %d before parent %d (%s) at %d",
+					v.ID, v.Name, v.StartNS, parent.ID, parent.Name, parent.StartNS)
+			}
+			if v.StartNS+v.DurationNS > parent.StartNS+parent.DurationNS {
+				return fmt.Errorf("span %d (%s) ends after parent %d (%s)",
+					v.ID, v.Name, parent.ID, parent.Name)
+			}
+		}
+		prev := int64(-1)
+		for _, c := range v.Children {
+			if c.StartNS < prev {
+				return fmt.Errorf("children of span %d (%s) out of start order", v.ID, v.Name)
+			}
+			prev = c.StartNS
+			if err := walk(c, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := walk(r, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Provenance actions: what happened to the constraint.
+const (
+	ActionInsert    = "insert"    // constraint added to the merged mode
+	ActionDrop      = "drop"      // constraint of an individual mode not carried over
+	ActionKeep      = "keep"      // constraint carried into the merged mode as-is
+	ActionUniquify  = "uniquify"  // subset exception rewritten with a clock anchor
+	ActionRename    = "rename"    // clock renamed during the union
+	ActionTranslate = "translate" // constraint rewritten into a different command
+)
+
+// Provenance explains one constraint decision of the merge flow: which
+// stage and paper rule produced it, what it did, and which clocks, pins
+// and modes triggered it. The merged mode's explain report is the ordered
+// list of these records.
+type Provenance struct {
+	// Stage is the flow stage, e.g. "prelim/clock_union" or "clock_refine".
+	Stage string `json:"stage"`
+	// Rule cites the paper rule, e.g. "§3.1.8 clock stop insertion".
+	Rule string `json:"rule"`
+	// Action is one of the Action* constants.
+	Action string `json:"action"`
+	// Constraint is the rendered SDC command (or a short description for
+	// dropped constraints).
+	Constraint string `json:"constraint"`
+	// Clocks, Pins and Modes name the triggering objects, when relevant.
+	// Clock names are in the merged namespace.
+	Clocks []string `json:"clocks,omitempty"`
+	Pins   []string `json:"pins,omitempty"`
+	Modes  []string `json:"modes,omitempty"`
+	// Detail is the human explanation of why.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Explain is the structured explain report of one merged mode.
+type Explain struct {
+	Merged  string       `json:"merged"`
+	Records []Provenance `json:"records"`
+}
+
+// maxListedPins bounds pin lists in the text rendering; the JSON form
+// always carries the full list.
+const maxListedPins = 8
+
+func joinBounded(items []string, max int) string {
+	if len(items) <= max {
+		return strings.Join(items, " ")
+	}
+	return strings.Join(items[:max], " ") + fmt.Sprintf(" …+%d", len(items)-max)
+}
+
+// Text renders the report for humans: records grouped by stage in first-
+// appearance order, one line per record.
+func (e *Explain) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "explain: merged mode %s (%d records)\n", e.Merged, len(e.Records))
+	var stages []string
+	byStage := map[string][]Provenance{}
+	for _, r := range e.Records {
+		if _, ok := byStage[r.Stage]; !ok {
+			stages = append(stages, r.Stage)
+		}
+		byStage[r.Stage] = append(byStage[r.Stage], r)
+	}
+	for _, stage := range stages {
+		fmt.Fprintf(&b, "[%s]\n", stage)
+		for _, r := range byStage[stage] {
+			fmt.Fprintf(&b, "  %-9s %s", r.Action, r.Constraint)
+			var ctx []string
+			if len(r.Clocks) > 0 {
+				ctx = append(ctx, "clocks: "+joinBounded(r.Clocks, maxListedPins))
+			}
+			if len(r.Pins) > 0 {
+				ctx = append(ctx, "pins: "+joinBounded(r.Pins, maxListedPins))
+			}
+			if len(r.Modes) > 0 {
+				ctx = append(ctx, "modes: "+joinBounded(r.Modes, maxListedPins))
+			}
+			if len(ctx) > 0 {
+				fmt.Fprintf(&b, "  {%s}", strings.Join(ctx, "; "))
+			}
+			if r.Detail != "" {
+				fmt.Fprintf(&b, "\n            (%s: %s)", r.Rule, r.Detail)
+			} else if r.Rule != "" {
+				fmt.Fprintf(&b, "\n            (%s)", r.Rule)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

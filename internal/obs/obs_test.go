@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// AssertWellFormed fails the test on the first structural violation in
+// the span forest.
+func AssertWellFormed(t *testing.T, roots []*SpanView) {
+	t.Helper()
+	if err := CheckWellFormed(roots); err != nil {
+		t.Fatalf("trace not well-formed: %v", err)
+	}
+}
+
+func TestSpanTreeNesting(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("job")
+	a := root.Child("prelim")
+	a.Add("clocks_merged", 3)
+	a.Add("clocks_merged", 2)
+	a.Finish()
+	b := root.Child("refine")
+	c := b.Child("pass1")
+	c.Finish()
+	b.Finish()
+	root.Finish()
+
+	roots := tr.Tree()
+	if len(roots) != 1 || roots[0].Name != "job" {
+		t.Fatalf("roots = %+v, want single job root", roots)
+	}
+	kids := roots[0].Children
+	if len(kids) != 2 || kids[0].Name != "prelim" || kids[1].Name != "refine" {
+		t.Fatalf("children = %+v, want [prelim refine]", kids)
+	}
+	if kids[0].Counters["clocks_merged"] != 5 {
+		t.Errorf("counter = %d, want 5", kids[0].Counters["clocks_merged"])
+	}
+	if len(kids[1].Children) != 1 || kids[1].Children[0].Name != "pass1" {
+		t.Fatalf("refine children = %+v, want [pass1]", kids[1].Children)
+	}
+	AssertWellFormed(t, roots)
+}
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x")
+	if s != nil {
+		t.Fatal("nil tracer must produce nil spans")
+	}
+	// None of these may panic.
+	s.Add("c", 1)
+	s2 := s.Child("y")
+	s2.Finish()
+	s.Finish()
+	if tree := tr.Tree(); tree != nil {
+		t.Fatalf("nil tracer tree = %v, want nil", tree)
+	}
+	if tot := tr.StageTotals(); tot != nil {
+		t.Fatalf("nil tracer totals = %v, want nil", tot)
+	}
+}
+
+func TestUnfinishedSpanSurvivesTree(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("job")
+	root.Child("open") // never finished
+	roots := tr.Tree()
+	if len(roots) != 1 || len(roots[0].Children) != 1 {
+		t.Fatalf("tree = %+v", roots)
+	}
+	child := roots[0].Children[0]
+	if child.Finished || child.DurationNS != 0 {
+		t.Errorf("unfinished child = %+v, want Finished=false dur=0", child)
+	}
+}
+
+func TestDoubleFinishKeepsFirstEnd(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Start("x")
+	s.Finish()
+	first := tr.Tree()[0].DurationNS
+	time.Sleep(2 * time.Millisecond)
+	s.Finish()
+	if again := tr.Tree()[0].DurationNS; again != first {
+		t.Errorf("second Finish changed duration: %d -> %d", first, again)
+	}
+}
+
+func TestStageTotals(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("job")
+	for i := 0; i < 3; i++ {
+		s := root.Child("stage")
+		s.Finish()
+	}
+	root.Finish()
+	tot := tr.StageTotals()
+	if tot["stage"].Count != 3 {
+		t.Errorf("stage count = %d, want 3", tot["stage"].Count)
+	}
+	if tot["job"].Count != 1 {
+		t.Errorf("job count = %d, want 1", tot["job"].Count)
+	}
+}
+
+// TestConcurrentSpans hammers span creation/finish from many goroutines
+// (run under -race in CI) and asserts the resulting forest is well
+// formed.
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("job")
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := root.Child("worker")
+				s.Add("iter", 1)
+				c := s.Child("inner")
+				c.Finish()
+				s.Finish()
+			}
+		}(g)
+	}
+	wg.Wait()
+	root.Finish()
+	roots := tr.Tree()
+	AssertWellFormed(t, roots)
+	n := 0
+	var count func(vs []*SpanView)
+	count = func(vs []*SpanView) {
+		for _, v := range vs {
+			n++
+			count(v.Children)
+		}
+	}
+	count(roots)
+	if want := 1 + 16*50*2; n != want {
+		t.Errorf("span count = %d, want %d", n, want)
+	}
+}
+
+func TestSpanViewJSONRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Start("job")
+	s.Add("n", 7)
+	s.Finish()
+	data, err := json.Marshal(tr.Tree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []*SpanView
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Counters["n"] != 7 {
+		t.Fatalf("round trip = %s", data)
+	}
+}
+
+func TestExplainText(t *testing.T) {
+	e := &Explain{
+		Merged: "func+test",
+		Records: []Provenance{
+			{Stage: "prelim/clock_union", Rule: "§3.1.1 clock union", Action: ActionRename,
+				Constraint: "create_clock TCLK -> TCLK_1", Modes: []string{"test"},
+				Detail: "name collision"},
+			{Stage: "clock_refine", Rule: "§3.1.8 clock stop insertion", Action: ActionInsert,
+				Constraint: "set_clock_sense -stop_propagation", Clocks: []string{"TCLK"},
+				Pins: []string{"mux1/Z"}, Detail: "no individual mode propagates the clock here"},
+		},
+	}
+	text := e.Text()
+	for _, want := range []string{
+		"merged mode func+test (2 records)",
+		"[prelim/clock_union]",
+		"[clock_refine]",
+		"rename",
+		"insert",
+		"§3.1.8",
+		"mux1/Z",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestJoinBounded(t *testing.T) {
+	if got := joinBounded([]string{"a", "b", "c"}, 2); got != "a b …+1" {
+		t.Errorf("joinBounded = %q", got)
+	}
+	if got := joinBounded([]string{"a"}, 2); got != "a" {
+		t.Errorf("joinBounded = %q", got)
+	}
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// DurationBuckets are the default latency histogram bounds in seconds,
+// spanning sub-millisecond parse steps to multi-minute merge jobs.
+var DurationBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe
+// calls. Bounds are inclusive upper limits; an implicit +Inf bucket
+// catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending bounds
+// (DurationBuckets when none are given).
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DurationBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough copy for serving: counts are
+// read bucket by bucket, so a snapshot taken under concurrent writes can
+// be off by in-flight observations but never corrupt.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"` // per-bucket, Counts[len(Bounds)] = +Inf
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Series is one sample of a counter or gauge family: label key/value
+// pairs (k1, v1, k2, v2, …) plus the value.
+type Series struct {
+	Labels []string
+	Value  float64
+}
+
+// HistSeries is one histogram of a histogram family.
+type HistSeries struct {
+	Labels []string
+	Snap   HistogramSnapshot
+}
+
+// PromWriter renders metric families in the Prometheus text exposition
+// format (version 0.0.4). Write errors are sticky; check Err once at the
+// end.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *PromWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Counter writes one counter family.
+func (p *PromWriter) Counter(name, help string, series ...Series) {
+	p.header(name, help, "counter")
+	for _, s := range series {
+		p.printf("%s%s %s\n", name, renderLabels(s.Labels), formatValue(s.Value))
+	}
+}
+
+// Gauge writes one gauge family.
+func (p *PromWriter) Gauge(name, help string, series ...Series) {
+	p.header(name, help, "gauge")
+	for _, s := range series {
+		p.printf("%s%s %s\n", name, renderLabels(s.Labels), formatValue(s.Value))
+	}
+}
+
+// Histogram writes one histogram family with cumulative buckets, _sum
+// and _count per series.
+func (p *PromWriter) Histogram(name, help string, series ...HistSeries) {
+	p.header(name, help, "histogram")
+	for _, s := range series {
+		cum := uint64(0)
+		for i, bound := range s.Snap.Bounds {
+			cum += s.Snap.Counts[i]
+			p.printf("%s_bucket%s %d\n", name,
+				renderLabels(append(append([]string(nil), s.Labels...), "le", formatValue(bound))), cum)
+		}
+		if n := len(s.Snap.Bounds); n < len(s.Snap.Counts) {
+			cum += s.Snap.Counts[n]
+		}
+		p.printf("%s_bucket%s %d\n", name,
+			renderLabels(append(append([]string(nil), s.Labels...), "le", "+Inf")), cum)
+		p.printf("%s_sum%s %s\n", name, renderLabels(s.Labels), formatValue(s.Snap.Sum))
+		p.printf("%s_count%s %d\n", name, renderLabels(s.Labels), s.Snap.Count)
+	}
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	h := NewHistogram(0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if got, want := s.Sum, 56.05; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	wantCounts := []uint64{1, 2, 1, 1} // ≤0.1, ≤1, ≤10, +Inf
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (snapshot %+v)", i, s.Counts[i], w, s)
+		}
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(1) // inclusive upper bound: lands in the ≤1 bucket
+	if s := h.Snapshot(); s.Counts[0] != 1 {
+		t.Errorf("boundary observation landed in %v", s.Counts)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(DurationBuckets...)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Errorf("count = %d, want 8000", s.Count)
+	}
+}
+
+func TestPromWriterFormat(t *testing.T) {
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.Counter("jobs_total", "Total jobs.",
+		Series{Labels: []string{"state", "done"}, Value: 3},
+		Series{Labels: []string{"state", "failed"}, Value: 1})
+	pw.Gauge("jobs_running", "Currently running jobs.", Series{Value: 2})
+	h := NewHistogram(0.5, 1)
+	h.Observe(0.25)
+	h.Observe(2)
+	pw.Histogram("stage_seconds", "Stage latency.",
+		HistSeries{Labels: []string{"stage", "prelim"}, Snap: h.Snapshot()})
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP jobs_total Total jobs.",
+		"# TYPE jobs_total counter",
+		`jobs_total{state="done"} 3`,
+		`jobs_total{state="failed"} 1`,
+		"# TYPE jobs_running gauge",
+		"jobs_running 2",
+		"# TYPE stage_seconds histogram",
+		`stage_seconds_bucket{stage="prelim",le="0.5"} 1`,
+		`stage_seconds_bucket{stage="prelim",le="1"} 1`,
+		`stage_seconds_bucket{stage="prelim",le="+Inf"} 2`,
+		`stage_seconds_sum{stage="prelim"} 2.25`,
+		`stage_seconds_count{stage="prelim"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.Counter("c", "help", Series{Labels: []string{"k", `va"l\ue` + "\n"}, Value: 1})
+	if want := `c{k="va\"l\\ue\n"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("escaping: got %q, want to contain %q", b.String(), want)
+	}
+}

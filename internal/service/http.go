@@ -5,6 +5,8 @@ import (
 	"errors"
 	"expvar"
 	"net/http"
+
+	"modemerge/internal/obs"
 )
 
 // maxRequestBytes caps POST /v1/merge bodies (netlists are text; 32 MiB
@@ -16,8 +18,10 @@ const maxRequestBytes = 32 << 20
 //	POST /v1/merge            submit a job (202 + {id, status, cached})
 //	GET  /v1/jobs/{id}        job status snapshot
 //	GET  /v1/jobs/{id}/result finished result (409 until done)
+//	GET  /v1/jobs/{id}/trace  the job's span tree (stage timings, counters)
 //	POST /v1/jobs/{id}/cancel request cooperative cancellation
 //	GET  /v1/stats            this server's counters and stage timings
+//	GET  /metrics             Prometheus text exposition
 //	GET  /healthz             liveness probe
 //	GET  /debug/vars          process-wide expvar (includes "modemerged")
 func (s *Server) Handler() http.Handler {
@@ -25,8 +29,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/merge", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -111,10 +117,42 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job.View())
 }
 
+// traceResponse is the GET /v1/jobs/{id}/trace payload.
+type traceResponse struct {
+	ID     string          `json:"id"`
+	Status Status          `json:"status"`
+	Trace  []*obs.SpanView `json:"trace"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	tree := job.TraceTree()
+	if tree == nil {
+		tree = []*obs.SpanView{}
+	}
+	writeJSON(w, http.StatusOK, traceResponse{ID: job.ID, Status: job.Status(), Trace: tree})
+}
+
+// statsResponse extends the shared snapshot with queue occupancy; the
+// snapshot part is identical to the expvar "modemerged" variable.
+type statsResponse struct {
+	StatsSnapshot
+	Queue DrainTimeoutStatus `json:"queue"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.Snapshot()
-	snap["queue"] = s.QueueStatus()
-	writeJSON(w, http.StatusOK, snap)
+	writeJSON(w, http.StatusOK, statsResponse{
+		StatsSnapshot: s.metrics.Snapshot(),
+		Queue:         s.QueueStatus(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w) //nolint:errcheck // client gone; nothing to do
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

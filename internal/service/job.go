@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"modemerge/internal/core"
+	"modemerge/internal/obs"
 )
 
 // Status is a job's lifecycle state.
@@ -155,8 +156,12 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	cacheHit bool
+	stage    string // pipeline stage currently executing
 	stages   map[string]time.Duration
 	result   *Result
+	// tracer collects the job's span tree while it executes; it stays
+	// readable after the job finishes (GET /v1/jobs/{id}/trace).
+	tracer *obs.Tracer
 
 	// done closes when the job reaches a terminal state.
 	done chan struct{}
@@ -194,17 +199,51 @@ func (j *Job) Result() *Result {
 	return j.result
 }
 
-func (j *Job) markRunning() {
+// markRunning transitions the job to running and returns how long it sat
+// in the queue.
+func (j *Job) markRunning() time.Duration {
 	j.mu.Lock()
 	j.status = StatusRunning
 	j.started = time.Now()
+	wait := j.started.Sub(j.created)
 	j.mu.Unlock()
+	return wait
 }
 
 func (j *Job) addStage(stage string, d time.Duration) {
 	j.mu.Lock()
 	j.stages[stage] += d
 	j.mu.Unlock()
+}
+
+// noteStage records the pipeline stage the job is currently in, so crash
+// logs can name it.
+func (j *Job) noteStage(stage string) {
+	j.mu.Lock()
+	j.stage = stage
+	j.mu.Unlock()
+}
+
+// currentStage returns the stage last noted by the worker.
+func (j *Job) currentStage() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stage
+}
+
+// setTracer installs the job's tracer when execution starts.
+func (j *Job) setTracer(tr *obs.Tracer) {
+	j.mu.Lock()
+	j.tracer = tr
+	j.mu.Unlock()
+}
+
+// TraceTree returns the job's span forest (nil before execution starts).
+func (j *Job) TraceTree() []*obs.SpanView {
+	j.mu.Lock()
+	tr := j.tracer
+	j.mu.Unlock()
+	return tr.Tree()
 }
 
 // finish moves the job to a terminal state. It reports false (and does

@@ -2,17 +2,20 @@ package service
 
 import (
 	"expvar"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"modemerge/internal/obs"
 )
 
-// Metrics holds the service counters and per-stage timing aggregates. A
-// Server owns one instance; every update also mirrors into the
-// process-global aggregate published at /debug/vars, so per-server stats
-// (served at /v1/stats) stay isolated while expvar shows the whole
-// process.
+// Metrics holds the service counters, per-stage timing aggregates and
+// latency histograms. A Server owns one instance; every update also
+// mirrors into the process-global aggregate published at /debug/vars, so
+// per-server stats (served at /v1/stats and /metrics) stay isolated while
+// expvar shows the whole process.
 type Metrics struct {
 	parent *Metrics
 
@@ -26,8 +29,11 @@ type Metrics struct {
 	CacheHitsDesign atomic.Int64
 	CacheMisses     atomic.Int64
 
-	mu     sync.Mutex
-	stages map[string]*stageStat
+	queueWait *obs.Histogram
+
+	mu         sync.Mutex
+	stages     map[string]*stageStat
+	stageHists map[string]*obs.Histogram
 }
 
 type stageStat struct {
@@ -44,13 +50,27 @@ func init() {
 }
 
 func newMetrics(parent *Metrics) *Metrics {
-	return &Metrics{parent: parent, stages: map[string]*stageStat{}}
+	return &Metrics{
+		parent:     parent,
+		queueWait:  obs.NewHistogram(obs.DurationBuckets...),
+		stages:     map[string]*stageStat{},
+		stageHists: map[string]*obs.Histogram{},
+	}
 }
 
 func (m *Metrics) add(c func(*Metrics) *atomic.Int64, delta int64) {
 	c(m).Add(delta)
 	if m.parent != nil {
 		c(m.parent).Add(delta)
+	}
+}
+
+// ObserveQueueWait records how long one job sat in the queue before a
+// worker picked it up.
+func (m *Metrics) ObserveQueueWait(d time.Duration) {
+	m.queueWait.Observe(d.Seconds())
+	if m.parent != nil {
+		m.parent.ObserveQueueWait(d)
 	}
 }
 
@@ -67,7 +87,13 @@ func (m *Metrics) ObserveStage(stage string, d time.Duration) {
 	if int64(d) > s.MaxNs {
 		s.MaxNs = int64(d)
 	}
+	h := m.stageHists[stage]
+	if h == nil {
+		h = obs.NewHistogram(obs.DurationBuckets...)
+		m.stageHists[stage] = h
+	}
 	m.mu.Unlock()
+	h.Observe(d.Seconds())
 	if m.parent != nil {
 		m.parent.ObserveStage(stage, d)
 	}
@@ -82,18 +108,46 @@ type StageSnapshot struct {
 	MaxMS   float64 `json:"max_ms"`
 }
 
-// Snapshot renders the counters and stage aggregates as a JSON-friendly
-// map (used both by /v1/stats and the expvar func).
-func (m *Metrics) Snapshot() map[string]any {
-	out := map[string]any{
-		"jobs_queued":       m.JobsQueued.Load(),
-		"jobs_running":      m.JobsRunning.Load(),
-		"jobs_done":         m.JobsDone.Load(),
-		"jobs_failed":       m.JobsFailed.Load(),
-		"jobs_canceled":     m.JobsCanceled.Load(),
-		"cache_hits_result": m.CacheHitsResult.Load(),
-		"cache_hits_design": m.CacheHitsDesign.Load(),
-		"cache_misses":      m.CacheMisses.Load(),
+// QueueWaitSnapshot summarizes the queue-wait histogram.
+type QueueWaitSnapshot struct {
+	Count int64   `json:"count"`
+	AvgMS float64 `json:"avg_ms"`
+}
+
+// StatsSnapshot is the single typed view of the service counters, shared
+// verbatim by GET /v1/stats and the expvar "modemerged" variable so the
+// two surfaces can never drift apart.
+type StatsSnapshot struct {
+	JobsQueued   int64 `json:"jobs_queued"`
+	JobsRunning  int64 `json:"jobs_running"`
+	JobsDone     int64 `json:"jobs_done"`
+	JobsFailed   int64 `json:"jobs_failed"`
+	JobsCanceled int64 `json:"jobs_canceled"`
+
+	CacheHitsResult int64 `json:"cache_hits_result"`
+	CacheHitsDesign int64 `json:"cache_hits_design"`
+	CacheMisses     int64 `json:"cache_misses"`
+
+	QueueWait QueueWaitSnapshot `json:"queue_wait"`
+	Stages    []StageSnapshot   `json:"stages"`
+}
+
+// Snapshot captures the counters and stage aggregates.
+func (m *Metrics) Snapshot() StatsSnapshot {
+	out := StatsSnapshot{
+		JobsQueued:      m.JobsQueued.Load(),
+		JobsRunning:     m.JobsRunning.Load(),
+		JobsDone:        m.JobsDone.Load(),
+		JobsFailed:      m.JobsFailed.Load(),
+		JobsCanceled:    m.JobsCanceled.Load(),
+		CacheHitsResult: m.CacheHitsResult.Load(),
+		CacheHitsDesign: m.CacheHitsDesign.Load(),
+		CacheMisses:     m.CacheMisses.Load(),
+	}
+	qw := m.queueWait.Snapshot()
+	out.QueueWait.Count = int64(qw.Count)
+	if qw.Count > 0 {
+		out.QueueWait.AvgMS = qw.Sum / float64(qw.Count) * 1e3
 	}
 	m.mu.Lock()
 	stages := make([]StageSnapshot, 0, len(m.stages))
@@ -110,6 +164,42 @@ func (m *Metrics) Snapshot() map[string]any {
 	}
 	m.mu.Unlock()
 	sort.Slice(stages, func(i, j int) bool { return stages[i].Stage < stages[j].Stage })
-	out["stages"] = stages
+	out.Stages = stages
 	return out
+}
+
+// WritePrometheus renders the counters and histograms in Prometheus text
+// exposition format (served at GET /metrics).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	pw := obs.NewPromWriter(w)
+	pw.Counter("modemerged_jobs_total", "Jobs by terminal (or queued/running transition) state.",
+		obs.Series{Labels: []string{"state", "queued"}, Value: float64(m.JobsQueued.Load())},
+		obs.Series{Labels: []string{"state", "done"}, Value: float64(m.JobsDone.Load())},
+		obs.Series{Labels: []string{"state", "failed"}, Value: float64(m.JobsFailed.Load())},
+		obs.Series{Labels: []string{"state", "canceled"}, Value: float64(m.JobsCanceled.Load())})
+	pw.Gauge("modemerged_jobs_running", "Jobs currently executing on the worker pool.",
+		obs.Series{Value: float64(m.JobsRunning.Load())})
+	pw.Counter("modemerged_cache_events_total", "Cache hits and misses by cache.",
+		obs.Series{Labels: []string{"cache", "result", "event", "hit"}, Value: float64(m.CacheHitsResult.Load())},
+		obs.Series{Labels: []string{"cache", "design", "event", "hit"}, Value: float64(m.CacheHitsDesign.Load())},
+		obs.Series{Labels: []string{"cache", "result", "event", "miss"}, Value: float64(m.CacheMisses.Load())})
+	pw.Histogram("modemerged_queue_wait_seconds", "Time jobs spend queued before a worker picks them up.",
+		obs.HistSeries{Snap: m.queueWait.Snapshot()})
+
+	m.mu.Lock()
+	names := make([]string, 0, len(m.stageHists))
+	for name := range m.stageHists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	series := make([]obs.HistSeries, 0, len(names))
+	for _, name := range names {
+		series = append(series, obs.HistSeries{
+			Labels: []string{"stage", name},
+			Snap:   m.stageHists[name].Snapshot(),
+		})
+	}
+	m.mu.Unlock()
+	pw.Histogram("modemerged_stage_seconds", "Merge pipeline stage latency.", series...)
+	return pw.Err()
 }

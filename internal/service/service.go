@@ -25,7 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -37,6 +37,7 @@ import (
 	"modemerge/internal/graph"
 	"modemerge/internal/library"
 	"modemerge/internal/netlist"
+	"modemerge/internal/obs"
 	"modemerge/internal/sdc"
 	"modemerge/internal/sta"
 )
@@ -60,6 +61,9 @@ type Config struct {
 	// jobs stay available for status polling; beyond it the oldest
 	// terminal jobs are evicted from the job table. Default 1024.
 	JobHistoryLimit int
+	// Logger receives structured job lifecycle logs. Default:
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +88,9 @@ func (c Config) withDefaults() Config {
 	if c.JobHistoryLimit <= 0 {
 		c.JobHistoryLimit = 1024
 	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 	return c
 }
 
@@ -97,6 +104,7 @@ var ErrDraining = errors.New("service: server is draining")
 type Server struct {
 	cfg     Config
 	metrics *Metrics
+	logger  *slog.Logger
 
 	designs *designCache
 	results *lruCache
@@ -122,6 +130,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		metrics:    newMetrics(processMetrics),
+		logger:     cfg.Logger,
 		designs:    newDesignCache(cfg.DesignCacheSize),
 		results:    newLRU(cfg.ResultCacheSize),
 		baseCtx:    baseCtx,
@@ -231,7 +240,9 @@ func (s *Server) runJob(job *Job) {
 		if r := recover(); r != nil {
 			// A panic in the merge flow on one job's input must not take
 			// down the daemon: fail the job and keep the worker alive.
-			log.Printf("service: job %s panicked: %v\n%s", job.ID, r, debug.Stack())
+			s.logger.Error("job panicked",
+				"job", job.ID, "stage", job.currentStage(),
+				"panic", r, "stack", string(debug.Stack()))
 			s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsFailed }, 1)
 			s.finishJob(job, StatusFailed, nil, fmt.Errorf("internal error: %v", r))
 		}
@@ -253,22 +264,33 @@ func (s *Server) runJob(job *Job) {
 	ctx, cancel := context.WithTimeout(job.ctx, timeout)
 	defer cancel()
 
-	job.markRunning()
+	wait := job.markRunning()
+	s.metrics.ObserveQueueWait(wait)
 	s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsRunning }, 1)
 	defer s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsRunning }, -1)
+	s.logger.Info("job started",
+		"job", job.ID, "modes", len(req.Modes), "queue_wait_ms", wait.Milliseconds())
 
+	start := time.Now()
 	result, err := s.execute(ctx, job, req)
+	elapsed := time.Since(start)
 	switch {
 	case err == nil:
 		s.results.put(req.resultKey(), result)
 		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsDone }, 1)
 		s.finishJob(job, StatusDone, result, nil)
+		s.logger.Info("job done", "job", job.ID, "elapsed_ms", elapsed.Milliseconds())
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsCanceled }, 1)
 		s.finishJob(job, StatusCanceled, nil, err)
+		s.logger.Info("job canceled",
+			"job", job.ID, "stage", job.currentStage(), "elapsed_ms", elapsed.Milliseconds())
 	default:
 		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsFailed }, 1)
 		s.finishJob(job, StatusFailed, nil, err)
+		s.logger.Warn("job failed",
+			"job", job.ID, "stage", job.currentStage(),
+			"elapsed_ms", elapsed.Milliseconds(), "error", err)
 	}
 }
 
@@ -279,38 +301,55 @@ func (s *Server) execute(ctx context.Context, job *Job, req *MergeRequest) (*Res
 		s.metrics.ObserveStage(stage, d)
 	}
 
+	// The job's tracer records the whole pipeline as one span tree, served
+	// at GET /v1/jobs/{id}/trace after (and during) execution.
+	tracer := obs.NewTracer()
+	job.setTracer(tracer)
+	root := tracer.Start("job")
+	defer root.Finish()
+
 	// Parse (or reuse) the design, then parse the modes against it. The
 	// shared singleflight build runs under the server's base context, not
 	// the job's, so one job's cancellation cannot poison the cache entry;
 	// the waiter still leaves promptly when its own ctx is done.
+	job.noteStage("parse")
+	parseSpan := root.Child("parse")
 	parseStart := time.Now()
 	prep, hit, err := s.designs.get(ctx, req.designKey(), func() (*preparedDesign, error) {
 		return prepareDesign(s.baseCtx, req)
 	})
 	if hit {
 		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.CacheHitsDesign }, 1)
+		parseSpan.Add("design_cache_hit", 1)
 	}
 	if err != nil {
+		parseSpan.Finish()
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		parseSpan.Finish()
 		return nil, err
 	}
 	modes := make([]*sdc.Mode, len(req.Modes))
 	for i, m := range req.Modes {
 		mode, _, err := sdc.Parse(m.Name, m.SDC, prep.design)
 		if err != nil {
+			parseSpan.Finish()
 			return nil, fmt.Errorf("mode %s: %w", m.Name, err)
 		}
 		modes[i] = mode
 	}
+	parseSpan.Add("modes", int64(len(modes)))
+	parseSpan.Finish()
 	observe("parse", time.Since(parseStart))
 
+	job.noteStage("merge")
 	opt := core.Options{
 		Tolerance:           req.Options.Tolerance,
 		MaxRefineIterations: req.Options.MaxRefineIterations,
 		STA:                 sta.Options{Workers: req.Options.Workers},
 		StageHook:           observe,
+		Trace:               root,
 	}
 	merged, reports, mb, err := core.MergeAll(ctx, prep.graph, modes, opt)
 	if err != nil {
@@ -328,6 +367,9 @@ func (s *Server) execute(ctx context.Context, job *Job, req *MergeRequest) (*Res
 	}
 
 	if req.wantValidate() {
+		job.noteStage("validate")
+		validateSpan := root.Child("validate")
+		defer validateSpan.Finish()
 		validateStart := time.Now()
 		for ci, clique := range cliques {
 			if len(clique) < 2 {
@@ -337,7 +379,10 @@ func (s *Server) execute(ctx context.Context, job *Job, req *MergeRequest) (*Res
 			for i, mi := range clique {
 				group[i] = modes[mi]
 			}
-			res, err := core.CheckEquivalence(ctx, prep.graph, group, merged[ci], opt)
+			vopt := opt
+			vopt.Trace = validateSpan.Child("validate:" + merged[ci].Name)
+			res, err := core.CheckEquivalence(ctx, prep.graph, group, merged[ci], vopt)
+			vopt.Trace.Finish()
 			if err != nil {
 				return nil, fmt.Errorf("validating %s: %w", merged[ci].Name, err)
 			}

@@ -14,6 +14,7 @@ import (
 	"modemerge/internal/graph"
 	"modemerge/internal/library"
 	"modemerge/internal/netlist"
+	"modemerge/internal/obs"
 	"modemerge/internal/sdc"
 )
 
@@ -64,6 +65,12 @@ type Options struct {
 	// MaxLaunchEdges caps the hyperperiod expansion when relating two
 	// clock waveforms; 0 means the default of 64.
 	MaxLaunchEdges int
+	// Span, when set, is the parent under which the whole-design analysis
+	// loops (EndpointRelations, AnalyzeEndpoints) record child spans.
+	// Per-endpoint queries stay uninstrumented — they run in tight
+	// parallel loops where per-call spans would swamp the trace. Nil
+	// disables tracing.
+	Span *obs.Span
 }
 
 // Context is the per-mode analysis state: one design + one SDC mode.

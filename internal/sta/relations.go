@@ -27,14 +27,19 @@ type RelKey struct {
 // Cancelling cx aborts the endpoint loop early; the returned map is then
 // partial and the caller must consult cx.Err() before trusting it.
 func (ctx *Context) EndpointRelations(cx context.Context) map[RelKey]relation.Set {
+	sp := ctx.Opt.Span.Child("endpoint_relations")
+	defer sp.Finish()
 	out := map[RelKey]relation.Set{}
 	tags := ctx.tags()
-	for _, end := range ctx.G.Endpoints() {
+	ends := ctx.G.Endpoints()
+	sp.Add("endpoints", int64(len(ends)))
+	for _, end := range ends {
 		if cx.Err() != nil {
 			return out
 		}
 		ctx.accumulateRelations(out, end, tags[end], "*")
 	}
+	sp.Add("path_groups", int64(len(out)))
 	return out
 }
 

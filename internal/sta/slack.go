@@ -33,7 +33,10 @@ type EndpointResult struct {
 // returned slice is then partial (unvisited entries stay zero) and the
 // caller must consult cx.Err() before trusting it.
 func (ctx *Context) AnalyzeEndpoints(cx context.Context) []EndpointResult {
+	sp := ctx.Opt.Span.Child("analyze_endpoints")
+	defer sp.Finish()
 	ends := ctx.G.Endpoints()
+	sp.Add("endpoints", int64(len(ends)))
 	results := make([]EndpointResult, len(ends))
 	tags := ctx.tags() // force propagation before fan-out
 
