@@ -66,12 +66,13 @@ func obsBenchFixture(tb testing.TB, s obsBenchSize) (*graph.Graph, []*sdc.Mode) 
 	return g, modes
 }
 
-// obsMergeOnce runs one full traced or untraced MergeAll and returns the
-// tracer (nil when untraced).
-func obsMergeOnce(tb testing.TB, g *graph.Graph, modes []*sdc.Mode, traced bool) *obs.Tracer {
+// obsMergeOnce runs one full traced or untraced MergeAll at the given
+// intra-merge parallelism (0 = GOMAXPROCS, 1 = sequential) and returns
+// the tracer (nil when untraced).
+func obsMergeOnce(tb testing.TB, g *graph.Graph, modes []*sdc.Mode, traced bool, parallelism int) *obs.Tracer {
 	tb.Helper()
 	var tr *obs.Tracer
-	opt := core.Options{}
+	opt := core.Options{Parallelism: parallelism}
 	var root *obs.Span
 	if traced {
 		tr = obs.NewTracer()
@@ -85,22 +86,35 @@ func obsMergeOnce(tb testing.TB, g *graph.Graph, modes []*sdc.Mode, traced bool)
 	return tr
 }
 
-func benchObsMerge(b *testing.B, s obsBenchSize, traced bool) {
+func benchObsMerge(b *testing.B, s obsBenchSize, traced bool, parallelism int) {
 	g, modes := obsBenchFixture(b, s)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		obsMergeOnce(b, g, modes, traced)
+		obsMergeOnce(b, g, modes, traced, parallelism)
 	}
 }
 
-func BenchmarkObsMergeSmall(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[0], true) }
-func BenchmarkObsMergeMedium(b *testing.B) { benchObsMerge(b, obsBenchSizes()[1], true) }
-func BenchmarkObsMergeLarge(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[2], true) }
+func BenchmarkObsMergeSmall(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[0], true, 0) }
+func BenchmarkObsMergeMedium(b *testing.B) { benchObsMerge(b, obsBenchSizes()[1], true, 0) }
+func BenchmarkObsMergeLarge(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[2], true, 0) }
 
-func BenchmarkObsMergeSmallUntraced(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[0], false) }
-func BenchmarkObsMergeMediumUntraced(b *testing.B) { benchObsMerge(b, obsBenchSizes()[1], false) }
-func BenchmarkObsMergeLargeUntraced(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[2], false) }
+func BenchmarkObsMergeSmallUntraced(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[0], false, 0) }
+func BenchmarkObsMergeMediumUntraced(b *testing.B) { benchObsMerge(b, obsBenchSizes()[1], false, 0) }
+func BenchmarkObsMergeLargeUntraced(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[2], false, 0) }
+
+// Parallel-engine scaling points: untraced MergeAll at fixed worker
+// counts. The sequential (J1) run is the baseline the artifact's speedup
+// figures divide against.
+func BenchmarkMergeSmallJ1(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[0], false, 1) }
+func BenchmarkMergeSmallJ2(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[0], false, 2) }
+func BenchmarkMergeSmallJ4(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[0], false, 4) }
+func BenchmarkMergeMediumJ1(b *testing.B) { benchObsMerge(b, obsBenchSizes()[1], false, 1) }
+func BenchmarkMergeMediumJ2(b *testing.B) { benchObsMerge(b, obsBenchSizes()[1], false, 2) }
+func BenchmarkMergeMediumJ4(b *testing.B) { benchObsMerge(b, obsBenchSizes()[1], false, 4) }
+func BenchmarkMergeLargeJ1(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[2], false, 1) }
+func BenchmarkMergeLargeJ2(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[2], false, 2) }
+func BenchmarkMergeLargeJ4(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[2], false, 4) }
 
 // benchStageEntry is one per-stage row of the artifact, folded from the
 // obs span totals of a traced run.
@@ -111,16 +125,26 @@ type benchStageEntry struct {
 	AllocBytes int64  `json:"alloc_bytes"`
 }
 
+// benchParallelEntry is one worker-count scaling datapoint: untraced
+// MergeAll at a fixed core.Options.Parallelism, with the speedup against
+// the sequential (workers=1) run of the same design.
+type benchParallelEntry struct {
+	Workers int     `json:"workers"`
+	NsPerOp int64   `json:"ns_per_op"`
+	Speedup float64 `json:"speedup_vs_sequential"`
+}
+
 type benchDesignEntry struct {
-	Design           string            `json:"design"`
-	Cells            int               `json:"cells"`
-	Modes            int               `json:"modes"`
-	NsPerOp          int64             `json:"ns_per_op"`
-	AllocsPerOp      int64             `json:"allocs_per_op"`
-	BytesPerOp       int64             `json:"bytes_per_op"`
-	UntracedNsPerOp  int64             `json:"untraced_ns_per_op"`
-	TraceOverheadPct float64           `json:"trace_overhead_pct"`
-	Stages           []benchStageEntry `json:"stages"`
+	Design           string               `json:"design"`
+	Cells            int                  `json:"cells"`
+	Modes            int                  `json:"modes"`
+	NsPerOp          int64                `json:"ns_per_op"`
+	AllocsPerOp      int64                `json:"allocs_per_op"`
+	BytesPerOp       int64                `json:"bytes_per_op"`
+	UntracedNsPerOp  int64                `json:"untraced_ns_per_op"`
+	TraceOverheadPct float64              `json:"trace_overhead_pct"`
+	Parallel         []benchParallelEntry `json:"parallel"`
+	Stages           []benchStageEntry    `json:"stages"`
 }
 
 type benchArtifact struct {
@@ -145,18 +169,34 @@ func TestWriteBenchArtifact(t *testing.T) {
 	}
 	for _, s := range obsBenchSizes() {
 		g, modes := obsBenchFixture(t, s)
-		measure := func(traced bool) testing.BenchmarkResult {
+		measure := func(traced bool, parallelism int) testing.BenchmarkResult {
 			return testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					obsMergeOnce(b, g, modes, traced)
+					obsMergeOnce(b, g, modes, traced, parallelism)
 				}
 			})
 		}
-		tracedRes := measure(true)
-		plainRes := measure(false)
+		tracedRes := measure(true, 0)
+		plainRes := measure(false, 0)
 
-		tr := obsMergeOnce(t, g, modes, true)
+		// Parallel-engine scaling: sequential first (the speedup
+		// baseline), then 2- and 4-worker runs of the same merge.
+		seqRes := measure(false, 1)
+		parallel := []benchParallelEntry{{Workers: 1, NsPerOp: seqRes.NsPerOp(), Speedup: 1}}
+		for _, w := range []int{2, 4} {
+			res := measure(false, w)
+			speedup := 0.0
+			if ns := res.NsPerOp(); ns > 0 {
+				speedup = float64(seqRes.NsPerOp()) / float64(ns)
+			}
+			parallel = append(parallel, benchParallelEntry{
+				Workers: w, NsPerOp: res.NsPerOp(), Speedup: speedup})
+			t.Logf("%s: %d workers %d ns/op (%.2fx vs sequential)",
+				s.Name, w, res.NsPerOp(), speedup)
+		}
+
+		tr := obsMergeOnce(t, g, modes, true, 0)
 		totals := tr.StageTotals()
 		stages := make([]benchStageEntry, 0, len(totals))
 		for name, st := range totals {
@@ -178,6 +218,7 @@ func TestWriteBenchArtifact(t *testing.T) {
 			BytesPerOp:       tracedRes.AllocedBytesPerOp(),
 			UntracedNsPerOp:  plainRes.NsPerOp(),
 			TraceOverheadPct: overhead,
+			Parallel:         parallel,
 			Stages:           stages,
 		})
 		t.Logf("%s: %d ns/op traced, %d ns/op untraced, overhead %.2f%%",

@@ -34,6 +34,7 @@ func main() {
 		outDir    = flag.String("o", "merged", "output directory for merged SDC files")
 		tolerance = flag.Float64("tolerance", 0.05, "relative tolerance for clock/drive/load constraint merging")
 		workers   = flag.Int("workers", 0, "worker count (0 = all cores)")
+		jobs      = flag.Int("j", 0, "intra-merge parallelism: bounds the sharded endpoint loops and pairwise mergeability analysis; output is byte-identical for any value (0 = all cores, 1 = sequential)")
 		validate  = flag.Bool("validate", true, "run the equivalence check on each merged mode")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 		explain   = flag.Bool("explain", false, "print an explain report per merged mode and write <name>.explain.{txt,json} beside the SDC output")
@@ -50,7 +51,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *verilog, *top, *libFile, *outDir, *tolerance, *workers, *validate, *quiet, *explain, flag.Args()); err != nil {
+	if err := run(ctx, *verilog, *top, *libFile, *outDir, *tolerance, *workers, *jobs, *validate, *quiet, *explain, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "modemerge:", err)
 		if errors.Is(err, context.DeadlineExceeded) {
 			os.Exit(3)
@@ -59,7 +60,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, verilog, top, libFile, outDir string, tolerance float64, workers int, validate, quiet, explain bool, sdcFiles []string) error {
+func run(ctx context.Context, verilog, top, libFile, outDir string, tolerance float64, workers, jobs int, validate, quiet, explain bool, sdcFiles []string) error {
 	lib := library.Default()
 	if libFile != "" {
 		data, err := os.ReadFile(libFile)
@@ -113,7 +114,7 @@ func run(ctx context.Context, verilog, top, libFile, outDir string, tolerance fl
 		modes = append(modes, mode)
 	}
 
-	opt := core.Options{Tolerance: tolerance, STA: sta.Options{Workers: workers}}
+	opt := core.Options{Tolerance: tolerance, Parallelism: jobs, STA: sta.Options{Workers: workers}}
 	merged, reports, mb, err := core.MergeAll(ctx, g, modes, opt)
 	if err != nil {
 		return err

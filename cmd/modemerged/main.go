@@ -31,6 +31,7 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
 		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		workers     = flag.Int("workers", 0, "merge worker pool size (0 = all cores)")
+		mergePar    = flag.Int("merge-parallelism", 0, "intra-merge worker pool bound per job; merged output is byte-identical for any value (0 = all cores, 1 = sequential)")
 		queueDepth  = flag.Int("queue", 64, "maximum queued jobs before submissions are rejected")
 		jobTimeout  = flag.Duration("job-timeout", 2*time.Minute, "default per-job execution deadline")
 		maxTimeout  = flag.Duration("max-job-timeout", 15*time.Minute, "upper clamp for client-requested job deadlines")
@@ -49,6 +50,7 @@ func main() {
 
 	srv := service.New(service.Config{
 		Workers:           *workers,
+		MergeParallelism:  *mergePar,
 		QueueDepth:        *queueDepth,
 		DefaultJobTimeout: *jobTimeout,
 		MaxJobTimeout:     *maxTimeout,

@@ -13,6 +13,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"modemerge/internal/graph"
@@ -34,6 +35,14 @@ type Options struct {
 	MergedName string
 	// MaxRefineIterations bounds the refine→validate loop. Default 4.
 	MaxRefineIterations int
+	// Parallelism bounds the intra-merge worker pools: per-mode context
+	// builds, the sharded whole-design endpoint loops, the per-endpoint
+	// pass-2/3 relation queries and the pairwise mergeability analysis.
+	// 0 means GOMAXPROCS; 1 forces the fully sequential path. Workers
+	// emit per-shard results that are reduced in a fixed order, so the
+	// merged SDC, provenance and explain output are byte-identical for
+	// every setting (see DESIGN.md).
+	Parallelism int
 	// STA carries analysis options (worker count etc.).
 	STA sta.Options
 	// StageHook, when set, receives the wall time of each completed flow
@@ -78,6 +87,14 @@ func (o Options) stage(name string) func() {
 	}
 	start := time.Now()
 	return func() { o.StageHook(name, time.Since(start)) }
+}
+
+// parallelism resolves Options.Parallelism (0 → GOMAXPROCS).
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o Options) withDefaults() Options {
@@ -229,26 +246,42 @@ func newMergerWithGraph(cx context.Context, g *graph.Graph, modes []*sdc.Mode, o
 		span:   opt.Trace,
 		Report: &Report{},
 	}
+	// Per-mode contexts build on the bounded pool: each mode is an
+	// independent analysis, and the results land in index order so the
+	// first failing mode (lowest index) wins deterministically.
 	sp := mg.span.Child("build_contexts")
 	sp.Add("modes", int64(len(modes)))
-	for _, m := range modes {
-		if err := cx.Err(); err != nil {
+	mg.ctxs = make([]*sta.Context, len(modes))
+	errs := make([]error, len(modes))
+	forEachParallel(cx, len(modes), opt.parallelism(), func(i int) {
+		ctx, err := sta.NewContext(g, modes[i], mg.staOptions())
+		if err != nil {
+			errs[i] = fmt.Errorf("mode %s: %w", modes[i].Name, err)
+			return
+		}
+		mg.ctxs[i] = ctx
+	})
+	sp.Finish()
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
-		ctx, err := sta.NewContext(g, m, mg.staOptions())
-		if err != nil {
-			return nil, fmt.Errorf("mode %s: %w", m.Name, err)
-		}
-		mg.ctxs = append(mg.ctxs, ctx)
 	}
-	sp.Finish()
+	if err := cx.Err(); err != nil {
+		return nil, err
+	}
 	return mg, nil
 }
 
 // staOptions wires the merge's trace parent into the analysis contexts so
-// the heavy sta loops report their own spans.
+// the heavy sta loops report their own spans, and propagates the merge
+// parallelism into the sta worker pools unless the caller pinned its own
+// worker count.
 func (mg *Merger) staOptions() sta.Options {
 	o := mg.opt.STA
+	if o.Workers <= 0 {
+		o.Workers = mg.opt.parallelism()
+	}
 	o.Span = mg.span
 	return o
 }

@@ -136,7 +136,7 @@ func (mg *Merger) checkEquivalence(cx context.Context) (*EquivalenceResult, erro
 	seGroupsPerEnd := make([]map[sta.RelKey]*groupStates, len(ends))
 	var firstErr error
 	var errMu sync.Mutex
-	forEachParallel(cx, len(ends), func(i int) {
+	forEachParallel(cx, len(ends), mg.opt.parallelism(), func(i int) {
 		endID, ok := mg.g.NodeByName(ends[i])
 		if !ok {
 			errMu.Lock()

@@ -44,23 +44,46 @@ func AnalyzeMergeability(g *graph.Graph, modes []*sdc.Mode, opt Options) (*Merge
 		mb.ModeNames[i] = m.Name
 		mb.Edge[i] = make([]bool, n)
 	}
+	// Mock merges are independent per pair: fan them out on the bounded
+	// pool into an index-addressed result array, then reduce sequentially
+	// in pair order so Edge and Conflicts come out identical to the
+	// sequential path.
+	type pairIdx struct{ i, j int }
+	pairs := make([]pairIdx, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			reason := mockMerge(modes[i], modes[j], opt.Tolerance)
-			if reason == "" {
-				mb.Edge[i][j] = true
-				mb.Edge[j][i] = true
-			} else {
-				mb.Conflicts = append(mb.Conflicts, NonMergeable{
-					A: modes[i].Name, B: modes[j].Name, Reason: reason})
-			}
+			pairs = append(pairs, pairIdx{i, j})
+		}
+	}
+	reasons := make([]string, len(pairs))
+	forEachParallel(context.Background(), len(pairs), opt.parallelism(), func(k int) {
+		reasons[k] = mockMerge(modes[pairs[k].i], modes[pairs[k].j], opt.Tolerance)
+	})
+	for k, p := range pairs {
+		if reasons[k] == "" {
+			mb.Edge[p.i][p.j] = true
+			mb.Edge[p.j][p.i] = true
+		} else {
+			mb.Conflicts = append(mb.Conflicts, NonMergeable{
+				A: modes[p.i].Name, B: modes[p.j].Name, Reason: reasons[k]})
 		}
 	}
 	return mb, nil
 }
 
+// sortedKeys returns the keys of a string-keyed map in sorted order, so
+// first-conflict selection below never depends on map iteration order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // mockMerge checks one pair; it returns "" when mergeable or the first
-// conflict found.
+// conflict found (in sorted key order, so the reason is deterministic).
 func mockMerge(a, b *sdc.Mode, tol float64) string {
 	within := func(x, y float64) bool {
 		scale := math.Max(math.Abs(x), math.Abs(y))
@@ -110,7 +133,8 @@ func mockMerge(a, b *sdc.Mode, tol float64) string {
 		return out
 	}
 	va, vb := collect(a), collect(b)
-	for key, ca := range va {
+	for _, key := range sortedKeys(va) {
+		ca := va[key]
 		cb, shared := vb[key]
 		if !shared {
 			continue
@@ -156,24 +180,24 @@ func mockMerge(a, b *sdc.Mode, tol float64) string {
 	}
 	trA, loadA, drvA, cellA := portVals(a)
 	trB, loadB, drvB, cellB := portVals(b)
-	for port, x := range trA {
-		if y, ok := trB[port]; ok && !within(x, y) {
-			return fmt.Sprintf("input transition on %s differs beyond tolerance (%g vs %g)", port, x, y)
+	for _, port := range sortedKeys(trA) {
+		if y, ok := trB[port]; ok && !within(trA[port], y) {
+			return fmt.Sprintf("input transition on %s differs beyond tolerance (%g vs %g)", port, trA[port], y)
 		}
 	}
-	for port, x := range loadA {
-		if y, ok := loadB[port]; ok && !within(x, y) {
-			return fmt.Sprintf("load on %s differs beyond tolerance (%g vs %g)", port, x, y)
+	for _, port := range sortedKeys(loadA) {
+		if y, ok := loadB[port]; ok && !within(loadA[port], y) {
+			return fmt.Sprintf("load on %s differs beyond tolerance (%g vs %g)", port, loadA[port], y)
 		}
 	}
-	for port, x := range drvA {
-		if y, ok := drvB[port]; ok && !within(x, y) {
-			return fmt.Sprintf("drive on %s differs beyond tolerance (%g vs %g)", port, x, y)
+	for _, port := range sortedKeys(drvA) {
+		if y, ok := drvB[port]; ok && !within(drvA[port], y) {
+			return fmt.Sprintf("drive on %s differs beyond tolerance (%g vs %g)", port, drvA[port], y)
 		}
 	}
-	for port, x := range cellA {
-		if y, ok := cellB[port]; ok && x != y {
-			return fmt.Sprintf("driving cell on %s differs (%s vs %s)", port, x, y)
+	for _, port := range sortedKeys(cellA) {
+		if y, ok := cellB[port]; ok && cellA[port] != y {
+			return fmt.Sprintf("driving cell on %s differs (%s vs %s)", port, cellA[port], y)
 		}
 	}
 	return ""

@@ -16,53 +16,43 @@ import (
 )
 
 // startEndAll computes pass-2 relations for every individual context and
-// the merged context concurrently (one goroutine per context; a context
-// is only ever used from one goroutine at a time).
+// the merged context on the bounded pool (a context is only ever used
+// from one goroutine at a time; index len(ctxs) is the merged context).
 func (mg *Merger) startEndAll(endID graph.NodeID) (perMode []map[sta.RelKey]relation.Set, merged map[sta.RelKey]relation.Set) {
 	perMode = make([]map[sta.RelKey]relation.Set, len(mg.ctxs))
-	var wg sync.WaitGroup
-	for m, ctx := range mg.ctxs {
-		wg.Add(1)
-		go func(m int, ctx *sta.Context) {
-			defer wg.Done()
-			perMode[m] = ctx.StartEndRelations(endID)
-		}(m, ctx)
-	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		merged = mg.mctx.StartEndRelations(endID)
-	}()
-	wg.Wait()
+	forEachParallel(context.Background(), len(mg.ctxs)+1, mg.opt.parallelism(), func(m int) {
+		if m == len(mg.ctxs) {
+			merged = mg.mctx.StartEndRelations(endID)
+		} else {
+			perMode[m] = mg.ctxs[m].StartEndRelations(endID)
+		}
+	})
 	return perMode, merged
 }
 
-// throughAll computes pass-3 relations for every context concurrently.
+// throughAll computes pass-3 relations for every context on the bounded
+// pool.
 func (mg *Merger) throughAll(startID, endID graph.NodeID) (perMode [][]sta.ThroughRel, merged []sta.ThroughRel) {
 	perMode = make([][]sta.ThroughRel, len(mg.ctxs))
-	var wg sync.WaitGroup
-	for m, ctx := range mg.ctxs {
-		wg.Add(1)
-		go func(m int, ctx *sta.Context) {
-			defer wg.Done()
-			perMode[m] = ctx.ThroughRelations(startID, endID)
-		}(m, ctx)
-	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		merged = mg.mctx.ThroughRelations(startID, endID)
-	}()
-	wg.Wait()
+	forEachParallel(context.Background(), len(mg.ctxs)+1, mg.opt.parallelism(), func(m int) {
+		if m == len(mg.ctxs) {
+			merged = mg.mctx.ThroughRelations(startID, endID)
+		} else {
+			perMode[m] = mg.ctxs[m].ThroughRelations(startID, endID)
+		}
+	})
 	return perMode, merged
 }
 
-// forEachParallel runs fn(i) for i in [0,n) on a bounded worker pool.
+// forEachParallel runs fn(i) for i in [0,n) on a pool of at most workers
+// goroutines (0 → GOMAXPROCS; 1 runs inline, fully sequential).
 // Cancelling cx stops feeding new indices; already-started fn calls run
 // to completion. Callers must check cx.Err() afterwards — results for
 // unvisited indices are missing.
-func forEachParallel(cx context.Context, n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+func forEachParallel(cx context.Context, n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
@@ -96,24 +86,17 @@ func forEachParallel(cx context.Context, n int, fn func(i int)) {
 	wg.Wait()
 }
 
-// endpointAll computes pass-1 relations for every context concurrently.
-// On cancellation the maps are partial; callers check cx.Err().
+// endpointAll computes pass-1 relations for every context on the bounded
+// pool. On cancellation the maps are partial; callers check cx.Err().
 func (mg *Merger) endpointAll(cx context.Context) (perMode []map[sta.RelKey]relation.Set, merged map[sta.RelKey]relation.Set) {
 	perMode = make([]map[sta.RelKey]relation.Set, len(mg.ctxs))
-	var wg sync.WaitGroup
-	for m, ctx := range mg.ctxs {
-		wg.Add(1)
-		go func(m int, ctx *sta.Context) {
-			defer wg.Done()
-			perMode[m] = ctx.EndpointRelations(cx)
-		}(m, ctx)
-	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		merged = mg.mctx.EndpointRelations(cx)
-	}()
-	wg.Wait()
+	forEachParallel(cx, len(mg.ctxs)+1, mg.opt.parallelism(), func(m int) {
+		if m == len(mg.ctxs) {
+			merged = mg.mctx.EndpointRelations(cx)
+		} else {
+			perMode[m] = mg.ctxs[m].EndpointRelations(cx)
+		}
+	})
 	return perMode, merged
 }
 
@@ -427,7 +410,7 @@ func (mg *Merger) threePass(cx context.Context, sp *obs.Span) (int, error) {
 	seGroupsPerEnd := make([]map[sta.RelKey]*groupStates, len(pass2Ends))
 	var firstErr error
 	var errMu sync.Mutex
-	forEachParallel(cx, len(pass2Ends), func(i int) {
+	forEachParallel(cx, len(pass2Ends), mg.opt.parallelism(), func(i int) {
 		endID, ok := mg.g.NodeByName(pass2Ends[i])
 		if !ok {
 			errMu.Lock()
@@ -504,7 +487,7 @@ func (mg *Merger) threePass(cx context.Context, sp *obs.Span) (int, error) {
 		err     error
 	}
 	data := make([]p3data, len(pairs))
-	forEachParallel(cx, len(pairs), func(i int) {
+	forEachParallel(cx, len(pairs), mg.opt.parallelism(), func(i int) {
 		startID, ok1 := mg.g.NodeByName(pairs[i].start)
 		endID, ok2 := mg.g.NodeByName(pairs[i].end)
 		if !ok1 || !ok2 {

@@ -38,6 +38,37 @@ func TestCorpusReplay(t *testing.T) {
 	}
 }
 
+// TestCorpusReplayParallel replays every committed reproducer through the
+// parallel merge engine: with intra-merge sharding forced on, each entry
+// must behave exactly as its sequential replay (the corpus predates the
+// parallelism dimension), and the determinism oracle additionally
+// cross-checks the parallel output against a sequential re-merge.
+func TestCorpusReplayParallel(t *testing.T) {
+	corpus, err := LoadDir("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) == 0 {
+		t.Fatal("empty corpus: testdata/corpus reproducers are expected to be committed")
+	}
+	for name, r := range corpus {
+		r := r
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			f, err := ParseFault(r.Fault)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := r.Spec
+			spec.Parallelism = 4
+			res := Run(context.Background(), &spec, f.Inject)
+			if err := r.Replay(res); err != nil {
+				t.Errorf("%s (found by %s, parallelism=4): %v", name, r.FoundBy, err)
+			}
+		})
+	}
+}
+
 // TestRandomTrialsClean is the in-tree slice of the fuzz loop: a fixed
 // band of seeds must produce zero property violations on the unmodified
 // merge flow. cmd/modefuzz runs the same oracle over many more seeds.

@@ -19,6 +19,10 @@ func RandomSpec(rng *rand.Rand) *TrialSpec {
 	for i := 0; i < n; i++ {
 		s.Perturbs = append(s.Perturbs, RandomPerturb(rng))
 	}
+	// Each trial samples a worker count so the determinism oracle keeps
+	// cross-checking the parallel engine against the sequential merge at
+	// varied shardings (0 = GOMAXPROCS).
+	s.Parallelism = []int{0, 1, 2, 3, 4, 8}[rng.Intn(6)]
 	return s
 }
 

@@ -1,7 +1,9 @@
 package difftest
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -18,6 +20,7 @@ const (
 	PropEquivalence = "equivalence" // CheckEquivalence finds optimism
 	PropRoundTrip   = "roundtrip"   // merged SDC fails Write→Parse→Write
 	PropPessimism   = "pessimism"   // merged stricter than NaiveMerge
+	PropDeterminism = "determinism" // parallel merge differs from sequential
 )
 
 // maxDetails bounds the per-property detail strings kept in a violation
@@ -86,16 +89,28 @@ func Run(cx context.Context, spec *TrialSpec, fault core.FaultInjection) *TrialR
 		return res
 	}
 
-	opt := core.Options{Tolerance: spec.Tolerance, Inject: fault}
+	opt := core.Options{Tolerance: spec.Tolerance, Inject: fault, Parallelism: spec.Parallelism}
 	cleanOpt := core.Options{Tolerance: spec.Tolerance}
 
-	mergedModes, _, mb, err := core.MergeAll(cx, tg, modes, opt)
+	mergedModes, reports, mb, err := core.MergeAll(cx, tg, modes, opt)
 	if err != nil {
 		res.Err = fmt.Errorf("merge: %w", err)
 		return res
 	}
 	cliques := mb.Cliques()
 	res.Cliques = len(cliques)
+
+	// Property 4: determinism — the (possibly parallel) merge above must
+	// equal a fully sequential merge of the same spec byte-for-byte, both
+	// the merged SDC and the explain reports. The same fault injection
+	// applies to both sides, so the comparison isolates parallelism.
+	if spec.Parallelism != 1 {
+		res.Violations = append(res.Violations, checkDeterminism(cx, tg, modes, mergedModes, reports, opt)...)
+		if err := cx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
+	}
 
 	for i, clique := range cliques {
 		if len(clique) < 2 {
@@ -119,6 +134,48 @@ func Run(cx context.Context, spec *TrialSpec, fault core.FaultInjection) *TrialR
 		}
 	}
 	return res
+}
+
+// checkDeterminism re-merges with Parallelism=1 and compares the merged
+// SDC text and explain-report JSON of every clique against the parallel
+// run. Any difference is a sharding/reduction-order bug in the parallel
+// engine.
+func checkDeterminism(cx context.Context, tg *graph.Graph, modes []*sdc.Mode, parMerged []*sdc.Mode, parReports []*core.Report, opt core.Options) []Violation {
+	seqOpt := opt
+	seqOpt.Parallelism = 1
+	seqMerged, seqReports, _, err := core.MergeAll(cx, tg, modes, seqOpt)
+	if err != nil {
+		return []Violation{{Property: PropDeterminism, Clique: "*", Count: 1,
+			Details: []string{"sequential re-merge error: " + err.Error()}}}
+	}
+	if len(seqMerged) != len(parMerged) {
+		return []Violation{{Property: PropDeterminism, Clique: "*", Count: 1,
+			Details: []string{fmt.Sprintf("clique count differs: parallel %d vs sequential %d",
+				len(parMerged), len(seqMerged))}}}
+	}
+	var out []Violation
+	for i := range parMerged {
+		var details []string
+		if parMerged[i].Name != seqMerged[i].Name {
+			details = append(details, fmt.Sprintf("merged name differs: %q vs %q",
+				parMerged[i].Name, seqMerged[i].Name))
+		}
+		if pt, st := sdc.Write(parMerged[i]), sdc.Write(seqMerged[i]); pt != st {
+			details = append(details, "merged SDC differs: "+firstDiff(pt, st))
+		}
+		pj, err1 := json.Marshal(parReports[i].Explain(parMerged[i].Name))
+		sj, err2 := json.Marshal(seqReports[i].Explain(seqMerged[i].Name))
+		if err1 != nil || err2 != nil {
+			details = append(details, fmt.Sprintf("explain marshal error: %v / %v", err1, err2))
+		} else if !bytes.Equal(pj, sj) {
+			details = append(details, "explain JSON differs: "+firstDiff(string(pj), string(sj)))
+		}
+		if len(details) > 0 {
+			out = append(out, Violation{Property: PropDeterminism, Clique: parMerged[i].Name,
+				Count: len(details), Details: cap8(details)})
+		}
+	}
+	return out
 }
 
 // checkClique runs the three properties on one merged clique.

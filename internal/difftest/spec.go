@@ -1,7 +1,7 @@
 // Package difftest is a property-based differential fuzzing harness for
 // the mode-merging flow. It samples randomized designs and mode families
 // (internal/gen) plus random constraint perturbations, runs the
-// timing-graph merge, and checks every merged clique against three
+// timing-graph merge, and checks every merged clique against four
 // independent oracles:
 //
 //  1. equivalence — core.CheckEquivalence reports no optimistic
@@ -11,7 +11,11 @@
 //  3. pessimism bound — per-endpoint timing relationships of the merged
 //     mode are never more pessimistic than core.NaiveMerge on the same
 //     modes (the graph-based method must not lose to the textual
-//     baseline it claims to beat).
+//     baseline it claims to beat);
+//  4. determinism — merging with the trial's sampled worker count yields
+//     byte-identical merged SDC and explain reports to the fully
+//     sequential merge of the same spec (the parallel engine's
+//     shard/reduce scheme must not leak scheduling order into output).
 //
 // Failures shrink to a minimal reproducer spec and are written as JSON
 // corpus files under testdata/corpus/, which go test replays as
@@ -53,6 +57,12 @@ type TrialSpec struct {
 	Family    gen.FamilySpec `json:"family"`
 	Perturbs  []Perturb      `json:"perturbs,omitempty"`
 	Tolerance float64        `json:"tolerance,omitempty"`
+	// Parallelism bounds the merge-under-test's intra-merge worker pools
+	// (core.Options.Parallelism); 0 means GOMAXPROCS, 1 forces the
+	// sequential path. The engine guarantees byte-identical output for
+	// any value, and the determinism oracle re-merges sequentially to
+	// hold it to that. Absent in older corpus files (= 0).
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // Clone deep-copies the spec.

@@ -29,6 +29,11 @@ type Metrics struct {
 	CacheHitsDesign atomic.Int64
 	CacheMisses     atomic.Int64
 
+	// mergeParallelism is the configured intra-merge worker bound,
+	// surfaced as a gauge so operators can correlate latency with the
+	// parallelism setting.
+	mergeParallelism atomic.Int64
+
 	queueWait *obs.Histogram
 
 	mu         sync.Mutex
@@ -62,6 +67,15 @@ func (m *Metrics) add(c func(*Metrics) *atomic.Int64, delta int64) {
 	c(m).Add(delta)
 	if m.parent != nil {
 		c(m.parent).Add(delta)
+	}
+}
+
+// SetMergeParallelism records the server's configured intra-merge
+// parallelism (mirrored to the process aggregate; last server wins there).
+func (m *Metrics) SetMergeParallelism(n int) {
+	m.mergeParallelism.Store(int64(n))
+	if m.parent != nil {
+		m.parent.SetMergeParallelism(n)
 	}
 }
 
@@ -128,6 +142,8 @@ type StatsSnapshot struct {
 	CacheHitsDesign int64 `json:"cache_hits_design"`
 	CacheMisses     int64 `json:"cache_misses"`
 
+	MergeParallelism int64 `json:"merge_parallelism"`
+
 	QueueWait QueueWaitSnapshot `json:"queue_wait"`
 	Stages    []StageSnapshot   `json:"stages"`
 }
@@ -140,9 +156,10 @@ func (m *Metrics) Snapshot() StatsSnapshot {
 		JobsDone:        m.JobsDone.Load(),
 		JobsFailed:      m.JobsFailed.Load(),
 		JobsCanceled:    m.JobsCanceled.Load(),
-		CacheHitsResult: m.CacheHitsResult.Load(),
-		CacheHitsDesign: m.CacheHitsDesign.Load(),
-		CacheMisses:     m.CacheMisses.Load(),
+		CacheHitsResult:  m.CacheHitsResult.Load(),
+		CacheHitsDesign:  m.CacheHitsDesign.Load(),
+		CacheMisses:      m.CacheMisses.Load(),
+		MergeParallelism: m.mergeParallelism.Load(),
 	}
 	qw := m.queueWait.Snapshot()
 	out.QueueWait.Count = int64(qw.Count)
@@ -179,6 +196,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		obs.Series{Labels: []string{"state", "canceled"}, Value: float64(m.JobsCanceled.Load())})
 	pw.Gauge("modemerged_jobs_running", "Jobs currently executing on the worker pool.",
 		obs.Series{Value: float64(m.JobsRunning.Load())})
+	pw.Gauge("modemerged_merge_parallelism", "Configured intra-merge worker pool bound.",
+		obs.Series{Value: float64(m.mergeParallelism.Load())})
 	pw.Counter("modemerged_cache_events_total", "Cache hits and misses by cache.",
 		obs.Series{Labels: []string{"cache", "result", "event", "hit"}, Value: float64(m.CacheHitsResult.Load())},
 		obs.Series{Labels: []string{"cache", "design", "event", "hit"}, Value: float64(m.CacheHitsDesign.Load())},

@@ -44,8 +44,15 @@ import (
 
 // Config tunes a Server.
 type Config struct {
-	// Workers is the merge worker pool size. Default: GOMAXPROCS.
+	// Workers is the merge worker pool size (concurrent jobs). Default:
+	// GOMAXPROCS.
 	Workers int
+	// MergeParallelism bounds the intra-merge worker pools inside each
+	// job (core.Options.Parallelism): the sharded endpoint loops, the
+	// pass-2/3 relation queries and the pairwise mergeability analysis.
+	// Merged output is byte-identical for every setting. Default:
+	// GOMAXPROCS.
+	MergeParallelism int
 	// QueueDepth bounds queued (not yet running) jobs. Default 64.
 	QueueDepth int
 	// DefaultJobTimeout applies when a request carries no timeout_ms.
@@ -69,6 +76,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MergeParallelism <= 0 {
+		c.MergeParallelism = runtime.GOMAXPROCS(0)
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
@@ -138,6 +148,7 @@ func New(cfg Config) *Server {
 		jobs:       map[string]*Job{},
 		queue:      make(chan *Job, cfg.QueueDepth),
 	}
+	s.metrics.SetMergeParallelism(cfg.MergeParallelism)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -347,6 +358,7 @@ func (s *Server) execute(ctx context.Context, job *Job, req *MergeRequest) (*Res
 	opt := core.Options{
 		Tolerance:           req.Options.Tolerance,
 		MaxRefineIterations: req.Options.MaxRefineIterations,
+		Parallelism:         s.cfg.MergeParallelism,
 		STA:                 sta.Options{Workers: req.Options.Workers},
 		StageHook:           observe,
 		Trace:               root,

@@ -9,6 +9,7 @@ package sta
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"modemerge/internal/graph"
@@ -59,8 +60,9 @@ type ClockAtNode struct {
 
 // Options tunes an analysis context.
 type Options struct {
-	// Workers bounds the endpoint-analysis worker pool; 0 means
-	// GOMAXPROCS.
+	// Workers bounds the whole-design worker pools (endpoint slack
+	// analysis and the sharded endpoint-relation loop); 0 means
+	// GOMAXPROCS, 1 forces the sequential path.
 	Workers int
 	// MaxLaunchEdges caps the hyperperiod expansion when relating two
 	// clock waveforms; 0 means the default of 64.
@@ -71,6 +73,22 @@ type Options struct {
 	// parallel loops where per-call spans would swamp the trace. Nil
 	// disables tracing.
 	Span *obs.Span
+}
+
+// WorkerCount resolves Workers against n work items: at least 1, at most
+// n, defaulting to GOMAXPROCS when Workers is 0.
+func (o Options) WorkerCount(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Context is the per-mode analysis state: one design + one SDC mode.

@@ -1,6 +1,8 @@
 package sta
 
 import (
+	"sort"
+
 	"modemerge/internal/graph"
 	"modemerge/internal/library"
 	"modemerge/internal/netlist"
@@ -88,8 +90,22 @@ func (ctx *Context) ExtraClocks(justify func(node graph.NodeID, clock string) bo
 			}
 		}
 		// Justify every clock present; block the unjustified ones here.
-		blocked := map[ClockID]bool{}
+		// Visit keys in (clock, polarity) order: when several clocks are
+		// first blocked at the same node, the frontier order — and with it
+		// the merged SDC's set_clock_sense order — must not depend on map
+		// iteration.
+		keys := make([]key, 0, len(cur))
 		for t := range cur {
+			keys = append(keys, t)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].clock != keys[j].clock {
+				return keys[i].clock < keys[j].clock
+			}
+			return !keys[i].inv && keys[j].inv
+		})
+		blocked := map[ClockID]bool{}
+		for _, t := range keys {
 			if blocked[t.clock] {
 				delete(cur, t)
 				continue

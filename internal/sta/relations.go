@@ -3,6 +3,7 @@ package sta
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"modemerge/internal/graph"
 	"modemerge/internal/relation"
@@ -24,20 +25,67 @@ type RelKey struct {
 // endpoint and (launch clock, capture clock, check side), the set of
 // constraint states over all paths reaching it. Path groups with no live
 // paths are absent; callers treat absence as "not timed" (false).
-// Cancelling cx aborts the endpoint loop early; the returned map is then
-// partial and the caller must consult cx.Err() before trusting it.
+//
+// The endpoint loop shards across Opt.Workers goroutines, each folding a
+// contiguous endpoint range into a private map under its own child span;
+// the shards then reduce in shard order. Relation keys embed the endpoint
+// name (RelKey.End), so shard key sets are disjoint and the reduced map —
+// and everything derived from it — is identical to the sequential result
+// for any worker count. Cancelling cx aborts the loop early; the returned
+// map is then partial and the caller must consult cx.Err() before
+// trusting it.
 func (ctx *Context) EndpointRelations(cx context.Context) map[RelKey]relation.Set {
 	sp := ctx.Opt.Span.Child("endpoint_relations")
 	defer sp.Finish()
-	out := map[RelKey]relation.Set{}
-	tags := ctx.tags()
+	tags := ctx.tags() // force propagation before fan-out
 	ends := ctx.G.Endpoints()
 	sp.Add("endpoints", int64(len(ends)))
-	for _, end := range ends {
-		if cx.Err() != nil {
-			return out
+
+	workers := ctx.Opt.WorkerCount(len(ends))
+	if workers <= 1 {
+		out := map[RelKey]relation.Set{}
+		for _, end := range ends {
+			if cx.Err() != nil {
+				return out
+			}
+			ctx.accumulateRelations(out, end, tags[end], "*")
 		}
-		ctx.accumulateRelations(out, end, tags[end], "*")
+		sp.Add("path_groups", int64(len(out)))
+		return out
+	}
+
+	shards := make([]map[RelKey]relation.Set, workers)
+	chunk := (len(ends) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(ends) {
+			break
+		}
+		hi := min(lo+chunk, len(ends))
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			wsp := sp.Child(fmt.Sprintf("shard_%d", w))
+			defer wsp.Finish()
+			out := map[RelKey]relation.Set{}
+			for i := lo; i < hi; i++ {
+				if cx.Err() != nil {
+					break
+				}
+				ctx.accumulateRelations(out, ends[i], tags[ends[i]], "*")
+			}
+			wsp.Add("endpoints", int64(hi-lo))
+			wsp.Add("path_groups", int64(len(out)))
+			shards[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := map[RelKey]relation.Set{}
+	for _, shard := range shards {
+		for k, set := range shard {
+			out[k] = set
+		}
 	}
 	sp.Add("path_groups", int64(len(out)))
 	return out

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -40,10 +39,9 @@ func (ctx *Context) AnalyzeEndpoints(cx context.Context) []EndpointResult {
 	results := make([]EndpointResult, len(ends))
 	tags := ctx.tags() // force propagation before fan-out
 
-	workers := ctx.Opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	// Results are index-addressed, so the shard fan-out is deterministic
+	// for any worker count; each shard reports under its own child span.
+	workers := ctx.Opt.WorkerCount(len(ends))
 	var wg sync.WaitGroup
 	chunk := (len(ends) + workers - 1) / workers
 	if chunk < 1 {
@@ -59,15 +57,18 @@ func (ctx *Context) AnalyzeEndpoints(cx context.Context) []EndpointResult {
 			hi = len(ends)
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
+			wsp := sp.Child(fmt.Sprintf("shard_%d", w))
+			defer wsp.Finish()
 			for i := lo; i < hi; i++ {
 				if cx.Err() != nil {
 					return
 				}
 				results[i] = ctx.analyzeEndpoint(ends[i], tags[ends[i]])
 			}
-		}(lo, hi)
+			wsp.Add("endpoints", int64(hi-lo))
+		}(w, lo, hi)
 	}
 	wg.Wait()
 	return results
