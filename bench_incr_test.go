@@ -1,0 +1,82 @@
+// Incremental re-merge benchmark: the "edit one mode of N" scenario the
+// content-addressed sub-merge cache exists for. The fixture is the
+// medium observability design with a four-group mode family (twelve
+// modes, four merge cliques); the warm benchmark re-merges after a
+// one-mode edit against a cache warmed with the baseline family, so
+// three of the four cliques replay from cache and the fourth rebuilds
+// only the edited mode's share. Results land in BENCH_modemerge.json
+// next to the tracing and parallel-scaling numbers (see
+// bench_obs_test.go).
+package modemerge
+
+import (
+	"context"
+	"testing"
+
+	"modemerge/internal/core"
+	"modemerge/internal/gen"
+	"modemerge/internal/graph"
+	"modemerge/internal/incr"
+	"modemerge/internal/sdc"
+)
+
+// incrBenchFixture builds the incremental scenario: the baseline mode
+// family and a copy with one mode edited (an extra clock-uncertainty
+// line on the middle mode, re-parsed — the difftest incremental oracle
+// models edits the same way).
+func incrBenchFixture(tb testing.TB) (g *graph.Graph, baseline, perturbed []*sdc.Mode) {
+	tb.Helper()
+	spec := obsBenchSizes()[1] // medium design
+	spec.FSpec = gen.FamilySpec{Groups: 4, ModesPerGroup: []int{3, 3, 3, 3}, BasePeriod: 2}
+	g, baseline = obsBenchFixture(tb, spec)
+
+	pi := len(baseline) / 2
+	if len(baseline[pi].Clocks) == 0 {
+		tb.Fatal("fixture mode has no clocks to perturb")
+	}
+	text := sdc.Write(baseline[pi]) + "\nset_clock_uncertainty 0.123 [get_clocks " +
+		baseline[pi].Clocks[0].Name + "]\n"
+	pm, _, err := sdc.Parse(baseline[pi].Name, text, g.Design)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	perturbed = append([]*sdc.Mode(nil), baseline...)
+	perturbed[pi] = pm
+	return g, baseline, perturbed
+}
+
+func incrMergeOnce(tb testing.TB, g *graph.Graph, modes []*sdc.Mode, cache *incr.Cache) {
+	tb.Helper()
+	if _, _, _, err := core.MergeAll(context.Background(), g, modes, core.Options{Cache: cache}); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// BenchmarkMergeMediumCold is the reference: a full cacheless merge of
+// the perturbed family.
+func BenchmarkMergeMediumCold(b *testing.B) {
+	g, _, perturbed := incrBenchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		incrMergeOnce(b, g, perturbed, nil)
+	}
+}
+
+// BenchmarkMergeMediumWarm measures the incremental re-merge after a
+// one-mode edit. Each iteration re-warms a fresh cache with the baseline
+// family off the clock (otherwise iteration two would measure a pure
+// replay instead of the edit scenario) and times only the perturbed
+// re-merge.
+func BenchmarkMergeMediumWarm(b *testing.B) {
+	g, baseline, perturbed := incrBenchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cache := incr.New(0)
+		incrMergeOnce(b, g, baseline, cache)
+		b.StartTimer()
+		incrMergeOnce(b, g, perturbed, cache)
+	}
+}

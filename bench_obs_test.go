@@ -23,6 +23,7 @@ import (
 	"modemerge/internal/core"
 	"modemerge/internal/gen"
 	"modemerge/internal/graph"
+	"modemerge/internal/incr"
 	"modemerge/internal/obs"
 	"modemerge/internal/sdc"
 )
@@ -147,11 +148,23 @@ type benchDesignEntry struct {
 	Stages           []benchStageEntry    `json:"stages"`
 }
 
+// benchIncrementalEntry records the incremental re-merge datapoint: a
+// one-mode edit re-merged through a warm sub-merge cache versus the
+// same merge cold (see bench_incr_test.go for the scenario).
+type benchIncrementalEntry struct {
+	Design       string  `json:"design"`
+	Modes        int     `json:"modes"`
+	ColdNsPerOp  int64   `json:"cold_ns_per_op"`
+	WarmNsPerOp  int64   `json:"warm_ns_per_op"`
+	SpeedupXCold float64 `json:"speedup_vs_cold"`
+}
+
 type benchArtifact struct {
-	GeneratedUnix int64              `json:"generated_unix"`
-	GoVersion     string             `json:"go_version"`
-	NumCPU        int                `json:"num_cpu"`
-	Designs       []benchDesignEntry `json:"designs"`
+	GeneratedUnix int64                  `json:"generated_unix"`
+	GoVersion     string                 `json:"go_version"`
+	NumCPU        int                    `json:"num_cpu"`
+	Designs       []benchDesignEntry     `json:"designs"`
+	Incremental   *benchIncrementalEntry `json:"incremental,omitempty"`
 }
 
 // TestWriteBenchArtifact runs the three-size merge benchmark and writes
@@ -223,6 +236,38 @@ func TestWriteBenchArtifact(t *testing.T) {
 		})
 		t.Logf("%s: %d ns/op traced, %d ns/op untraced, overhead %.2f%%",
 			s.Name, tracedRes.NsPerOp(), plainRes.NsPerOp(), overhead)
+	}
+	// Incremental re-merge datapoint: edit one mode of twelve, re-merge
+	// through a cache warmed with the baseline family, versus cold.
+	{
+		g, baseline, perturbed := incrBenchFixture(t)
+		coldRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				incrMergeOnce(b, g, perturbed, nil)
+			}
+		})
+		warmRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cache := incr.New(0)
+				incrMergeOnce(b, g, baseline, cache)
+				b.StartTimer()
+				incrMergeOnce(b, g, perturbed, cache)
+			}
+		})
+		speedup := 0.0
+		if ns := warmRes.NsPerOp(); ns > 0 {
+			speedup = float64(coldRes.NsPerOp()) / float64(ns)
+		}
+		art.Incremental = &benchIncrementalEntry{
+			Design:       "medium",
+			Modes:        len(baseline),
+			ColdNsPerOp:  coldRes.NsPerOp(),
+			WarmNsPerOp:  warmRes.NsPerOp(),
+			SpeedupXCold: speedup,
+		}
+		t.Logf("incremental: cold %d ns/op, warm %d ns/op (%.2fx)",
+			coldRes.NsPerOp(), warmRes.NsPerOp(), speedup)
 	}
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {

@@ -6,6 +6,10 @@
 // Mergeability is analyzed first; each merge clique produces one merged
 // SDC file in the output directory, together with a merge report. Modes
 // that cannot merge with anything are copied through unchanged.
+//
+// With -cache-dir, sub-merge products (pairwise mergeability verdicts
+// and whole-clique merge artifacts) persist across runs, so re-running
+// after editing one mode of N redoes only that mode's share of the work.
 package main
 
 import (
@@ -18,12 +22,7 @@ import (
 	"path/filepath"
 	"strings"
 
-	"modemerge/internal/core"
-	"modemerge/internal/graph"
-	"modemerge/internal/library"
-	"modemerge/internal/netlist"
-	"modemerge/internal/sdc"
-	"modemerge/internal/sta"
+	"modemerge/pkg/modemerge"
 )
 
 func main() {
@@ -39,6 +38,7 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress progress output")
 		explain   = flag.Bool("explain", false, "print an explain report per merged mode and write <name>.explain.{txt,json} beside the SDC output")
 		timeout   = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit); exits with code 3 on deadline")
+		cacheDir  = flag.String("cache-dir", "", "incremental re-merge cache directory: persists sub-merge products across runs (empty = no reuse)")
 	)
 	flag.Parse()
 	if *verilog == "" || flag.NArg() < 1 {
@@ -51,7 +51,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *verilog, *top, *libFile, *outDir, *tolerance, *workers, *jobs, *validate, *quiet, *explain, flag.Args()); err != nil {
+	if err := run(ctx, *verilog, *top, *libFile, *outDir, *cacheDir, *tolerance, *workers, *jobs, *validate, *quiet, *explain, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "modemerge:", err)
 		if errors.Is(err, context.DeadlineExceeded) {
 			os.Exit(3)
@@ -60,51 +60,42 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, verilog, top, libFile, outDir string, tolerance float64, workers, jobs int, validate, quiet, explain bool, sdcFiles []string) error {
-	lib := library.Default()
+func run(ctx context.Context, verilog, top, libFile, outDir, cacheDir string, tolerance float64, workers, jobs int, validate, quiet, explain bool, sdcFiles []string) error {
+	libSrc := ""
 	if libFile != "" {
 		data, err := os.ReadFile(libFile)
 		if err != nil {
 			return err
 		}
-		lib, err = library.Parse(string(data))
-		if err != nil {
-			return err
-		}
+		libSrc = string(data)
 	}
 	vsrc, err := os.ReadFile(verilog)
 	if err != nil {
 		return err
 	}
-	design, err := netlist.ParseVerilog(string(vsrc), lib, top)
+	design, err := modemerge.LoadDesign(string(vsrc), libSrc, top)
 	if err != nil {
 		return err
 	}
-	if warnings, err := design.Validate(); err != nil {
-		return err
-	} else if len(warnings) > 0 && !quiet {
+	if warnings := design.Warnings(); len(warnings) > 0 && !quiet {
 		for _, w := range warnings {
 			fmt.Fprintln(os.Stderr, "warning:", w)
 		}
 	}
-	g, err := graph.Build(design)
-	if err != nil {
-		return err
-	}
 	if !quiet {
 		s := design.Stats()
 		fmt.Fprintf(os.Stderr, "design %s: %d cells (%d sequential), %d nets, %d ports\n",
-			design.Name, s.Cells, s.Sequential, s.Nets, s.Ports)
+			design.Name(), s.Cells, s.Sequential, s.Nets, s.Ports)
 	}
 
-	var modes []*sdc.Mode
+	var modes []*modemerge.Mode
 	for _, f := range sdcFiles {
 		src, err := os.ReadFile(f)
 		if err != nil {
 			return err
 		}
 		name := strings.TrimSuffix(filepath.Base(f), filepath.Ext(f))
-		mode, ignored, err := sdc.Parse(name, string(src), design)
+		mode, ignored, err := design.ParseMode(name, string(src))
 		if err != nil {
 			return fmt.Errorf("%s: %w", f, err)
 		}
@@ -114,15 +105,27 @@ func run(ctx context.Context, verilog, top, libFile, outDir string, tolerance fl
 		modes = append(modes, mode)
 	}
 
-	opt := core.Options{Tolerance: tolerance, Parallelism: jobs, STA: sta.Options{Workers: workers}}
-	merged, reports, mb, err := core.MergeAll(ctx, g, modes, opt)
+	opt := modemerge.Options{Tolerance: tolerance, Parallelism: jobs, Workers: workers}
+	if cacheDir != "" {
+		cache := modemerge.NewCache(0)
+		if err := cache.WithDisk(cacheDir); err != nil {
+			return fmt.Errorf("cache dir: %w", err)
+		}
+		opt.Cache = cache
+	}
+	merged, reports, mb, err := modemerge.MergeAll(ctx, design, modes, opt)
 	if err != nil {
 		return err
 	}
 	cliques := mb.Cliques()
 	if !quiet {
-		fmt.Fprint(os.Stderr, core.FormatMergeability(mb, cliques))
+		fmt.Fprint(os.Stderr, modemerge.FormatMergeability(mb, cliques))
 		fmt.Fprintf(os.Stderr, "%d modes -> %d merged modes\n", len(modes), len(merged))
+		if opt.Cache != nil {
+			cs := opt.Cache.Stats()
+			fmt.Fprintf(os.Stderr, "cache: pair %d/%d hits, clique %d/%d hits\n",
+				cs.PairHits, cs.PairHits+cs.PairMisses, cs.CliqueHits, cs.CliqueHits+cs.CliqueMisses)
+		}
 	}
 
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
@@ -130,7 +133,7 @@ func run(ctx context.Context, verilog, top, libFile, outDir string, tolerance fl
 	}
 	for i, m := range merged {
 		path := filepath.Join(outDir, sanitize(m.Name)+".sdc")
-		if err := os.WriteFile(path, []byte(sdc.Write(m)), 0o644); err != nil {
+		if err := os.WriteFile(path, []byte(modemerge.WriteSDC(m)), 0o644); err != nil {
 			return err
 		}
 		rep := reports[i]
@@ -166,11 +169,11 @@ func run(ctx context.Context, verilog, top, libFile, outDir string, tolerance fl
 			if len(clique) < 2 {
 				continue
 			}
-			group := make([]*sdc.Mode, len(clique))
+			group := make([]*modemerge.Mode, len(clique))
 			for i, mi := range clique {
 				group[i] = modes[mi]
 			}
-			res, err := core.CheckEquivalence(ctx, g, group, merged[ci], opt)
+			res, err := modemerge.CheckEquivalence(ctx, design, group, merged[ci], opt)
 			if err != nil {
 				return err
 			}

@@ -38,6 +38,8 @@ func main() {
 		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		designCache = flag.Int("design-cache", 32, "prepared-design cache entries")
 		resultCache = flag.Int("result-cache", 256, "finished-result cache entries")
+		incrCache   = flag.Int("incr-cache", 4096, "incremental sub-merge cache entries (timing contexts, pair verdicts, clique artifacts)")
+		incrDir     = flag.String("incr-cache-dir", "", "persist pair verdicts and clique artifacts under this directory (empty = memory only)")
 	)
 	flag.Parse()
 
@@ -56,6 +58,8 @@ func main() {
 		MaxJobTimeout:     *maxTimeout,
 		DesignCacheSize:   *designCache,
 		ResultCacheSize:   *resultCache,
+		IncrCacheSize:     *incrCache,
+		IncrCacheDir:      *incrDir,
 		Logger:            logger,
 	})
 

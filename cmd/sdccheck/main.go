@@ -20,11 +20,7 @@ import (
 	"path/filepath"
 	"strings"
 
-	"modemerge/internal/core"
-	"modemerge/internal/graph"
-	"modemerge/internal/library"
-	"modemerge/internal/netlist"
-	"modemerge/internal/sdc"
+	"modemerge/pkg/modemerge"
 )
 
 func main() {
@@ -51,37 +47,30 @@ func main() {
 }
 
 func run(verilog, top, libFile string, super bool, maxDiff int, files []string) (bool, error) {
-	lib := library.Default()
+	libSrc := ""
 	if libFile != "" {
 		data, err := os.ReadFile(libFile)
 		if err != nil {
 			return false, err
 		}
-		lib, err = library.Parse(string(data))
-		if err != nil {
-			return false, err
-		}
+		libSrc = string(data)
 	}
 	vsrc, err := os.ReadFile(verilog)
 	if err != nil {
 		return false, err
 	}
-	design, err := netlist.ParseVerilog(string(vsrc), lib, top)
+	design, err := modemerge.LoadDesign(string(vsrc), libSrc, top)
 	if err != nil {
 		return false, err
 	}
-	g, err := graph.Build(design)
-	if err != nil {
-		return false, err
-	}
-	var modes []*sdc.Mode
+	var modes []*modemerge.Mode
 	for _, f := range files {
 		src, err := os.ReadFile(f)
 		if err != nil {
 			return false, err
 		}
 		name := strings.TrimSuffix(filepath.Base(f), filepath.Ext(f))
-		m, _, err := sdc.Parse(name, string(src), design)
+		m, _, err := design.ParseMode(name, string(src))
 		if err != nil {
 			return false, fmt.Errorf("%s: %w", f, err)
 		}
@@ -105,7 +94,7 @@ func run(verilog, top, libFile string, super bool, maxDiff int, files []string) 
 	if super {
 		individual := modes[:len(modes)-1]
 		merged := modes[len(modes)-1]
-		res, err := core.CheckEquivalence(context.Background(), g, individual, merged, core.Options{})
+		res, err := modemerge.CheckEquivalence(context.Background(), design, individual, merged, modemerge.Options{})
 		if err != nil {
 			return false, err
 		}
@@ -123,11 +112,11 @@ func run(verilog, top, libFile string, super bool, maxDiff int, files []string) 
 		return false, fmt.Errorf("pairwise check wants exactly two SDC files (use -super for more)")
 	}
 	a, b := modes[0], modes[1]
-	resAB, err := core.CheckEquivalence(context.Background(), g, []*sdc.Mode{a}, b, core.Options{})
+	resAB, err := modemerge.CheckEquivalence(context.Background(), design, []*modemerge.Mode{a}, b, modemerge.Options{})
 	if err != nil {
 		return false, err
 	}
-	resBA, err := core.CheckEquivalence(context.Background(), g, []*sdc.Mode{b}, a, core.Options{})
+	resBA, err := modemerge.CheckEquivalence(context.Background(), design, []*modemerge.Mode{b}, a, modemerge.Options{})
 	if err != nil {
 		return false, err
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"modemerge/internal/graph"
+	"modemerge/internal/incr"
 	"modemerge/internal/netlist"
 	"modemerge/internal/obs"
 	"modemerge/internal/sdc"
@@ -59,6 +60,13 @@ type Options struct {
 	// leave it zero; the differential fuzzing harness (internal/difftest)
 	// uses it to prove its oracles catch real merge bugs.
 	Inject FaultInjection
+	// Cache, when set, is the incremental re-merge engine's sub-merge
+	// cache: per-mode analysis contexts, pairwise mergeability verdicts
+	// and whole-clique merge artifacts are looked up by content address
+	// before being computed and stored back after. Results are proven
+	// byte-identical to cold merges by the difftest incremental oracle.
+	// Nil disables incremental reuse.
+	Cache *incr.Cache
 }
 
 // FaultInjection selects deliberate merge bugs for differential testing.
@@ -248,19 +256,26 @@ func newMergerWithGraph(cx context.Context, g *graph.Graph, modes []*sdc.Mode, o
 	}
 	// Per-mode contexts build on the bounded pool: each mode is an
 	// independent analysis, and the results land in index order so the
-	// first failing mode (lowest index) wins deterministically.
+	// first failing mode (lowest index) wins deterministically. With an
+	// incremental cache, previously built contexts are reused by content
+	// address and only the missing ones are built (see incremental.go).
 	sp := mg.span.Child("build_contexts")
 	sp.Add("modes", int64(len(modes)))
 	mg.ctxs = make([]*sta.Context, len(modes))
-	errs := make([]error, len(modes))
-	forEachParallel(cx, len(modes), opt.parallelism(), func(i int) {
-		ctx, err := sta.NewContext(g, modes[i], mg.staOptions())
-		if err != nil {
-			errs[i] = fmt.Errorf("mode %s: %w", modes[i].Name, err)
-			return
-		}
-		mg.ctxs[i] = ctx
-	})
+	var errs []error
+	if opt.Cache != nil {
+		errs = mg.cachedContexts(cx, opt.Cache, sp)
+	} else {
+		errs = make([]error, len(modes))
+		forEachParallel(cx, len(modes), opt.parallelism(), func(i int) {
+			ctx, err := sta.NewContext(g, modes[i], mg.staOptions())
+			if err != nil {
+				errs[i] = fmt.Errorf("mode %s: %w", modes[i].Name, err)
+				return
+			}
+			mg.ctxs[i] = ctx
+		})
+	}
 	sp.Finish()
 	for _, err := range errs {
 		if err != nil {
@@ -362,6 +377,21 @@ func (mg *Merger) rebuildMerged() error {
 // Cancelling cx aborts the flow promptly with the context error.
 func Merge(cx context.Context, design *netlist.Design, modes []*sdc.Mode, opt Options) (*sdc.Mode, *Report, error) {
 	mg, err := NewMerger(cx, design, modes, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	merged, err := mg.Merge(cx)
+	if err != nil {
+		return nil, mg.Report, err
+	}
+	return merged, mg.Report, nil
+}
+
+// MergeWithGraph is Merge for callers that already built the design's
+// timing graph, so repeated merges (and the incremental cache, whose
+// keys include the graph fingerprint) do not rebuild it per call.
+func MergeWithGraph(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options) (*sdc.Mode, *Report, error) {
+	mg, err := newMergerWithGraph(cx, g, modes, opt)
 	if err != nil {
 		return nil, nil, err
 	}

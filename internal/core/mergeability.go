@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"modemerge/internal/graph"
+	"modemerge/internal/incr"
 	"modemerge/internal/sdc"
 )
 
@@ -34,6 +35,15 @@ type Mergeability struct {
 // would force one mode's generated clock to conflict with another clock
 // of the same name and derivation point.
 func AnalyzeMergeability(g *graph.Graph, modes []*sdc.Mode, opt Options) (*Mergeability, error) {
+	mb, _, err := analyzeMergeability(g, modes, opt)
+	return mb, err
+}
+
+// pairCacheStats reports how the pair-verdict cache fared during one
+// mergeability analysis, for trace counters and service stats.
+type pairCacheStats struct{ hits, misses int64 }
+
+func analyzeMergeability(g *graph.Graph, modes []*sdc.Mode, opt Options) (*Mergeability, pairCacheStats, error) {
 	opt = opt.withDefaults()
 	n := len(modes)
 	mb := &Mergeability{
@@ -56,9 +66,41 @@ func AnalyzeMergeability(g *graph.Graph, modes []*sdc.Mode, opt Options) (*Merge
 		}
 	}
 	reasons := make([]string, len(pairs))
-	forEachParallel(context.Background(), len(pairs), opt.parallelism(), func(k int) {
-		reasons[k] = mockMerge(modes[pairs[k].i], modes[pairs[k].j], opt.Tolerance)
-	})
+	var st pairCacheStats
+	if opt.Cache != nil {
+		// Incremental path: verdicts are addressed by the two modes'
+		// canonical SDC texts + tolerance, so after editing one mode of
+		// N only its N−1 pairs re-run mock merges.
+		texts := make([]string, n)
+		for i, m := range modes {
+			texts[i] = sdc.Write(m)
+		}
+		keys := make([]string, len(pairs))
+		var missed []int
+		for k, p := range pairs {
+			keys[k] = pairVerdictKey(opt.Tolerance, texts[p.i], texts[p.j])
+			if b, ok := opt.Cache.GetBytes(incr.GranPair, keys[k]); ok {
+				if r, valid := decodePairVerdict(b); valid {
+					reasons[k] = r
+					st.hits++
+					continue
+				}
+			}
+			missed = append(missed, k)
+		}
+		st.misses = int64(len(missed))
+		forEachParallel(context.Background(), len(missed), opt.parallelism(), func(m int) {
+			k := missed[m]
+			reasons[k] = mockMerge(modes[pairs[k].i], modes[pairs[k].j], opt.Tolerance)
+		})
+		for _, k := range missed {
+			opt.Cache.PutBytes(incr.GranPair, keys[k], encodePairVerdict(reasons[k]))
+		}
+	} else {
+		forEachParallel(context.Background(), len(pairs), opt.parallelism(), func(k int) {
+			reasons[k] = mockMerge(modes[pairs[k].i], modes[pairs[k].j], opt.Tolerance)
+		})
+	}
 	for k, p := range pairs {
 		if reasons[k] == "" {
 			mb.Edge[p.i][p.j] = true
@@ -68,7 +110,7 @@ func AnalyzeMergeability(g *graph.Graph, modes []*sdc.Mode, opt Options) (*Merge
 				A: modes[p.i].Name, B: modes[p.j].Name, Reason: reasons[k]})
 		}
 	}
-	return mb, nil
+	return mb, st, nil
 }
 
 // sortedKeys returns the keys of a string-keyed map in sorted order, so
@@ -256,7 +298,7 @@ func (mb *Mergeability) GroupNames(cliques [][]int) [][]string {
 func MergeAll(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options) ([]*sdc.Mode, []*Report, *Mergeability, error) {
 	sp := opt.Trace.Child("mergeability")
 	done := opt.stage("mergeability")
-	mb, err := AnalyzeMergeability(g, modes, opt)
+	mb, pst, err := analyzeMergeability(g, modes, opt)
 	if err != nil {
 		sp.Finish()
 		return nil, nil, nil, err
@@ -265,6 +307,10 @@ func MergeAll(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options
 	sp.Add("modes", int64(len(modes)))
 	sp.Add("cliques", int64(len(cliques)))
 	sp.Add("conflicts", int64(len(mb.Conflicts)))
+	if opt.Cache != nil {
+		sp.Add("pair_cache_hits", pst.hits)
+		sp.Add("pair_cache_misses", pst.misses)
+	}
 	sp.Finish()
 	done()
 	var out []*sdc.Mode
@@ -285,6 +331,25 @@ func MergeAll(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options
 		names := mb.GroupNames([][]int{clique})[0]
 		copt := opt
 		copt.Trace = opt.Trace.Child("merge:" + strings.Join(names, "+"))
+		var key string
+		if opt.Cache != nil {
+			// Incremental path: a clique whose members (and design +
+			// options) are unchanged replays its merged mode and report
+			// from the cache without building any contexts.
+			memberTexts := make([]string, len(group))
+			for i, m := range group {
+				memberTexts[i] = sdc.Write(m)
+			}
+			key = cliqueKey(g, opt, opt.MergedName, memberTexts)
+			if merged, report, ok := lookupClique(opt.Cache, key, g); ok {
+				copt.Trace.Add("clique_cache_hit", 1)
+				copt.Trace.Finish()
+				out = append(out, merged)
+				reports = append(reports, report)
+				continue
+			}
+			copt.Trace.Add("clique_cache_miss", 1)
+		}
 		mg, err := newMergerWithGraph(cx, g, group, copt)
 		if err != nil {
 			copt.Trace.Finish()
@@ -294,6 +359,9 @@ func MergeAll(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options
 		copt.Trace.Finish()
 		if err != nil {
 			return nil, nil, mb, fmt.Errorf("merging %v: %w", names, err)
+		}
+		if opt.Cache != nil {
+			storeClique(opt.Cache, key, merged, mg.Report, mg.stamps())
 		}
 		out = append(out, merged)
 		reports = append(reports, mg.Report)

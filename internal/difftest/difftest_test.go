@@ -69,6 +69,43 @@ func TestCorpusReplayParallel(t *testing.T) {
 	}
 }
 
+// TestCorpusReplayIncremental replays every committed reproducer with the
+// incremental oracle forced on: each entry must behave exactly as its
+// plain replay (the corpus predates the caching dimension), and the
+// oracle additionally holds the cached re-merge — cold fill, warm
+// replay, and warm after a one-mode edit — byte-identical to cacheless
+// merges.
+func TestCorpusReplayIncremental(t *testing.T) {
+	corpus, err := LoadDir("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) == 0 {
+		t.Fatal("empty corpus: testdata/corpus reproducers are expected to be committed")
+	}
+	for name, r := range corpus {
+		r := r
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			f, err := ParseFault(r.Fault)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := r.Spec
+			spec.Incremental = true
+			res := Run(context.Background(), &spec, f.Inject)
+			if err := r.Replay(res); err != nil {
+				t.Errorf("%s (found by %s, incremental): %v", name, r.FoundBy, err)
+			}
+			for _, v := range res.Violations {
+				if v.Property == PropIncremental {
+					t.Errorf("%s: incremental oracle fired on a pinned reproducer: %s", name, v)
+				}
+			}
+		})
+	}
+}
+
 // TestRandomTrialsClean is the in-tree slice of the fuzz loop: a fixed
 // band of seeds must produce zero property violations on the unmodified
 // merge flow. cmd/modefuzz runs the same oracle over many more seeds.

@@ -23,6 +23,11 @@ func RandomSpec(rng *rand.Rand) *TrialSpec {
 	// cross-checking the parallel engine against the sequential merge at
 	// varied shardings (0 = GOMAXPROCS).
 	s.Parallelism = []int{0, 1, 2, 3, 4, 8}[rng.Intn(6)]
+	// About a third of the trials also exercise the incremental re-merge
+	// engine (cache warm-up + one-mode perturbation + warm-vs-cold
+	// byte comparison); it roughly triples a trial's merge work, so it is
+	// sampled rather than always on.
+	s.Incremental = rng.Intn(3) == 0
 	return s
 }
 

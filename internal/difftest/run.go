@@ -10,6 +10,7 @@ import (
 	"modemerge/internal/core"
 	"modemerge/internal/gen"
 	"modemerge/internal/graph"
+	"modemerge/internal/incr"
 	"modemerge/internal/relation"
 	"modemerge/internal/sdc"
 	"modemerge/internal/sta"
@@ -21,6 +22,7 @@ const (
 	PropRoundTrip   = "roundtrip"   // merged SDC fails Write→Parse→Write
 	PropPessimism   = "pessimism"   // merged stricter than NaiveMerge
 	PropDeterminism = "determinism" // parallel merge differs from sequential
+	PropIncremental = "incremental" // warm cached re-merge differs from cold
 )
 
 // maxDetails bounds the per-property detail strings kept in a violation
@@ -112,6 +114,19 @@ func Run(cx context.Context, spec *TrialSpec, fault core.FaultInjection) *TrialR
 		}
 	}
 
+	// Property 5: incremental — merging through a content-addressed
+	// sub-merge cache (cold fill, warm replay, warm after perturbing one
+	// mode) must be byte-identical to cacheless merges of the same
+	// inputs. The same fault injection applies to both sides, so the
+	// comparison isolates the caching layer.
+	if spec.Incremental {
+		res.Violations = append(res.Violations, checkIncremental(cx, tg, modes, mergedModes, reports, opt)...)
+		if err := cx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
+	}
+
 	for i, clique := range cliques {
 		if len(clique) < 2 {
 			// A singleton clique's "merged" mode is the mode itself; the
@@ -176,6 +191,103 @@ func checkDeterminism(cx context.Context, tg *graph.Graph, modes []*sdc.Mode, pa
 		}
 	}
 	return out
+}
+
+// checkIncremental holds the incremental re-merge engine to its
+// byte-identity guarantee. The cacheless merge (baseMerged/baseReports)
+// is the reference; the oracle then
+//
+//  1. merges the same modes through a fresh cache (cold fill) and on a
+//     warm replay — both must match the reference;
+//  2. perturbs one mode deterministically (an extra clock-uncertainty
+//     line, i.e. "the user edited one mode file"), and compares the
+//     warm incremental re-merge of the perturbed family against a cold
+//     cacheless merge of it.
+func checkIncremental(cx context.Context, tg *graph.Graph, modes []*sdc.Mode, baseMerged []*sdc.Mode, baseReports []*core.Report, opt core.Options) []Violation {
+	violate := func(detail string) []Violation {
+		return []Violation{{Property: PropIncremental, Clique: "*", Count: 1, Details: []string{detail}}}
+	}
+	fingerprint := func(merged []*sdc.Mode, reports []*core.Report) (string, error) {
+		var b bytes.Buffer
+		for i := range merged {
+			b.WriteString("== " + merged[i].Name + "\n")
+			b.WriteString(sdc.Write(merged[i]))
+			ej, err := json.Marshal(reports[i].Explain(merged[i].Name))
+			if err != nil {
+				return "", err
+			}
+			b.Write(ej)
+			b.WriteByte('\n')
+		}
+		return b.String(), nil
+	}
+
+	ref, err := fingerprint(baseMerged, baseReports)
+	if err != nil {
+		return violate("reference explain marshal error: " + err.Error())
+	}
+	cache := incr.New(0)
+	cacheOpt := opt
+	cacheOpt.Cache = cache
+	for _, pass := range []string{"cold fill", "warm replay"} {
+		merged, reports, _, err := core.MergeAll(cx, tg, modes, cacheOpt)
+		if err != nil {
+			return violate(pass + " merge error: " + err.Error())
+		}
+		got, err := fingerprint(merged, reports)
+		if err != nil {
+			return violate(pass + " explain marshal error: " + err.Error())
+		}
+		if got != ref {
+			return violate(pass + " differs from cacheless merge: " + firstDiff(ref, got))
+		}
+	}
+	// A single-mode family has no pairs and no multi-member cliques, so
+	// there is legitimately nothing to cache; only larger families must
+	// show reuse on the warm replay.
+	st := cache.Stats().Snapshot()
+	if len(modes) >= 2 && st.PairHits+st.CliqueHits == 0 {
+		return violate("warm replay recorded no cache hits — the cache is not being consulted")
+	}
+
+	// Perturb one mode: append a clock-uncertainty line and re-parse. The
+	// target index and the edit are deterministic functions of the spec,
+	// so replays reproduce exactly. A clockless target can't be perturbed
+	// this way; skip the phase rather than invent a different edit.
+	pi := len(modes) / 2
+	if len(modes[pi].Clocks) == 0 {
+		return nil
+	}
+	text := sdc.Write(modes[pi]) + "\nset_clock_uncertainty 0.123 [get_clocks " +
+		modes[pi].Clocks[0].Name + "]\n"
+	pm, _, err := sdc.Parse(modes[pi].Name, text, tg.Design)
+	if err != nil {
+		return violate("perturbed mode does not reparse: " + err.Error())
+	}
+	perturbed := append([]*sdc.Mode(nil), modes...)
+	perturbed[pi] = pm
+
+	coldMerged, coldReports, _, err := core.MergeAll(cx, tg, perturbed, opt)
+	if err != nil {
+		return violate("cold merge of perturbed family: " + err.Error())
+	}
+	coldFP, err := fingerprint(coldMerged, coldReports)
+	if err != nil {
+		return violate("cold perturbed explain marshal error: " + err.Error())
+	}
+	warmMerged, warmReports, _, err := core.MergeAll(cx, tg, perturbed, cacheOpt)
+	if err != nil {
+		return violate("warm incremental re-merge of perturbed family: " + err.Error())
+	}
+	warmFP, err := fingerprint(warmMerged, warmReports)
+	if err != nil {
+		return violate("warm perturbed explain marshal error: " + err.Error())
+	}
+	if warmFP != coldFP {
+		return violate("incremental re-merge after one-mode edit differs from cold merge: " +
+			firstDiff(coldFP, warmFP))
+	}
+	return nil
 }
 
 // checkClique runs the three properties on one merged clique.

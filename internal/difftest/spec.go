@@ -1,7 +1,7 @@
 // Package difftest is a property-based differential fuzzing harness for
 // the mode-merging flow. It samples randomized designs and mode families
 // (internal/gen) plus random constraint perturbations, runs the
-// timing-graph merge, and checks every merged clique against four
+// timing-graph merge, and checks every merged clique against five
 // independent oracles:
 //
 //  1. equivalence — core.CheckEquivalence reports no optimistic
@@ -15,7 +15,11 @@
 //  4. determinism — merging with the trial's sampled worker count yields
 //     byte-identical merged SDC and explain reports to the fully
 //     sequential merge of the same spec (the parallel engine's
-//     shard/reduce scheme must not leak scheduling order into output).
+//     shard/reduce scheme must not leak scheduling order into output);
+//  5. incremental — merging through a content-addressed sub-merge cache
+//     (cold fill, warm replay, and a warm re-merge after editing one
+//     mode) stays byte-identical to cacheless merges of the same inputs
+//     (caching changes work, never results).
 //
 // Failures shrink to a minimal reproducer spec and are written as JSON
 // corpus files under testdata/corpus/, which go test replays as
@@ -63,6 +67,12 @@ type TrialSpec struct {
 	// any value, and the determinism oracle re-merges sequentially to
 	// hold it to that. Absent in older corpus files (= 0).
 	Parallelism int `json:"parallelism,omitempty"`
+	// Incremental additionally runs the incremental re-merge oracle:
+	// warm a sub-merge cache with a baseline merge, perturb one mode, and
+	// require the warm incremental re-merge to be byte-identical to a
+	// cold merge of the perturbed family (core.Options.Cache never
+	// changes results, only work). Absent in older corpus files (= off).
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // Clone deep-copies the spec.

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"strconv"
+)
+
+// Fingerprint returns a stable content digest of the timing graph: the
+// design name plus every node (name, flags) and every arc (endpoints,
+// kind, precomputed delay) in construction order. Build is deterministic
+// over a design, so two graphs built from byte-identical netlist +
+// library inputs share one fingerprint. The digest is the design half of
+// every incremental sub-merge cache key (see internal/incr); it is
+// computed once, lazily, and cached on the graph.
+func (g *Graph) Fingerprint() string {
+	g.fpOnce.Do(func() {
+		h := sha256.New()
+		var buf [8]byte
+		writeStr := func(s string) {
+			binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+			h.Write(buf[:])
+			h.Write([]byte(s))
+		}
+		writeInt := func(v int64) {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+		writeStr(g.Design.Name)
+		writeInt(int64(len(g.nodes)))
+		for i := range g.nodes {
+			n := &g.nodes[i]
+			writeStr(n.Name)
+			flags := int64(0)
+			if n.IsRegClock {
+				flags |= 1
+			}
+			if n.IsRegData {
+				flags |= 2
+			}
+			writeInt(flags)
+		}
+		writeInt(int64(len(g.arcs)))
+		for i := range g.arcs {
+			a := &g.arcs[i]
+			writeInt(int64(a.From))
+			writeInt(int64(a.To))
+			writeInt(int64(a.Kind))
+			writeInt(int64(math.Float64bits(a.Delay)))
+			if a.Lib != nil {
+				// Library arc identity: the timing numbers that feed delay
+				// calculation, so a library edit changes the fingerprint
+				// even when the topology is unchanged.
+				writeStr(a.Lib.From + ">" + a.Lib.To + ":" + strconv.Itoa(int(a.Lib.Kind)))
+				writeInt(int64(math.Float64bits(a.Lib.Intrinsic)))
+				writeInt(int64(math.Float64bits(a.Lib.Slope)))
+				writeInt(int64(math.Float64bits(a.Lib.Margin)))
+			}
+		}
+		g.fp = hex.EncodeToString(h.Sum(nil))
+	})
+	return g.fp
+}

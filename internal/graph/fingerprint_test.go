@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"testing"
+
+	"modemerge/internal/gen"
+	"modemerge/internal/library"
+	"modemerge/internal/netlist"
+)
+
+// The fingerprint is the design half of every incremental sub-merge
+// cache key, including the disk-persisted clique artifacts — so it must
+// be identical across independent builds of the same inputs (separate
+// processes especially). Go randomizes map iteration per range loop, so
+// rebuilding in-process a few times exercises the same hazard: any
+// map-order dependence in parse → elaborate → Builder → Build shows up
+// as a flapping digest.
+func TestFingerprintStableAcrossBuilds(t *testing.T) {
+	verilog := `module quick (clk, tclk, tmode, din, dout);
+  input clk, tclk, tmode, din;
+  output dout;
+  wire gck, q1, n1;
+  MUX2 ckmux (.I0(clk), .I1(tclk), .S(tmode), .Z(gck));
+  DFF r1 (.CP(gck), .D(din), .Q(q1));
+  INV u1 (.A(q1), .Z(n1));
+  DFF r2 (.CP(gck), .D(n1), .Q(dout));
+endmodule
+`
+	build := func() *Graph {
+		d, err := netlist.ParseVerilog(verilog, library.Default(), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Build(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	want := build().Fingerprint()
+	for i := 0; i < 5; i++ {
+		if got := build().Fingerprint(); got != want {
+			t.Fatalf("parse+build %d: fingerprint %s != %s — graph construction is order-dependent", i, got, want)
+		}
+	}
+
+	// Same property over the synthetic generator (Builder-driven rather
+	// than parser-driven construction).
+	genBuild := func() *Graph {
+		g, err := Build(gen.PaperCircuit())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	want = genBuild().Fingerprint()
+	for i := 0; i < 5; i++ {
+		if got := genBuild().Fingerprint(); got != want {
+			t.Fatalf("gen build %d: fingerprint %s != %s — graph construction is order-dependent", i, got, want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package graph
 
 import (
 	"fmt"
+	"sync"
 
 	"modemerge/internal/library"
 	"modemerge/internal/netlist"
@@ -115,6 +116,10 @@ type Graph struct {
 
 	starts []NodeID // register clock pins + input ports
 	ends   []NodeID // register data pins + output ports
+
+	// fp is the lazily computed content digest (see Fingerprint).
+	fpOnce sync.Once
+	fp     string
 }
 
 // Build constructs the timing graph for a design, precomputing wire-load

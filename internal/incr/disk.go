@@ -1,0 +1,87 @@
+package incr
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// DiskStore persists serialized cache values under a directory, one file
+// per entry at <dir>/<granularity>/<key[:2]>/<key>. Entries are
+// content-addressed so there is nothing to invalidate: stale values are
+// simply never looked up again. Writes go through a temp file + rename,
+// so concurrent processes sharing one cache directory never observe a
+// torn entry. The store performs no garbage collection; deleting the
+// directory (or any subtree) is always safe.
+type DiskStore struct {
+	dir string
+}
+
+// NewDiskStore opens (creating if needed) a disk store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("incr: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("incr: create cache dir: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *DiskStore) Dir() string { return d.dir }
+
+// path maps (granularity, key) to the entry's file path; keys are hex
+// digests, but anything path-hostile is rejected by validKey.
+func (d *DiskStore) path(gran, key string) (string, bool) {
+	if !validKey(gran) || !validKey(key) || len(key) < 3 {
+		return "", false
+	}
+	return filepath.Join(d.dir, gran, key[:2], key), true
+}
+
+func validKey(s string) bool {
+	if s == "" || strings.ContainsAny(s, "/\\") || s == "." || s == ".." {
+		return false
+	}
+	return true
+}
+
+// Get reads one entry; ok is false when absent (or unreadable).
+func (d *DiskStore) Get(gran, key string) ([]byte, bool) {
+	p, ok := d.path(gran, key)
+	if !ok {
+		return nil, false
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// Put writes one entry atomically (temp file + rename).
+func (d *DiskStore) Put(gran, key string, val []byte) error {
+	p, ok := d.path(gran, key)
+	if !ok {
+		return fmt.Errorf("incr: invalid cache key %q/%q", gran, key)
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}

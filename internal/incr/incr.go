@@ -1,0 +1,284 @@
+// Package incr is the incremental re-merge engine's content-addressed
+// sub-merge cache. Every input of the merging flow — the timing graph,
+// each mode's resolved SDC text, the merge options — hashes to a stable
+// digest, and the flow's intermediate products are cached at three
+// granularities keyed by those digests:
+//
+//   - per-mode sta timing contexts (memory only: a built context is a
+//     large pointer-rich structure that is cheap to share and expensive
+//     to serialize),
+//   - pairwise mergeability verdicts from the mock-merge analysis,
+//   - per-clique preliminary-merge + refinement artifacts (the merged
+//     SDC text plus the full merge report).
+//
+// Editing one mode of N therefore re-runs only that mode's context
+// build, its N−1 mergeability pairs, and the cliques containing it —
+// everything else is a cache hit. Keys are content addresses, so
+// invalidation is automatic: a changed input simply hashes to a new key
+// and the stale entry ages out of the LRU. Explicit invalidation
+// (InvalidatePrefix, Clear) exists for operators who want to drop state
+// eagerly.
+//
+// The cache is safe for concurrent use. An optional disk store persists
+// the two serializable granularities (pair verdicts and clique
+// artifacts) across processes, which is what makes warm CLI reruns
+// (`modemerge -cache-dir`) near-instant.
+package incr
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Granularity names one cached sub-merge product class. It prefixes
+// every key, so one store serves all three granularities without
+// collisions.
+type Granularity string
+
+// The three cache granularities of the incremental engine.
+const (
+	// GranContext caches built per-mode sta analysis contexts. Memory
+	// only: entries are live Go object graphs shared read-only between
+	// merges (see internal/sta on why sharing is safe).
+	GranContext Granularity = "ctx"
+	// GranPair caches pairwise mergeability verdicts ("" = mergeable,
+	// otherwise the first conflict reason).
+	GranPair Granularity = "pair"
+	// GranClique caches the merged SDC text + report of one merge
+	// clique — the whole preliminary-merge + refinement pipeline.
+	GranClique Granularity = "clique"
+)
+
+// Hash is the cache's content address: SHA-256 over length-prefixed
+// parts, so no concatenation of parts can collide with a different
+// split of the same bytes.
+func Hash(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats counts hits and misses per granularity. All fields are atomic;
+// read them through Snapshot.
+type Stats struct {
+	ContextHits, ContextMisses atomic.Int64
+	PairHits, PairMisses       atomic.Int64
+	CliqueHits, CliqueMisses   atomic.Int64
+}
+
+// StatsSnapshot is the JSON-ready view of Stats.
+type StatsSnapshot struct {
+	ContextHits   int64 `json:"context_hits"`
+	ContextMisses int64 `json:"context_misses"`
+	PairHits      int64 `json:"pair_hits"`
+	PairMisses    int64 `json:"pair_misses"`
+	CliqueHits    int64 `json:"clique_hits"`
+	CliqueMisses  int64 `json:"clique_misses"`
+}
+
+func (s *Stats) hit(g Granularity) {
+	switch g {
+	case GranContext:
+		s.ContextHits.Add(1)
+	case GranPair:
+		s.PairHits.Add(1)
+	case GranClique:
+		s.CliqueHits.Add(1)
+	}
+}
+
+func (s *Stats) miss(g Granularity) {
+	switch g {
+	case GranContext:
+		s.ContextMisses.Add(1)
+	case GranPair:
+		s.PairMisses.Add(1)
+	case GranClique:
+		s.CliqueMisses.Add(1)
+	}
+}
+
+// Snapshot reads the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		ContextHits:   s.ContextHits.Load(),
+		ContextMisses: s.ContextMisses.Load(),
+		PairHits:      s.PairHits.Load(),
+		PairMisses:    s.PairMisses.Load(),
+		CliqueHits:    s.CliqueHits.Load(),
+		CliqueMisses:  s.CliqueMisses.Load(),
+	}
+}
+
+// Cache is one incremental sub-merge cache: a bounded in-memory LRU over
+// all three granularities plus an optional disk store behind the
+// serializable ones. The zero value is not usable; construct with New.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	disk  *DiskStore // optional; nil = memory only
+	stats Stats
+}
+
+type entry struct {
+	key   string
+	value any
+	bytes bool // value is []byte (serializable granularity)
+}
+
+// New creates a memory-only cache holding at most capacity entries
+// across all granularities (minimum 16; default 4096 when capacity <= 0).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Cache{cap: capacity, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+// WithDisk layers a disk store under the serializable granularities
+// (pair verdicts, clique artifacts). Get falls through to disk on a
+// memory miss and promotes hits back into memory; Put writes through.
+func (c *Cache) WithDisk(dir string) (*Cache, error) {
+	d, err := NewDiskStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.disk = d
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Stats exposes the hit/miss counters.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+func fullKey(g Granularity, key string) string { return string(g) + "\x00" + key }
+
+// GetObject looks an in-memory object up (context granularity). It never
+// consults the disk store.
+func (c *Cache) GetObject(g Granularity, key string) (any, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[fullKey(g, key)]
+	if ok {
+		c.order.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.stats.miss(g)
+		return nil, false
+	}
+	c.stats.hit(g)
+	return el.Value.(*entry).value, true
+}
+
+// PutObject stores an in-memory object (context granularity).
+func (c *Cache) PutObject(g Granularity, key string, v any) {
+	c.put(fullKey(g, key), v, false)
+}
+
+// GetBytes looks a serialized value up: memory first, then the disk
+// store (when configured), promoting disk hits into memory.
+func (c *Cache) GetBytes(g Granularity, key string) ([]byte, bool) {
+	fk := fullKey(g, key)
+	c.mu.Lock()
+	el, ok := c.entries[fk]
+	if ok {
+		c.order.MoveToFront(el)
+	}
+	disk := c.disk
+	c.mu.Unlock()
+	if ok {
+		c.stats.hit(g)
+		return el.Value.(*entry).value.([]byte), true
+	}
+	if disk != nil {
+		if b, ok := disk.Get(string(g), key); ok {
+			c.put(fk, b, true)
+			c.stats.hit(g)
+			return b, true
+		}
+	}
+	c.stats.miss(g)
+	return nil, false
+}
+
+// PutBytes stores a serialized value, writing through to the disk store
+// when one is configured.
+func (c *Cache) PutBytes(g Granularity, key string, b []byte) {
+	c.put(fullKey(g, key), b, true)
+	c.mu.Lock()
+	disk := c.disk
+	c.mu.Unlock()
+	if disk != nil {
+		disk.Put(string(g), key, b) //nolint:errcheck // cache write-through is best effort
+	}
+}
+
+func (c *Cache) put(fk string, v any, isBytes bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[fk]; ok {
+		e := el.Value.(*entry)
+		e.value, e.bytes = v, isBytes
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[fk] = c.order.PushFront(&entry{key: fk, value: v, bytes: isBytes})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*entry).key)
+	}
+}
+
+// Len reports the in-memory entry count across all granularities.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// InvalidatePrefix drops every in-memory entry of the granularity whose
+// key starts with the prefix (e.g. a design fingerprint), and reports
+// how many entries were dropped. The disk store is left alone — its
+// entries are content-addressed and simply stop being referenced.
+func (c *Cache) InvalidatePrefix(g Granularity, prefix string) int {
+	fp := fullKey(g, prefix)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*entry); strings.HasPrefix(e.key, fp) {
+			c.order.Remove(el)
+			delete(c.entries, e.key)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
+// Clear drops every in-memory entry.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = map[string]*list.Element{}
+}

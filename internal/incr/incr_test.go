@@ -1,0 +1,204 @@
+package incr
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestHashLengthPrefixed(t *testing.T) {
+	// Different part boundaries over the same concatenated bytes must not
+	// collide: the length prefix makes ("ab","c") ≠ ("a","bc").
+	if Hash("ab", "c") == Hash("a", "bc") {
+		t.Fatal("hash collides across part boundaries")
+	}
+	if Hash("x") != Hash("x") {
+		t.Fatal("hash is not deterministic")
+	}
+	if Hash() == Hash("") {
+		t.Fatal("zero parts collides with one empty part")
+	}
+	if len(Hash("x")) != 64 {
+		t.Fatalf("expected 64 hex chars, got %d", len(Hash("x")))
+	}
+}
+
+func TestCacheObjectRoundTrip(t *testing.T) {
+	c := New(16)
+	if _, ok := c.GetObject(GranContext, "k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.PutObject(GranContext, "k", 42)
+	v, ok := c.GetObject(GranContext, "k")
+	if !ok || v.(int) != 42 {
+		t.Fatalf("got %v %v, want 42 true", v, ok)
+	}
+	// Granularities are separate namespaces.
+	if _, ok := c.GetObject(GranPair, "k"); ok {
+		t.Fatal("key leaked across granularities")
+	}
+	s := c.Stats().Snapshot()
+	if s.ContextHits != 1 || s.ContextMisses != 1 || s.PairMisses != 1 {
+		t.Fatalf("unexpected stats: %+v", s)
+	}
+}
+
+func TestCacheBytesRoundTrip(t *testing.T) {
+	c := New(16)
+	c.PutBytes(GranClique, "a", []byte("payload"))
+	b, ok := c.GetBytes(GranClique, "a")
+	if !ok || string(b) != "payload" {
+		t.Fatalf("got %q %v", b, ok)
+	}
+	s := c.Stats().Snapshot()
+	if s.CliqueHits != 1 || s.CliqueMisses != 0 {
+		t.Fatalf("unexpected stats: %+v", s)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(16) // minimum capacity
+	for i := 0; i < 20; i++ {
+		c.PutObject(GranContext, fmt.Sprintf("k%d", i), i)
+	}
+	if c.Len() != 16 {
+		t.Fatalf("len = %d, want 16", c.Len())
+	}
+	if _, ok := c.GetObject(GranContext, "k0"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, ok := c.GetObject(GranContext, "k19"); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	// Touching an entry protects it from the next eviction round.
+	c2 := New(16)
+	for i := 0; i < 16; i++ {
+		c2.PutObject(GranContext, fmt.Sprintf("k%d", i), i)
+	}
+	c2.GetObject(GranContext, "k0") // promote
+	c2.PutObject(GranContext, "new", 1)
+	if _, ok := c2.GetObject(GranContext, "k0"); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, ok := c2.GetObject(GranContext, "k1"); ok {
+		t.Fatal("least recently used entry survived")
+	}
+}
+
+func TestInvalidatePrefixAndClear(t *testing.T) {
+	c := New(16)
+	c.PutObject(GranContext, "aa1", 1)
+	c.PutObject(GranContext, "aa2", 2)
+	c.PutObject(GranContext, "bb1", 3)
+	c.PutObject(GranPair, "aa1", 4)
+	if n := c.InvalidatePrefix(GranContext, "aa"); n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	if _, ok := c.GetObject(GranContext, "bb1"); !ok {
+		t.Fatal("unrelated entry invalidated")
+	}
+	if _, ok := c.GetObject(GranPair, "aa1"); !ok {
+		t.Fatal("other granularity invalidated")
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("len after Clear = %d", c.Len())
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(16).WithDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Hash("some", "content")
+	c.PutBytes(GranClique, key, []byte("artifact"))
+
+	// A fresh cache over the same directory sees the entry (memory miss,
+	// disk hit), proving the write-through persisted.
+	c2, err := New(16).WithDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := c2.GetBytes(GranClique, key)
+	if !ok || string(b) != "artifact" {
+		t.Fatalf("disk round-trip: got %q %v", b, ok)
+	}
+	// The disk hit still counts as a cache hit.
+	if s := c2.Stats().Snapshot(); s.CliqueHits != 1 {
+		t.Fatalf("unexpected stats: %+v", s)
+	}
+	// Objects never go to disk.
+	c.PutObject(GranContext, key, 1)
+	c3, err := New(16).WithDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c3.GetObject(GranContext, key); ok {
+		t.Fatal("object leaked to disk store")
+	}
+}
+
+func TestDiskStoreRejectsHostileKeys(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../escape", "a/b", `a\b`, "."} {
+		if err := ds.Put(string(GranClique), key, []byte("x")); err == nil {
+			t.Fatalf("Put accepted hostile key %q", key)
+		}
+		if _, ok := ds.Get(string(GranClique), key); ok {
+			t.Fatalf("Get accepted hostile key %q", key)
+		}
+	}
+	// Nothing outside dir was created.
+	if _, err := os.Stat(filepath.Join(filepath.Dir(dir), "escape")); err == nil {
+		t.Fatal("hostile key escaped the cache directory")
+	}
+}
+
+func TestDiskStoreIgnoresCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(16).WithDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Hash("k")
+	c.PutBytes(GranPair, key, []byte("good"))
+	// Simulate a removed payload: a fresh cache must treat it as a miss.
+	path := filepath.Join(dir, string(GranPair), key[:2], key)
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(16).WithDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.GetBytes(GranPair, key); ok {
+		t.Fatal("hit on removed disk entry")
+	}
+}
+
+func TestCacheConcurrency(t *testing.T) {
+	c := New(64)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%32)
+				c.PutBytes(GranPair, k, []byte{byte(i)})
+				c.GetBytes(GranPair, k)
+				c.PutObject(GranContext, k, i)
+				c.GetObject(GranContext, k)
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

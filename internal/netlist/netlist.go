@@ -251,21 +251,32 @@ func (b *Builder) Inst(cellName, instName string, conns map[string]string) *Inst
 		return nil
 	}
 	inst := &Instance{Name: instName, Cell: cell, Conns: make([]*Net, len(cell.Pins)), Index: len(b.d.Insts)}
-	for pinName, netName := range conns {
-		idx := -1
-		for i, p := range cell.Pins {
-			if p.Name == pinName {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			b.errf("instance %q: cell %s has no pin %q", instName, cellName, pinName)
+	// Connect in cell pin order, never conns map order: net creation
+	// order and per-net Conns order must be deterministic — the timing
+	// graph fingerprint (the design half of every incremental cache key)
+	// hashes them in construction order.
+	matched := 0
+	for idx, p := range cell.Pins {
+		netName, ok := conns[p.Name]
+		if !ok {
 			continue
 		}
+		matched++
 		net := b.Net(netName)
 		inst.Conns[idx] = net
 		net.Conns = append(net.Conns, Conn{Inst: inst, Pin: idx})
+	}
+	if matched != len(conns) {
+		unknown := make([]string, 0, len(conns))
+		for pinName := range conns {
+			if cell.Pin(pinName) == nil {
+				unknown = append(unknown, pinName)
+			}
+		}
+		sort.Strings(unknown)
+		for _, pinName := range unknown {
+			b.errf("instance %q: cell %s has no pin %q", instName, cellName, pinName)
+		}
 	}
 	b.d.Insts = append(b.d.Insts, inst)
 	b.d.instByName[instName] = inst

@@ -13,31 +13,50 @@ import (
 // is far beyond anything this flow handles in one job).
 const maxRequestBytes = 32 << 20
 
-// Handler returns the service's HTTP API:
+// Handler returns the service's HTTP API. The /v2 surface (documented
+// in docs/api.md and docs/openapi.yaml) is the current one:
 //
-//	POST /v1/merge            submit a job (202 + {id, status, cached})
-//	GET  /v1/jobs/{id}        job status snapshot
-//	GET  /v1/jobs/{id}/result finished result (409 until done)
-//	GET  /v1/jobs/{id}/trace  the job's span tree (stage timings, counters)
-//	POST /v1/jobs/{id}/cancel request cooperative cancellation
-//	GET  /v1/stats            this server's counters and stage timings
+//	POST /v2/merge            submit a job (202 + {id, status, cached, digest});
+//	                          honors Idempotency-Key
+//	GET  /v2/jobs             list jobs (cursor pagination, ?status= filter)
+//	GET  /v2/jobs/{id}        job status snapshot
+//	GET  /v2/jobs/{id}/result finished result (409 until done)
+//	GET  /v2/jobs/{id}/trace  the job's span tree (stage timings, counters)
+//	POST /v2/jobs/{id}/cancel request cancellation (409 when already terminal)
+//	GET  /v2/stats            this server's counters and stage timings
+//
+// Errors on /v2 use a uniform envelope with stable codes (see http_v2.go).
+// The /v1 routes remain as a deprecated thin shim with their original
+// response shapes and send a Deprecation header. Unversioned:
+//
 //	GET  /metrics             Prometheus text exposition
 //	GET  /healthz             liveness probe
 //	GET  /debug/vars          process-wide expvar (includes "modemerged")
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/merge", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
-	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/merge", deprecatedV1(s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", deprecatedV1(s.handleJob))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", deprecatedV1(s.handleResult))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", deprecatedV1(s.handleTrace))
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", deprecatedV1(s.handleCancel))
+	mux.HandleFunc("GET /v1/stats", deprecatedV1(s.handleStats))
+	s.registerV2(mux)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
+}
+
+// deprecatedV1 marks a /v1 response as deprecated (RFC 9745) and points
+// clients at the /v2 successor without changing the response body.
+func deprecatedV1(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "@1755043200") // 2025-08-13, the /v2 release
+		w.Header().Set("Link", "<docs/api.md>; rel=\"deprecation\", </v2>; rel=\"successor-version\"")
+		h(w, r)
+	}
 }
 
 type submitResponse struct {

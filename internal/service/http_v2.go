@@ -1,0 +1,302 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"modemerge/internal/obs"
+)
+
+// The /v2 API serves the same job machinery as /v1 behind a uniform
+// error envelope and precise status codes:
+//
+//	{"error": {"code": "...", "message": "...", "details": {...}}}
+//
+// Codes are stable API surface (see docs/api.md and docs/openapi.yaml):
+// invalid_request (400), payload_too_large (413), not_found (404),
+// conflict (409), idempotency_mismatch (409), rate_limited (429),
+// unavailable (503).
+const (
+	codeInvalidRequest      = "invalid_request"
+	codePayloadTooLarge     = "payload_too_large"
+	codeNotFound            = "not_found"
+	codeConflict            = "conflict"
+	codeIdempotencyMismatch = "idempotency_mismatch"
+	codeRateLimited         = "rate_limited"
+	codeUnavailable         = "unavailable"
+)
+
+// v2Error is the envelope body of every /v2 error response.
+type v2Error struct {
+	Code    string         `json:"code"`
+	Message string         `json:"message"`
+	Details map[string]any `json:"details,omitempty"`
+}
+
+type v2ErrorResponse struct {
+	Error v2Error `json:"error"`
+}
+
+func writeErrorV2(w http.ResponseWriter, status int, code, msg string, details map[string]any) {
+	writeJSON(w, status, v2ErrorResponse{Error: v2Error{Code: code, Message: msg, Details: details}})
+}
+
+// v2Routes is the authoritative route table of the /v2 API; Handler
+// registers exactly these patterns and docs/openapi.yaml documents
+// exactly these paths (pinned by TestOpenAPICoversV2Routes).
+var v2Routes = []string{
+	"POST /v2/merge",
+	"GET /v2/jobs",
+	"GET /v2/jobs/{id}",
+	"GET /v2/jobs/{id}/result",
+	"GET /v2/jobs/{id}/trace",
+	"POST /v2/jobs/{id}/cancel",
+	"GET /v2/stats",
+}
+
+// V2Routes lists the /v2 route patterns served by Handler (method,
+// space, path — net/http ServeMux pattern syntax).
+func V2Routes() []string { return append([]string(nil), v2Routes...) }
+
+func (s *Server) registerV2(mux *http.ServeMux) {
+	handlers := map[string]http.HandlerFunc{
+		"POST /v2/merge":            s.handleSubmitV2,
+		"GET /v2/jobs":              s.handleJobsListV2,
+		"GET /v2/jobs/{id}":         s.handleJobV2,
+		"GET /v2/jobs/{id}/result":  s.handleResultV2,
+		"GET /v2/jobs/{id}/trace":   s.handleTraceV2,
+		"POST /v2/jobs/{id}/cancel": s.handleCancelV2,
+		"GET /v2/stats":             s.handleStats,
+	}
+	for _, pattern := range v2Routes {
+		mux.HandleFunc(pattern, handlers[pattern])
+	}
+}
+
+// submitResponseV2 extends the v1 submit payload with the request's
+// content digest so clients can correlate jobs with inputs.
+type submitResponseV2 struct {
+	ID     string `json:"id"`
+	Status Status `json:"status"`
+	Cached bool   `json:"cached"`
+	Digest string `json:"digest"`
+}
+
+func submitViewV2(job *Job) submitResponseV2 {
+	view := job.View()
+	return submitResponseV2{ID: job.ID, Status: view.Status, Cached: view.CacheHit, Digest: view.Digest}
+}
+
+// idemEntry records one Idempotency-Key's first use.
+type idemEntry struct {
+	digest string
+	jobID  string
+}
+
+func (s *Server) handleSubmitV2(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	var req MergeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErrorV2(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+				map[string]any{"limit_bytes": tooBig.Limit})
+			return
+		}
+		writeErrorV2(w, http.StatusBadRequest, codeInvalidRequest, "invalid request body: "+err.Error(), nil)
+		return
+	}
+
+	idemKey := r.Header.Get("Idempotency-Key")
+	if idemKey != "" {
+		// Serialize check-then-submit so concurrent retries with one key
+		// create exactly one job.
+		s.idemMu.Lock()
+		defer s.idemMu.Unlock()
+		if v, ok := s.idem.get(idemKey); ok {
+			e := v.(idemEntry)
+			if e.digest != req.resultKey() {
+				writeErrorV2(w, http.StatusConflict, codeIdempotencyMismatch,
+					"Idempotency-Key was first used with a different request payload",
+					map[string]any{"key": idemKey, "job_id": e.jobID})
+				return
+			}
+			if job, ok := s.Job(e.jobID); ok {
+				// Replay: same key, same payload — return the original job.
+				writeJSON(w, http.StatusOK, submitViewV2(job))
+				return
+			}
+			// The job aged out of history; fall through and resubmit.
+		}
+	}
+
+	job, err := s.Submit(&req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeErrorV2(w, http.StatusTooManyRequests, codeRateLimited, err.Error(), nil)
+		return
+	case errors.Is(err, ErrDraining):
+		writeErrorV2(w, http.StatusServiceUnavailable, codeUnavailable, err.Error(), nil)
+		return
+	case err != nil:
+		writeErrorV2(w, http.StatusBadRequest, codeInvalidRequest, err.Error(), nil)
+		return
+	}
+	if idemKey != "" {
+		s.idem.put(idemKey, idemEntry{digest: job.digest, jobID: job.ID})
+	}
+	writeJSON(w, http.StatusAccepted, submitViewV2(job))
+}
+
+// jobsListResponse is the GET /v2/jobs payload. NextCursor is set when
+// more jobs exist beyond this page; pass it back as ?cursor= to resume.
+type jobsListResponse struct {
+	Jobs       []JobView `json:"jobs"`
+	NextCursor string    `json:"next_cursor,omitempty"`
+}
+
+// jobIDLess orders job ids "j%06d" by sequence number: shorter ids sort
+// first, equal lengths lexicographically, so ids past j999999 still
+// order correctly.
+func jobIDLess(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+func (s *Server) handleJobsListV2(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 50
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 || n > 500 {
+			writeErrorV2(w, http.StatusBadRequest, codeInvalidRequest,
+				"limit must be an integer between 1 and 500", map[string]any{"limit": raw})
+			return
+		}
+		limit = n
+	}
+	var statusFilter Status
+	if raw := q.Get("status"); raw != "" {
+		switch Status(raw) {
+		case StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCanceled:
+			statusFilter = Status(raw)
+		default:
+			writeErrorV2(w, http.StatusBadRequest, codeInvalidRequest,
+				"unknown status filter", map[string]any{"status": raw})
+			return
+		}
+	}
+	cursor := q.Get("cursor")
+	if cursor != "" && !idSafe(cursor) {
+		writeErrorV2(w, http.StatusBadRequest, codeInvalidRequest, "malformed cursor", nil)
+		return
+	}
+
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobIDLess(jobs[i].ID, jobs[k].ID) })
+
+	resp := jobsListResponse{Jobs: []JobView{}}
+	for _, j := range jobs {
+		if cursor != "" && !jobIDLess(cursor, j.ID) {
+			continue // at or before the cursor: already served
+		}
+		view := j.View()
+		if statusFilter != "" && view.Status != statusFilter {
+			continue
+		}
+		if len(resp.Jobs) == limit {
+			resp.NextCursor = resp.Jobs[limit-1].ID
+			break
+		}
+		resp.Jobs = append(resp.Jobs, view)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// lookupJobV2 is lookupJob with the /v2 error envelope.
+func (s *Server) lookupJobV2(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	if !idSafe(id) {
+		writeErrorV2(w, http.StatusBadRequest, codeInvalidRequest, "malformed job id", nil)
+		return nil, false
+	}
+	job, ok := s.Job(id)
+	if !ok {
+		writeErrorV2(w, http.StatusNotFound, codeNotFound, "unknown job "+id,
+			map[string]any{"id": id})
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleJobV2(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.lookupJobV2(w, r); ok {
+		writeJSON(w, http.StatusOK, job.View())
+	}
+}
+
+func (s *Server) handleResultV2(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJobV2(w, r)
+	if !ok {
+		return
+	}
+	view := job.View()
+	switch view.Status {
+	case StatusDone:
+		writeJSON(w, http.StatusOK, job.Result())
+	case StatusFailed, StatusCanceled:
+		writeErrorV2(w, http.StatusConflict, codeConflict,
+			"job "+job.ID+" is "+string(view.Status)+": "+view.Error,
+			map[string]any{"id": job.ID, "status": view.Status})
+	default:
+		writeErrorV2(w, http.StatusConflict, codeConflict,
+			"job "+job.ID+" is still "+string(view.Status),
+			map[string]any{"id": job.ID, "status": view.Status})
+	}
+}
+
+func (s *Server) handleTraceV2(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJobV2(w, r)
+	if !ok {
+		return
+	}
+	tree := job.TraceTree()
+	if tree == nil {
+		tree = []*obs.SpanView{}
+	}
+	writeJSON(w, http.StatusOK, traceResponse{ID: job.ID, Status: job.Status(), Trace: tree})
+}
+
+// handleCancelV2 requests cancellation; unlike /v1 (which always accepts)
+// a job already in a terminal state is a 409 conflict, so clients can
+// distinguish "will stop" from "already over".
+func (s *Server) handleCancelV2(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJobV2(w, r)
+	if !ok {
+		return
+	}
+	switch status := job.Status(); status {
+	case StatusDone, StatusFailed, StatusCanceled:
+		writeErrorV2(w, http.StatusConflict, codeConflict,
+			"job "+job.ID+" is already "+string(status),
+			map[string]any{"id": job.ID, "status": status})
+	default:
+		job.Cancel()
+		writeJSON(w, http.StatusAccepted, job.View())
+	}
+}

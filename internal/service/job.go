@@ -140,6 +140,12 @@ type Result struct {
 type Job struct {
 	ID string
 
+	// digest is the request's content address (resultKey), set at submit
+	// time and immutable after. Identical submissions share a digest, so
+	// clients can correlate jobs with inputs and the idempotency layer
+	// can detect key reuse across different payloads.
+	digest string
+
 	// req is set before the job is enqueued and read only by the worker.
 	req *MergeRequest
 
@@ -271,6 +277,7 @@ func (j *Job) finish(status Status, result *Result, err error) bool {
 // JobView is the JSON snapshot served at GET /v1/jobs/{id}.
 type JobView struct {
 	ID        string            `json:"id"`
+	Digest    string            `json:"digest,omitempty"`
 	Status    Status            `json:"status"`
 	Error     string            `json:"error,omitempty"`
 	Created   time.Time         `json:"created"`
@@ -287,6 +294,7 @@ func (j *Job) View() JobView {
 	defer j.mu.Unlock()
 	v := JobView{
 		ID:       j.ID,
+		Digest:   j.digest,
 		Status:   j.status,
 		Error:    j.err,
 		Created:  j.created,

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"modemerge/internal/incr"
 	"modemerge/internal/obs"
 )
 
@@ -39,6 +40,10 @@ type Metrics struct {
 	mu         sync.Mutex
 	stages     map[string]*stageStat
 	stageHists map[string]*obs.Histogram
+	// incrSources are the incremental sub-merge caches feeding this
+	// instance's incr_cache snapshot; the process aggregate sums every
+	// server's cache.
+	incrSources []*incr.Stats
 }
 
 type stageStat struct {
@@ -68,6 +73,35 @@ func (m *Metrics) add(c func(*Metrics) *atomic.Int64, delta int64) {
 	if m.parent != nil {
 		c(m.parent).Add(delta)
 	}
+}
+
+// AddIncrSource registers an incremental cache's counters with this
+// instance (and, transitively, the process aggregate).
+func (m *Metrics) AddIncrSource(s *incr.Stats) {
+	m.mu.Lock()
+	m.incrSources = append(m.incrSources, s)
+	m.mu.Unlock()
+	if m.parent != nil {
+		m.parent.AddIncrSource(s)
+	}
+}
+
+// incrSnapshot sums the registered incremental caches' counters.
+func (m *Metrics) incrSnapshot() incr.StatsSnapshot {
+	m.mu.Lock()
+	sources := m.incrSources
+	m.mu.Unlock()
+	var out incr.StatsSnapshot
+	for _, s := range sources {
+		snap := s.Snapshot()
+		out.ContextHits += snap.ContextHits
+		out.ContextMisses += snap.ContextMisses
+		out.PairHits += snap.PairHits
+		out.PairMisses += snap.PairMisses
+		out.CliqueHits += snap.CliqueHits
+		out.CliqueMisses += snap.CliqueMisses
+	}
+	return out
 }
 
 // SetMergeParallelism records the server's configured intra-merge
@@ -142,6 +176,10 @@ type StatsSnapshot struct {
 	CacheHitsDesign int64 `json:"cache_hits_design"`
 	CacheMisses     int64 `json:"cache_misses"`
 
+	// IncrCache breaks the incremental sub-merge cache down by
+	// granularity (per-mode contexts, pair verdicts, clique artifacts).
+	IncrCache incr.StatsSnapshot `json:"incr_cache"`
+
 	MergeParallelism int64 `json:"merge_parallelism"`
 
 	QueueWait QueueWaitSnapshot `json:"queue_wait"`
@@ -159,6 +197,7 @@ func (m *Metrics) Snapshot() StatsSnapshot {
 		CacheHitsResult:  m.CacheHitsResult.Load(),
 		CacheHitsDesign:  m.CacheHitsDesign.Load(),
 		CacheMisses:      m.CacheMisses.Load(),
+		IncrCache:        m.incrSnapshot(),
 		MergeParallelism: m.mergeParallelism.Load(),
 	}
 	qw := m.queueWait.Snapshot()
@@ -202,6 +241,15 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		obs.Series{Labels: []string{"cache", "result", "event", "hit"}, Value: float64(m.CacheHitsResult.Load())},
 		obs.Series{Labels: []string{"cache", "design", "event", "hit"}, Value: float64(m.CacheHitsDesign.Load())},
 		obs.Series{Labels: []string{"cache", "result", "event", "miss"}, Value: float64(m.CacheMisses.Load())})
+	ic := m.incrSnapshot()
+	pw.Counter("modemerged_incr_cache_events_total",
+		"Incremental sub-merge cache hits and misses by granularity.",
+		obs.Series{Labels: []string{"granularity", "context", "event", "hit"}, Value: float64(ic.ContextHits)},
+		obs.Series{Labels: []string{"granularity", "context", "event", "miss"}, Value: float64(ic.ContextMisses)},
+		obs.Series{Labels: []string{"granularity", "pair", "event", "hit"}, Value: float64(ic.PairHits)},
+		obs.Series{Labels: []string{"granularity", "pair", "event", "miss"}, Value: float64(ic.PairMisses)},
+		obs.Series{Labels: []string{"granularity", "clique", "event", "hit"}, Value: float64(ic.CliqueHits)},
+		obs.Series{Labels: []string{"granularity", "clique", "event", "miss"}, Value: float64(ic.CliqueMisses)})
 	pw.Histogram("modemerged_queue_wait_seconds", "Time jobs spend queued before a worker picks them up.",
 		obs.HistSeries{Snap: m.queueWait.Snapshot()})
 

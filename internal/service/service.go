@@ -35,6 +35,7 @@ import (
 
 	"modemerge/internal/core"
 	"modemerge/internal/graph"
+	"modemerge/internal/incr"
 	"modemerge/internal/library"
 	"modemerge/internal/netlist"
 	"modemerge/internal/obs"
@@ -68,6 +69,14 @@ type Config struct {
 	// jobs stay available for status polling; beyond it the oldest
 	// terminal jobs are evicted from the job table. Default 1024.
 	JobHistoryLimit int
+	// IncrCacheSize bounds the incremental sub-merge cache (per-mode
+	// timing contexts, pair verdicts, clique artifacts — see
+	// internal/incr) shared by all jobs. Default 4096 entries.
+	IncrCacheSize int
+	// IncrCacheDir persists pair verdicts and clique artifacts on disk so
+	// warm-start reruns survive restarts. Empty = memory only. An
+	// unusable directory logs a warning and degrades to memory only.
+	IncrCacheDir string
 	// Logger receives structured job lifecycle logs. Default:
 	// slog.Default().
 	Logger *slog.Logger
@@ -118,6 +127,13 @@ type Server struct {
 
 	designs *designCache
 	results *lruCache
+	incr    *incr.Cache
+
+	// idem maps Idempotency-Key values to the submitted request digest
+	// and job id; idemMu serializes the check-then-submit sequence so
+	// concurrent retries with one key create one job.
+	idem   *lruCache
+	idemMu sync.Mutex
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -143,11 +159,20 @@ func New(cfg Config) *Server {
 		logger:     cfg.Logger,
 		designs:    newDesignCache(cfg.DesignCacheSize),
 		results:    newLRU(cfg.ResultCacheSize),
+		incr:       incr.New(cfg.IncrCacheSize),
+		idem:       newLRU(1024),
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
 		jobs:       map[string]*Job{},
 		queue:      make(chan *Job, cfg.QueueDepth),
 	}
+	if cfg.IncrCacheDir != "" {
+		if _, err := s.incr.WithDisk(cfg.IncrCacheDir); err != nil {
+			cfg.Logger.Warn("incremental cache disk store disabled",
+				"dir", cfg.IncrCacheDir, "error", err)
+		}
+	}
+	s.metrics.AddIncrSource(s.incr.Stats())
 	s.metrics.SetMergeParallelism(cfg.MergeParallelism)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -158,6 +183,9 @@ func New(cfg Config) *Server {
 
 // Metrics exposes the server's counters (used by /v1/stats and tests).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// IncrCache exposes the shared incremental sub-merge cache.
+func (s *Server) IncrCache() *incr.Cache { return s.incr }
 
 // Job looks a job up by id.
 func (s *Server) Job(id string) (*Job, bool) {
@@ -177,8 +205,9 @@ func (s *Server) Submit(req *MergeRequest) (*Job, error) {
 	id := fmt.Sprintf("j%06d", s.seq.Add(1))
 	jobCtx, jobCancel := context.WithCancel(s.baseCtx)
 	job := newJob(id, jobCtx, jobCancel)
+	job.digest = req.resultKey()
 
-	if cached, ok := s.results.get(req.resultKey()); ok {
+	if cached, ok := s.results.get(job.digest); ok {
 		job.mu.Lock()
 		job.cacheHit = true
 		job.mu.Unlock()
@@ -362,6 +391,7 @@ func (s *Server) execute(ctx context.Context, job *Job, req *MergeRequest) (*Res
 		STA:                 sta.Options{Workers: req.Options.Workers},
 		StageHook:           observe,
 		Trace:               root,
+		Cache:               s.incr,
 	}
 	merged, reports, mb, err := core.MergeAll(ctx, prep.graph, modes, opt)
 	if err != nil {

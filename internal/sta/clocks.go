@@ -284,9 +284,10 @@ func (ctx *Context) ClockActive(id ClockID) bool {
 }
 
 func (ctx *Context) activeOnce() {
-	if ctx.clockActive != nil {
-		return
-	}
+	ctx.activeGuard.Do(ctx.computeActive)
+}
+
+func (ctx *Context) computeActive() {
 	active := make([]bool, len(ctx.Clocks))
 	for nid := range ctx.ClockTags {
 		node := ctx.G.Node(graph.NodeID(nid))

@@ -135,8 +135,11 @@ type Context struct {
 	// propagations (see getTagArray).
 	tagArrayPool sync.Pool
 
-	// clockActive caches per-clock activity (lazy; see ClockActive).
+	// clockActive caches per-clock activity (lazy, once-protected so a
+	// context cached by the incremental engine can be shared by
+	// concurrent merges; see ClockActive).
 	clockActive []bool
+	activeGuard sync.Once
 
 	// borrowNode/borrowClock hold set_max_time_borrow limits.
 	borrowNode  map[graph.NodeID]float64

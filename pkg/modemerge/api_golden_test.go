@@ -1,0 +1,193 @@
+package modemerge
+
+// The golden API-surface test: the exported surface of this package is
+// a compatibility contract, so every exported declaration is rendered
+// to a canonical one-line form and compared against testdata/api.golden.
+// Removing or changing an existing declaration fails this test (and CI);
+// intentional surface changes re-run with -update and commit the diff.
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/api.golden from the current API surface")
+
+const goldenPath = "testdata/api.golden"
+
+func TestAPISurfaceGolden(t *testing.T) {
+	got := apiSurface(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden API snapshot (run go test -run APISurface -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API surface changed; if intentional, re-run with -update and commit.\n%s",
+			surfaceDiff(string(want), got))
+	}
+}
+
+// apiSurface renders every exported declaration of the package in this
+// directory as sorted, canonical one-line entries.
+func apiSurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declSurface(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func declSurface(fset *token.FileSet, decl ast.Decl) []string {
+	var lines []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		recv := ""
+		if d.Recv != nil && len(d.Recv.List) == 1 {
+			rt := exprString(fset, d.Recv.List[0].Type)
+			// Methods on unexported receivers are not part of the surface.
+			if !ast.IsExported(strings.TrimPrefix(rt, "*")) {
+				return nil
+			}
+			recv = "(" + rt + ") "
+		}
+		sig := strings.TrimPrefix(exprString(fset, d.Type), "func")
+		lines = append(lines, "func "+recv+d.Name.Name+sig)
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if sp.Name.IsExported() {
+					lines = append(lines, typeSurface(fset, sp)...)
+				}
+			case *ast.ValueSpec:
+				for _, name := range sp.Names {
+					if !name.IsExported() {
+						continue
+					}
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
+					line := kind + " " + name.Name
+					if sp.Type != nil {
+						line += " " + exprString(fset, sp.Type)
+					}
+					lines = append(lines, line)
+				}
+			}
+		}
+	}
+	return lines
+}
+
+// typeSurface renders one exported type. Structs contribute one line per
+// exported field (unexported fields are implementation detail); aliases
+// and other type definitions render their full right-hand side.
+func typeSurface(fset *token.FileSet, sp *ast.TypeSpec) []string {
+	eq := ""
+	if sp.Assign.IsValid() {
+		eq = "= "
+	}
+	st, isStruct := sp.Type.(*ast.StructType)
+	if !isStruct || sp.Assign.IsValid() {
+		return []string{"type " + sp.Name.Name + " " + eq + exprString(fset, sp.Type)}
+	}
+	lines := []string{"type " + sp.Name.Name + " struct"}
+	for _, field := range st.Fields.List {
+		ft := exprString(fset, field.Type)
+		if len(field.Names) == 0 { // embedded
+			if ast.IsExported(strings.TrimPrefix(ft, "*")) {
+				lines = append(lines, "type "+sp.Name.Name+" struct: "+ft)
+			}
+			continue
+		}
+		for _, name := range field.Names {
+			if name.IsExported() {
+				lines = append(lines, "type "+sp.Name.Name+" struct: "+name.Name+" "+ft)
+			}
+		}
+	}
+	return lines
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return fmt.Sprintf("<print error: %v>", err)
+	}
+	// Canonicalize multi-line renderings (e.g. struct literals in
+	// signatures) to one line so the golden file stays line-oriented.
+	return strings.Join(strings.Fields(sb.String()), " ")
+}
+
+// surfaceDiff reports entries only in want (removed: breaking) and only
+// in got (added: fine, but must be snapshotted).
+func surfaceDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(want), "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(got), "\n") {
+		gotSet[l] = true
+	}
+	var sb strings.Builder
+	for _, l := range sortedKeys(wantSet) {
+		if !gotSet[l] {
+			fmt.Fprintf(&sb, "  removed: %s\n", l)
+		}
+	}
+	for _, l := range sortedKeys(gotSet) {
+		if !wantSet[l] {
+			fmt.Fprintf(&sb, "  added:   %s\n", l)
+		}
+	}
+	if sb.Len() == 0 {
+		return "  (ordering or formatting difference only)"
+	}
+	return sb.String()
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

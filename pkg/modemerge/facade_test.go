@@ -1,0 +1,146 @@
+package modemerge_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"modemerge/internal/gen"
+	"modemerge/internal/netlist"
+	"modemerge/pkg/modemerge"
+)
+
+// fixture builds a small multi-group design + mode family through the
+// public facade only (Verilog text in, modes parsed against the design).
+func fixture(t *testing.T) (*modemerge.Design, []*modemerge.Mode) {
+	t.Helper()
+	gd, err := gen.Generate(gen.DesignSpec{Name: "facade", Seed: 71, Domains: 2,
+		BlocksPerDomain: 1, Stages: 2, RegsPerStage: 2, CloudDepth: 1, CrossPaths: 1, IOPairs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := modemerge.LoadDesign(netlist.WriteVerilog(gd.Design), "", "facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modes []*modemerge.Mode
+	for _, ms := range gd.Modes(gen.FamilySpec{Groups: 2, ModesPerGroup: []int{2, 2}, BasePeriod: 2}) {
+		m, _, err := design.ParseMode(ms.Name, ms.Text)
+		if err != nil {
+			t.Fatalf("mode %s: %v", ms.Name, err)
+		}
+		modes = append(modes, m)
+	}
+	return design, modes
+}
+
+func TestFacadeMergeAll(t *testing.T) {
+	design, modes := fixture(t)
+	if design.Name() != "facade" {
+		t.Fatalf("Name() = %q", design.Name())
+	}
+	if s := design.Stats(); s.Cells == 0 || s.Ports == 0 {
+		t.Fatalf("empty design stats: %+v", s)
+	}
+	merged, reports, mb, err := modemerge.MergeAll(context.Background(), design, modes, modemerge.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != len(reports) {
+		t.Fatalf("%d merged modes but %d reports", len(merged), len(reports))
+	}
+	cliques := mb.Cliques()
+	if len(merged) != len(cliques) {
+		t.Fatalf("%d merged modes for %d cliques", len(merged), len(cliques))
+	}
+	// Two non-mergeable groups must not collapse into one merged mode.
+	if len(merged) < 2 || len(merged) >= len(modes) {
+		t.Fatalf("expected 2..%d merged modes, got %d", len(modes)-1, len(merged))
+	}
+	if txt := modemerge.FormatMergeability(mb, cliques); !strings.Contains(txt, "clique") {
+		t.Errorf("FormatMergeability output looks empty:\n%s", txt)
+	}
+	for i, m := range merged {
+		if modemerge.WriteSDC(m) == "" {
+			t.Errorf("merged mode %d renders empty", i)
+		}
+	}
+	// Every multi-member clique must validate as a sign-off-safe superset.
+	for ci, clique := range cliques {
+		if len(clique) < 2 {
+			continue
+		}
+		var group []*modemerge.Mode
+		for _, mi := range clique {
+			group = append(group, modes[mi])
+		}
+		res, err := modemerge.CheckEquivalence(context.Background(), design, group, merged[ci], modemerge.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent() {
+			t.Errorf("merged mode %s relaxes its members: %s", merged[ci].Name, res)
+		}
+	}
+}
+
+func TestFacadeCacheReuse(t *testing.T) {
+	design, modes := fixture(t)
+	cache := modemerge.NewCache(0)
+	if err := cache.WithDisk(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	opt := modemerge.Options{Cache: cache}
+	cold, _, _, err := modemerge.MergeAll(context.Background(), design, modes, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, _, _, err := modemerge.MergeAll(context.Background(), design, modes, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold) != len(warm) {
+		t.Fatalf("cold %d vs warm %d merged modes", len(cold), len(warm))
+	}
+	for i := range cold {
+		if modemerge.WriteSDC(cold[i]) != modemerge.WriteSDC(warm[i]) {
+			t.Errorf("warm merge %d differs from cold", i)
+		}
+	}
+	// A pure replay hits at the pair and clique levels; the clique hit
+	// short-circuits the merge, so per-mode contexts are never rebuilt
+	// (and never even looked up) on the warm pass.
+	st := cache.Stats()
+	if st.CliqueHits == 0 || st.PairHits == 0 {
+		t.Errorf("warm replay produced no cache hits: %+v", st)
+	}
+}
+
+func TestFacadeSingleCliqueMerge(t *testing.T) {
+	design, modes := fixture(t)
+	mb, err := modemerge.AnalyzeMergeability(design, modes, modemerge.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, clique := range mb.Cliques() {
+		if len(clique) < 2 {
+			continue
+		}
+		var group []*modemerge.Mode
+		for _, mi := range clique {
+			group = append(group, modes[mi])
+		}
+		merged, report, err := modemerge.Merge(context.Background(), design, group, modemerge.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged == nil || report == nil {
+			t.Fatal("Merge returned nil mode or report")
+		}
+		if exp := report.Explain(merged.Name); exp.Text() == "" {
+			t.Error("empty explain report")
+		}
+		return
+	}
+	t.Fatal("fixture produced no multi-member clique")
+}
