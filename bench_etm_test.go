@@ -1,0 +1,181 @@
+// ETM benchmark harness: measures interface-timing-model extraction cost
+// and hierarchical-vs-flat merge wall time over three hierarchical design
+// sizes. The datapoints feed the "hierarchical" section of
+// BENCH_modemerge.json (see bench_obs_test.go / TestWriteBenchArtifact).
+package modemerge
+
+import (
+	"context"
+	"testing"
+
+	"modemerge/internal/core"
+	"modemerge/internal/etm"
+	"modemerge/internal/gen"
+	"modemerge/internal/graph"
+	"modemerge/internal/netlist"
+	"modemerge/internal/sdc"
+)
+
+type hierBenchSize struct {
+	Name  string
+	HSpec gen.HierSpec
+	FSpec gen.FamilySpec
+}
+
+func hierBenchSizes() []hierBenchSize {
+	family := gen.FamilySpec{Groups: 1, ModesPerGroup: []int{3}, BasePeriod: 2}
+	return []hierBenchSize{
+		{"small", gen.HierSpec{Name: "etm_s", Seed: 21, Domains: 1, BlocksPerDomain: 2,
+			Stages: 2, RegsPerStage: 2, CloudDepth: 1, CrossPaths: 0, IOPairs: 2}, family},
+		{"medium", gen.HierSpec{Name: "etm_m", Seed: 22, Domains: 2, BlocksPerDomain: 2,
+			Stages: 3, RegsPerStage: 3, CloudDepth: 2, CrossPaths: 2, IOPairs: 2}, family},
+		{"large", gen.HierSpec{Name: "etm_l", Seed: 23, Domains: 3, BlocksPerDomain: 2,
+			Stages: 4, RegsPerStage: 4, CloudDepth: 3, CrossPaths: 3, IOPairs: 3}, family},
+	}
+}
+
+func hierBenchFixture(tb testing.TB, s hierBenchSize) (*graph.Graph, *netlist.HierDesign, []*sdc.Mode) {
+	tb.Helper()
+	hg, err := gen.GenerateHier(s.HSpec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g, err := graph.Build(hg.Design)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var modes []*sdc.Mode
+	for _, m := range hg.Modes(s.FSpec) {
+		mode, _, err := sdc.Parse(m.Name, m.Text, g.Design)
+		if err != nil {
+			tb.Fatalf("mode %s: %v", m.Name, err)
+		}
+		modes = append(modes, mode)
+	}
+	return g, hg.Hier, modes
+}
+
+// extractAllModels builds and extracts the interface timing model of
+// every distinct block master — the per-master work the hierarchical
+// merge amortizes across block instances (and across merges, via the
+// content-addressed etm cache granularity).
+func extractAllModels(tb testing.TB, hier *netlist.HierDesign) int {
+	tb.Helper()
+	n := 0
+	for _, master := range hier.Masters() {
+		mg, err := graph.Build(master)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if _, err := etm.Extract(mg); err != nil {
+			tb.Fatal(err)
+		}
+		n++
+	}
+	return n
+}
+
+func hierMergeOnce(tb testing.TB, g *graph.Graph, hier *netlist.HierDesign, modes []*sdc.Mode) {
+	tb.Helper()
+	if _, _, _, err := core.MergeAll(context.Background(), g, modes, core.Options{Hierarchical: hier}); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func flatMergeOnce(tb testing.TB, g *graph.Graph, modes []*sdc.Mode) {
+	tb.Helper()
+	if _, _, _, err := core.MergeAll(context.Background(), g, modes, core.Options{}); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func benchETMExtract(b *testing.B, s hierBenchSize) {
+	_, hier, _ := hierBenchFixture(b, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		extractAllModels(b, hier)
+	}
+}
+
+func benchHierMerge(b *testing.B, s hierBenchSize, hierarchical bool) {
+	g, hier, modes := hierBenchFixture(b, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hierarchical {
+			hierMergeOnce(b, g, hier, modes)
+		} else {
+			flatMergeOnce(b, g, modes)
+		}
+	}
+}
+
+func BenchmarkETMExtractSmall(b *testing.B)  { benchETMExtract(b, hierBenchSizes()[0]) }
+func BenchmarkETMExtractMedium(b *testing.B) { benchETMExtract(b, hierBenchSizes()[1]) }
+func BenchmarkETMExtractLarge(b *testing.B)  { benchETMExtract(b, hierBenchSizes()[2]) }
+
+func BenchmarkHierMergeSmall(b *testing.B)  { benchHierMerge(b, hierBenchSizes()[0], true) }
+func BenchmarkHierMergeMedium(b *testing.B) { benchHierMerge(b, hierBenchSizes()[1], true) }
+func BenchmarkHierMergeLarge(b *testing.B)  { benchHierMerge(b, hierBenchSizes()[2], true) }
+
+func BenchmarkFlatMergeOnHierSmall(b *testing.B)  { benchHierMerge(b, hierBenchSizes()[0], false) }
+func BenchmarkFlatMergeOnHierMedium(b *testing.B) { benchHierMerge(b, hierBenchSizes()[1], false) }
+func BenchmarkFlatMergeOnHierLarge(b *testing.B)  { benchHierMerge(b, hierBenchSizes()[2], false) }
+
+// benchHierEntry is one hierarchical datapoint of the artifact:
+// per-master ETM extraction cost plus hierarchical and flat merge wall
+// time on the same flattened design.
+type benchHierEntry struct {
+	Design         string  `json:"design"`
+	Cells          int     `json:"cells"`
+	Blocks         int     `json:"blocks"`
+	Masters        int     `json:"masters"`
+	Modes          int     `json:"modes"`
+	ExtractNsPerOp int64   `json:"extract_ns_per_op"`
+	FlatNsPerOp    int64   `json:"flat_ns_per_op"`
+	HierNsPerOp    int64   `json:"hier_ns_per_op"`
+	HierVsFlat     float64 `json:"hier_vs_flat"`
+}
+
+// measureHierarchical produces the artifact's hierarchical section.
+func measureHierarchical(t *testing.T) []benchHierEntry {
+	t.Helper()
+	var out []benchHierEntry
+	for _, s := range hierBenchSizes() {
+		g, hier, modes := hierBenchFixture(t, s)
+		extractRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				extractAllModels(b, hier)
+			}
+		})
+		flatRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				flatMergeOnce(b, g, modes)
+			}
+		})
+		hierRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hierMergeOnce(b, g, hier, modes)
+			}
+		})
+		ratio := 0.0
+		if flat := flatRes.NsPerOp(); flat > 0 {
+			ratio = float64(hierRes.NsPerOp()) / float64(flat)
+		}
+		out = append(out, benchHierEntry{
+			Design:         s.Name,
+			Cells:          g.Design.Stats().Cells,
+			Blocks:         len(hier.Blocks),
+			Masters:        len(hier.Masters()),
+			Modes:          len(modes),
+			ExtractNsPerOp: extractRes.NsPerOp(),
+			FlatNsPerOp:    flatRes.NsPerOp(),
+			HierNsPerOp:    hierRes.NsPerOp(),
+			HierVsFlat:     ratio,
+		})
+		t.Logf("hier %s: extract %d ns/op, flat %d ns/op, hier %d ns/op (%.2fx flat)",
+			s.Name, extractRes.NsPerOp(), flatRes.NsPerOp(), hierRes.NsPerOp(), ratio)
+	}
+	return out
+}

@@ -165,6 +165,7 @@ type benchArtifact struct {
 	NumCPU        int                    `json:"num_cpu"`
 	Designs       []benchDesignEntry     `json:"designs"`
 	Incremental   *benchIncrementalEntry `json:"incremental,omitempty"`
+	Hierarchical  []benchHierEntry       `json:"hierarchical,omitempty"`
 }
 
 // TestWriteBenchArtifact runs the three-size merge benchmark and writes
@@ -269,6 +270,10 @@ func TestWriteBenchArtifact(t *testing.T) {
 		t.Logf("incremental: cold %d ns/op, warm %d ns/op (%.2fx)",
 			coldRes.NsPerOp(), warmRes.NsPerOp(), speedup)
 	}
+	// Hierarchical datapoints: ETM extraction cost and hierarchical-vs-
+	// flat merge wall time at the three hierarchical sizes.
+	art.Hierarchical = measureHierarchical(t)
+
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,80 @@
+// Million-cell acceptance: a >= 1M-cell hierarchical design must
+// complete a full mode merge through the ETM path. Flat refinement is
+// not required to complete at this size — that asymmetry is the point
+// of hierarchical merging — so the flat engine is not exercised here.
+// Gated behind MODEMERGE_BIG_TEST=1: the run allocates several GB and
+// takes minutes, so plain `go test ./...` skips it.
+//
+//	MODEMERGE_BIG_TEST=1 go test . -run TestMillionCellHierarchicalMerge -count=1 -v -timeout 60m
+package modemerge
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"modemerge/internal/core"
+	"modemerge/internal/gen"
+	"modemerge/internal/graph"
+	"modemerge/internal/sdc"
+)
+
+func TestMillionCellHierarchicalMerge(t *testing.T) {
+	if os.Getenv("MODEMERGE_BIG_TEST") == "" {
+		t.Skip("MODEMERGE_BIG_TEST not set; skipping million-cell acceptance run")
+	}
+	// 8 domains x 11 blocks of a ~12k-cell master ≈ 1.05M cells flattened.
+	spec := gen.HierSpec{Name: "big", Seed: 1, Domains: 8, BlocksPerDomain: 11,
+		Stages: 50, RegsPerStage: 40, CloudDepth: 4, CrossPaths: 8, IOPairs: 4}
+	start := time.Now()
+	hg, err := gen.GenerateHier(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := hg.Design.Stats().Cells
+	t.Logf("generated %d cells (%d blocks) in %v", cells, len(hg.Hier.Blocks), time.Since(start))
+	if cells < 1_000_000 {
+		t.Fatalf("fixture too small: %d cells < 1M", cells)
+	}
+
+	start = time.Now()
+	g, err := graph.Build(hg.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("built flat graph in %v", time.Since(start))
+
+	var modes []*sdc.Mode
+	for _, m := range hg.Modes(gen.FamilySpec{Groups: 1, ModesPerGroup: []int{2}, BasePeriod: 2}) {
+		mode, _, err := sdc.Parse(m.Name, m.Text, g.Design)
+		if err != nil {
+			t.Fatalf("mode %s: %v", m.Name, err)
+		}
+		modes = append(modes, mode)
+	}
+
+	start = time.Now()
+	merged, reports, mb, err := core.MergeAll(context.Background(), g, modes,
+		core.Options{Hierarchical: hg.Hier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("hierarchical merge of %d modes -> %d merged in %v", len(modes), len(merged), time.Since(start))
+
+	sawHier := false
+	for i, clique := range mb.Cliques() {
+		if len(clique) < 2 {
+			continue
+		}
+		rep := reports[i]
+		t.Logf("clique %d: blocks merged=%d skipped=%d harvested exceptions=%d",
+			i, rep.HierBlocksMerged, rep.HierBlocksSkipped, rep.HarvestedExceptions)
+		if rep.HierBlocksMerged > 0 {
+			sawHier = true
+		}
+	}
+	if !sawHier {
+		t.Fatal("no multi-mode clique took the per-block ETM path")
+	}
+}

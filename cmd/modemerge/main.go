@@ -10,6 +10,11 @@
 // With -cache-dir, sub-merge products (pairwise mergeability verdicts
 // and whole-clique merge artifacts) persist across runs, so re-running
 // after editing one mode of N redoes only that mode's share of the work.
+//
+// With -hier, the netlist is loaded hierarchically (top + block
+// modules) and each clique merges per block through extracted timing
+// models — never optimistic relative to a flat merge, and feasible on
+// designs too large for flat refinement.
 package main
 
 import (
@@ -39,6 +44,7 @@ func main() {
 		explain   = flag.Bool("explain", false, "print an explain report per merged mode and write <name>.explain.{txt,json} beside the SDC output")
 		timeout   = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit); exits with code 3 on deadline")
 		cacheDir  = flag.String("cache-dir", "", "incremental re-merge cache directory: persists sub-merge products across runs (empty = no reuse)")
+		hier      = flag.Bool("hier", false, "treat the netlist as hierarchical (top + block modules) and merge per block through extracted timing models; output is never optimistic relative to a flat merge and scales past flat refinement")
 	)
 	flag.Parse()
 	if *verilog == "" || flag.NArg() < 1 {
@@ -51,7 +57,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *verilog, *top, *libFile, *outDir, *cacheDir, *tolerance, *workers, *jobs, *validate, *quiet, *explain, flag.Args()); err != nil {
+	if err := run(ctx, *verilog, *top, *libFile, *outDir, *cacheDir, *tolerance, *workers, *jobs, *validate, *quiet, *explain, *hier, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "modemerge:", err)
 		if errors.Is(err, context.DeadlineExceeded) {
 			os.Exit(3)
@@ -60,7 +66,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, verilog, top, libFile, outDir, cacheDir string, tolerance float64, workers, jobs int, validate, quiet, explain bool, sdcFiles []string) error {
+func run(ctx context.Context, verilog, top, libFile, outDir, cacheDir string, tolerance float64, workers, jobs int, validate, quiet, explain, hier bool, sdcFiles []string) error {
 	libSrc := ""
 	if libFile != "" {
 		data, err := os.ReadFile(libFile)
@@ -73,7 +79,12 @@ func run(ctx context.Context, verilog, top, libFile, outDir, cacheDir string, to
 	if err != nil {
 		return err
 	}
-	design, err := modemerge.LoadDesign(string(vsrc), libSrc, top)
+	var design *modemerge.Design
+	if hier {
+		design, err = modemerge.LoadHierDesign(string(vsrc), libSrc, top)
+	} else {
+		design, err = modemerge.LoadDesign(string(vsrc), libSrc, top)
+	}
 	if err != nil {
 		return err
 	}
@@ -105,7 +116,7 @@ func run(ctx context.Context, verilog, top, libFile, outDir, cacheDir string, to
 		modes = append(modes, mode)
 	}
 
-	opt := modemerge.Options{Tolerance: tolerance, Parallelism: jobs, Workers: workers}
+	opt := modemerge.Options{Tolerance: tolerance, Parallelism: jobs, Workers: workers, Hierarchical: hier}
 	if cacheDir != "" {
 		cache := modemerge.NewCache(0)
 		if err := cache.WithDisk(cacheDir); err != nil {

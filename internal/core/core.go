@@ -67,6 +67,15 @@ type Options struct {
 	// byte-identical to cold merges by the difftest incremental oracle.
 	// Nil disables incremental reuse.
 	Cache *incr.Cache
+	// Hierarchical, when set, routes every multi-mode clique through the
+	// extracted-timing-model merge (internal/etm): flat preliminary merge
+	// and clock refinement, then per-block data refinement on the block
+	// masters with projected member modes, plus an abstract-top merge,
+	// instead of whole-design data refinement. The hierarchical design's
+	// flattened form must be the design the graph was built from. Results
+	// are relation-equivalent to (never more optimistic than) the flat
+	// merge; see the difftest hierarchical oracle.
+	Hierarchical *netlist.HierDesign
 }
 
 // FaultInjection selects deliberate merge bugs for differential testing.
@@ -81,11 +90,18 @@ type FaultInjection struct {
 	SkipClockRefinement bool
 	// SkipDataRefinement skips §3.2 (launch blocking + 3-pass fixes).
 	SkipDataRefinement bool
+	// ETMKeepSubsetExceptions breaks the hierarchical merge only: block
+	// merges run with KeepSubsetExceptions and the harvest keeps every
+	// block-merged exception instead of just the refinement tail, so
+	// subset-only member relaxations leak into the stitched mode — an
+	// optimistic merge the hierarchical oracle must flag.
+	ETMKeepSubsetExceptions bool
 }
 
 // Any reports whether any fault is enabled.
 func (f FaultInjection) Any() bool {
-	return f.KeepSubsetExceptions || f.SkipClockRefinement || f.SkipDataRefinement
+	return f.KeepSubsetExceptions || f.SkipClockRefinement || f.SkipDataRefinement ||
+		f.ETMKeepSubsetExceptions
 }
 
 // stage times one flow stage and reports it to the hook.
@@ -134,6 +150,10 @@ type Report struct {
 	Pass2Ambiguous  int
 	Pass3Mismatch   int
 	AddedFalsePaths int
+	// Hierarchical (ETM) merge counters.
+	HierBlocksMerged    int // block instances whose refinement was harvested
+	HierBlocksSkipped   int // blocks skipped (combinationally re-entrant)
+	HarvestedExceptions int // sub-merge exceptions stitched into the merged mode
 	// Validation.
 	Iterations        int
 	PessimisticGroups int // merged tighter than needed (sign-off safe)

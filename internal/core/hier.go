@@ -1,0 +1,543 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"modemerge/internal/etm"
+	"modemerge/internal/graph"
+	"modemerge/internal/incr"
+	"modemerge/internal/library"
+	"modemerge/internal/netlist"
+	"modemerge/internal/sdc"
+)
+
+// The hierarchical merge path (core.Options.Hierarchical) replaces the
+// super-linear flat data refinement with work that scales with block
+// masters, not the flat design:
+//
+//  1. the flat preliminary merge and clock refinement run as usual (both
+//     near-linear on the flat graph, and exact),
+//  2. data refinement runs per distinct block master on projected member
+//     modes (see etm.ProjectMode), once per block instance, and on an
+//     abstract top where block interiors collapse to their extracted
+//     models (see etm.BuildAbstract),
+//  3. the refinement exceptions those small merges insert are harvested
+//     into the flat merged mode, with every guard erring on the side of
+//     dropping (pessimistic-safe, never optimistic).
+//
+// Flat launch blocking and flat 3-pass comparison are skipped entirely;
+// everything they would have inserted is a relaxation, so skipping them
+// only leaves the stitched mode tighter. The difftest hierarchical
+// oracle holds the result to relation-equivalence against the flat
+// members (never optimistic).
+
+// mergeHierClique merges one multi-mode clique hierarchically.
+func mergeHierClique(cx context.Context, g *graph.Graph, h *netlist.HierDesign, group []*sdc.Mode, opt Options) (*sdc.Mode, *Report, error) {
+	mg, err := newMergerWithGraph(cx, g, group, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Flat §3.1 preliminary merge + §3.1.8 clock refinement.
+	sp := mg.span.Child("prelim")
+	done := mg.opt.stage("prelim")
+	if err := mg.preliminary(sp); err != nil {
+		sp.Finish()
+		return nil, nil, err
+	}
+	if err := mg.rebuildMerged(); err != nil {
+		sp.Finish()
+		return nil, nil, err
+	}
+	sp.Finish()
+	done()
+	if err := cx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if !mg.opt.Inject.SkipClockRefinement {
+		sp = mg.span.Child("clock_refine")
+		done = mg.opt.stage("clock_refine")
+		if err := mg.clockRefinement(); err != nil {
+			sp.Finish()
+			return nil, nil, err
+		}
+		sp.Finish()
+		done()
+	}
+	if mg.opt.Inject.SkipDataRefinement {
+		return mg.merged, mg.Report, nil
+	}
+
+	// Extract one model per distinct master, content-addressed when a
+	// cache is wired.
+	sp = mg.span.Child("etm_extract")
+	done = mg.opt.stage("etm_extract")
+	masters := h.Masters()
+	models := make(map[string]*etm.Model, len(masters))
+	masterGraphs := make(map[string]*graph.Graph, len(masters))
+	for _, master := range masters {
+		mgr, err := graph.Build(master)
+		if err != nil {
+			sp.Finish()
+			return nil, nil, fmt.Errorf("hier: master %s: %w", master.Name, err)
+		}
+		model, err := extractModel(opt.Cache, mgr)
+		if err != nil {
+			sp.Finish()
+			return nil, nil, err
+		}
+		masterGraphs[master.Name] = mgr
+		models[master.Name] = model
+	}
+	sp.Add("masters", int64(len(masters)))
+	sp.Finish()
+	done()
+
+	// Launch-clock reach per member (shared by every block projection).
+	reach := make([]*etm.Reach, len(mg.ctxs))
+	for i, ctx := range mg.ctxs {
+		reach[i] = etm.ComputeReach(ctx)
+	}
+
+	// Blocks whose outputs feed combinationally back into their own
+	// inputs cannot be harvested: an interior-anchored false path would
+	// also kill the re-entrant flat path the block merge never saw.
+	reentrant := selfReentrant(h, models)
+
+	sp = mg.span.Child("etm_block_refine")
+	done = mg.opt.stage("etm_block_refine")
+	var harvest []*sdc.Exception
+	for _, blk := range h.Blocks {
+		if err := cx.Err(); err != nil {
+			sp.Finish()
+			return nil, nil, err
+		}
+		if reentrant[blk.Name] {
+			mg.Report.HierBlocksSkipped++
+			mg.Report.warnf("hier: block %s is combinationally re-entrant; skipping its refinement harvest", blk.Name)
+			continue
+		}
+		model := models[blk.Master.Name]
+		tail, bcm, err := blockRefine(cx, mg, masterGraphs[blk.Master.Name], model, blk, reach)
+		if err != nil {
+			sp.Finish()
+			return nil, nil, fmt.Errorf("hier: block %s: %w", blk.Name, err)
+		}
+		mg.Report.HierBlocksMerged++
+		prefix := blk.Name + "/"
+		for _, e := range tail {
+			if pe, ok := prefixException(e, prefix); ok && clocksAligned(mg, bcm, pe) {
+				harvest = append(harvest, pe)
+			}
+		}
+	}
+	sp.Add("harvested", int64(len(harvest)))
+	sp.Finish()
+	done()
+
+	// Abstract-top refinement for cross-block paths.
+	sp = mg.span.Child("etm_abstract_refine")
+	done = mg.opt.stage("etm_abstract_refine")
+	atail, acm, err := abstractRefine(cx, mg, h, models, group)
+	if err != nil {
+		sp.Finish()
+		return nil, nil, err
+	}
+	for _, e := range atail {
+		if resolvesInFlat(g.Design, e) && clocksAligned(mg, acm, e) {
+			harvest = append(harvest, e.Clone())
+		}
+	}
+	sp.Finish()
+	done()
+
+	// Stitch: append harvested exceptions not already present, then
+	// rebuild so every reference resolves against the flat design.
+	existing := map[string]bool{}
+	for _, e := range mg.merged.Exceptions {
+		existing[e.Key()] = true
+	}
+	for _, e := range harvest {
+		k := e.Key()
+		if existing[k] {
+			continue
+		}
+		existing[k] = true
+		e.Comment = "harvested by hierarchical refinement"
+		mg.merged.Exceptions = append(mg.merged.Exceptions, e)
+		mg.Report.HarvestedExceptions++
+		if e.Kind == sdc.FalsePath {
+			mg.Report.AddedFalsePaths++
+		}
+	}
+	if err := mg.rebuildMerged(); err != nil {
+		return nil, nil, fmt.Errorf("hier: stitched mode: %w", err)
+	}
+	return mg.merged, mg.Report, nil
+}
+
+// blockRefine runs preliminary merge + data refinement for one block
+// instance on its master graph with projected member modes, returning
+// the refinement-inserted exception tail (master namespace) and the
+// block merge's clock map. With an incremental cache the raw tail
+// replays by content address; guards always re-run on the caller side.
+func blockRefine(cx context.Context, mg *Merger, masterG *graph.Graph, model *etm.Model, blk *netlist.BlockInst, reach []*etm.Reach) ([]*sdc.Exception, *clockMap, error) {
+	prefix := blk.Name + "/"
+	projected := make([]*sdc.Mode, len(mg.ctxs))
+	texts := make([]string, len(mg.ctxs))
+	for i, ctx := range mg.ctxs {
+		pm, text, err := etm.ProjectMode(ctx, reach[i], model, prefix, masterG.Design)
+		if err != nil {
+			return nil, nil, err
+		}
+		projected[i] = pm
+		texts[i] = text
+	}
+
+	bopt := mg.opt
+	bopt.Cache = nil
+	bopt.Trace = mg.span.Child("block:" + blk.Name)
+	defer bopt.Trace.Finish()
+	bopt.StageHook = nil
+	keepAll := mg.opt.Inject.ETMKeepSubsetExceptions
+	if keepAll {
+		bopt.Inject.KeepSubsetExceptions = true
+	}
+
+	var key string
+	if mg.opt.Cache != nil {
+		parts := append([]string{"etm-merge", masterG.Fingerprint(), bopt.incrOptionsKey()}, texts...)
+		key = incr.Hash(parts...)
+		if b, ok := mg.opt.Cache.GetBytes(incr.GranETM, key); ok {
+			var tail []*sdc.Exception
+			if json.Unmarshal(b, &tail) == nil {
+				bcm, err := blockClockMap(cx, masterG, projected, bopt)
+				if err != nil {
+					return nil, nil, err
+				}
+				return tail, bcm, nil
+			}
+		}
+	}
+
+	bmg, err := newMergerWithGraph(cx, masterG, projected, bopt)
+	if err != nil {
+		return nil, nil, err
+	}
+	bsp := bmg.span.Child("prelim")
+	if err := bmg.preliminary(bsp); err != nil {
+		bsp.Finish()
+		return nil, nil, err
+	}
+	if err := bmg.rebuildMerged(); err != nil {
+		bsp.Finish()
+		return nil, nil, err
+	}
+	bsp.Finish()
+	snapshot := len(bmg.merged.Exceptions)
+	if keepAll {
+		snapshot = 0
+	}
+	// Clock refinement is skipped on purpose: the flat clock refinement
+	// already stopped every clock exactly, block interiors included.
+	rsp := bmg.span.Child("data_refine")
+	err = bmg.dataRefinement(cx, rsp)
+	rsp.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	tail := bmg.merged.Exceptions[snapshot:]
+	if mg.opt.Cache != nil {
+		if b, err := json.Marshal(tail); err == nil {
+			mg.opt.Cache.PutBytes(incr.GranETM, key, b)
+		}
+	}
+	return tail, bmg.cmap, nil
+}
+
+// blockClockMap rebuilds just the clock map of a block merge (for the
+// alignment guard) when the refinement tail itself was a cache hit.
+func blockClockMap(cx context.Context, masterG *graph.Graph, projected []*sdc.Mode, bopt Options) (*clockMap, error) {
+	bmg, err := newMergerWithGraph(cx, masterG, projected, bopt)
+	if err != nil {
+		return nil, err
+	}
+	sp := bmg.span.Child("prelim")
+	defer sp.Finish()
+	if err := bmg.preliminary(sp); err != nil {
+		return nil, err
+	}
+	return bmg.cmap, nil
+}
+
+// abstractRefine merges the member modes filtered to the abstract top
+// and returns the refinement tail. When any member clock fails to
+// survive the filtering, the abstract harvest is skipped entirely — a
+// missing clock would under-approximate the member's relations, which is
+// the unsound direction.
+func abstractRefine(cx context.Context, mg *Merger, h *netlist.HierDesign, models map[string]*etm.Model, group []*sdc.Mode) ([]*sdc.Exception, *clockMap, error) {
+	absD, err := etm.BuildAbstract(h, models)
+	if err != nil {
+		mg.Report.warnf("hier: abstract top failed to build; skipping cross-block refinement: %v", err)
+		return nil, nil, nil
+	}
+	filtered := make([]*sdc.Mode, len(group))
+	for i, m := range group {
+		fm := etm.FilterMode(m, absD)
+		if len(fm.Clocks) != len(m.Clocks) {
+			mg.Report.warnf("hier: mode %s has block-interior clocks; skipping abstract refinement", m.Name)
+			return nil, nil, nil
+		}
+		filtered[i] = fm
+	}
+	absG, err := graph.Build(absD)
+	if err != nil {
+		mg.Report.warnf("hier: abstract graph failed to build; skipping cross-block refinement: %v", err)
+		return nil, nil, nil
+	}
+	aopt := mg.opt
+	aopt.Cache = nil
+	aopt.Trace = mg.span.Child("abstract_top")
+	defer aopt.Trace.Finish()
+	aopt.StageHook = nil
+	keepAll := mg.opt.Inject.ETMKeepSubsetExceptions
+	if keepAll {
+		aopt.Inject.KeepSubsetExceptions = true
+	}
+	amg, err := newMergerWithGraph(cx, absG, filtered, aopt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hier: abstract top: %w", err)
+	}
+	asp := amg.span.Child("prelim")
+	if err := amg.preliminary(asp); err != nil {
+		asp.Finish()
+		return nil, nil, fmt.Errorf("hier: abstract top: %w", err)
+	}
+	if err := amg.rebuildMerged(); err != nil {
+		asp.Finish()
+		return nil, nil, fmt.Errorf("hier: abstract top: %w", err)
+	}
+	asp.Finish()
+	snapshot := len(amg.merged.Exceptions)
+	if keepAll {
+		snapshot = 0
+	}
+	rsp := amg.span.Child("data_refine")
+	err = amg.dataRefinement(cx, rsp)
+	rsp.Finish()
+	if err != nil {
+		return nil, nil, fmt.Errorf("hier: abstract top: %w", err)
+	}
+	return amg.merged.Exceptions[snapshot:], amg.cmap, nil
+}
+
+// extractModel builds (or replays) the interface timing model of one
+// master graph.
+func extractModel(cache *incr.Cache, masterG *graph.Graph) (*etm.Model, error) {
+	var key string
+	if cache != nil {
+		key = incr.Hash("etm-model", masterG.Fingerprint())
+		if b, ok := cache.GetBytes(incr.GranETM, key); ok {
+			var m etm.Model
+			if m.UnmarshalBinary(b) == nil && m.GraphFingerprint == masterG.Fingerprint() {
+				return &m, nil
+			}
+		}
+	}
+	m, err := etm.Extract(masterG)
+	if err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		if b, err := m.MarshalBinary(); err == nil {
+			cache.PutBytes(incr.GranETM, key, b)
+		}
+	}
+	return m, nil
+}
+
+// prefixException maps a block-merge exception into the flat namespace:
+// every pin/cell reference gets the instance prefix; any port reference
+// (block boundary — no flat counterpart) drops the whole exception.
+func prefixException(e *sdc.Exception, prefix string) (*sdc.Exception, bool) {
+	c := e.Clone()
+	mapPL := func(pl *sdc.PointList) bool {
+		if pl == nil {
+			return true
+		}
+		for i, r := range pl.Pins {
+			if r.Kind == sdc.PortObj {
+				return false
+			}
+			pl.Pins[i].Name = prefix + r.Name
+		}
+		return true
+	}
+	if !mapPL(c.From) || !mapPL(c.To) {
+		return nil, false
+	}
+	for _, t := range c.Throughs {
+		if !mapPL(t) {
+			return nil, false
+		}
+	}
+	return c, true
+}
+
+// clocksAligned checks that every clock a harvested exception references
+// means the same thing in the sub-merge and in the flat merge: the
+// merged name must exist flat, and each member's local name must match
+// in both clock maps (an inverted-projection clock never aligns). A
+// mismatch drops the exception — pessimistic-safe.
+func clocksAligned(mg *Merger, sub *clockMap, e *sdc.Exception) bool {
+	if sub == nil {
+		return false
+	}
+	check := func(pl *sdc.PointList) bool {
+		if pl == nil {
+			return true
+		}
+		for _, name := range pl.Clocks {
+			if mg.merged.ClockByName(name) == nil {
+				return false
+			}
+			for m := range mg.ctxs {
+				bl := sub.localName(name, m)
+				if strings.HasSuffix(bl, etm.InvSuffix) {
+					return false
+				}
+				if bl != mg.cmap.localName(name, m) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !check(e.From) || !check(e.To) {
+		return false
+	}
+	for _, t := range e.Throughs {
+		if !check(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// resolvesInFlat reports whether every object reference of an
+// abstract-merge exception exists in the flat design (shell-cell pins do
+// not, and drop the exception).
+func resolvesInFlat(d *netlist.Design, e *sdc.Exception) bool {
+	refOK := func(r sdc.ObjRef) bool {
+		switch r.Kind {
+		case sdc.PortObj:
+			return d.PortByName(r.Name) != nil
+		case sdc.CellObj:
+			return d.InstByName(r.Name) != nil
+		default:
+			if !strings.Contains(r.Name, "/") {
+				return d.PortByName(r.Name) != nil
+			}
+			_, _, err := d.FindPin(r.Name)
+			return err == nil
+		}
+	}
+	plOK := func(pl *sdc.PointList) bool {
+		if pl == nil {
+			return true
+		}
+		for _, r := range pl.Pins {
+			if !refOK(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if !plOK(e.From) || !plOK(e.To) {
+		return false
+	}
+	for _, t := range e.Throughs {
+		if !plOK(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// selfReentrant finds block instances whose outputs reach their own
+// inputs through a register-free top-level path. The net-level closure
+// over-approximates: every top cell passes input→output regardless of
+// its function, and other blocks contribute their combinational
+// interface arcs. Over-approximation only skips more harvests — the
+// safe direction.
+func selfReentrant(h *netlist.HierDesign, models map[string]*etm.Model) map[string]bool {
+	adj := map[string][]string{}
+	edge := func(from, to string) { adj[from] = append(adj[from], to) }
+	for _, inst := range h.Top.Insts {
+		var ins, outs []string
+		for i, net := range inst.Conns {
+			if net == nil {
+				continue
+			}
+			if inst.Cell.Pins[i].Dir == library.Input {
+				ins = append(ins, net.Name)
+			} else {
+				outs = append(outs, net.Name)
+			}
+		}
+		for _, a := range ins {
+			for _, z := range outs {
+				edge(a, z)
+			}
+		}
+	}
+	for _, blk := range h.Blocks {
+		model := models[blk.Master.Name]
+		if model == nil {
+			continue
+		}
+		for _, a := range model.Arcs {
+			edge(blk.BindOf(a.In), blk.BindOf(a.Out))
+		}
+	}
+	out := map[string]bool{}
+	for _, blk := range h.Blocks {
+		model := models[blk.Master.Name]
+		if model == nil {
+			continue
+		}
+		inNets := map[string]bool{}
+		for _, p := range model.Inputs {
+			inNets[blk.BindOf(p)] = true
+		}
+		var frontier []string
+		seen := map[string]bool{}
+		for _, p := range model.Outputs {
+			n := blk.BindOf(p)
+			if !seen[n] {
+				seen[n] = true
+				frontier = append(frontier, n)
+			}
+		}
+		sort.Strings(frontier)
+		for len(frontier) > 0 && !out[blk.Name] {
+			n := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			if inNets[n] {
+				out[blk.Name] = true
+				break
+			}
+			for _, next := range adj[n] {
+				if !seen[next] {
+					seen[next] = true
+					frontier = append(frontier, next)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"modemerge/internal/gen"
+	"modemerge/internal/graph"
+	"modemerge/internal/netlist"
+	"modemerge/internal/sdc"
+)
+
+// hierFixture builds one hierarchical design + parsed mode family.
+func hierFixture(t *testing.T, hspec gen.HierSpec, fspec gen.FamilySpec) (*graph.Graph, *netlist.HierDesign, []*sdc.Mode) {
+	t.Helper()
+	gd, err := gen.GenerateHier(hspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(gd.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modes []*sdc.Mode
+	for _, m := range gd.Modes(fspec) {
+		mode, _, err := sdc.Parse(m.Name, m.Text, g.Design)
+		if err != nil {
+			t.Fatalf("mode %s: %v", m.Name, err)
+		}
+		modes = append(modes, mode)
+	}
+	return g, gd.Hier, modes
+}
+
+func defaultHierFixture(t *testing.T) (*graph.Graph, *netlist.HierDesign, []*sdc.Mode) {
+	return hierFixture(t,
+		gen.HierSpec{Name: "hcore", Seed: 77, Domains: 2, BlocksPerDomain: 2,
+			Stages: 2, RegsPerStage: 3, CloudDepth: 2, CrossPaths: 2, IOPairs: 2},
+		gen.FamilySpec{Groups: 2, ModesPerGroup: []int{3, 2}, BasePeriod: 2})
+}
+
+// TestHierarchicalMergeEquivalence is the core guarantee: the stitched
+// hierarchical merge forms the same cliques as the flat merge and is
+// never optimistic — neither against the member modes nor against the
+// flat merged mode.
+func TestHierarchicalMergeEquivalence(t *testing.T) {
+	g, hier, modes := defaultHierFixture(t)
+	cx := context.Background()
+
+	flat, _, fmb, err := MergeAll(cx, g, modes, Options{})
+	if err != nil {
+		t.Fatalf("flat merge: %v", err)
+	}
+	hmerged, hreps, hmb, err := MergeAll(cx, g, modes, Options{Hierarchical: hier})
+	if err != nil {
+		t.Fatalf("hier merge: %v", err)
+	}
+
+	fCliques, hCliques := fmb.Cliques(), hmb.Cliques()
+	if len(fCliques) != len(hCliques) || len(flat) != len(hmerged) {
+		t.Fatalf("clique structure differs: flat=%v hier=%v", fmb.GroupNames(fCliques), hmb.GroupNames(hCliques))
+	}
+	sawHarvestable := false
+	for i, clique := range hCliques {
+		if len(clique) == 1 {
+			if hmerged[i] != modes[clique[0]] {
+				t.Errorf("clique %d: singleton not passed through", i)
+			}
+			continue
+		}
+		members := make([]*sdc.Mode, len(clique))
+		for j, m := range clique {
+			members[j] = modes[m]
+		}
+		res, err := CheckEquivalence(cx, g, members, hmerged[i], Options{})
+		if err != nil {
+			t.Fatalf("clique %d vs members: %v", i, err)
+		}
+		if !res.Equivalent() {
+			t.Errorf("clique %d: hierarchical merge optimistic vs members: %v", i, res.OptimisticMismatches)
+		}
+		res, err = CheckEquivalence(cx, g, []*sdc.Mode{flat[i]}, hmerged[i], Options{})
+		if err != nil {
+			t.Fatalf("clique %d vs flat: %v", i, err)
+		}
+		if !res.Equivalent() {
+			t.Errorf("clique %d: hierarchical merge optimistic vs flat merge: %v", i, res.OptimisticMismatches)
+		}
+		if hreps[i].HierBlocksMerged > 0 && hreps[i].HarvestedExceptions > 0 {
+			sawHarvestable = true
+		}
+	}
+	if !sawHarvestable {
+		t.Error("no clique harvested any block refinement — hierarchical path not exercised")
+	}
+}
+
+// TestHierarchicalMergeDeterminism holds the hierarchical path to the
+// same byte-identical-output contract as the flat engine.
+func TestHierarchicalMergeDeterminism(t *testing.T) {
+	g, hier, modes := defaultHierFixture(t)
+	cx := context.Background()
+	render := func(par int) string {
+		merged, _, _, err := MergeAll(cx, g, modes, Options{Hierarchical: hier, Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		out := ""
+		for _, m := range merged {
+			out += sdc.Write(m)
+		}
+		return out
+	}
+	seq := render(1)
+	if par := render(4); par != seq {
+		t.Error("hierarchical merge output differs between Parallelism 1 and 4")
+	}
+}
+
+// TestHierarchicalFaultDetected proves the harvest guards are
+// load-bearing: with ETMKeepSubsetExceptions injected, a relaxation
+// present in only one member leaks through the harvest and the
+// equivalence check must flag the stitched mode as optimistic.
+func TestHierarchicalFaultDetected(t *testing.T) {
+	g, hier, modes := defaultHierFixture(t)
+	cx := context.Background()
+
+	// Give one mode a subset-only false path onto a block-interior
+	// endpoint; every other mode still times it.
+	target := hier.Blocks[0].Name + "/s1_r0/D"
+	if _, _, err := g.Design.FindPin(target); err != nil {
+		t.Fatalf("fixture pin: %v", err)
+	}
+	modes[0].Exceptions = append(modes[0].Exceptions, &sdc.Exception{
+		Kind: sdc.FalsePath,
+		From: &sdc.PointList{},
+		To:   &sdc.PointList{Pins: []sdc.ObjRef{{Kind: sdc.PinObj, Name: target}}},
+	})
+
+	opt := Options{Hierarchical: hier}
+	opt.Inject.ETMKeepSubsetExceptions = true
+	merged, _, mb, err := MergeAll(cx, g, modes, opt)
+	if err != nil {
+		t.Fatalf("faulty merge: %v", err)
+	}
+	detected := false
+	for i, clique := range mb.Cliques() {
+		if len(clique) < 2 {
+			continue
+		}
+		members := make([]*sdc.Mode, len(clique))
+		for j, m := range clique {
+			members[j] = modes[m]
+		}
+		res, err := CheckEquivalence(cx, g, members, merged[i], Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent() {
+			detected = true
+		}
+	}
+	if !detected {
+		t.Error("injected ETMKeepSubsetExceptions fault was not detected by the equivalence check")
+	}
+}

@@ -30,10 +30,11 @@ import (
 // so results cached at one setting are valid at every other.
 func (o Options) incrOptionsKey() string {
 	o = o.withDefaults()
-	return fmt.Sprintf("tol=%g|iters=%d|inject=%v/%v/%v|edges=%d",
+	return fmt.Sprintf("tol=%g|iters=%d|inject=%v/%v/%v/%v|edges=%d|hier=%v",
 		o.Tolerance, o.MaxRefineIterations,
 		o.Inject.KeepSubsetExceptions, o.Inject.SkipClockRefinement, o.Inject.SkipDataRefinement,
-		o.STA.MaxLaunchEdges)
+		o.Inject.ETMKeepSubsetExceptions,
+		o.STA.MaxLaunchEdges, o.Hierarchical != nil)
 }
 
 // contextCacheKey addresses one built per-mode analysis context. On top

@@ -350,6 +350,19 @@ func MergeAll(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options
 			}
 			copt.Trace.Add("clique_cache_miss", 1)
 		}
+		if opt.Hierarchical != nil {
+			merged, report, err := mergeHierClique(cx, g, opt.Hierarchical, group, copt)
+			copt.Trace.Finish()
+			if err != nil {
+				return nil, nil, mb, fmt.Errorf("merging %v hierarchically: %w", names, err)
+			}
+			if opt.Cache != nil {
+				storeClique(opt.Cache, key, merged, report, nil)
+			}
+			out = append(out, merged)
+			reports = append(reports, report)
+			continue
+		}
 		mg, err := newMergerWithGraph(cx, g, group, copt)
 		if err != nil {
 			copt.Trace.Finish()

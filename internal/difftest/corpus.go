@@ -52,6 +52,12 @@ var FaultNames = map[string]Fault{
 		Detectable: true,
 		Note:       "subset exceptions join unconditionally: optimism, caught by the equivalence oracle",
 	},
+	"etm-keep-subset-exceptions": {
+		Inject:     core.FaultInjection{ETMKeepSubsetExceptions: true},
+		Detectable: true,
+		Note: "hierarchical harvest keeps subset-only member exceptions: optimism on hierarchical trials, " +
+			"caught by the hierarchical oracle (no effect on flat trials)",
+	},
 	"skip-clock-refine": {
 		Inject: core.FaultInjection{SkipClockRefinement: true},
 		Note:   "missing clock stops over-time paths: pessimism only, sign-off safe",

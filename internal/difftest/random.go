@@ -28,6 +28,10 @@ func RandomSpec(rng *rand.Rand) *TrialSpec {
 	// byte comparison); it roughly triples a trial's merge work, so it is
 	// sampled rather than always on.
 	s.Incremental = rng.Intn(3) == 0
+	// About a quarter of the trials generate the design hierarchically and
+	// additionally hold the ETM-driven merge to the flat merge's cliques
+	// and relations (the hierarchical oracle).
+	s.Hierarchical = rng.Intn(4) == 0
 	return s
 }
 

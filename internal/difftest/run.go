@@ -11,6 +11,7 @@ import (
 	"modemerge/internal/gen"
 	"modemerge/internal/graph"
 	"modemerge/internal/incr"
+	"modemerge/internal/netlist"
 	"modemerge/internal/relation"
 	"modemerge/internal/sdc"
 	"modemerge/internal/sta"
@@ -22,7 +23,8 @@ const (
 	PropRoundTrip   = "roundtrip"   // merged SDC fails Write→Parse→Write
 	PropPessimism   = "pessimism"   // merged stricter than NaiveMerge
 	PropDeterminism = "determinism" // parallel merge differs from sequential
-	PropIncremental = "incremental" // warm cached re-merge differs from cold
+	PropIncremental  = "incremental"  // warm cached re-merge differs from cold
+	PropHierarchical = "hierarchical" // ETM-driven merge optimistic or wrong cliques
 )
 
 // maxDetails bounds the per-property detail strings kept in a violation
@@ -67,10 +69,30 @@ func (r *TrialResult) Failed() bool { return len(r.Violations) > 0 }
 func Run(cx context.Context, spec *TrialSpec, fault core.FaultInjection) *TrialResult {
 	res := &TrialResult{Spec: spec}
 
-	g, err := gen.Generate(spec.Design)
-	if err != nil {
-		res.Err = fmt.Errorf("generate: %w", err)
-		return res
+	var g *gen.Generated
+	var hier *netlist.HierDesign
+	if spec.Hierarchical {
+		// HierSpec mirrors DesignSpec field-for-field; the same structural
+		// parameters size the hierarchical variant of the design.
+		hg, err := gen.GenerateHier(gen.HierSpec{
+			Name: spec.Design.Name, Seed: spec.Design.Seed,
+			Domains: spec.Design.Domains, BlocksPerDomain: spec.Design.BlocksPerDomain,
+			Stages: spec.Design.Stages, RegsPerStage: spec.Design.RegsPerStage,
+			CloudDepth: spec.Design.CloudDepth, CrossPaths: spec.Design.CrossPaths,
+			IOPairs: spec.Design.IOPairs,
+		})
+		if err != nil {
+			res.Err = fmt.Errorf("generate hier: %w", err)
+			return res
+		}
+		g, hier = &hg.Generated, hg.Hier
+	} else {
+		fg, err := gen.Generate(spec.Design)
+		if err != nil {
+			res.Err = fmt.Errorf("generate: %w", err)
+			return res
+		}
+		g = fg
 	}
 	texts := g.ModesWithExtra(spec.Family, spec.ExtraHook(g))
 	res.Modes = len(texts)
@@ -121,6 +143,19 @@ func Run(cx context.Context, spec *TrialSpec, fault core.FaultInjection) *TrialR
 	// comparison isolates the caching layer.
 	if spec.Incremental {
 		res.Violations = append(res.Violations, checkIncremental(cx, tg, modes, mergedModes, reports, opt)...)
+		if err := cx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
+	}
+
+	// Property 6: hierarchical — the ETM-driven merge must agree with the
+	// flat merge on clique structure and must never be optimistic. The
+	// same fault injection applies to the hierarchical merge (it is a
+	// merge under test too — that is how ETM faults become detectable);
+	// the equivalence checks run clean.
+	if hier != nil {
+		res.Violations = append(res.Violations, checkHierarchical(cx, tg, hier, modes, mergedModes, cliques, opt, cleanOpt)...)
 		if err := cx.Err(); err != nil {
 			res.Err = err
 			return res
@@ -188,6 +223,67 @@ func checkDeterminism(cx context.Context, tg *graph.Graph, modes []*sdc.Mode, pa
 		if len(details) > 0 {
 			out = append(out, Violation{Property: PropDeterminism, Clique: parMerged[i].Name,
 				Count: len(details), Details: cap8(details)})
+		}
+	}
+	return out
+}
+
+// checkHierarchical re-merges the same modes through the hierarchical
+// ETM path (core.Options.Hierarchical) and holds the result to the
+// issue's sign-off contract: identical clique structure, and a stitched
+// merged mode that is never optimistic — neither against the member
+// modes (absolute safety) nor against the flat merged mode (the stitch
+// may only add pessimism relative to flat refinement, never remove
+// relations the flat merge keeps).
+func checkHierarchical(cx context.Context, tg *graph.Graph, hier *netlist.HierDesign, modes []*sdc.Mode, flatMerged []*sdc.Mode, flatCliques [][]int, opt, cleanOpt core.Options) []Violation {
+	hopt := opt
+	hopt.Hierarchical = hier
+	hMerged, _, hmb, err := core.MergeAll(cx, tg, modes, hopt)
+	if err != nil {
+		return []Violation{{Property: PropHierarchical, Clique: "*", Count: 1,
+			Details: []string{"hierarchical merge error: " + err.Error()}}}
+	}
+	hCliques := hmb.Cliques()
+	if len(hCliques) != len(flatCliques) {
+		return []Violation{{Property: PropHierarchical, Clique: "*", Count: 1,
+			Details: []string{fmt.Sprintf("clique count differs: flat %d vs hierarchical %d",
+				len(flatCliques), len(hCliques))}}}
+	}
+	var out []Violation
+	for i, clique := range hCliques {
+		if fmt.Sprint(clique) != fmt.Sprint(flatCliques[i]) {
+			out = append(out, Violation{Property: PropHierarchical, Clique: hMerged[i].Name, Count: 1,
+				Details: []string{fmt.Sprintf("clique membership differs: flat %v vs hierarchical %v",
+					flatCliques[i], clique)}})
+			continue
+		}
+		if len(clique) < 2 {
+			continue // singleton: the mode itself on both sides
+		}
+		var members []*sdc.Mode
+		for _, mi := range clique {
+			members = append(members, modes[mi])
+		}
+		for _, ref := range []struct {
+			against []*sdc.Mode
+			label   string
+		}{
+			{members, "members"},
+			{[]*sdc.Mode{flatMerged[i]}, "flat merged mode"},
+		} {
+			eq, err := core.CheckEquivalence(cx, tg, ref.against, hMerged[i], cleanOpt)
+			switch {
+			case err != nil:
+				out = append(out, Violation{Property: PropHierarchical, Clique: hMerged[i].Name, Count: 1,
+					Details: []string{"checker error vs " + ref.label + ": " + err.Error()}})
+			case !eq.Equivalent():
+				details := make([]string, 0, maxDetails)
+				for _, d := range cap8(eq.OptimisticMismatches) {
+					details = append(details, "vs "+ref.label+": "+d)
+				}
+				out = append(out, Violation{Property: PropHierarchical, Clique: hMerged[i].Name,
+					Count: len(eq.OptimisticMismatches), Details: details})
+			}
 		}
 	}
 	return out

@@ -1,7 +1,7 @@
 // Package difftest is a property-based differential fuzzing harness for
 // the mode-merging flow. It samples randomized designs and mode families
 // (internal/gen) plus random constraint perturbations, runs the
-// timing-graph merge, and checks every merged clique against five
+// timing-graph merge, and checks every merged clique against six
 // independent oracles:
 //
 //  1. equivalence — core.CheckEquivalence reports no optimistic
@@ -19,7 +19,12 @@
 //  5. incremental — merging through a content-addressed sub-merge cache
 //     (cold fill, warm replay, and a warm re-merge after editing one
 //     mode) stays byte-identical to cacheless merges of the same inputs
-//     (caching changes work, never results).
+//     (caching changes work, never results);
+//  6. hierarchical — on hierarchical trials, the ETM-driven merge
+//     (internal/etm extraction + per-block refinement + stitching) forms
+//     the same cliques as the flat merge and its stitched modes are
+//     never optimistic, neither against the member modes nor against the
+//     flat merged mode (relation-equivalent up to pessimism).
 //
 // Failures shrink to a minimal reproducer spec and are written as JSON
 // corpus files under testdata/corpus/, which go test replays as
@@ -73,6 +78,13 @@ type TrialSpec struct {
 	// cold merge of the perturbed family (core.Options.Cache never
 	// changes results, only work). Absent in older corpus files (= off).
 	Incremental bool `json:"incremental,omitempty"`
+	// Hierarchical generates the design with gen.GenerateHier (same
+	// structural parameters, block instances of a shared master) instead
+	// of gen.Generate and additionally runs the hierarchical oracle: the
+	// ETM-driven merge of the flattened design must form the same cliques
+	// as the flat merge and must never be optimistic against the members
+	// or the flat merged mode. Absent in older corpus files (= off).
+	Hierarchical bool `json:"hierarchical,omitempty"`
 }
 
 // Clone deep-copies the spec.
@@ -96,9 +108,13 @@ func (s *TrialSpec) Size() int {
 
 // String is a compact summary for logs.
 func (s *TrialSpec) String() string {
-	return fmt.Sprintf("design{dom=%d blk=%d stg=%d reg=%d cloud=%d x=%d io=%d seed=%d} groups=%v perturbs=%d",
+	kind := ""
+	if s.Hierarchical {
+		kind = " hier"
+	}
+	return fmt.Sprintf("design{dom=%d blk=%d stg=%d reg=%d cloud=%d x=%d io=%d seed=%d%s} groups=%v perturbs=%d",
 		s.Design.Domains, s.Design.BlocksPerDomain, s.Design.Stages, s.Design.RegsPerStage,
-		s.Design.CloudDepth, s.Design.CrossPaths, s.Design.IOPairs, s.Design.Seed,
+		s.Design.CloudDepth, s.Design.CrossPaths, s.Design.IOPairs, s.Design.Seed, kind,
 		s.Family.ModesPerGroup, len(s.Perturbs))
 }
 

@@ -1,0 +1,201 @@
+package etm
+
+import (
+	"fmt"
+	"strings"
+
+	"modemerge/internal/netlist"
+	"modemerge/internal/sdc"
+)
+
+// BuildAbstract synthesizes the abstract top: the real top-level cells,
+// nets and ports of the hierarchical design, with every block instance
+// replaced by a shell built from its extracted model —
+//
+//   - one capture register per capture class (clock pin on the bound
+//     clock net, data pin on the bound input net),
+//   - one launch register per launch class, and
+//   - an OR-tree combiner driving each bound output net from the block's
+//     launch registers and combinational interface arcs.
+//
+// The shell times a superset of the flat design's cross-block relations:
+// interface arcs and launch/capture classes are structural maxima over
+// all modes, so any flat path through the block boundary has an abstract
+// counterpart through the same top-level pins. Refinements justified on
+// the abstract design and anchored to real top-level pins are therefore
+// sound on the flat design.
+func BuildAbstract(h *netlist.HierDesign, models map[string]*Model) (*netlist.Design, error) {
+	b := netlist.NewBuilder(h.Name+"_abstract", h.Lib)
+	for _, p := range h.Top.Ports {
+		b.Port(p.Name, p.Dir)
+	}
+	for _, inst := range h.Top.Insts {
+		conns := make(map[string]string, len(inst.Conns))
+		for i, net := range inst.Conns {
+			if net != nil {
+				conns[inst.Cell.Pins[i].Name] = net.Name
+			}
+		}
+		b.Inst(inst.Cell.Name, inst.Name, conns)
+	}
+	for _, blk := range h.Blocks {
+		mdl := models[blk.Master.Name]
+		if mdl == nil {
+			return nil, fmt.Errorf("etm: no model for master %s (block %s)", blk.Master.Name, blk.Name)
+		}
+		shellBlock(b, blk, mdl)
+	}
+	return b.Build()
+}
+
+// shellBlock emits one block instance's shell cells into the builder.
+func shellBlock(b *netlist.Builder, blk *netlist.BlockInst, mdl *Model) {
+	// Capture registers: bound input net → D, bound clock net → CP.
+	for i, c := range mdl.CaptureClasses {
+		b.Inst("DFF", fmt.Sprintf("%s/__cap%d", blk.Name, i), map[string]string{
+			"CP": blk.BindOf(c.Clock),
+			"D":  blk.BindOf(c.Port),
+		})
+	}
+	// Launch registers: Q goes to an intermediate net that the output
+	// combiner picks up; D loops back so the cell has no dangling input.
+	launchNet := map[string][]string{} // output port → lreg Q nets
+	for i, c := range mdl.LaunchClasses {
+		q := fmt.Sprintf("%s/__lq%d", blk.Name, i)
+		b.Inst("DFF", fmt.Sprintf("%s/__lreg%d", blk.Name, i), map[string]string{
+			"CP": blk.BindOf(c.Clock),
+			"D":  q,
+			"Q":  q,
+		})
+		launchNet[c.Port] = append(launchNet[c.Port], q)
+	}
+	// Output combiners: OR together the launch registers and the bound
+	// nets of the combinational interface arcs feeding each output.
+	arcSrc := map[string][]string{}
+	for _, a := range mdl.Arcs {
+		arcSrc[a.Out] = append(arcSrc[a.Out], blk.BindOf(a.In))
+	}
+	comb := 0
+	for _, out := range mdl.Outputs {
+		srcs := append(append([]string{}, launchNet[out]...), arcSrc[out]...)
+		target := blk.BindOf(out)
+		switch len(srcs) {
+		case 0:
+			// Undriven output: nothing inside the block reaches it.
+		case 1:
+			b.Inst("BUF", fmt.Sprintf("%s/__comb%d", blk.Name, comb),
+				map[string]string{"A": srcs[0], "Z": target})
+			comb++
+		default:
+			acc := srcs[0]
+			for i := 1; i < len(srcs); i++ {
+				z := target
+				if i < len(srcs)-1 {
+					z = fmt.Sprintf("%s/__or%d", blk.Name, comb)
+				}
+				b.Inst("OR2", fmt.Sprintf("%s/__comb%d", blk.Name, comb),
+					map[string]string{"A": acc, "B": srcs[i], "Z": z})
+				acc = z
+				comb++
+			}
+		}
+	}
+}
+
+// FilterMode restricts a flat member mode to the statements whose object
+// references all resolve in the abstract design: top-level clocks, IO
+// delays, exceptions, cases and disables survive; anything anchored on
+// block-interior pins is dropped. Dropping a relaxation or a constant
+// only makes the abstract member time *more* relations than the flat
+// member — the safe direction for refinement harvested from the abstract
+// merge.
+func FilterMode(m *sdc.Mode, d *netlist.Design) *sdc.Mode {
+	resolves := func(r sdc.ObjRef) bool {
+		switch r.Kind {
+		case sdc.PortObj:
+			return d.PortByName(r.Name) != nil
+		case sdc.CellObj:
+			return d.InstByName(r.Name) != nil
+		default:
+			if !strings.Contains(r.Name, "/") {
+				return d.PortByName(r.Name) != nil
+			}
+			_, _, err := d.FindPin(r.Name)
+			return err == nil
+		}
+	}
+	allResolve := func(refs []sdc.ObjRef) bool {
+		for _, r := range refs {
+			if !resolves(r) {
+				return false
+			}
+		}
+		return true
+	}
+	out := &sdc.Mode{Name: m.Name}
+	clockKept := map[string]bool{}
+	for _, c := range m.Clocks {
+		ok := allResolve(c.Sources) && allResolve(c.MasterPins)
+		if ok && c.Generated && c.Master != "" && !clockKept[c.Master] {
+			ok = false
+		}
+		if ok {
+			cc := *c
+			out.Clocks = append(out.Clocks, &cc)
+			clockKept[c.Name] = true
+		}
+	}
+	pointOK := func(pl *sdc.PointList) bool {
+		if pl.Empty() {
+			return true
+		}
+		for _, c := range pl.Clocks {
+			if !clockKept[c] {
+				return false
+			}
+		}
+		return allResolve(pl.Pins)
+	}
+	for _, e := range m.Exceptions {
+		ok := pointOK(e.From) && pointOK(e.To)
+		for _, t := range e.Throughs {
+			ok = ok && pointOK(t)
+		}
+		if ok {
+			out.Exceptions = append(out.Exceptions, e.Clone())
+		}
+	}
+	for _, ca := range m.Cases {
+		if allResolve(ca.Objects) {
+			cc := *ca
+			out.Cases = append(out.Cases, &cc)
+		}
+	}
+	for _, dt := range m.Disables {
+		if allResolve(dt.Objects) {
+			cc := *dt
+			out.Disables = append(out.Disables, &cc)
+		}
+	}
+	for _, io := range m.IODelays {
+		if clockKept[io.Clock] && allResolve(io.Ports) {
+			cc := *io
+			out.IODelays = append(out.IODelays, &cc)
+		}
+	}
+	for _, cg := range m.ClockGroups {
+		ok := true
+		for _, grp := range cg.Groups {
+			for _, c := range grp {
+				if !clockKept[c] {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			cc := *cg
+			out.ClockGroups = append(out.ClockGroups, &cc)
+		}
+	}
+	return out
+}

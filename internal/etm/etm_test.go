@@ -1,0 +1,316 @@
+package etm
+
+import (
+	"strings"
+	"testing"
+
+	"modemerge/internal/graph"
+	"modemerge/internal/library"
+	"modemerge/internal/netlist"
+	"modemerge/internal/sdc"
+	"modemerge/internal/sta"
+)
+
+// testMaster builds the reference block: one registered path (d → r0 →
+// q) plus a reconvergent combinational interface path (d → XOR2(d,
+// BUF(d)) → OR with the register → q).
+func testMaster(t *testing.T) *netlist.Design {
+	t.Helper()
+	b := netlist.NewBuilder("blkm", library.Default())
+	b.Port("ck", netlist.In)
+	b.Port("d", netlist.In)
+	b.Port("q", netlist.Out)
+	b.Inst("CLKBUF", "cb", map[string]string{"A": "ck", "Z": "ckn"})
+	b.Inst("DFF", "r0", map[string]string{"CP": "ckn", "D": "d", "Q": "rq"})
+	b.Inst("BUF", "bf", map[string]string{"A": "d", "Z": "dbuf"})
+	b.Inst("XOR2", "x0", map[string]string{"A": "d", "B": "dbuf", "Z": "xout"})
+	b.Inst("OR2", "o0", map[string]string{"A": "rq", "B": "xout", "Z": "q"})
+	return b.MustBuild()
+}
+
+// testHier wraps the master under a top with a clock buffer (so a
+// generated clock can be defined on a real pin) and a gated data input
+// (so a top-level case constant reaches the block boundary).
+func testHier(t *testing.T) *netlist.HierDesign {
+	t.Helper()
+	master := testMaster(t)
+	b := netlist.NewBuilder("htop", master.Lib)
+	b.Port("clk", netlist.In)
+	b.Port("din", netlist.In)
+	b.Port("en", netlist.In)
+	b.Port("dout", netlist.Out)
+	b.Inst("CLKBUF", "gdrv", map[string]string{"A": "clk", "Z": "gck"})
+	b.Inst("AND2", "gate", map[string]string{"A": "din", "B": "en", "Z": "dg"})
+	top := b.MustBuild()
+	return &netlist.HierDesign{
+		Name: "htop", Lib: master.Lib, Top: top,
+		Blocks: []*netlist.BlockInst{{
+			Name: "b0", Master: master,
+			Binds: map[string]string{"ck": "gck", "d": "dg", "q": "dout"},
+		}},
+	}
+}
+
+func flatContext(t *testing.T, h *netlist.HierDesign, name, text string) (*graph.Graph, *sta.Context) {
+	t.Helper()
+	flat, err := h.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode, _, err := sdc.Parse(name, text, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := sta.NewContext(g, mode, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ctx
+}
+
+func extractMaster(t *testing.T, master *netlist.Design) (*graph.Graph, *Model) {
+	t.Helper()
+	mg, err := graph.Build(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Extract(mg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mg, m
+}
+
+func TestExtractModelShape(t *testing.T) {
+	_, m := extractMaster(t, testMaster(t))
+	if len(m.ClockIns) != 1 || m.ClockIns[0] != "ck" {
+		t.Errorf("ClockIns = %v, want [ck]", m.ClockIns)
+	}
+	if len(m.Inputs) != 1 || m.Inputs[0] != "d" {
+		t.Errorf("Inputs = %v, want [d]", m.Inputs)
+	}
+	if len(m.Outputs) != 1 || m.Outputs[0] != "q" {
+		t.Errorf("Outputs = %v, want [q]", m.Outputs)
+	}
+	if len(m.CaptureClasses) != 1 || m.CaptureClasses[0] != (Class{Port: "d", Clock: "ck"}) {
+		t.Errorf("CaptureClasses = %v", m.CaptureClasses)
+	}
+	if len(m.LaunchClasses) != 1 || m.LaunchClasses[0] != (Class{Port: "q", Clock: "ck"}) {
+		t.Errorf("LaunchClasses = %v", m.LaunchClasses)
+	}
+	if m.RepPins["d"] == "" || !strings.Contains(m.RepPins["d"], "/") {
+		t.Errorf("RepPins[d] = %q", m.RepPins["d"])
+	}
+
+	// Round-trip through the cache serialization.
+	b, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m2 Model
+	if err := m2.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Summary() != m.Summary() || m2.GraphFingerprint != m.GraphFingerprint {
+		t.Error("model did not survive the serialization round-trip")
+	}
+}
+
+// TestExtractReconvergentInterfacePaths: d reaches q both through
+// XOR2(d, BUF(d)) branches, so the single d→q arc must report a depth
+// spread.
+func TestExtractReconvergentInterfacePaths(t *testing.T) {
+	_, m := extractMaster(t, testMaster(t))
+	if len(m.Arcs) != 1 {
+		t.Fatalf("Arcs = %v, want one d→q arc", m.Arcs)
+	}
+	a := m.Arcs[0]
+	if a.In != "d" || a.Out != "q" {
+		t.Fatalf("arc = %+v", a)
+	}
+	if a.MinDepth >= a.MaxDepth {
+		t.Errorf("reconvergence not captured: MinDepth=%d MaxDepth=%d", a.MinDepth, a.MaxDepth)
+	}
+}
+
+// TestProjectGeneratedClockCrossingBoundary: a generated clock defined
+// on a top-level pin must project onto the block's clock input as a
+// plain clock with its resolved period and waveform.
+func TestProjectGeneratedClockCrossingBoundary(t *testing.T) {
+	h := testHier(t)
+	_, ctx := flatContext(t, h, "m0", `
+create_clock -name clk -period 2 [get_ports clk]
+create_generated_clock -name gclk -source [get_ports clk] -divide_by 2 [get_pins gdrv/Z]
+set_input_delay 0.5 -clock clk [get_ports din]
+`)
+	_, model := extractMaster(t, h.Blocks[0].Master)
+	reach := ComputeReach(ctx)
+	pm, text, err := ProjectMode(ctx, reach, model, "b0/", h.Blocks[0].Master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := pm.ClockByName("gclk")
+	if gc == nil {
+		t.Fatalf("generated clock did not project; got clocks %v in:\n%s", pm.ClockNames(), text)
+	}
+	if gc.Generated {
+		t.Error("projected clock must be a plain clock, not a generated one")
+	}
+	if gc.Period != 4 {
+		t.Errorf("projected period = %v, want resolved 4", gc.Period)
+	}
+	if len(gc.Sources) != 1 || gc.Sources[0].Name != "ck" {
+		t.Errorf("projected sources = %v, want the ck port", gc.Sources)
+	}
+	// The delayed din flows into the block data input, so the projection
+	// must synthesize a launch-covering input delay there.
+	found := false
+	for _, d := range pm.IODelays {
+		if d.IsInput && len(d.Ports) == 1 && d.Ports[0].Name == "d" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no input delay projected onto d:\n%s", text)
+	}
+}
+
+// TestProjectModeDependentBoundaryConstant: the same boundary pin is
+// constant in one mode (en=0 gates it) and toggling in another; the
+// projections must differ exactly there.
+func TestProjectModeDependentBoundaryConstant(t *testing.T) {
+	h := testHier(t)
+	base := `
+create_clock -name clk -period 2 [get_ports clk]
+set_input_delay 0.5 -clock clk [get_ports din]
+`
+	_, model := extractMaster(t, h.Blocks[0].Master)
+	caseOn := func(text string) []*sdc.CaseAnalysis {
+		_, ctx := flatContext(t, h, "m", text)
+		pm, _, err := ProjectMode(ctx, ComputeReach(ctx), model, "b0/", h.Blocks[0].Master)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []*sdc.CaseAnalysis
+		for _, c := range pm.Cases {
+			for _, o := range c.Objects {
+				if o.Name == "d" {
+					out = append(out, c)
+				}
+			}
+		}
+		return out
+	}
+	if cs := caseOn(base); len(cs) != 0 {
+		t.Errorf("free mode projected a boundary constant: %v", cs)
+	}
+	cs := caseOn(base + "set_case_analysis 0 [get_ports en]\n")
+	if len(cs) != 1 || cs[0].Value != library.L0 {
+		t.Fatalf("gated mode: projected cases on d = %v, want one constant 0", cs)
+	}
+}
+
+// TestExtractPassThroughBlock: an empty-interior block (input wired
+// straight to output) still yields a model with the port-to-port arc,
+// and the abstract shell reproduces it as a combinational feed.
+func TestExtractPassThroughBlock(t *testing.T) {
+	b := netlist.NewBuilder("ptm", library.Default())
+	b.Net("w")
+	b.PortOnNet("pin", netlist.In, "w")
+	b.PortOnNet("pout", netlist.Out, "w")
+	master := b.MustBuild()
+	_, m := extractMaster(t, master)
+	if len(m.LaunchClasses)+len(m.CaptureClasses)+len(m.ClockIns) != 0 {
+		t.Errorf("pass-through block has registered classes: %s", m.Summary())
+	}
+	if len(m.Arcs) != 1 || m.Arcs[0].In != "pin" || m.Arcs[0].Out != "pout" {
+		t.Fatalf("Arcs = %v, want pin→pout", m.Arcs)
+	}
+
+	tb := netlist.NewBuilder("pttop", master.Lib)
+	tb.Port("din", netlist.In)
+	tb.Port("dout", netlist.Out)
+	h := &netlist.HierDesign{Name: "pttop", Lib: master.Lib, Top: tb.MustBuild(),
+		Blocks: []*netlist.BlockInst{{Name: "p0", Master: master,
+			Binds: map[string]string{"pin": "din", "pout": "dout"}}}}
+	abs, err := BuildAbstract(h, map[string]*Model{"ptm": m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := abs.FindPin("p0/__comb0/A"); err != nil {
+		t.Errorf("abstract shell missing the pass-through feed: %v", err)
+	}
+}
+
+// TestExtractRejectsInternalClock: a register clocked from inside the
+// block (no boundary source) must fail extraction loudly — a silent gap
+// would make the hierarchical merge optimistic.
+func TestExtractRejectsInternalClock(t *testing.T) {
+	b := netlist.NewBuilder("badblk", library.Default())
+	b.Port("d", netlist.In)
+	b.Port("q", netlist.Out)
+	b.Inst("TIEHI", "th", map[string]string{"Z": "ckn"})
+	b.Inst("DFF", "r0", map[string]string{"CP": "ckn", "D": "d", "Q": "q"})
+	master := b.MustBuild()
+	mg, err := graph.Build(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Extract(mg); err == nil {
+		t.Fatal("Extract accepted a register with no boundary clock source")
+	}
+}
+
+// TestBuildAbstractShell: the shell must carry one capture register per
+// capture class, one launch register per launch class, and a combiner
+// driving the bound output net.
+func TestBuildAbstractShell(t *testing.T) {
+	h := testHier(t)
+	_, m := extractMaster(t, h.Blocks[0].Master)
+	abs, err := BuildAbstract(h, map[string]*Model{"blkm": m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pin := range []string{"b0/__cap0/D", "b0/__cap0/CP", "b0/__lreg0/CP"} {
+		if _, _, err := abs.FindPin(pin); err != nil {
+			t.Errorf("abstract shell missing %s: %v", pin, err)
+		}
+	}
+	// Top-level cells survive untouched.
+	if abs.InstByName("gdrv") == nil || abs.InstByName("gate") == nil {
+		t.Error("abstract top lost real top-level cells")
+	}
+	if _, err := graph.Build(abs); err != nil {
+		t.Errorf("abstract design does not build a graph: %v", err)
+	}
+
+	// FilterMode keeps top-level statements and drops interior anchors.
+	mode, _, err := sdc.Parse("m", `
+create_clock -name clk -period 2 [get_ports clk]
+set_input_delay 0.5 -clock clk [get_ports din]
+set_false_path -from [get_ports din] -to [get_pins b0/r0/D]
+`, mustFlatten(t, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := FilterMode(mode, abs)
+	if len(fm.Clocks) != 1 || len(fm.IODelays) != 1 {
+		t.Errorf("filtered mode lost top-level statements: clocks=%d io=%d", len(fm.Clocks), len(fm.IODelays))
+	}
+	if len(fm.Exceptions) != 0 {
+		t.Errorf("filtered mode kept an interior-anchored exception: %v", fm.Exceptions)
+	}
+}
+
+func mustFlatten(t *testing.T, h *netlist.HierDesign) *netlist.Design {
+	t.Helper()
+	d, err := h.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

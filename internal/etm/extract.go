@@ -1,0 +1,219 @@
+package etm
+
+import (
+	"fmt"
+	"sort"
+
+	"modemerge/internal/graph"
+	"modemerge/internal/library"
+	"modemerge/internal/netlist"
+)
+
+// Extract builds the interface timing model of a block master from its
+// timing graph. The analysis is structural: combinational reachability
+// (never crossing a register's launch arc), register-to-boundary clock
+// tracing, and interface depth counting. It fails loudly when a
+// register's clock pin cannot be traced back to a boundary port —
+// internally generated clocks are outside the model's vocabulary, and a
+// silent gap there would make the hierarchical merge optimistic.
+func Extract(g *graph.Graph) (*Model, error) {
+	m := &Model{
+		Block:            g.Design.Name,
+		GraphFingerprint: g.Fingerprint(),
+		RepPins:          map[string]string{},
+	}
+
+	// Boundary port nodes, in design port order (deterministic).
+	type portNode struct {
+		name string
+		id   graph.NodeID
+		in   bool
+	}
+	var ports []portNode
+	for _, p := range g.Design.Ports {
+		id, ok := g.NodeByName(p.Name)
+		if !ok {
+			continue // dangling port with no net activity
+		}
+		ports = append(ports, portNode{name: p.Name, id: id, in: p.Dir == netlist.In})
+	}
+
+	// Representative interior pins: first instance input pin on each
+	// port's net.
+	for _, p := range g.Design.Ports {
+		if p.Net == nil {
+			continue
+		}
+		for _, c := range p.Net.Conns {
+			if c.Inst.Cell.Pins[c.Pin].Dir == library.Input {
+				m.RepPins[p.Name] = c.Inst.PinName(c.Pin)
+				break
+			}
+		}
+	}
+
+	// Forward combinational closure per input port: stop at launch arcs
+	// so registers cut the traversal. Collect reached output ports,
+	// register clock pins (→ the port is a clock input) and register
+	// data pins (→ capture classes).
+	cpClockIns := map[graph.NodeID][]string{} // reg clock pin → clock-in ports
+	type fwd struct {
+		outs    map[string][2]int // output port → min/max depth
+		capture []graph.NodeID    // reached reg data pins
+		clockin bool
+	}
+	fwdOf := map[string]*fwd{}
+	for _, p := range ports {
+		if !p.in {
+			continue
+		}
+		f := &fwd{outs: map[string][2]int{}}
+		fwdOf[p.name] = f
+		// Depth DP over the topological order restricted to the
+		// combinational cone of the port.
+		depth := map[graph.NodeID][2]int{p.id: {0, 0}}
+		for _, n := range g.Topo() {
+			d, ok := depth[n]
+			if !ok {
+				continue
+			}
+			node := g.Node(n)
+			if node.IsRegClock {
+				f.clockin = true
+				cpClockIns[n] = append(cpClockIns[n], p.name)
+				continue // the clock network ends at the register
+			}
+			if node.IsRegData {
+				f.capture = append(f.capture, n)
+				continue // data is captured; no combinational continuation
+			}
+			if node.Port != nil && node.Port.Dir == netlist.Out {
+				if prev, ok := f.outs[node.Port.Name]; ok {
+					f.outs[node.Port.Name] = [2]int{min2(prev[0], d[0]), max2(prev[1], d[1])}
+				} else {
+					f.outs[node.Port.Name] = [2]int{d[0], d[1]}
+				}
+			}
+			for _, ai := range g.OutArcs(n) {
+				a := g.Arc(ai)
+				if a.Kind == graph.LaunchArc {
+					continue
+				}
+				nd := [2]int{d[0] + 1, d[1] + 1}
+				if prev, ok := depth[a.To]; ok {
+					nd = [2]int{min2(prev[0], nd[0]), max2(prev[1], nd[1])}
+				}
+				depth[a.To] = nd
+			}
+		}
+	}
+
+	// Classify ports.
+	for _, p := range ports {
+		if p.in {
+			f := fwdOf[p.name]
+			if f.clockin {
+				m.ClockIns = append(m.ClockIns, p.name)
+			}
+			if !f.clockin || len(f.capture) > 0 || len(f.outs) > 0 {
+				m.Inputs = append(m.Inputs, p.name)
+			}
+		} else {
+			m.Outputs = append(m.Outputs, p.name)
+		}
+	}
+
+	// Every register clock pin must trace to a boundary clock input.
+	for _, n := range g.Topo() {
+		if g.Node(n).IsRegClock && len(cpClockIns[n]) == 0 {
+			return nil, fmt.Errorf("etm: block %s: register clock pin %s has no boundary clock source",
+				m.Block, g.Node(n).Name)
+		}
+	}
+
+	// Interface arcs, in (input, output) order.
+	for _, p := range ports {
+		if !p.in {
+			continue
+		}
+		f := fwdOf[p.name]
+		outs := make([]string, 0, len(f.outs))
+		for o := range f.outs {
+			outs = append(outs, o)
+		}
+		sort.Strings(outs)
+		for _, o := range outs {
+			d := f.outs[o]
+			m.Arcs = append(m.Arcs, InterfaceArc{In: p.name, Out: o, MinDepth: d[0], MaxDepth: d[1]})
+		}
+	}
+
+	// Capture classes: input port × clock-in of each reached register.
+	capSeen := map[Class]bool{}
+	for _, p := range ports {
+		if !p.in {
+			continue
+		}
+		for _, dn := range fwdOf[p.name].capture {
+			for _, ai := range g.CheckArcs(dn) {
+				cp := g.Arc(ai).To
+				for _, ck := range cpClockIns[cp] {
+					c := Class{Port: p.name, Clock: ck}
+					if !capSeen[c] {
+						capSeen[c] = true
+						m.CaptureClasses = append(m.CaptureClasses, c)
+					}
+				}
+			}
+		}
+	}
+	sortClasses(m.CaptureClasses)
+
+	// Launch classes: backward from each output port, stopping at launch
+	// arcs, whose source register's clock-ins define the class.
+	launchSeen := map[Class]bool{}
+	for _, p := range ports {
+		if p.in {
+			continue
+		}
+		seen := map[graph.NodeID]bool{p.id: true}
+		stack := []graph.NodeID{p.id}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, ai := range g.InArcs(n) {
+				a := g.Arc(ai)
+				if a.Kind == graph.LaunchArc {
+					for _, ck := range cpClockIns[a.From] {
+						c := Class{Port: p.name, Clock: ck}
+						if !launchSeen[c] {
+							launchSeen[c] = true
+							m.LaunchClasses = append(m.LaunchClasses, c)
+						}
+					}
+					continue
+				}
+				if !seen[a.From] {
+					seen[a.From] = true
+					stack = append(stack, a.From)
+				}
+			}
+		}
+	}
+	sortClasses(m.LaunchClasses)
+	return m, nil
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

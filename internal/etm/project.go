@@ -1,0 +1,323 @@
+package etm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"modemerge/internal/graph"
+	"modemerge/internal/netlist"
+	"modemerge/internal/sdc"
+	"modemerge/internal/sta"
+)
+
+// Reach is a per-node over-approximation of the launch clocks whose data
+// can arrive at each node of a flat analysis context: a clock-bitset
+// forward propagation seeded at register launch arcs and delayed input
+// ports. It deliberately ignores timing exceptions (a false path does
+// not remove the clock from the set), so the set at any node is a
+// superset of the clocks that actually launch timed paths there — the
+// safe direction for boundary projection (see ProjectMode).
+type Reach struct {
+	ctx  *sta.Context
+	bits []uint64
+	// over is set when the context has more clocks than the bitset can
+	// hold; every query then over-approximates to "all clocks".
+	over bool
+}
+
+// ComputeReach runs the forward propagation for one flat context.
+func ComputeReach(ctx *sta.Context) *Reach {
+	r := &Reach{ctx: ctx}
+	if len(ctx.Clocks) > 64 {
+		r.over = true
+		return r
+	}
+	g := ctx.G
+	r.bits = make([]uint64, g.NumNodes())
+	tagBits := func(id graph.NodeID) uint64 {
+		var b uint64
+		for _, t := range ctx.ClocksAt(id) {
+			b |= 1 << uint(t.Clock)
+		}
+		return b
+	}
+	// Seed delayed input ports with their reference clocks.
+	for _, d := range ctx.Mode.IODelays {
+		if !d.IsInput {
+			continue
+		}
+		cid, ok := ctx.ClockByName(d.Clock)
+		if !ok {
+			continue
+		}
+		for _, p := range d.Ports {
+			if id, ok := g.NodeByName(p.Name); ok {
+				r.bits[id] |= 1 << uint(cid)
+			}
+		}
+	}
+	for _, n := range g.Topo() {
+		if ctx.NodeDisabled[n] || ctx.Consts[n].Known() {
+			continue
+		}
+		for _, ai := range g.OutArcs(n) {
+			a := g.Arc(ai)
+			switch a.Kind {
+			case graph.SetupArc, graph.HoldArc:
+				continue
+			case graph.LaunchArc:
+				// The register's output carries whatever clocks reach
+				// its clock pin.
+				r.bits[a.To] |= tagBits(n)
+			default:
+				if !ctx.ArcDisabledAt(ai) {
+					r.bits[a.To] |= r.bits[n]
+				}
+			}
+		}
+	}
+	return r
+}
+
+// ClockNamesAt returns the sorted launch-clock names reaching the node.
+func (r *Reach) ClockNamesAt(id graph.NodeID) []string {
+	var out []string
+	if r.over {
+		for _, c := range r.ctx.Clocks {
+			out = append(out, c.Def.Name)
+		}
+	} else {
+		b := r.bits[id]
+		for i := 0; b != 0; i++ {
+			if b&1 != 0 {
+				out = append(out, r.ctx.Clocks[i].Def.Name)
+			}
+			b >>= 1
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InvSuffix marks a boundary clock that arrives inverted at the block:
+// the projected clock keeps the flat name plus this suffix and carries
+// the pre-inverted waveform, so interior propagation reproduces the flat
+// edge times without an inversion in the projected clock network.
+const InvSuffix = "__inv"
+
+// ProjectMode restricts one flat member mode to a block instance,
+// producing a mode for the block master that is never *looser* than the
+// flat member seen from inside the block:
+//
+//   - boundary clocks are re-created on the clock-in ports with the exact
+//     flat tags at the ports' representative interior pins (generated
+//     clocks become plain clocks with their resolved waveform; inverted
+//     arrivals become "<name>__inv" with swapped edges),
+//   - boundary case constants are read from the flat constant solution,
+//   - member statements whose object references all live inside the block
+//     are kept with the instance prefix stripped,
+//   - every data input gets zero-valued input delays for the
+//     over-approximated set of launch clocks reaching it in the flat
+//     design (launch-only clocks materialize as virtual clocks), and
+//   - no output delays: interior→output paths stay untimed in the block
+//     merge, so the block contributes no refinement for them (the
+//     abstract top covers cross-block paths instead).
+//
+// Statements that cannot be projected exactly are dropped, which only
+// makes the projected member stricter — the direction that keeps
+// harvested refinements sound (see internal/core's hierarchical path).
+// The returned mode is written and re-parsed against the master, so it
+// is validated and its text is canonical (usable as a cache key).
+func ProjectMode(flat *sta.Context, reach *Reach, model *Model, prefix string, master *netlist.Design) (*sdc.Mode, string, error) {
+	m := &sdc.Mode{Name: flat.Mode.Name}
+	g := flat.G
+
+	repNode := func(port string) (graph.NodeID, bool) {
+		rp, ok := model.RepPins[port]
+		if !ok {
+			return 0, false
+		}
+		return g.NodeByName(prefix + rp)
+	}
+
+	// Boundary clocks from the flat tags at each clock-in port.
+	type projClock struct {
+		period   float64
+		waveform []float64
+		ports    []string
+	}
+	clocks := map[string]*projClock{}
+	for _, p := range model.ClockIns {
+		id, ok := repNode(p)
+		if !ok {
+			continue
+		}
+		for _, tag := range flat.ClocksAt(id) {
+			def := flat.Clock(tag.Clock).Def
+			name, wf := def.Name, def.Waveform
+			if tag.Inv {
+				if len(wf) != 2 {
+					continue // cannot express the inversion; drop (stricter)
+				}
+				name += InvSuffix
+				wf = []float64{wf[1], wf[0] + def.Period}
+			}
+			pc := clocks[name]
+			if pc == nil {
+				pc = &projClock{period: def.Period, waveform: wf}
+				clocks[name] = pc
+			}
+			pc.ports = append(pc.ports, p)
+		}
+	}
+
+	// Boundary case constants from the flat constant solution.
+	caseDone := map[string]bool{}
+	boundaryConst := map[string]bool{}
+	for _, p := range append(append([]string{}, model.Inputs...), model.ClockIns...) {
+		if caseDone[p] {
+			continue
+		}
+		caseDone[p] = true
+		id, ok := repNode(p)
+		if !ok {
+			continue
+		}
+		if c := flat.Consts[id]; c.Known() {
+			boundaryConst[p] = true
+			m.Cases = append(m.Cases, &sdc.CaseAnalysis{
+				Value:   c,
+				Objects: []sdc.ObjRef{{Kind: sdc.PortObj, Name: p}},
+			})
+		}
+	}
+
+	// Launch sets at the data inputs → zero input delays; clocks that
+	// only launch (never reach a clock-in) become virtual clocks.
+	for _, p := range model.Inputs {
+		if boundaryConst[p] {
+			continue // a constant port times nothing
+		}
+		id, ok := repNode(p)
+		if !ok {
+			continue
+		}
+		for _, cn := range reach.ClockNamesAt(id) {
+			if clocks[cn] == nil {
+				cid, ok := flat.ClockByName(cn)
+				if !ok {
+					continue
+				}
+				def := flat.Clock(cid).Def
+				clocks[cn] = &projClock{period: def.Period, waveform: def.Waveform}
+			}
+			m.IODelays = append(m.IODelays, &sdc.IODelay{
+				IsInput: true,
+				Clock:   cn,
+				Add:     true,
+				Ports:   []sdc.ObjRef{{Kind: sdc.PortObj, Name: p}},
+			})
+		}
+	}
+
+	// Emit the clock definitions sorted by name; -add everywhere so
+	// multiple clocks on one port coexist.
+	names := make([]string, 0, len(clocks))
+	for n := range clocks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pc := clocks[n]
+		srcs := make([]sdc.ObjRef, 0, len(pc.ports))
+		seen := map[string]bool{}
+		sort.Strings(pc.ports)
+		for _, p := range pc.ports {
+			if !seen[p] {
+				seen[p] = true
+				srcs = append(srcs, sdc.ObjRef{Kind: sdc.PortObj, Name: p})
+			}
+		}
+		m.Clocks = append(m.Clocks, &sdc.Clock{
+			Name: n, Period: pc.period,
+			Waveform: append([]float64(nil), pc.waveform...),
+			Sources:  srcs, Add: true,
+		})
+	}
+
+	// Block-owned member statements, prefix-stripped. A reference that
+	// does not project drops the whole statement (stricter member).
+	stripRefs := func(refs []sdc.ObjRef) ([]sdc.ObjRef, bool) {
+		out := make([]sdc.ObjRef, 0, len(refs))
+		for _, r := range refs {
+			if r.Kind == sdc.PortObj || !strings.HasPrefix(r.Name, prefix) {
+				return nil, false
+			}
+			out = append(out, sdc.ObjRef{Kind: r.Kind, Name: strings.TrimPrefix(r.Name, prefix)})
+		}
+		return out, true
+	}
+	stripPoints := func(pl *sdc.PointList) (*sdc.PointList, bool) {
+		if pl.Empty() {
+			return pl.Clone(), true
+		}
+		q := &sdc.PointList{Edge: pl.Edge}
+		for _, c := range pl.Clocks {
+			if clocks[c] == nil {
+				return nil, false // clock absent (or inverted) in the projection
+			}
+			q.Clocks = append(q.Clocks, c)
+		}
+		var ok bool
+		if q.Pins, ok = stripRefs(pl.Pins); !ok && len(pl.Pins) > 0 {
+			return nil, false
+		}
+		return q, true
+	}
+	for _, e := range flat.Mode.Exceptions {
+		c := e.Clone()
+		var ok bool
+		if c.From, ok = stripPoints(e.From); !ok {
+			continue
+		}
+		if c.To, ok = stripPoints(e.To); !ok {
+			continue
+		}
+		c.Throughs = c.Throughs[:0]
+		ok = true
+		for _, t := range e.Throughs {
+			q, tok := stripPoints(t)
+			if !tok {
+				ok = false
+				break
+			}
+			c.Throughs = append(c.Throughs, q)
+		}
+		if !ok || (c.From.Empty() && c.To.Empty() && len(c.Throughs) == 0) {
+			continue
+		}
+		m.Exceptions = append(m.Exceptions, c)
+	}
+	for _, ca := range flat.Mode.Cases {
+		if objs, ok := stripRefs(ca.Objects); ok && len(objs) > 0 {
+			m.Cases = append(m.Cases, &sdc.CaseAnalysis{Value: ca.Value, Objects: objs})
+		}
+	}
+	for _, d := range flat.Mode.Disables {
+		if objs, ok := stripRefs(d.Objects); ok && len(objs) > 0 {
+			m.Disables = append(m.Disables, &sdc.DisableTiming{
+				Objects: objs, FromPin: d.FromPin, ToPin: d.ToPin, Comment: d.Comment,
+			})
+		}
+	}
+
+	// Canonicalize: write and re-parse against the master, validating
+	// every projected reference.
+	text := sdc.Write(m)
+	parsed, _, err := sdc.Parse(m.Name, text, master)
+	if err != nil {
+		return nil, "", fmt.Errorf("etm: projecting %s onto %s: %w", flat.Mode.Name, model.Block, err)
+	}
+	return parsed, text, nil
+}

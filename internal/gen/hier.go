@@ -1,0 +1,311 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"modemerge/internal/library"
+	"modemerge/internal/netlist"
+)
+
+// HierSpec parameterizes a synthetic hierarchical design: one shared
+// block master instantiated BlocksPerDomain times in each clock domain,
+// stitched by a top netlist carrying the clock muxes, clock gates,
+// cross-domain capture registers and IO pads. Sharing one master across
+// every instance is what makes the extracted-timing-model (ETM) path
+// pay off: per-block analysis runs once per distinct (master, projected
+// modes) pair, not once per instance.
+type HierSpec struct {
+	Name string
+	Seed int64
+	// Domains is the number of clock domains.
+	Domains int
+	// BlocksPerDomain is the number of block instances per domain.
+	BlocksPerDomain int
+	// Stages / RegsPerStage / CloudDepth size the master's interior
+	// pipeline, exactly like DesignSpec sizes a flat block.
+	Stages       int
+	RegsPerStage int
+	CloudDepth   int
+	// CrossPaths adds top-level registers capturing one domain's block
+	// output with the next domain's gated clock.
+	CrossPaths int
+	// IOPairs is the number of data input/output port pairs per domain,
+	// and also the master's interface width.
+	IOPairs int
+}
+
+// Validate fills defaults and sanity-checks the spec.
+func (s *HierSpec) Validate() error {
+	if s.Name == "" {
+		s.Name = "hsynth"
+	}
+	if s.Domains <= 0 {
+		s.Domains = 2
+	}
+	if s.BlocksPerDomain <= 0 {
+		s.BlocksPerDomain = 2
+	}
+	if s.Stages <= 0 {
+		s.Stages = 3
+	}
+	if s.RegsPerStage <= 0 {
+		s.RegsPerStage = 4
+	}
+	if s.CloudDepth <= 0 {
+		s.CloudDepth = 3
+	}
+	if s.CrossPaths < 0 || s.IOPairs < 0 {
+		return fmt.Errorf("gen: negative path counts")
+	}
+	if s.IOPairs == 0 {
+		s.IOPairs = 2
+	}
+	return nil
+}
+
+// CellEstimate approximates the flattened cell count.
+func (s HierSpec) CellEstimate() int {
+	perMaster := s.Stages*s.RegsPerStage*(2+s.CloudDepth) + 4*s.IOPairs + 2
+	return s.Domains*(s.BlocksPerDomain*perMaster+10) + s.CrossPaths*2
+}
+
+// HierGenerated bundles the hierarchical design with the flattened view
+// and the structural handles the mode generator needs. The embedded
+// Generated carries flat (prefixed) instance names, so Modes /
+// ModesWithExtra and the difftest perturbation machinery work unchanged
+// on the flattened design.
+type HierGenerated struct {
+	Generated
+	Hier *netlist.HierDesign
+}
+
+// blockName names the instance of block b in domain d.
+func blockName(d, b int) string { return fmt.Sprintf("b_d%d_%d", d, b) }
+
+// GenerateHier builds the hierarchical synthetic design
+// deterministically from the spec's seed: same seed, same design bytes
+// (see WriteVerilogHier golden coverage).
+func GenerateHier(spec HierSpec) (*HierGenerated, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	master := genMaster(spec, rng)
+
+	tb := netlist.NewBuilder(spec.Name, library.Default())
+	g := &HierGenerated{}
+	g.Spec = DesignSpec{
+		Name: spec.Name, Seed: spec.Seed, Domains: spec.Domains,
+		BlocksPerDomain: spec.BlocksPerDomain, Stages: spec.Stages,
+		RegsPerStage: spec.RegsPerStage, CloudDepth: spec.CloudDepth,
+		CrossPaths: spec.CrossPaths, IOPairs: spec.IOPairs,
+	}
+	g.TestClock = "test_clk"
+	g.TestMode = "test_mode"
+	g.ScanEn = "scan_en"
+	tb.Port(g.TestClock, netlist.In)
+	tb.Port(g.TestMode, netlist.In)
+	tb.Port(g.ScanEn, netlist.In)
+	tb.Port("scan_in", netlist.In)
+	tb.Port("scan_out", netlist.Out)
+
+	h := &netlist.HierDesign{Name: spec.Name, Lib: library.Default()}
+	lastStage := spec.Stages - 1
+
+	// Per-domain clock trees: mux between the functional and test clock,
+	// then a buffered root. Domain 0's buffer is named d0_clkbuf — the
+	// generated-clock anchor testCaptureMode relies on.
+	rootNets := make([]string, spec.Domains)
+	for d := 0; d < spec.Domains; d++ {
+		clkPort := fmt.Sprintf("clk_%d", d)
+		tb.Port(clkPort, netlist.In)
+		g.ClockPorts = append(g.ClockPorts, clkPort)
+		muxOut := fmt.Sprintf("d%d_muxclk", d)
+		rootNets[d] = fmt.Sprintf("d%d_clk", d)
+		tb.Inst("MUX2", fmt.Sprintf("d%d_clkmux", d), map[string]string{
+			"I0": clkPort, "I1": g.TestClock, "S": g.TestMode, "Z": muxOut})
+		tb.Inst("CLKBUF", fmt.Sprintf("d%d_clkbuf", d), map[string]string{
+			"A": muxOut, "Z": rootNets[d]})
+	}
+
+	// Block instances: clock gate at top, data chained block to block
+	// inside each domain, scan chained across all blocks.
+	scanNet := "scan_in"
+	type xsrc struct {
+		fromReg string // flat launch register inside the block
+		net     string // top net carrying the block output
+		domain  int
+	}
+	var xsrcs []xsrc
+	for d := 0; d < spec.Domains; d++ {
+		g.BlockEnables = append(g.BlockEnables, nil)
+		g.BlockFirstRegs = append(g.BlockFirstRegs, nil)
+		g.BlockLastRegs = append(g.BlockLastRegs, nil)
+		g.DataIn = append(g.DataIn, nil)
+		g.DataOut = append(g.DataOut, nil)
+		var cur []string
+		for i := 0; i < spec.IOPairs; i++ {
+			in := fmt.Sprintf("di_d%d_%d", d, i)
+			tb.Port(in, netlist.In)
+			g.DataIn[d] = append(g.DataIn[d], in)
+			cur = append(cur, in)
+		}
+		for blk := 0; blk < spec.BlocksPerDomain; blk++ {
+			name := blockName(d, blk)
+			enPort := fmt.Sprintf("d%d_b%d_en", d, blk)
+			tb.Port(enPort, netlist.In)
+			g.BlockEnables[d] = append(g.BlockEnables[d], enPort)
+			enNet := fmt.Sprintf("d%d_b%d_ennet", d, blk)
+			gclk := fmt.Sprintf("d%d_b%d_gclk", d, blk)
+			tb.Inst("OR2", fmt.Sprintf("d%d_b%d_enor", d, blk), map[string]string{
+				"A": enPort, "B": g.TestMode, "Z": enNet})
+			tb.Inst("ICG", fmt.Sprintf("d%d_b%d_icg", d, blk), map[string]string{
+				"CK": rootNets[d], "EN": enNet, "GCK": gclk})
+
+			binds := map[string]string{"ck": gclk, "se": g.ScanEn, "si": scanNet}
+			var outs []string
+			for i := 0; i < spec.IOPairs; i++ {
+				binds[fmt.Sprintf("d%d", i)] = cur[i]
+				q := fmt.Sprintf("%s_q%d", name, i)
+				tb.Net(q)
+				binds[fmt.Sprintf("q%d", i)] = q
+				outs = append(outs, q)
+			}
+			scanNet = name + "_so"
+			tb.Net(scanNet)
+			binds["so"] = scanNet
+			h.Blocks = append(h.Blocks, &netlist.BlockInst{Name: name, Master: master, Binds: binds})
+
+			g.BlockFirstRegs[d] = append(g.BlockFirstRegs[d], name+"/s0_r0")
+			last := fmt.Sprintf("%s/s%d_r%d", name, lastStage, spec.RegsPerStage-1)
+			g.BlockLastRegs[d] = append(g.BlockLastRegs[d], last)
+			xsrcs = append(xsrcs, xsrc{
+				fromReg: fmt.Sprintf("%s/s%d_r0", name, lastStage),
+				net:     outs[0],
+				domain:  d,
+			})
+			cur = outs
+		}
+		for i, net := range cur {
+			out := fmt.Sprintf("do_d%d_%d", d, i)
+			tb.Port(out, netlist.Out)
+			g.DataOut[d] = append(g.DataOut[d], out)
+			tb.Inst("BUF", fmt.Sprintf("d%d_obuf%d", d, i), map[string]string{
+				"A": net, "Z": out})
+		}
+	}
+	tb.Inst("BUF", "so_obuf", map[string]string{"A": scanNet, "Z": "scan_out"})
+
+	// Cross-domain paths: a top-level register captures one domain's
+	// block output with the next domain's gated clock.
+	for i := 0; i < spec.CrossPaths; i++ {
+		src := xsrcs[i%len(xsrcs)]
+		toDomain := (src.domain + 1) % spec.Domains
+		toGclk := fmt.Sprintf("d%d_b%d_gclk", toDomain, i%spec.BlocksPerDomain)
+		xd := fmt.Sprintf("x%d_d", i)
+		tb.Inst("BUF", fmt.Sprintf("x%d_buf", i), map[string]string{
+			"A": src.net, "Z": xd})
+		xreg := fmt.Sprintf("x%d_reg", i)
+		tb.Inst("DFF", xreg, map[string]string{"CP": toGclk, "D": xd})
+		g.CrossRegPairs = append(g.CrossRegPairs, [2]string{src.fromReg, xreg})
+	}
+
+	top, err := tb.Build()
+	if err != nil {
+		return nil, fmt.Errorf("gen: hier top: %w", err)
+	}
+	h.Top = top
+	g.Hier = h
+	flat, err := h.Flatten()
+	if err != nil {
+		return nil, fmt.Errorf("gen: flatten: %w", err)
+	}
+	g.Design = flat
+	return g, nil
+}
+
+// genMaster builds the shared block master: a buffered clock input, a
+// scan-chained register pipeline with random combinational clouds, and
+// reconvergent input→output bypass logic so the interface is not purely
+// registered.
+func genMaster(spec HierSpec, rng *rand.Rand) *netlist.Design {
+	b := netlist.NewBuilder("hblk", library.Default())
+	b.Port("ck", netlist.In)
+	b.Port("se", netlist.In)
+	b.Port("si", netlist.In)
+	w := spec.IOPairs
+	var dports []string
+	for i := 0; i < w; i++ {
+		p := fmt.Sprintf("d%d", i)
+		b.Port(p, netlist.In)
+		dports = append(dports, p)
+	}
+	b.Inst("CLKBUF", "ckbuf", map[string]string{"A": "ck", "Z": "cknet"})
+
+	comb := []string{"AND2", "OR2", "NAND2", "NOR2", "XOR2", "AOI21", "OAI21"}
+	newNetID := 0
+	newNet := func() string {
+		newNetID++
+		return fmt.Sprintf("n%d", newNetID)
+	}
+	cur := dports
+	scanQ := "si"
+	for st := 0; st < spec.Stages; st++ {
+		// Cloud: CloudDepth layers of random 2-input cells narrowing or
+		// widening toward RegsPerStage signals.
+		width := len(cur)
+		for k := 0; k < spec.CloudDepth; k++ {
+			next := make([]string, spec.RegsPerStage)
+			for r := 0; r < spec.RegsPerStage; r++ {
+				cell := comb[rng.Intn(len(comb))]
+				z := newNet()
+				conns := map[string]string{"Z": z}
+				pins := []string{"A", "B", "C"}
+				cellPins := 2
+				if cell == "AOI21" || cell == "OAI21" {
+					cellPins = 3
+				}
+				for p := 0; p < cellPins; p++ {
+					conns[pins[p]] = cur[(r+p*rng.Intn(width)+p)%width]
+				}
+				b.Inst(cell, fmt.Sprintf("s%d_c%d_%d", st, k, r), conns)
+				next[r] = z
+			}
+			cur = next
+			width = len(cur)
+		}
+		// Registers with scan muxes.
+		regQ := make([]string, spec.RegsPerStage)
+		for r := 0; r < spec.RegsPerStage; r++ {
+			dn := newNet()
+			q := fmt.Sprintf("s%d_r%d_q", st, r)
+			b.Inst("MUX2", fmt.Sprintf("s%d_r%d_smux", st, r), map[string]string{
+				"I0": cur[r%len(cur)], "I1": scanQ, "S": "se", "Z": dn})
+			b.Inst("DFF", fmt.Sprintf("s%d_r%d", st, r), map[string]string{
+				"CP": "cknet", "D": dn, "Q": q})
+			regQ[r] = q
+			scanQ = q
+		}
+		cur = regQ
+	}
+	// Outputs: registered result OR-ed with two reconvergent bypass
+	// paths from the data inputs (BUF + XOR both rooted at d[i]), so
+	// every output port carries both launch-class and interface-arc
+	// timing.
+	for i := 0; i < w; i++ {
+		bp1 := newNet()
+		bp2 := newNet()
+		b.Inst("BUF", fmt.Sprintf("bp%d_buf", i), map[string]string{
+			"A": dports[i], "Z": bp1})
+		b.Inst("XOR2", fmt.Sprintf("bp%d_xor", i), map[string]string{
+			"A": dports[i], "B": dports[(i+1)%w], "Z": bp2})
+		q := fmt.Sprintf("q%d", i)
+		b.Port(q, netlist.Out)
+		b.Inst("OR3", fmt.Sprintf("out%d_or", i), map[string]string{
+			"A": cur[i%len(cur)], "B": bp1, "C": bp2, "Z": q})
+	}
+	b.Port("so", netlist.Out)
+	b.Inst("BUF", "so_buf", map[string]string{"A": scanQ, "Z": "so"})
+	return b.MustBuild()
+}

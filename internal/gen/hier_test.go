@@ -1,0 +1,122 @@
+package gen
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"modemerge/internal/graph"
+	"modemerge/internal/netlist"
+	"modemerge/internal/sdc"
+)
+
+// goldenHierSpec is the fixed hierarchical spec locked byte-for-byte;
+// the same caveats as goldenSpec apply (committed corpus reproducers
+// depend on Seed → design stability). Regenerate deliberately with
+//
+//	go test ./internal/gen -run HierGolden -update
+func goldenHierSpec() (HierSpec, FamilySpec) {
+	return HierSpec{Name: "hgolden", Seed: 4321, Domains: 2, BlocksPerDomain: 2,
+			Stages: 2, RegsPerStage: 3, CloudDepth: 2, CrossPaths: 2, IOPairs: 2},
+		FamilySpec{Groups: 2, ModesPerGroup: []int{3, 1}, BasePeriod: 2}
+}
+
+// TestGenerateHierGolden locks the hierarchical Verilog (masters + top)
+// and the mode SDC text for one spec. Byte stability is what makes
+// content-addressed ETM caching valid across processes: the master's
+// rendered bytes are the cache key's design half.
+func TestGenerateHierGolden(t *testing.T) {
+	hspec, fspec := goldenHierSpec()
+	g, err := GenerateHier(hspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sdcText bytes.Buffer
+	for _, m := range g.Modes(fspec) {
+		fmt.Fprintf(&sdcText, "### %s\n%s\n", m.Name, m.Text)
+	}
+	got := map[string][]byte{
+		"golden_hier.v":         []byte(netlist.WriteVerilogHier(g.Hier)),
+		"golden_hier_modes.sdc": sdcText.Bytes(),
+	}
+	for name, data := range got {
+		path := filepath.Join("testdata", name)
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file (run with -update to create): %v", err)
+		}
+		if !bytes.Equal(want, data) {
+			t.Errorf("%s: generated output differs from golden file; if the change is deliberate, regenerate with -update", name)
+		}
+	}
+}
+
+// TestGenerateHierByteStable regenerates the hierarchical golden spec
+// repeatedly in one process.
+func TestGenerateHierByteStable(t *testing.T) {
+	hspec, fspec := goldenHierSpec()
+	render := func() string {
+		g, err := GenerateHier(hspec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := netlist.WriteVerilogHier(g.Hier)
+		for _, m := range g.Modes(fspec) {
+			out += m.Text
+		}
+		return out
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if render() != first {
+			t.Fatalf("generation %d produced different bytes for the same seed", i+1)
+		}
+	}
+}
+
+// TestGenerateHierUsable checks the flattened design builds a timing
+// graph and every emitted mode parses against it — i.e. the flat
+// handles (prefixed register names, top port names) all resolve.
+func TestGenerateHierUsable(t *testing.T) {
+	hspec, fspec := goldenHierSpec()
+	g, err := GenerateHier(hspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Hier.Stats().Cells != g.Design.Stats().Cells {
+		t.Errorf("cell count: hier=%d flat=%d", g.Hier.Stats().Cells, g.Design.Stats().Cells)
+	}
+	tg, err := graph.Build(g.Design)
+	if err != nil {
+		t.Fatalf("graph: %v", err)
+	}
+	if tg.NumNodes() == 0 {
+		t.Fatal("empty graph")
+	}
+	modes := g.Modes(fspec)
+	if len(modes) != fspec.TotalModes() {
+		t.Fatalf("modes = %d, want %d", len(modes), fspec.TotalModes())
+	}
+	for _, m := range modes {
+		if _, _, err := sdc.Parse(m.Name, m.Text, g.Design); err != nil {
+			t.Errorf("mode %s: %v", m.Name, err)
+		}
+	}
+	// Shared master: every block instance references the same design.
+	for _, blk := range g.Hier.Blocks {
+		if blk.Master != g.Hier.Blocks[0].Master {
+			t.Errorf("block %s does not share the master", blk.Name)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+### g0_m0
+# mode g0_m0
+foreach __p {di_d0_0 di_d0_1 di_d1_0 di_d1_1} {
+  set_input_transition 0.05 [get_ports $__p]
+}
+create_clock -name clk_d0 -period 2 [get_ports clk_0]
+create_clock -name clk_d1 -period 4 [get_ports clk_1]
+set_case_analysis 0 [get_ports test_mode]
+set_case_analysis 0 [get_ports scan_en]
+set_case_analysis 1 [get_ports d0_b0_en]
+set_case_analysis 1 [get_ports d0_b1_en]
+set_case_analysis 1 [get_ports d1_b0_en]
+set_case_analysis 1 [get_ports d1_b1_en]
+set_input_delay 0.4 -clock clk_d0 [get_ports di_d0_0]
+set_input_delay 0.4 -clock clk_d0 [get_ports di_d0_1]
+set_output_delay 0.4 -clock clk_d0 [get_ports do_d0_0]
+set_output_delay 0.4 -clock clk_d0 [get_ports do_d0_1]
+set_input_delay 0.4 -clock clk_d1 [get_ports di_d1_0]
+set_input_delay 0.4 -clock clk_d1 [get_ports di_d1_1]
+set_output_delay 0.4 -clock clk_d1 [get_ports do_d1_0]
+set_output_delay 0.4 -clock clk_d1 [get_ports do_d1_1]
+set_false_path -from [get_pins b_d0_0/s1_r0/CP] -to [get_pins x0_reg/D]
+set_false_path -from [get_pins b_d0_1/s1_r0/CP] -to [get_pins x1_reg/D]
+set_multicycle_path 2 -setup -from [get_pins b_d0_0/s1_r2/CP]
+
+### g0_m1
+# mode g0_m1
+foreach __p {di_d0_0 di_d0_1 di_d1_0 di_d1_1} {
+  set_input_transition 0.05 [get_ports $__p]
+}
+create_clock -name scan_clk -period 8 [get_ports test_clk]
+set_case_analysis 1 [get_ports test_mode]
+set_case_analysis 1 [get_ports scan_en]
+set_case_analysis 1 [get_ports d0_b0_en]
+set_case_analysis 1 [get_ports d0_b1_en]
+set_case_analysis 1 [get_ports d1_b0_en]
+set_case_analysis 1 [get_ports d1_b1_en]
+set_input_delay 2 -clock scan_clk [get_ports di_d0_0]
+set_input_delay 2 -clock scan_clk [get_ports di_d0_1]
+set_input_delay 2 -clock scan_clk [get_ports di_d1_0]
+set_input_delay 2 -clock scan_clk [get_ports di_d1_1]
+set_output_delay 2 -clock scan_clk [get_ports do_d0_0]
+set_output_delay 2 -clock scan_clk [get_ports do_d0_1]
+set_output_delay 2 -clock scan_clk [get_ports do_d1_0]
+set_output_delay 2 -clock scan_clk [get_ports do_d1_1]
+set_clock_uncertainty 0.1 [get_clocks scan_clk]
+
+### g0_m2
+# mode g0_m2
+foreach __p {di_d0_0 di_d0_1 di_d1_0 di_d1_1} {
+  set_input_transition 0.05 [get_ports $__p]
+}
+create_clock -name clk_d0 -period 2 [get_ports clk_0]
+create_clock -name clk_d1 -period 4 [get_ports clk_1]
+create_generated_clock -name cap_div2 -source [get_ports clk_0] -divide_by 2 [get_pins d0_clkbuf/Z]
+set_case_analysis 0 [get_ports test_mode]
+set_case_analysis 0 [get_ports scan_en]
+set_case_analysis 1 [get_ports d0_b0_en]
+set_case_analysis 0 [get_ports d0_b1_en]
+set_case_analysis 1 [get_ports d1_b0_en]
+set_case_analysis 0 [get_ports d1_b1_en]
+set_input_delay 0.4 -clock clk_d0 [get_ports di_d0_0]
+set_input_delay 0.4 -clock clk_d0 [get_ports di_d0_1]
+set_output_delay 0.4 -clock clk_d0 [get_ports do_d0_0]
+set_output_delay 0.4 -clock clk_d0 [get_ports do_d0_1]
+set_input_delay 0.4 -clock clk_d1 [get_ports di_d1_0]
+set_input_delay 0.4 -clock clk_d1 [get_ports di_d1_1]
+set_output_delay 0.4 -clock clk_d1 [get_ports do_d1_0]
+set_output_delay 0.4 -clock clk_d1 [get_ports do_d1_1]
+set_false_path -from [get_pins b_d0_0/s1_r0/CP] -to [get_pins x0_reg/D]
+set_false_path -from [get_pins b_d0_1/s1_r0/CP] -to [get_pins x1_reg/D]
+
+### g1_m0
+# mode g1_m0
+foreach __p {di_d0_0 di_d0_1 di_d1_0 di_d1_1} {
+  set_input_transition 0.2 [get_ports $__p]
+}
+create_clock -name clk_d0 -period 2 [get_ports clk_0]
+create_clock -name clk_d1 -period 4 [get_ports clk_1]
+set_case_analysis 0 [get_ports test_mode]
+set_case_analysis 0 [get_ports scan_en]
+set_case_analysis 1 [get_ports d0_b0_en]
+set_case_analysis 1 [get_ports d0_b1_en]
+set_case_analysis 1 [get_ports d1_b0_en]
+set_case_analysis 1 [get_ports d1_b1_en]
+set_input_delay 0.4 -clock clk_d0 [get_ports di_d0_0]
+set_input_delay 0.4 -clock clk_d0 [get_ports di_d0_1]
+set_output_delay 0.4 -clock clk_d0 [get_ports do_d0_0]
+set_output_delay 0.4 -clock clk_d0 [get_ports do_d0_1]
+set_input_delay 0.4 -clock clk_d1 [get_ports di_d1_0]
+set_input_delay 0.4 -clock clk_d1 [get_ports di_d1_1]
+set_output_delay 0.4 -clock clk_d1 [get_ports do_d1_0]
+set_output_delay 0.4 -clock clk_d1 [get_ports do_d1_1]
+set_false_path -from [get_pins b_d0_0/s1_r0/CP] -to [get_pins x0_reg/D]
+set_false_path -from [get_pins b_d0_1/s1_r0/CP] -to [get_pins x1_reg/D]
+set_multicycle_path 2 -setup -from [get_pins b_d0_0/s1_r2/CP]
+

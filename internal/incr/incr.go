@@ -40,7 +40,7 @@ import (
 // collisions.
 type Granularity string
 
-// The three cache granularities of the incremental engine.
+// The cache granularities of the incremental engine.
 const (
 	// GranContext caches built per-mode sta analysis contexts. Memory
 	// only: entries are live Go object graphs shared read-only between
@@ -52,6 +52,12 @@ const (
 	// GranClique caches the merged SDC text + report of one merge
 	// clique — the whole preliminary-merge + refinement pipeline.
 	GranClique Granularity = "clique"
+	// GranETM caches hierarchical-merge products: extracted interface
+	// timing models keyed by the master graph fingerprint, and per-block
+	// refinement harvests keyed by master fingerprint + options +
+	// projected member texts. Both serialize, so they ride the disk
+	// write-through like cliques.
+	GranETM Granularity = "etm"
 )
 
 // Hash is the cache's content address: SHA-256 over length-prefixed
@@ -74,6 +80,7 @@ type Stats struct {
 	ContextHits, ContextMisses atomic.Int64
 	PairHits, PairMisses       atomic.Int64
 	CliqueHits, CliqueMisses   atomic.Int64
+	ETMHits, ETMMisses         atomic.Int64
 }
 
 // StatsSnapshot is the JSON-ready view of Stats.
@@ -84,6 +91,8 @@ type StatsSnapshot struct {
 	PairMisses    int64 `json:"pair_misses"`
 	CliqueHits    int64 `json:"clique_hits"`
 	CliqueMisses  int64 `json:"clique_misses"`
+	ETMHits       int64 `json:"etm_hits"`
+	ETMMisses     int64 `json:"etm_misses"`
 }
 
 func (s *Stats) hit(g Granularity) {
@@ -94,6 +103,8 @@ func (s *Stats) hit(g Granularity) {
 		s.PairHits.Add(1)
 	case GranClique:
 		s.CliqueHits.Add(1)
+	case GranETM:
+		s.ETMHits.Add(1)
 	}
 }
 
@@ -105,6 +116,8 @@ func (s *Stats) miss(g Granularity) {
 		s.PairMisses.Add(1)
 	case GranClique:
 		s.CliqueMisses.Add(1)
+	case GranETM:
+		s.ETMMisses.Add(1)
 	}
 }
 
@@ -117,6 +130,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		PairMisses:    s.PairMisses.Load(),
 		CliqueHits:    s.CliqueHits.Load(),
 		CliqueMisses:  s.CliqueMisses.Load(),
+		ETMHits:       s.ETMHits.Load(),
+		ETMMisses:     s.ETMMisses.Load(),
 	}
 }
 

@@ -1,0 +1,168 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"modemerge/internal/library"
+)
+
+// testMaster builds a small block master: clock buffer, two DFFs in a
+// pipeline, one comb cell, plus a pure pass-through net (pt_in→pt_out).
+func testMaster(t *testing.T) *Design {
+	t.Helper()
+	b := NewBuilder("blk", library.Default())
+	b.Port("ck", In)
+	b.Port("din", In)
+	b.Port("pt_in", In)
+	b.Port("dout", Out)
+	b.PortOnNet("pt_out", Out, "pt_in")
+	b.Inst("CLKBUF", "ckbuf", map[string]string{"A": "ck", "Z": "cknet"})
+	b.Inst("DFF", "r0", map[string]string{"CP": "cknet", "D": "din", "Q": "n0"})
+	b.Inst("AND2", "u0", map[string]string{"A": "n0", "B": "din", "Z": "n1"})
+	b.Inst("DFF", "r1", map[string]string{"CP": "cknet", "D": "n1", "Q": "dout"})
+	d, err := b.Build()
+	if err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	return d
+}
+
+func testHier(t *testing.T) *HierDesign {
+	t.Helper()
+	master := testMaster(t)
+	tb := NewBuilder("top", library.Default())
+	tb.Port("clk", In)
+	tb.Port("in0", In)
+	tb.Port("out0", Out)
+	tb.Inst("CLKBUF", "topbuf", map[string]string{"A": "clk", "Z": "gclk"})
+	tb.Inst("BUF", "obuf", map[string]string{"A": "b1_q", "Z": "out0"})
+	// Nets only touched by block pins must still exist in the top design.
+	tb.Net("b0_q")
+	tb.Net("b0_pt")
+	tb.Net("b1_pt")
+	top := tb.MustBuild()
+	return &HierDesign{
+		Name: "top",
+		Lib:  library.Default(),
+		Top:  top,
+		Blocks: []*BlockInst{
+			{Name: "b0", Master: master, Binds: map[string]string{
+				"ck": "gclk", "din": "in0", "dout": "b0_q", "pt_in": "in0", "pt_out": "b0_pt"}},
+			{Name: "b1", Master: master, Binds: map[string]string{
+				"ck": "gclk", "din": "b0_q", "dout": "b1_q", "pt_in": "b0_pt", "pt_out": "b1_pt"}},
+		},
+	}
+}
+
+func TestFlattenHier(t *testing.T) {
+	h := testHier(t)
+	flat, err := h.Flatten()
+	if err != nil {
+		t.Fatalf("flatten: %v", err)
+	}
+	// Interior instances gain the block prefix.
+	for _, name := range []string{"b0/r0", "b0/r1", "b1/u0", "topbuf", "obuf"} {
+		if flat.InstByName(name) == nil {
+			t.Errorf("missing instance %q", name)
+		}
+	}
+	// Master port nets dissolve into bound top nets: b0's dout drives b1's din.
+	r1, qpin, err := flat.FindPin("b0/r1/Q")
+	if err != nil {
+		t.Fatalf("find pin: %v", err)
+	}
+	if q := r1.Conns[qpin]; q.Name != "b0_q" {
+		t.Errorf("b0/r1 Q on net %q, want b0_q", q.Name)
+	}
+	// Pass-through ports synthesize a feed BUF per block.
+	if flat.InstByName("b0/__feed0") == nil || flat.InstByName("b1/__feed0") == nil {
+		t.Errorf("missing feed-through BUFs")
+	}
+	st := flat.Stats()
+	want := h.Stats()
+	// Flatten adds one BUF per feed-through, which Stats does not count.
+	if st.Cells != want.Cells+2 {
+		t.Errorf("cells = %d, want %d + 2 feed BUFs", st.Cells, want.Cells)
+	}
+	if st.Sequential != want.Sequential {
+		t.Errorf("regs = %d, want %d", st.Sequential, want.Sequential)
+	}
+}
+
+func TestHierVerilogRoundTrip(t *testing.T) {
+	h := testHier(t)
+	text := WriteVerilogHier(h)
+	h2, err := ParseVerilogHier(text, library.Default(), "top")
+	if err != nil {
+		t.Fatalf("parse hier: %v", err)
+	}
+	if len(h2.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(h2.Blocks))
+	}
+	if h2.Blocks[0].Master != h2.Blocks[1].Master {
+		t.Errorf("block instances do not share one master design")
+	}
+	// Flattening the reparse matches flattening the original, module by
+	// module (WriteVerilog is canonical for flat designs).
+	f1, err := h.Flatten()
+	if err != nil {
+		t.Fatalf("flatten orig: %v", err)
+	}
+	f2, err := h2.Flatten()
+	if err != nil {
+		t.Fatalf("flatten reparse: %v", err)
+	}
+	if a, b := WriteVerilog(f1), WriteVerilog(f2); a != b {
+		t.Errorf("flatten mismatch after round trip:\n%s", firstDiffLine(a, b))
+	}
+	// Byte-stable rendering.
+	if text != WriteVerilogHier(h2) {
+		t.Errorf("WriteVerilogHier not stable across round trip")
+	}
+}
+
+func TestParseVerilogHierFlatEquivalence(t *testing.T) {
+	// A hierarchical source parsed flat (ParseVerilog) and parsed
+	// hierarchically + flattened must describe the same circuit.
+	src := WriteVerilogHier(testHier(t))
+	flat, err := ParseVerilog(src, library.Default(), "top")
+	if err != nil {
+		t.Fatalf("flat parse: %v", err)
+	}
+	h, err := ParseVerilogHier(src, library.Default(), "top")
+	if err != nil {
+		t.Fatalf("hier parse: %v", err)
+	}
+	hf, err := h.Flatten()
+	if err != nil {
+		t.Fatalf("flatten: %v", err)
+	}
+	fs, hs := flat.Stats(), hf.Stats()
+	// The flat elaborator dissolves pass-through nets by aliasing while
+	// Flatten inserts feed BUFs, so allow exactly that delta.
+	if hs.Sequential != fs.Sequential {
+		t.Errorf("regs: flat %d vs hier %d", fs.Sequential, hs.Sequential)
+	}
+	if hs.Cells < fs.Cells || hs.Cells > fs.Cells+2 {
+		t.Errorf("cells: flat %d vs hier %d (want equal up to 2 feed BUFs)", fs.Cells, hs.Cells)
+	}
+	for _, name := range []string{"b0/r0", "b1/r1", "b0/u0"} {
+		if flat.InstByName(name) == nil {
+			t.Errorf("flat parse missing %q", name)
+		}
+		if hf.InstByName(name) == nil {
+			t.Errorf("hier flatten missing %q", name)
+		}
+	}
+}
+
+func firstDiffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "line " + al[i] + " != " + bl[i]
+		}
+	}
+	return "length mismatch"
+}

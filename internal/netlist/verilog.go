@@ -977,7 +977,9 @@ func (e *elaborator) materialize(topName string) (*Design, error) {
 	// Resolve final names per slot root: prefer top port names.
 	rootName := map[int]string{}
 	for _, p := range e.topPorts {
-		rootName[e.find(p.slot)] = p.name
+		if _, ok := rootName[e.find(p.slot)]; !ok {
+			rootName[e.find(p.slot)] = p.name
+		}
 	}
 	name := func(slot int) string {
 		r := e.find(slot)
@@ -987,15 +989,15 @@ func (e *elaborator) materialize(topName string) (*Design, error) {
 		rootName[r] = e.slotName[r]
 		return e.slotName[r]
 	}
-	// Ports first so the port nets adopt port names.
+	// Ports first so the port nets adopt port names. Several ports may
+	// alias to one slot (a pass-through module); the first port owns the
+	// net name and later ports attach to the same net. Illegal shorts
+	// (two shorted input ports = two drivers) are left for Validate.
 	for _, p := range e.topPorts {
-		b.Port(p.name, p.dir)
-		// If several top ports alias to one slot that is an error we let
-		// Validate catch (multiple drivers) or tolerate (fanout alias).
 		if got := name(p.slot); got != p.name {
-			// Another port owns the slot name; create an alias by reusing
-			// that net — not supported by Builder, so reject.
-			return nil, fmt.Errorf("verilog: ports %q and %q are shorted", got, p.name)
+			b.PortOnNet(p.name, p.dir, got)
+		} else {
+			b.Port(p.name, p.dir)
 		}
 	}
 	// Tie cells.
@@ -1043,6 +1045,16 @@ func WriteVerilog(d *Design) string {
 	sort.Strings(names)
 	for _, n := range names {
 		fmt.Fprintf(&b, "  wire %s;\n", escapeID(n))
+	}
+	// A net carrying several ports (a pass-through) renders as assigns
+	// from the net's name-owning port to the others, so re-parsing
+	// reconstructs the aliasing.
+	for _, n := range d.Nets {
+		for _, p := range n.Ports {
+			if p.Name != n.Name {
+				fmt.Fprintf(&b, "  assign %s = %s;\n", escapeID(p.Name), escapeID(n.Name))
+			}
+		}
 	}
 	for _, inst := range d.Insts {
 		fmt.Fprintf(&b, "  %s %s (", inst.Cell.Name, escapeID(inst.Name))

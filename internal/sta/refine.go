@@ -222,7 +222,16 @@ func (ctx *Context) ExtraLaunchFlows(
 				}
 				continue
 			}
+			// Visit the source node's clocks in ClockID order: when several
+			// clocks are first blocked at the same arc, the frontier order —
+			// and with it the merged SDC's false-path order — must not
+			// depend on map iteration.
+			fromClocks := make([]ClockID, 0, len(tags[a.From]))
 			for c := range tags[a.From] {
+				fromClocks = append(fromClocks, c)
+			}
+			sort.Slice(fromClocks, func(i, j int) bool { return fromClocks[i] < fromClocks[j] })
+			for _, c := range fromClocks {
 				name := ctx.Clocks[c].Def.Name
 				stat(outStat, a.From, c).attempts++
 				stat(inStat, id, c).attempts++

@@ -144,3 +144,66 @@ func TestFacadeSingleCliqueMerge(t *testing.T) {
 	}
 	t.Fatal("fixture produced no multi-member clique")
 }
+
+// hierFixture loads the same structural design hierarchically, through
+// the public facade's Verilog round trip.
+func hierFixture(t *testing.T) (*modemerge.Design, []*modemerge.Mode) {
+	t.Helper()
+	hg, err := gen.GenerateHier(gen.HierSpec{Name: "hfacade", Seed: 71, Domains: 2,
+		BlocksPerDomain: 1, Stages: 2, RegsPerStage: 2, CloudDepth: 1, CrossPaths: 1, IOPairs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := modemerge.LoadHierDesign(netlist.WriteVerilogHier(hg.Hier), "", "hfacade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !design.Hierarchical() {
+		t.Fatal("LoadHierDesign did not keep the hierarchy")
+	}
+	var modes []*modemerge.Mode
+	for _, ms := range hg.Modes(gen.FamilySpec{Groups: 2, ModesPerGroup: []int{2, 2}, BasePeriod: 2}) {
+		m, _, err := design.ParseMode(ms.Name, ms.Text)
+		if err != nil {
+			t.Fatalf("mode %s: %v", ms.Name, err)
+		}
+		modes = append(modes, m)
+	}
+	return design, modes
+}
+
+func TestFacadeHierarchicalMerge(t *testing.T) {
+	design, modes := hierFixture(t)
+	merged, _, mb, err := modemerge.MergeAll(context.Background(), design, modes,
+		modemerge.Options{Hierarchical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, clique := range mb.Cliques() {
+		if len(clique) < 2 {
+			continue
+		}
+		var group []*modemerge.Mode
+		for _, mi := range clique {
+			group = append(group, modes[mi])
+		}
+		res, err := modemerge.CheckEquivalence(context.Background(), design, group, merged[ci], modemerge.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent() {
+			t.Errorf("hierarchical merged mode %s relaxes its members: %s", merged[ci].Name, res)
+		}
+	}
+}
+
+func TestFacadeHierarchicalRequiresHierDesign(t *testing.T) {
+	design, modes := fixture(t)
+	if design.Hierarchical() {
+		t.Fatal("flat design reports Hierarchical")
+	}
+	if _, _, _, err := modemerge.MergeAll(context.Background(), design, modes,
+		modemerge.Options{Hierarchical: true}); err == nil {
+		t.Fatal("Options.Hierarchical on a flat design must error")
+	}
+}

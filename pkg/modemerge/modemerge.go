@@ -15,6 +15,11 @@
 // relaxes its member modes — the paper's correct-by-construction
 // validation, also usable standalone.
 //
+// Hierarchical merging: load a block-structured netlist with
+// LoadHierDesign and set Options.Hierarchical — merges then refine per
+// block through extracted timing models (never optimistic relative to
+// the flat merge) and scale to designs too large for flat refinement.
+//
 // Incremental re-merging: give Options a Cache (NewCache) and repeated
 // merges reuse per-mode analysis contexts, pairwise mergeability
 // verdicts and whole-clique artifacts keyed by content address — editing
@@ -73,8 +78,11 @@ type DesignStats = netlist.Stats
 
 // Design is a loaded gate-level design: parsed cell library, elaborated
 // netlist and built timing graph, immutable and safe for concurrent use.
+// Designs loaded with LoadHierDesign additionally keep their block
+// hierarchy, enabling Options.Hierarchical merging.
 type Design struct {
 	graph    *graph.Graph
+	hier     *netlist.HierDesign
 	warnings []string
 }
 
@@ -106,8 +114,47 @@ func LoadDesign(verilog, librarySrc, top string) (*Design, error) {
 	return &Design{graph: g, warnings: warnings}, nil
 }
 
+// LoadHierDesign parses hierarchical structural Verilog (a top module
+// instantiating block modules), flattens it for timing analysis, and
+// keeps the block hierarchy so merges can run per-block through
+// extracted timing models (Options.Hierarchical). Modes are parsed and
+// merged against the flattened design; merged output references
+// flattened (block-prefixed) names exactly like LoadDesign.
+func LoadHierDesign(verilog, librarySrc, top string) (*Design, error) {
+	lib := library.Default()
+	if librarySrc != "" {
+		parsed, err := library.Parse(librarySrc)
+		if err != nil {
+			return nil, fmt.Errorf("library: %w", err)
+		}
+		lib = parsed
+	}
+	hier, err := netlist.ParseVerilogHier(verilog, lib, top)
+	if err != nil {
+		return nil, fmt.Errorf("verilog: %w", err)
+	}
+	design, err := hier.Flatten()
+	if err != nil {
+		return nil, fmt.Errorf("flatten: %w", err)
+	}
+	warnings, err := design.Validate()
+	if err != nil {
+		return nil, fmt.Errorf("design: %w", err)
+	}
+	g, err := graph.Build(design)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	return &Design{graph: g, hier: hier, warnings: warnings}, nil
+}
+
 // Name returns the design's top module name.
 func (d *Design) Name() string { return d.graph.Design.Name }
+
+// Hierarchical reports whether the design kept a block hierarchy
+// (loaded with LoadHierDesign) and can merge via extracted timing
+// models.
+func (d *Design) Hierarchical() bool { return d.hier != nil }
 
 // Stats summarizes the design's size.
 func (d *Design) Stats() DesignStats { return d.graph.Design.Stats() }
@@ -169,6 +216,16 @@ type Options struct {
 	// Cache enables incremental re-merging (see NewCache). Nil disables
 	// reuse.
 	Cache *Cache
+	// Hierarchical merges per block through extracted timing models
+	// instead of refining the flat design monolithically: flat
+	// preliminary merge and clock refinement, then per-block data
+	// refinement on the block masters against projected member modes plus
+	// an abstract top, stitched back under soundness guards. Requires a
+	// design loaded with LoadHierDesign. The result is relation-
+	// equivalent to the flat merge up to extra pessimism — never
+	// optimistic — and scales to designs where flat refinement cannot
+	// run.
+	Hierarchical bool
 }
 
 func (o Options) core() core.Options {
@@ -185,11 +242,28 @@ func (o Options) core() core.Options {
 	return opt
 }
 
+// coreFor additionally wires the design's block hierarchy into the
+// merge options when Options.Hierarchical asks for it.
+func (o Options) coreFor(d *Design) (core.Options, error) {
+	opt := o.core()
+	if o.Hierarchical {
+		if d.hier == nil {
+			return opt, fmt.Errorf("modemerge: Options.Hierarchical requires a design loaded with LoadHierDesign")
+		}
+		opt.Hierarchical = d.hier
+	}
+	return opt, nil
+}
+
 // Merge merges the modes (assumed mergeable; check with
 // AnalyzeMergeability or use MergeAll) into one superset mode.
 // Cancelling ctx aborts the merge.
 func Merge(ctx context.Context, d *Design, modes []*Mode, opt Options) (*Mode, *Report, error) {
-	return core.MergeWithGraph(ctx, d.graph, modes, opt.core())
+	copt, err := opt.coreFor(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.MergeWithGraph(ctx, d.graph, modes, copt)
 }
 
 // MergeAll analyzes pairwise mergeability, partitions the modes into
@@ -198,7 +272,11 @@ func Merge(ctx context.Context, d *Design, modes []*Mode, opt Options) (*Mode, *
 // plus the mergeability graph. Cancelling ctx aborts between and inside
 // clique merges.
 func MergeAll(ctx context.Context, d *Design, modes []*Mode, opt Options) ([]*Mode, []*Report, *Mergeability, error) {
-	return core.MergeAll(ctx, d.graph, modes, opt.core())
+	copt, err := opt.coreFor(d)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return core.MergeAll(ctx, d.graph, modes, copt)
 }
 
 // AnalyzeMergeability runs only the pairwise mock-merge analysis and
