@@ -67,6 +67,12 @@ type Options struct {
 	// byte-identical to cold merges by the difftest incremental oracle.
 	// Nil disables incremental reuse.
 	Cache *incr.Cache
+	// Slow disables individual data-refinement optimizations, forcing the
+	// pre-optimization slow paths. Results are byte-identical with any
+	// combination (enforced by refine_equiv_test.go), so these knobs are
+	// excluded from the incremental cache key like Parallelism; they
+	// exist for equivalence tests and for bisecting perf regressions.
+	Slow SlowPaths
 	// Hierarchical, when set, routes every multi-mode clique through the
 	// extracted-timing-model merge (internal/etm): flat preliminary merge
 	// and clock refinement, then per-block data refinement on the block
@@ -76,6 +82,26 @@ type Options struct {
 	// are relation-equivalent to (never more optimistic than) the flat
 	// merge; see the difftest hierarchical oracle.
 	Hierarchical *netlist.HierDesign
+}
+
+// SlowPaths selects data-refinement optimizations to disable (debug
+// knobs; see Options.Slow).
+type SlowPaths struct {
+	// NoRelationCache disables the per-context relation memo and shared
+	// start-tracked propagation (sta.Options.DisableRelationMemo): every
+	// pass-2/3 query re-propagates its endpoint cone.
+	NoRelationCache bool
+	// NoEndpointPrune disables pass-1/2 fingerprint pruning: every
+	// endpoint is gathered and compared even when all contexts provably
+	// agree.
+	NoEndpointPrune bool
+	// NoPairPrune disables the pass-3 reconvergence prune: every
+	// ambiguous (start, end) pair gets the full through-point scan.
+	NoPairPrune bool
+	// NoCacheTransfer drops all memoized merged-context relation results
+	// on every refinement rebuild instead of invalidating only endpoints
+	// reachable from the newly added exceptions.
+	NoCacheTransfer bool
 }
 
 // FaultInjection selects deliberate merge bugs for differential testing.
@@ -96,12 +122,19 @@ type FaultInjection struct {
 	// subset-only member relaxations leak into the stitched mode — an
 	// optimistic merge the hierarchical oracle must flag.
 	ETMKeepSubsetExceptions bool
+	// PruneSkipDifferingEndpoints breaks the pass-1/2 fingerprint prune:
+	// an endpoint is skipped whenever the member modes agree, without
+	// checking that the merged mode agrees too. Endpoints where the
+	// merged mode relaxes what every member constrains then keep their
+	// optimism uncorrected — caught by the equivalence oracle, which
+	// deliberately never prunes.
+	PruneSkipDifferingEndpoints bool
 }
 
 // Any reports whether any fault is enabled.
 func (f FaultInjection) Any() bool {
 	return f.KeepSubsetExceptions || f.SkipClockRefinement || f.SkipDataRefinement ||
-		f.ETMKeepSubsetExceptions
+		f.ETMKeepSubsetExceptions || f.PruneSkipDifferingEndpoints
 }
 
 // stage times one flow stage and reports it to the hook.
@@ -237,6 +270,10 @@ type Merger struct {
 	// disables tracing).
 	span *obs.Span
 
+	// memo carries the data-refinement fingerprint tables and pending
+	// exception tracking across refinement iterations (see refine.go).
+	memo refineMemo
+
 	Report *Report
 }
 
@@ -318,6 +355,9 @@ func (mg *Merger) staOptions() sta.Options {
 		o.Workers = mg.opt.parallelism()
 	}
 	o.Span = mg.span
+	if mg.opt.Slow.NoRelationCache {
+		o.DisableRelationMemo = true
+	}
 	return o
 }
 
@@ -381,15 +421,62 @@ func (mg *Merger) Merge(cx context.Context) (*sdc.Mode, error) {
 func (mg *Merger) Merged() *sdc.Mode { return mg.merged }
 
 // rebuildMerged re-resolves the merged mode against the graph after
-// constraints were added.
+// constraints were added. With an incremental cache, the merged context
+// is looked up (and stored) by content address like the member contexts,
+// so warm re-merges and equivalence checks of a previously seen merged
+// mode skip the context rebuild entirely.
 func (mg *Merger) rebuildMerged() error {
 	sp := mg.span.Child("rebuild_merged")
 	defer sp.Finish()
+	if c := mg.opt.Cache; c != nil {
+		staOpt := mg.staOptions()
+		staOpt.Span = nil // cached contexts must not reference this merge's tracer
+		text := sdc.Write(mg.merged)
+		key := contextCacheKey(mg.g, text, staOpt, staOpt.Workers)
+		if v, ok := c.GetObject(incr.GranMergedCtx, key); ok {
+			mg.mctx = v.(*sta.Context)
+			sp.Add("ctx_cache_hits", 1)
+			return nil
+		}
+		// mg.merged keeps mutating as refinement appends exceptions, so a
+		// cached context is built from a parsed snapshot of the current
+		// text (the same Write→Parse round trip the clique artifact
+		// relies on) instead of aliasing the live mode.
+		if snap, _, err := sdc.Parse(mg.merged.Name, text, mg.design); err == nil {
+			ctx, err := sta.NewContext(mg.g, snap, staOpt)
+			if err != nil {
+				return fmt.Errorf("merged mode %s: %w", mg.merged.Name, err)
+			}
+			c.PutObject(incr.GranMergedCtx, key, ctx)
+			sp.Add("ctx_cache_misses", 1)
+			mg.mctx = ctx
+			return nil
+		}
+	}
 	ctx, err := sta.NewContext(mg.g, mg.merged, mg.staOptions())
 	if err != nil {
 		return fmt.Errorf("merged mode %s: %w", mg.merged.Name, err)
 	}
 	mg.mctx = ctx
+	return nil
+}
+
+// rebuildMergedExcOnly is rebuildMerged for callers that changed nothing
+// but timing exceptions (the data-refinement loop: launch blocking and
+// per-iteration corrective false paths). It derives the new context from
+// the previous one, sharing every exception-independent analysis result
+// and recompiling only the exception set. The incremental-cache path and
+// the NoCacheTransfer equivalence knob fall back to the full rebuild —
+// the former because cached contexts must not alias the live merged mode,
+// the latter so the slow path exercises a from-scratch build.
+func (mg *Merger) rebuildMergedExcOnly() error {
+	if mg.mctx == nil || mg.opt.Cache != nil || mg.opt.Slow.NoCacheTransfer {
+		return mg.rebuildMerged()
+	}
+	sp := mg.span.Child("rebuild_merged")
+	defer sp.Finish()
+	sp.Add("exc_only_derives", 1)
+	mg.mctx = sta.DeriveExceptionsOnly(mg.mctx, mg.merged, mg.staOptions())
 	return nil
 }
 

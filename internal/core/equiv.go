@@ -115,10 +115,10 @@ func (mg *Merger) checkEquivalence(cx context.Context) (*EquivalenceResult, erro
 		return nil, err
 	}
 	groups := mg.gatherGroups(perMode, mergedRels)
-	pass2 := map[string]bool{}
+	pass2 := nameSet{}
 	for k, gs := range groups {
 		if classify(k, gs) {
-			pass2[k.End] = true
+			pass2.add(k.End)
 		}
 	}
 	p1.Add("path_groups", int64(len(groups)))
@@ -126,11 +126,7 @@ func (mg *Merger) checkEquivalence(cx context.Context) (*EquivalenceResult, erro
 
 	// Pass 2 (relations per endpoint computed in parallel).
 	p2 := esp.Child("equiv_pass2")
-	var ends []string
-	for e := range pass2 {
-		ends = append(ends, e)
-	}
-	sort.Strings(ends)
+	ends := pass2.sorted()
 	type sePair struct{ start, end string }
 	pass3 := map[sePair]bool{}
 	seGroupsPerEnd := make([]map[sta.RelKey]*groupStates, len(ends))

@@ -25,15 +25,16 @@ import (
 // cold merges (PropIncremental).
 
 // incrOptionsKey fingerprints every option that changes merge *results*.
-// Parallelism, worker counts, hooks and tracing are excluded — the
-// engine guarantees byte-identical output across those (see DESIGN.md),
-// so results cached at one setting are valid at every other.
+// Parallelism, worker counts, hooks, tracing and the Slow debug knobs
+// are excluded — the engine guarantees byte-identical output across
+// those (see DESIGN.md), so results cached at one setting are valid at
+// every other.
 func (o Options) incrOptionsKey() string {
 	o = o.withDefaults()
-	return fmt.Sprintf("tol=%g|iters=%d|inject=%v/%v/%v/%v|edges=%d|hier=%v",
+	return fmt.Sprintf("tol=%g|iters=%d|inject=%v/%v/%v/%v/%v|edges=%d|hier=%v",
 		o.Tolerance, o.MaxRefineIterations,
 		o.Inject.KeepSubsetExceptions, o.Inject.SkipClockRefinement, o.Inject.SkipDataRefinement,
-		o.Inject.ETMKeepSubsetExceptions,
+		o.Inject.ETMKeepSubsetExceptions, o.Inject.PruneSkipDifferingEndpoints,
 		o.STA.MaxLaunchEdges, o.Hierarchical != nil)
 }
 

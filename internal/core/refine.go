@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -14,21 +15,6 @@ import (
 	"modemerge/internal/sdc"
 	"modemerge/internal/sta"
 )
-
-// startEndAll computes pass-2 relations for every individual context and
-// the merged context on the bounded pool (a context is only ever used
-// from one goroutine at a time; index len(ctxs) is the merged context).
-func (mg *Merger) startEndAll(endID graph.NodeID) (perMode []map[sta.RelKey]relation.Set, merged map[sta.RelKey]relation.Set) {
-	perMode = make([]map[sta.RelKey]relation.Set, len(mg.ctxs))
-	forEachParallel(context.Background(), len(mg.ctxs)+1, mg.opt.parallelism(), func(m int) {
-		if m == len(mg.ctxs) {
-			merged = mg.mctx.StartEndRelations(endID)
-		} else {
-			perMode[m] = mg.ctxs[m].StartEndRelations(endID)
-		}
-	})
-	return perMode, merged
-}
 
 // throughAll computes pass-3 relations for every context on the bounded
 // pool.
@@ -176,7 +162,7 @@ func (mg *Merger) dataRefinement(cx context.Context, sp *obs.Span) error {
 		if added == 0 {
 			return nil
 		}
-		if err := mg.rebuildMerged(); err != nil {
+		if err := mg.rebuildMergedForRefine(); err != nil {
 			return err
 		}
 	}
@@ -188,26 +174,36 @@ func (mg *Merger) dataRefinement(cx context.Context, sp *obs.Span) error {
 // granularity: a launch clock's data may cross an arc in the merged mode
 // only if it does so in at least one individual mode.
 func (mg *Merger) blockExtraLaunchClocks() error {
+	// The justification callbacks run once per arc per clock, so resolve
+	// the merged→local clock mapping and each mode's launch-clock presence
+	// up front; the callbacks reduce to array lookups.
+	mergedNames := mg.mctx.AllClockNames()
+	mergedIdx := make(map[string]int, len(mergedNames))
+	for i, n := range mergedNames {
+		mergedIdx[n] = i
+	}
+	launchAt := make([][][]bool, len(mg.ctxs))
+	for m, ctx := range mg.ctxs {
+		locals := make([]string, len(mergedNames))
+		for i, mc := range mergedNames {
+			locals[i] = mg.cmap.localName(mc, m)
+		}
+		launchAt[m] = ctx.LaunchClockTable(locals)
+	}
 	seedJustify := func(node graph.NodeID, mergedClock string) bool {
-		for m, ctx := range mg.ctxs {
-			local := mg.cmap.localName(mergedClock, m)
-			if local == "" {
-				continue
-			}
-			if ctx.HasLaunchClockAt(node, local) {
+		idx := mergedIdx[mergedClock]
+		for m := range mg.ctxs {
+			if row := launchAt[m][idx]; row != nil && row[node] {
 				return true
 			}
 		}
 		return false
 	}
 	arcJustify := func(ai int32, mergedClock string) bool {
+		idx := mergedIdx[mergedClock]
 		from := mg.g.Arc(ai).From
 		for m, ctx := range mg.ctxs {
-			local := mg.cmap.localName(mergedClock, m)
-			if local == "" {
-				continue
-			}
-			if !ctx.ArcDisabledAt(ai) && ctx.HasLaunchClockAt(from, local) {
+			if row := launchAt[m][idx]; row != nil && row[from] && !ctx.ArcDisabledAt(ai) {
 				return true
 			}
 		}
@@ -249,7 +245,7 @@ func (mg *Merger) blockExtraLaunchClocks() error {
 		}
 	}
 	if len(frontiers) > 0 {
-		return mg.rebuildMerged()
+		return mg.rebuildMergedExcOnly()
 	}
 	return nil
 }
@@ -326,12 +322,29 @@ func (mg *Merger) mapRelKey(m int, k sta.RelKey) sta.RelKey {
 }
 
 // gatherGroups aligns relation maps of all modes and the merged mode.
+// groupStates and their per-mode slices carve out of block arenas — one
+// gather allocates a handful of blocks instead of two tiny objects per
+// path group.
 func (mg *Merger) gatherGroups(perMode []map[sta.RelKey]relation.Set, merged map[sta.RelKey]relation.Set) map[sta.RelKey]*groupStates {
-	out := map[sta.RelKey]*groupStates{}
+	nModes := len(mg.modes)
+	// First arena block sized to the expected group count (the merged map
+	// is normally the union key space); per-endpoint gathers hold a few
+	// dozen groups, so a fixed-size block would mostly be waste.
+	blockSize := len(merged) + 8
+	out := make(map[sta.RelKey]*groupStates, blockSize)
+	var gsArena []groupStates
+	var setArena []relation.Set
 	get := func(k sta.RelKey) *groupStates {
 		gs := out[k]
 		if gs == nil {
-			gs = &groupStates{perMode: make([]relation.Set, len(mg.modes))}
+			if len(gsArena) == 0 {
+				gsArena = make([]groupStates, blockSize)
+				setArena = make([]relation.Set, blockSize*nModes)
+			}
+			gs = &gsArena[0]
+			gsArena = gsArena[1:]
+			gs.perMode = setArena[:nModes:nModes]
+			setArena = setArena[nModes:]
 			out[k] = gs
 		}
 		return gs
@@ -349,6 +362,361 @@ func (mg *Merger) gatherGroups(perMode []map[sta.RelKey]relation.Set, merged map
 	return out
 }
 
+// nameSet accumulates deduplicated names with deterministic extraction.
+// The refinement passes and the equivalence checker share it for
+// collecting the endpoints forwarded to the next pass.
+type nameSet map[string]bool
+
+func (s nameSet) add(name string) { s[name] = true }
+
+// sorted returns the names in ascending order.
+func (s nameSet) sorted() []string {
+	out := make([]string, 0, len(s))
+	for name := range s {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedRelKeys extracts a relation (or group) map's keys in the
+// canonical end/start/launch/capture/check order, so per-endpoint
+// classification visits groups deterministically instead of in map
+// order.
+func sortedRelKeys[V any](m map[sta.RelKey]V) []sta.RelKey {
+	keys := make([]sta.RelKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sta.SortRelKeys(keys)
+	return keys
+}
+
+// relGranularity selects which fingerprint memo an endpoint prune
+// consults: pass-1 (endpoint) or pass-2 (start–end) relation maps.
+type relGranularity int
+
+const (
+	granEndpoint relGranularity = iota
+	granStartEnd
+)
+
+// relFP is one memoized endpoint fingerprint: the canonical hash of the
+// endpoint's relation map (sta.RelationFingerprint) plus whether every
+// state set in it is a singleton.
+type relFP struct {
+	hash   string
+	single bool
+}
+
+// epOutcome records one endpoint's complete pass-1 (or pass-2) effect in
+// an iteration that produced no fixes for it: the report-counter deltas
+// and what it forwarded to the next pass. An unaffected endpoint — not
+// forward-reachable from any exception added since — classifies
+// identically in the next iteration (member relations never change and
+// its merged relations are untouched), so the recorded outcome replays
+// without recomputing or even touching the relation maps. Endpoints that
+// produced fixes never replay: a fix's pins always include the endpoint
+// itself, so it lands in the invalidation frontier.
+type epOutcome struct {
+	ambiguous, mismatch, pessim int
+	pruned                      bool
+	forwarded                   bool     // pass 1: endpoint goes to pass 2
+	forwardStarts               []string // pass 2: starts forwarded to pass 3
+}
+
+// pairOutcome is the pass-3 analogue for one (start, end) pair that
+// emitted nothing.
+type pairOutcome struct {
+	mismatch, pessim int
+}
+
+// refineMemo carries refinement state across iterations of the 3-pass
+// loop. Member-mode fingerprints stay valid for the whole merge (member
+// contexts never change); merged-mode fingerprints and recorded
+// endpoint/pair outcomes are dropped per endpoint when new exceptions
+// invalidate them (rebuildMergedForRefine). pending collects the
+// exceptions added since the last merged rebuild — their pins define the
+// invalidation frontier.
+type refineMemo struct {
+	mu       sync.Mutex
+	memberP1 []map[graph.NodeID]relFP
+	memberSE []map[graph.NodeID]relFP
+	mergedP1 map[graph.NodeID]relFP
+	mergedSE map[graph.NodeID]relFP
+	pending  []*sdc.Exception
+
+	p1Out map[graph.NodeID]*epOutcome
+	p2Out map[graph.NodeID]*epOutcome
+	p3Out map[[2]graph.NodeID]*pairOutcome
+
+	viableOnce sync.Once
+	viable     bool
+}
+
+// table returns (creating lazily) the fingerprint table for context m at
+// the given granularity; m == nModes addresses the merged context.
+func (mm *refineMemo) table(m int, gran relGranularity, nModes int) map[graph.NodeID]relFP {
+	if m == nModes {
+		if gran == granEndpoint {
+			if mm.mergedP1 == nil {
+				mm.mergedP1 = map[graph.NodeID]relFP{}
+			}
+			return mm.mergedP1
+		}
+		if mm.mergedSE == nil {
+			mm.mergedSE = map[graph.NodeID]relFP{}
+		}
+		return mm.mergedSE
+	}
+	tables := &mm.memberP1
+	if gran == granStartEnd {
+		tables = &mm.memberSE
+	}
+	if *tables == nil {
+		*tables = make([]map[graph.NodeID]relFP, nModes)
+	}
+	if (*tables)[m] == nil {
+		(*tables)[m] = map[graph.NodeID]relFP{}
+	}
+	return (*tables)[m]
+}
+
+// dropMerged invalidates merged-mode state — fingerprints and recorded
+// outcomes: all of it when affected is nil, otherwise only the endpoints
+// marked affected.
+func (mm *refineMemo) dropMerged(affected []bool) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if affected == nil {
+		mm.mergedP1, mm.mergedSE = nil, nil
+		mm.p1Out, mm.p2Out, mm.p3Out = nil, nil, nil
+		return
+	}
+	for _, tbl := range []map[graph.NodeID]relFP{mm.mergedP1, mm.mergedSE} {
+		for end := range tbl {
+			if affected[end] {
+				delete(tbl, end)
+			}
+		}
+	}
+	for _, tbl := range []map[graph.NodeID]*epOutcome{mm.p1Out, mm.p2Out} {
+		for end := range tbl {
+			if affected[end] {
+				delete(tbl, end)
+			}
+		}
+	}
+	for pair := range mm.p3Out {
+		if affected[pair[1]] {
+			delete(mm.p3Out, pair)
+		}
+	}
+}
+
+// record helpers: outcomes are written by the sequential classification
+// phases and read by the next iteration's parallel phases, so plain map
+// access with lazy init suffices (no concurrent writers).
+
+func (mm *refineMemo) recordP1(end graph.NodeID, o *epOutcome) {
+	if mm.p1Out == nil {
+		mm.p1Out = map[graph.NodeID]*epOutcome{}
+	}
+	mm.p1Out[end] = o
+}
+
+func (mm *refineMemo) recordP2(end graph.NodeID, o *epOutcome) {
+	if mm.p2Out == nil {
+		mm.p2Out = map[graph.NodeID]*epOutcome{}
+	}
+	mm.p2Out[end] = o
+}
+
+func (mm *refineMemo) recordP3(pair [2]graph.NodeID, o *pairOutcome) {
+	if mm.p3Out == nil {
+		mm.p3Out = map[[2]graph.NodeID]*pairOutcome{}
+	}
+	mm.p3Out[pair] = o
+}
+
+// mapModeRels rewrites a mode-local relation map into the merged clock
+// namespace (two local keys may collapse onto one merged key; their sets
+// union, exactly as gatherGroups would accumulate them).
+func (mg *Merger) mapModeRels(m int, rels map[sta.RelKey]relation.Set) map[sta.RelKey]relation.Set {
+	out := make(map[sta.RelKey]relation.Set, len(rels))
+	for k, set := range rels {
+		mk := mg.mapRelKey(m, k)
+		cur := out[mk]
+		cur.AddSet(set)
+		out[mk] = cur
+	}
+	return out
+}
+
+// endpointFP returns the memoized relation fingerprint of one endpoint in
+// context m (m == len(ctxs) is the merged context) at the given
+// granularity. Member maps are fingerprinted in the merged clock
+// namespace so they compare across modes and against the merged mode.
+func (mg *Merger) endpointFP(m int, end graph.NodeID, gran relGranularity) relFP {
+	mm := &mg.memo
+	mm.mu.Lock()
+	tbl := mm.table(m, gran, len(mg.ctxs))
+	if fp, ok := tbl[end]; ok {
+		mm.mu.Unlock()
+		return fp
+	}
+	mm.mu.Unlock()
+	var rels map[sta.RelKey]relation.Set
+	switch {
+	case m == len(mg.ctxs) && gran == granEndpoint:
+		rels = mg.mctx.EndpointRelationsAt(end)
+	case m == len(mg.ctxs):
+		rels = mg.mctx.StartEndRelations(end)
+	case gran == granEndpoint:
+		rels = mg.mapModeRels(m, mg.ctxs[m].EndpointRelationsAt(end))
+	default:
+		rels = mg.mapModeRels(m, mg.ctxs[m].StartEndRelations(end))
+	}
+	hash, single := sta.RelationFingerprint(rels)
+	fp := relFP{hash: hash, single: single}
+	mm.mu.Lock()
+	mm.table(m, gran, len(mg.ctxs))[end] = fp
+	mm.mu.Unlock()
+	return fp
+}
+
+// pruneViable reports (computed once per merge) whether the cross-mode
+// fingerprint prune can ever fire: relation maps compare in the merged
+// clock namespace, so two modes' maps can only be key-equal when both
+// modes' clocks map onto the same merged clock-name set. Modes whose
+// clocks stay apart in the union (different periods or waveforms) can
+// never agree at any endpoint that has relations — fingerprinting them
+// is pure overhead, and the prune short-circuits to "not prunable".
+func (mg *Merger) pruneViable() bool {
+	mm := &mg.memo
+	mm.viableOnce.Do(func() {
+		var ref map[string]bool
+		for m, ctx := range mg.ctxs {
+			set := map[string]bool{}
+			for _, ci := range ctx.Clocks {
+				set[mg.cmap.mapName(m, ci.Def.Name)] = true
+			}
+			if m == 0 {
+				ref = set
+				continue
+			}
+			if len(set) != len(ref) {
+				return
+			}
+			for name := range set {
+				if !ref[name] {
+					return
+				}
+			}
+		}
+		mm.viable = true
+	})
+	return mm.viable
+}
+
+// pruneEndpoint reports whether an endpoint provably produces no
+// counters, no forwarding, and no fixes in a comparison pass, so the
+// pass can skip it without changing a single output byte. That holds
+// exactly when every mode's relation map (merged namespace) is the same
+// all-singleton map AND the merged mode's map equals it too: then every
+// path group's target is its own merged state — Compare returns Match
+// for all of them, which is the one classification with zero side
+// effects. Identical-but-multi-state maps are NOT prunable (the slow
+// path counts them ambiguous and forwards the endpoint).
+func (mg *Merger) pruneEndpoint(end graph.NodeID, gran relGranularity) bool {
+	first := mg.endpointFP(0, end, gran)
+	if !first.single {
+		return false
+	}
+	for m := 1; m < len(mg.ctxs); m++ {
+		if mg.endpointFP(m, end, gran).hash != first.hash {
+			return false
+		}
+	}
+	if mg.opt.Inject.PruneSkipDifferingEndpoints {
+		// Injected bug: agreement between the members alone "justifies"
+		// the prune — the merged mode is never consulted, so a merged
+		// context that relaxes the members' common relation (optimism)
+		// slips through unfixed.
+		return true
+	}
+	return mg.endpointFP(len(mg.ctxs), end, gran).hash == first.hash
+}
+
+// prunePair reports whether a pass-3 pair provably emits nothing: every
+// context's live start→end cone is divergence-free (at most one live
+// out-arc per node ⇒ a single live chain), and all contexts with a live
+// path share the same chain. Then every interior node lies on every live
+// path, its per-context state sets replicate the pair's pass-2 sets, and
+// the through-point scan can only rediscover the pass-2 ambiguity that
+// forwarded the pair — hitting `continue` at every node. Reconvergent
+// cones (the case pass 3 exists for) are Divergent somewhere and are
+// never pruned.
+func (mg *Merger) prunePair(startID, endID graph.NodeID) bool {
+	var ref sta.PairProfile
+	have := false
+	for m := 0; m <= len(mg.ctxs); m++ {
+		ctx := mg.mctx
+		if m < len(mg.ctxs) {
+			ctx = mg.ctxs[m]
+		}
+		p := ctx.PairProfile(startID, endID)
+		if p.Divergent {
+			return false
+		}
+		if !p.HasLive {
+			continue
+		}
+		if !have {
+			ref, have = p, true
+			continue
+		}
+		if p.LiveHash != ref.LiveHash {
+			return false
+		}
+	}
+	return true
+}
+
+// warmContexts decides, per context and in parallel, whether to force the
+// shared propagation the coming pass reads (the pass-1 tag propagation at
+// granEndpoint, the start-tracked propagation at granStartEnd). A context
+// with enough cold endpoints amortizes one full-design propagation; a
+// context missing only a few (a later iteration's invalidation frontier)
+// skips the warm, and those misses are served by per-endpoint cone
+// propagations instead — identical results either way (see relcache.go).
+func (mg *Merger) warmContexts(cx context.Context, ends []graph.NodeID, gran relGranularity) {
+	forEachParallel(cx, len(mg.ctxs)+1, mg.opt.parallelism(), func(m int) {
+		ctx := mg.mctx
+		if m < len(mg.ctxs) {
+			ctx = mg.ctxs[m]
+		}
+		var missing int
+		if gran == granEndpoint {
+			missing = ctx.MissingEndpointRelations(ends)
+		} else {
+			missing = ctx.MissingStartEndRelations(ends)
+		}
+		if missing == 0 || missing*4 <= len(ends) && missing < 32 {
+			return
+		}
+		if gran == granEndpoint {
+			// Deliberately NOT the start-tracked propagation: pass 2 only
+			// needs start tracking at the endpoints pass 1 leaves ambiguous,
+			// and cone propagations serve those far cheaper than a full
+			// start-tracked run when the ambiguous set is small.
+			ctx.WarmEndpointRelations()
+		} else {
+			ctx.WarmStartRelations()
+		}
+	})
+}
+
 // threePass runs passes 1–3 of §3.2 once, emitting corrective false
 // paths; it returns how many constraints were added. Cancelling cx
 // aborts between and inside the passes with the context error.
@@ -357,113 +725,242 @@ func (mg *Merger) threePass(cx context.Context, sp *obs.Span) (int, error) {
 
 	// ---- Pass 1: endpoint granularity ----
 	p1 := sp.Child("pass1")
-	perMode, mergedRels := mg.endpointAll(cx)
+	ends := mg.g.Endpoints()
+	mg.warmContexts(cx, ends, granEndpoint)
 	if err := cx.Err(); err != nil {
 		p1.Finish()
 		return 0, err
 	}
-	groups := mg.gatherGroups(perMode, mergedRels)
-
-	// Ambiguous endpoints to forward to pass 2, deduplicated.
-	pass2 := map[string]bool{}
+	usePrune := !mg.opt.Slow.NoEndpointPrune && mg.pruneViable()
+	// Per-endpoint gather (and prune fingerprinting) runs in parallel;
+	// classification and fix emission stay sequential, in graph endpoint
+	// order with sorted keys, so emitted constraints and counters are
+	// deterministic. Endpoints with a recorded outcome from the previous
+	// iteration replay it without touching any relation map.
+	type endpointWork struct {
+		replay *epOutcome
+		pruned bool
+		groups map[sta.RelKey]*groupStates
+		keys   []sta.RelKey
+	}
+	work := make([]endpointWork, len(ends))
+	forEachParallel(cx, len(ends), mg.opt.parallelism(), func(i int) {
+		endID := ends[i]
+		if o := mg.memo.p1Out[endID]; o != nil {
+			work[i].replay = o
+			return
+		}
+		if usePrune && mg.pruneEndpoint(endID, granEndpoint) {
+			work[i].pruned = true
+			return
+		}
+		perMode := make([]map[sta.RelKey]relation.Set, len(mg.ctxs))
+		for m, ctx := range mg.ctxs {
+			perMode[m] = ctx.EndpointRelationsAt(endID)
+		}
+		work[i].groups = mg.gatherGroups(perMode, mg.mctx.EndpointRelationsAt(endID))
+		work[i].keys = sortedRelKeys(work[i].groups)
+	})
+	if err := cx.Err(); err != nil {
+		p1.Finish()
+		return 0, err
+	}
+	// Pruned and replayed endpoints' groups are absent from `groups`, as
+	// are those of computed endpoints without fixes. That is safe for
+	// emitFixes: its closure checks only ever look up groups at the
+	// endpoints of the fixes themselves, and fix endpoints' groups are all
+	// present.
+	groups := map[sta.RelKey]*groupStates{}
+	pass2 := nameSet{} // ambiguous endpoints forwarded to pass 2
 	var p1Fixes []fixEntry
-	for key, gs := range groups {
-		target, ok := gs.target()
-		if !ok {
-			mg.Report.Pass1Ambiguous++
-			pass2[key.End] = true
+	p1Groups, p1Pruned, p1Replayed := 0, 0, 0
+	for i := range work {
+		endID := ends[i]
+		if o := work[i].replay; o != nil {
+			p1Replayed++
+			mg.Report.Pass1Ambiguous += o.ambiguous
+			mg.Report.Pass1Mismatch += o.mismatch
+			mg.Report.PessimisticGroups += o.pessim
+			if o.pruned {
+				p1Pruned++
+			}
+			if o.forwarded {
+				pass2.add(mg.g.Node(endID).Name)
+			}
 			continue
 		}
-		switch relation.Compare(target, gs.merged) {
-		case relation.Match:
-		case relation.Mismatch:
-			mg.Report.Pass1Mismatch++
-			if f, ok := fixFor(key, target, gs.merged); ok {
-				p1Fixes = append(p1Fixes, f)
-			} else {
-				mg.Report.PessimisticGroups++
+		if work[i].pruned {
+			p1Pruned++
+			mg.memo.recordP1(endID, &epOutcome{pruned: true})
+			continue
+		}
+		o := &epOutcome{}
+		var endFixes []fixEntry
+		for _, key := range work[i].keys {
+			gs := work[i].groups[key]
+			target, ok := gs.target()
+			if !ok {
+				o.ambiguous++
+				o.forwarded = true
+				continue
 			}
-		case relation.Ambiguous:
-			mg.Report.Pass1Ambiguous++
-			pass2[key.End] = true
+			switch relation.Compare(target, gs.merged) {
+			case relation.Match:
+			case relation.Mismatch:
+				o.mismatch++
+				if f, ok := fixFor(key, target, gs.merged); ok {
+					endFixes = append(endFixes, f)
+				} else {
+					o.pessim++
+				}
+			case relation.Ambiguous:
+				o.ambiguous++
+				o.forwarded = true
+			}
+		}
+		p1Groups += len(work[i].keys)
+		mg.Report.Pass1Ambiguous += o.ambiguous
+		mg.Report.Pass1Mismatch += o.mismatch
+		mg.Report.PessimisticGroups += o.pessim
+		if o.forwarded {
+			pass2.add(mg.g.Node(endID).Name)
+		}
+		if len(endFixes) > 0 {
+			p1Fixes = append(p1Fixes, endFixes...)
+			for k, gs := range work[i].groups {
+				groups[k] = gs
+			}
+		} else {
+			// Fixless outcome: replayable next iteration while the endpoint
+			// stays outside the invalidation frontier. (Fix endpoints never
+			// replay — their own pins invalidate them.)
+			mg.memo.recordP1(endID, o)
 		}
 	}
 	added += mg.emitFixes(p1Fixes, groups, "data_refine/pass1", "§3.2 pass-1 endpoint comparison")
-	p1.Add("path_groups", int64(len(groups)))
+	p1.Add("path_groups", int64(p1Groups))
 	p1.Add("fixes", int64(len(p1Fixes)))
+	p1.Add("pruned_endpoints", int64(p1Pruned))
+	p1.Add("replayed_endpoints", int64(p1Replayed))
 	p1.Finish()
 
 	// ---- Pass 2: startpoint–endpoint granularity ----
 	p2 := sp.Child("pass2")
-	var pass2Ends []string
-	for end := range pass2 {
-		pass2Ends = append(pass2Ends, end)
+	pass2Ends := pass2.sorted()
+	pass2IDs := make([]graph.NodeID, len(pass2Ends))
+	for i, name := range pass2Ends {
+		id, ok := mg.g.NodeByName(name)
+		if !ok {
+			p2.Finish()
+			return added, fmt.Errorf("internal: endpoint %q not in graph", name)
+		}
+		pass2IDs[i] = id
 	}
-	sort.Strings(pass2Ends)
+	if len(pass2IDs) > 0 {
+		// One shared start-tracked propagation per context replaces the
+		// per-endpoint cone propagations when enough endpoints are cold;
+		// warm it in parallel before the endpoint loop fans out.
+		mg.warmContexts(cx, pass2IDs, granStartEnd)
+	}
 	type sePair struct{ start, end string }
 	pass3 := map[sePair]bool{}
-	// Per-endpoint relations compute in parallel (contexts are safe for
-	// concurrent relation queries); comparison stays sequential and
-	// deterministic. Fixes and groups accumulate across endpoints so the
-	// emission step can aggregate clock-pair kills into few constraints
-	// (keys are unique per endpoint, so merging the maps is safe).
-	seGroupsPerEnd := make([]map[sta.RelKey]*groupStates, len(pass2Ends))
-	var firstErr error
-	var errMu sync.Mutex
-	forEachParallel(cx, len(pass2Ends), mg.opt.parallelism(), func(i int) {
-		endID, ok := mg.g.NodeByName(pass2Ends[i])
-		if !ok {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("internal: endpoint %q not in graph", pass2Ends[i])
-			}
-			errMu.Unlock()
+	// Per-endpoint relations (and prune fingerprints) compute in parallel
+	// (contexts are safe for concurrent relation queries); comparison
+	// stays sequential and deterministic. Fixes and fix endpoints' groups
+	// accumulate across endpoints so the emission step can aggregate
+	// clock-pair kills into few constraints (keys are unique per endpoint,
+	// so merging the maps is safe).
+	seWork := make([]endpointWork, len(pass2IDs))
+	forEachParallel(cx, len(pass2IDs), mg.opt.parallelism(), func(i int) {
+		endID := pass2IDs[i]
+		if o := mg.memo.p2Out[endID]; o != nil {
+			seWork[i].replay = o
+			return
+		}
+		if usePrune && mg.pruneEndpoint(endID, granStartEnd) {
+			seWork[i].pruned = true
 			return
 		}
 		perModeSE := make([]map[sta.RelKey]relation.Set, len(mg.ctxs))
 		for m, ctx := range mg.ctxs {
 			perModeSE[m] = ctx.StartEndRelations(endID)
 		}
-		seGroupsPerEnd[i] = mg.gatherGroups(perModeSE, mg.mctx.StartEndRelations(endID))
+		seWork[i].groups = mg.gatherGroups(perModeSE, mg.mctx.StartEndRelations(endID))
+		seWork[i].keys = sortedRelKeys(seWork[i].groups)
 	})
-	if firstErr != nil {
-		p2.Finish()
-		return added, firstErr
-	}
 	if err := cx.Err(); err != nil {
 		p2.Finish()
 		return added, err
 	}
 	allSEGroups := map[sta.RelKey]*groupStates{}
 	var p2Fixes []fixEntry
-	for _, seGroups := range seGroupsPerEnd {
-		for key, gs := range seGroups {
-			allSEGroups[key] = gs
+	p2Groups, p2Pruned, p2Replayed := 0, 0, 0
+	for i := range seWork {
+		endID := pass2IDs[i]
+		endName := pass2Ends[i]
+		if o := seWork[i].replay; o != nil {
+			p2Replayed++
+			mg.Report.Pass2Ambiguous += o.ambiguous
+			mg.Report.Pass2Mismatch += o.mismatch
+			mg.Report.PessimisticGroups += o.pessim
+			if o.pruned {
+				p2Pruned++
+			}
+			for _, start := range o.forwardStarts {
+				pass3[sePair{start, endName}] = true
+			}
+			continue
+		}
+		if seWork[i].pruned {
+			p2Pruned++
+			mg.memo.recordP2(endID, &epOutcome{pruned: true})
+			continue
+		}
+		o := &epOutcome{}
+		var endFixes []fixEntry
+		for _, key := range seWork[i].keys {
+			gs := seWork[i].groups[key]
 			target, ok := gs.target()
 			if !ok {
-				mg.Report.Pass2Ambiguous++
+				o.ambiguous++
+				o.forwardStarts = append(o.forwardStarts, key.Start)
 				pass3[sePair{key.Start, key.End}] = true
 				continue
 			}
 			switch relation.Compare(target, gs.merged) {
 			case relation.Match:
 			case relation.Mismatch:
-				mg.Report.Pass2Mismatch++
+				o.mismatch++
 				if f, ok := fixFor(key, target, gs.merged); ok {
-					p2Fixes = append(p2Fixes, f)
+					endFixes = append(endFixes, f)
 				} else {
-					mg.Report.PessimisticGroups++
+					o.pessim++
 				}
 			case relation.Ambiguous:
-				mg.Report.Pass2Ambiguous++
+				o.ambiguous++
+				o.forwardStarts = append(o.forwardStarts, key.Start)
 				pass3[sePair{key.Start, key.End}] = true
 			}
+		}
+		p2Groups += len(seWork[i].keys)
+		mg.Report.Pass2Ambiguous += o.ambiguous
+		mg.Report.Pass2Mismatch += o.mismatch
+		mg.Report.PessimisticGroups += o.pessim
+		if len(endFixes) > 0 {
+			p2Fixes = append(p2Fixes, endFixes...)
+			for k, gs := range seWork[i].groups {
+				allSEGroups[k] = gs
+			}
+		} else {
+			mg.memo.recordP2(endID, o)
 		}
 	}
 	added += mg.emitFixes(p2Fixes, allSEGroups, "data_refine/pass2", "§3.2 pass-2 start-end comparison")
 	p2.Add("endpoints", int64(len(pass2Ends)))
-	p2.Add("path_groups", int64(len(allSEGroups)))
+	p2.Add("path_groups", int64(p2Groups))
 	p2.Add("fixes", int64(len(p2Fixes)))
+	p2.Add("pruned_endpoints", int64(p2Pruned))
+	p2.Add("replayed_endpoints", int64(p2Replayed))
 	p2.Finish()
 
 	// ---- Pass 3: through-point granularity ----
@@ -479,11 +976,16 @@ func (mg *Merger) threePass(cx context.Context, sp *obs.Span) (int, error) {
 		}
 		return pairs[i].end < pairs[j].end
 	})
-	// Relations per pair compute in parallel; comparison and constraint
-	// emission stay sequential and deterministic.
+	// Relations per pair (and reconvergence prunes) compute in parallel;
+	// comparison and constraint emission stay sequential and
+	// deterministic.
+	usePairPrune := !mg.opt.Slow.NoPairPrune
 	type p3data struct {
 		perMode [][]sta.ThroughRel
 		merged  []sta.ThroughRel
+		ids     [2]graph.NodeID
+		replay  *pairOutcome
+		skip    bool
 		err     error
 	}
 	data := make([]p3data, len(pairs))
@@ -494,26 +996,58 @@ func (mg *Merger) threePass(cx context.Context, sp *obs.Span) (int, error) {
 			data[i].err = fmt.Errorf("internal: pass-3 pair %s→%s not in graph", pairs[i].start, pairs[i].end)
 			return
 		}
+		data[i].ids = [2]graph.NodeID{startID, endID}
+		if o := mg.memo.p3Out[data[i].ids]; o != nil {
+			data[i].replay = o
+			return
+		}
+		if usePairPrune && mg.prunePair(startID, endID) {
+			data[i].skip = true
+			return
+		}
 		perMode := make([][]sta.ThroughRel, len(mg.ctxs))
 		for m, ctx := range mg.ctxs {
 			perMode[m] = ctx.ThroughRelations(startID, endID)
 		}
-		data[i] = p3data{perMode: perMode, merged: mg.mctx.ThroughRelations(startID, endID)}
+		data[i].perMode = perMode
+		data[i].merged = mg.mctx.ThroughRelations(startID, endID)
 	})
 	if err := cx.Err(); err != nil {
 		return added, err
 	}
-	p3.Add("pairs", int64(len(pairs)))
+	p3Pruned, p3Replayed := 0, 0
 	for i, p := range pairs {
 		if data[i].err != nil {
 			return added, data[i].err
 		}
+		if o := data[i].replay; o != nil {
+			p3Replayed++
+			mg.Report.Pass3Mismatch += o.mismatch
+			mg.Report.PessimisticGroups += o.pessim
+			continue
+		}
+		if data[i].skip {
+			p3Pruned++
+			continue
+		}
+		mis0, pes0 := mg.Report.Pass3Mismatch, mg.Report.PessimisticGroups
 		n, err := mg.pass3(p.start, p.end, data[i].perMode, data[i].merged)
 		if err != nil {
 			return added, err
 		}
 		added += n
+		if n == 0 {
+			// An emitting pair invalidates its own endpoint (the fix pins
+			// include it); only silent pairs are replayable.
+			mg.memo.recordP3(data[i].ids, &pairOutcome{
+				mismatch: mg.Report.Pass3Mismatch - mis0,
+				pessim:   mg.Report.PessimisticGroups - pes0,
+			})
+		}
 	}
+	p3.Add("pairs", int64(len(pairs)))
+	p3.Add("pruned_pairs", int64(p3Pruned))
+	p3.Add("replayed_pairs", int64(p3Replayed))
 	return added, nil
 }
 
@@ -814,14 +1348,89 @@ func (mg *Merger) addFalsePath(e *sdc.Exception, stage, rule, detail string) {
 				both := e.Clone()
 				both.SetupHold = sdc.MinMaxBoth
 				mg.merged.Exceptions[i] = both
+				mg.memo.pending = append(mg.memo.pending, both)
 				mg.provException(stage, rule, both, "", detail+" (merged with setup/hold twin)")
 				return
 			}
 		}
 	}
 	mg.merged.Exceptions = append(mg.merged.Exceptions, e)
+	mg.memo.pending = append(mg.memo.pending, e)
 	mg.Report.AddedFalsePaths++
 	mg.provException(stage, rule, e, "", detail)
+}
+
+// rebuildMergedForRefine is the refinement loop's merged-context rebuild.
+// After rebuilding it transfers the previous context's memoized relation
+// results for every endpoint NOT forward-reachable from the pins of the
+// exceptions added this iteration: an exception-only rebuild changes
+// nothing but exceptions, and a new exception can only complete at
+// endpoints its pins reach, so relation results everywhere else are
+// untouched. The invalidated endpoints also lose their merged
+// fingerprints in the prune memo.
+func (mg *Merger) rebuildMergedForRefine() error {
+	prev := mg.mctx
+	pending := mg.memo.pending
+	mg.memo.pending = nil
+	if err := mg.rebuildMergedExcOnly(); err != nil {
+		return err
+	}
+	if mg.opt.Slow.NoCacheTransfer {
+		mg.memo.dropMerged(nil)
+		return nil
+	}
+	affected := mg.affectedEndpoints(pending)
+	if affected == nil {
+		mg.memo.dropMerged(nil)
+		return nil
+	}
+	mg.mctx.AdoptRelationResults(prev, func(end graph.NodeID) bool { return !affected[end] })
+	mg.memo.dropMerged(affected)
+	return nil
+}
+
+// affectedEndpoints marks the nodes forward-reachable from the pins of
+// the given exceptions. It returns nil when the effect cannot be bounded
+// (an exception that names no graph pins — e.g. clock-to-clock scoping —
+// can complete anywhere) and the caller must invalidate everything.
+func (mg *Merger) affectedEndpoints(excs []*sdc.Exception) []bool {
+	var seeds []graph.NodeID
+	for _, e := range excs {
+		pins := 0
+		collect := func(pl *sdc.PointList) bool {
+			if pl == nil {
+				return true
+			}
+			for _, p := range pl.Pins {
+				id, ok := mg.g.NodeByName(p.Name)
+				if !ok {
+					return false
+				}
+				seeds = append(seeds, id)
+				pins++
+			}
+			return true
+		}
+		if !collect(e.From) {
+			return nil
+		}
+		for _, t := range e.Throughs {
+			if !collect(t) {
+				return nil
+			}
+		}
+		if !collect(e.To) {
+			return nil
+		}
+		if pins == 0 {
+			return nil
+		}
+	}
+	if len(seeds) == 0 {
+		// No new exceptions at all: nothing is invalidated.
+		return make([]bool, mg.g.NumNodes())
+	}
+	return mg.g.ForwardReach(seeds)
 }
 
 // pass3 refines one ambiguous (start, end) pair at through-point
@@ -852,7 +1461,7 @@ func (mg *Merger) pass3(startName, endName string, perModeTR [][]sta.ThroughRel,
 	for m := range mg.ctxs {
 		for _, tr := range perModeTR[m] {
 			ns := get(tr.Node)
-			mapped := map[sta.RelKey]relation.Set{}
+			mapped := make(map[sta.RelKey]relation.Set, len(tr.States))
 			for k, set := range tr.States {
 				mapped[mg.mapRelKey(m, k)] = set
 			}
@@ -904,32 +1513,23 @@ func (mg *Merger) pass3(startName, endName string, perModeTR [][]sta.ThroughRel,
 		if ns == nil {
 			continue
 		}
-		// Align keys across modes and merged for this node.
-		keys := map[sta.RelKey]bool{}
+		// Align keys across modes and merged for this node, in sorted
+		// order so fix emission (and thus merged output and provenance
+		// records) stays deterministic across runs. Every key at a node
+		// shares this pair's Start/End, so the canonical RelKey order is
+		// exactly launch/capture/check order; duplicates from different
+		// maps land adjacent and compact away.
+		var sortedKeys []sta.RelKey
 		for _, rels := range ns.perMode {
 			for k := range rels {
-				keys[k] = true
+				sortedKeys = append(sortedKeys, k)
 			}
 		}
 		for k := range ns.merged {
-			keys[k] = true
-		}
-		// Sorted key order keeps fix emission (and thus merged output and
-		// provenance records) deterministic across runs.
-		sortedKeys := make([]sta.RelKey, 0, len(keys))
-		for k := range keys {
 			sortedKeys = append(sortedKeys, k)
 		}
-		sort.Slice(sortedKeys, func(i, j int) bool {
-			a, b := sortedKeys[i], sortedKeys[j]
-			if a.Launch != b.Launch {
-				return a.Launch < b.Launch
-			}
-			if a.Capture != b.Capture {
-				return a.Capture < b.Capture
-			}
-			return a.Check < b.Check
-		})
+		sta.SortRelKeys(sortedKeys)
+		sortedKeys = slices.Compact(sortedKeys)
 		for _, k := range sortedKeys {
 			covKey := fixKey{launch: k.Launch, capture: k.Capture, check: k.Check}
 			if ns.merged != nil && !ns.merged[k].Empty() {

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"modemerge/internal/gen"
+	"modemerge/internal/graph"
+	"modemerge/internal/obs"
+	"modemerge/internal/sdc"
+)
+
+// slowPathFixtures are two fixed designs chosen so the optimizations the
+// SlowPaths knobs disable actually execute on the fast path (verified by
+// TestSlowKnobCoverage below):
+//
+//   - "functional": a functional-only family — every mode of a group
+//     creates the same clocks, so the cross-mode fingerprint prune is
+//     viable and pass 1 prunes agreeing endpoints (NoEndpointPrune flips
+//     live behaviour);
+//   - "variants": the generator's scan/test variants — prune is not
+//     viable, but refinement takes multiple iterations, so the
+//     merged-context memo replays endpoints across rebuilds
+//     (NoCacheTransfer and NoRelationCache flip live behaviour) and
+//     pass 3 consults the reconvergence prune on every forwarded pair
+//     (NoPairPrune flips the consultation; the skip branch itself never
+//     fires on generated designs — their forwarded pairs always have a
+//     reconvergent cone, which is exactly what the prune must refuse).
+func slowPathFixtures(t *testing.T) []struct {
+	name  string
+	g     *graph.Graph
+	modes []*sdc.Mode
+} {
+	t.Helper()
+	type fx struct {
+		name   string
+		design gen.DesignSpec
+		family gen.FamilySpec
+	}
+	fixtures := []fx{
+		{
+			name: "functional",
+			design: gen.DesignSpec{Name: "slow_f", Seed: 33, Domains: 3, BlocksPerDomain: 1,
+				Stages: 2, RegsPerStage: 3, CloudDepth: 1, CrossPaths: 3, IOPairs: 1},
+			family: gen.FamilySpec{Groups: 2, ModesPerGroup: []int{3, 2}, BasePeriod: 2,
+				FunctionalOnly: true},
+		},
+		{
+			name: "variants",
+			design: gen.DesignSpec{Name: "slow_v", Seed: 11, Domains: 2, BlocksPerDomain: 2,
+				Stages: 2, RegsPerStage: 2, CloudDepth: 1, CrossPaths: 2, IOPairs: 1},
+			family: gen.FamilySpec{Groups: 2, ModesPerGroup: []int{3, 2}, BasePeriod: 2},
+		},
+	}
+	var out []struct {
+		name  string
+		g     *graph.Graph
+		modes []*sdc.Mode
+	}
+	for _, f := range fixtures {
+		gd, err := gen.Generate(f.design)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := graph.Build(gd.Design)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var modes []*sdc.Mode
+		for _, m := range gd.Modes(f.family) {
+			mode, _, err := sdc.Parse(m.Name, m.Text, g.Design)
+			if err != nil {
+				t.Fatalf("%s mode %s: %v", f.name, m.Name, err)
+			}
+			modes = append(modes, mode)
+		}
+		out = append(out, struct {
+			name  string
+			g     *graph.Graph
+			modes []*sdc.Mode
+		}{f.name, g, modes})
+	}
+	return out
+}
+
+// slowFingerprint folds everything the SlowPaths equivalence guarantee
+// covers — merged SDC text, explain-report JSON and the mergeability
+// conflict list — into one comparable string.
+func slowFingerprint(t *testing.T, g *graph.Graph, modes []*sdc.Mode, opt Options) string {
+	t.Helper()
+	merged, reports, mb, err := MergeAll(context.Background(), g, modes, opt)
+	if err != nil {
+		t.Fatalf("MergeAll(%+v): %v", opt.Slow, err)
+	}
+	var b strings.Builder
+	for i := range merged {
+		b.WriteString("== " + merged[i].Name + "\n")
+		b.WriteString(sdc.Write(merged[i]))
+		ej, err := json.Marshal(reports[i].Explain(merged[i].Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(ej)
+		b.WriteByte('\n')
+	}
+	for _, c := range mb.Conflicts {
+		fmt.Fprintf(&b, "conflict %s|%s|%s\n", c.A, c.B, c.Reason)
+	}
+	return b.String()
+}
+
+// slowKnobs enumerates every SlowPaths knob individually by name.
+func slowKnobs() map[string]SlowPaths {
+	return map[string]SlowPaths{
+		"NoRelationCache": {NoRelationCache: true},
+		"NoEndpointPrune": {NoEndpointPrune: true},
+		"NoPairPrune":     {NoPairPrune: true},
+		"NoCacheTransfer": {NoCacheTransfer: true},
+	}
+}
+
+// TestSlowKnobEquivalence pins the contract Options.Slow documents: every
+// data-refinement optimization is pure speed — disabling any knob (and
+// all of them together), at sequential and parallel worker counts, keeps
+// the merged SDC, explain reports and conflicts byte-identical.
+func TestSlowKnobEquivalence(t *testing.T) {
+	for _, fx := range slowPathFixtures(t) {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			t.Parallel()
+			baseline := slowFingerprint(t, fx.g, fx.modes, Options{Parallelism: 1})
+			if baseline == "" {
+				t.Fatal("empty baseline fingerprint")
+			}
+			cases := slowKnobs()
+			cases["all"] = SlowPaths{NoRelationCache: true, NoEndpointPrune: true,
+				NoPairPrune: true, NoCacheTransfer: true}
+			for name, slow := range cases {
+				for _, p := range []int{1, 4} {
+					got := slowFingerprint(t, fx.g, fx.modes, Options{Parallelism: p, Slow: slow})
+					if got != baseline {
+						t.Errorf("%s parallelism=%d: output differs from fast path:\n%s",
+							name, p, firstLineDiff(baseline, got))
+					}
+				}
+			}
+		})
+	}
+}
+
+// mergeCounters runs a traced merge and sums every span counter.
+func mergeCounters(t *testing.T, g *graph.Graph, modes []*sdc.Mode, opt Options) map[string]int64 {
+	t.Helper()
+	tr := obs.NewTracer()
+	sp := tr.Start("merge")
+	opt.Trace = sp
+	_, _, _, err := MergeAll(context.Background(), g, modes, opt)
+	sp.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := map[string]int64{}
+	var walk func(vs []*obs.SpanView)
+	walk = func(vs []*obs.SpanView) {
+		for _, v := range vs {
+			for k, n := range v.Counters {
+				c[k] += n
+			}
+			walk(v.Children)
+		}
+	}
+	walk(tr.Tree())
+	return c
+}
+
+// TestSlowKnobCoverage proves the equivalence test above is not vacuous:
+// on its fixtures the fast path actually prunes endpoints, replays
+// memoized endpoints across refinement iterations, and consults the
+// pass-3 pair prune — and disabling the matching knob makes the counter
+// drop to zero.
+func TestSlowKnobCoverage(t *testing.T) {
+	fxs := slowPathFixtures(t)
+	functional, variants := fxs[0], fxs[1]
+
+	fast := mergeCounters(t, functional.g, functional.modes, Options{Parallelism: 1})
+	if fast["pruned_endpoints"] == 0 {
+		t.Error("functional fixture: endpoint prune never fired on the fast path")
+	}
+	noPrune := mergeCounters(t, functional.g, functional.modes,
+		Options{Parallelism: 1, Slow: SlowPaths{NoEndpointPrune: true}})
+	if noPrune["pruned_endpoints"] != 0 {
+		t.Errorf("NoEndpointPrune still pruned %d endpoints", noPrune["pruned_endpoints"])
+	}
+
+	vfast := mergeCounters(t, variants.g, variants.modes, Options{Parallelism: 1})
+	if vfast["replayed_endpoints"] == 0 {
+		t.Error("variants fixture: endpoint memo never replayed on the fast path")
+	}
+	if vfast["pairs"] == 0 {
+		t.Error("variants fixture: no pass-3 pairs — pair prune never consulted")
+	}
+	noTransfer := mergeCounters(t, variants.g, variants.modes,
+		Options{Parallelism: 1, Slow: SlowPaths{NoCacheTransfer: true}})
+	if noTransfer["replayed_endpoints"] != 0 {
+		t.Errorf("NoCacheTransfer still replayed %d endpoints", noTransfer["replayed_endpoints"])
+	}
+}
+
+// TestNameSet covers the nameSet helper the refinement passes and the
+// equivalence checker share: insertion deduplicates and extraction is
+// sorted regardless of insertion order.
+func TestNameSet(t *testing.T) {
+	s := nameSet{}
+	if got := s.sorted(); len(got) != 0 {
+		t.Fatalf("empty nameSet sorted = %v, want []", got)
+	}
+	for _, n := range []string{"z", "a", "m", "a", "z", "a"} {
+		s.add(n)
+	}
+	got := s.sorted()
+	want := []string{"a", "m", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("sorted = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package difftest
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"modemerge/internal/gen"
+)
+
+// pruneFaultSpec is a constructed reproducer for the
+// prune-skip-differing-endpoints fault. Random sampling essentially never
+// hits the required conjunction (0 detections in 200 seeded trials when
+// this was built), so the spec is built by hand around the fault's
+// mechanism:
+//
+//   - a functional-only two-mode group, so every mode creates the same
+//     clocks and the cross-mode fingerprint prune is viable at all;
+//   - both modes relax the single register→output path, but through
+//     textually different exceptions (one scoped -to the port, one
+//     unscoped -from the register), so the intersection-based exception
+//     merge keeps neither and the merged mode still times the endpoint;
+//   - the members' relation maps at that endpoint are identical
+//     all-singleton false, so the clean prune check sees the merged
+//     mismatch and pass 1 emits the corrective false path — while the
+//     faulted prune trusts member agreement, skips the merged-side
+//     check, and leaves the endpoint timed (a conformity violation).
+func pruneFaultSpec() *TrialSpec {
+	return &TrialSpec{
+		Design: gen.DesignSpec{
+			Name: "prune", Seed: 1,
+			Domains: 1, BlocksPerDomain: 1, Stages: 1, RegsPerStage: 1,
+			CloudDepth: 1, CrossPaths: 0, IOPairs: 1,
+		},
+		Family: gen.FamilySpec{
+			Groups: 1, ModesPerGroup: []int{2}, BasePeriod: 2, FunctionalOnly: true,
+		},
+		Perturbs: []Perturb{
+			{Mode: 0, Kind: "false_path_out", D: 0, B: 0},
+			{Mode: 1, Kind: "false_path_from", D: 0, B: 0},
+		},
+	}
+}
+
+// TestPruneFaultCaughtByConformity pins detector power for the
+// prune-skip-differing-endpoints fault: the constructed spec must merge
+// clean without violations, must trip the conformity oracle under the
+// fault, must stay minimal under shrinking, and must round-trip through
+// a saved corpus file.
+func TestPruneFaultCaughtByConformity(t *testing.T) {
+	cx := context.Background()
+	fault, err := ParseFault("prune-skip-differing-endpoints")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fault.Detectable {
+		t.Fatal("prune-skip-differing-endpoints must be marked detectable")
+	}
+	spec := pruneFaultSpec()
+
+	clean := Run(cx, spec, Fault{}.Inject)
+	if clean.Err != nil {
+		t.Fatalf("clean run: %v", clean.Err)
+	}
+	if clean.Failed() {
+		t.Fatalf("clean run must pass all properties, got %v", clean.Violations)
+	}
+
+	res := Run(cx, spec, fault.Inject)
+	if res.Err != nil {
+		t.Fatalf("faulted run: %v", res.Err)
+	}
+	sawConformity := false
+	for _, v := range res.Violations {
+		if v.Property == PropConformity {
+			sawConformity = true
+		}
+	}
+	if !sawConformity {
+		t.Fatalf("expected a conformity violation from the faulted prune, got %v", res.Violations)
+	}
+
+	// The hand-built spec must already be locally minimal: shrinking may
+	// not find a smaller failing spec, and no single simplification step
+	// keeps the failure.
+	shrunk := Shrink(cx, spec, fault.Inject)
+	if shrunk.Size() < spec.Size() {
+		t.Fatalf("constructed spec is not minimal: shrank %d -> %d to %s",
+			spec.Size(), shrunk.Size(), shrunk)
+	}
+	for _, cand := range candidates(spec) {
+		if cand.Size() >= spec.Size() {
+			continue
+		}
+		if r := Run(cx, cand, fault.Inject); r.Err == nil && r.Failed() {
+			t.Fatalf("constructed spec is not minimal: %s still fails", cand)
+		}
+	}
+
+	// Save → load → replay round trip, mirroring the committed corpus
+	// entry for this fault.
+	dir := t.TempDir()
+	repro := &Reproducer{
+		Spec:             *spec,
+		Fault:            "prune-skip-differing-endpoints",
+		ExpectViolations: true,
+		Properties:       []string{PropConformity},
+		FoundBy:          "TestPruneFaultCaughtByConformity",
+	}
+	path, err := repro.Save(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := loaded[filepath.Base(path)]
+	if !ok {
+		t.Fatalf("saved reproducer %s not found on reload", path)
+	}
+	if err := got.Replay(Run(cx, &got.Spec, fault.Inject)); err != nil {
+		t.Fatalf("reloaded reproducer: %v", err)
+	}
+}

@@ -38,9 +38,11 @@ type Reproducer struct {
 type Fault struct {
 	Inject core.FaultInjection
 	// Detectable: the oracles can catch this fault, so a fuzz run that
-	// injects it must produce failures. The oracles only reject optimism
-	// (sign-off unsafe merges) and baseline regressions; a fault that
-	// merely adds pessimism is sign-off safe and deliberately invisible.
+	// injects it must produce failures. The oracles reject optimism
+	// (sign-off unsafe merges), baseline regressions, and — via the
+	// conformity oracle — merged modes that keep timing endpoints every
+	// member excludes; pessimism beyond those bounds is sign-off safe and
+	// deliberately invisible.
 	Detectable bool
 	Note       string
 }
@@ -58,13 +60,21 @@ var FaultNames = map[string]Fault{
 		Note: "hierarchical harvest keeps subset-only member exceptions: optimism on hierarchical trials, " +
 			"caught by the hierarchical oracle (no effect on flat trials)",
 	},
+	"prune-skip-differing-endpoints": {
+		Inject:     core.FaultInjection{PruneSkipDifferingEndpoints: true},
+		Detectable: true,
+		Note: "fingerprint prune trusts member agreement without checking the merged mode: " +
+			"the pass-1 accuracy fix is skipped where the merged context still times paths every member " +
+			"excludes, caught by the conformity oracle",
+	},
 	"skip-clock-refine": {
 		Inject: core.FaultInjection{SkipClockRefinement: true},
 		Note:   "missing clock stops over-time paths: pessimism only, sign-off safe",
 	},
 	"skip-data-refine": {
 		Inject: core.FaultInjection{SkipDataRefinement: true},
-		Note:   "missing corrective false paths: pessimism only, sign-off safe",
+		Note: "missing corrective false paths: pessimism, sign-off safe; the conformity oracle can catch " +
+			"the subset with unanimously excluded endpoints, but random trials hit that rarely",
 	},
 }
 

@@ -22,6 +22,7 @@ const (
 	PropEquivalence = "equivalence" // CheckEquivalence finds optimism
 	PropRoundTrip   = "roundtrip"   // merged SDC fails Write→Parse→Write
 	PropPessimism   = "pessimism"   // merged stricter than NaiveMerge
+	PropConformity  = "conformity"  // merged times an endpoint all members exclude
 	PropDeterminism = "determinism" // parallel merge differs from sequential
 	PropIncremental  = "incremental"  // warm cached re-merge differs from cold
 	PropHierarchical = "hierarchical" // ETM-driven merge optimistic or wrong cliques
@@ -411,6 +412,12 @@ func checkClique(cx context.Context, tg *graph.Graph, members []*sdc.Mode, merge
 	if v, ok := checkPessimism(cx, tg, members, merged, opt); !ok {
 		out = append(out, v)
 	}
+
+	// Property 4: endpoints every member excludes stay excluded in the
+	// merged mode (the accuracy direction the naive baseline is blind to).
+	if v, ok := checkConformity(cx, tg, members, merged); !ok {
+		out = append(out, v)
+	}
 	return out
 }
 
@@ -520,6 +527,86 @@ func checkPessimism(cx context.Context, tg *graph.Graph, members []*sdc.Mode, me
 	}
 	if count > 0 {
 		return Violation{Property: PropPessimism, Clique: merged.Name, Count: count, Details: details}, false
+	}
+	return Violation{}, true
+}
+
+// checkConformity enforces the accuracy half of §3.2's endpoint contract:
+// at any endpoint where *every* member mode excludes *every* path group
+// (all relation keys resolve to false, absence counted as false), the
+// merged mode must exclude them too. Pass 1 of the refinement guarantees
+// this with a corrective false path whenever the agreed target state is
+// false — the one corrective fix neither the equivalence oracle (it only
+// rejects optimism) nor the naive baseline (it intersects exceptions and
+// so drops the very relaxations at stake) can see missing. Endpoints
+// where any member holds an ambiguous (multi-state) set are skipped:
+// endpoint granularity cannot order those, and the finer-granularity
+// passes own them.
+func checkConformity(cx context.Context, tg *graph.Graph, members []*sdc.Mode, merged *sdc.Mode) (Violation, bool) {
+	rels := make([]map[sta.RelKey]relation.Set, len(members))
+	for i, m := range members {
+		r, err := endpointRelations(cx, tg, m)
+		if err != nil {
+			return Violation{Property: PropConformity, Clique: merged.Name, Count: 1,
+				Details: []string{"member STA error: " + err.Error()}}, false
+		}
+		rels[i] = r
+	}
+	relM, err := endpointRelations(cx, tg, merged)
+	if err != nil {
+		return Violation{Property: PropConformity, Clique: merged.Name, Count: 1,
+			Details: []string{"merged STA error: " + err.Error()}}, false
+	}
+
+	// Classify each endpoint seen by any member: dead ⇔ every member key
+	// at it resolves to a single false state (absent keys are false).
+	type endState int
+	const (
+		endDead endState = iota // unanimously excluded by all members
+		endLive                 // some member times some group here
+		endSkip                 // ambiguous in some member
+	)
+	ends := map[string]endState{}
+	for _, r := range rels {
+		for k, set := range r {
+			if st, seen := ends[k.End]; seen && st == endSkip {
+				continue
+			} else if !seen {
+				ends[k.End] = endDead
+			}
+			s, ok := single(set, true)
+			switch {
+			case !ok:
+				ends[k.End] = endSkip
+			case s != relation.StateFalse:
+				ends[k.End] = endLive
+			}
+		}
+	}
+
+	var details []string
+	count := 0
+	keys := make([]sta.RelKey, 0, len(relM))
+	for k := range relM {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return relKeyLess(keys[i], keys[j]) })
+	for _, k := range keys {
+		if st, seen := ends[k.End]; !seen || st != endDead {
+			continue
+		}
+		ms, ok := single(relM[k], true)
+		if !ok || ms == relation.StateFalse {
+			continue
+		}
+		count++
+		if len(details) < maxDetails {
+			details = append(details, fmt.Sprintf("%s -> %s (%s/%s %v): merged times %v where every member is false",
+				k.Start, k.End, k.Launch, k.Capture, k.Check, ms))
+		}
+	}
+	if count > 0 {
+		return Violation{Property: PropConformity, Clique: merged.Name, Count: count, Details: details}, false
 	}
 	return Violation{}, true
 }

@@ -1,7 +1,7 @@
 // Package difftest is a property-based differential fuzzing harness for
 // the mode-merging flow. It samples randomized designs and mode families
 // (internal/gen) plus random constraint perturbations, runs the
-// timing-graph merge, and checks every merged clique against six
+// timing-graph merge, and checks every merged clique against seven
 // independent oracles:
 //
 //  1. equivalence — core.CheckEquivalence reports no optimistic
@@ -12,15 +12,20 @@
 //     mode are never more pessimistic than core.NaiveMerge on the same
 //     modes (the graph-based method must not lose to the textual
 //     baseline it claims to beat);
-//  4. determinism — merging with the trial's sampled worker count yields
+//  4. conformity — endpoints that every member mode excludes entirely
+//     (all path groups false) stay excluded in the merged mode (the
+//     accuracy half of §3.2: the merged mode must not keep timing paths
+//     no member times — a direction the intersection-based naive
+//     baseline is structurally blind to);
+//  5. determinism — merging with the trial's sampled worker count yields
 //     byte-identical merged SDC and explain reports to the fully
 //     sequential merge of the same spec (the parallel engine's
 //     shard/reduce scheme must not leak scheduling order into output);
-//  5. incremental — merging through a content-addressed sub-merge cache
+//  6. incremental — merging through a content-addressed sub-merge cache
 //     (cold fill, warm replay, and a warm re-merge after editing one
 //     mode) stays byte-identical to cacheless merges of the same inputs
 //     (caching changes work, never results);
-//  6. hierarchical — on hierarchical trials, the ETM-driven merge
+//  7. hierarchical — on hierarchical trials, the ETM-driven merge
 //     (internal/etm extraction + per-block refinement + stitching) forms
 //     the same cliques as the flat merge and its stitched modes are
 //     never optimistic, neither against the member modes nor against the
@@ -140,6 +145,19 @@ func renderPerturb(g *gen.Generated, p Perturb) []string {
 		d2, b2 := pick(p.D2, p.B2)
 		return []string{fmt.Sprintf("set_false_path -from [get_pins %s/CP] -to [get_pins %s/D]",
 			g.BlockLastRegs[d][b], g.BlockFirstRegs[d2][b2])}
+	case "false_path_from":
+		d, b := pick(p.D, p.B)
+		return []string{fmt.Sprintf("set_false_path -from [get_pins %s/CP]",
+			g.BlockLastRegs[d][b])}
+	case "false_path_out":
+		d, b := pick(p.D, p.B)
+		d2 := mod(p.D2, len(g.DataOut))
+		if len(g.DataOut[d2]) == 0 {
+			return nil
+		}
+		port := g.DataOut[d2][mod(p.B2, len(g.DataOut[d2]))]
+		return []string{fmt.Sprintf("set_false_path -from [get_pins %s/CP] -to [get_ports %s]",
+			g.BlockLastRegs[d][b], port)}
 	case "multicycle":
 		d, b := pick(p.D, p.B)
 		return []string{fmt.Sprintf("set_multicycle_path %d -setup -from [get_pins %s/CP]",
@@ -179,8 +197,14 @@ func casePort(g *gen.Generated, p Perturb) (string, bool) {
 	return ports[mod(p.B, len(ports))], true
 }
 
-// PerturbKinds lists the valid Perturb.Kind values.
-var PerturbKinds = []string{"false_path", "multicycle", "case", "disable"}
+// PerturbKinds lists the valid Perturb.Kind values. false_path_from and
+// false_path_out are the unscoped and output-scoped variants of
+// false_path: the first kills every path leaving the selected register,
+// the second only its paths into one output port. Together they let two
+// modes express the same relaxation at one endpoint through textually
+// different exceptions — the regime the refinement prune's merged-side
+// fingerprint check exists for (and the one its fault injection breaks).
+var PerturbKinds = []string{"false_path", "multicycle", "case", "disable", "false_path_from", "false_path_out"}
 
 func mod(v, n int) int {
 	if n <= 0 {

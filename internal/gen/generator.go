@@ -290,6 +290,13 @@ type FamilySpec struct {
 	ModesPerGroup []int
 	// BasePeriod is the fastest functional clock period.
 	BasePeriod float64
+	// FunctionalOnly replaces the scan-shift and test-capture variants
+	// (v=1, v=2) with functional variants of the same index, so every
+	// mode of a group creates the same clocks with the same periods.
+	// Such families are the ones whose merged clock namespace stays
+	// shared across members — the precondition for the refinement
+	// engine's cross-mode fingerprint prune to fire at all.
+	FunctionalOnly bool
 }
 
 // TotalModes sums the group sizes.
@@ -341,9 +348,9 @@ func (g *Generated) ModesWithExtra(f FamilySpec, extra func(grp, v int) []string
 			m.addf("  set_input_transition %.4g [get_ports $__p]", tr)
 			m.addf("}")
 			switch {
-			case v == 1:
+			case !f.FunctionalOnly && v == 1:
 				g.scanShiftMode(m, f, grp)
-			case v == 2:
+			case !f.FunctionalOnly && v == 2:
 				g.testCaptureMode(m, f, grp)
 			default:
 				g.functionalMode(m, f, grp, v)

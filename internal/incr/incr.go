@@ -58,6 +58,11 @@ const (
 	// projected member texts. Both serialize, so they ride the disk
 	// write-through like cliques.
 	GranETM Granularity = "etm"
+	// GranMergedCtx caches merged-mode analysis contexts built during
+	// refinement, keyed by the merged SDC text at each iteration. Memory
+	// only, like GranContext, but counted separately so the per-mode
+	// context reuse contract stays observable on its own counters.
+	GranMergedCtx Granularity = "mctx"
 )
 
 // Hash is the cache's content address: SHA-256 over length-prefixed
@@ -77,22 +82,25 @@ func Hash(parts ...string) string {
 // Stats counts hits and misses per granularity. All fields are atomic;
 // read them through Snapshot.
 type Stats struct {
-	ContextHits, ContextMisses atomic.Int64
-	PairHits, PairMisses       atomic.Int64
-	CliqueHits, CliqueMisses   atomic.Int64
-	ETMHits, ETMMisses         atomic.Int64
+	ContextHits, ContextMisses     atomic.Int64
+	PairHits, PairMisses           atomic.Int64
+	CliqueHits, CliqueMisses       atomic.Int64
+	ETMHits, ETMMisses             atomic.Int64
+	MergedCtxHits, MergedCtxMisses atomic.Int64
 }
 
 // StatsSnapshot is the JSON-ready view of Stats.
 type StatsSnapshot struct {
-	ContextHits   int64 `json:"context_hits"`
-	ContextMisses int64 `json:"context_misses"`
-	PairHits      int64 `json:"pair_hits"`
-	PairMisses    int64 `json:"pair_misses"`
-	CliqueHits    int64 `json:"clique_hits"`
-	CliqueMisses  int64 `json:"clique_misses"`
-	ETMHits       int64 `json:"etm_hits"`
-	ETMMisses     int64 `json:"etm_misses"`
+	ContextHits     int64 `json:"context_hits"`
+	ContextMisses   int64 `json:"context_misses"`
+	PairHits        int64 `json:"pair_hits"`
+	PairMisses      int64 `json:"pair_misses"`
+	CliqueHits      int64 `json:"clique_hits"`
+	CliqueMisses    int64 `json:"clique_misses"`
+	ETMHits         int64 `json:"etm_hits"`
+	ETMMisses       int64 `json:"etm_misses"`
+	MergedCtxHits   int64 `json:"merged_ctx_hits,omitempty"`
+	MergedCtxMisses int64 `json:"merged_ctx_misses,omitempty"`
 }
 
 func (s *Stats) hit(g Granularity) {
@@ -105,6 +113,8 @@ func (s *Stats) hit(g Granularity) {
 		s.CliqueHits.Add(1)
 	case GranETM:
 		s.ETMHits.Add(1)
+	case GranMergedCtx:
+		s.MergedCtxHits.Add(1)
 	}
 }
 
@@ -118,20 +128,24 @@ func (s *Stats) miss(g Granularity) {
 		s.CliqueMisses.Add(1)
 	case GranETM:
 		s.ETMMisses.Add(1)
+	case GranMergedCtx:
+		s.MergedCtxMisses.Add(1)
 	}
 }
 
 // Snapshot reads the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		ContextHits:   s.ContextHits.Load(),
-		ContextMisses: s.ContextMisses.Load(),
-		PairHits:      s.PairHits.Load(),
-		PairMisses:    s.PairMisses.Load(),
-		CliqueHits:    s.CliqueHits.Load(),
-		CliqueMisses:  s.CliqueMisses.Load(),
-		ETMHits:       s.ETMHits.Load(),
-		ETMMisses:     s.ETMMisses.Load(),
+		ContextHits:     s.ContextHits.Load(),
+		ContextMisses:   s.ContextMisses.Load(),
+		PairHits:        s.PairHits.Load(),
+		PairMisses:      s.PairMisses.Load(),
+		CliqueHits:      s.CliqueHits.Load(),
+		CliqueMisses:    s.CliqueMisses.Load(),
+		ETMHits:         s.ETMHits.Load(),
+		ETMMisses:       s.ETMMisses.Load(),
+		MergedCtxHits:   s.MergedCtxHits.Load(),
+		MergedCtxMisses: s.MergedCtxMisses.Load(),
 	}
 }
 
@@ -188,10 +202,14 @@ func fullKey(g Granularity, key string) string { return string(g) + "\x00" + key
 // GetObject looks an in-memory object up (context granularity). It never
 // consults the disk store.
 func (c *Cache) GetObject(g Granularity, key string) (any, bool) {
+	// The value must be read under the lock: put overwrites entry.value
+	// in place when a key is re-stored.
 	c.mu.Lock()
 	el, ok := c.entries[fullKey(g, key)]
+	var v any
 	if ok {
 		c.order.MoveToFront(el)
+		v = el.Value.(*entry).value
 	}
 	c.mu.Unlock()
 	if !ok {
@@ -199,7 +217,7 @@ func (c *Cache) GetObject(g Granularity, key string) (any, bool) {
 		return nil, false
 	}
 	c.stats.hit(g)
-	return el.Value.(*entry).value, true
+	return v, true
 }
 
 // PutObject stores an in-memory object (context granularity).
@@ -213,14 +231,16 @@ func (c *Cache) GetBytes(g Granularity, key string) ([]byte, bool) {
 	fk := fullKey(g, key)
 	c.mu.Lock()
 	el, ok := c.entries[fk]
+	var v []byte
 	if ok {
 		c.order.MoveToFront(el)
+		v = el.Value.(*entry).value.([]byte)
 	}
 	disk := c.disk
 	c.mu.Unlock()
 	if ok {
 		c.stats.hit(g)
-		return el.Value.(*entry).value.([]byte), true
+		return v, true
 	}
 	if disk != nil {
 		if b, ok := disk.Get(string(g), key); ok {

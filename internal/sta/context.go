@@ -73,6 +73,12 @@ type Options struct {
 	// parallel loops where per-call spans would swamp the trace. Nil
 	// disables tracing.
 	Span *obs.Span
+	// DisableRelationMemo forces every relation query back onto the
+	// uncached per-query propagation path (pass 2/3 re-propagate the
+	// endpoint cone per call, pass 1 rebuilds its map per call). Results
+	// are byte-identical either way — this is a debug/equivalence-test
+	// knob, excluded from Fingerprint like Workers and Span.
+	DisableRelationMemo bool
 }
 
 // WorkerCount resolves Workers against n work items: at least 1, at most
@@ -141,6 +147,11 @@ type Context struct {
 	clockActive []bool
 	activeGuard sync.Once
 
+	// rel memoizes relation-query results (shared start-tracked
+	// propagation, per-endpoint pass-1/2 maps, per-pair pass-3 slices and
+	// live-path profiles); see relcache.go.
+	rel relCache
+
 	// borrowNode/borrowClock hold set_max_time_borrow limits.
 	borrowNode  map[graph.NodeID]float64
 	borrowClock map[ClockID]float64
@@ -150,8 +161,12 @@ type Context struct {
 	delays []arcDelay
 	slews  []float64
 
-	// Warnings collects non-fatal analysis notes.
-	Warnings []string
+	// Warnings collects non-fatal analysis notes. preExcWarnings counts
+	// the warnings emitted before exception compilation, so a derived
+	// context (DeriveExceptionsOnly) can re-run exception compilation
+	// without duplicating the earlier notes.
+	Warnings       []string
+	preExcWarnings int
 }
 
 // NewContext resolves a mode against a design's timing graph: clocks,
@@ -187,8 +202,53 @@ func NewContext(g *graph.Graph, mode *sdc.Mode, opt Options) (*Context, error) {
 	if err := ctx.buildExclusive(); err != nil {
 		return nil, err
 	}
+	ctx.preExcWarnings = len(ctx.Warnings)
 	ctx.exc = newExcSet(ctx)
 	return ctx, nil
+}
+
+// DeriveExceptionsOnly builds the analysis context of a mode that differs
+// from prev's mode ONLY in its timing exceptions. Everything NewContext
+// derives ahead of exception compilation — clocks, case constants,
+// disables, delays, clock propagation, exclusivity, borrows — depends on
+// the other mode sections alone, so the derived context shares those
+// (immutable after construction) and re-runs only exception compilation.
+// This is the refinement loop's rebuild fast path: each iteration appends
+// corrective false paths and nothing else. Lazy state (data propagations,
+// the relation memo) starts empty; the caller transfers still-valid
+// relation results via AdoptRelationResults. The caller is responsible
+// for the only-exceptions-changed precondition — a mode edited anywhere
+// else must go through NewContext.
+func DeriveExceptionsOnly(prev *Context, mode *sdc.Mode, opt Options) *Context {
+	if opt.MaxLaunchEdges <= 0 {
+		opt.MaxLaunchEdges = 64
+	}
+	ctx := &Context{
+		G:            prev.G,
+		Mode:         mode,
+		Opt:          opt,
+		Clocks:       prev.Clocks,
+		clockByName:  prev.clockByName,
+		Consts:       prev.Consts,
+		ArcDisabled:  prev.ArcDisabled,
+		NodeDisabled: prev.NodeDisabled,
+		ClockTags:    prev.ClockTags,
+		exclusive:    prev.exclusive,
+		interUnc:     prev.interUnc,
+		ioByPort:     prev.ioByPort,
+		forcedCase:   prev.forcedCase,
+		borrowNode:   prev.borrowNode,
+		borrowClock:  prev.borrowClock,
+		delays:       prev.delays,
+		slews:        prev.slews,
+		// Pre-exception warnings carry over; exception compilation below
+		// re-emits its own for the full (old + new) exception list, exactly
+		// as a fresh NewContext would. Clip so later appends reallocate.
+		Warnings: prev.Warnings[:prev.preExcWarnings:prev.preExcWarnings],
+	}
+	ctx.preExcWarnings = len(ctx.Warnings)
+	ctx.exc = newExcSet(ctx)
+	return ctx
 }
 
 // ClockByName returns the clock id for a name.

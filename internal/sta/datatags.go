@@ -44,6 +44,17 @@ type tagSet struct {
 
 const tagIndexThreshold = 16
 
+// reserve pre-sizes the entry slice for an expected entry count (an
+// upper bound: duplicate tags collapse). The hash index still builds
+// lazily at the threshold — pre-creating it per node costs more in map
+// allocation than the linear pre-index scans it would save.
+func (m *tagSet) reserve(n int) {
+	if n == 0 || m.entries != nil {
+		return
+	}
+	m.entries = make([]tagEntry, 0, n)
+}
+
 func (m *tagSet) add(t dataTag, a arrival) {
 	if m.index == nil {
 		for i := range m.entries {
@@ -89,12 +100,46 @@ type propOpts struct {
 	seedFilter func(graph.NodeID) bool
 }
 
-// tags returns the cached full-design data propagation.
+// tags returns the cached full-design data propagation. When the shared
+// start-tracked propagation has already been forced, the plain tags
+// derive from it by collapsing the start field instead of re-propagating:
+// tag advancement never reads the startpoint, so collapsing a node's
+// start-tracked entries (first-occurrence order, arrival windows merged)
+// yields exactly the plain propagation's entries in its insertion order —
+// the same induction as the cone/full equivalence in relcache.go, with
+// the start dimension in place of the cone restriction.
 func (ctx *Context) tags() []tagMap {
 	ctx.tagsOnce.Do(func() {
-		ctx.dataTags = ctx.propagate(propOpts{})
+		if !ctx.Opt.DisableRelationMemo && ctx.rel.startTagsReady.Load() {
+			ctx.dataTags = collapseStartTags(ctx.rel.startTags)
+		} else {
+			ctx.dataTags = ctx.propagate(propOpts{})
+		}
+		ctx.rel.tagsReady.Store(true)
 	})
 	return ctx.dataTags
+}
+
+// collapseStartTags folds a start-tracked propagation into the plain
+// (start-free) one: per node, drop the start field, dedup to first
+// occurrence, merge arrival windows of collapsed duplicates.
+func collapseStartTags(src []tagMap) []tagMap {
+	out := make([]tagMap, len(src))
+	for id := range src {
+		entries := src[id].entries
+		if len(entries) == 0 {
+			continue
+		}
+		var m tagSet
+		m.reserve(len(entries))
+		for _, te := range entries {
+			t := te.tag
+			t.start = -1
+			m.add(t, te.arr)
+		}
+		out[id] = m
+	}
+	return out
 }
 
 // getTagArray borrows a zeroed node-indexed tag array from the context
@@ -150,6 +195,30 @@ func (ctx *Context) propagateInto(o propOpts, out []tagMap) (touched []graph.Nod
 		}
 		var m tagMap
 		node := g.Node(id)
+
+		// Upper-bound the node's tag count from its in-arc sources so the
+		// set allocates once (and indexes up front past the threshold).
+		est := 0
+		for _, ai := range g.InArcs(id) {
+			if ctx.ArcDisabled[ai] {
+				continue
+			}
+			a := g.Arc(ai)
+			if !allow(a.From) {
+				continue
+			}
+			if a.Kind == graph.LaunchArc {
+				est += 2 * len(ctx.ClockTags[a.From])
+				continue
+			}
+			switch a.Unate() {
+			case library.PositiveUnate, library.NegativeUnate:
+				est += len(out[a.From].entries)
+			default:
+				est += 2 * len(out[a.From].entries)
+			}
+		}
+		m.reserve(est)
 
 		// Arc-driven tags.
 		for _, ai := range g.InArcs(id) {

@@ -42,14 +42,39 @@ type excSet struct {
 	matchers []excMatcher
 
 	// nodeMatchers indexes, per node, the matchers with a through group
-	// containing that node — advance() only needs to look at those.
-	nodeMatchers map[graph.NodeID][]int32
+	// containing that node — advance() only needs to look at those. A
+	// node-indexed slice, not a map: advance() consults it once per (tag,
+	// arc) on every propagation, and most nodes carry no matchers.
+	nodeMatchers [][]int32
 
 	// Progress vector interning: id → vector; vectors are immutable once
 	// stored. mu guards both structures.
 	mu     sync.RWMutex
 	vecs   [][]int8
 	vecIDs map[string]int32
+
+	// Per-vector candidate indices, computed lazily: fullByVec lists the
+	// matchers fully matched by the vector (the only ones completed() can
+	// return), aliveByVec the matchers not dead on it (the only ones the
+	// pass-3 suffix DP can consult). Both depend on the vector alone, and
+	// vectors are immutable, so the memos never invalidate. candMu guards
+	// both maps.
+	candMu     sync.RWMutex
+	fullByVec  map[int32][]int32
+	aliveByVec map[int32][]int32
+
+	// seedVec memo: the seed is pure in its arguments (matchers are
+	// immutable after compile), and every propagation re-seeds the same
+	// launch pins — an O(matchers) scan plus a vector interning each
+	// time. seedMu guards the map.
+	seedMu   sync.RWMutex
+	seedMemo map[seedKey]int32
+}
+
+type seedKey struct {
+	start       graph.NodeID
+	launch      ClockID
+	edge, trans sdc.EdgeSel
 }
 
 func newExcSet(ctx *Context) *excSet {
@@ -118,7 +143,7 @@ func newExcSet(ctx *Context) *excSet {
 		}
 		s.matchers = append(s.matchers, m)
 	}
-	s.nodeMatchers = map[graph.NodeID][]int32{}
+	s.nodeMatchers = make([][]int32, ctx.G.NumNodes())
 	for i := range s.matchers {
 		seen := map[graph.NodeID]bool{}
 		for _, nodes := range s.matchers[i].throughs {
@@ -191,6 +216,13 @@ func (s *excSet) vec(id int32) []int8 {
 // from side cannot match the path are dead; others start at progress 0 and
 // are immediately advanced through the startpoint node itself.
 func (s *excSet) seedVec(start graph.NodeID, launch ClockID, launchEdge sdc.EdgeSel, trans sdc.EdgeSel) int32 {
+	key := seedKey{start: start, launch: launch, edge: launchEdge, trans: trans}
+	s.seedMu.RLock()
+	id, ok := s.seedMemo[key]
+	s.seedMu.RUnlock()
+	if ok {
+		return id
+	}
 	v := make([]int8, len(s.matchers))
 	for i := range s.matchers {
 		m := &s.matchers[i]
@@ -200,7 +232,14 @@ func (s *excSet) seedVec(start graph.NodeID, launch ClockID, launchEdge sdc.Edge
 		}
 		v[i] = advanceOne(m, 0, start, trans)
 	}
-	return s.internVec(v)
+	id = s.internVec(v)
+	s.seedMu.Lock()
+	if s.seedMemo == nil {
+		s.seedMemo = map[seedKey]int32{}
+	}
+	s.seedMemo[key] = id
+	s.seedMu.Unlock()
+	return id
 }
 
 // fromMatches applies the -from side. A list mixing pins and clocks is an
@@ -273,16 +312,61 @@ func (s *excSet) advance(id int32, node graph.NodeID, trans sdc.EdgeSel) int32 {
 	return s.internVec(out)
 }
 
+// fullCandidates returns (memoized per vector) the ascending matcher
+// indices whose through progress is complete — the only exceptions
+// completed() can ever return for this vector.
+func (s *excSet) fullCandidates(vecID int32) []int32 {
+	s.candMu.RLock()
+	cands, ok := s.fullByVec[vecID]
+	s.candMu.RUnlock()
+	if ok {
+		return cands
+	}
+	v := s.vec(vecID)
+	for i := range s.matchers {
+		if v[i] != progDead && int(v[i]) == len(s.matchers[i].throughs) {
+			cands = append(cands, int32(i))
+		}
+	}
+	s.candMu.Lock()
+	if s.fullByVec == nil {
+		s.fullByVec = map[int32][]int32{}
+	}
+	s.fullByVec[vecID] = cands
+	s.candMu.Unlock()
+	return cands
+}
+
+// aliveCandidates returns (memoized per vector) the ascending matcher
+// indices not dead on this vector.
+func (s *excSet) aliveCandidates(vecID int32) []int32 {
+	s.candMu.RLock()
+	cands, ok := s.aliveByVec[vecID]
+	s.candMu.RUnlock()
+	if ok {
+		return cands
+	}
+	v := s.vec(vecID)
+	for i := range v {
+		if v[i] != progDead {
+			cands = append(cands, int32(i))
+		}
+	}
+	s.candMu.Lock()
+	if s.aliveByVec == nil {
+		s.aliveByVec = map[int32][]int32{}
+	}
+	s.aliveByVec[vecID] = cands
+	s.candMu.Unlock()
+	return cands
+}
+
 // completed lists the exceptions fully matched for a path ending at end
 // with the given capture clock, data transition and check side.
 func (s *excSet) completed(vecID int32, end graph.NodeID, capture ClockID, trans sdc.EdgeSel, check relation.CheckType) []*sdc.Exception {
-	v := s.vec(vecID)
 	var out []*sdc.Exception
-	for i := range s.matchers {
+	for _, i := range s.fullCandidates(vecID) {
 		m := &s.matchers[i]
-		if v[i] == progDead || int(v[i]) != len(m.throughs) {
-			continue
-		}
 		if !m.appliesTo(check) {
 			continue
 		}

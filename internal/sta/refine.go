@@ -162,42 +162,36 @@ func (ctx *Context) ExtraLaunchFlows(
 	arcJustify func(arc int32, clock string) bool,
 ) []FlowFrontier {
 	g := ctx.G
-	tags := make([]map[ClockID]bool, g.NumNodes())
+	// tags is a node×clock presence matrix: row id*nc..id*nc+nc-1 holds
+	// which launch clocks reach node id. Clock counts are tiny, so flat
+	// bool rows beat one map per node, and iterating a row visits clocks
+	// in ClockID order for free — the order the frontier (and with it the
+	// merged SDC's false-path order) must follow regardless of how the
+	// flows were discovered.
+	nc := len(ctx.Clocks)
+	tags := make([]bool, g.NumNodes()*nc)
 
-	type flowStat struct {
-		attempts, blocked int
-	}
-	type nodeClock struct {
-		node  graph.NodeID
-		clock ClockID
-	}
-	inStat := map[nodeClock]*flowStat{}
-	outStat := map[nodeClock]*flowStat{}
+	// Per-(node,clock) attempt/block counters, same flat layout.
+	inAttempt := make([]int32, g.NumNodes()*nc)
+	inBlocked := make([]int32, g.NumNodes()*nc)
+	outAttempt := make([]int32, g.NumNodes()*nc)
+	outBlocked := make([]int32, g.NumNodes()*nc)
 	blockedArcs := map[ClockID][]int32{}
 	blockedSeeds := map[ClockID][]graph.NodeID{}
 	var clockOrder []ClockID
-	seenClock := map[ClockID]bool{}
+	seenClock := make([]bool, nc)
 	noteClock := func(c ClockID) {
 		if !seenClock[c] {
 			seenClock[c] = true
 			clockOrder = append(clockOrder, c)
 		}
 	}
-	stat := func(m map[nodeClock]*flowStat, n graph.NodeID, c ClockID) *flowStat {
-		k := nodeClock{n, c}
-		s := m[k]
-		if s == nil {
-			s = &flowStat{}
-			m[k] = s
-		}
-		return s
-	}
 
 	for _, id := range g.Topo() {
 		if ctx.NodeDisabled[id] || ctx.Consts[id].Known() {
 			continue
 		}
-		cur := map[ClockID]bool{}
+		cur := tags[int(id)*nc : int(id)*nc+nc]
 		addSeed := func(c ClockID) {
 			name := ctx.Clocks[c].Def.Name
 			if seedJustify(id, name) {
@@ -222,25 +216,20 @@ func (ctx *Context) ExtraLaunchFlows(
 				}
 				continue
 			}
-			// Visit the source node's clocks in ClockID order: when several
-			// clocks are first blocked at the same arc, the frontier order —
-			// and with it the merged SDC's false-path order — must not
-			// depend on map iteration.
-			fromClocks := make([]ClockID, 0, len(tags[a.From]))
-			for c := range tags[a.From] {
-				fromClocks = append(fromClocks, c)
-			}
-			sort.Slice(fromClocks, func(i, j int) bool { return fromClocks[i] < fromClocks[j] })
-			for _, c := range fromClocks {
+			from := int(a.From) * nc
+			for c := ClockID(0); int(c) < nc; c++ {
+				if !tags[from+int(c)] {
+					continue
+				}
 				name := ctx.Clocks[c].Def.Name
-				stat(outStat, a.From, c).attempts++
-				stat(inStat, id, c).attempts++
+				outAttempt[from+int(c)]++
+				inAttempt[int(id)*nc+int(c)]++
 				if arcJustify(ai, name) {
 					cur[c] = true
 				} else {
 					noteClock(c)
-					stat(outStat, a.From, c).blocked++
-					stat(inStat, id, c).blocked++
+					outBlocked[from+int(c)]++
+					inBlocked[int(id)*nc+int(c)]++
 					blockedArcs[c] = append(blockedArcs[c], ai)
 				}
 			}
@@ -254,9 +243,6 @@ func (ctx *Context) ExtraLaunchFlows(
 					}
 				}
 			}
-		}
-		if len(cur) > 0 {
-			tags[id] = cur
 		}
 	}
 
@@ -277,14 +263,14 @@ func (ctx *Context) ExtraLaunchFlows(
 			}
 			// Prefer blocking at the sink when every attempted in-flow
 			// died and nothing else (seed) revives the clock there.
-			inS := stat(inStat, a.To, c)
-			if inS.blocked == inS.attempts && !tags[a.To][c] {
+			to := int(a.To)*nc + int(c)
+			if inBlocked[to] == inAttempt[to] && !tags[to] {
 				nodeChosen[a.To] = true
 				f.Nodes = append(f.Nodes, a.To)
 				continue
 			}
-			outS := stat(outStat, a.From, c)
-			if outS.blocked == outS.attempts {
+			fr := int(a.From)*nc + int(c)
+			if outBlocked[fr] == outAttempt[fr] {
 				nodeChosen[a.From] = true
 				f.Nodes = append(f.Nodes, a.From)
 				continue
@@ -304,6 +290,41 @@ func (ctx *Context) ExtraLaunchFlows(
 		}
 	}
 	return out
+}
+
+// LaunchClockTable returns, for each requested clock name, a node-indexed
+// presence vector: whether data launched by that clock reaches the node
+// (full-design propagation). Unknown or empty names yield nil rows. One
+// pass over the cached tags replaces per-query entry scans — the merger's
+// flow justification asks this question once per arc per clock.
+func (ctx *Context) LaunchClockTable(names []string) [][]bool {
+	rows := make([][]bool, len(names))
+	rowsOf := make([][]int32, len(ctx.Clocks))
+	any := false
+	for i, name := range names {
+		if name == "" {
+			continue
+		}
+		if cid, ok := ctx.clockByName[name]; ok {
+			rows[i] = make([]bool, ctx.G.NumNodes())
+			rowsOf[cid] = append(rowsOf[cid], int32(i))
+			any = true
+		}
+	}
+	if !any {
+		return rows
+	}
+	for id, m := range ctx.tags() {
+		for _, te := range m.entries {
+			if te.tag.launch == NoClock {
+				continue
+			}
+			for _, ri := range rowsOf[te.tag.launch] {
+				rows[ri][id] = true
+			}
+		}
+	}
+	return rows
 }
 
 // HasLaunchClockAt reports whether data launched by the named clock

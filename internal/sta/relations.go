@@ -3,6 +3,8 @@ package sta
 import (
 	"context"
 	"fmt"
+	"slices"
+	"strings"
 	"sync"
 
 	"modemerge/internal/graph"
@@ -31,15 +33,33 @@ type RelKey struct {
 // the shards then reduce in shard order. Relation keys embed the endpoint
 // name (RelKey.End), so shard key sets are disjoint and the reduced map —
 // and everything derived from it — is identical to the sequential result
-// for any worker count. Cancelling cx aborts the loop early; the returned
-// map is then partial and the caller must consult cx.Err() before
-// trusting it.
+// for any worker count. Per-endpoint results come from the context's
+// relation memo (relcache.go) unless DisableRelationMemo, so repeated
+// calls across refinement iterations are pure map assembly. Cancelling cx
+// aborts the loop early; the returned map is then partial and the caller
+// must consult cx.Err() before trusting it.
 func (ctx *Context) EndpointRelations(cx context.Context) map[RelKey]relation.Set {
 	sp := ctx.Opt.Span.Child("endpoint_relations")
 	defer sp.Finish()
 	tags := ctx.tags() // force propagation before fan-out
 	ends := ctx.G.Endpoints()
 	sp.Add("endpoints", int64(len(ends)))
+	hits0, misses0 := ctx.RelCacheStats()
+	defer func() {
+		hits1, misses1 := ctx.RelCacheStats()
+		sp.Add("cache_hits", hits1-hits0)
+		sp.Add("cache_misses", misses1-misses0)
+	}()
+
+	fold := func(out map[RelKey]relation.Set, end graph.NodeID) {
+		if ctx.Opt.DisableRelationMemo {
+			ctx.accumulateRelations(out, end, tags[end], "*")
+			return
+		}
+		for k, set := range ctx.EndpointRelationsAt(end) {
+			out[k] = set
+		}
+	}
 
 	workers := ctx.Opt.WorkerCount(len(ends))
 	if workers <= 1 {
@@ -48,7 +68,7 @@ func (ctx *Context) EndpointRelations(cx context.Context) map[RelKey]relation.Se
 			if cx.Err() != nil {
 				return out
 			}
-			ctx.accumulateRelations(out, end, tags[end], "*")
+			fold(out, end)
 		}
 		sp.Add("path_groups", int64(len(out)))
 		return out
@@ -73,7 +93,7 @@ func (ctx *Context) EndpointRelations(cx context.Context) map[RelKey]relation.Se
 				if cx.Err() != nil {
 					break
 				}
-				ctx.accumulateRelations(out, ends[i], tags[ends[i]], "*")
+				fold(out, ends[i])
 			}
 			wsp.Add("endpoints", int64(hi-lo))
 			wsp.Add("path_groups", int64(len(out)))
@@ -92,63 +112,183 @@ func (ctx *Context) EndpointRelations(cx context.Context) map[RelKey]relation.Se
 }
 
 // StartEndRelations computes pass-2 timing relationships for one
-// endpoint: path groups keyed by concrete startpoint. Propagation is
-// restricted to the endpoint's fan-in cone with startpoint tracking.
+// endpoint: path groups keyed by concrete startpoint. The memoized path
+// reads the endpoint's tags off the shared start-tracked full propagation
+// (every propagation path into bwd(end) stays inside bwd(end), so the
+// full run's tags at the endpoint equal the cone-restricted run's — see
+// relcache.go); DisableRelationMemo restores the per-call propagation
+// restricted to the endpoint's fan-in cone.
 func (ctx *Context) StartEndRelations(end graph.NodeID) map[RelKey]relation.Set {
+	if ctx.Opt.DisableRelationMemo {
+		out := map[RelKey]relation.Set{}
+		ctx.coneStartAccumulate(out, end)
+		return out
+	}
+	rc := ctx.relSlots()
+	if p := rc.startEnd[end].Load(); p != nil {
+		rc.hits.Add(1)
+		return *p
+	}
+	out := map[RelKey]relation.Set{}
+	if rc.startTagsReady.Load() {
+		ctx.accumulateRelations(out, end, rc.startTags[end], "")
+	} else {
+		// Shared start-tracked propagation not forced: a handful of cold
+		// endpoints (a warm re-merge's invalidation frontier) is cheaper
+		// served by per-endpoint cone propagations, which produce the
+		// identical map (see relcache.go).
+		ctx.coneStartAccumulate(out, end)
+	}
+	rc.startEnd[end].Store(&out)
+	rc.misses.Add(1)
+	return out
+}
+
+// coneStartAccumulate folds one endpoint's start-tracked relations from a
+// propagation restricted to the endpoint's fan-in cone.
+func (ctx *Context) coneStartAccumulate(out map[RelKey]relation.Set, end graph.NodeID) {
 	cone := ctx.G.BackwardReach([]graph.NodeID{end})
 	tags := ctx.getTagArray()
 	touched := ctx.propagateInto(propOpts{withStart: true, nodeFilter: cone}, tags)
-	out := map[RelKey]relation.Set{}
 	ctx.accumulateRelations(out, end, tags[end], "")
 	ctx.putTagArray(tags, touched)
-	return out
 }
 
 // accumulateRelations folds one endpoint's tags into relation sets.
 // startLabel overrides the start field ("*" for pass 1); when empty the
 // tag's tracked startpoint name is used.
+//
+// Entries group by (startpoint, launch clock) first: a relation key is a
+// function of exactly that pair (plus the loop's capture/check), so each
+// key's state set folds from one group — with a single map write per key
+// instead of a read-modify-write per tag entry, and with the
+// completed()/Winner computation memoized per (vec, trans, capture,
+// check), which start-tracked tag sets repeat heavily across startpoints.
+// States still Add in tag-entry order within the group, so every set's
+// first-insertion order — and thus Set.String() everywhere downstream —
+// is byte-identical to the naive per-entry fold.
 func (ctx *Context) accumulateRelations(out map[RelKey]relation.Set, end graph.NodeID, m tagMap, startLabel string) {
 	if len(m.entries) == 0 {
 		return
 	}
 	endName := ctx.G.Node(end).Name
 	captures := ctx.CaptureClocksAt(end)
-	for _, te := range m.entries {
-		tag := te.tag
+	// Group key: the tag's startpoint, or one shared bucket when
+	// startLabel overrides it (distinct startpoints would collapse onto
+	// the same relation key, and splitting them could reorder state
+	// insertion).
+	type groupKey struct {
+		start  graph.NodeID
+		launch ClockID
+	}
+	// Two-pass grouping into one exact-size index arena: assign each
+	// entry a dense group id, count, then fill — no per-group slice
+	// growth. Group order is first-appearance order, entry order is
+	// preserved within each group.
+	gidOf := make(map[groupKey]int32)
+	var order []groupKey
+	var counts []int32
+	entryGid := make([]int32, len(m.entries))
+	used := 0
+	for i := range m.entries {
+		tag := m.entries[i].tag
 		if tag.launch == NoClock {
+			entryGid[i] = -1
 			continue
 		}
-		start := startLabel
-		if start == "" {
-			if tag.start < 0 {
-				start = "*"
-			} else {
-				start = ctx.G.Node(tag.start).Name
+		gk := groupKey{start: tag.start, launch: tag.launch}
+		if startLabel != "" {
+			gk.start = -2
+		}
+		gid, seen := gidOf[gk]
+		if !seen {
+			gid = int32(len(order))
+			gidOf[gk] = gid
+			order = append(order, gk)
+			counts = append(counts, 0)
+		}
+		entryGid[i] = gid
+		counts[gid]++
+		used++
+	}
+	idxArena := make([]int32, used)
+	groupIdx := make([][]int32, len(order))
+	{
+		off := int32(0)
+		for gid, c := range counts {
+			groupIdx[gid] = idxArena[off : off : off+c]
+			off += c
+		}
+		for i, gid := range entryGid {
+			if gid >= 0 {
+				groupIdx[gid] = append(groupIdx[gid], int32(i))
 			}
 		}
-		launchName := ctx.Clocks[tag.launch].Def.Name
-		for _, ct := range captures {
-			capName := ctx.Clocks[ct.Clock].Def.Name
-			for _, check := range []relation.CheckType{relation.Setup, relation.Hold} {
-				key := RelKey{Start: start, End: endName, Launch: launchName, Capture: capName, Check: check}
-				var st relation.State
-				if ctx.Exclusive(tag.launch, ct.Clock) {
-					st = relation.StateFalse
-				} else {
-					winner := sdc.Winner(ctx.exc.completed(tag.vec, end, ct.Clock, tag.trans, check))
-					st = stateOf(winner)
-					if winner != nil {
-						// Normalize kinds that do not apply to this side.
-						switch {
-						case check == relation.Setup && winner.Kind == sdc.MinDelay:
-							st = relation.StateValid
-						case check == relation.Hold && winner.Kind == sdc.MaxDelay:
-							st = relation.StateValid
-						}
+	}
+	// stateRow memoizes, per distinct (vec, trans), the winner state for
+	// every (capture, check) combination — one map lookup per tag entry
+	// in the fold below instead of one per combination.
+	checks := [2]relation.CheckType{relation.Setup, relation.Hold}
+	type rowKey struct {
+		vec   int32
+		trans sdc.EdgeSel
+	}
+	rowMemo := make(map[rowKey][]relation.State)
+	stateRow := func(vec int32, trans sdc.EdgeSel) []relation.State {
+		k := rowKey{vec: vec, trans: trans}
+		if row, ok := rowMemo[k]; ok {
+			return row
+		}
+		row := make([]relation.State, 2*len(captures))
+		for ci, ct := range captures {
+			for hi, check := range checks {
+				winner := sdc.Winner(ctx.exc.completed(vec, end, ct.Clock, trans, check))
+				st := stateOf(winner)
+				if winner != nil {
+					// Normalize kinds that do not apply to this side.
+					switch {
+					case check == relation.Setup && winner.Kind == sdc.MinDelay:
+						st = relation.StateValid
+					case check == relation.Hold && winner.Kind == sdc.MaxDelay:
+						st = relation.StateValid
 					}
 				}
+				row[2*ci+hi] = st
+			}
+		}
+		rowMemo[k] = row
+		return row
+	}
+	var rows [][]relation.State // scratch, reused across groups
+	for gi, gk := range order {
+		start := startLabel
+		if start == "" {
+			if gk.start < 0 {
+				start = "*"
+			} else {
+				start = ctx.G.Node(gk.start).Name
+			}
+		}
+		launchName := ctx.Clocks[gk.launch].Def.Name
+		idxs := groupIdx[gi]
+		rows = rows[:0]
+		for _, i := range idxs {
+			tag := m.entries[i].tag
+			rows = append(rows, stateRow(tag.vec, tag.trans))
+		}
+		for ci, ct := range captures {
+			capName := ctx.Clocks[ct.Clock].Def.Name
+			excl := ctx.Exclusive(gk.launch, ct.Clock)
+			for hi, check := range checks {
+				key := RelKey{Start: start, End: endName, Launch: launchName, Capture: capName, Check: check}
 				set := out[key]
-				set.Add(st)
+				if excl {
+					set.Add(relation.StateFalse)
+				} else {
+					for _, row := range rows {
+						set.Add(row[2*ci+hi])
+					}
+				}
 				out[key] = set
 			}
 		}
@@ -189,8 +329,32 @@ func combineSuff(a, b suffStatus) suffStatus {
 // ThroughRelations computes pass-3 timing relationships: for every node on
 // a path between start and end, the constraint states of the path subset
 // through that node. It combines forward tags (prefix exception progress)
-// with a backward all/none/some completion DP per exception.
+// with a backward all/none/some completion DP per exception. Results are
+// memoized per (start, end) pair; the memoized path reads cone tags off
+// the shared start-tracked propagation filtered by startpoint (identical
+// tag set and insertion order, see relcache.go), while
+// DisableRelationMemo restores the per-call seeded cone propagation. The
+// returned slice is shared and must not be mutated.
 func (ctx *Context) ThroughRelations(start, end graph.NodeID) []ThroughRel {
+	if ctx.Opt.DisableRelationMemo {
+		return ctx.throughRelations(start, end, false)
+	}
+	rc := ctx.relSlots()
+	key := [2]graph.NodeID{start, end}
+	if v, ok := rc.through.Load(key); ok {
+		rc.hits.Add(1)
+		return v.([]ThroughRel)
+	}
+	// Read the shared start-tracked tags only when already forced; a cold
+	// context serves the pair from a seeded cone propagation instead of
+	// paying a full-design propagation (identical results either way).
+	out := ctx.throughRelations(start, end, rc.startTagsReady.Load())
+	rc.through.Store(key, out)
+	rc.misses.Add(1)
+	return out
+}
+
+func (ctx *Context) throughRelations(start, end graph.NodeID, useSharedTags bool) []ThroughRel {
 	g := ctx.G
 	fwd := g.ForwardReach([]graph.NodeID{start})
 	bwd := g.BackwardReach([]graph.NodeID{end})
@@ -206,25 +370,35 @@ func (ctx *Context) ThroughRelations(start, end graph.NodeID) []ThroughRel {
 		return nil
 	}
 
-	tags := ctx.getTagArray()
-	touched := ctx.propagateInto(propOpts{
-		withStart:  true,
-		nodeFilter: cone,
-		seedFilter: func(s graph.NodeID) bool { return s == start },
-	}, tags)
-	defer ctx.putTagArray(tags, touched)
+	var entriesAt func(graph.NodeID) []tagEntry
+	if useSharedTags {
+		ctx.startTagsAll()
+		entriesAt = func(n graph.NodeID) []tagEntry { return ctx.startEntriesAt(n, start) }
+	} else {
+		tags := ctx.getTagArray()
+		touched := ctx.propagateInto(propOpts{
+			withStart:  true,
+			nodeFilter: cone,
+			seedFilter: func(s graph.NodeID) bool { return s == start },
+		}, tags)
+		defer ctx.putTagArray(tags, touched)
+		entriesAt = func(n graph.NodeID) []tagEntry { return tags[n].entries }
+	}
 
 	// Backward DP per exception: status[n][p] with p = progress after n.
+	// The DP for one matcher is independent of the others, so it computes
+	// lazily on first consultation — a tag's progress vector leaves most
+	// matchers dead, and dead matchers are never consulted.
 	nExc := len(ctx.exc.matchers)
 	type excDP struct {
 		full          int8
 		edgeSensitive bool
-		status        map[graph.NodeID][]suffStatus
+		status        map[graph.NodeID][]suffStatus // nil until ensured
 	}
 	dps := make([]excDP, nExc)
 	for i := range dps {
 		m := &ctx.exc.matchers[i]
-		dp := excDP{full: int8(len(m.throughs)), status: map[graph.NodeID][]suffStatus{}}
+		dp := excDP{full: int8(len(m.throughs))}
 		if m.toEdge != sdc.EdgeBoth {
 			dp.edgeSensitive = true
 		}
@@ -235,12 +409,16 @@ func (ctx *Context) ThroughRelations(start, end graph.NodeID) []ThroughRel {
 		}
 		dps[i] = dp
 	}
-	// Reverse topological order over cone nodes.
-	for ci := len(coneNodes) - 1; ci >= 0; ci-- {
-		n := coneNodes[ci]
-		for i := range dps {
-			dp := &dps[i]
-			m := &ctx.exc.matchers[i]
+	ensureDP := func(i int32) *excDP {
+		dp := &dps[i]
+		if dp.status != nil {
+			return dp
+		}
+		m := &ctx.exc.matchers[i]
+		dp.status = make(map[graph.NodeID][]suffStatus, len(coneNodes))
+		// Reverse topological order over cone nodes.
+		for ci := len(coneNodes) - 1; ci >= 0; ci-- {
+			n := coneNodes[ci]
 			st := make([]suffStatus, dp.full+1)
 			for p := int8(0); p <= dp.full; p++ {
 				if n == end {
@@ -278,44 +456,63 @@ func (ctx *Context) ThroughRelations(start, end graph.NodeID) []ThroughRel {
 			}
 			dp.status[n] = st
 		}
+		return dp
 	}
 
 	endName := g.Node(end).Name
 	startName := g.Node(start).Name
 	captures := ctx.CaptureClocksAt(end)
-	liveBwd := ctx.liveBackwardReach(end)
+	liveBwd := ctx.liveBwdMemo(end)
+
+	// Per-node state sets accumulate in a dense (launch, capture, check)
+	// scratch matrix instead of a RelKey-keyed map: every key of one
+	// node's States shares Start/End, so the map's read-modify-write per
+	// (entry, capture, check) — each hashing a four-string key — collapses
+	// to an index. The map materializes once per node; each cell's state
+	// insertion order is untouched (same Add sequence as before).
+	checks := [2]relation.CheckType{relation.Setup, relation.Hold}
+	nCaps := len(captures)
+	cells := make([]relation.Set, len(ctx.Clocks)*nCaps*2)
+	cellGen := make([]int32, len(cells))
+	gen := int32(0)
+	var touched []int32
+
 	var out []ThroughRel
 	for _, n := range coneNodes {
-		m := tags[n]
-		if len(m.entries) == 0 || !liveBwd[n] {
+		entries := entriesAt(n)
+		if len(entries) == 0 || !liveBwd[n] {
 			// No live paths start→n or n→end in this mode: the node's
 			// path subset is empty here and contributes no states.
 			continue
 		}
-		tr := ThroughRel{Node: n, Name: g.Node(n).Name, States: map[RelKey]relation.Set{}}
-		for _, te := range m.entries {
+		tr := ThroughRel{Node: n, Name: g.Node(n).Name}
+		gen++
+		touched = touched[:0]
+		for _, te := range entries {
 			tag := te.tag
 			if tag.launch == NoClock {
 				continue
 			}
-			launchName := ctx.Clocks[tag.launch].Def.Name
 			vec := ctx.exc.vec(tag.vec)
-			for _, ct := range captures {
-				capName := ctx.Clocks[ct.Clock].Def.Name
-				for _, check := range []relation.CheckType{relation.Setup, relation.Hold} {
-					key := RelKey{Start: startName, End: endName, Launch: launchName, Capture: capName, Check: check}
+			alive := ctx.exc.aliveCandidates(tag.vec)
+			for ci, ct := range captures {
+				for hi, check := range checks {
+					idx := (int(tag.launch)*nCaps+ci)*2 + hi
+					if cellGen[idx] != gen {
+						cellGen[idx] = gen
+						cells[idx] = relation.Set{}
+						touched = append(touched, int32(idx))
+					}
+					set := &cells[idx]
 					if ctx.Exclusive(tag.launch, ct.Clock) {
-						set := tr.States[key]
 						set.Add(relation.StateFalse)
-						tr.States[key] = set
 						continue
 					}
 					var winners []*sdc.Exception
 					ambiguous := false
-					for i := range dps {
-						dp := &dps[i]
+					for _, i := range alive {
 						mi := &ctx.exc.matchers[i]
-						if vec[i] == progDead || !mi.appliesTo(check) {
+						if !mi.appliesTo(check) {
 							continue
 						}
 						toAcc := len(mi.toNodes) == 0 && len(mi.toClocks) == 0 ||
@@ -323,6 +520,7 @@ func (ctx *Context) ThroughRelations(start, end graph.NodeID) []ThroughRel {
 						if !toAcc {
 							continue
 						}
+						dp := ensureDP(i)
 						var stat suffStatus
 						if n == end {
 							if vec[i] == dp.full {
@@ -344,7 +542,6 @@ func (ctx *Context) ThroughRelations(start, end graph.NodeID) []ThroughRel {
 							ambiguous = true
 						}
 					}
-					set := tr.States[key]
 					if ambiguous {
 						tr.Ambiguous = true
 						// Record both possibilities so comparisons see an
@@ -354,9 +551,22 @@ func (ctx *Context) ThroughRelations(start, end graph.NodeID) []ThroughRel {
 					} else {
 						set.Add(stateOf(sdc.Winner(winners)))
 					}
-					tr.States[key] = set
 				}
 			}
+		}
+		tr.States = make(map[RelKey]relation.Set, len(touched))
+		for _, idx := range touched {
+			launch := ClockID(int(idx) / (nCaps * 2))
+			ci := (int(idx) / 2) % nCaps
+			hi := int(idx) % 2
+			key := RelKey{
+				Start:   startName,
+				End:     endName,
+				Launch:  ctx.Clocks[launch].Def.Name,
+				Capture: ctx.Clocks[captures[ci].Clock].Def.Name,
+				Check:   checks[hi],
+			}
+			tr.States[key] = cells[idx]
 		}
 		out = append(out, tr)
 	}
@@ -407,25 +617,25 @@ func RelationTable(rels map[RelKey]relation.Set) []string {
 	return out
 }
 
+// SortRelKeys sorts relation keys by (End, Start, Launch, Capture,
+// Check) — the deterministic comparison order shared by the refinement
+// passes and the relation fingerprint.
+func SortRelKeys(keys []RelKey) { sortRelKeys(keys) }
+
 func sortRelKeys(keys []RelKey) {
-	less := func(a, b RelKey) bool {
-		if a.End != b.End {
-			return a.End < b.End
+	slices.SortFunc(keys, func(a, b RelKey) int {
+		if c := strings.Compare(a.End, b.End); c != 0 {
+			return c
 		}
-		if a.Start != b.Start {
-			return a.Start < b.Start
+		if c := strings.Compare(a.Start, b.Start); c != 0 {
+			return c
 		}
-		if a.Launch != b.Launch {
-			return a.Launch < b.Launch
+		if c := strings.Compare(a.Launch, b.Launch); c != 0 {
+			return c
 		}
-		if a.Capture != b.Capture {
-			return a.Capture < b.Capture
+		if c := strings.Compare(a.Capture, b.Capture); c != 0 {
+			return c
 		}
-		return a.Check < b.Check
-	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && less(keys[j], keys[j-1]); j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+		return int(a.Check) - int(b.Check)
+	})
 }
