@@ -8,6 +8,7 @@ import (
 	"context"
 	"testing"
 
+	"modemerge/internal/benchfmt"
 	"modemerge/internal/core"
 	"modemerge/internal/etm"
 	"modemerge/internal/gen"
@@ -123,25 +124,12 @@ func BenchmarkFlatMergeOnHierSmall(b *testing.B)  { benchHierMerge(b, hierBenchS
 func BenchmarkFlatMergeOnHierMedium(b *testing.B) { benchHierMerge(b, hierBenchSizes()[1], false) }
 func BenchmarkFlatMergeOnHierLarge(b *testing.B)  { benchHierMerge(b, hierBenchSizes()[2], false) }
 
-// benchHierEntry is one hierarchical datapoint of the artifact:
-// per-master ETM extraction cost plus hierarchical and flat merge wall
-// time on the same flattened design.
-type benchHierEntry struct {
-	Design         string  `json:"design"`
-	Cells          int     `json:"cells"`
-	Blocks         int     `json:"blocks"`
-	Masters        int     `json:"masters"`
-	Modes          int     `json:"modes"`
-	ExtractNsPerOp int64   `json:"extract_ns_per_op"`
-	FlatNsPerOp    int64   `json:"flat_ns_per_op"`
-	HierNsPerOp    int64   `json:"hier_ns_per_op"`
-	HierVsFlat     float64 `json:"hier_vs_flat"`
-}
-
-// measureHierarchical produces the artifact's hierarchical section.
-func measureHierarchical(t *testing.T) []benchHierEntry {
+// measureHierarchical produces the artifact's hierarchical section
+// (benchfmt.HierEntry — per-master ETM extraction cost plus
+// hierarchical and flat merge wall time on the same flattened design).
+func measureHierarchical(t *testing.T) []benchfmt.HierEntry {
 	t.Helper()
-	var out []benchHierEntry
+	var out []benchfmt.HierEntry
 	for _, s := range hierBenchSizes() {
 		g, hier, modes := hierBenchFixture(t, s)
 		extractRes := testing.Benchmark(func(b *testing.B) {
@@ -163,7 +151,7 @@ func measureHierarchical(t *testing.T) []benchHierEntry {
 		if flat := flatRes.NsPerOp(); flat > 0 {
 			ratio = float64(hierRes.NsPerOp()) / float64(flat)
 		}
-		out = append(out, benchHierEntry{
+		out = append(out, benchfmt.HierEntry{
 			Design:         s.Name,
 			Cells:          g.Design.Stats().Cells,
 			Blocks:         len(hier.Blocks),

@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"modemerge/internal/benchfmt"
 	"modemerge/internal/core"
 	"modemerge/internal/gen"
 	"modemerge/internal/graph"
@@ -117,69 +118,36 @@ func BenchmarkMergeLargeJ1(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[2],
 func BenchmarkMergeLargeJ2(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[2], false, 2) }
 func BenchmarkMergeLargeJ4(b *testing.B)  { benchObsMerge(b, obsBenchSizes()[2], false, 4) }
 
-// benchStageEntry is one per-stage row of the artifact, folded from the
-// obs span totals of a traced run.
-type benchStageEntry struct {
-	Stage      string `json:"stage"`
-	Count      int64  `json:"count"`
-	TotalNS    int64  `json:"total_ns"`
-	AllocBytes int64  `json:"alloc_bytes"`
-}
-
-// benchParallelEntry is one worker-count scaling datapoint: untraced
-// MergeAll at a fixed core.Options.Parallelism, with the speedup against
-// the sequential (workers=1) run of the same design.
-type benchParallelEntry struct {
-	Workers int     `json:"workers"`
-	NsPerOp int64   `json:"ns_per_op"`
-	Speedup float64 `json:"speedup_vs_sequential"`
-}
-
-type benchDesignEntry struct {
-	Design           string               `json:"design"`
-	Cells            int                  `json:"cells"`
-	Modes            int                  `json:"modes"`
-	NsPerOp          int64                `json:"ns_per_op"`
-	AllocsPerOp      int64                `json:"allocs_per_op"`
-	BytesPerOp       int64                `json:"bytes_per_op"`
-	UntracedNsPerOp  int64                `json:"untraced_ns_per_op"`
-	TraceOverheadPct float64              `json:"trace_overhead_pct"`
-	Parallel         []benchParallelEntry `json:"parallel"`
-	Stages           []benchStageEntry    `json:"stages"`
-}
-
-// benchIncrementalEntry records the incremental re-merge datapoint: a
-// one-mode edit re-merged through a warm sub-merge cache versus the
-// same merge cold (see bench_incr_test.go for the scenario).
-type benchIncrementalEntry struct {
-	Design       string  `json:"design"`
-	Modes        int     `json:"modes"`
-	ColdNsPerOp  int64   `json:"cold_ns_per_op"`
-	WarmNsPerOp  int64   `json:"warm_ns_per_op"`
-	SpeedupXCold float64 `json:"speedup_vs_cold"`
-}
-
-type benchArtifact struct {
-	GeneratedUnix int64                  `json:"generated_unix"`
-	GoVersion     string                 `json:"go_version"`
-	NumCPU        int                    `json:"num_cpu"`
-	Designs       []benchDesignEntry     `json:"designs"`
-	Incremental   *benchIncrementalEntry `json:"incremental,omitempty"`
-	Hierarchical  []benchHierEntry       `json:"hierarchical,omitempty"`
+// benchBestOf runs the benchmark n times and returns the result with
+// the lowest ns/op. Best-of-N is the standard defense against shared
+// runners: the minimum is the least-perturbed measurement, so the
+// traced-vs-untraced comparison stops being a coin flip on noise.
+func benchBestOf(n int, f func(b *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(f)
+	for i := 1; i < n; i++ {
+		if res := testing.Benchmark(f); res.NsPerOp() < best.NsPerOp() {
+			best = res
+		}
+	}
+	return best
 }
 
 // TestWriteBenchArtifact runs the three-size merge benchmark and writes
 // BENCH_modemerge.json (or whatever MODEMERGE_BENCH_JSON names). Skipped
-// unless the env var is set, so plain `go test ./...` stays fast.
+// unless the env var is set, so plain `go test ./...` stays fast. The
+// artifact schema lives in internal/benchfmt, shared with the
+// cmd/benchdiff regression sentinel.
 func TestWriteBenchArtifact(t *testing.T) {
 	path := os.Getenv("MODEMERGE_BENCH_JSON")
 	if path == "" {
 		t.Skip("MODEMERGE_BENCH_JSON not set; skipping bench artifact")
 	}
-	art := benchArtifact{
+	const bestOf = 3
+	art := benchfmt.Artifact{
 		GeneratedUnix: time.Now().Unix(),
 		GoVersion:     runtime.Version(),
 		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 	}
 	for _, s := range obsBenchSizes() {
 		g, modes := obsBenchFixture(t, s)
@@ -191,52 +159,76 @@ func TestWriteBenchArtifact(t *testing.T) {
 				}
 			})
 		}
-		tracedRes := measure(true, 0)
-		plainRes := measure(false, 0)
+		// The traced and untraced headline numbers are best-of-N each —
+		// their difference is the reported tracing overhead, and a single
+		// noisy run on either side would swamp it.
+		measureBest := func(traced bool, parallelism int) testing.BenchmarkResult {
+			return benchBestOf(bestOf, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					obsMergeOnce(b, g, modes, traced, parallelism)
+				}
+			})
+		}
+		tracedRes := measureBest(true, 0)
+		plainRes := measureBest(false, 0)
 
 		// Parallel-engine scaling: sequential first (the speedup
-		// baseline), then 2- and 4-worker runs of the same merge.
+		// baseline), then 2- and 4-worker runs of the same merge. Each
+		// datapoint records the host CPUs and effective GOMAXPROCS it ran
+		// under — scaling numbers are meaningless without them.
 		seqRes := measure(false, 1)
-		parallel := []benchParallelEntry{{Workers: 1, NsPerOp: seqRes.NsPerOp(), Speedup: 1}}
+		hostCPUs, maxprocs := runtime.NumCPU(), runtime.GOMAXPROCS(0)
+		parallel := []benchfmt.ParallelEntry{{Workers: 1, NsPerOp: seqRes.NsPerOp(),
+			Speedup: 1, HostCPUs: hostCPUs, GOMAXPROCS: maxprocs}}
 		for _, w := range []int{2, 4} {
 			res := measure(false, w)
 			speedup := 0.0
 			if ns := res.NsPerOp(); ns > 0 {
 				speedup = float64(seqRes.NsPerOp()) / float64(ns)
 			}
-			parallel = append(parallel, benchParallelEntry{
-				Workers: w, NsPerOp: res.NsPerOp(), Speedup: speedup})
+			parallel = append(parallel, benchfmt.ParallelEntry{
+				Workers: w, NsPerOp: res.NsPerOp(), Speedup: speedup,
+				HostCPUs: hostCPUs, GOMAXPROCS: maxprocs})
 			t.Logf("%s: %d workers %d ns/op (%.2fx vs sequential)",
 				s.Name, w, res.NsPerOp(), speedup)
 		}
 
 		tr := obsMergeOnce(t, g, modes, true, 0)
 		totals := tr.StageTotals()
-		stages := make([]benchStageEntry, 0, len(totals))
+		stages := make([]benchfmt.StageEntry, 0, len(totals))
 		for name, st := range totals {
-			stages = append(stages, benchStageEntry{Stage: name, Count: st.Count,
+			stages = append(stages, benchfmt.StageEntry{Stage: name, Count: st.Count,
 				TotalNS: st.TotalNS, AllocBytes: st.AllocBytes})
 		}
 		sort.Slice(stages, func(i, j int) bool { return stages[i].Stage < stages[j].Stage })
 
-		overhead := 0.0
+		// Raw overhead can come out negative on noisy runners (the traced
+		// run measured faster); the reported figure clamps at zero and the
+		// raw value rides along for honesty.
+		rawOverhead := 0.0
 		if plain := plainRes.NsPerOp(); plain > 0 {
-			overhead = float64(tracedRes.NsPerOp()-plain) / float64(plain) * 100
+			rawOverhead = float64(tracedRes.NsPerOp()-plain) / float64(plain) * 100
 		}
-		art.Designs = append(art.Designs, benchDesignEntry{
-			Design:           s.Name,
-			Cells:            g.Design.Stats().Cells,
-			Modes:            len(modes),
-			NsPerOp:          tracedRes.NsPerOp(),
-			AllocsPerOp:      tracedRes.AllocsPerOp(),
-			BytesPerOp:       tracedRes.AllocedBytesPerOp(),
-			UntracedNsPerOp:  plainRes.NsPerOp(),
-			TraceOverheadPct: overhead,
-			Parallel:         parallel,
-			Stages:           stages,
+		overhead := rawOverhead
+		if overhead < 0 {
+			overhead = 0
+		}
+		art.Designs = append(art.Designs, benchfmt.DesignEntry{
+			Design:              s.Name,
+			Cells:               g.Design.Stats().Cells,
+			Modes:               len(modes),
+			NsPerOp:             tracedRes.NsPerOp(),
+			AllocsPerOp:         tracedRes.AllocsPerOp(),
+			BytesPerOp:          tracedRes.AllocedBytesPerOp(),
+			UntracedNsPerOp:     plainRes.NsPerOp(),
+			TraceOverheadPct:    overhead,
+			TraceOverheadRawPct: rawOverhead,
+			Parallel:            parallel,
+			Stages:              stages,
 		})
-		t.Logf("%s: %d ns/op traced, %d ns/op untraced, overhead %.2f%%",
-			s.Name, tracedRes.NsPerOp(), plainRes.NsPerOp(), overhead)
+		t.Logf("%s: %d ns/op traced, %d ns/op untraced, overhead %.2f%% (raw %.2f%%)",
+			s.Name, tracedRes.NsPerOp(), plainRes.NsPerOp(), overhead, rawOverhead)
 	}
 	// Incremental re-merge datapoint: edit one mode of twelve, re-merge
 	// through a cache warmed with the baseline family, versus cold.
@@ -260,7 +252,7 @@ func TestWriteBenchArtifact(t *testing.T) {
 		if ns := warmRes.NsPerOp(); ns > 0 {
 			speedup = float64(coldRes.NsPerOp()) / float64(ns)
 		}
-		art.Incremental = &benchIncrementalEntry{
+		art.Incremental = &benchfmt.IncrementalEntry{
 			Design:       "medium",
 			Modes:        len(baseline),
 			ColdNsPerOp:  coldRes.NsPerOp(),

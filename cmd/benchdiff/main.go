@@ -1,0 +1,78 @@
+// benchdiff is the perf-regression sentinel: it diffs two
+// BENCH_modemerge.json artifacts per design × stage × worker count,
+// renders a markdown report, and exits nonzero when any metric slowed
+// beyond the noise tolerance.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_old.json -new BENCH_new.json [-tolerance 0.10] [-out report.md]
+//
+// Exit codes: 0 no regressions, 1 regressions found, 2 usage/read error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"modemerge/internal/benchfmt"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline artifact (required)")
+	newPath := flag.String("new", "", "candidate artifact (required)")
+	tolerance := flag.Float64("tolerance", 0.10,
+		"relative slowdown allowed before a metric counts as regressed")
+	minDelta := flag.Int64("min-delta-ns", 50_000,
+		"absolute slowdown floor in nanoseconds; smaller deltas are never regressions")
+	out := flag.String("out", "", "write the markdown report here (default stdout)")
+	flag.Parse()
+
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldArt, err := benchfmt.ReadArtifact(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newArt, err := benchfmt.ReadArtifact(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	rep := benchfmt.Diff(oldArt, newArt, benchfmt.DiffOptions{
+		Tolerance:  *tolerance,
+		MinDeltaNS: *minDelta,
+	})
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteMarkdown(w); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	if regs := rep.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%:\n",
+			len(regs), *tolerance*100)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s: %d -> %d ns/op (%+.1f%%)\n",
+				r.Metric, r.OldNS, r.NewNS, r.DeltaPct)
+		}
+		os.Exit(1)
+	}
+}

@@ -5,7 +5,11 @@
 // finished results; SIGINT/SIGTERM drains in-flight jobs before exit.
 // Observability: GET /metrics serves Prometheus text, every job exposes
 // its span tree at /v1/jobs/{id}/trace, and -debug-addr starts a separate
-// listener with net/http/pprof profiles.
+// listener with net/http/pprof profiles. /v2 requests honor the W3C
+// traceparent header; -trace-export appends finished jobs' spans as
+// NDJSON, and -flight-dir keeps flight recordings (span tree + CPU
+// profile + goroutine dump) of slow, failed, or panicked jobs, served
+// at /v2/flights.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"modemerge/internal/obs"
 	"modemerge/internal/service"
 )
 
@@ -40,6 +45,11 @@ func main() {
 		resultCache = flag.Int("result-cache", 256, "finished-result cache entries")
 		incrCache   = flag.Int("incr-cache", 4096, "incremental sub-merge cache entries (timing contexts, pair verdicts, clique artifacts)")
 		incrDir     = flag.String("incr-cache-dir", "", "persist pair verdicts and clique artifacts under this directory (empty = memory only)")
+		traceExport = flag.String("trace-export", "", "append finished jobs' spans as OTLP-flavored NDJSON to this file (empty = disabled)")
+		flightDir   = flag.String("flight-dir", "", "keep flight recordings of slow/failed/panicked jobs under this directory (empty = disabled)")
+		flightThr   = flag.Duration("flight-threshold", 30*time.Second, "job latency beyond which a flight recording is captured")
+		flightKeep  = flag.Int("flight-keep", 16, "maximum flight recordings kept on disk")
+		flightSlow  = flag.Int("flight-slowest", 4, "slowest recordings protected from eviction (must be < -flight-keep)")
 	)
 	flag.Parse()
 
@@ -50,7 +60,17 @@ func main() {
 	}
 	slog.SetDefault(logger)
 
-	srv := service.New(service.Config{
+	var exporter *obs.FileExporter
+	if *traceExport != "" {
+		exporter, err = obs.NewFileExporter(*traceExport)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "modemerged:", err)
+			os.Exit(2)
+		}
+		defer exporter.Close()
+	}
+
+	cfg := service.Config{
 		Workers:           *workers,
 		MergeParallelism:  *mergePar,
 		QueueDepth:        *queueDepth,
@@ -61,7 +81,19 @@ func main() {
 		IncrCacheSize:     *incrCache,
 		IncrCacheDir:      *incrDir,
 		Logger:            logger,
-	})
+		Flight: service.FlightConfig{
+			Dir:              *flightDir,
+			LatencyThreshold: *flightThr,
+			KeepLast:         *flightKeep,
+			KeepSlowest:      *flightSlow,
+		},
+	}
+	// Assign only through a typed nil check: a nil *FileExporter boxed
+	// into the interface would read as "exporter configured".
+	if exporter != nil {
+		cfg.SpanExporter = exporter
+	}
+	srv := service.New(cfg)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

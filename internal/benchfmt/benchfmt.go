@@ -1,0 +1,102 @@
+// Package benchfmt defines the schema of the BENCH_modemerge.json
+// benchmark artifact — shared by the harness that writes it (the root
+// package's TestWriteBenchArtifact) and the perf-regression sentinel
+// that diffs two of them (cmd/benchdiff) — plus the diff engine itself.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// StageEntry is one per-stage row of the artifact, folded from the obs
+// span totals of a traced run.
+type StageEntry struct {
+	Stage      string `json:"stage"`
+	Count      int64  `json:"count"`
+	TotalNS    int64  `json:"total_ns"`
+	AllocBytes int64  `json:"alloc_bytes"`
+}
+
+// ParallelEntry is one worker-count scaling datapoint: untraced MergeAll
+// at a fixed core.Options.Parallelism, with the speedup against the
+// sequential (workers=1) run of the same design. HostCPUs and
+// GOMAXPROCS record the hardware and scheduler width the datapoint ran
+// under — scaling numbers are meaningless without them.
+type ParallelEntry struct {
+	Workers    int     `json:"workers"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	Speedup    float64 `json:"speedup_vs_sequential"`
+	HostCPUs   int     `json:"host_cpus,omitempty"`
+	GOMAXPROCS int     `json:"gomaxprocs,omitempty"`
+}
+
+// DesignEntry is one design-size section of the artifact.
+// TraceOverheadPct is clamped at zero — on noisy runners the traced run
+// regularly measures faster than the untraced one, and a negative
+// overhead is measurement noise, not a real speedup; the raw unclamped
+// value is kept alongside for honesty.
+type DesignEntry struct {
+	Design              string          `json:"design"`
+	Cells               int             `json:"cells"`
+	Modes               int             `json:"modes"`
+	NsPerOp             int64           `json:"ns_per_op"`
+	AllocsPerOp         int64           `json:"allocs_per_op"`
+	BytesPerOp          int64           `json:"bytes_per_op"`
+	UntracedNsPerOp     int64           `json:"untraced_ns_per_op"`
+	TraceOverheadPct    float64         `json:"trace_overhead_pct"`
+	TraceOverheadRawPct float64         `json:"trace_overhead_raw_pct,omitempty"`
+	Parallel            []ParallelEntry `json:"parallel"`
+	Stages              []StageEntry    `json:"stages"`
+}
+
+// IncrementalEntry records the incremental re-merge datapoint: a
+// one-mode edit re-merged through a warm sub-merge cache versus the
+// same merge cold.
+type IncrementalEntry struct {
+	Design       string  `json:"design"`
+	Modes        int     `json:"modes"`
+	ColdNsPerOp  int64   `json:"cold_ns_per_op"`
+	WarmNsPerOp  int64   `json:"warm_ns_per_op"`
+	SpeedupXCold float64 `json:"speedup_vs_cold"`
+}
+
+// HierEntry is one hierarchical datapoint: per-master ETM extraction
+// cost plus hierarchical and flat merge wall time on the same flattened
+// design.
+type HierEntry struct {
+	Design         string  `json:"design"`
+	Cells          int     `json:"cells"`
+	Blocks         int     `json:"blocks"`
+	Masters        int     `json:"masters"`
+	Modes          int     `json:"modes"`
+	ExtractNsPerOp int64   `json:"extract_ns_per_op"`
+	FlatNsPerOp    int64   `json:"flat_ns_per_op"`
+	HierNsPerOp    int64   `json:"hier_ns_per_op"`
+	HierVsFlat     float64 `json:"hier_vs_flat"`
+}
+
+// Artifact is the whole BENCH_modemerge.json document.
+type Artifact struct {
+	GeneratedUnix int64             `json:"generated_unix"`
+	GoVersion     string            `json:"go_version"`
+	NumCPU        int               `json:"num_cpu"`
+	GOMAXPROCS    int               `json:"gomaxprocs,omitempty"`
+	Designs       []DesignEntry     `json:"designs"`
+	Incremental   *IncrementalEntry `json:"incremental,omitempty"`
+	Hierarchical  []HierEntry       `json:"hierarchical,omitempty"`
+}
+
+// ReadArtifact loads one artifact from disk.
+func ReadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &art, nil
+}

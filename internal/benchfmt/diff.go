@@ -1,0 +1,243 @@
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DiffOptions tunes the regression verdict.
+type DiffOptions struct {
+	// Tolerance is the relative slowdown a metric may show before it
+	// counts as a regression (0.10 = 10%). Default 0.10.
+	Tolerance float64
+	// MinDeltaNS is the absolute floor: a slowdown smaller than this many
+	// nanoseconds is never a regression, no matter the ratio — tiny
+	// stages jitter by large percentages on shared runners. Default
+	// 50000 (50µs).
+	MinDeltaNS int64
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.Tolerance <= 0 {
+		o.Tolerance = 0.10
+	}
+	if o.MinDeltaNS <= 0 {
+		o.MinDeltaNS = 50_000
+	}
+	return o
+}
+
+// Row is one compared metric.
+type Row struct {
+	// Metric names the datapoint: "<design>/<metric>" or
+	// "<design>/stage/<stage>" or "<design>/J<workers>".
+	Metric     string
+	OldNS      int64
+	NewNS      int64
+	DeltaPct   float64 // (new-old)/old * 100; 0 when old is 0
+	Regression bool
+	Missing    bool // present in one artifact only; never a regression
+}
+
+// Report is the outcome of diffing two artifacts.
+type Report struct {
+	Tolerance  float64
+	MinDeltaNS int64
+	Rows       []Row
+}
+
+// HasRegressions reports whether any row regressed.
+func (r *Report) HasRegressions() bool {
+	for _, row := range r.Rows {
+		if row.Regression {
+			return true
+		}
+	}
+	return false
+}
+
+// Regressions returns only the regressed rows.
+func (r *Report) Regressions() []Row {
+	var out []Row
+	for _, row := range r.Rows {
+		if row.Regression {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Diff compares two artifacts metric by metric — per design × stage ×
+// worker count, plus the incremental and hierarchical datapoints — and
+// flags each new time that is slower than the old by more than the
+// relative tolerance AND the absolute floor. Metrics present in only
+// one artifact (a design or stage added or removed) are reported but
+// never regressions: schema growth is not a slowdown.
+func Diff(old, new_ *Artifact, opts DiffOptions) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{Tolerance: opts.Tolerance, MinDeltaNS: opts.MinDeltaNS}
+
+	add := func(metric string, oldNS, newNS int64, both bool) {
+		row := Row{Metric: metric, OldNS: oldNS, NewNS: newNS, Missing: !both}
+		if both {
+			delta := newNS - oldNS
+			if oldNS > 0 {
+				row.DeltaPct = float64(delta) / float64(oldNS) * 100
+			}
+			row.Regression = oldNS > 0 && delta > opts.MinDeltaNS &&
+				float64(delta) > float64(oldNS)*opts.Tolerance
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	oldDesigns := map[string]DesignEntry{}
+	for _, d := range old.Designs {
+		oldDesigns[d.Design] = d
+	}
+	newDesigns := map[string]DesignEntry{}
+	for _, d := range new_.Designs {
+		newDesigns[d.Design] = d
+	}
+	for _, name := range unionKeys(oldDesigns, newDesigns) {
+		od, oldOK := oldDesigns[name]
+		nd, newOK := newDesigns[name]
+		both := oldOK && newOK
+		add(name+"/traced", od.NsPerOp, nd.NsPerOp, both)
+		add(name+"/untraced", od.UntracedNsPerOp, nd.UntracedNsPerOp, both)
+
+		oldPar := map[int]ParallelEntry{}
+		for _, p := range od.Parallel {
+			oldPar[p.Workers] = p
+		}
+		newPar := map[int]ParallelEntry{}
+		for _, p := range nd.Parallel {
+			newPar[p.Workers] = p
+		}
+		for _, w := range unionKeys(oldPar, newPar) {
+			op, ook := oldPar[w]
+			np, nok := newPar[w]
+			add(fmt.Sprintf("%s/J%d", name, w), op.NsPerOp, np.NsPerOp, both && ook && nok)
+		}
+
+		// Stage totals come from one traced run each; compare
+		// per-invocation averages so a count change does not read as a
+		// slowdown.
+		oldStages := map[string]StageEntry{}
+		for _, st := range od.Stages {
+			oldStages[st.Stage] = st
+		}
+		newStages := map[string]StageEntry{}
+		for _, st := range nd.Stages {
+			newStages[st.Stage] = st
+		}
+		perOp := func(st StageEntry) int64 {
+			if st.Count <= 0 {
+				return st.TotalNS
+			}
+			return st.TotalNS / st.Count
+		}
+		for _, stage := range unionKeys(oldStages, newStages) {
+			os_, ook := oldStages[stage]
+			ns, nok := newStages[stage]
+			add(name+"/stage/"+stage, perOp(os_), perOp(ns), both && ook && nok)
+		}
+	}
+
+	if old.Incremental != nil || new_.Incremental != nil {
+		var oi, ni IncrementalEntry
+		both := old.Incremental != nil && new_.Incremental != nil
+		if old.Incremental != nil {
+			oi = *old.Incremental
+		}
+		if new_.Incremental != nil {
+			ni = *new_.Incremental
+		}
+		add("incremental/cold", oi.ColdNsPerOp, ni.ColdNsPerOp, both)
+		add("incremental/warm", oi.WarmNsPerOp, ni.WarmNsPerOp, both)
+	}
+
+	oldHier := map[string]HierEntry{}
+	for _, h := range old.Hierarchical {
+		oldHier[h.Design] = h
+	}
+	newHier := map[string]HierEntry{}
+	for _, h := range new_.Hierarchical {
+		newHier[h.Design] = h
+	}
+	for _, name := range unionKeys(oldHier, newHier) {
+		oh, ook := oldHier[name]
+		nh, nok := newHier[name]
+		both := ook && nok
+		add("hier/"+name+"/extract", oh.ExtractNsPerOp, nh.ExtractNsPerOp, both)
+		add("hier/"+name+"/flat", oh.FlatNsPerOp, nh.FlatNsPerOp, both)
+		add("hier/"+name+"/hier", oh.HierNsPerOp, nh.HierNsPerOp, both)
+	}
+
+	return rep
+}
+
+// unionKeys returns the sorted union of both maps' keys.
+func unionKeys[K int | string, V any](a, b map[K]V) []K {
+	seen := map[K]bool{}
+	var out []K
+	for k := range a {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for k := range b {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WriteMarkdown renders the report as a markdown document: a verdict
+// line, a table of regressions (when any), and the full metric table.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("# Benchmark diff\n\n")
+	p("Tolerance: %.0f%% relative, %dµs absolute floor.\n\n",
+		r.Tolerance*100, r.MinDeltaNS/1000)
+	if regs := r.Regressions(); len(regs) > 0 {
+		p("**%d regression(s) detected.**\n\n", len(regs))
+		p("| metric | old ns/op | new ns/op | delta |\n")
+		p("|---|---:|---:|---:|\n")
+		for _, row := range regs {
+			p("| %s | %d | %d | %+.1f%% |\n", row.Metric, row.OldNS, row.NewNS, row.DeltaPct)
+		}
+		p("\n")
+	} else {
+		p("No regressions.\n\n")
+	}
+
+	p("<details><summary>All metrics</summary>\n\n")
+	p("| metric | old ns/op | new ns/op | delta | status |\n")
+	p("|---|---:|---:|---:|---|\n")
+	for _, row := range r.Rows {
+		status := "ok"
+		switch {
+		case row.Missing:
+			status = "only in one artifact"
+		case row.Regression:
+			status = "**regression**"
+		case row.DeltaPct < -float64(r.Tolerance)*100:
+			status = "improved"
+		}
+		p("| %s | %d | %d | %+.1f%% | %s |\n",
+			row.Metric, row.OldNS, row.NewNS, row.DeltaPct, status)
+	}
+	p("\n</details>\n")
+	return err
+}

@@ -1,0 +1,183 @@
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleArtifact() *Artifact {
+	return &Artifact{
+		GoVersion:  "go1.24.0",
+		NumCPU:     4,
+		GOMAXPROCS: 4,
+		Designs: []DesignEntry{
+			{
+				Design:          "small",
+				NsPerOp:         2_400_000,
+				UntracedNsPerOp: 2_350_000,
+				Parallel: []ParallelEntry{
+					{Workers: 1, NsPerOp: 2_400_000, Speedup: 1, HostCPUs: 4, GOMAXPROCS: 4},
+					{Workers: 2, NsPerOp: 1_400_000, Speedup: 1.71, HostCPUs: 4, GOMAXPROCS: 4},
+				},
+				Stages: []StageEntry{
+					{Stage: "merge_clique", Count: 2, TotalNS: 1_000_000},
+					{Stage: "tiny", Count: 1, TotalNS: 8_000},
+				},
+			},
+			{
+				Design:          "large",
+				NsPerOp:         30_000_000,
+				UntracedNsPerOp: 29_000_000,
+			},
+		},
+		Incremental:  &IncrementalEntry{Design: "medium", ColdNsPerOp: 9_000_000, WarmNsPerOp: 2_000_000},
+		Hierarchical: []HierEntry{{Design: "hs", ExtractNsPerOp: 500_000, FlatNsPerOp: 4_000_000, HierNsPerOp: 2_000_000}},
+	}
+}
+
+// TestDiffIdentity: diffing an artifact against itself finds nothing.
+func TestDiffIdentity(t *testing.T) {
+	art := sampleArtifact()
+	rep := Diff(art, art, DiffOptions{})
+	if rep.HasRegressions() {
+		t.Fatalf("identity diff reports regressions: %+v", rep.Regressions())
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("identity diff produced no rows")
+	}
+}
+
+// TestDiffFlagsInjectedRegression: a 20% slowdown on one design must be
+// flagged at 10% tolerance, and only that metric.
+func TestDiffFlagsInjectedRegression(t *testing.T) {
+	old := sampleArtifact()
+	slower := sampleArtifact()
+	slower.Designs[0].NsPerOp = old.Designs[0].NsPerOp * 120 / 100
+
+	rep := Diff(old, slower, DiffOptions{Tolerance: 0.10})
+	if !rep.HasRegressions() {
+		t.Fatal("injected 20% regression not flagged")
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Metric != "small/traced" {
+		t.Fatalf("regressions = %+v, want exactly small/traced", regs)
+	}
+	if regs[0].DeltaPct < 19 || regs[0].DeltaPct > 21 {
+		t.Errorf("delta = %.1f%%, want ~20%%", regs[0].DeltaPct)
+	}
+}
+
+// TestDiffAbsoluteFloor: a big relative jump on a microscopic stage is
+// noise, not a regression.
+func TestDiffAbsoluteFloor(t *testing.T) {
+	old := sampleArtifact()
+	jittery := sampleArtifact()
+	jittery.Designs[0].Stages[1].TotalNS = 24_000 // tiny stage 3x slower: +16µs
+
+	rep := Diff(old, jittery, DiffOptions{Tolerance: 0.10, MinDeltaNS: 50_000})
+	if rep.HasRegressions() {
+		t.Fatalf("sub-floor jitter flagged as regression: %+v", rep.Regressions())
+	}
+}
+
+// TestDiffToleranceBoundary: a slowdown inside the tolerance passes.
+func TestDiffToleranceBoundary(t *testing.T) {
+	old := sampleArtifact()
+	slightly := sampleArtifact()
+	slightly.Designs[1].NsPerOp = old.Designs[1].NsPerOp * 105 / 100 // +5%
+
+	rep := Diff(old, slightly, DiffOptions{Tolerance: 0.10})
+	if rep.HasRegressions() {
+		t.Fatalf("+5%% flagged at 10%% tolerance: %+v", rep.Regressions())
+	}
+}
+
+// TestDiffSchemaGrowth: designs or stages in only one artifact are
+// reported but never regressions.
+func TestDiffSchemaGrowth(t *testing.T) {
+	old := sampleArtifact()
+	grown := sampleArtifact()
+	grown.Designs = append(grown.Designs, DesignEntry{Design: "huge", NsPerOp: 99_000_000})
+	grown.Designs[0].Stages = append(grown.Designs[0].Stages,
+		StageEntry{Stage: "new_stage", Count: 1, TotalNS: 1_000_000})
+
+	rep := Diff(old, grown, DiffOptions{})
+	if rep.HasRegressions() {
+		t.Fatalf("schema growth flagged as regression: %+v", rep.Regressions())
+	}
+	var sawMissing bool
+	for _, row := range rep.Rows {
+		if row.Missing {
+			sawMissing = true
+		}
+	}
+	if !sawMissing {
+		t.Error("no row marked missing for the added design/stage")
+	}
+}
+
+// TestMarkdownReport renders both verdicts and names the regressed
+// metric.
+func TestMarkdownReport(t *testing.T) {
+	old := sampleArtifact()
+	slower := sampleArtifact()
+	slower.Incremental.WarmNsPerOp = old.Incremental.WarmNsPerOp * 2
+
+	rep := Diff(old, slower, DiffOptions{})
+	var buf bytes.Buffer
+	if err := rep.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	md := buf.String()
+	for _, want := range []string{"regression(s) detected", "incremental/warm", "| metric |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+
+	clean := Diff(old, old, DiffOptions{})
+	buf.Reset()
+	if err := clean.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "No regressions.") {
+		t.Errorf("clean report lacks verdict:\n%s", buf.String())
+	}
+}
+
+// TestReadArtifactRoundTrip writes and re-reads an artifact.
+func TestReadArtifactRoundTrip(t *testing.T) {
+	art := sampleArtifact()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	data, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Designs[0].Design != "small" || got.Designs[0].Parallel[1].GOMAXPROCS != 4 {
+		t.Errorf("round trip lost fields: %+v", got.Designs[0])
+	}
+}
+
+// TestReadArtifactCurrentSchema: the committed BENCH_modemerge.json (one
+// directory up from the repo root perspective) must parse — the diff
+// sentinel runs against it in CI.
+func TestReadArtifactCurrentSchema(t *testing.T) {
+	art, err := ReadArtifact("../../BENCH_modemerge.json")
+	if err != nil {
+		t.Fatalf("committed artifact does not parse: %v", err)
+	}
+	if len(art.Designs) == 0 {
+		t.Error("committed artifact has no designs")
+	}
+}

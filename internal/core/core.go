@@ -311,6 +311,7 @@ func newMergerWithGraph(cx context.Context, g *graph.Graph, modes []*sdc.Mode, o
 		span:   opt.Trace,
 		Report: &Report{},
 	}
+	mg.span.SetAttr("merged_mode", name)
 	// Per-mode contexts build on the bounded pool: each mode is an
 	// independent analysis, and the results land in index order so the
 	// first failing mode (lowest index) wins deterministically. With an

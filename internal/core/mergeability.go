@@ -304,6 +304,7 @@ func MergeAll(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options
 		return nil, nil, nil, err
 	}
 	cliques := mb.Cliques()
+	sp.SetAttr("design", g.Design.Name)
 	sp.Add("modes", int64(len(modes)))
 	sp.Add("cliques", int64(len(cliques)))
 	sp.Add("conflicts", int64(len(mb.Conflicts)))
@@ -331,6 +332,8 @@ func MergeAll(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options
 		names := mb.GroupNames([][]int{clique})[0]
 		copt := opt
 		copt.Trace = opt.Trace.Child("merge:" + strings.Join(names, "+"))
+		copt.Trace.SetAttr("design", g.Design.Name)
+		copt.Trace.SetAttr("members", strings.Join(names, ","))
 		var key string
 		if opt.Cache != nil {
 			// Incremental path: a clique whose members (and design +

@@ -33,6 +33,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Granularity names one cached sub-merge product class. It prefixes
@@ -160,6 +161,12 @@ type Cache struct {
 
 	disk  *DiskStore // optional; nil = memory only
 	stats Stats
+
+	// hitObserver, when set, receives the lookup latency of every cache
+	// hit with its granularity — the service feeds these into its
+	// per-granularity hit-latency histograms. Nil costs nothing: the
+	// lookup paths only read the clock when an observer is installed.
+	hitObserver atomic.Pointer[func(Granularity, time.Duration)]
 }
 
 type entry struct {
@@ -197,11 +204,45 @@ func (c *Cache) WithDisk(dir string) (*Cache, error) {
 // Stats exposes the hit/miss counters.
 func (c *Cache) Stats() *Stats { return &c.stats }
 
+// SetHitObserver installs (or, with nil, removes) the hit-latency
+// callback. The observer must be fast and safe for concurrent use — it
+// runs inline on every hit of every merge worker.
+func (c *Cache) SetHitObserver(fn func(Granularity, time.Duration)) {
+	if fn == nil {
+		c.hitObserver.Store(nil)
+		return
+	}
+	c.hitObserver.Store(&fn)
+}
+
+// observeHit reports one hit's lookup latency. start is zero when the
+// lookup path skipped the clock because no observer was installed at
+// entry; re-check is deliberate so a racing SetHitObserver never
+// produces a garbage duration.
+func (c *Cache) observeHit(g Granularity, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	if fn := c.hitObserver.Load(); fn != nil {
+		(*fn)(g, time.Since(start))
+	}
+}
+
+// hitStart returns the clock reading lookups use to time hits, or zero
+// when no observer is installed (skipping the syscall).
+func (c *Cache) hitStart() time.Time {
+	if c.hitObserver.Load() != nil {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
 func fullKey(g Granularity, key string) string { return string(g) + "\x00" + key }
 
 // GetObject looks an in-memory object up (context granularity). It never
 // consults the disk store.
 func (c *Cache) GetObject(g Granularity, key string) (any, bool) {
+	start := c.hitStart()
 	// The value must be read under the lock: put overwrites entry.value
 	// in place when a key is re-stored.
 	c.mu.Lock()
@@ -217,6 +258,7 @@ func (c *Cache) GetObject(g Granularity, key string) (any, bool) {
 		return nil, false
 	}
 	c.stats.hit(g)
+	c.observeHit(g, start)
 	return v, true
 }
 
@@ -228,6 +270,7 @@ func (c *Cache) PutObject(g Granularity, key string, v any) {
 // GetBytes looks a serialized value up: memory first, then the disk
 // store (when configured), promoting disk hits into memory.
 func (c *Cache) GetBytes(g Granularity, key string) ([]byte, bool) {
+	start := c.hitStart()
 	fk := fullKey(g, key)
 	c.mu.Lock()
 	el, ok := c.entries[fk]
@@ -240,12 +283,14 @@ func (c *Cache) GetBytes(g Granularity, key string) ([]byte, bool) {
 	c.mu.Unlock()
 	if ok {
 		c.stats.hit(g)
+		c.observeHit(g, start)
 		return v, true
 	}
 	if disk != nil {
 		if b, ok := disk.Get(string(g), key); ok {
 			c.put(fk, b, true)
 			c.stats.hit(g)
+			c.observeHit(g, start)
 			return b, true
 		}
 	}

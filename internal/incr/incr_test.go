@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestHashLengthPrefixed(t *testing.T) {
@@ -200,5 +201,61 @@ func TestCacheConcurrency(t *testing.T) {
 	}
 	for w := 0; w < 8; w++ {
 		<-done
+	}
+}
+
+func TestHitObserver(t *testing.T) {
+	c := New(16)
+	type obsd struct {
+		g Granularity
+		d time.Duration
+	}
+	var got []obsd
+	c.SetHitObserver(func(g Granularity, d time.Duration) {
+		got = append(got, obsd{g, d})
+	})
+
+	c.PutObject(GranContext, "k", 1)
+	c.PutBytes(GranPair, "p", []byte("ok"))
+	if _, ok := c.GetObject(GranContext, "missing"); ok {
+		t.Fatal("unexpected hit")
+	}
+	c.GetObject(GranContext, "k")
+	c.GetBytes(GranPair, "p")
+
+	if len(got) != 2 {
+		t.Fatalf("observer saw %d hits, want 2 (misses must not report): %+v", len(got), got)
+	}
+	if got[0].g != GranContext || got[1].g != GranPair {
+		t.Fatalf("granularities = %v, %v", got[0].g, got[1].g)
+	}
+	for _, o := range got {
+		if o.d < 0 {
+			t.Fatalf("negative hit latency %v", o.d)
+		}
+	}
+
+	// Disk-promotion hits report too: evict the memory copy, then hit via disk.
+	dir := t.TempDir()
+	if _, err := c.WithDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	c.PutBytes(GranClique, "cliq01", []byte("artifact"))
+	c.Clear()
+	if _, ok := c.GetBytes(GranClique, "cliq01"); !ok {
+		t.Fatal("disk promotion miss")
+	}
+	if last := got[len(got)-1]; last.g != GranClique {
+		t.Fatalf("disk-promotion hit not observed, last = %+v", last)
+	}
+
+	// Removing the observer stops reporting without breaking lookups.
+	n := len(got)
+	c.SetHitObserver(nil)
+	if _, ok := c.GetBytes(GranClique, "cliq01"); !ok {
+		t.Fatal("lookup broke after observer removal")
+	}
+	if len(got) != n {
+		t.Fatal("observer fired after removal")
 	}
 }

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// SpanRecord is the flat, export-ready form of one finished span: the
+// OTLP span fields (hex ids, unix-nano bounds, attributes) plus this
+// tracer's domain counters. Records are self-contained — a collector
+// can join them across processes on TraceID alone.
+type SpanRecord struct {
+	TraceID           string      `json:"traceId"`
+	SpanID            string      `json:"spanId"`
+	ParentSpanID      string      `json:"parentSpanId,omitempty"`
+	Name              string      `json:"name"`
+	StartTimeUnixNano int64       `json:"startTimeUnixNano"`
+	EndTimeUnixNano   int64       `json:"endTimeUnixNano"`
+	Attributes        []Attribute `json:"attributes,omitempty"`
+}
+
+// Attribute is one OTLP-style key/value: exactly one of the value
+// fields is set.
+type Attribute struct {
+	Key   string         `json:"key"`
+	Value AttributeValue `json:"value"`
+}
+
+// AttributeValue carries a string or integer value, OTLP-flavored.
+type AttributeValue struct {
+	StringValue string `json:"stringValue,omitempty"`
+	IntValue    int64  `json:"intValue,omitempty"`
+}
+
+// Records snapshots the tracer's finished spans as flat export records,
+// in span-start order. Unfinished spans are skipped — they will appear
+// in a later snapshot once finished, so export after the root span is
+// done. AllocBytes and the counters ride along as intValue attributes.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+
+	traceID := t.traceID.String()
+	parentSID := make(map[int64]SpanID, len(spans))
+	for _, s := range spans {
+		parentSID[s.id] = s.sid
+	}
+	out := make([]SpanRecord, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		if !s.finished {
+			s.mu.Unlock()
+			continue
+		}
+		r := SpanRecord{
+			TraceID:           traceID,
+			SpanID:            s.sid.String(),
+			Name:              s.name,
+			StartTimeUnixNano: s.start.UnixNano(),
+			EndTimeUnixNano:   s.end.UnixNano(),
+		}
+		if p, ok := parentSID[s.parent]; ok && s.parent != s.id {
+			r.ParentSpanID = p.String()
+		}
+		keys := make([]string, 0, len(s.attrs))
+		for k := range s.attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			r.Attributes = append(r.Attributes, Attribute{Key: k, Value: AttributeValue{StringValue: s.attrs[k]}})
+		}
+		if alloc := int64(s.endAlloc - s.startAlloc); alloc != 0 {
+			r.Attributes = append(r.Attributes, Attribute{Key: "alloc_bytes", Value: AttributeValue{IntValue: alloc}})
+		}
+		ckeys := make([]string, 0, len(s.counters))
+		for k := range s.counters {
+			ckeys = append(ckeys, k)
+		}
+		sort.Strings(ckeys)
+		for _, k := range ckeys {
+			r.Attributes = append(r.Attributes, Attribute{Key: "counter." + k, Value: AttributeValue{IntValue: s.counters[k]}})
+		}
+		s.mu.Unlock()
+		out = append(out, r)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].StartTimeUnixNano < out[j].StartTimeUnixNano
+	})
+	return out
+}
+
+// SpanExporter receives finished span batches — one batch per traced
+// operation. Implementations must be safe for concurrent use; export
+// happens off the merge hot path (after a job finishes), so a slow
+// exporter delays nothing but its own caller.
+type SpanExporter interface {
+	ExportSpans(records []SpanRecord) error
+}
+
+// FileExporter appends span records to one file as NDJSON: one
+// OTLP-flavored JSON object per line, so traces from many jobs (and
+// many processes sharing the file via O_APPEND) interleave without
+// framing. A nil *FileExporter is a no-op exporter.
+type FileExporter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// NewFileExporter opens (creating or appending) the NDJSON trace file.
+func NewFileExporter(path string) (*FileExporter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trace export file: %w", err)
+	}
+	return &FileExporter{f: f}, nil
+}
+
+// ExportSpans writes one line per record. The batch is marshaled before
+// the lock so concurrent exporters contend only on the write.
+func (e *FileExporter) ExportSpans(records []SpanRecord) error {
+	if e == nil || len(records) == 0 {
+		return nil
+	}
+	buf := make([]byte, 0, 256*len(records))
+	for _, r := range records {
+		line, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, err := e.f.Write(buf)
+	return err
+}
+
+// Close closes the underlying file.
+func (e *FileExporter) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.f.Close()
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	if !id.IsValid() {
+		t.Fatal("NewTraceID returned the zero id")
+	}
+	parsed, err := ParseTraceID(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != id {
+		t.Errorf("round trip: %s != %s", parsed, id)
+	}
+	if _, err := ParseTraceID(strings.Repeat("0", 32)); err == nil {
+		t.Error("all-zero trace id accepted")
+	}
+	if _, err := ParseTraceID("abc"); err == nil {
+		t.Error("short trace id accepted")
+	}
+	if _, err := ParseTraceID(strings.Repeat("zz", 16)); err == nil {
+		t.Error("non-hex trace id accepted")
+	}
+}
+
+func TestSpanIDRoundTrip(t *testing.T) {
+	id := NewSpanID()
+	if !id.IsValid() {
+		t.Fatal("NewSpanID returned the zero id")
+	}
+	parsed, err := ParseSpanID(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != id {
+		t.Errorf("round trip: %s != %s", parsed, id)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	traceID, spanID := NewTraceID(), NewSpanID()
+	header := FormatTraceparent(traceID, spanID)
+	if len(header) != 55 {
+		t.Fatalf("traceparent %q is %d bytes, want 55", header, len(header))
+	}
+	gotTrace, gotSpan, err := ParseTraceparent(header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTrace != traceID || gotSpan != spanID {
+		t.Errorf("round trip: got %s/%s want %s/%s", gotTrace, gotSpan, traceID, spanID)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"00-abc",
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // forbidden version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span id
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra",
+		"00_0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+	} {
+		if _, _, err := ParseTraceparent(bad); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+	// A future version with trailing members still parses (forward
+	// compatibility).
+	if _, _, err := ParseTraceparent("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-future"); err != nil {
+		t.Errorf("future-version traceparent rejected: %v", err)
+	}
+}
+
+func TestTracerCarriesTraceID(t *testing.T) {
+	id := NewTraceID()
+	tr := NewTracerWithID(id)
+	if tr.TraceID() != id {
+		t.Errorf("tracer trace id = %s, want %s", tr.TraceID(), id)
+	}
+	if !NewTracer().TraceID().IsValid() {
+		t.Error("NewTracer has no valid trace id")
+	}
+	if NewTracerWithID(TraceID{}).TraceID() == (TraceID{}) {
+		t.Error("zero trace id not replaced with a fresh one")
+	}
+	var nilTracer *Tracer
+	if nilTracer.TraceID().IsValid() {
+		t.Error("nil tracer reports a valid trace id")
+	}
+	if nilTracer.Records() != nil {
+		t.Error("nil tracer records non-nil")
+	}
+}
+
+func TestRecordsFlattenSpans(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("job")
+	root.SetAttr("design", "quick")
+	child := root.Child("parse")
+	child.Add("modes", 2)
+	child.Finish()
+	open := root.Child("still_running")
+	_ = open
+	root.Finish()
+
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2 (unfinished span excluded)", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+		if r.TraceID != tr.TraceID().String() {
+			t.Errorf("record %s has trace id %s, want %s", r.Name, r.TraceID, tr.TraceID())
+		}
+		if r.SpanID == "" || r.StartTimeUnixNano <= 0 || r.EndTimeUnixNano < r.StartTimeUnixNano {
+			t.Errorf("record %s has bad identity/timing: %+v", r.Name, r)
+		}
+	}
+	if byName["parse"].ParentSpanID != byName["job"].SpanID {
+		t.Errorf("parse parent = %s, want job span %s", byName["parse"].ParentSpanID, byName["job"].SpanID)
+	}
+	attrs := map[string]AttributeValue{}
+	for _, a := range byName["job"].Attributes {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["design"].StringValue != "quick" {
+		t.Errorf("job attrs = %v, want design=quick", byName["job"].Attributes)
+	}
+	var sawCounter bool
+	for _, a := range byName["parse"].Attributes {
+		if a.Key == "counter.modes" && a.Value.IntValue == 2 {
+			sawCounter = true
+		}
+	}
+	if !sawCounter {
+		t.Errorf("parse counters missing from attributes: %v", byName["parse"].Attributes)
+	}
+}
+
+func TestFileExporterNDJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	exp, err := NewFileExporter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer()
+	root := tr.Start("job")
+	root.Child("parse").Finish()
+	root.Finish()
+	if err := exp.ExportSpans(tr.Records()); err != nil {
+		t.Fatal(err)
+	}
+	// A second batch appends.
+	tr2 := NewTracer()
+	tr2.Start("job").Finish()
+	if err := exp.ExportSpans(tr2.Records()); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	traceIDs := map[string]int{}
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+		var r SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %d is not a span record: %v", lines, err)
+		}
+		traceIDs[r.TraceID]++
+	}
+	if lines != 3 {
+		t.Errorf("exported %d lines, want 3", lines)
+	}
+	if traceIDs[tr.TraceID().String()] != 2 || traceIDs[tr2.TraceID().String()] != 1 {
+		t.Errorf("trace id distribution = %v", traceIDs)
+	}
+}
+
+func TestSpanViewCarriesIdentity(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("job")
+	root.SetAttr("k", "v")
+	child := root.Child("parse")
+	child.Finish()
+	root.Finish()
+	tree := tr.Tree()
+	if len(tree) != 1 {
+		t.Fatalf("roots = %d", len(tree))
+	}
+	r := tree[0]
+	if r.SpanID == "" || r.StartUnixNS == 0 || r.EndUnixNS == 0 {
+		t.Errorf("root view missing identity/timestamps: %+v", r)
+	}
+	if r.Attrs["k"] != "v" {
+		t.Errorf("root attrs = %v", r.Attrs)
+	}
+	if len(r.Children) != 1 || r.Children[0].ParentSpanID != r.SpanID {
+		t.Errorf("child parent span id not linked: %+v", r.Children)
+	}
+}

@@ -30,14 +30,34 @@ func heapAllocs() uint64 {
 // receiver, in which case every derived Span is nil and all recording is
 // a no-op.
 type Tracer struct {
-	mu     sync.Mutex
-	spans  []*Span
-	nextID int64
-	origin time.Time // start of the earliest span; zero until first Start
+	traceID TraceID // identity the whole trace shares; set at construction
+	mu      sync.Mutex
+	spans   []*Span
+	nextID  int64
+	origin  time.Time // start of the earliest span; zero until first Start
 }
 
-// NewTracer returns an empty tracer.
-func NewTracer() *Tracer { return &Tracer{} }
+// NewTracer returns an empty tracer with a fresh random trace id.
+func NewTracer() *Tracer { return &Tracer{traceID: NewTraceID()} }
+
+// NewTracerWithID returns an empty tracer continuing the given trace —
+// the id a /v2 request carried in its traceparent header, so one trace
+// id follows a merge from the submitting client through every stage.
+// An invalid (zero) id falls back to a fresh random one.
+func NewTracerWithID(id TraceID) *Tracer {
+	if !id.IsValid() {
+		id = NewTraceID()
+	}
+	return &Tracer{traceID: id}
+}
+
+// TraceID returns the trace's 128-bit identity (zero on a nil tracer).
+func (t *Tracer) TraceID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.traceID
+}
 
 // Start opens a root span. Finish it like any other span.
 func (t *Tracer) Start(name string) *Span {
@@ -53,6 +73,7 @@ func (t *Tracer) newSpan(name string, parent int64) *Span {
 		tracer:     t,
 		parent:     parent,
 		name:       name,
+		sid:        NewSpanID(),
 		start:      now,
 		startAlloc: heapAllocs(),
 	}
@@ -68,21 +89,33 @@ func (t *Tracer) newSpan(name string, parent int64) *Span {
 }
 
 // Span is one timed stage. Counters accumulate domain quantities (clocks
-// renamed, false paths added, …). All methods are nil-safe.
+// renamed, false paths added, …); attributes carry string-valued
+// identity (the merged mode's name, the design). All methods are
+// nil-safe.
 type Span struct {
 	tracer *Tracer
 	id     int64
 	parent int64
 	name   string
+	sid    SpanID
 	start  time.Time
 
 	startAlloc uint64
 
 	mu       sync.Mutex
 	counters map[string]int64
+	attrs    map[string]string
 	finished bool
 	end      time.Time
 	endAlloc uint64
+}
+
+// SpanID returns the span's 64-bit identity (zero on a nil span).
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.sid
 }
 
 // Child opens a sub-span of s.
@@ -103,6 +136,20 @@ func (s *Span) Add(counter string, delta int64) {
 		s.counters = map[string]int64{}
 	}
 	s.counters[counter] += delta
+	s.mu.Unlock()
+}
+
+// SetAttr records a string-valued attribute on the span. Last write per
+// key wins.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
 	s.mu.Unlock()
 }
 
@@ -127,14 +174,19 @@ func (s *Span) Finish() {
 // concurrently running spans each see the sum of all goroutines' work —
 // an upper bound, exact only for serial stages.
 type SpanView struct {
-	ID         int64            `json:"id"`
-	Name       string           `json:"name"`
-	StartNS    int64            `json:"start_ns"` // relative to the trace origin
-	DurationNS int64            `json:"duration_ns"`
-	AllocBytes int64            `json:"alloc_bytes"`
-	Finished   bool             `json:"finished"`
-	Counters   map[string]int64 `json:"counters,omitempty"`
-	Children   []*SpanView      `json:"children,omitempty"`
+	ID           int64             `json:"id"`
+	SpanID       string            `json:"span_id,omitempty"`
+	ParentSpanID string            `json:"parent_span_id,omitempty"`
+	Name         string            `json:"name"`
+	StartNS      int64             `json:"start_ns"` // relative to the trace origin
+	StartUnixNS  int64             `json:"start_unix_ns,omitempty"`
+	EndUnixNS    int64             `json:"end_unix_ns,omitempty"`
+	DurationNS   int64             `json:"duration_ns"`
+	AllocBytes   int64             `json:"alloc_bytes"`
+	Finished     bool              `json:"finished"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+	Counters     map[string]int64  `json:"counters,omitempty"`
+	Children     []*SpanView       `json:"children,omitempty"`
 }
 
 // Tree snapshots the span forest: root spans in start order with children
@@ -155,19 +207,28 @@ func (t *Tracer) Tree() []*SpanView {
 	for _, s := range spans {
 		s.mu.Lock()
 		v := &SpanView{
-			ID:       s.id,
-			Name:     s.name,
-			StartNS:  s.start.Sub(origin).Nanoseconds(),
-			Finished: s.finished,
+			ID:          s.id,
+			SpanID:      s.sid.String(),
+			Name:        s.name,
+			StartNS:     s.start.Sub(origin).Nanoseconds(),
+			StartUnixNS: s.start.UnixNano(),
+			Finished:    s.finished,
 		}
 		if s.finished {
 			v.DurationNS = s.end.Sub(s.start).Nanoseconds()
+			v.EndUnixNS = s.end.UnixNano()
 			v.AllocBytes = int64(s.endAlloc - s.startAlloc)
 		}
 		if len(s.counters) > 0 {
 			v.Counters = make(map[string]int64, len(s.counters))
 			for k, c := range s.counters {
 				v.Counters[k] = c
+			}
+		}
+		if len(s.attrs) > 0 {
+			v.Attrs = make(map[string]string, len(s.attrs))
+			for k, a := range s.attrs {
+				v.Attrs[k] = a
 			}
 		}
 		s.mu.Unlock()
@@ -177,6 +238,7 @@ func (t *Tracer) Tree() []*SpanView {
 	for _, s := range spans {
 		v := views[s.id]
 		if parent, ok := views[s.parent]; ok && s.parent != s.id {
+			v.ParentSpanID = parent.SpanID
 			parent.Children = append(parent.Children, v)
 		} else {
 			roots = append(roots, v)

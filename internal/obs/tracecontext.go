@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+)
+
+// TraceID is the 128-bit identity one trace carries across processes —
+// the W3C Trace Context trace-id. The zero value is invalid per the
+// spec and doubles as "no trace id assigned".
+type TraceID [16]byte
+
+// SpanID is the 64-bit identity of one span within a trace — the W3C
+// Trace Context parent-id. The zero value is invalid.
+type SpanID [8]byte
+
+// IsValid reports whether the id is non-zero (the W3C validity rule).
+func (t TraceID) IsValid() bool { return t != TraceID{} }
+
+// String renders the id as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsValid reports whether the id is non-zero.
+func (s SpanID) IsValid() bool { return s != SpanID{} }
+
+// String renders the id as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// NewTraceID returns a random valid trace id. math/rand/v2's global
+// generator is seeded from OS entropy and safe for concurrent use;
+// trace ids need uniqueness, not unpredictability.
+func NewTraceID() TraceID {
+	var t TraceID
+	for !t.IsValid() {
+		a, b := rand.Uint64(), rand.Uint64()
+		for i := 0; i < 8; i++ {
+			t[i] = byte(a >> (8 * i))
+			t[8+i] = byte(b >> (8 * i))
+		}
+	}
+	return t
+}
+
+// NewSpanID returns a random valid span id.
+func NewSpanID() SpanID {
+	var s SpanID
+	for !s.IsValid() {
+		v := rand.Uint64()
+		for i := 0; i < 8; i++ {
+			s[i] = byte(v >> (8 * i))
+		}
+	}
+	return s
+}
+
+// ParseTraceID decodes 32 hex digits into a TraceID.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, fmt.Errorf("trace id %q: want 32 hex digits", s)
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return TraceID{}, fmt.Errorf("trace id %q: %w", s, err)
+	}
+	if !t.IsValid() {
+		return TraceID{}, fmt.Errorf("trace id %q: all-zero ids are invalid", s)
+	}
+	return t, nil
+}
+
+// ParseSpanID decodes 16 hex digits into a SpanID.
+func ParseSpanID(s string) (SpanID, error) {
+	var id SpanID
+	if len(s) != 16 {
+		return id, fmt.Errorf("span id %q: want 16 hex digits", s)
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return SpanID{}, fmt.Errorf("span id %q: %w", s, err)
+	}
+	if !id.IsValid() {
+		return SpanID{}, fmt.Errorf("span id %q: all-zero ids are invalid", s)
+	}
+	return id, nil
+}
+
+// ParseTraceparent parses a W3C Trace Context traceparent header
+// (version 00: "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>").
+// Unknown future versions are accepted when they carry the version-00
+// prefix fields, per the spec's forward-compatibility rule.
+func ParseTraceparent(header string) (TraceID, SpanID, error) {
+	if len(header) < 55 {
+		return TraceID{}, SpanID{}, fmt.Errorf("traceparent %q: too short", header)
+	}
+	if header[2] != '-' || header[35] != '-' || header[52] != '-' {
+		return TraceID{}, SpanID{}, fmt.Errorf("traceparent %q: malformed delimiters", header)
+	}
+	version := header[:2]
+	if version == "ff" {
+		return TraceID{}, SpanID{}, fmt.Errorf("traceparent %q: version ff is forbidden", header)
+	}
+	if version == "00" && len(header) != 55 {
+		return TraceID{}, SpanID{}, fmt.Errorf("traceparent %q: version 00 must be exactly 55 bytes", header)
+	}
+	traceID, err := ParseTraceID(header[3:35])
+	if err != nil {
+		return TraceID{}, SpanID{}, err
+	}
+	spanID, err := ParseSpanID(header[36:52])
+	if err != nil {
+		return TraceID{}, SpanID{}, err
+	}
+	if _, err := hex.DecodeString(header[53:55]); err != nil {
+		return TraceID{}, SpanID{}, fmt.Errorf("traceparent %q: bad flags", header)
+	}
+	return traceID, spanID, nil
+}
+
+// FormatTraceparent renders a version-00 traceparent header with the
+// sampled flag set (everything this process traces is recorded).
+func FormatTraceparent(traceID TraceID, spanID SpanID) string {
+	return "00-" + traceID.String() + "-" + spanID.String() + "-01"
+}

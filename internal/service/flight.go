@@ -1,0 +1,474 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"modemerge/internal/obs"
+)
+
+// The merge flight recorder captures a post-mortem bundle — span tree,
+// stage counters, goroutine dump and (when the job was still running at
+// the latency threshold) a CPU profile — for jobs that run slow, fail or
+// panic. Recordings land in a bounded on-disk ring and are served at
+// GET /v2/flights and GET /v2/jobs/{id}/flight.
+//
+// Capture is strictly off the result path: the watchdog samples the
+// process while the job runs (profiling is free-running and changes no
+// merge state), and the recording is written only after the job is
+// already terminal, so a recording can never delay or alter a result.
+
+// FlightConfig tunes the flight recorder. The zero value (empty Dir)
+// disables recording entirely.
+type FlightConfig struct {
+	// Dir is the recording ring's directory; one subdirectory per flight.
+	// Empty disables the recorder.
+	Dir string
+	// LatencyThreshold marks a job slow: jobs still running this long
+	// after start get a mid-flight CPU profile + goroutine dump, and jobs
+	// whose total elapsed time exceeds it are recorded. Default 30s.
+	LatencyThreshold time.Duration
+	// KeepLast bounds the ring: at most this many recordings on disk.
+	// Default 16.
+	KeepLast int
+	// KeepSlowest protects the N slowest recordings (by elapsed time)
+	// from eviction, so one burst of mildly-slow jobs cannot flush the
+	// pathological outlier you actually want to inspect. Clamped below
+	// KeepLast. Default 4.
+	KeepSlowest int
+	// ProfileWindow is how long the watchdog's CPU profile runs.
+	// Default 2s.
+	ProfileWindow time.Duration
+}
+
+func (c FlightConfig) withDefaults() FlightConfig {
+	if c.LatencyThreshold <= 0 {
+		c.LatencyThreshold = 30 * time.Second
+	}
+	if c.KeepLast <= 0 {
+		c.KeepLast = 16
+	}
+	if c.KeepSlowest <= 0 {
+		c.KeepSlowest = 4
+	}
+	if c.KeepSlowest >= c.KeepLast {
+		c.KeepSlowest = c.KeepLast - 1
+	}
+	if c.ProfileWindow <= 0 {
+		c.ProfileWindow = 2 * time.Second
+	}
+	return c
+}
+
+// FlightRecord is the flight.json payload of one recording — everything
+// needed to diagnose the job after the fact without the process that ran
+// it.
+type FlightRecord struct {
+	JobID      string    `json:"job_id"`
+	TraceID    string    `json:"trace_id,omitempty"`
+	Reason     string    `json:"reason"` // slow | failed | panic
+	Status     Status    `json:"status"`
+	Error      string    `json:"error,omitempty"`
+	ElapsedMS  float64   `json:"elapsed_ms"`
+	CapturedAt time.Time `json:"captured_at"`
+	// StagesMS mirrors JobView.StagesMS: per-stage wall time in ms.
+	StagesMS map[string]string `json:"stage_times_ms,omitempty"`
+	// Spans is the job's full span tree at capture time.
+	Spans []*obs.SpanView `json:"spans,omitempty"`
+	// Panic and PanicStack are set when the worker recovered a panic.
+	Panic      string `json:"panic,omitempty"`
+	PanicStack string `json:"panic_stack,omitempty"`
+	// GoroutineDump is the full-process goroutine dump taken by the
+	// watchdog while the job was still running (empty when the job
+	// finished before the latency threshold).
+	GoroutineDump string `json:"goroutine_dump,omitempty"`
+	// HasCPUProfile reports whether cpu.pprof sits next to flight.json.
+	HasCPUProfile bool `json:"has_cpu_profile"`
+}
+
+// FlightSummary is one row of GET /v2/flights.
+type FlightSummary struct {
+	JobID      string    `json:"job_id"`
+	TraceID    string    `json:"trace_id,omitempty"`
+	Reason     string    `json:"reason"`
+	Status     Status    `json:"status"`
+	ElapsedMS  float64   `json:"elapsed_ms"`
+	CapturedAt time.Time `json:"captured_at"`
+}
+
+// cpuProfileActive guards runtime/pprof.StartCPUProfile, which is
+// process-global: only one profile can run at a time, so concurrent slow
+// jobs share one capture window and the losers skip profiling.
+var cpuProfileActive atomic.Bool
+
+// flightWatch is the per-job watchdog state while the job runs.
+type flightWatch struct {
+	timer *time.Timer
+
+	mu       sync.Mutex
+	armed    bool          // the watchdog fired and a capture is under way
+	captured chan struct{} // closed when the capture completes; nil until armed
+
+	goroutines []byte
+	profile    []byte
+}
+
+// FlightRecorder owns the on-disk recording ring. All methods are safe
+// on a nil receiver (recording disabled).
+type FlightRecorder struct {
+	cfg    FlightConfig
+	logger *slog.Logger
+
+	mu      sync.Mutex
+	watches map[string]*flightWatch // job id → active watchdog
+	ring    []flightEntry           // recordings on disk, oldest first
+}
+
+type flightEntry struct {
+	jobID     string
+	elapsedMS float64
+}
+
+// NewFlightRecorder opens (creating if needed) the recording directory
+// and rebuilds the ring index from any flight.json files already there,
+// so the ring's bound survives restarts.
+func NewFlightRecorder(cfg FlightConfig, logger *slog.Logger) (*FlightRecorder, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	fr := &FlightRecorder{cfg: cfg, logger: logger, watches: map[string]*flightWatch{}}
+
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	type onDisk struct {
+		entry      flightEntry
+		capturedAt time.Time
+	}
+	var existing []onDisk
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rec, err := fr.load(e.Name())
+		if err != nil {
+			continue // not a recording (or corrupt); leave it alone
+		}
+		existing = append(existing, onDisk{
+			entry:      flightEntry{jobID: rec.JobID, elapsedMS: rec.ElapsedMS},
+			capturedAt: rec.CapturedAt,
+		})
+	}
+	sort.Slice(existing, func(i, j int) bool {
+		return existing[i].capturedAt.Before(existing[j].capturedAt)
+	})
+	for _, d := range existing {
+		fr.ring = append(fr.ring, d.entry)
+	}
+	fr.evictLocked()
+	return fr, nil
+}
+
+// watch arms the job's watchdog: if the job is still running when the
+// latency threshold passes, capture a goroutine dump and a CPU profile
+// while the interesting behavior is actually happening. The returned
+// stop function disarms the timer (capture already in flight completes).
+func (fr *FlightRecorder) watch(job *Job) func() {
+	if fr == nil {
+		return func() {}
+	}
+	w := &flightWatch{}
+	w.timer = time.AfterFunc(fr.cfg.LatencyThreshold, func() { fr.capture(job, w) })
+	fr.mu.Lock()
+	fr.watches[job.ID] = w
+	fr.mu.Unlock()
+	return func() {
+		w.timer.Stop()
+		fr.mu.Lock()
+		delete(fr.watches, job.ID)
+		fr.mu.Unlock()
+	}
+}
+
+// capture runs on the watchdog timer's goroutine at the latency
+// threshold: the job is officially slow, so sample the process now.
+func (fr *FlightRecorder) capture(job *Job, w *flightWatch) {
+	w.mu.Lock()
+	w.armed = true
+	w.captured = make(chan struct{})
+	w.mu.Unlock()
+	defer close(w.captured)
+
+	var dump bytes.Buffer
+	if p := pprof.Lookup("goroutine"); p != nil {
+		_ = p.WriteTo(&dump, 2)
+	}
+
+	var profile []byte
+	if cpuProfileActive.CompareAndSwap(false, true) {
+		var buf bytes.Buffer
+		if err := pprof.StartCPUProfile(&buf); err == nil {
+			timer := time.NewTimer(fr.cfg.ProfileWindow)
+			select {
+			case <-timer.C:
+			case <-job.Done():
+				// Job finished mid-window: stop early so the profile
+				// covers the job, not the idle pool after it.
+				timer.Stop()
+			}
+			pprof.StopCPUProfile()
+			profile = buf.Bytes()
+		}
+		cpuProfileActive.Store(false)
+	}
+
+	w.mu.Lock()
+	w.goroutines = dump.Bytes()
+	w.profile = profile
+	w.mu.Unlock()
+}
+
+// observe runs after job is terminal (from finishJob) and decides
+// whether to keep a recording. Reasons, most specific first: panic,
+// failed, slow. Jobs that finished fine under the threshold leave
+// nothing behind.
+func (fr *FlightRecorder) observe(job *Job) {
+	if fr == nil {
+		return
+	}
+
+	job.mu.Lock()
+	status := job.status
+	jobErr := job.err
+	started := job.started
+	finished := job.finished
+	panicMsg := job.panicMsg
+	panicStack := job.panicStack
+	job.mu.Unlock()
+
+	var elapsed time.Duration
+	if !started.IsZero() && !finished.IsZero() {
+		elapsed = finished.Sub(started)
+	}
+
+	var reason string
+	switch {
+	case panicMsg != "":
+		reason = "panic"
+	case status == StatusFailed:
+		reason = "failed"
+	case !started.IsZero() && elapsed >= fr.cfg.LatencyThreshold:
+		reason = "slow"
+	default:
+		return
+	}
+
+	// Collect whatever the watchdog captured. If the capture is still
+	// mid-window, wait for it — this blocks only the recording path of an
+	// already-terminal job, never a result.
+	var goroutines, profile []byte
+	fr.mu.Lock()
+	w := fr.watches[job.ID]
+	fr.mu.Unlock()
+	if w != nil {
+		w.mu.Lock()
+		armed, captured := w.armed, w.captured
+		w.mu.Unlock()
+		if armed {
+			select {
+			case <-captured:
+			case <-time.After(fr.cfg.ProfileWindow + 5*time.Second):
+			}
+			w.mu.Lock()
+			goroutines, profile = w.goroutines, w.profile
+			w.mu.Unlock()
+		}
+	}
+
+	view := job.View()
+	rec := &FlightRecord{
+		JobID:         job.ID,
+		TraceID:       view.TraceID,
+		Reason:        reason,
+		Status:        status,
+		Error:         jobErr,
+		ElapsedMS:     float64(elapsed) / float64(time.Millisecond),
+		CapturedAt:    time.Now().UTC(),
+		StagesMS:      view.StagesMS,
+		Spans:         job.TraceTree(),
+		Panic:         panicMsg,
+		PanicStack:    string(panicStack),
+		GoroutineDump: string(goroutines),
+		HasCPUProfile: len(profile) > 0,
+	}
+	if rec.GoroutineDump == "" && len(panicStack) > 0 {
+		// The watchdog never fired (instant panic): the recovered stack is
+		// the best dump available.
+		rec.GoroutineDump = string(panicStack)
+	}
+
+	if err := fr.store(rec, profile); err != nil {
+		fr.logger.Warn("flight recording failed",
+			"job", job.ID, "reason", reason, "error", err)
+		return
+	}
+	fr.logger.Info("flight recorded",
+		"job", job.ID, "trace_id", rec.TraceID, "reason", reason,
+		"elapsed_ms", strconv.FormatFloat(rec.ElapsedMS, 'f', 1, 64),
+		"cpu_profile", rec.HasCPUProfile)
+}
+
+// store writes the recording's directory and applies the ring bound.
+func (fr *FlightRecorder) store(rec *FlightRecord, profile []byte) error {
+	if !idSafe(rec.JobID) {
+		return fmt.Errorf("unsafe job id %q", rec.JobID)
+	}
+	dir := filepath.Join(fr.cfg.Dir, rec.JobID)
+	tmp := dir + ".tmp"
+	if err := os.RemoveAll(tmp); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "flight.json"), data, 0o644); err != nil {
+		return err
+	}
+	if len(profile) > 0 {
+		if err := os.WriteFile(filepath.Join(tmp, "cpu.pprof"), profile, 0o644); err != nil {
+			return err
+		}
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		return err
+	}
+
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	for i, e := range fr.ring {
+		if e.jobID == rec.JobID {
+			// Re-recording one job (resubmitted id after restart): replace
+			// in place, no growth.
+			fr.ring[i].elapsedMS = rec.ElapsedMS
+			return nil
+		}
+	}
+	fr.ring = append(fr.ring, flightEntry{jobID: rec.JobID, elapsedMS: rec.ElapsedMS})
+	fr.evictLocked()
+	return nil
+}
+
+// evictLocked enforces the ring bound: at most KeepLast recordings, and
+// among them the KeepSlowest slowest are immune, so eviction takes the
+// oldest recording outside the slow set. Callers hold fr.mu.
+func (fr *FlightRecorder) evictLocked() {
+	for len(fr.ring) > fr.cfg.KeepLast {
+		protected := map[string]bool{}
+		bySlow := make([]flightEntry, len(fr.ring))
+		copy(bySlow, fr.ring)
+		sort.Slice(bySlow, func(i, j int) bool { return bySlow[i].elapsedMS > bySlow[j].elapsedMS })
+		for i := 0; i < fr.cfg.KeepSlowest && i < len(bySlow); i++ {
+			protected[bySlow[i].jobID] = true
+		}
+		victim := -1
+		for i, e := range fr.ring {
+			if !protected[e.jobID] {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			victim = 0 // KeepSlowest ≥ ring size cannot happen, but stay safe
+		}
+		id := fr.ring[victim].jobID
+		fr.ring = append(fr.ring[:victim], fr.ring[victim+1:]...)
+		if err := os.RemoveAll(filepath.Join(fr.cfg.Dir, id)); err != nil {
+			fr.logger.Warn("flight eviction failed", "job", id, "error", err)
+		}
+	}
+}
+
+// load reads one recording's flight.json from disk.
+func (fr *FlightRecorder) load(jobID string) (*FlightRecord, error) {
+	data, err := os.ReadFile(filepath.Join(fr.cfg.Dir, jobID, "flight.json"))
+	if err != nil {
+		return nil, err
+	}
+	var rec FlightRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// List returns summaries of every recording in the ring, newest first.
+func (fr *FlightRecorder) List() []FlightSummary {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	ids := make([]string, len(fr.ring))
+	for i, e := range fr.ring {
+		ids[i] = e.jobID
+	}
+	fr.mu.Unlock()
+	out := make([]FlightSummary, 0, len(ids))
+	for i := len(ids) - 1; i >= 0; i-- {
+		rec, err := fr.load(ids[i])
+		if err != nil {
+			continue
+		}
+		out = append(out, FlightSummary{
+			JobID:      rec.JobID,
+			TraceID:    rec.TraceID,
+			Reason:     rec.Reason,
+			Status:     rec.Status,
+			ElapsedMS:  rec.ElapsedMS,
+			CapturedAt: rec.CapturedAt,
+		})
+	}
+	return out
+}
+
+// Get returns one job's recording, or false when none exists.
+func (fr *FlightRecorder) Get(jobID string) (*FlightRecord, bool) {
+	if fr == nil || !idSafe(jobID) {
+		return nil, false
+	}
+	fr.mu.Lock()
+	found := false
+	for _, e := range fr.ring {
+		if e.jobID == jobID {
+			found = true
+			break
+		}
+	}
+	fr.mu.Unlock()
+	if !found {
+		return nil, false
+	}
+	rec, err := fr.load(jobID)
+	if err != nil {
+		return nil, false
+	}
+	return rec, true
+}

@@ -1,0 +1,367 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"modemerge/internal/obs"
+)
+
+// flightDir returns the recording directory for one test. CI sets
+// MODEMERGE_FLIGHT_DIR so recordings survive the run and can be
+// uploaded as artifacts when the suite fails; locally it is a temp dir.
+func flightDir(t *testing.T) string {
+	t.Helper()
+	if base := os.Getenv("MODEMERGE_FLIGHT_DIR"); base != "" {
+		dir := filepath.Join(base, t.Name())
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	return t.TempDir()
+}
+
+// pollFlight polls GET /v2/jobs/{id}/flight until the recording appears
+// (it is written strictly after the job turns terminal, so the Done
+// channel alone is not enough).
+func pollFlight(t *testing.T, baseURL, jobID string) *FlightRecord {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(baseURL + "/v2/jobs/" + jobID + "/flight")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			var rec FlightRecord
+			decodeBody(t, resp, http.StatusOK, &rec)
+			return &rec
+		}
+		resp.Body.Close()
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("no flight recording for job %s", jobID)
+	return nil
+}
+
+// TestTraceparentEndToEnd submits over /v2 with a W3C traceparent header
+// and verifies the trace id follows the job everywhere: the submit
+// response (header and body), the job view, the exported NDJSON span
+// records, and the structured log lines.
+func TestTraceparentEndToEnd(t *testing.T) {
+	ndjson := filepath.Join(t.TempDir(), "spans.ndjson")
+	exporter, err := obs.NewFileExporter(ndjson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exporter.Close()
+
+	var logBuf bytes.Buffer
+	var logMu sync.Mutex
+	logger := slog.New(slog.NewTextHandler(&lockedWriter{mu: &logMu, w: &logBuf}, nil))
+	s := newTestServer(t, Config{Workers: 1, Logger: logger, SpanExporter: exporter})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	body, _ := json.Marshal(quickRequest())
+	req, _ := http.NewRequest("POST", ts.URL+"/v2/merge", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-"+traceID+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("traceparent"); !strings.Contains(got, traceID) {
+		t.Errorf("response traceparent = %q, want trace id %s", got, traceID)
+	}
+	var submitted submitResponseV2
+	decodeBody(t, resp, http.StatusAccepted, &submitted)
+	if submitted.TraceID != traceID {
+		t.Fatalf("submit trace_id = %q, want %q", submitted.TraceID, traceID)
+	}
+
+	job, ok := s.Job(submitted.ID)
+	if !ok {
+		t.Fatalf("job %s not found", submitted.ID)
+	}
+	waitDone(t, job)
+	if got := job.TraceID().String(); got != traceID {
+		t.Errorf("job trace id = %s, want %s", got, traceID)
+	}
+
+	// Export happens after the job is terminal; poll the NDJSON file.
+	var records []obs.SpanRecord
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && len(records) == 0 {
+		records = records[:0]
+		if f, err := os.Open(ndjson); err == nil {
+			sc := bufio.NewScanner(f)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			for sc.Scan() {
+				var rec obs.SpanRecord
+				if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+					t.Fatalf("bad NDJSON line: %v", err)
+				}
+				records = append(records, rec)
+			}
+			f.Close()
+		}
+		if len(records) == 0 {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if len(records) == 0 {
+		t.Fatal("no span records exported")
+	}
+	for _, rec := range records {
+		if rec.TraceID != traceID {
+			t.Errorf("exported span %s has trace id %s, want %s", rec.Name, rec.TraceID, traceID)
+		}
+	}
+
+	logs := func() string {
+		logMu.Lock()
+		defer logMu.Unlock()
+		return logBuf.String()
+	}()
+	for _, line := range strings.Split(logs, "\n") {
+		if strings.Contains(line, "job="+submitted.ID) && !strings.Contains(line, "trace_id="+traceID) {
+			t.Errorf("log line for the job lacks its trace id: %s", line)
+		}
+	}
+	if !strings.Contains(logs, "trace_id="+traceID) {
+		t.Errorf("no log line carries trace_id=%s; logs:\n%s", traceID, logs)
+	}
+}
+
+// TestTraceparentMalformedGetsFreshID: a garbage traceparent header must
+// not be adopted — the job gets a fresh valid trace id and the response
+// still carries a well-formed traceparent.
+func TestTraceparentMalformedGetsFreshID(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(quickRequest())
+	req, _ := http.NewRequest("POST", ts.URL+"/v2/merge", bytes.NewReader(body))
+	req.Header.Set("traceparent", "00-zzzz-not-a-trace-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := obs.ParseTraceparent(resp.Header.Get("traceparent")); err != nil {
+		t.Errorf("response traceparent %q is malformed: %v", resp.Header.Get("traceparent"), err)
+	}
+	var submitted submitResponseV2
+	decodeBody(t, resp, http.StatusAccepted, &submitted)
+	if _, err := obs.ParseTraceID(submitted.TraceID); err != nil {
+		t.Errorf("submit trace_id %q invalid: %v", submitted.TraceID, err)
+	}
+}
+
+// TestFlightRecorderSlowJob: a job crossing the latency threshold gets a
+// retrievable recording with span tree, mid-flight goroutine dump and
+// CPU profile.
+func TestFlightRecorderSlowJob(t *testing.T) {
+	dir := flightDir(t)
+	s := newTestServer(t, Config{
+		Workers: 1,
+		Flight: FlightConfig{
+			Dir:              dir,
+			LatencyThreshold: time.Millisecond,
+			ProfileWindow:    50 * time.Millisecond,
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := quickRequest()
+	req.Verilog = bigVerilog(1500)
+	job, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if got := job.Status(); got != StatusDone {
+		t.Fatalf("job status = %s, want done", got)
+	}
+
+	rec := pollFlight(t, ts.URL, job.ID)
+	if rec.Reason != "slow" {
+		t.Errorf("reason = %q, want slow", rec.Reason)
+	}
+	if rec.TraceID != job.TraceID().String() {
+		t.Errorf("flight trace id = %s, want %s", rec.TraceID, job.TraceID())
+	}
+	if len(rec.Spans) == 0 {
+		t.Error("flight has no span tree")
+	}
+	if rec.GoroutineDump == "" {
+		t.Error("flight has no goroutine dump")
+	} else if !strings.Contains(rec.GoroutineDump, "goroutine") {
+		t.Errorf("goroutine dump looks wrong: %.100s", rec.GoroutineDump)
+	}
+	if !rec.HasCPUProfile {
+		t.Error("flight has no CPU profile")
+	} else if fi, err := os.Stat(filepath.Join(dir, job.ID, "cpu.pprof")); err != nil || fi.Size() == 0 {
+		t.Errorf("cpu.pprof missing or empty on disk: %v", err)
+	}
+
+	// The recording also shows up in the ring listing.
+	resp, err := http.Get(ts.URL + "/v2/flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list flightsResponse
+	decodeBody(t, resp, http.StatusOK, &list)
+	found := false
+	for _, f := range list.Flights {
+		if f.JobID == job.ID && f.Reason == "slow" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("job %s missing from /v2/flights: %+v", job.ID, list.Flights)
+	}
+}
+
+// TestFlightRecorderPanicJob: a panicking worker leaves a recording with
+// the recovered panic value and stack.
+func TestFlightRecorderPanicJob(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers: 1,
+		Flight:  FlightConfig{Dir: flightDir(t)},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := quickRequest()
+	req.testPanic = true
+	job, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if got := job.Status(); got != StatusFailed {
+		t.Fatalf("job status = %s, want failed", got)
+	}
+
+	rec := pollFlight(t, ts.URL, job.ID)
+	if rec.Reason != "panic" {
+		t.Errorf("reason = %q, want panic", rec.Reason)
+	}
+	if !strings.Contains(rec.Panic, "test-injected panic") {
+		t.Errorf("panic value = %q, want test-injected panic", rec.Panic)
+	}
+	if !strings.Contains(rec.PanicStack, "runJob") {
+		t.Errorf("panic stack does not name runJob: %.200s", rec.PanicStack)
+	}
+	if rec.GoroutineDump == "" {
+		t.Error("flight has no goroutine dump (panic stack fallback expected)")
+	}
+}
+
+// TestFlightRingBound churns many recordings through a small ring and
+// checks the bound holds on disk and in memory, with the slowest
+// recordings protected from eviction.
+func TestFlightRingBound(t *testing.T) {
+	dir := t.TempDir()
+	fr, err := NewFlightRecorder(FlightConfig{
+		Dir: dir, KeepLast: 5, KeepSlowest: 2,
+	}, slog.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 40; i++ {
+		elapsed := float64(i % 7) // ids j…35 (5000ms) etc. vary slowness
+		if i == 3 {
+			elapsed = 5000 // the outlier eviction must never flush
+		}
+		rec := &FlightRecord{
+			JobID:      fmt.Sprintf("j%06d", i),
+			Reason:     "slow",
+			Status:     StatusDone,
+			ElapsedMS:  elapsed,
+			CapturedAt: time.Now().UTC(),
+		}
+		if err := fr.store(rec, nil); err != nil {
+			t.Fatal(err)
+		}
+
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs := 0
+		for _, e := range entries {
+			if e.IsDir() {
+				dirs++
+			}
+		}
+		if dirs > 5 {
+			t.Fatalf("after %d stores: %d recordings on disk, ring bound is 5", i+1, dirs)
+		}
+	}
+
+	if _, ok := fr.Get("j000003"); !ok {
+		t.Error("the slowest recording (j000003, 5000ms) was evicted")
+	}
+	if got := len(fr.List()); got > 5 {
+		t.Errorf("ring lists %d recordings, bound is 5", got)
+	}
+}
+
+// TestFlightRecorderDeterminism: merged output must be byte-identical
+// with the recorder and exporter on versus fully off.
+func TestFlightRecorderDeterminism(t *testing.T) {
+	run := func(cfg Config) *Result {
+		s := newTestServer(t, cfg)
+		req := quickRequest()
+		req.Verilog = bigVerilog(300)
+		job, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, job)
+		if job.Status() != StatusDone {
+			t.Fatalf("job status = %s, want done", job.Status())
+		}
+		return job.Result()
+	}
+
+	exporter, err := obs.NewFileExporter(filepath.Join(t.TempDir(), "spans.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exporter.Close()
+	instrumented := run(Config{
+		Workers:      1,
+		SpanExporter: exporter,
+		Flight: FlightConfig{
+			Dir:              t.TempDir(),
+			LatencyThreshold: time.Millisecond,
+			ProfileWindow:    20 * time.Millisecond,
+		},
+	})
+	plain := run(Config{Workers: 1})
+
+	a, _ := json.Marshal(instrumented.Merged)
+	b, _ := json.Marshal(plain.Merged)
+	if !bytes.Equal(a, b) {
+		t.Errorf("merged output differs with recorder on:\n%s\nvs off:\n%s", a, b)
+	}
+}

@@ -23,8 +23,13 @@ const maxRequestBytes = 32 << 20
 //	GET  /v2/jobs/{id}/result finished result (409 until done)
 //	GET  /v2/jobs/{id}/trace  the job's span tree (stage timings, counters)
 //	POST /v2/jobs/{id}/cancel request cancellation (409 when already terminal)
+//	GET  /v2/jobs/{id}/flight the job's flight recording (404 when none)
+//	GET  /v2/flights          the flight recorder's ring, newest first
 //	GET  /v2/stats            this server's counters and stage timings
 //
+// Every /v2 route speaks W3C Trace Context: a valid traceparent request
+// header's trace id is adopted (jobs join the caller's trace) and every
+// response carries a traceparent header.
 // Errors on /v2 use a uniform envelope with stable codes (see http_v2.go).
 // The /v1 routes remain as a deprecated thin shim with their original
 // response shapes and send a Deprecation header. Unversioned:

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -55,6 +56,8 @@ var v2Routes = []string{
 	"GET /v2/jobs/{id}/result",
 	"GET /v2/jobs/{id}/trace",
 	"POST /v2/jobs/{id}/cancel",
+	"GET /v2/jobs/{id}/flight",
+	"GET /v2/flights",
 	"GET /v2/stats",
 }
 
@@ -70,25 +73,59 @@ func (s *Server) registerV2(mux *http.ServeMux) {
 		"GET /v2/jobs/{id}/result":  s.handleResultV2,
 		"GET /v2/jobs/{id}/trace":   s.handleTraceV2,
 		"POST /v2/jobs/{id}/cancel": s.handleCancelV2,
+		"GET /v2/jobs/{id}/flight":  s.handleFlightV2,
+		"GET /v2/flights":           s.handleFlightsV2,
 		"GET /v2/stats":             s.handleStats,
 	}
 	for _, pattern := range v2Routes {
-		mux.HandleFunc(pattern, handlers[pattern])
+		mux.HandleFunc(pattern, withTraceContext(handlers[pattern]))
 	}
 }
 
+// traceCtxKey keys the ingested W3C trace id in the request context.
+type traceCtxKey struct{}
+
+// withTraceContext implements W3C Trace Context on every /v2 route: a
+// valid incoming traceparent header's trace id is adopted (so the job
+// joins the caller's distributed trace), an absent or malformed header
+// gets a fresh id, and the response always carries a traceparent header
+// naming the trace this server acted in.
+func withTraceContext(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		traceID, _, err := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if err != nil {
+			traceID = obs.NewTraceID()
+		}
+		w.Header().Set("traceparent", obs.FormatTraceparent(traceID, obs.NewSpanID()))
+		ctx := context.WithValue(r.Context(), traceCtxKey{}, traceID)
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// requestTraceID returns the trace id withTraceContext stored on the
+// request (zero when the middleware did not run, e.g. /v1 routes).
+func requestTraceID(r *http.Request) obs.TraceID {
+	id, _ := r.Context().Value(traceCtxKey{}).(obs.TraceID)
+	return id
+}
+
 // submitResponseV2 extends the v1 submit payload with the request's
-// content digest so clients can correlate jobs with inputs.
+// content digest and the job's trace id so clients can correlate jobs
+// with inputs and with their own distributed traces.
 type submitResponseV2 struct {
-	ID     string `json:"id"`
-	Status Status `json:"status"`
-	Cached bool   `json:"cached"`
-	Digest string `json:"digest"`
+	ID      string `json:"id"`
+	Status  Status `json:"status"`
+	Cached  bool   `json:"cached"`
+	Digest  string `json:"digest"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func submitViewV2(job *Job) submitResponseV2 {
 	view := job.View()
-	return submitResponseV2{ID: job.ID, Status: view.Status, Cached: view.CacheHit, Digest: view.Digest}
+	return submitResponseV2{
+		ID: job.ID, Status: view.Status, Cached: view.CacheHit,
+		Digest: view.Digest, TraceID: view.TraceID,
+	}
 }
 
 // idemEntry records one Idempotency-Key's first use.
@@ -137,7 +174,7 @@ func (s *Server) handleSubmitV2(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	job, err := s.Submit(&req)
+	job, err := s.SubmitTraced(&req, requestTraceID(r))
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -280,6 +317,40 @@ func (s *Server) handleTraceV2(w http.ResponseWriter, r *http.Request) {
 		tree = []*obs.SpanView{}
 	}
 	writeJSON(w, http.StatusOK, traceResponse{ID: job.ID, Status: job.Status(), Trace: tree})
+}
+
+// flightsResponse is the GET /v2/flights payload.
+type flightsResponse struct {
+	Flights []FlightSummary `json:"flights"`
+}
+
+// handleFlightsV2 lists the flight recorder's ring, newest first. A
+// disabled recorder serves an empty list rather than an error, so
+// clients need no capability probe.
+func (s *Server) handleFlightsV2(w http.ResponseWriter, r *http.Request) {
+	flights := s.flights.List()
+	if flights == nil {
+		flights = []FlightSummary{}
+	}
+	writeJSON(w, http.StatusOK, flightsResponse{Flights: flights})
+}
+
+// handleFlightV2 serves one job's flight recording. 404 when the job
+// never triggered a recording (or the recorder is disabled) — the job
+// itself may still exist at GET /v2/jobs/{id}.
+func (s *Server) handleFlightV2(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !idSafe(id) {
+		writeErrorV2(w, http.StatusBadRequest, codeInvalidRequest, "malformed job id", nil)
+		return
+	}
+	rec, ok := s.flights.Get(id)
+	if !ok {
+		writeErrorV2(w, http.StatusNotFound, codeNotFound,
+			"no flight recording for job "+id, map[string]any{"id": id})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
 }
 
 // handleCancelV2 requests cancellation; unlike /v1 (which always accepts)

@@ -55,6 +55,12 @@ type MergeRequest struct {
 	// a worker picks it up. 0 uses the server default; values above the
 	// server maximum are clamped.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// testPanic makes the worker panic right after the tracer is
+	// installed. Unexported so it is unreachable from JSON payloads;
+	// only the flight-recorder tests set it (same pattern as
+	// core.Options.Inject fault injection).
+	testPanic bool
 }
 
 func (r *MergeRequest) validateRequest() error {
@@ -146,6 +152,12 @@ type Job struct {
 	// can detect key reuse across different payloads.
 	digest string
 
+	// traceID is the job's distributed-trace identity, set at submit time
+	// and immutable after: either ingested from the request's W3C
+	// traceparent header or freshly generated. Every span the job records,
+	// every exported span record and every slog line carries it.
+	traceID obs.TraceID
+
 	// req is set before the job is enqueued and read only by the worker.
 	req *MergeRequest
 
@@ -168,6 +180,9 @@ type Job struct {
 	// tracer collects the job's span tree while it executes; it stays
 	// readable after the job finishes (GET /v1/jobs/{id}/trace).
 	tracer *obs.Tracer
+	// panicMsg/panicStack record a worker panic for the flight recorder.
+	panicMsg   string
+	panicStack []byte
 
 	// done closes when the job reaches a terminal state.
 	done chan struct{}
@@ -187,6 +202,9 @@ func newJob(id string, ctx context.Context, cancel context.CancelFunc) *Job {
 
 // Cancel requests cooperative cancellation of the job.
 func (j *Job) Cancel() { j.cancel() }
+
+// TraceID returns the job's distributed-trace identity.
+func (j *Job) TraceID() obs.TraceID { return j.traceID }
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -227,6 +245,15 @@ func (j *Job) addStage(stage string, d time.Duration) {
 func (j *Job) noteStage(stage string) {
 	j.mu.Lock()
 	j.stage = stage
+	j.mu.Unlock()
+}
+
+// notePanic records the panic value and goroutine stack captured by the
+// worker's recover, before the job is marked terminal.
+func (j *Job) notePanic(msg string, stack []byte) {
+	j.mu.Lock()
+	j.panicMsg = msg
+	j.panicStack = stack
 	j.mu.Unlock()
 }
 
@@ -278,6 +305,7 @@ func (j *Job) finish(status Status, result *Result, err error) bool {
 type JobView struct {
 	ID        string            `json:"id"`
 	Digest    string            `json:"digest,omitempty"`
+	TraceID   string            `json:"trace_id,omitempty"`
 	Status    Status            `json:"status"`
 	Error     string            `json:"error,omitempty"`
 	Created   time.Time         `json:"created"`
@@ -299,6 +327,9 @@ func (j *Job) View() JobView {
 		Error:    j.err,
 		Created:  j.created,
 		CacheHit: j.cacheHit,
+	}
+	if j.traceID.IsValid() {
+		v.TraceID = j.traceID.String()
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -3,6 +3,7 @@ package service
 import (
 	"expvar"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,20 @@ import (
 	"modemerge/internal/incr"
 	"modemerge/internal/obs"
 )
+
+// incrHitGranularities fixes the label set of the incremental-cache
+// hit-latency histograms, so every granularity's family exists from the
+// first scrape (zero observations) instead of appearing on first hit.
+var incrHitGranularities = []incr.Granularity{
+	incr.GranContext, incr.GranPair, incr.GranClique, incr.GranETM, incr.GranMergedCtx,
+}
+
+// incrHitBuckets are the hit-latency histogram bounds in seconds. Cache
+// hits are lock-acquire + map-lookup fast paths, so the resolution sits
+// well below a millisecond (with a tail for disk-store promotions).
+var incrHitBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 5e-3, 2.5e-2, 0.1,
+}
 
 // Metrics holds the service counters, per-stage timing aggregates and
 // latency histograms. A Server owns one instance; every update also
@@ -37,6 +52,11 @@ type Metrics struct {
 
 	queueWait *obs.Histogram
 
+	// incrHitHists times incremental-cache hits per granularity. The map
+	// is fixed at construction (all granularities, see
+	// incrHitGranularities), so concurrent Observe needs no lock.
+	incrHitHists map[incr.Granularity]*obs.Histogram
+
 	mu         sync.Mutex
 	stages     map[string]*stageStat
 	stageHists map[string]*obs.Histogram
@@ -60,12 +80,17 @@ func init() {
 }
 
 func newMetrics(parent *Metrics) *Metrics {
-	return &Metrics{
-		parent:     parent,
-		queueWait:  obs.NewHistogram(obs.DurationBuckets...),
-		stages:     map[string]*stageStat{},
-		stageHists: map[string]*obs.Histogram{},
+	m := &Metrics{
+		parent:       parent,
+		queueWait:    obs.NewHistogram(obs.DurationBuckets...),
+		incrHitHists: map[incr.Granularity]*obs.Histogram{},
+		stages:       map[string]*stageStat{},
+		stageHists:   map[string]*obs.Histogram{},
 	}
+	for _, g := range incrHitGranularities {
+		m.incrHitHists[g] = obs.NewHistogram(incrHitBuckets...)
+	}
+	return m
 }
 
 func (m *Metrics) add(c func(*Metrics) *atomic.Int64, delta int64) {
@@ -122,6 +147,19 @@ func (m *Metrics) ObserveQueueWait(d time.Duration) {
 	}
 }
 
+// ObserveIncrHit records one incremental-cache hit's lookup latency.
+// Wired as the cache's hit observer (incr.Cache.SetHitObserver), so it
+// runs inline on the merge workers' hot path — fixed-map lookup plus
+// one atomic histogram update, no locks.
+func (m *Metrics) ObserveIncrHit(g incr.Granularity, d time.Duration) {
+	if h, ok := m.incrHitHists[g]; ok {
+		h.Observe(d.Seconds())
+	}
+	if m.parent != nil {
+		m.parent.ObserveIncrHit(g, d)
+	}
+}
+
 // ObserveStage records one stage execution time.
 func (m *Metrics) ObserveStage(stage string, d time.Duration) {
 	m.mu.Lock()
@@ -162,6 +200,32 @@ type QueueWaitSnapshot struct {
 	AvgMS float64 `json:"avg_ms"`
 }
 
+// RuntimeSnapshot is the Go runtime health section of the stats
+// snapshot: sampled at snapshot time, not accumulated.
+type RuntimeSnapshot struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapInuseBytes uint64  `json:"heap_inuse_bytes"`
+	LastGCPauseMS  float64 `json:"last_gc_pause_ms"`
+	NumGC          uint32  `json:"num_gc"`
+}
+
+// sampleRuntime reads the runtime health gauges. ReadMemStats is a
+// stop-the-world of microseconds — fine at scrape/snapshot frequency,
+// never called on the merge path.
+func sampleRuntime() RuntimeSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	out := RuntimeSnapshot{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapInuseBytes: ms.HeapInuse,
+		NumGC:          ms.NumGC,
+	}
+	if ms.NumGC > 0 {
+		out.LastGCPauseMS = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e6
+	}
+	return out
+}
+
 // StatsSnapshot is the single typed view of the service counters, shared
 // verbatim by GET /v1/stats and the expvar "modemerged" variable so the
 // two surfaces can never drift apart.
@@ -182,6 +246,9 @@ type StatsSnapshot struct {
 
 	MergeParallelism int64 `json:"merge_parallelism"`
 
+	// Runtime samples Go runtime health at snapshot time.
+	Runtime RuntimeSnapshot `json:"runtime"`
+
 	QueueWait QueueWaitSnapshot `json:"queue_wait"`
 	Stages    []StageSnapshot   `json:"stages"`
 }
@@ -189,16 +256,17 @@ type StatsSnapshot struct {
 // Snapshot captures the counters and stage aggregates.
 func (m *Metrics) Snapshot() StatsSnapshot {
 	out := StatsSnapshot{
-		JobsQueued:      m.JobsQueued.Load(),
-		JobsRunning:     m.JobsRunning.Load(),
-		JobsDone:        m.JobsDone.Load(),
-		JobsFailed:      m.JobsFailed.Load(),
-		JobsCanceled:    m.JobsCanceled.Load(),
+		JobsQueued:       m.JobsQueued.Load(),
+		JobsRunning:      m.JobsRunning.Load(),
+		JobsDone:         m.JobsDone.Load(),
+		JobsFailed:       m.JobsFailed.Load(),
+		JobsCanceled:     m.JobsCanceled.Load(),
 		CacheHitsResult:  m.CacheHitsResult.Load(),
 		CacheHitsDesign:  m.CacheHitsDesign.Load(),
 		CacheMisses:      m.CacheMisses.Load(),
 		IncrCache:        m.incrSnapshot(),
 		MergeParallelism: m.mergeParallelism.Load(),
+		Runtime:          sampleRuntime(),
 	}
 	qw := m.queueWait.Snapshot()
 	out.QueueWait.Count = int64(qw.Count)
@@ -250,8 +318,24 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		obs.Series{Labels: []string{"granularity", "pair", "event", "miss"}, Value: float64(ic.PairMisses)},
 		obs.Series{Labels: []string{"granularity", "clique", "event", "hit"}, Value: float64(ic.CliqueHits)},
 		obs.Series{Labels: []string{"granularity", "clique", "event", "miss"}, Value: float64(ic.CliqueMisses)})
+	rt := sampleRuntime()
+	pw.Gauge("modemerged_runtime_goroutines", "Goroutines currently live in the process.",
+		obs.Series{Value: float64(rt.Goroutines)})
+	pw.Gauge("modemerged_runtime_heap_inuse_bytes", "Heap bytes in in-use spans.",
+		obs.Series{Value: float64(rt.HeapInuseBytes)})
+	pw.Gauge("modemerged_runtime_last_gc_pause_seconds", "Duration of the most recent GC stop-the-world pause.",
+		obs.Series{Value: rt.LastGCPauseMS / 1e3})
 	pw.Histogram("modemerged_queue_wait_seconds", "Time jobs spend queued before a worker picks them up.",
 		obs.HistSeries{Snap: m.queueWait.Snapshot()})
+	incrHitSeries := make([]obs.HistSeries, 0, len(incrHitGranularities))
+	for _, g := range incrHitGranularities {
+		incrHitSeries = append(incrHitSeries, obs.HistSeries{
+			Labels: []string{"granularity", string(g)},
+			Snap:   m.incrHitHists[g].Snapshot(),
+		})
+	}
+	pw.Histogram("modemerged_incr_cache_hit_seconds",
+		"Incremental sub-merge cache hit lookup latency by granularity.", incrHitSeries...)
 
 	m.mu.Lock()
 	names := make([]string, 0, len(m.stageHists))

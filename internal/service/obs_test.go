@@ -105,6 +105,17 @@ func TestMetricsEndpoint(t *testing.T) {
 		"# TYPE modemerged_stage_seconds histogram",
 		`modemerged_stage_seconds_bucket{stage="prelim",le="+Inf"} 1`,
 		`modemerged_stage_seconds_count{stage="parse"} 1`,
+		"# TYPE modemerged_runtime_goroutines gauge",
+		"# TYPE modemerged_runtime_heap_inuse_bytes gauge",
+		"# TYPE modemerged_runtime_last_gc_pause_seconds gauge",
+		"# TYPE modemerged_incr_cache_hit_seconds histogram",
+		// Every granularity's series exists even at zero observations,
+		// so dashboards never see the family appear out of nowhere.
+		`modemerged_incr_cache_hit_seconds_count{granularity="ctx"}`,
+		`modemerged_incr_cache_hit_seconds_count{granularity="pair"}`,
+		`modemerged_incr_cache_hit_seconds_count{granularity="clique"}`,
+		`modemerged_incr_cache_hit_seconds_count{granularity="etm"}`,
+		`modemerged_incr_cache_hit_seconds_count{granularity="mctx"}`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)

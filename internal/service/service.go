@@ -80,6 +80,16 @@ type Config struct {
 	// Logger receives structured job lifecycle logs. Default:
 	// slog.Default().
 	Logger *slog.Logger
+	// SpanExporter, when set, receives every finished job's span records
+	// (OTLP-flavored — see obs.SpanRecord) once the job reaches a
+	// terminal state. Export runs on the worker after the job is already
+	// terminal, so a slow exporter never delays a result. Nil disables
+	// export at zero cost.
+	SpanExporter obs.SpanExporter
+	// Flight configures the merge flight recorder: automatic capture of
+	// span tree, stage counters, CPU profile and goroutine dump for jobs
+	// that run slow, fail or panic. Zero value disables recording.
+	Flight FlightConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +134,7 @@ type Server struct {
 	cfg     Config
 	metrics *Metrics
 	logger  *slog.Logger
+	flights *FlightRecorder // nil when disabled
 
 	designs *designCache
 	results *lruCache
@@ -172,7 +183,16 @@ func New(cfg Config) *Server {
 				"dir", cfg.IncrCacheDir, "error", err)
 		}
 	}
+	if cfg.Flight.Dir != "" {
+		fr, err := NewFlightRecorder(cfg.Flight, cfg.Logger)
+		if err != nil {
+			cfg.Logger.Warn("flight recorder disabled", "dir", cfg.Flight.Dir, "error", err)
+		} else {
+			s.flights = fr
+		}
+	}
 	s.metrics.AddIncrSource(s.incr.Stats())
+	s.incr.SetHitObserver(s.metrics.ObserveIncrHit)
 	s.metrics.SetMergeParallelism(cfg.MergeParallelism)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -199,13 +219,25 @@ func (s *Server) Job(id string) (*Job, bool) {
 // already holds the answer the returned job is immediately done (status
 // StatusDone, cache_hit=true) without touching the queue.
 func (s *Server) Submit(req *MergeRequest) (*Job, error) {
+	return s.SubmitTraced(req, obs.TraceID{})
+}
+
+// SubmitTraced is Submit continuing an existing distributed trace: the
+// job adopts traceID (the id a /v2 request carried in its traceparent
+// header) so its spans, exported records and log lines all join the
+// caller's trace. An invalid (zero) id gets a fresh random one.
+func (s *Server) SubmitTraced(req *MergeRequest, traceID obs.TraceID) (*Job, error) {
 	if err := req.validateRequest(); err != nil {
 		return nil, err
+	}
+	if !traceID.IsValid() {
+		traceID = obs.NewTraceID()
 	}
 	id := fmt.Sprintf("j%06d", s.seq.Add(1))
 	jobCtx, jobCancel := context.WithCancel(s.baseCtx)
 	job := newJob(id, jobCtx, jobCancel)
 	job.digest = req.resultKey()
+	job.traceID = traceID
 
 	if cached, ok := s.results.get(job.digest); ok {
 		job.mu.Lock()
@@ -251,7 +283,10 @@ func (s *Server) Submit(req *MergeRequest) (*Job, error) {
 
 // finishJob moves a job to a terminal state and records it in the
 // finished-job history, evicting the oldest terminal jobs beyond
-// JobHistoryLimit so s.jobs cannot grow without bound.
+// JobHistoryLimit so s.jobs cannot grow without bound. Once the job is
+// terminal its spans are exported and the flight recorder decides
+// whether to keep a recording — both strictly after the result is
+// visible, so neither can delay or alter it.
 func (s *Server) finishJob(job *Job, status Status, result *Result, err error) {
 	if !job.finish(status, result, err) {
 		return
@@ -264,6 +299,28 @@ func (s *Server) finishJob(job *Job, status Status, result *Result, err error) {
 		s.finished = s.finished[1:]
 	}
 	s.mu.Unlock()
+	s.exportJobSpans(job)
+	s.flights.observe(job)
+}
+
+// exportJobSpans hands the finished job's span records to the
+// configured exporter. Cache-hit jobs never execute and have no tracer;
+// they export nothing.
+func (s *Server) exportJobSpans(job *Job) {
+	exp := s.cfg.SpanExporter
+	if exp == nil {
+		return
+	}
+	job.mu.Lock()
+	tr := job.tracer
+	job.mu.Unlock()
+	if tr == nil {
+		return
+	}
+	if err := exp.ExportSpans(tr.Records()); err != nil {
+		s.logger.Warn("span export failed", "job", job.ID,
+			"trace_id", job.traceID.String(), "error", err)
+	}
 }
 
 // worker drains the queue until it closes.
@@ -274,15 +331,19 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one job end to end.
+// runJob executes one job end to end. Every log line it emits carries
+// the job's trace id, so one grep joins slog records with the exported
+// spans and the /v2 trace endpoint.
 func (s *Server) runJob(job *Job) {
+	logger := s.logger.With("job", job.ID, "trace_id", job.traceID.String())
 	defer func() {
 		if r := recover(); r != nil {
 			// A panic in the merge flow on one job's input must not take
 			// down the daemon: fail the job and keep the worker alive.
-			s.logger.Error("job panicked",
-				"job", job.ID, "stage", job.currentStage(),
-				"panic", r, "stack", string(debug.Stack()))
+			stack := debug.Stack()
+			logger.Error("job panicked",
+				"stage", job.currentStage(), "panic", r, "stack", string(stack))
+			job.notePanic(fmt.Sprint(r), stack)
 			s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsFailed }, 1)
 			s.finishJob(job, StatusFailed, nil, fmt.Errorf("internal error: %v", r))
 		}
@@ -308,8 +369,14 @@ func (s *Server) runJob(job *Job) {
 	s.metrics.ObserveQueueWait(wait)
 	s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsRunning }, 1)
 	defer s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsRunning }, -1)
-	s.logger.Info("job started",
-		"job", job.ID, "modes", len(req.Modes), "queue_wait_ms", wait.Milliseconds())
+	logger.Info("job started",
+		"modes", len(req.Modes), "queue_wait_ms", wait.Milliseconds())
+
+	// The flight watchdog arms once the job is running: if it is still
+	// going when the latency threshold passes, the recorder captures a
+	// CPU profile and goroutine dump mid-flight.
+	stopWatch := s.flights.watch(job)
+	defer stopWatch()
 
 	start := time.Now()
 	result, err := s.execute(ctx, job, req)
@@ -319,17 +386,17 @@ func (s *Server) runJob(job *Job) {
 		s.results.put(req.resultKey(), result)
 		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsDone }, 1)
 		s.finishJob(job, StatusDone, result, nil)
-		s.logger.Info("job done", "job", job.ID, "elapsed_ms", elapsed.Milliseconds())
+		logger.Info("job done", "elapsed_ms", elapsed.Milliseconds())
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsCanceled }, 1)
 		s.finishJob(job, StatusCanceled, nil, err)
-		s.logger.Info("job canceled",
-			"job", job.ID, "stage", job.currentStage(), "elapsed_ms", elapsed.Milliseconds())
+		logger.Info("job canceled",
+			"stage", job.currentStage(), "elapsed_ms", elapsed.Milliseconds())
 	default:
 		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsFailed }, 1)
 		s.finishJob(job, StatusFailed, nil, err)
-		s.logger.Warn("job failed",
-			"job", job.ID, "stage", job.currentStage(),
+		logger.Warn("job failed",
+			"stage", job.currentStage(),
 			"elapsed_ms", elapsed.Milliseconds(), "error", err)
 	}
 }
@@ -342,11 +409,16 @@ func (s *Server) execute(ctx context.Context, job *Job, req *MergeRequest) (*Res
 	}
 
 	// The job's tracer records the whole pipeline as one span tree, served
-	// at GET /v1/jobs/{id}/trace after (and during) execution.
-	tracer := obs.NewTracer()
+	// at GET /v1/jobs/{id}/trace after (and during) execution. It carries
+	// the job's trace id so exported spans join the submitter's trace.
+	tracer := obs.NewTracerWithID(job.traceID)
 	job.setTracer(tracer)
 	root := tracer.Start("job")
+	root.SetAttr("job_id", job.ID)
 	defer root.Finish()
+	if req.testPanic {
+		panic("test-injected panic")
+	}
 
 	// Parse (or reuse) the design, then parse the modes against it. The
 	// shared singleflight build runs under the server's base context, not
