@@ -35,7 +35,7 @@ func main() {
 		trials    = flag.Int("trials", 100, "number of random trials")
 		seed      = flag.Int64("seed", 1, "base PRNG seed; trial i uses seed+i")
 		corpusDir = flag.String("corpus", "internal/difftest/testdata/corpus", "corpus directory for replay and new reproducers")
-		fault     = flag.String("fault", "", "inject a merge bug: keep-subset-exceptions, skip-clock-refine, skip-data-refine")
+		fault     = flag.String("fault", "", "inject a merge bug: keep-subset-exceptions, skip-clock-refine, skip-data-refine, merge-best-corner-only, ...")
 		replay    = flag.Bool("replay", false, "only replay the corpus, no random trials")
 		noShrink  = flag.Bool("noshrink", false, "save failing specs without shrinking")
 		save      = flag.Bool("save", false, "save shrunk reproducers of new failures into the corpus")
@@ -85,6 +85,9 @@ func main() {
 			defer func() { <-sem }()
 			rng := rand.New(rand.NewSource(*seed + int64(i)))
 			spec := difftest.RandomSpec(rng)
+			if injectFault.Shape != nil {
+				injectFault.Shape(spec, rng)
+			}
 			spec.Tolerance = *tolerance
 			results[i] = outcome{trial: i, res: difftest.Run(cx, spec, inject)}
 		}(i)

@@ -15,6 +15,15 @@
 // modules) and each clique merges per block through extracted timing
 // models — never optimistic relative to a flat merge, and feasible on
 // designs too large for flat refinement.
+//
+// With -corners corners.json, the merge spans a multi-corner scenario
+// matrix: the JSON file holds an array of corners ({"name": ...,
+// "delay_scale": ..., "early_scale": ..., "late_scale": ...,
+// "margin_scale": ..., "sdc": ...}; zero factors mean 1.0), a clique
+// merges only when mergeable in every corner, refinement targets the
+// across-corner worst case, and each merged mode additionally writes
+// one deployment file per corner (<name>@<corner>.sdc — the merged
+// text plus the corner's SDC overlay).
 package main
 
 import (
@@ -45,6 +54,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit); exits with code 3 on deadline")
 		cacheDir  = flag.String("cache-dir", "", "incremental re-merge cache directory: persists sub-merge products across runs (empty = no reuse)")
 		hier      = flag.Bool("hier", false, "treat the netlist as hierarchical (top + block modules) and merge per block through extracted timing models; output is never optimistic relative to a flat merge and scales past flat refinement")
+		corners   = flag.String("corners", "", "JSON corner-set file spanning a multi-corner scenario matrix; writes one <name>@<corner>.sdc deployment per merged mode and corner")
 	)
 	flag.Parse()
 	if *verilog == "" || flag.NArg() < 1 {
@@ -57,7 +67,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *verilog, *top, *libFile, *outDir, *cacheDir, *tolerance, *workers, *jobs, *validate, *quiet, *explain, *hier, flag.Args()); err != nil {
+	if err := run(ctx, *verilog, *top, *libFile, *outDir, *cacheDir, *corners, *tolerance, *workers, *jobs, *validate, *quiet, *explain, *hier, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "modemerge:", err)
 		if errors.Is(err, context.DeadlineExceeded) {
 			os.Exit(3)
@@ -66,7 +76,40 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, verilog, top, libFile, outDir, cacheDir string, tolerance float64, workers, jobs int, validate, quiet, explain, hier bool, sdcFiles []string) error {
+// cornerJSON is one corner of a -corners file. Field names match the
+// service API's corner objects, so one corner-set file serves both.
+type cornerJSON struct {
+	Name        string  `json:"name"`
+	DelayScale  float64 `json:"delay_scale,omitempty"`
+	EarlyScale  float64 `json:"early_scale,omitempty"`
+	LateScale   float64 `json:"late_scale,omitempty"`
+	MarginScale float64 `json:"margin_scale,omitempty"`
+	SDC         string  `json:"sdc,omitempty"`
+}
+
+// loadCorners reads and validates a -corners JSON file.
+func loadCorners(path string) ([]modemerge.Corner, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw []cornerJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make([]modemerge.Corner, len(raw))
+	for i, c := range raw {
+		out[i] = modemerge.Corner{Name: c.Name, DelayScale: c.DelayScale,
+			EarlyScale: c.EarlyScale, LateScale: c.LateScale,
+			MarginScale: c.MarginScale, SDC: c.SDC}
+	}
+	if err := modemerge.ValidateCorners(out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func run(ctx context.Context, verilog, top, libFile, outDir, cacheDir, cornersFile string, tolerance float64, workers, jobs int, validate, quiet, explain, hier bool, sdcFiles []string) error {
 	libSrc := ""
 	if libFile != "" {
 		data, err := os.ReadFile(libFile)
@@ -117,6 +160,21 @@ func run(ctx context.Context, verilog, top, libFile, outDir, cacheDir string, to
 	}
 
 	opt := modemerge.Options{Tolerance: tolerance, Parallelism: jobs, Workers: workers, Hierarchical: hier}
+	if cornersFile != "" {
+		crns, err := loadCorners(cornersFile)
+		if err != nil {
+			return fmt.Errorf("corners: %w", err)
+		}
+		opt.Corners = crns
+		if !quiet {
+			names := make([]string, len(crns))
+			for i, c := range crns {
+				names[i] = c.Name
+			}
+			fmt.Fprintf(os.Stderr, "scenario matrix: %d modes x %d corners (%s)\n",
+				len(sdcFiles), len(crns), strings.Join(names, ", "))
+		}
+	}
 	if cacheDir != "" {
 		cache := modemerge.NewCache(0)
 		if err := cache.WithDisk(cacheDir); err != nil {
@@ -144,8 +202,22 @@ func run(ctx context.Context, verilog, top, libFile, outDir, cacheDir string, to
 	}
 	for i, m := range merged {
 		path := filepath.Join(outDir, sanitize(m.Name)+".sdc")
-		if err := os.WriteFile(path, []byte(modemerge.WriteSDC(m)), 0o644); err != nil {
+		text := modemerge.WriteSDC(m)
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
 			return err
+		}
+		// Each merged mode deploys once per corner: the merged base text
+		// with the corner's overlay appended — one cell of the reduced
+		// scenario matrix.
+		for _, crn := range opt.Corners {
+			dep := text
+			if crn.SDC != "" {
+				dep += "\n" + crn.SDC + "\n"
+			}
+			dpath := filepath.Join(outDir, sanitize(m.Name)+"@"+sanitize(crn.Name)+".sdc")
+			if err := os.WriteFile(dpath, []byte(dep), 0o644); err != nil {
+				return err
+			}
 		}
 		rep := reports[i]
 		if !quiet {

@@ -18,6 +18,7 @@ import (
 
 	"modemerge/internal/graph"
 	"modemerge/internal/incr"
+	"modemerge/internal/library"
 	"modemerge/internal/netlist"
 	"modemerge/internal/obs"
 	"modemerge/internal/sdc"
@@ -73,6 +74,17 @@ type Options struct {
 	// excluded from the incremental cache key like Parallelism; they
 	// exist for equivalence tests and for bisecting perf regressions.
 	Slow SlowPaths
+	// Corners, when non-empty, turns the merge into an MCMM scenario-
+	// matrix merge: every mode is analyzed once per corner (the corner's
+	// SDC overlay appended to the mode text, its derates applied to the
+	// delay calculation), and mergeability, clock refinement and data
+	// refinement require justification across ALL #modes × #corners
+	// scenarios — the across-corner worst case. The merged mode itself
+	// stays corner-less: deploying it in corner c means appending that
+	// corner's overlay, exactly as for the member modes. Empty means the
+	// historical corner-less merge, bit-for-bit. Incompatible with
+	// Hierarchical.
+	Corners []library.Corner
 	// Hierarchical, when set, routes every multi-mode clique through the
 	// extracted-timing-model merge (internal/etm): flat preliminary merge
 	// and clock refinement, then per-block data refinement on the block
@@ -129,12 +141,20 @@ type FaultInjection struct {
 	// optimism uncorrected — caught by the equivalence oracle, which
 	// deliberately never prunes.
 	PruneSkipDifferingEndpoints bool
+	// MergeBestCornerOnly breaks the scenario-matrix merge: only the
+	// first corner's scenarios are built and refined, so a path that is
+	// false in corner 0 but timed in corner 1 gets a corrective false
+	// path the corner-1 deployment must not have — optimism in every
+	// corner but the first, caught by the corner-conformity oracle. A
+	// no-op on corner-less (or single-corner) merges, like the ETM fault
+	// on flat merges.
+	MergeBestCornerOnly bool
 }
 
 // Any reports whether any fault is enabled.
 func (f FaultInjection) Any() bool {
 	return f.KeepSubsetExceptions || f.SkipClockRefinement || f.SkipDataRefinement ||
-		f.ETMKeepSubsetExceptions || f.PruneSkipDifferingEndpoints
+		f.ETMKeepSubsetExceptions || f.PruneSkipDifferingEndpoints || f.MergeBestCornerOnly
 }
 
 // stage times one flow stage and reports it to the hook.
@@ -191,7 +211,11 @@ type Report struct {
 	Iterations        int
 	PessimisticGroups int // merged tighter than needed (sign-off safe)
 	ResidualMismatch  int // should be zero
-	Warnings          []string
+	// Corners lists the corner names of a scenario-matrix merge in
+	// analysis order (empty for corner-less merges); the per-corner
+	// provenance records reference these names.
+	Corners  []string
+	Warnings []string
 	// Provenance explains, one record per constraint decision, why the
 	// merged mode contains (or lacks) each inserted, dropped, renamed or
 	// uniquified constraint — the raw material of the explain report.
@@ -231,10 +255,16 @@ func newClockMap(nModes int) *clockMap {
 	}
 }
 
+// modeIndex reduces a flattened scenario index to its base-mode index.
+// The map is built over the n base modes, but corner-aware merges index
+// it by scenario (mode m of corner c at c·n+m); corner overlays never
+// add or rename clocks, so scenario c·n+m shares mode m's clock names.
+func (cm *clockMap) modeIndex(m int) int { return m % len(cm.toMerged) }
+
 // mapName maps a local clock name of mode m to the merged namespace; names
 // with no mapping (e.g. already-merged names) pass through.
 func (cm *clockMap) mapName(m int, local string) string {
-	if mapped, ok := cm.toMerged[m][local]; ok {
+	if mapped, ok := cm.toMerged[cm.modeIndex(m)][local]; ok {
 		return mapped
 	}
 	return local
@@ -243,13 +273,13 @@ func (cm *clockMap) mapName(m int, local string) string {
 // existsIn reports whether the merged clock exists in mode m.
 func (cm *clockMap) existsIn(merged string, m int) bool {
 	mem, ok := cm.members[merged]
-	return ok && mem[m] != ""
+	return ok && mem[cm.modeIndex(m)] != ""
 }
 
 // localName returns mode m's local name for a merged clock ("" if absent).
 func (cm *clockMap) localName(merged string, m int) string {
 	if mem, ok := cm.members[merged]; ok {
-		return mem[m]
+		return mem[cm.modeIndex(m)]
 	}
 	return ""
 }
@@ -261,9 +291,18 @@ type Merger struct {
 	modes  []*sdc.Mode
 	opt    Options
 
+	// corners is the effective corner set (opt.Corners after fault
+	// gating); empty for corner-less merges. With C corners, ctxs holds
+	// the #modes × C scenario contexts flattened mode-major: scenario
+	// c·n+m is mode m analyzed in corner c. The refinement loops iterate
+	// ctxs, so "justified in some mode" / "false in every mode" become
+	// per-scenario — the across-corner worst case — without any further
+	// changes. Corner-less merges keep ctxs ≡ one context per mode.
+	corners []library.Corner
+
 	merged *sdc.Mode
 	cmap   *clockMap
-	ctxs   []*sta.Context // per individual mode
+	ctxs   []*sta.Context // per scenario (mode × corner); per mode when corner-less
 	mctx   *sta.Context   // merged (rebuilt after constraint additions)
 
 	// span is the parent for this merge's stage spans (opt.Trace; nil
@@ -292,6 +331,22 @@ func NewMerger(cx context.Context, design *netlist.Design, modes []*sdc.Mode, op
 
 func newMergerWithGraph(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options) (*Merger, error) {
 	opt = opt.withDefaults()
+	corners := opt.Corners
+	if len(corners) > 0 {
+		if opt.Hierarchical != nil {
+			return nil, fmt.Errorf("core: corner-aware merging does not support hierarchical merge")
+		}
+		if err := library.ValidateCorners(corners); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		// Injected bug: refine the matrix as if only the first corner
+		// existed. Paths excluded in corner 0 but timed elsewhere then
+		// pick up corrective false paths that are optimistic in every
+		// other corner — the corner-conformity oracle's target.
+		if opt.Inject.MergeBestCornerOnly && len(corners) > 1 {
+			corners = corners[:1]
+		}
+	}
 	name := opt.MergedName
 	if name == "" {
 		for i, m := range modes {
@@ -302,33 +357,43 @@ func newMergerWithGraph(cx context.Context, g *graph.Graph, modes []*sdc.Mode, o
 		}
 	}
 	mg := &Merger{
-		design: g.Design,
-		g:      g,
-		modes:  modes,
-		opt:    opt,
-		merged: &sdc.Mode{Name: name},
-		cmap:   newClockMap(len(modes)),
-		span:   opt.Trace,
-		Report: &Report{},
+		design:  g.Design,
+		g:       g,
+		modes:   modes,
+		opt:     opt,
+		corners: corners,
+		merged:  &sdc.Mode{Name: name},
+		cmap:    newClockMap(len(modes)),
+		span:    opt.Trace,
+		Report:  &Report{},
 	}
 	mg.span.SetAttr("merged_mode", name)
-	// Per-mode contexts build on the bounded pool: each mode is an
-	// independent analysis, and the results land in index order so the
-	// first failing mode (lowest index) wins deterministically. With an
-	// incremental cache, previously built contexts are reused by content
-	// address and only the missing ones are built (see incremental.go).
+	scen, err := mg.scenarioModes()
+	if err != nil {
+		return nil, err
+	}
+	// Per-scenario contexts build on the bounded pool: each scenario is
+	// an independent analysis, and the results land in index order so the
+	// first failing scenario (lowest index) wins deterministically. With
+	// an incremental cache, previously built contexts are reused by
+	// content address and only the missing ones are built (see
+	// incremental.go).
 	sp := mg.span.Child("build_contexts")
 	sp.Add("modes", int64(len(modes)))
-	mg.ctxs = make([]*sta.Context, len(modes))
+	if len(corners) > 0 {
+		sp.Add("corners", int64(len(corners)))
+		sp.Add("scenarios", int64(len(scen)))
+	}
+	mg.ctxs = make([]*sta.Context, len(scen))
 	var errs []error
 	if opt.Cache != nil {
-		errs = mg.cachedContexts(cx, opt.Cache, sp)
+		errs = mg.cachedContexts(cx, opt.Cache, sp, scen)
 	} else {
-		errs = make([]error, len(modes))
-		forEachParallel(cx, len(modes), opt.parallelism(), func(i int) {
-			ctx, err := sta.NewContext(g, modes[i], mg.staOptions())
+		errs = make([]error, len(scen))
+		forEachParallel(cx, len(scen), opt.parallelism(), func(i int) {
+			ctx, err := sta.NewContext(g, scen[i], mg.scenarioStaOptions(i))
 			if err != nil {
-				errs[i] = fmt.Errorf("mode %s: %w", modes[i].Name, err)
+				errs[i] = fmt.Errorf("mode %s: %w", mg.scenarioName(i), err)
 				return
 			}
 			mg.ctxs[i] = ctx
@@ -343,7 +408,107 @@ func newMergerWithGraph(cx context.Context, g *graph.Graph, modes []*sdc.Mode, o
 	if err := cx.Err(); err != nil {
 		return nil, err
 	}
+	mg.recordCornerProvenance()
 	return mg, nil
+}
+
+// scenarioModes renders the #modes × #corners scenario matrix as a flat
+// mode list, corner-major: scenario c·n+m is mode m under corner c's SDC
+// overlay. Corner-less merges return the base modes unchanged — the same
+// objects, so the historical path is untouched. Corners with an empty
+// overlay reuse the base mode objects too (the corner still differs via
+// its derates, applied through sta.Options.Corner).
+func (mg *Merger) scenarioModes() ([]*sdc.Mode, error) {
+	if len(mg.corners) == 0 {
+		return mg.modes, nil
+	}
+	scen := make([]*sdc.Mode, 0, len(mg.modes)*len(mg.corners))
+	for c := range mg.corners {
+		crn := &mg.corners[c]
+		for _, m := range mg.modes {
+			if crn.SDC == "" {
+				scen = append(scen, m)
+				continue
+			}
+			eff, err := applyCornerOverlay(mg.design, m, crn)
+			if err != nil {
+				return nil, err
+			}
+			scen = append(scen, eff)
+		}
+	}
+	return scen, nil
+}
+
+// applyCornerOverlay appends a corner's SDC overlay to a mode and parses
+// the result. Overlays refine the environment of existing clocks and
+// ports; creating clocks would break the scenario↔mode clock-name
+// correspondence the merge relies on, so that is rejected here.
+func applyCornerOverlay(d *netlist.Design, m *sdc.Mode, crn *library.Corner) (*sdc.Mode, error) {
+	text := sdc.Write(m) + "\n" + crn.SDC + "\n"
+	eff, _, err := sdc.Parse(m.Name, text, d)
+	if err != nil {
+		return nil, fmt.Errorf("corner %s overlay on mode %s: %w", crn.Name, m.Name, err)
+	}
+	if len(eff.Clocks) != len(m.Clocks) {
+		return nil, fmt.Errorf("corner %s overlay on mode %s: overlays must not create clocks", crn.Name, m.Name)
+	}
+	return eff, nil
+}
+
+// scenarioCorner returns the corner a flattened scenario index belongs
+// to; nil on the corner-less path.
+func (mg *Merger) scenarioCorner(s int) *library.Corner {
+	if len(mg.corners) == 0 {
+		return nil
+	}
+	return &mg.corners[s/len(mg.modes)]
+}
+
+// scenarioName names a scenario for errors and provenance: the mode name
+// alone on the corner-less path, "mode@corner" otherwise.
+func (mg *Merger) scenarioName(s int) string {
+	name := mg.modes[s%len(mg.modes)].Name
+	if c := mg.scenarioCorner(s); c != nil {
+		name += "@" + c.Name
+	}
+	return name
+}
+
+// scenarioStaOptions is staOptions with the scenario's corner selected.
+func (mg *Merger) scenarioStaOptions(s int) sta.Options {
+	o := mg.staOptions()
+	o.Corner = mg.scenarioCorner(s)
+	return o
+}
+
+// recordCornerProvenance emits one provenance record per corner of a
+// scenario-matrix merge, naming the scenarios that corner contributed to
+// the refinement evidence — the per-corner half of the explain report.
+func (mg *Merger) recordCornerProvenance() {
+	if len(mg.corners) == 0 {
+		return
+	}
+	n := len(mg.modes)
+	for c := range mg.corners {
+		crn := &mg.corners[c]
+		scens := make([]string, n)
+		for m := 0; m < n; m++ {
+			scens[m] = mg.scenarioName(c*n + m)
+		}
+		mg.Report.Corners = append(mg.Report.Corners, crn.Name)
+		mg.Report.prov(obs.Provenance{
+			Stage:      "corners/scenario_matrix",
+			Rule:       "MCMM scenario matrix",
+			Action:     obs.ActionKeep,
+			Constraint: fmt.Sprintf("corner %s", crn.Name),
+			Modes:      scens,
+			Detail: fmt.Sprintf(
+				"delay×%g early×%g late×%g margin×%g, overlay %d bytes; refinement requires justification across every corner's scenarios",
+				crn.DelayFactor(), crn.EarlyFactor(), crn.LateFactor(),
+				crn.MarginFactor(), len(crn.SDC)),
+		})
+	}
 }
 
 // staOptions wires the merge's trace parent into the analysis contexts so

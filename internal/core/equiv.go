@@ -204,7 +204,7 @@ func (mg *Merger) checkPass3(startName, endName string, res *EquivalenceResult) 
 		return nil, fmt.Errorf("internal: pass-3 pair %s→%s not in graph", startName, endName)
 	}
 	perModeTR, mergedTR := mg.throughAll(startID, endID)
-	perMode := make([]map[graph.NodeID]map[sta.RelKey]relation.Set, len(mg.modes))
+	perMode := make([]map[graph.NodeID]map[sta.RelKey]relation.Set, len(mg.ctxs))
 	for m := range mg.ctxs {
 		perMode[m] = map[graph.NodeID]map[sta.RelKey]relation.Set{}
 		for _, tr := range perModeTR[m] {
@@ -218,9 +218,9 @@ func (mg *Merger) checkPass3(startName, endName string, res *EquivalenceResult) 
 	var unresolved []string
 	for _, tr := range mergedTR {
 		for k, mergedSet := range tr.States {
-			states := make([]relation.State, 0, len(mg.modes))
+			states := make([]relation.State, 0, len(mg.ctxs))
 			nodeAmbiguous := false
-			for m := range mg.modes {
+			for m := range mg.ctxs {
 				var set relation.Set
 				if rels := perMode[m][tr.Node]; rels != nil {
 					set = rels[k]

@@ -8,6 +8,7 @@ import (
 
 	"modemerge/internal/graph"
 	"modemerge/internal/incr"
+	"modemerge/internal/library"
 	"modemerge/internal/obs"
 	"modemerge/internal/sdc"
 	"modemerge/internal/sta"
@@ -31,11 +32,13 @@ import (
 // every other.
 func (o Options) incrOptionsKey() string {
 	o = o.withDefaults()
-	return fmt.Sprintf("tol=%g|iters=%d|inject=%v/%v/%v/%v/%v|edges=%d|hier=%v",
+	return fmt.Sprintf("tol=%g|iters=%d|inject=%v/%v/%v/%v/%v/%v|edges=%d|hier=%v|corners=%s",
 		o.Tolerance, o.MaxRefineIterations,
 		o.Inject.KeepSubsetExceptions, o.Inject.SkipClockRefinement, o.Inject.SkipDataRefinement,
 		o.Inject.ETMKeepSubsetExceptions, o.Inject.PruneSkipDifferingEndpoints,
-		o.STA.MaxLaunchEdges, o.Hierarchical != nil)
+		o.Inject.MergeBestCornerOnly,
+		o.STA.MaxLaunchEdges, o.Hierarchical != nil,
+		library.CornerSetKey(o.Corners))
 }
 
 // contextCacheKey addresses one built per-mode analysis context. On top
@@ -51,16 +54,18 @@ func contextCacheKey(g *graph.Graph, modeText string, staOpt sta.Options, worker
 // the rest on the bounded pool, storing new builds back. Cached contexts
 // are built without a trace span (they outlive any one tracer), so the
 // per-merge build_contexts span reports hit/miss counters instead of
-// per-mode children. Returns the per-mode errors array (first non-nil
-// wins, as in the cold path).
-func (mg *Merger) cachedContexts(cx context.Context, cache *incr.Cache, sp *obs.Span) []error {
-	staOpt := mg.staOptions()
-	staOpt.Span = nil // cached contexts must not reference this merge's tracer
-	errs := make([]error, len(mg.modes))
-	keys := make([]string, len(mg.modes))
+// per-scenario children. Returns the per-scenario errors array (first
+// non-nil wins, as in the cold path). The scenario's corner is part of
+// the sta fingerprint, so corner-keyed artifacts never collide with the
+// corner-less (or other-corner) builds of the same mode text.
+func (mg *Merger) cachedContexts(cx context.Context, cache *incr.Cache, sp *obs.Span, scen []*sdc.Mode) []error {
+	errs := make([]error, len(scen))
+	keys := make([]string, len(scen))
 	var misses []int
 	hits := int64(0)
-	for i, m := range mg.modes {
+	for i, m := range scen {
+		staOpt := mg.scenarioStaOptions(i)
+		staOpt.Span = nil // cached contexts must not reference this merge's tracer
 		keys[i] = contextCacheKey(mg.g, sdc.Write(m), staOpt, staOpt.Workers)
 		if v, ok := cache.GetObject(incr.GranContext, keys[i]); ok {
 			mg.ctxs[i] = v.(*sta.Context)
@@ -71,9 +76,11 @@ func (mg *Merger) cachedContexts(cx context.Context, cache *incr.Cache, sp *obs.
 	}
 	forEachParallel(cx, len(misses), mg.opt.parallelism(), func(k int) {
 		i := misses[k]
-		ctx, err := sta.NewContext(mg.g, mg.modes[i], staOpt)
+		staOpt := mg.scenarioStaOptions(i)
+		staOpt.Span = nil
+		ctx, err := sta.NewContext(mg.g, scen[i], staOpt)
 		if err != nil {
-			errs[i] = fmt.Errorf("mode %s: %w", mg.modes[i].Name, err)
+			errs[i] = fmt.Errorf("mode %s: %w", mg.scenarioName(i), err)
 			return
 		}
 		mg.ctxs[i] = ctx

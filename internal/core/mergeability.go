@@ -9,6 +9,7 @@ import (
 
 	"modemerge/internal/graph"
 	"modemerge/internal/incr"
+	"modemerge/internal/library"
 	"modemerge/internal/sdc"
 )
 
@@ -65,41 +66,82 @@ func analyzeMergeability(g *graph.Graph, modes []*sdc.Mode, opt Options) (*Merge
 			pairs = append(pairs, pairIdx{i, j})
 		}
 	}
-	reasons := make([]string, len(pairs))
 	var st pairCacheStats
-	if opt.Cache != nil {
-		// Incremental path: verdicts are addressed by the two modes'
-		// canonical SDC texts + tolerance, so after editing one mode of
-		// N only its N−1 pairs re-run mock merges.
-		texts := make([]string, n)
-		for i, m := range modes {
-			texts[i] = sdc.Write(m)
+	// evalRound mock-merges every pair of one effective mode set and
+	// returns the per-pair conflict reasons for that set.
+	evalRound := func(roundModes []*sdc.Mode) []string {
+		rr := make([]string, len(pairs))
+		if opt.Cache != nil {
+			// Incremental path: verdicts are addressed by the two modes'
+			// canonical SDC texts + tolerance, so after editing one mode of
+			// N only its N−1 pairs re-run mock merges. Corner rounds key by
+			// their effective (overlay-applied) texts, so verdicts are
+			// naturally per corner.
+			texts := make([]string, n)
+			for i, m := range roundModes {
+				texts[i] = sdc.Write(m)
+			}
+			keys := make([]string, len(pairs))
+			var missed []int
+			for k, p := range pairs {
+				keys[k] = pairVerdictKey(opt.Tolerance, texts[p.i], texts[p.j])
+				if b, ok := opt.Cache.GetBytes(incr.GranPair, keys[k]); ok {
+					if r, valid := decodePairVerdict(b); valid {
+						rr[k] = r
+						st.hits++
+						continue
+					}
+				}
+				missed = append(missed, k)
+			}
+			st.misses += int64(len(missed))
+			forEachParallel(context.Background(), len(missed), opt.parallelism(), func(m int) {
+				k := missed[m]
+				rr[k] = mockMerge(roundModes[pairs[k].i], roundModes[pairs[k].j], opt.Tolerance)
+			})
+			for _, k := range missed {
+				opt.Cache.PutBytes(incr.GranPair, keys[k], encodePairVerdict(rr[k]))
+			}
+		} else {
+			forEachParallel(context.Background(), len(pairs), opt.parallelism(), func(k int) {
+				rr[k] = mockMerge(roundModes[pairs[k].i], roundModes[pairs[k].j], opt.Tolerance)
+			})
 		}
-		keys := make([]string, len(pairs))
-		var missed []int
-		for k, p := range pairs {
-			keys[k] = pairVerdictKey(opt.Tolerance, texts[p.i], texts[p.j])
-			if b, ok := opt.Cache.GetBytes(incr.GranPair, keys[k]); ok {
-				if r, valid := decodePairVerdict(b); valid {
-					reasons[k] = r
-					st.hits++
-					continue
+		return rr
+	}
+
+	reasons := make([]string, len(pairs))
+	if len(opt.Corners) == 0 {
+		reasons = evalRound(modes)
+	} else {
+		// Corner-aware rule: a pair is mergeable iff it is mergeable in
+		// every corner's effective (overlay-applied) mode texts; the first
+		// conflicting corner, in corner order, names the reason. Corners
+		// without overlays share the base texts — derates scale delays,
+		// never constraint values, so they cannot change the mock merge.
+		if err := library.ValidateCorners(opt.Corners); err != nil {
+			return nil, st, fmt.Errorf("core: %w", err)
+		}
+		for c := range opt.Corners {
+			crn := &opt.Corners[c]
+			eff := modes
+			if crn.SDC != "" {
+				eff = make([]*sdc.Mode, n)
+				for i, m := range modes {
+					em, err := applyCornerOverlay(g.Design, m, crn)
+					if err != nil {
+						return nil, st, err
+					}
+					eff[i] = em
 				}
 			}
-			missed = append(missed, k)
+			rr := evalRound(eff)
+			for k := range pairs {
+				if reasons[k] == "" && rr[k] != "" {
+					reasons[k] = "corner " + crn.Name + ": " + rr[k]
+				}
+			}
 		}
-		st.misses = int64(len(missed))
-		forEachParallel(context.Background(), len(missed), opt.parallelism(), func(m int) {
-			k := missed[m]
-			reasons[k] = mockMerge(modes[pairs[k].i], modes[pairs[k].j], opt.Tolerance)
-		})
-		for _, k := range missed {
-			opt.Cache.PutBytes(incr.GranPair, keys[k], encodePairVerdict(reasons[k]))
-		}
-	} else {
-		forEachParallel(context.Background(), len(pairs), opt.parallelism(), func(k int) {
-			reasons[k] = mockMerge(modes[pairs[k].i], modes[pairs[k].j], opt.Tolerance)
-		})
 	}
 	for k, p := range pairs {
 		if reasons[k] == "" {

@@ -18,14 +18,14 @@ func (mg *Merger) preliminary(sp *obs.Span) error {
 		fn()
 		c.Finish()
 	}
-	step("clock_union", mg.unionClocks)                   // §3.1.1
-	step("clock_constraints", mg.mergeClockConstraints)   // §3.1.2
-	step("io_delays", mg.unionIODelays)                   // §3.1.3
-	step("case_intersect", mg.intersectCases)             // §3.1.4
-	step("disable_intersect", mg.intersectDisables)       // §3.1.5
-	step("drive_load", mg.mergeDriveLoad)                 // §3.1.6
-	step("clock_exclusivity", mg.inferClockExclusivity)   // §3.1.7
-	c := sp.Child("exception_merge")                      // §3.1.9 + §3.1.10
+	step("clock_union", mg.unionClocks)                 // §3.1.1
+	step("clock_constraints", mg.mergeClockConstraints) // §3.1.2
+	step("io_delays", mg.unionIODelays)                 // §3.1.3
+	step("case_intersect", mg.intersectCases)           // §3.1.4
+	step("disable_intersect", mg.intersectDisables)     // §3.1.5
+	step("drive_load", mg.mergeDriveLoad)               // §3.1.6
+	step("clock_exclusivity", mg.inferClockExclusivity) // §3.1.7
+	c := sp.Child("exception_merge")                    // §3.1.9 + §3.1.10
 	err := mg.mergeExceptions()
 	c.Finish()
 	return err
@@ -559,7 +559,10 @@ func (mg *Merger) inferClockExclusivity() {
 	for i := range coexist {
 		coexist[i] = make([]bool, n)
 	}
-	for m := range mg.modes {
+	// Iterate scenario contexts, not base modes: in a corner-aware merge
+	// two clocks co-exist iff they co-exist in some (mode, corner)
+	// scenario, so inferred exclusivity holds in every corner.
+	for m := range mg.ctxs {
 		ctx := mg.ctxs[m]
 		for i := 0; i < n; i++ {
 			li := mg.cmap.localName(names[i], m)

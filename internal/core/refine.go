@@ -326,7 +326,7 @@ func (mg *Merger) mapRelKey(m int, k sta.RelKey) sta.RelKey {
 // gather allocates a handful of blocks instead of two tiny objects per
 // path group.
 func (mg *Merger) gatherGroups(perMode []map[sta.RelKey]relation.Set, merged map[sta.RelKey]relation.Set) map[sta.RelKey]*groupStates {
-	nModes := len(mg.modes)
+	nModes := len(perMode) // one entry per scenario context, not per base mode
 	// First arena block sized to the expected group count (the merged map
 	// is normally the union key space); per-endpoint gathers hold a few
 	// dozen groups, so a fixed-size block would mostly be waste.
@@ -1452,8 +1452,8 @@ func (mg *Merger) pass3(startName, endName string, perModeTR [][]sta.ThroughRel,
 	get := func(n graph.NodeID) *nodeStates {
 		ns := byNode[n]
 		if ns == nil {
-			ns = &nodeStates{perMode: make([]map[sta.RelKey]relation.Set, len(mg.modes)),
-				modeAmb: make([]bool, len(mg.modes))}
+			ns = &nodeStates{perMode: make([]map[sta.RelKey]relation.Set, len(mg.ctxs)),
+				modeAmb: make([]bool, len(mg.ctxs))}
 			byNode[n] = ns
 		}
 		return ns
@@ -1538,10 +1538,10 @@ func (mg *Merger) pass3(startName, endName string, perModeTR [][]sta.ThroughRel,
 			if cov := covered[covKey]; cov != nil && cov[n] {
 				continue
 			}
-			// Target over modes at this node.
-			states := make([]relation.State, 0, len(mg.modes))
+			// Target over scenario contexts at this node.
+			states := make([]relation.State, 0, len(mg.ctxs))
 			ambiguous := false
-			for m := range mg.modes {
+			for m := range mg.ctxs {
 				var set relation.Set
 				if ns.perMode[m] != nil {
 					set = ns.perMode[m][k]

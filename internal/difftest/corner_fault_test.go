@@ -1,0 +1,162 @@
+package difftest
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"modemerge/internal/core"
+	"modemerge/internal/gen"
+)
+
+// cornerFaultSpec is a constructed reproducer for the
+// merge-best-corner-only fault, built by hand around its mechanism:
+//
+//   - a two-corner scenario matrix — corner c0 neutral, corner c1 a slow
+//     derate ladder — with one corner perturbation attaching an unscoped
+//     false path (every path leaving the block's only register) to c0's
+//     overlay;
+//   - in corner c0 every mode therefore excludes the register's
+//     endpoints, while in corner c1 every mode times them, so the
+//     across-corner worst case keeps them timed and the clean merged
+//     mode is byte-compatible with the corner-less merge;
+//   - the fault truncates refinement to c0 alone, where the unanimous
+//     exclusion looks global: the corrective false path gets baked into
+//     the merged base text, and deployed in c1 — where no overlay
+//     supplies the relaxation — the merged mode excludes paths every
+//     member times: optimism the corner-conformity oracle rejects
+//     (and the corner-less oracles cannot even see).
+func cornerFaultSpec() *TrialSpec {
+	return &TrialSpec{
+		Design: gen.DesignSpec{
+			Name: "corner", Seed: 1,
+			Domains: 1, BlocksPerDomain: 1, Stages: 1, RegsPerStage: 1,
+			CloudDepth: 1, CrossPaths: 0, IOPairs: 1,
+		},
+		Family: gen.FamilySpec{
+			Groups: 1, ModesPerGroup: []int{2}, BasePeriod: 2, FunctionalOnly: true,
+		},
+		Corners:        2,
+		CornerPerturbs: []Perturb{{Mode: 0, Kind: "false_path_from", D: 0, B: 0}},
+	}
+}
+
+// TestCornerFaultCaughtByCornerConformity pins detector power for the
+// merge-best-corner-only fault: the constructed spec must merge clean
+// without violations, must trip the corner-conformity oracle under the
+// fault, must stay minimal under shrinking, and must round-trip through
+// a saved corpus file.
+func TestCornerFaultCaughtByCornerConformity(t *testing.T) {
+	cx := context.Background()
+	fault, err := ParseFault("merge-best-corner-only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fault.Detectable {
+		t.Fatal("merge-best-corner-only must be marked detectable")
+	}
+	spec := cornerFaultSpec()
+
+	clean := Run(cx, spec, Fault{}.Inject)
+	if clean.Err != nil {
+		t.Fatalf("clean run: %v", clean.Err)
+	}
+	if clean.Failed() {
+		t.Fatalf("clean run must pass all properties, got %v", clean.Violations)
+	}
+
+	res := Run(cx, spec, fault.Inject)
+	if res.Err != nil {
+		t.Fatalf("faulted run: %v", res.Err)
+	}
+	sawCorner := false
+	for _, v := range res.Violations {
+		if v.Property == PropCornerConformity {
+			sawCorner = true
+		}
+	}
+	if !sawCorner {
+		t.Fatalf("expected a corner-conformity violation from the faulted matrix refinement, got %v", res.Violations)
+	}
+
+	// The hand-built spec must already be locally minimal: shrinking may
+	// not find a smaller failing spec, and no single simplification step
+	// keeps the failure.
+	shrunk := Shrink(cx, spec, fault.Inject)
+	if shrunk.Size() < spec.Size() {
+		t.Fatalf("constructed spec is not minimal: shrank %d -> %d to %s",
+			spec.Size(), shrunk.Size(), shrunk)
+	}
+	for _, cand := range candidates(spec) {
+		if cand.Size() >= spec.Size() {
+			continue
+		}
+		if r := Run(cx, cand, fault.Inject); r.Err == nil && r.Failed() {
+			t.Fatalf("constructed spec is not minimal: %s still fails", cand)
+		}
+	}
+
+	// Save → load → replay round trip, mirroring the committed corpus
+	// entry for this fault.
+	dir := t.TempDir()
+	repro := &Reproducer{
+		Spec:             *spec,
+		Fault:            "merge-best-corner-only",
+		ExpectViolations: true,
+		Properties:       []string{PropCornerConformity},
+		FoundBy:          "TestCornerFaultCaughtByCornerConformity",
+	}
+	path, err := repro.Save(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := loaded[filepath.Base(path)]
+	if !ok {
+		t.Fatalf("saved reproducer %s not found on reload", path)
+	}
+	if err := got.Replay(Run(cx, &got.Spec, fault.Inject)); err != nil {
+		t.Fatalf("reloaded reproducer: %v", err)
+	}
+}
+
+// TestCornerCleanSeedSweep is the false-alarm sweep for the corner
+// dimension: a fixed band of seeds, every trial forced onto a 2–3 corner
+// scenario matrix with random corner-local relaxations, must produce
+// zero violations and zero infrastructure errors on the unmodified merge
+// flow. The sweep is what licenses running the corner-conformity oracle
+// in fuzz gating — a detector that cries wolf gates nothing.
+func TestCornerCleanSeedSweep(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 25
+	}
+	for i := 0; i < seeds; i++ {
+		i := i
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(31000 + int64(i)))
+			spec := RandomSpec(rng)
+			spec.Hierarchical = false
+			if spec.Corners == 0 {
+				spec.Corners = 2 + rng.Intn(2)
+				for j, n := 0, rng.Intn(3); j < n; j++ {
+					p := RandomPerturb(rng)
+					p.Kind = cornerPerturbKinds[rng.Intn(len(cornerPerturbKinds))]
+					spec.CornerPerturbs = append(spec.CornerPerturbs, p)
+				}
+			}
+			res := Run(context.Background(), spec, core.FaultInjection{})
+			if res.Err != nil {
+				t.Fatalf("seed %d: %v\n  spec: %s", i, res.Err, spec)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("seed %d: %s\n  spec: %s", i, v, spec)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -45,6 +46,12 @@ type Fault struct {
 	// deliberately invisible.
 	Detectable bool
 	Note       string
+	// Shape, when non-nil, biases a random spec toward trials that can
+	// exercise the fault at all — e.g. a corner fault is invisible on
+	// corner-less trials, so its power check would otherwise hinge on
+	// the sampler happening to roll the right spec features. Shaping
+	// changes which trials run, never what any trial asserts.
+	Shape func(*TrialSpec, *rand.Rand)
 }
 
 // FaultNames maps the CLI/corpus fault names to injections.
@@ -66,6 +73,28 @@ var FaultNames = map[string]Fault{
 		Note: "fingerprint prune trusts member agreement without checking the merged mode: " +
 			"the pass-1 accuracy fix is skipped where the merged context still times paths every member " +
 			"excludes, caught by the conformity oracle",
+	},
+	"merge-best-corner-only": {
+		Inject:     core.FaultInjection{MergeBestCornerOnly: true},
+		Detectable: true,
+		Note: "scenario-matrix refinement collapses to the first corner: relaxations private to that corner " +
+			"leak into the merged base text and become optimism in every corner lacking them, caught by the " +
+			"corner-conformity oracle (no effect on corner-less trials)",
+		// The fault only fires on corner trials whose first corner's
+		// overlay relaxes something: force a corner axis and pin one
+		// relaxation onto corner 0 (the corner the fault collapses to).
+		// Detection stays probabilistic per trial (~3/4), just no longer
+		// contingent on sampling a corner trial in the first place.
+		Shape: func(s *TrialSpec, rng *rand.Rand) {
+			s.Hierarchical = false
+			if s.Corners == 0 {
+				s.Corners = 2 + rng.Intn(2)
+			}
+			p := RandomPerturb(rng)
+			p.Kind = "false_path_from"
+			p.Mode = 0
+			s.CornerPerturbs = append(s.CornerPerturbs, p)
+		},
 	},
 	"skip-clock-refine": {
 		Inject: core.FaultInjection{SkipClockRefinement: true},

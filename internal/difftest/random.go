@@ -32,6 +32,18 @@ func RandomSpec(rng *rand.Rand) *TrialSpec {
 	// additionally hold the ETM-driven merge to the flat merge's cliques
 	// and relations (the hierarchical oracle).
 	s.Hierarchical = rng.Intn(4) == 0
+	// About a third of the flat trials merge a 2–3 corner scenario matrix
+	// (core rejects corners on hierarchical merges), usually with a couple
+	// of corner-local overlay relaxations so the corner-conformity oracle
+	// sees corners that genuinely disagree, not just derate ladders.
+	if !s.Hierarchical && rng.Intn(3) == 0 {
+		s.Corners = 2 + rng.Intn(2)
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			p := RandomPerturb(rng)
+			p.Kind = cornerPerturbKinds[rng.Intn(len(cornerPerturbKinds))]
+			s.CornerPerturbs = append(s.CornerPerturbs, p)
+		}
+	}
 	return s
 }
 

@@ -11,6 +11,7 @@ import (
 	"modemerge/internal/gen"
 	"modemerge/internal/graph"
 	"modemerge/internal/incr"
+	"modemerge/internal/library"
 	"modemerge/internal/netlist"
 	"modemerge/internal/relation"
 	"modemerge/internal/sdc"
@@ -19,13 +20,14 @@ import (
 
 // Property names reported in violations.
 const (
-	PropEquivalence = "equivalence" // CheckEquivalence finds optimism
-	PropRoundTrip   = "roundtrip"   // merged SDC fails Write→Parse→Write
-	PropPessimism   = "pessimism"   // merged stricter than NaiveMerge
-	PropConformity  = "conformity"  // merged times an endpoint all members exclude
-	PropDeterminism = "determinism" // parallel merge differs from sequential
-	PropIncremental  = "incremental"  // warm cached re-merge differs from cold
-	PropHierarchical = "hierarchical" // ETM-driven merge optimistic or wrong cliques
+	PropEquivalence      = "equivalence"       // CheckEquivalence finds optimism
+	PropRoundTrip        = "roundtrip"         // merged SDC fails Write→Parse→Write
+	PropPessimism        = "pessimism"         // merged stricter than NaiveMerge
+	PropConformity       = "conformity"        // merged times an endpoint all members exclude
+	PropDeterminism      = "determinism"       // parallel merge differs from sequential
+	PropIncremental      = "incremental"       // warm cached re-merge differs from cold
+	PropHierarchical     = "hierarchical"      // ETM-driven merge optimistic or wrong cliques
+	PropCornerConformity = "corner-conformity" // merged mode optimistic in some corner's scenarios
 )
 
 // maxDetails bounds the per-property detail strings kept in a violation
@@ -117,6 +119,19 @@ func Run(cx context.Context, spec *TrialSpec, fault core.FaultInjection) *TrialR
 	opt := core.Options{Tolerance: spec.Tolerance, Inject: fault, Parallelism: spec.Parallelism}
 	cleanOpt := core.Options{Tolerance: spec.Tolerance}
 
+	// Corner trials merge the #modes × #corners scenario matrix. The
+	// corners apply to the merge under test (and flow into the
+	// determinism and incremental oracles through opt), while the oracle
+	// baselines stay corner-less — relations don't depend on derates, and
+	// the per-corner safety claim is checked by the corner-conformity
+	// oracle on effective (overlay-applied) texts. Hierarchical trials
+	// ignore the corner dimension: core rejects the combination.
+	var corners []library.Corner
+	if spec.Corners > 0 && !spec.Hierarchical {
+		corners = spec.CornerSet(g)
+		opt.Corners = corners
+	}
+
 	mergedModes, reports, mb, err := core.MergeAll(cx, tg, modes, opt)
 	if err != nil {
 		res.Err = fmt.Errorf("merge: %w", err)
@@ -178,7 +193,7 @@ func Run(cx context.Context, spec *TrialSpec, fault core.FaultInjection) *TrialR
 			members = append(members, modes[mi])
 		}
 		merged := mergedModes[i]
-		res.Violations = append(res.Violations, checkClique(cx, tg, members, merged, cleanOpt)...)
+		res.Violations = append(res.Violations, checkClique(cx, tg, members, merged, corners, cleanOpt)...)
 		if err := cx.Err(); err != nil {
 			res.Err = err
 			return res
@@ -387,19 +402,29 @@ func checkIncremental(cx context.Context, tg *graph.Graph, modes []*sdc.Mode, ba
 	return nil
 }
 
-// checkClique runs the three properties on one merged clique.
-func checkClique(cx context.Context, tg *graph.Graph, members []*sdc.Mode, merged *sdc.Mode, opt core.Options) []Violation {
+// checkClique runs the per-clique properties on one merged clique.
+func checkClique(cx context.Context, tg *graph.Graph, members []*sdc.Mode, merged *sdc.Mode, corners []library.Corner, opt core.Options) []Violation {
 	var out []Violation
 
 	// Property 1: no optimistic mismatches against the individual modes.
-	eq, err := core.CheckEquivalence(cx, tg, members, merged, opt)
-	switch {
-	case err != nil:
-		out = append(out, Violation{Property: PropEquivalence, Clique: merged.Name, Count: 1,
-			Details: []string{"checker error: " + err.Error()}})
-	case !eq.Equivalent():
-		out = append(out, Violation{Property: PropEquivalence, Clique: merged.Name,
-			Count: len(eq.OptimisticMismatches), Details: cap8(eq.OptimisticMismatches)})
+	// On corner trials this runs per corner on the effective
+	// (overlay-applied) texts instead — a relaxation private to one corner
+	// legitimately stays out of the merged base text, so the corner-less
+	// comparison would be the wrong reference in both directions.
+	if len(corners) > 0 {
+		if v, ok := checkCornerConformity(cx, tg, members, merged, corners, opt); !ok {
+			out = append(out, v)
+		}
+	} else {
+		eq, err := core.CheckEquivalence(cx, tg, members, merged, opt)
+		switch {
+		case err != nil:
+			out = append(out, Violation{Property: PropEquivalence, Clique: merged.Name, Count: 1,
+				Details: []string{"checker error: " + err.Error()}})
+		case !eq.Equivalent():
+			out = append(out, Violation{Property: PropEquivalence, Clique: merged.Name,
+				Count: len(eq.OptimisticMismatches), Details: cap8(eq.OptimisticMismatches)})
+		}
 	}
 
 	// Property 2: the merged SDC round-trips through the parser and the
@@ -609,6 +634,68 @@ func checkConformity(cx context.Context, tg *graph.Graph, members []*sdc.Mode, m
 		return Violation{Property: PropConformity, Clique: merged.Name, Count: count, Details: details}, false
 	}
 	return Violation{}, true
+}
+
+// checkCornerConformity is the scenario-matrix generalization of the
+// equivalence oracle (§3.2 safety, per corner): for every corner, the
+// merged mode deployed in that corner — its base text with the corner's
+// SDC overlay appended, exactly how core builds scenario contexts — must
+// never be optimistic against the member modes deployed the same way.
+// The checks run corner-less over the effective texts: derates scale
+// delays, not relations, so the overlay is the only part of a corner the
+// relation comparison can see. This is the oracle that catches a merge
+// refining against a subset of the corners (e.g. the
+// merge-best-corner-only fault): a relaxation private to the surviving
+// corner gets baked into the merged base text and surfaces as optimism
+// in every corner that lacks it.
+func checkCornerConformity(cx context.Context, tg *graph.Graph, members []*sdc.Mode, merged *sdc.Mode, corners []library.Corner, opt core.Options) (Violation, bool) {
+	violate := func(detail string) (Violation, bool) {
+		return Violation{Property: PropCornerConformity, Clique: merged.Name, Count: 1,
+			Details: []string{detail}}, false
+	}
+	var details []string
+	count := 0
+	for i := range corners {
+		crn := &corners[i]
+		effMembers, effMerged := members, merged
+		if crn.SDC != "" {
+			effMembers = make([]*sdc.Mode, len(members))
+			for j, m := range members {
+				em, err := overlayMode(tg, m, crn)
+				if err != nil {
+					return violate(fmt.Sprintf("corner %s: member %s overlay: %v", crn.Name, m.Name, err))
+				}
+				effMembers[j] = em
+			}
+			var err error
+			if effMerged, err = overlayMode(tg, merged, crn); err != nil {
+				return violate(fmt.Sprintf("corner %s: merged overlay: %v", crn.Name, err))
+			}
+		}
+		eq, err := core.CheckEquivalence(cx, tg, effMembers, effMerged, opt)
+		switch {
+		case err != nil:
+			return violate(fmt.Sprintf("corner %s: checker error: %v", crn.Name, err))
+		case !eq.Equivalent():
+			count += len(eq.OptimisticMismatches)
+			for _, d := range eq.OptimisticMismatches {
+				if len(details) < maxDetails {
+					details = append(details, "corner "+crn.Name+": "+d)
+				}
+			}
+		}
+	}
+	if count > 0 {
+		return Violation{Property: PropCornerConformity, Clique: merged.Name, Count: count, Details: details}, false
+	}
+	return Violation{}, true
+}
+
+// overlayMode rebuilds a mode with a corner's SDC overlay appended — the
+// same effective-text construction core uses for scenario contexts.
+func overlayMode(tg *graph.Graph, m *sdc.Mode, crn *library.Corner) (*sdc.Mode, error) {
+	em, _, err := sdc.Parse(m.Name, sdc.Write(m)+"\n"+crn.SDC+"\n", tg.Design)
+	return em, err
 }
 
 // single resolves a relation set to one state; a missing/empty set means

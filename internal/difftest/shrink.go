@@ -65,6 +65,17 @@ func candidates(s *TrialSpec) []*TrialSpec {
 			c.Perturbs = append(c.Perturbs[:i], c.Perturbs[i+1:]...)
 		})
 	}
+	// Drop one corner perturbation at a time, and shed corners from the
+	// scenario matrix (0 falls all the way back to corner-less merging).
+	for i := range s.CornerPerturbs {
+		i := i
+		add(func(c *TrialSpec) {
+			c.CornerPerturbs = append(c.CornerPerturbs[:i], c.CornerPerturbs[i+1:]...)
+		})
+	}
+	if s.Corners > 0 {
+		add(func(c *TrialSpec) { c.Corners-- })
+	}
 	// Drop one whole mode group.
 	if len(s.Family.ModesPerGroup) > 1 {
 		for i := range s.Family.ModesPerGroup {

@@ -1,7 +1,7 @@
 // Package difftest is a property-based differential fuzzing harness for
 // the mode-merging flow. It samples randomized designs and mode families
 // (internal/gen) plus random constraint perturbations, runs the
-// timing-graph merge, and checks every merged clique against seven
+// timing-graph merge, and checks every merged clique against eight
 // independent oracles:
 //
 //  1. equivalence — core.CheckEquivalence reports no optimistic
@@ -29,7 +29,13 @@
 //     (internal/etm extraction + per-block refinement + stitching) forms
 //     the same cliques as the flat merge and its stitched modes are
 //     never optimistic, neither against the member modes nor against the
-//     flat merged mode (relation-equivalent up to pessimism).
+//     flat merged mode (relation-equivalent up to pessimism);
+//  8. corner-conformity — on corner (MCMM scenario-matrix) trials, the
+//     merged mode deployed in each corner (base text + that corner's SDC
+//     overlay) is never optimistic against the member modes deployed in
+//     the same corner. This is the per-corner form of oracle 1, and on
+//     corner trials it replaces it: relaxations private to one corner
+//     make the corner-less comparison the wrong reference.
 //
 // Failures shrink to a minimal reproducer spec and are written as JSON
 // corpus files under testdata/corpus/, which go test replays as
@@ -41,6 +47,7 @@ import (
 	"fmt"
 
 	"modemerge/internal/gen"
+	"modemerge/internal/library"
 )
 
 // Perturb is one randomized constraint added to one mode of the family.
@@ -90,6 +97,23 @@ type TrialSpec struct {
 	// as the flat merge and must never be optimistic against the members
 	// or the flat merged mode. Absent in older corpus files (= off).
 	Hierarchical bool `json:"hierarchical,omitempty"`
+	// Corners sets the MCMM scenario-matrix dimension: 0 merges
+	// corner-less, N ≥ 1 merges the #modes × N scenario matrix through
+	// core.Options.Corners using gen.CornerSet's derate ladder. Corner
+	// trials swap the corner-less equivalence oracle for the per-corner
+	// corner-conformity oracle (the corner-less comparison is the wrong
+	// reference once relaxations may be corner-local). Ignored on
+	// hierarchical trials — core rejects the combination. Absent in
+	// older corpus files (= 0).
+	Corners int `json:"corners,omitempty"`
+	// CornerPerturbs are constraint overlays attached to individual
+	// corners: each renders like a Perturb, but the lines are appended to
+	// the selected corner's SDC overlay (Perturb.Mode selects the corner,
+	// mod Corners) and so apply to every mode analyzed in that corner.
+	// Only the relation-relaxing false-path kinds are rendered (see
+	// cornerPerturbKinds) — overlays must not create clocks and must not
+	// collide with per-mode case values. Absent in older corpus files.
+	CornerPerturbs []Perturb `json:"corner_perturbs,omitempty"`
 }
 
 // Clone deep-copies the spec.
@@ -97,6 +121,7 @@ func (s *TrialSpec) Clone() *TrialSpec {
 	c := *s
 	c.Family.ModesPerGroup = append([]int(nil), s.Family.ModesPerGroup...)
 	c.Perturbs = append([]Perturb(nil), s.Perturbs...)
+	c.CornerPerturbs = append([]Perturb(nil), s.CornerPerturbs...)
 	return &c
 }
 
@@ -108,7 +133,8 @@ func (s *TrialSpec) Size() int {
 		modes += n
 	}
 	return d.Domains*d.BlocksPerDomain*d.Stages*d.RegsPerStage*(1+d.CloudDepth) +
-		d.CrossPaths + d.IOPairs + 10*modes + 5*len(s.Perturbs)
+		d.CrossPaths + d.IOPairs + 10*modes + 5*len(s.Perturbs) +
+		8*s.Corners + 5*len(s.CornerPerturbs)
 }
 
 // String is a compact summary for logs.
@@ -117,10 +143,14 @@ func (s *TrialSpec) String() string {
 	if s.Hierarchical {
 		kind = " hier"
 	}
-	return fmt.Sprintf("design{dom=%d blk=%d stg=%d reg=%d cloud=%d x=%d io=%d seed=%d%s} groups=%v perturbs=%d",
+	corners := ""
+	if s.Corners > 0 {
+		corners = fmt.Sprintf(" corners=%d/%d", s.Corners, len(s.CornerPerturbs))
+	}
+	return fmt.Sprintf("design{dom=%d blk=%d stg=%d reg=%d cloud=%d x=%d io=%d seed=%d%s} groups=%v perturbs=%d%s",
 		s.Design.Domains, s.Design.BlocksPerDomain, s.Design.Stages, s.Design.RegsPerStage,
 		s.Design.CloudDepth, s.Design.CrossPaths, s.Design.IOPairs, s.Design.Seed, kind,
-		s.Family.ModesPerGroup, len(s.Perturbs))
+		s.Family.ModesPerGroup, len(s.Perturbs), corners)
 }
 
 // MarshalIndent renders the canonical JSON form used for corpus files.
@@ -195,6 +225,47 @@ func casePort(g *gen.Generated, p Perturb) (string, bool) {
 		return "", false
 	}
 	return ports[mod(p.B, len(ports))], true
+}
+
+// cornerPerturbKinds are the Perturb kinds rendered into corner
+// overlays. Only the false-path family qualifies: overlay lines apply to
+// every mode of the corner, so they must never create clocks (a corner
+// invariant core enforces), never collide with per-mode case values
+// ("case" could set the opposite constant a mode already cases), and
+// only ever relax relations — a corner whose overlay could tighten a
+// relation would make the corner-less pessimism and conformity oracles
+// wrong references. CornerSet silently skips other kinds.
+var cornerPerturbKinds = []string{"false_path", "false_path_from", "false_path_out"}
+
+// CornerSet materializes the spec's corners against a generated design:
+// gen.CornerSet's deterministic derate ladder (corner 0 neutral, odd
+// corners slow with extra output load, even corners fast with input
+// transitions), plus the spec's corner perturbations appended to the
+// selected corners' SDC overlays.
+func (s *TrialSpec) CornerSet(g *gen.Generated) []library.Corner {
+	if s.Corners <= 0 {
+		return nil
+	}
+	fam := s.Family
+	fam.Corners = s.Corners
+	corners := g.CornerSet(fam)
+	for _, p := range s.CornerPerturbs {
+		ok := false
+		for _, k := range cornerPerturbKinds {
+			if p.Kind == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		ci := mod(p.Mode, len(corners))
+		for _, line := range renderPerturb(g, p) {
+			corners[ci].SDC += line + "\n"
+		}
+	}
+	return corners
 }
 
 // PerturbKinds lists the valid Perturb.Kind values. false_path_from and

@@ -297,6 +297,9 @@ type FamilySpec struct {
 	// shared across members — the precondition for the refinement
 	// engine's cross-mode fingerprint prune to fire at all.
 	FunctionalOnly bool
+	// Corners is the number of operating corners of the scenario matrix
+	// (see CornerSet); 0 means corner-less analysis.
+	Corners int
 }
 
 // TotalModes sums the group sizes.
@@ -362,6 +365,50 @@ func (g *Generated) ModesWithExtra(f FamilySpec, extra func(grp, v int) []string
 			}
 			out = append(out, ModeSDC{Name: name, Text: m.b.String()})
 		}
+	}
+	return out
+}
+
+// CornerSet renders f.Corners deterministic operating corners, modelled
+// on a voltage/temperature sweep: corner 0 is the typical point (neutral
+// factors, no overlay); odd corners lean slow — rising global and late
+// derates, growing check margins, and an SDC overlay adding pad load on
+// the data outputs; even corners lean fast — shrinking delays with an
+// extra early derate, and an overlay tightening the data-input
+// transitions. Overlays reference only ports (which exist in every mode
+// of every family, unlike clocks) and never create clocks, as the merge
+// engine requires.
+func (g *Generated) CornerSet(f FamilySpec) []library.Corner {
+	if f.Corners <= 0 {
+		return nil
+	}
+	out := make([]library.Corner, f.Corners)
+	for c := range out {
+		crn := library.Corner{Name: fmt.Sprintf("c%d", c)}
+		switch {
+		case c == 0:
+			// Typical: the neutral corner.
+		case c%2 == 1:
+			crn.DelayScale = 1 + 0.05*float64(c)
+			crn.LateScale = 1.05
+			crn.MarginScale = 1 + 0.1*float64(c)
+			var b strings.Builder
+			for d := range g.DataOut {
+				for _, outp := range g.DataOut[d] {
+					fmt.Fprintf(&b, "set_load %.4g [get_ports %s]\n", 0.02*float64(c+1), outp)
+				}
+			}
+			crn.SDC = b.String()
+		default:
+			crn.DelayScale = 1 / (1 + 0.04*float64(c))
+			crn.EarlyScale = 0.95
+			var b strings.Builder
+			for _, in := range g.allDataIns() {
+				fmt.Fprintf(&b, "set_input_transition %.4g [get_ports %s]\n", 0.03*float64(c), in)
+			}
+			crn.SDC = b.String()
+		}
+		out[c] = crn
 	}
 	return out
 }

@@ -1,0 +1,133 @@
+package library
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCornerFactors pins the zero-means-1.0 defaulting of every scale
+// field, which is what keeps a zero-value Corner semantically neutral.
+func TestCornerFactors(t *testing.T) {
+	cases := []struct {
+		name                       string
+		corner                     Corner
+		delay, early, late, margin float64
+	}{
+		{"zero-value", Corner{}, 1, 1, 1, 1},
+		{"explicit-ones", Corner{DelayScale: 1, EarlyScale: 1, LateScale: 1, MarginScale: 1}, 1, 1, 1, 1},
+		{"delay-only", Corner{DelayScale: 1.2}, 1.2, 1, 1, 1},
+		{"early-only", Corner{EarlyScale: 0.9}, 1, 0.9, 1, 1},
+		{"late-only", Corner{LateScale: 1.1}, 1, 1, 1.1, 1},
+		{"margin-only", Corner{MarginScale: 1.5}, 1, 1, 1, 1.5},
+		{"all-set", Corner{DelayScale: 0.8, EarlyScale: 0.95, LateScale: 1.05, MarginScale: 2}, 0.8, 0.95, 1.05, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.corner
+			if got := c.DelayFactor(); got != tc.delay {
+				t.Errorf("DelayFactor = %g, want %g", got, tc.delay)
+			}
+			if got := c.EarlyFactor(); got != tc.early {
+				t.Errorf("EarlyFactor = %g, want %g", got, tc.early)
+			}
+			if got := c.LateFactor(); got != tc.late {
+				t.Errorf("LateFactor = %g, want %g", got, tc.late)
+			}
+			if got := c.MarginFactor(); got != tc.margin {
+				t.Errorf("MarginFactor = %g, want %g", got, tc.margin)
+			}
+			wantNeutral := tc.delay == 1 && tc.early == 1 && tc.late == 1 && tc.margin == 1
+			if got := c.Neutral(); got != wantNeutral {
+				t.Errorf("Neutral = %v, want %v", got, wantNeutral)
+			}
+		})
+	}
+	overlay := Corner{SDC: "set_load 0.02 [get_ports o]"}
+	if overlay.Neutral() {
+		t.Error("corner with an SDC overlay must not be neutral")
+	}
+}
+
+// TestCornerKey pins that Key is a faithful content address: equal
+// corners share a key, and changing any semantic field changes it.
+func TestCornerKey(t *testing.T) {
+	base := Corner{Name: "wc", DelayScale: 1.2, EarlyScale: 0.9, LateScale: 1.1, MarginScale: 1.5, SDC: "set_load 0.02 [get_ports o]"}
+	if base.Key() != base.Key() {
+		t.Fatal("Key is not deterministic")
+	}
+	same := base
+	if same.Key() != base.Key() {
+		t.Error("identical corners have different keys")
+	}
+	variants := map[string]Corner{
+		"name":   {Name: "bc", DelayScale: 1.2, EarlyScale: 0.9, LateScale: 1.1, MarginScale: 1.5, SDC: base.SDC},
+		"delay":  {Name: "wc", DelayScale: 1.3, EarlyScale: 0.9, LateScale: 1.1, MarginScale: 1.5, SDC: base.SDC},
+		"early":  {Name: "wc", DelayScale: 1.2, EarlyScale: 0.8, LateScale: 1.1, MarginScale: 1.5, SDC: base.SDC},
+		"late":   {Name: "wc", DelayScale: 1.2, EarlyScale: 0.9, LateScale: 1.2, MarginScale: 1.5, SDC: base.SDC},
+		"margin": {Name: "wc", DelayScale: 1.2, EarlyScale: 0.9, LateScale: 1.1, MarginScale: 2, SDC: base.SDC},
+		"sdc":    {Name: "wc", DelayScale: 1.2, EarlyScale: 0.9, LateScale: 1.1, MarginScale: 1.5, SDC: "set_load 0.04 [get_ports o]"},
+	}
+	for field, v := range variants {
+		if v.Key() == base.Key() {
+			t.Errorf("changing %s did not change the key", field)
+		}
+	}
+	// Explicit 1.0 factors and implicit zero factors are the same corner.
+	implicit := Corner{Name: "typ"}
+	explicit := Corner{Name: "typ", DelayScale: 1, EarlyScale: 1, LateScale: 1, MarginScale: 1}
+	if implicit.Key() != explicit.Key() {
+		t.Error("zero factors and explicit 1.0 factors produce different keys")
+	}
+}
+
+// TestCornerSetKey covers the set-level cache key used by the
+// incremental layer: empty set → empty string, order matters, and each
+// member contributes its full key.
+func TestCornerSetKey(t *testing.T) {
+	if got := CornerSetKey(nil); got != "" {
+		t.Errorf("CornerSetKey(nil) = %q, want empty", got)
+	}
+	a := Corner{Name: "a", DelayScale: 1.1}
+	b := Corner{Name: "b", EarlyScale: 0.9}
+	ab, ba := CornerSetKey([]Corner{a, b}), CornerSetKey([]Corner{b, a})
+	if ab == ba {
+		t.Error("corner order does not affect the set key")
+	}
+	if !strings.Contains(ab, a.Key()) || !strings.Contains(ab, b.Key()) {
+		t.Error("set key does not embed member keys")
+	}
+	if CornerSetKey([]Corner{a}) != a.Key() {
+		t.Error("singleton set key differs from the member key")
+	}
+}
+
+// TestValidateCorners covers the request-validation contract shared by
+// core, the service, and the CLI.
+func TestValidateCorners(t *testing.T) {
+	cases := []struct {
+		name    string
+		corners []Corner
+		wantErr string
+	}{
+		{"nil-ok", nil, ""},
+		{"empty-ok", []Corner{}, ""},
+		{"single-ok", []Corner{{Name: "typ"}}, ""},
+		{"multi-ok", []Corner{{Name: "wc"}, {Name: "bc"}, {Name: "typ"}}, ""},
+		{"unnamed", []Corner{{Name: "wc"}, {DelayScale: 1.2}}, "name required"},
+		{"duplicate", []Corner{{Name: "wc"}, {Name: "bc"}, {Name: "wc", DelayScale: 2}}, `duplicate corner name "wc"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateCorners(tc.corners)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -51,9 +51,11 @@ func writeErrorV2(w http.ResponseWriter, status int, code, msg string, details m
 // exactly these paths (pinned by TestOpenAPICoversV2Routes).
 var v2Routes = []string{
 	"POST /v2/merge",
+	"POST /v2/matrix",
 	"GET /v2/jobs",
 	"GET /v2/jobs/{id}",
 	"GET /v2/jobs/{id}/result",
+	"GET /v2/jobs/{id}/matrix",
 	"GET /v2/jobs/{id}/trace",
 	"POST /v2/jobs/{id}/cancel",
 	"GET /v2/jobs/{id}/flight",
@@ -68,9 +70,11 @@ func V2Routes() []string { return append([]string(nil), v2Routes...) }
 func (s *Server) registerV2(mux *http.ServeMux) {
 	handlers := map[string]http.HandlerFunc{
 		"POST /v2/merge":            s.handleSubmitV2,
+		"POST /v2/matrix":           s.handleSubmitMatrixV2,
 		"GET /v2/jobs":              s.handleJobsListV2,
 		"GET /v2/jobs/{id}":         s.handleJobV2,
 		"GET /v2/jobs/{id}/result":  s.handleResultV2,
+		"GET /v2/jobs/{id}/matrix":  s.handleJobMatrixV2,
 		"GET /v2/jobs/{id}/trace":   s.handleTraceV2,
 		"POST /v2/jobs/{id}/cancel": s.handleCancelV2,
 		"GET /v2/jobs/{id}/flight":  s.handleFlightV2,
@@ -135,6 +139,19 @@ type idemEntry struct {
 }
 
 func (s *Server) handleSubmitV2(w http.ResponseWriter, r *http.Request) {
+	s.submitV2(w, r, false)
+}
+
+// handleSubmitMatrixV2 is POST /v2/matrix: a merge submission that
+// requires an MCMM scenario matrix (at least one corner). It shares the
+// whole submit pipeline with POST /v2/merge — same idempotency layer,
+// same digests, same job machinery — so a matrix job replayed through
+// either route with the same Idempotency-Key resolves to one job.
+func (s *Server) handleSubmitMatrixV2(w http.ResponseWriter, r *http.Request) {
+	s.submitV2(w, r, true)
+}
+
+func (s *Server) submitV2(w http.ResponseWriter, r *http.Request, requireCorners bool) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	var req MergeRequest
 	dec := json.NewDecoder(r.Body)
@@ -148,6 +165,11 @@ func (s *Server) handleSubmitV2(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeErrorV2(w, http.StatusBadRequest, codeInvalidRequest, "invalid request body: "+err.Error(), nil)
+		return
+	}
+	if requireCorners && len(req.Corners) == 0 {
+		writeErrorV2(w, http.StatusBadRequest, codeInvalidRequest,
+			"scenario matrix requires at least one corner (use POST /v2/merge for corner-less merges)", nil)
 		return
 	}
 
@@ -305,6 +327,84 @@ func (s *Server) handleResultV2(w http.ResponseWriter, r *http.Request) {
 			"job "+job.ID+" is still "+string(view.Status),
 			map[string]any{"id": job.ID, "status": view.Status})
 	}
+}
+
+// matrixResponse is the GET /v2/jobs/{id}/matrix payload: one page of
+// the reduced scenario matrix. NextCursor is set when more entries exist
+// beyond this page; pass it back as ?cursor= to resume.
+type matrixResponse struct {
+	ID         string        `json:"id"`
+	Total      int           `json:"total"`
+	Entries    []MatrixEntry `json:"entries"`
+	NextCursor string        `json:"next_cursor,omitempty"`
+}
+
+// handleJobMatrixV2 serves a done job's reduced scenario matrix with
+// cursor pagination (the full matrix is #cliques × #corners entries of
+// complete SDC texts — large designs want pages, not one payload). The
+// cursor is the positional index of the first entry to serve: matrix
+// order is deterministic (merged-mode-major, corner order as submitted),
+// so positions are stable across requests.
+func (s *Server) handleJobMatrixV2(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJobV2(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	limit := 50
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 || n > 500 {
+			writeErrorV2(w, http.StatusBadRequest, codeInvalidRequest,
+				"limit must be an integer between 1 and 500", map[string]any{"limit": raw})
+			return
+		}
+		limit = n
+	}
+	offset := 0
+	if raw := q.Get("cursor"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeErrorV2(w, http.StatusBadRequest, codeInvalidRequest,
+				"malformed cursor", map[string]any{"cursor": raw})
+			return
+		}
+		offset = n
+	}
+
+	view := job.View()
+	if view.Status != StatusDone {
+		if view.Status == StatusFailed || view.Status == StatusCanceled {
+			writeErrorV2(w, http.StatusConflict, codeConflict,
+				"job "+job.ID+" is "+string(view.Status)+": "+view.Error,
+				map[string]any{"id": job.ID, "status": view.Status})
+		} else {
+			writeErrorV2(w, http.StatusConflict, codeConflict,
+				"job "+job.ID+" is still "+string(view.Status),
+				map[string]any{"id": job.ID, "status": view.Status})
+		}
+		return
+	}
+	result := job.Result()
+	if result == nil || len(result.Matrix) == 0 {
+		writeErrorV2(w, http.StatusNotFound, codeNotFound,
+			"job "+job.ID+" has no scenario matrix (submitted without corners)",
+			map[string]any{"id": job.ID})
+		return
+	}
+
+	resp := matrixResponse{ID: job.ID, Total: len(result.Matrix), Entries: []MatrixEntry{}}
+	if offset < len(result.Matrix) {
+		end := offset + limit
+		if end > len(result.Matrix) {
+			end = len(result.Matrix)
+		}
+		resp.Entries = append(resp.Entries, result.Matrix[offset:end]...)
+		if end < len(result.Matrix) {
+			resp.NextCursor = strconv.Itoa(end)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleTraceV2(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"modemerge/internal/core"
+	"modemerge/internal/library"
 	"modemerge/internal/obs"
 )
 
@@ -29,6 +30,19 @@ type ModeInput struct {
 	SDC  string `json:"sdc"`
 }
 
+// CornerInput is one operating corner of an MCMM scenario matrix
+// (library.Corner over the wire): multiplicative derates on the nominal
+// delay model plus an optional SDC overlay appended to every mode in
+// that corner. Scale values of zero mean 1.0.
+type CornerInput struct {
+	Name        string  `json:"name"`
+	DelayScale  float64 `json:"delay_scale,omitempty"`
+	EarlyScale  float64 `json:"early_scale,omitempty"`
+	LateScale   float64 `json:"late_scale,omitempty"`
+	MarginScale float64 `json:"margin_scale,omitempty"`
+	SDC         string  `json:"sdc,omitempty"`
+}
+
 // RequestOptions mirrors the tunable subset of core.Options.
 type RequestOptions struct {
 	Tolerance           float64 `json:"tolerance,omitempty"`
@@ -46,6 +60,12 @@ type MergeRequest struct {
 	Library string `json:"library,omitempty"`
 	// Modes are the SDC modes to merge (at least one).
 	Modes []ModeInput `json:"modes"`
+	// Corners defines the MCMM scenario matrix: the merge analyzes every
+	// mode in every corner (#modes × #corners scenarios) and refines to
+	// the across-corner worst case. Empty means corner-less merging —
+	// byte-identical to the pre-corner API. Corner names must be unique:
+	// a duplicate name would duplicate every "mode@corner" scenario key.
+	Corners []CornerInput `json:"corners,omitempty"`
 	// Options tunes the merge flow.
 	Options RequestOptions `json:"options"`
 	// Validate runs the equivalence check on each merged clique
@@ -83,7 +103,25 @@ func (r *MergeRequest) validateRequest() error {
 		}
 		seen[m.Name] = true
 	}
+	if err := library.ValidateCorners(r.coreCorners()); err != nil {
+		return fmt.Errorf("scenario matrix: %w", err)
+	}
 	return nil
+}
+
+// coreCorners maps the request's corner inputs to library corners.
+func (r *MergeRequest) coreCorners() []library.Corner {
+	if len(r.Corners) == 0 {
+		return nil
+	}
+	out := make([]library.Corner, len(r.Corners))
+	for i, c := range r.Corners {
+		out[i] = library.Corner{
+			Name: c.Name, DelayScale: c.DelayScale, EarlyScale: c.EarlyScale,
+			LateScale: c.LateScale, MarginScale: c.MarginScale, SDC: c.SDC,
+		}
+	}
+	return out
 }
 
 func (r *MergeRequest) wantValidate() bool { return r.Validate == nil || *r.Validate }
@@ -102,6 +140,12 @@ func (r *MergeRequest) resultKey() string {
 	// different jobs.
 	for _, m := range r.Modes {
 		parts = append(parts, "mode", m.Name, m.SDC)
+	}
+	// The corner set is part of the key only when present, so corner-less
+	// requests keep their historical digests (idempotency keys and result
+	// caches survive the API addition).
+	if len(r.Corners) > 0 {
+		parts = append(parts, "corners", library.CornerSetKey(r.coreCorners()))
 	}
 	return contentHash(parts...)
 }
@@ -127,6 +171,22 @@ type EquivalenceReport struct {
 	Unresolved  int      `json:"unresolved"`
 }
 
+// MatrixEntry is one cell of the reduced scenario matrix: a merged mode
+// deployed in one corner. The input matrix has #modes × #corners
+// scenarios; the output has #cliques × #corners entries.
+type MatrixEntry struct {
+	// Mode is the merged mode's name, Corner the corner's.
+	Mode   string `json:"mode"`
+	Corner string `json:"corner"`
+	// SDC is the effective deployed constraint text: the merged mode's
+	// SDC with the corner's overlay appended — exactly the text the
+	// merge refined this scenario's context from.
+	SDC string `json:"sdc"`
+	// Scenarios are the member scenario keys ("mode@corner") this entry
+	// covers: the clique's member modes, each in this entry's corner.
+	Scenarios []string `json:"scenarios"`
+}
+
 // Result is the final payload of a finished merge job.
 type Result struct {
 	// Merged holds one mode per merge clique (singletons pass through).
@@ -139,6 +199,9 @@ type Result struct {
 	Conflicts []core.NonMergeable `json:"conflicts,omitempty"`
 	// Equivalence holds one report per validated multi-mode clique.
 	Equivalence []EquivalenceReport `json:"equivalence,omitempty"`
+	// Matrix is the reduced scenario matrix, merged-mode-major then
+	// corner order; present only on corner (scenario-matrix) requests.
+	Matrix []MatrixEntry `json:"matrix,omitempty"`
 }
 
 // Job is one queued merge. All mutable fields are guarded by mu; the

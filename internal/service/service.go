@@ -456,10 +456,12 @@ func (s *Server) execute(ctx context.Context, job *Job, req *MergeRequest) (*Res
 	observe("parse", time.Since(parseStart))
 
 	job.noteStage("merge")
+	corners := req.coreCorners()
 	opt := core.Options{
 		Tolerance:           req.Options.Tolerance,
 		MaxRefineIterations: req.Options.MaxRefineIterations,
 		Parallelism:         s.cfg.MergeParallelism,
+		Corners:             corners,
 		STA:                 sta.Options{Workers: req.Options.Workers},
 		StageHook:           observe,
 		Trace:               root,
@@ -478,6 +480,26 @@ func (s *Server) execute(ctx context.Context, job *Job, req *MergeRequest) (*Res
 	}
 	for _, m := range merged {
 		result.Merged = append(result.Merged, MergedMode{Name: m.Name, SDC: sdc.Write(m)})
+	}
+
+	// On scenario-matrix requests, reduce the #modes × #corners input
+	// matrix to #cliques × #corners deployable entries: each merged mode
+	// deployed in each corner (merged text + that corner's overlay), with
+	// the member scenario keys it covers as provenance.
+	if len(corners) > 0 {
+		for ci, m := range result.Merged {
+			for _, crn := range corners {
+				text := m.SDC
+				if crn.SDC != "" {
+					text += "\n" + crn.SDC + "\n"
+				}
+				entry := MatrixEntry{Mode: m.Name, Corner: crn.Name, SDC: text}
+				for _, member := range result.Groups[ci] {
+					entry.Scenarios = append(entry.Scenarios, member+"@"+crn.Name)
+				}
+				result.Matrix = append(result.Matrix, entry)
+			}
+		}
 	}
 
 	if req.wantValidate() {

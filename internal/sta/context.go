@@ -79,6 +79,13 @@ type Options struct {
 	// are byte-identical either way — this is a debug/equivalence-test
 	// knob, excluded from Fingerprint like Workers and Span.
 	DisableRelationMemo bool
+	// Corner selects the operating corner the context analyzes: its
+	// derates scale the delay calculation and check margins. Nil means
+	// the nominal corner-less analysis (bit-identical to builds that
+	// predate corners — no factors are applied at all). Unlike the
+	// knobs above, the corner changes analysis results, so it is part
+	// of Fingerprint.
+	Corner *library.Corner
 }
 
 // WorkerCount resolves Workers against n work items: at least 1, at most

@@ -1,0 +1,185 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"modemerge/internal/gen"
+	"modemerge/internal/graph"
+	"modemerge/internal/library"
+	"modemerge/internal/sdc"
+)
+
+// ctxForCorner is ctxFor with an analysis corner selected.
+func ctxForCorner(t *testing.T, src string, crn *library.Corner) *Context {
+	t.Helper()
+	d := gen.PaperCircuit()
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode, _, err := sdc.Parse("test", src, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(g, mode, Options{Corner: crn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+const cornerSDC = `create_clock -name clkA -period 10 [get_ports clk1]`
+
+// TestCornerDelayMonotonicity is the table-driven derate contract: a
+// factor above 1 never decreases the affected delay values, a factor
+// below 1 never increases them, and the untouched early/late side stays
+// bit-identical to the nominal analysis.
+func TestCornerDelayMonotonicity(t *testing.T) {
+	nominal := ctxFor(t, cornerSDC)
+	cases := []struct {
+		name   string
+		corner library.Corner
+		// cmp(base, got) must hold per arc for the late and early values.
+		late, early func(base, got float64) bool
+	}{
+		{"global-slow", library.Corner{Name: "s", DelayScale: 1.2},
+			func(b, g float64) bool { return g >= b },
+			func(b, g float64) bool { return g >= b }},
+		{"global-fast", library.Corner{Name: "f", DelayScale: 0.8},
+			func(b, g float64) bool { return g <= b },
+			func(b, g float64) bool { return g <= b }},
+		{"late-only", library.Corner{Name: "l", LateScale: 1.1},
+			func(b, g float64) bool { return g >= b },
+			func(b, g float64) bool { return g == b }},
+		{"early-only", library.Corner{Name: "e", EarlyScale: 0.9},
+			func(b, g float64) bool { return g == b },
+			func(b, g float64) bool { return g <= b }},
+		{"neutral", library.Corner{Name: "n"},
+			func(b, g float64) bool { return g == b },
+			func(b, g float64) bool { return g == b }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			derated := ctxForCorner(t, cornerSDC, &tc.corner)
+			for ai := int32(0); ai < int32(nominal.G.NumArcs()); ai++ {
+				b, g := nominal.delays[ai], derated.delays[ai]
+				if !tc.late(b.riseMax, g.riseMax) || !tc.late(b.fallMax, g.fallMax) {
+					t.Fatalf("arc %d late delay violates %s contract: base=%+v got=%+v", ai, tc.name, b, g)
+				}
+				if !tc.early(b.riseMin, g.riseMin) || !tc.early(b.fallMin, g.fallMin) {
+					t.Fatalf("arc %d early delay violates %s contract: base=%+v got=%+v", ai, tc.name, b, g)
+				}
+			}
+		})
+	}
+}
+
+// TestCornerSetupHoldAsymmetry pins which check each derate side moves:
+// a late-only derate worsens setup slack (late arrivals grow) while the
+// hold slack — computed from early arrivals — stays put, and an
+// early-only shrink does the reverse.
+func TestCornerSetupHoldAsymmetry(t *testing.T) {
+	nominal := ctxFor(t, cornerSDC)
+	base := endpointResult(t, nominal, "rX/D")
+	cases := []struct {
+		name       string
+		corner     library.Corner
+		setupMoves bool // setup slack must strictly decrease
+		holdMoves  bool // hold slack must strictly decrease
+	}{
+		{"late-worsens-setup", library.Corner{Name: "wc", LateScale: 1.5}, true, false},
+		{"early-worsens-hold", library.Corner{Name: "bc", EarlyScale: 0.5}, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := ctxForCorner(t, cornerSDC, &tc.corner)
+			r := endpointResult(t, ctx, "rX/D")
+			if tc.setupMoves && r.SetupSlack >= base.SetupSlack {
+				t.Errorf("setup slack did not worsen: %g vs base %g", r.SetupSlack, base.SetupSlack)
+			}
+			if !tc.setupMoves && math.Abs(r.SetupSlack-base.SetupSlack) > 1e-12 {
+				t.Errorf("setup slack moved: %g vs base %g", r.SetupSlack, base.SetupSlack)
+			}
+			if tc.holdMoves && r.HoldSlack >= base.HoldSlack {
+				t.Errorf("hold slack did not worsen: %g vs base %g", r.HoldSlack, base.HoldSlack)
+			}
+			if !tc.holdMoves && math.Abs(r.HoldSlack-base.HoldSlack) > 1e-12 {
+				t.Errorf("hold slack moved: %g vs base %g", r.HoldSlack, base.HoldSlack)
+			}
+		})
+	}
+}
+
+// TestCornerMarginScale checks the margin derate reaches the setup/hold
+// checks: scaling the library margins by k shifts the setup slack by
+// exactly (k−1)·margin (the DFF setup margin is 0.08 in the builtin
+// library).
+func TestCornerMarginScale(t *testing.T) {
+	nominal := ctxFor(t, cornerSDC)
+	base := endpointResult(t, nominal, "rX/D")
+	scaled := ctxForCorner(t, cornerSDC, &library.Corner{Name: "m", MarginScale: 2})
+	r := endpointResult(t, scaled, "rX/D")
+	if diff := base.SetupSlack - r.SetupSlack; math.Abs(diff-0.08) > 1e-9 {
+		t.Errorf("setup slack shift = %g, want 0.08 (margin 0.08 doubled)", diff)
+	}
+	if diff := base.HoldSlack - r.HoldSlack; math.Abs(diff-0.03) > 1e-9 {
+		t.Errorf("hold slack shift = %g, want 0.03 (margin 0.03 doubled)", diff)
+	}
+}
+
+// TestCornerNilBitIdentity is the regression guard that a nil corner is
+// the historical path bit for bit: every delay word and both slacks of a
+// nil-corner context equal a pre-corner build's, which we pin by
+// asserting nil and an explicitly neutral corner agree exactly (the
+// neutral corner multiplies by 1.0, which is exact in IEEE 754).
+func TestCornerNilBitIdentity(t *testing.T) {
+	nilCtx := ctxFor(t, cornerSDC)
+	neutral := ctxForCorner(t, cornerSDC, &library.Corner{Name: "typ"})
+	for ai := int32(0); ai < int32(nilCtx.G.NumArcs()); ai++ {
+		if nilCtx.delays[ai] != neutral.delays[ai] {
+			t.Fatalf("arc %d delays differ between nil and neutral corner: %+v vs %+v",
+				ai, nilCtx.delays[ai], neutral.delays[ai])
+		}
+	}
+	a, b := endpointResult(t, nilCtx, "rX/D"), endpointResult(t, neutral, "rX/D")
+	if a.SetupSlack != b.SetupSlack || a.HoldSlack != b.HoldSlack {
+		t.Fatalf("slacks differ between nil and neutral corner: %+v vs %+v", a, b)
+	}
+}
+
+// TestCornerFingerprint pins the content-address contract: a nil corner
+// keeps the historical fingerprint, any corner changes it, and two
+// corners differing in any semantic field (factors or overlay) hash
+// differently while identical corners hash equal.
+func TestCornerFingerprint(t *testing.T) {
+	d := gen.PaperCircuit()
+	g, err := graph.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := func(crn *library.Corner) string {
+		return FingerprintText(g, cornerSDC, Options{Corner: crn})
+	}
+	base := fp(nil)
+	wc := library.Corner{Name: "wc", DelayScale: 1.2, SDC: "# overlay"}
+	if fp(&wc) == base {
+		t.Error("corner did not change the fingerprint")
+	}
+	same := wc
+	if fp(&same) != fp(&wc) {
+		t.Error("identical corners hash differently")
+	}
+	for name, variant := range map[string]library.Corner{
+		"name":   {Name: "wc2", DelayScale: 1.2, SDC: "# overlay"},
+		"factor": {Name: "wc", DelayScale: 1.3, SDC: "# overlay"},
+		"early":  {Name: "wc", DelayScale: 1.2, EarlyScale: 0.9, SDC: "# overlay"},
+		"margin": {Name: "wc", DelayScale: 1.2, MarginScale: 1.5, SDC: "# overlay"},
+		"sdc":    {Name: "wc", DelayScale: 1.2, SDC: "# other"},
+	} {
+		variant := variant
+		if fp(&variant) == fp(&wc) {
+			t.Errorf("corner variant %q hashes equal to the original", name)
+		}
+	}
+}

@@ -102,6 +102,14 @@ func (ctx *Context) computeDelays() {
 		}
 	}
 
+	// Corner derates: a nil corner applies no multiplications at all,
+	// keeping the nominal path bit-identical to corner-less builds.
+	earlyScale, lateScale := 1.0, 1.0
+	if c := ctx.Opt.Corner; c != nil {
+		earlyScale = c.DelayFactor() * c.EarlyFactor()
+		lateScale = c.DelayFactor() * c.LateFactor()
+	}
+
 	ctx.delays = make([]arcDelay, g.NumArcs())
 	ctx.slews = make([]float64, g.NumNodes())
 	for _, id := range g.Topo() {
@@ -147,10 +155,17 @@ func (ctx *Context) computeDelays() {
 				}
 				rise := a.Lib.Intrinsic + a.Lib.Slope*load + slewSens*slew
 				fall := rise * fallFactor
-				ctx.delays[ai] = arcDelay{
+				d := arcDelay{
 					riseMin: rise * earlyDerate, riseMax: rise,
 					fallMin: fall * earlyDerate, fallMax: fall,
 				}
+				if ctx.Opt.Corner != nil {
+					d.riseMin *= earlyScale
+					d.fallMin *= earlyScale
+					d.riseMax *= lateScale
+					d.fallMax *= lateScale
+				}
+				ctx.delays[ai] = d
 			case graph.NetArc:
 				// Wire delay folded into the driver; zero corners.
 			}

@@ -33,9 +33,16 @@ func FingerprintText(g *graph.Graph, modeText string, opt Options) string {
 	if maxEdges <= 0 {
 		maxEdges = 64
 	}
+	parts := []string{g.Fingerprint(), modeText, strconv.Itoa(maxEdges)}
+	// The corner changes analysis results, so it is part of the content
+	// address. Nil keeps the historical 3-part hash so corner-less
+	// fingerprints (and the disk caches keyed by them) stay stable.
+	if opt.Corner != nil {
+		parts = append(parts, "corner", opt.Corner.Key())
+	}
 	h := sha256.New()
 	var n [8]byte
-	for _, p := range []string{g.Fingerprint(), modeText, strconv.Itoa(maxEdges)} {
+	for _, p := range parts {
 		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
 		h.Write(n[:])
 		h.Write([]byte(p))

@@ -95,9 +95,9 @@ func (ctx *Context) analyzeEndpoint(end graph.NodeID, m tagMap) EndpointResult {
 			}
 			switch a.Kind {
 			case graph.SetupArc:
-				setupMargin = math.Max(setupMargin, a.Lib.Margin)
+				setupMargin = math.Max(setupMargin, ctx.cornerMargin(a.Lib.Margin))
 			case graph.HoldArc:
-				holdMargin = math.Max(holdMargin, a.Lib.Margin)
+				holdMargin = math.Max(holdMargin, ctx.cornerMargin(a.Lib.Margin))
 			}
 		}
 		captures = ctx.CaptureClocksAt(end)
@@ -148,7 +148,16 @@ func (ctx *Context) portMargins(end graph.NodeID, capture ClockID) (setup, hold 
 			hold = math.Max(hold, -d.Value)
 		}
 	}
-	return setup, hold
+	return ctx.cornerMargin(setup), ctx.cornerMargin(hold)
+}
+
+// cornerMargin applies the analysis corner's margin derate; the nominal
+// corner-less path returns the margin untouched.
+func (ctx *Context) cornerMargin(m float64) float64 {
+	if c := ctx.Opt.Corner; c != nil {
+		return m * c.MarginFactor()
+	}
+	return m
 }
 
 // pointToPointChecks applies set_max_delay/set_min_delay to unclocked

@@ -207,3 +207,80 @@ func TestFacadeHierarchicalRequiresHierDesign(t *testing.T) {
 		t.Fatal("Options.Hierarchical on a flat design must error")
 	}
 }
+
+// TestFacadeCornerMatrix drives a multi-corner scenario-matrix merge
+// through the public facade: the merge must succeed, report its corner
+// axis as provenance, validate corner-aware, and — with a single neutral
+// corner — produce byte-identical output to the corner-less merge.
+func TestFacadeCornerMatrix(t *testing.T) {
+	design, modes := fixture(t)
+	corners := []modemerge.Corner{
+		{Name: "tc"},
+		{Name: "wc", DelayScale: 1.15, LateScale: 1.05, MarginScale: 1.2},
+	}
+	if err := modemerge.ValidateCorners(corners); err != nil {
+		t.Fatal(err)
+	}
+
+	opt := modemerge.Options{Corners: corners}
+	merged, reports, mb, err := modemerge.MergeAll(context.Background(), design, modes, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reports {
+		if len(mb.Cliques()[i]) < 2 {
+			continue
+		}
+		if len(rep.Corners) != len(corners) {
+			t.Errorf("report %d corners = %v, want both corner names", i, rep.Corners)
+		}
+	}
+	// Corner-aware standalone validation: the merged mode must not relax
+	// any member in any corner (the merger flattens modes x corners).
+	for ci, clique := range mb.Cliques() {
+		if len(clique) < 2 {
+			continue
+		}
+		var group []*modemerge.Mode
+		for _, mi := range clique {
+			group = append(group, modes[mi])
+		}
+		res, err := modemerge.CheckEquivalence(context.Background(), design, group, merged[ci], opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent() {
+			t.Errorf("corner-aware merged mode %s relaxes a member scenario: %s", merged[ci].Name, res)
+		}
+	}
+
+	// A single neutral corner must degenerate to the corner-less merge.
+	plain, _, _, err := modemerge.MergeAll(context.Background(), design, modes, modemerge.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _, _, err := modemerge.MergeAll(context.Background(), design, modes,
+		modemerge.Options{Corners: corners[:1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(single) {
+		t.Fatalf("merged counts differ: %d corner-less vs %d single-corner", len(plain), len(single))
+	}
+	for i := range plain {
+		if modemerge.WriteSDC(plain[i]) != modemerge.WriteSDC(single[i]) {
+			t.Errorf("merged mode %d differs between corner-less and single-neutral-corner merges", i)
+		}
+	}
+}
+
+// TestFacadeCornersRejectHierarchical pins the documented incompatibility
+// at the facade boundary.
+func TestFacadeCornersRejectHierarchical(t *testing.T) {
+	design, modes := hierFixture(t)
+	_, _, _, err := modemerge.MergeAll(context.Background(), design, modes,
+		modemerge.Options{Hierarchical: true, Corners: []modemerge.Corner{{Name: "tc"}}})
+	if err == nil {
+		t.Fatal("Corners + Hierarchical must error")
+	}
+}

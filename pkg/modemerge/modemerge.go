@@ -70,6 +70,19 @@ type Conflict = core.NonMergeable
 // Cliques partitions it into merge groups.
 type Mergeability = core.Mergeability
 
+// Corner is one operating corner of a multi-corner multi-mode scenario
+// matrix: per-corner delay/margin derate factors plus an optional SDC
+// overlay appended to every mode deployed in the corner. The zero
+// factors mean 1.0, so Corner{Name: "tc"} is a neutral corner. Validate
+// a set with ValidateCorners before merging.
+type Corner = library.Corner
+
+// ValidateCorners checks a corner set for merge use: every corner
+// named, names unique.
+func ValidateCorners(corners []Corner) error {
+	return library.ValidateCorners(corners)
+}
+
 // CacheStats reports incremental-cache hits and misses per granularity.
 type CacheStats = incr.StatsSnapshot
 
@@ -226,6 +239,14 @@ type Options struct {
 	// optimistic — and scales to designs where flat refinement cannot
 	// run.
 	Hierarchical bool
+	// Corners spans the merge over a multi-corner scenario matrix: a
+	// clique merges only when it is mergeable in every corner, and
+	// refinement targets the across-corner worst case, so the merged mode
+	// deployed in any corner (its text plus the corner's overlay) is
+	// never optimistic against any member in that corner. Empty keeps the
+	// historical corner-less merge bit-for-bit. Incompatible with
+	// Hierarchical.
+	Corners []Corner
 }
 
 func (o Options) core() core.Options {
@@ -234,6 +255,7 @@ func (o Options) core() core.Options {
 		MergedName:          o.MergedName,
 		MaxRefineIterations: o.MaxRefineIterations,
 		Parallelism:         o.Parallelism,
+		Corners:             o.Corners,
 	}
 	opt.STA.Workers = o.Workers
 	if o.Cache != nil {
