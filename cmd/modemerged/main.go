@@ -10,6 +10,14 @@
 // NDJSON, and -flight-dir keeps flight recordings (span tree + CPU
 // profile + goroutine dump) of slow, failed, or panicked jobs, served
 // at /v2/flights.
+//
+// Distributed merge fabric: -fabric turns the server into a
+// coordinator that publishes per-clique merge jobs on a work-stealing
+// queue (wire API under /fabric/v1/, cluster view at GET /v2/cluster),
+// and `modemerged -role worker -join http://coordinator:8080` starts a
+// merge worker that pulls and executes those jobs. Output is
+// byte-identical to the single-process path at any worker count,
+// including across worker deaths.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"modemerge/internal/fabric"
 	"modemerge/internal/obs"
 	"modemerge/internal/service"
 )
@@ -50,6 +59,15 @@ func main() {
 		flightThr   = flag.Duration("flight-threshold", 30*time.Second, "job latency beyond which a flight recording is captured")
 		flightKeep  = flag.Int("flight-keep", 16, "maximum flight recordings kept on disk")
 		flightSlow  = flag.Int("flight-slowest", 4, "slowest recordings protected from eviction (must be < -flight-keep)")
+
+		role        = flag.String("role", "server", "process role: server (HTTP API, optionally coordinating a merge fabric) or worker (join a coordinator and execute clique merges)")
+		join        = flag.String("join", "", "coordinator base URL a worker joins (required with -role worker, e.g. http://coordinator:8080)")
+		workerID    = flag.String("worker-id", "", "cluster identity of this worker (default hostname-pid)")
+		fabricOn    = flag.Bool("fabric", false, "coordinate a distributed merge fabric: publish clique merges on /fabric/v1/ for workers to steal")
+		fabricLocal = flag.Int("fabric-local-executors", 0, "coordinator-side clique executors sharing the work queue (0 = 1, -1 = none: pure dispatcher)")
+		fabricWidth = flag.Int("fabric-dispatch", 0, "clique jobs one merge job keeps in flight on the fabric (0 = 8)")
+		fabricLease = flag.Duration("fabric-lease-ttl", 30*time.Second, "silence after which a claimed clique job is presumed lost and requeued")
+		fabricTries = flag.Int("fabric-max-attempts", 3, "executions of one clique job across lease expiries before it fails")
 	)
 	flag.Parse()
 
@@ -59,6 +77,15 @@ func main() {
 		os.Exit(2)
 	}
 	slog.SetDefault(logger)
+
+	switch *role {
+	case "server":
+	case "worker":
+		os.Exit(runWorker(logger, *join, *workerID, *mergePar))
+	default:
+		fmt.Fprintf(os.Stderr, "modemerged: unknown -role %q (want server or worker)\n", *role)
+		os.Exit(2)
+	}
 
 	var exporter *obs.FileExporter
 	if *traceExport != "" {
@@ -86,6 +113,13 @@ func main() {
 			LatencyThreshold: *flightThr,
 			KeepLast:         *flightKeep,
 			KeepSlowest:      *flightSlow,
+		},
+		Fabric: service.FabricConfig{
+			Enabled:        *fabricOn,
+			LocalExecutors: *fabricLocal,
+			DispatchWidth:  *fabricWidth,
+			LeaseTTL:       *fabricLease,
+			MaxAttempts:    *fabricTries,
 		},
 	}
 	// Assign only through a typed nil check: a nil *FileExporter boxed
@@ -153,6 +187,32 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Info("drained cleanly")
+}
+
+// runWorker is the -role worker main: join the coordinator at joinURL,
+// pull clique merge jobs over the fabric wire API and execute them
+// against the coordinator's artifact store until SIGINT/SIGTERM. Dying
+// at any point is safe — the coordinator's lease expires and the job
+// reruns elsewhere with byte-identical output.
+func runWorker(logger *slog.Logger, joinURL, id string, parallelism int) int {
+	if joinURL == "" {
+		fmt.Fprintln(os.Stderr, "modemerged: -role worker requires -join <coordinator URL>")
+		return 2
+	}
+	w := fabric.NewWorker(joinURL, fabric.WorkerConfig{
+		ID:          id,
+		Parallelism: parallelism,
+		Logger:      logger,
+	})
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Info("merge worker starting", "worker", w.ID(), "coordinator", joinURL)
+	if err := w.Run(sigCtx); err != nil && !errors.Is(err, context.Canceled) {
+		logger.Error("worker failed", "error", err)
+		return 1
+	}
+	logger.Info("worker stopped")
+	return 0
 }
 
 // buildLogger constructs the process logger from the -log-format and

@@ -1,0 +1,83 @@
+// Command genpayload emits a merge-request JSON document for the
+// deploy/e2e harness. The design is a long register chain behind a
+// clock mux, with a func mode and a test mode that analyze mergeable —
+// the same shape the service tests use, scaled up so one clique merge
+// takes seconds instead of milliseconds. That duration is what makes
+// the worker-kill e2e deterministic: the harness has a multi-second
+// window to kill the worker while the clique is provably mid-merge.
+//
+// Usage:
+//
+//	genpayload -stages 30000            > big.json    # kill-window payload
+//	genpayload -stages 2000 -salt 7     > burst7.json # distinct digest per burst slot
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type modeInput struct {
+	Name string `json:"name"`
+	SDC  string `json:"sdc"`
+}
+
+type mergeRequest struct {
+	Verilog string      `json:"verilog"`
+	Modes   []modeInput `json:"modes"`
+}
+
+const funcSDC = `
+create_clock -name FCLK -period 2 [get_ports clk]
+set_case_analysis 0 [get_ports tmode]
+set_input_delay 0.4 -clock FCLK [get_ports din]
+set_output_delay 0.4 -clock FCLK [get_ports dout]
+`
+
+const testSDC = `
+create_clock -name TCLK -period 10 [get_ports tclk]
+set_case_analysis 1 [get_ports tmode]
+set_input_delay 1.0 -clock TCLK [get_ports din]
+set_output_delay 1.0 -clock TCLK [get_ports dout]
+set_multicycle_path 2 -setup -from [get_clocks TCLK]
+`
+
+// chain builds a register chain of the given depth clocked through a
+// clock mux, so the func and test modes select different clocks via
+// case analysis yet stay mergeable into one two-mode clique.
+func chain(stages int) string {
+	var b strings.Builder
+	b.WriteString("module chain (clk, tclk, tmode, din, dout);\n")
+	b.WriteString("  input clk, tclk, tmode, din;\n  output dout;\n  wire gck;\n")
+	b.WriteString("  MUX2 ckmux (.I0(clk), .I1(tclk), .S(tmode), .Z(gck));\n")
+	prev := "din"
+	for i := 0; i < stages; i++ {
+		fmt.Fprintf(&b, "  wire q%d, n%d;\n", i, i)
+		fmt.Fprintf(&b, "  DFF r%d (.CP(gck), .D(%s), .Q(q%d));\n", i, prev, i)
+		fmt.Fprintf(&b, "  INV u%d (.A(q%d), .Z(n%d));\n", i, i, i)
+		prev = fmt.Sprintf("n%d", i)
+	}
+	fmt.Fprintf(&b, "  BUF ob (.A(%s), .Z(dout));\nendmodule\n", prev)
+	return b.String()
+}
+
+func main() {
+	stages := flag.Int("stages", 30000, "register-chain depth; larger = longer clique merge")
+	salt := flag.String("salt", "", "mode-name suffix so each payload digests uniquely (burst payloads)")
+	flag.Parse()
+
+	req := mergeRequest{
+		Verilog: chain(*stages),
+		Modes: []modeInput{
+			{Name: "func" + *salt, SDC: funcSDC},
+			{Name: "test" + *salt, SDC: testSDC},
+		},
+	}
+	if err := json.NewEncoder(os.Stdout).Encode(req); err != nil {
+		fmt.Fprintln(os.Stderr, "genpayload:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,220 @@
+#!/usr/bin/env bash
+# Three-node merge-fabric e2e: proves the fabric's core guarantee end to
+# end against real processes —
+#
+#   1. byte-identity: the same request merged by the fabric (coordinator
+#      + remote workers) and by a plain single-process server yields a
+#      byte-identical result document;
+#   2. worker death: the first worker is SIGKILLed while provably
+#      mid-clique; the lease expires, the clique reruns on the second
+#      worker, and the result is still byte-identical;
+#   3. load shed: a burst past the queue depth drains through the
+#      documented envelope — every response is an accept or a 429
+#      rate_limited, and every accepted job reaches done.
+#
+# Runners (E2E_RUNNER):
+#   compose  (default) docker compose against deploy/docker-compose.yml
+#   process  plain local processes; no docker needed
+#
+# Needs: curl, jq, go (payload generation; process mode also builds the
+# server). E2E_STAGES (default 30000) sizes the kill-window design.
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+RUNNER="${E2E_RUNNER:-compose}"
+STAGES="${E2E_STAGES:-30000}"
+TMP="$(mktemp -d)"
+COMPOSE=(docker compose -f deploy/docker-compose.yml)
+
+COORD=http://127.0.0.1:18080
+SOLO=http://127.0.0.1:18081
+
+declare -A PIDS=()
+STATUS=fail
+
+log() { printf '=== %s\n' "$*"; }
+fail() {
+  printf 'FAIL: %s\n' "$*" >&2
+  exit 1
+}
+
+on_exit() {
+  if [ "$STATUS" != pass ]; then
+    log "harness failed; node logs follow"
+    case "$RUNNER" in
+      compose) "${COMPOSE[@]}" logs --tail 40 || true ;;
+      process) tail -n 20 "$TMP"/*.log || true ;;
+    esac
+  fi
+  case "$RUNNER" in
+    compose) "${COMPOSE[@]}" down -v --remove-orphans >/dev/null 2>&1 || true ;;
+    process)
+      for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+      wait 2>/dev/null || true
+      ;;
+  esac
+  rm -rf "$TMP"
+}
+trap on_exit EXIT
+
+# start_node name [args...] — compose mode takes its flags from the YAML
+# (keep both in sync); process mode takes them from here.
+start_node() {
+  local name=$1
+  shift
+  case "$RUNNER" in
+    compose) "${COMPOSE[@]}" up -d --no-build "$name" >/dev/null ;;
+    process)
+      ./bin/modemerged "$@" >"$TMP/$name.log" 2>&1 &
+      PIDS[$name]=$!
+      ;;
+  esac
+}
+
+kill_node() {
+  local name=$1
+  case "$RUNNER" in
+    compose) "${COMPOSE[@]}" kill -s KILL "$name" >/dev/null ;;
+    process) kill -9 "${PIDS[$name]}" ;;
+  esac
+}
+
+wait_http() {
+  local base=$1 i
+  for i in $(seq 1 120); do
+    if curl -fsS --max-time 2 "$base/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.5
+  done
+  fail "$base never became healthy"
+}
+
+submit() { # base payload-file [extra curl args...]
+  local base=$1 payload=$2
+  shift 2
+  curl -fsS -X POST "$base/v2/merge" -H 'Content-Type: application/json' \
+    --data-binary @"$payload" "$@" | jq -r .id
+}
+
+wait_job() { # base id timeout-seconds
+  local base=$1 id=$2 deadline=$((SECONDS + $3)) view status
+  while :; do
+    view=$(curl -fsS "$base/v2/jobs/$id")
+    status=$(jq -r .status <<<"$view")
+    case "$status" in
+      done) return 0 ;;
+      failed | canceled) fail "job $id ended $status: $(jq -r .error <<<"$view")" ;;
+    esac
+    [ "$SECONDS" -lt "$deadline" ] || fail "job $id stuck in $status"
+    sleep 0.3
+  done
+}
+
+# --- bring-up ---------------------------------------------------------
+
+case "$RUNNER" in
+  compose)
+    log "building image"
+    "${COMPOSE[@]}" build coordinator >/dev/null
+    ;;
+  process)
+    log "building ./bin/modemerged"
+    go build -o bin/modemerged ./cmd/modemerged
+    ;;
+esac
+
+log "generating payloads (stages=$STAGES)"
+go run ./deploy/e2e/genpayload -stages "$STAGES" >"$TMP/big.json"
+
+# Lease must comfortably exceed one clique merge (~3s locally, slower
+# on CI) or a live worker's execution gets requeued as a false death;
+# MaxAttempts=5 gives further slack on overloaded runners.
+log "starting coordinator (pure dispatcher, 10s lease) and solo reference"
+start_node coordinator -addr :18080 -fabric -fabric-local-executors=-1 \
+  -fabric-lease-ttl=10s -fabric-max-attempts=5 -workers=1 -queue=4
+start_node solo -addr :18081 -workers=1 -queue=4
+wait_http "$COORD"
+wait_http "$SOLO"
+
+# --- phase 1: single-process reference --------------------------------
+
+log "merging on the solo reference server"
+ref_id=$(submit "$SOLO" "$TMP/big.json")
+wait_job "$SOLO" "$ref_id" 120
+curl -fsS "$SOLO/v2/jobs/$ref_id/result" >"$TMP/ref.json"
+
+# --- phase 2: fabric merge with a worker killed mid-clique ------------
+
+log "submitting to the coordinator, then starting worker1"
+fab_id=$(submit "$COORD" "$TMP/big.json")
+start_node worker1 -role worker -join "$COORD" -worker-id worker1
+
+victim=""
+for _ in $(seq 1 600); do
+  victim=$(curl -fsS "$COORD/v2/cluster" | jq -r '.in_flight[0].worker // empty')
+  [ -n "$victim" ] && break
+  sleep 0.1
+done
+[ -n "$victim" ] || fail "clique job was never claimed"
+[ "$victim" = worker1 ] || fail "expected worker1 mid-clique, got $victim"
+
+log "worker1 is mid-clique; killing it"
+kill_node worker1
+
+log "starting worker2; the lease must expire and the clique rerun there"
+start_node worker2 -role worker -join "$COORD" -worker-id worker2
+wait_job "$COORD" "$fab_id" 120
+curl -fsS "$COORD/v2/jobs/$fab_id/result" >"$TMP/fab.json"
+
+log "comparing fabric result against the reference"
+cmp "$TMP/ref.json" "$TMP/fab.json" ||
+  fail "fabric result differs from single-process reference"
+
+cluster=$(curl -fsS "$COORD/v2/cluster")
+retries=$(jq .retries <<<"$cluster")
+completed=$(jq .completed <<<"$cluster")
+[ "$retries" -ge 1 ] || fail "no retry recorded after worker kill: $cluster"
+[ "$completed" -ge 1 ] || fail "no completed clique recorded: $cluster"
+log "worker kill survived: retries=$retries completed=$completed, byte-identical result"
+
+# --- phase 3: load-shed burst against the solo server -----------------
+
+BURST=16
+log "load-shed burst: $BURST concurrent submissions against queue=4"
+for i in $(seq 0 $((BURST - 1))); do
+  go run ./deploy/e2e/genpayload -stages 2000 -salt "$i" >"$TMP/q$i.json"
+done
+# Wait only the curl pids: in process mode the server nodes are also
+# background children of this shell, and a bare `wait` never returns.
+curl_pids=()
+for i in $(seq 0 $((BURST - 1))); do
+  curl -sS -o "$TMP/resp$i.json" -w '%{http_code}' -X POST "$SOLO/v2/merge" \
+    -H 'Content-Type: application/json' -H "Idempotency-Key: burst-$i" \
+    --data-binary @"$TMP/q$i.json" >"$TMP/code$i" &
+  curl_pids+=("$!")
+done
+for pid in "${curl_pids[@]}"; do wait "$pid"; done
+
+accepted=()
+shed=0
+for i in $(seq 0 $((BURST - 1))); do
+  code=$(cat "$TMP/code$i")
+  case "$code" in
+    200 | 202) accepted+=("$(jq -r .id "$TMP/resp$i.json")") ;;
+    429)
+      shed=$((shed + 1))
+      [ "$(jq -r .error.code "$TMP/resp$i.json")" = rate_limited ] ||
+        fail "shed response $i lacks rate_limited envelope: $(cat "$TMP/resp$i.json")"
+      ;;
+    *) fail "burst $i: unexpected status $code: $(cat "$TMP/resp$i.json")" ;;
+  esac
+done
+[ "${#accepted[@]}" -ge 1 ] || fail "burst accepted nothing"
+[ "$shed" -ge 1 ] || fail "queue=4 with $BURST submissions shed nothing"
+
+log "waiting for ${#accepted[@]} accepted jobs (shed $shed); none may drop"
+for id in "${accepted[@]}"; do
+  wait_job "$SOLO" "$id" 120
+done
+
+STATUS=pass
+log "PASS: byte-identity across worker death + load-shed envelope held"

@@ -161,40 +161,24 @@ func cliqueKey(g *graph.Graph, opt Options, mergedName string, memberTexts []str
 	return incr.Hash(parts...)
 }
 
-// lookupClique returns the cached merged mode + report for the key, or
-// ok=false. A stored artifact that no longer parses against the design
-// (impossible under content addressing, but cheap to guard) is treated
-// as a miss.
-func lookupClique(cache *incr.Cache, key string, g *graph.Graph) (*sdc.Mode, *Report, bool) {
-	b, ok := cache.GetBytes(incr.GranClique, key)
-	if !ok {
-		return nil, nil, false
+// CliqueKey is the exported content address of one clique merge, used by
+// the distributed fabric to name clique jobs and their artifacts in a
+// shared blob store. Two nodes computing CliqueKey over the same design,
+// options and member modes agree on the key, which is what makes clique
+// retries idempotent.
+func CliqueKey(g *graph.Graph, opt Options, group []*sdc.Mode) string {
+	memberTexts := make([]string, len(group))
+	for i, m := range group {
+		memberTexts[i] = sdc.Write(m)
 	}
-	var art cliqueArtifact
-	if err := json.Unmarshal(b, &art); err != nil || art.Report == nil {
-		return nil, nil, false
-	}
-	mode, _, err := sdc.Parse(art.Name, art.SDC, g.Design)
-	if err != nil {
-		return nil, nil, false
-	}
-	if len(art.DisableComments) != len(mode.Disables) ||
-		len(art.DisableInferred) != len(mode.Disables) ||
-		len(art.SenseComments) != len(mode.ClockSenses) {
-		return nil, nil, false
-	}
-	for i, d := range mode.Disables {
-		d.Comment = art.DisableComments[i]
-		d.Inferred = art.DisableInferred[i]
-	}
-	for i, s := range mode.ClockSenses {
-		s.Comment = art.SenseComments[i]
-	}
-	return mode, art.Report, true
+	return cliqueKey(g, opt, opt.MergedName, memberTexts)
 }
 
-// storeClique serializes one finished clique merge into the cache.
-func storeClique(cache *incr.Cache, key string, merged *sdc.Mode, report *Report, stamps []sta.Stamp) {
+// EncodeCliqueArtifact serializes a finished clique merge for transport
+// or storage: the same wire format the incremental cache persists, so a
+// worker's completion payload can be stored verbatim and later replayed
+// by lookupClique on the coordinator.
+func EncodeCliqueArtifact(merged *sdc.Mode, report *Report, stamps []sta.Stamp) ([]byte, error) {
 	art := cliqueArtifact{
 		Name:            merged.Name,
 		SDC:             sdc.Write(merged),
@@ -211,7 +195,61 @@ func storeClique(cache *incr.Cache, key string, merged *sdc.Mode, report *Report
 	for i, s := range merged.ClockSenses {
 		art.SenseComments[i] = s.Comment
 	}
-	b, err := json.Marshal(art)
+	return json.Marshal(art)
+}
+
+// DecodeCliqueArtifact reconstructs a merged mode + report from an
+// EncodeCliqueArtifact payload by re-parsing the canonical SDC against
+// the design and re-attaching the comment/inferred fields the parser
+// drops (see cliqueArtifact). Decoding is the exact inverse the cache
+// replay path uses, so a mode round-tripped through the wire is
+// byte-identical to one merged locally.
+func DecodeCliqueArtifact(b []byte, g *graph.Graph) (*sdc.Mode, *Report, error) {
+	var art cliqueArtifact
+	if err := json.Unmarshal(b, &art); err != nil {
+		return nil, nil, fmt.Errorf("clique artifact: %w", err)
+	}
+	if art.Report == nil {
+		return nil, nil, fmt.Errorf("clique artifact: missing report")
+	}
+	mode, _, err := sdc.Parse(art.Name, art.SDC, g.Design)
+	if err != nil {
+		return nil, nil, fmt.Errorf("clique artifact: re-parsing %q: %w", art.Name, err)
+	}
+	if len(art.DisableComments) != len(mode.Disables) ||
+		len(art.DisableInferred) != len(mode.Disables) ||
+		len(art.SenseComments) != len(mode.ClockSenses) {
+		return nil, nil, fmt.Errorf("clique artifact: field counts do not match re-parsed mode %q", art.Name)
+	}
+	for i, d := range mode.Disables {
+		d.Comment = art.DisableComments[i]
+		d.Inferred = art.DisableInferred[i]
+	}
+	for i, s := range mode.ClockSenses {
+		s.Comment = art.SenseComments[i]
+	}
+	return mode, art.Report, nil
+}
+
+// lookupClique returns the cached merged mode + report for the key, or
+// ok=false. A stored artifact that no longer parses against the design
+// (impossible under content addressing, but cheap to guard) is treated
+// as a miss.
+func lookupClique(cache *incr.Cache, key string, g *graph.Graph) (*sdc.Mode, *Report, bool) {
+	b, ok := cache.GetBytes(incr.GranClique, key)
+	if !ok {
+		return nil, nil, false
+	}
+	mode, report, err := DecodeCliqueArtifact(b, g)
+	if err != nil {
+		return nil, nil, false
+	}
+	return mode, report, true
+}
+
+// storeClique serializes one finished clique merge into the cache.
+func storeClique(cache *incr.Cache, key string, merged *sdc.Mode, report *Report, stamps []sta.Stamp) {
+	b, err := EncodeCliqueArtifact(merged, report, stamps)
 	if err != nil {
 		return // unserializable report: skip caching, never fail the merge
 	}

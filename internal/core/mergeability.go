@@ -333,17 +333,19 @@ func (mb *Mergeability) GroupNames(cliques [][]int) [][]string {
 	return out
 }
 
-// MergeAll analyzes mergeability, groups the modes into cliques and merges
-// each clique, returning one merged mode per clique (singleton cliques
-// pass the original mode through untouched). Cancelling cx aborts between
-// cliques and inside each merge with the context error.
-func MergeAll(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options) ([]*sdc.Mode, []*Report, *Mergeability, error) {
+// PlanMerge runs the mergeability analysis and greedy clique scheduling
+// — the planning half of MergeAll — recording the "mergeability" trace
+// span and stage timing exactly like MergeAll. The returned cliques are
+// independent units of work: each can be merged in isolation (see
+// MergeClique) in any order, on any node, and the results reassembled in
+// clique order are byte-identical to a sequential MergeAll.
+func PlanMerge(g *graph.Graph, modes []*sdc.Mode, opt Options) (*Mergeability, [][]int, error) {
 	sp := opt.Trace.Child("mergeability")
 	done := opt.stage("mergeability")
 	mb, pst, err := analyzeMergeability(g, modes, opt)
 	if err != nil {
 		sp.Finish()
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	cliques := mb.Cliques()
 	sp.SetAttr("design", g.Design.Name)
@@ -356,73 +358,104 @@ func MergeAll(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options
 	}
 	sp.Finish()
 	done()
+	return mb, cliques, nil
+}
+
+// MergeClique merges one already-planned clique of member modes into a
+// superset mode — the execution half of MergeAll, and the unit of work a
+// distributed merge fabric ships to workers. It is idempotent and
+// content-addressed: identical (design, options, members) always produce
+// byte-identical output, so a clique merge lost to a dying worker can
+// simply be re-run anywhere. A singleton group passes the mode through
+// untouched with an empty report. With Options.Cache set, the merged
+// artifact is looked up before computing and stored back after.
+func MergeClique(cx context.Context, g *graph.Graph, group []*sdc.Mode, opt Options) (*sdc.Mode, *Report, error) {
+	if len(group) == 0 {
+		return nil, nil, fmt.Errorf("core: empty merge clique")
+	}
+	if len(group) == 1 {
+		return group[0], &Report{}, nil
+	}
+	names := make([]string, len(group))
+	for i, m := range group {
+		names[i] = m.Name
+	}
+	copt := opt
+	copt.Trace = opt.Trace.Child("merge:" + strings.Join(names, "+"))
+	copt.Trace.SetAttr("design", g.Design.Name)
+	copt.Trace.SetAttr("members", strings.Join(names, ","))
+	var key string
+	if opt.Cache != nil {
+		// Incremental path: a clique whose members (and design +
+		// options) are unchanged replays its merged mode and report
+		// from the cache without building any contexts.
+		memberTexts := make([]string, len(group))
+		for i, m := range group {
+			memberTexts[i] = sdc.Write(m)
+		}
+		key = cliqueKey(g, opt, opt.MergedName, memberTexts)
+		if merged, report, ok := lookupClique(opt.Cache, key, g); ok {
+			copt.Trace.Add("clique_cache_hit", 1)
+			copt.Trace.Finish()
+			return merged, report, nil
+		}
+		copt.Trace.Add("clique_cache_miss", 1)
+	}
+	if opt.Hierarchical != nil {
+		merged, report, err := mergeHierClique(cx, g, opt.Hierarchical, group, copt)
+		copt.Trace.Finish()
+		if err != nil {
+			return nil, nil, fmt.Errorf("merging %v hierarchically: %w", names, err)
+		}
+		if opt.Cache != nil {
+			storeClique(opt.Cache, key, merged, report, nil)
+		}
+		return merged, report, nil
+	}
+	mg, err := newMergerWithGraph(cx, g, group, copt)
+	if err != nil {
+		copt.Trace.Finish()
+		return nil, nil, err
+	}
+	merged, err := mg.Merge(cx)
+	copt.Trace.Finish()
+	if err != nil {
+		return nil, nil, fmt.Errorf("merging %v: %w", names, err)
+	}
+	if opt.Cache != nil {
+		storeClique(opt.Cache, key, merged, mg.Report, mg.stamps())
+	}
+	return merged, mg.Report, nil
+}
+
+// MergeAll analyzes mergeability, groups the modes into cliques and merges
+// each clique, returning one merged mode per clique (singleton cliques
+// pass the original mode through untouched). Cancelling cx aborts between
+// cliques and inside each merge with the context error. It is PlanMerge
+// followed by a sequential MergeClique per clique; callers wanting
+// concurrent or distributed clique execution use those pieces directly
+// (see internal/fabric) and get byte-identical results.
+func MergeAll(cx context.Context, g *graph.Graph, modes []*sdc.Mode, opt Options) ([]*sdc.Mode, []*Report, *Mergeability, error) {
+	mb, cliques, err := PlanMerge(g, modes, opt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	var out []*sdc.Mode
 	var reports []*Report
 	for _, clique := range cliques {
 		if err := cx.Err(); err != nil {
 			return nil, nil, mb, err
 		}
-		if len(clique) == 1 {
-			out = append(out, modes[clique[0]])
-			reports = append(reports, &Report{})
-			continue
-		}
 		group := make([]*sdc.Mode, len(clique))
 		for i, m := range clique {
 			group[i] = modes[m]
 		}
-		names := mb.GroupNames([][]int{clique})[0]
-		copt := opt
-		copt.Trace = opt.Trace.Child("merge:" + strings.Join(names, "+"))
-		copt.Trace.SetAttr("design", g.Design.Name)
-		copt.Trace.SetAttr("members", strings.Join(names, ","))
-		var key string
-		if opt.Cache != nil {
-			// Incremental path: a clique whose members (and design +
-			// options) are unchanged replays its merged mode and report
-			// from the cache without building any contexts.
-			memberTexts := make([]string, len(group))
-			for i, m := range group {
-				memberTexts[i] = sdc.Write(m)
-			}
-			key = cliqueKey(g, opt, opt.MergedName, memberTexts)
-			if merged, report, ok := lookupClique(opt.Cache, key, g); ok {
-				copt.Trace.Add("clique_cache_hit", 1)
-				copt.Trace.Finish()
-				out = append(out, merged)
-				reports = append(reports, report)
-				continue
-			}
-			copt.Trace.Add("clique_cache_miss", 1)
-		}
-		if opt.Hierarchical != nil {
-			merged, report, err := mergeHierClique(cx, g, opt.Hierarchical, group, copt)
-			copt.Trace.Finish()
-			if err != nil {
-				return nil, nil, mb, fmt.Errorf("merging %v hierarchically: %w", names, err)
-			}
-			if opt.Cache != nil {
-				storeClique(opt.Cache, key, merged, report, nil)
-			}
-			out = append(out, merged)
-			reports = append(reports, report)
-			continue
-		}
-		mg, err := newMergerWithGraph(cx, g, group, copt)
+		merged, report, err := MergeClique(cx, g, group, opt)
 		if err != nil {
-			copt.Trace.Finish()
 			return nil, nil, mb, err
 		}
-		merged, err := mg.Merge(cx)
-		copt.Trace.Finish()
-		if err != nil {
-			return nil, nil, mb, fmt.Errorf("merging %v: %w", names, err)
-		}
-		if opt.Cache != nil {
-			storeClique(opt.Cache, key, merged, mg.Report, mg.stamps())
-		}
 		out = append(out, merged)
-		reports = append(reports, mg.Report)
+		reports = append(reports, report)
 	}
 	return out, reports, mb, nil
 }

@@ -1,0 +1,403 @@
+package fabric
+
+import (
+	"context"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"modemerge/internal/core"
+	"modemerge/internal/graph"
+	"modemerge/internal/incr"
+	"modemerge/internal/library"
+	"modemerge/internal/netlist"
+	"modemerge/internal/sdc"
+)
+
+const quickVerilog = `
+module quick (clk, tclk, tmode, din, dout);
+  input clk, tclk, tmode, din;
+  output dout;
+  wire gck, q1, n1;
+  MUX2 ckmux (.I0(clk), .I1(tclk), .S(tmode), .Z(gck));
+  DFF r1 (.CP(gck), .D(din), .Q(q1));
+  INV u1 (.A(q1), .Z(n1));
+  DFF r2 (.CP(gck), .D(n1), .Q(dout));
+endmodule
+`
+
+const funcSDC = `
+create_clock -name FCLK -period 2 [get_ports clk]
+set_case_analysis 0 [get_ports tmode]
+set_input_delay 0.4 -clock FCLK [get_ports din]
+set_output_delay 0.4 -clock FCLK [get_ports dout]
+`
+
+const testSDC = `
+create_clock -name TCLK -period 10 [get_ports tclk]
+set_case_analysis 1 [get_ports tmode]
+set_input_delay 1.0 -clock TCLK [get_ports din]
+set_output_delay 1.0 -clock TCLK [get_ports dout]
+set_multicycle_path 2 -setup -from [get_clocks TCLK]
+`
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(discard{}, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// buildSpec prepares the quick design's two-mode clique job plus the
+// locally-merged reference output to compare distributed results
+// against.
+func buildSpec(t *testing.T) (Spec, *graph.Graph, string) {
+	t.Helper()
+	design, err := netlist.ParseVerilog(quickVerilog, library.Default(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := make([]*sdc.Mode, 2)
+	for i, m := range []Mode{{Name: "func", SDC: funcSDC}, {Name: "test", SDC: testSDC}} {
+		mode, _, err := sdc.Parse(m.Name, m.SDC, design)
+		if err != nil {
+			t.Fatal(err)
+		}
+		group[i] = mode
+	}
+	opt := core.Options{}
+	key := core.CliqueKey(g, opt, group)
+	merged, _, err := core.MergeClique(context.Background(), g, group, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Key:     key,
+		Verilog: quickVerilog,
+		Members: []Mode{{Name: "func", SDC: funcSDC}, {Name: "test", SDC: testSDC}},
+	}
+	return spec, g, sdc.Write(merged)
+}
+
+// TestExecutorMatchesLocalMerge: a spec round-tripped through the
+// executor produces an artifact that decodes to byte-identical SDC.
+func TestExecutorMatchesLocalMerge(t *testing.T) {
+	spec, g, want := buildSpec(t)
+	store := incr.NewMemStore()
+	exec := NewExecutor(store, 2)
+	art, err := exec.Execute(context.Background(), &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode, report, err := core.DecodeCliqueArtifact(art, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sdc.Write(mode); got != want {
+		t.Fatalf("distributed merge diverged:\n got: %q\nwant: %q", got, want)
+	}
+	if report == nil {
+		t.Fatal("artifact carries no report")
+	}
+	// The artifact is durable in the shared store under the clique key.
+	if _, err := store.Stat(string(incr.GranClique), spec.Key); err != nil {
+		t.Fatalf("artifact not in store: %v", err)
+	}
+	// Re-execution replays from the store (idempotent retry).
+	art2, err := exec.Execute(context.Background(), &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(art2) != string(art) {
+		t.Fatal("re-execution produced different artifact bytes")
+	}
+}
+
+// TestExecutorRejectsKeyMismatch: a corrupted spec key fails loudly
+// instead of storing under the wrong address.
+func TestExecutorRejectsKeyMismatch(t *testing.T) {
+	spec, _, _ := buildSpec(t)
+	spec.Key = incr.Hash("not", "the", "right", "key")
+	exec := NewExecutor(incr.NewMemStore(), 1)
+	if _, err := exec.Execute(context.Background(), &spec); err == nil ||
+		!strings.Contains(err.Error(), "key mismatch") {
+		t.Fatalf("Execute = %v, want key mismatch error", err)
+	}
+}
+
+// TestCoordinatorLocalExec: a coordinator with only local executors
+// completes jobs (a cluster of one still works).
+func TestCoordinatorLocalExec(t *testing.T) {
+	spec, g, want := buildSpec(t)
+	c := NewCoordinator(incr.NewMemStore(), CoordinatorConfig{
+		LocalExecutors: 1, Logger: quietLogger(),
+	})
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	art, err := c.Exec(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode, _, err := core.DecodeCliqueArtifact(art, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sdc.Write(mode); got != want {
+		t.Fatalf("local-executor merge diverged:\n got: %q\nwant: %q", got, want)
+	}
+	st := c.Status()
+	if st.Completed != 1 || st.Steals != 0 {
+		t.Fatalf("status = %+v, want completed=1 steals=0", st)
+	}
+}
+
+// TestCoordinatorWorkerOverHTTP: a remote worker over the wire API
+// executes the job; the coordinator has no local executors.
+func TestCoordinatorWorkerOverHTTP(t *testing.T) {
+	spec, g, want := buildSpec(t)
+	c := NewCoordinator(incr.NewMemStore(), CoordinatorConfig{
+		LocalExecutors: 0, Logger: quietLogger(),
+	})
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	w := NewWorker(srv.URL, WorkerConfig{
+		ID: "w1", Parallelism: 2, PollWait: 200 * time.Millisecond, Logger: quietLogger(),
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); w.Run(wctx) }() //nolint:errcheck // exits on cancel
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	art, err := c.Exec(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode, _, err := core.DecodeCliqueArtifact(art, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sdc.Write(mode); got != want {
+		t.Fatalf("remote merge diverged:\n got: %q\nwant: %q", got, want)
+	}
+	st := c.Status()
+	if st.Steals != 1 || st.Completed != 1 {
+		t.Fatalf("status = %+v, want steals=1 completed=1", st)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].ID != "w1" || st.Workers[0].Completed != 1 {
+		t.Fatalf("workers = %+v", st.Workers)
+	}
+	wcancel()
+	wg.Wait()
+}
+
+// TestLargeSpecOverHTTP pins the wire size envelope: a spec whose
+// netlist is several megabytes (real designs, not toy chains) must
+// round-trip poll → execute → complete intact. Regression test for the
+// client truncating poll responses at a smaller cap than the server's
+// maxWireBytes, which silently burned every lease until the clique
+// failed permanently.
+func TestLargeSpecOverHTTP(t *testing.T) {
+	spec, g, want := buildSpec(t)
+	// Pad past any megabyte-scale cap; newlines are parser-neutral, so
+	// the worker-side graph — and therefore the clique key — is unchanged.
+	spec.Verilog = quickVerilog + strings.Repeat("\n", 4<<20)
+
+	c := NewCoordinator(incr.NewMemStore(), CoordinatorConfig{
+		LocalExecutors: 0, Logger: quietLogger(),
+	})
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	w := NewWorker(srv.URL, WorkerConfig{
+		ID: "w1", PollWait: 200 * time.Millisecond, Logger: quietLogger(),
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); w.Run(wctx) }() //nolint:errcheck // exits on cancel
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	art, err := c.Exec(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode, _, err := core.DecodeCliqueArtifact(art, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sdc.Write(mode); got != want {
+		t.Fatalf("large-spec merge diverged:\n got: %q\nwant: %q", got, want)
+	}
+	if st := c.Status(); st.Retries != 0 {
+		t.Fatalf("large spec burned %d leases before completing: %+v", st.Retries, st)
+	}
+	wcancel()
+	wg.Wait()
+}
+
+// TestWorkerDeathRetry: a worker claims a job and dies (never
+// completes); the lease expires, the job requeues, and a healthy node
+// finishes it with byte-identical output.
+func TestWorkerDeathRetry(t *testing.T) {
+	spec, g, want := buildSpec(t)
+	c := NewCoordinator(incr.NewMemStore(), CoordinatorConfig{
+		LocalExecutors: 0, LeaseTTL: 150 * time.Millisecond, MaxAttempts: 3,
+		Logger: quietLogger(),
+	})
+	defer c.Close()
+
+	if err := c.Join("doomed", ""); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		art, err := c.Exec(ctx, spec)
+		if err != nil {
+			t.Errorf("Exec: %v", err)
+			return
+		}
+		mode, _, err := core.DecodeCliqueArtifact(art, g)
+		if err != nil {
+			t.Errorf("decode: %v", err)
+			return
+		}
+		if got := sdc.Write(mode); got != want {
+			t.Errorf("post-death merge diverged:\n got: %q\nwant: %q", got, want)
+		}
+	}()
+
+	// The doomed worker claims the job... and is never heard from again.
+	var claimed *Spec
+	for i := 0; i < 100 && claimed == nil; i++ {
+		s, err := c.Claim(context.Background(), "doomed", 100*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		claimed = s
+	}
+	if claimed == nil || claimed.Key != spec.Key {
+		t.Fatalf("doomed worker claimed %+v", claimed)
+	}
+
+	// After the lease expires the job is claimable again; a healthy
+	// executor picks it up and completes.
+	exec := NewExecutor(c.Store(), 2)
+	if err := c.Join("healthy", ""); err != nil {
+		t.Fatal(err)
+	}
+	var retried *Spec
+	deadline := time.Now().Add(30 * time.Second)
+	for retried == nil && time.Now().Before(deadline) {
+		s, err := c.Claim(context.Background(), "healthy", 200*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		retried = s
+	}
+	if retried == nil {
+		t.Fatal("lease never expired back into the queue")
+	}
+	if _, err := exec.Execute(context.Background(), retried); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete("healthy", retried.Key, ""); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	st := c.Status()
+	if st.Retries < 1 {
+		t.Fatalf("status = %+v, want retries >= 1", st)
+	}
+}
+
+// TestJobLostAfterMaxAttempts: a job claimed and abandoned repeatedly
+// fails permanently with a descriptive error instead of looping forever.
+func TestJobLostAfterMaxAttempts(t *testing.T) {
+	spec, _, _ := buildSpec(t)
+	c := NewCoordinator(incr.NewMemStore(), CoordinatorConfig{
+		LocalExecutors: 0, LeaseTTL: 50 * time.Millisecond, MaxAttempts: 2,
+		Logger: quietLogger(),
+	})
+	defer c.Close()
+	if err := c.Join("blackhole", ""); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_, err := c.Exec(ctx, spec)
+		errCh <- err
+	}()
+	// Claim (and abandon) until the coordinator gives up on the job.
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := c.Claim(context.Background(), "blackhole", 50*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-errCh:
+			if err == nil || !strings.Contains(err.Error(), "lost after 2 attempts") {
+				t.Fatalf("Exec = %v, want lost-after-attempts error", err)
+			}
+			return
+		default:
+		}
+	}
+	t.Fatal("job never failed permanently")
+}
+
+// TestConcurrentExecShareOneRun: identical keys submitted concurrently
+// share one execution and all receive the same artifact.
+func TestConcurrentExecShareOneRun(t *testing.T) {
+	spec, _, _ := buildSpec(t)
+	c := NewCoordinator(incr.NewMemStore(), CoordinatorConfig{
+		LocalExecutors: 1, Logger: quietLogger(),
+	})
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const n = 4
+	arts := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arts[i], errs[i] = c.Exec(ctx, spec)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("exec %d: %v", i, errs[i])
+		}
+		if string(arts[i]) != string(arts[0]) {
+			t.Fatalf("exec %d received different bytes", i)
+		}
+	}
+	if st := c.Status(); st.Completed > 1 {
+		t.Fatalf("dedup failed: %d executions for one key", st.Completed)
+	}
+}

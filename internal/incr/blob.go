@@ -1,0 +1,140 @@
+package incr
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// BlobStore is the pluggable artifact-store interface behind the cache's
+// serializable granularities (pair verdicts, clique artifacts, ETM
+// models). Entries are content-addressed — a (granularity, key) pair
+// names immutable bytes — so every backend shares the same semantics:
+// Put is an idempotent overwrite with identical content, Get of a key
+// that was ever Put returns exactly those bytes, and there is nothing to
+// invalidate. This is what lets one store serve many processes: a merge
+// coordinator and its remote workers can share artifacts through any
+// backend without coordination beyond the key.
+//
+// Implementations in this package: DiskStore (one file per entry),
+// MemStore (in-process map, for tests and single-run sharing) and
+// HTTPStore (S3-style HTTP object client, served by NewBlobHandler).
+// All methods must be safe for concurrent use.
+type BlobStore interface {
+	// Get reads one blob. A missing key returns ErrNotFound.
+	Get(gran, key string) ([]byte, error)
+	// Put writes one blob. Writes must be atomic: concurrent readers
+	// never observe a torn entry.
+	Put(gran, key string, val []byte) error
+	// Stat reports a blob's existence and size without reading it. A
+	// missing key returns ErrNotFound.
+	Stat(gran, key string) (BlobInfo, error)
+	// List enumerates the blobs of one granularity whose key starts with
+	// prefix (empty prefix lists all), in unspecified order.
+	List(gran, prefix string) ([]BlobInfo, error)
+}
+
+// BlobInfo describes one stored blob.
+type BlobInfo struct {
+	Key  string `json:"key"`
+	Size int64  `json:"size"`
+}
+
+// ErrNotFound reports a Get or Stat of a key the store does not hold.
+var ErrNotFound = errors.New("incr: blob not found")
+
+// ErrInvalidKey reports a granularity or key a store cannot address
+// (empty, path-hostile, or too short to shard).
+var ErrInvalidKey = errors.New("incr: invalid blob key")
+
+// validBlobAddr checks a (granularity, key) pair for store use; every
+// backend applies the same rule so a blob written through one backend is
+// addressable through any other.
+func validBlobAddr(gran, key string) bool {
+	return validKey(gran) && validKey(key) && len(key) >= 3
+}
+
+// MemStore is an in-memory BlobStore: a concurrency-safe map with no
+// eviction. It backs tests and in-process artifact sharing (e.g. an
+// in-process multi-node fabric harness) where disk round trips are
+// unwanted.
+type MemStore struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+}
+
+// NewMemStore creates an empty in-memory blob store.
+func NewMemStore() *MemStore {
+	return &MemStore{blobs: map[string][]byte{}}
+}
+
+func memKey(gran, key string) string { return gran + "/" + key }
+
+// Get implements BlobStore.
+func (s *MemStore) Get(gran, key string) ([]byte, error) {
+	if !validBlobAddr(gran, key) {
+		return nil, ErrInvalidKey
+	}
+	s.mu.RLock()
+	b, ok := s.blobs[memKey(gran, key)]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+// Put implements BlobStore.
+func (s *MemStore) Put(gran, key string, val []byte) error {
+	if !validBlobAddr(gran, key) {
+		return ErrInvalidKey
+	}
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	s.mu.Lock()
+	s.blobs[memKey(gran, key)] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Stat implements BlobStore.
+func (s *MemStore) Stat(gran, key string) (BlobInfo, error) {
+	if !validBlobAddr(gran, key) {
+		return BlobInfo{}, ErrInvalidKey
+	}
+	s.mu.RLock()
+	b, ok := s.blobs[memKey(gran, key)]
+	s.mu.RUnlock()
+	if !ok {
+		return BlobInfo{}, ErrNotFound
+	}
+	return BlobInfo{Key: key, Size: int64(len(b))}, nil
+}
+
+// List implements BlobStore.
+func (s *MemStore) List(gran, prefix string) ([]BlobInfo, error) {
+	if !validKey(gran) {
+		return nil, ErrInvalidKey
+	}
+	pfx := gran + "/"
+	s.mu.RLock()
+	out := []BlobInfo{}
+	for k, b := range s.blobs {
+		if strings.HasPrefix(k, pfx) && strings.HasPrefix(k[len(pfx):], prefix) {
+			out = append(out, BlobInfo{Key: k[len(pfx):], Size: int64(len(b))})
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Len reports the number of stored blobs across all granularities.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blobs)
+}

@@ -1,0 +1,128 @@
+package incr
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestBlobStoreConformance runs every backend through the same
+// contract: Get/Put/Stat/List semantics, ErrNotFound on absent keys,
+// hostile-key rejection.
+func TestBlobStoreConformance(t *testing.T) {
+	disk, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemStore()
+	blobSrv := httptest.NewServer(http.StripPrefix("/blobs", NewBlobHandler(NewMemStore())))
+	defer blobSrv.Close()
+
+	backends := map[string]BlobStore{
+		"disk": disk,
+		"mem":  mem,
+		"http": NewHTTPStore(blobSrv.URL+"/blobs", nil),
+	}
+	for name, store := range backends {
+		t.Run(name, func(t *testing.T) {
+			k1 := Hash("one")
+			k2 := Hash("two")
+			if _, err := store.Get("pair", k1); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get of absent key: err = %v, want ErrNotFound", err)
+			}
+			if _, err := store.Stat("pair", k1); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Stat of absent key: err = %v, want ErrNotFound", err)
+			}
+			if err := store.Put("pair", k1, []byte("alpha")); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Put("pair", k2, []byte("beta-longer")); err != nil {
+				t.Fatal(err)
+			}
+			b, err := store.Get("pair", k1)
+			if err != nil || string(b) != "alpha" {
+				t.Fatalf("Get = %q, %v", b, err)
+			}
+			info, err := store.Stat("pair", k2)
+			if err != nil || info.Size != int64(len("beta-longer")) || info.Key != k2 {
+				t.Fatalf("Stat = %+v, %v", info, err)
+			}
+			// Overwrite with identical content is idempotent.
+			if err := store.Put("pair", k1, []byte("alpha")); err != nil {
+				t.Fatal(err)
+			}
+			all, err := store.List("pair", "")
+			if err != nil || len(all) != 2 {
+				t.Fatalf("List all = %v, %v", all, err)
+			}
+			only, err := store.List("pair", k1[:4])
+			if err != nil || len(only) != 1 || only[0].Key != k1 {
+				t.Fatalf("List prefix = %v, %v", only, err)
+			}
+			empty, err := store.List("clique", "")
+			if err != nil || len(empty) != 0 {
+				t.Fatalf("List of unwritten granularity = %v, %v", empty, err)
+			}
+			for _, bad := range []string{"", "a/b", `a\b`, "..", "xy"} {
+				if err := store.Put("pair", bad, []byte("x")); err == nil {
+					t.Fatalf("Put accepted hostile key %q", bad)
+				}
+				if _, err := store.Get("pair", bad); err == nil {
+					t.Fatalf("Get accepted hostile key %q", bad)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheWithStoreSharing: two caches sharing one BlobStore exchange
+// serialized entries (the coordinator/worker artifact-sharing shape).
+func TestCacheWithStoreSharing(t *testing.T) {
+	shared := NewMemStore()
+	a := New(16).WithStore(shared)
+	b := New(16).WithStore(shared)
+	key := Hash("clique", "artifact")
+	a.PutBytes(GranClique, key, []byte("merged sdc"))
+	got, ok := b.GetBytes(GranClique, key)
+	if !ok || string(got) != "merged sdc" {
+		t.Fatalf("shared store fall-through: got %q %v", got, ok)
+	}
+	if s := b.Stats().Snapshot(); s.CliqueHits != 1 {
+		t.Fatalf("store hit not counted: %+v", s)
+	}
+	// Objects never reach the store.
+	a.PutObject(GranContext, key, 42)
+	if _, ok := b.GetObject(GranContext, key); ok {
+		t.Fatal("object leaked into the shared store")
+	}
+	if shared.Len() != 1 {
+		t.Fatalf("store holds %d blobs, want 1", shared.Len())
+	}
+}
+
+// TestHTTPStoreOverDisk drives the HTTP client against a handler backed
+// by a DiskStore, proving client and server compose with any backend.
+func TestHTTPStoreOverDisk(t *testing.T) {
+	disk, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.StripPrefix("/store", NewBlobHandler(disk)))
+	defer srv.Close()
+	remote := NewHTTPStore(srv.URL+"/store", nil)
+
+	key := Hash("payload")
+	if err := remote.Put("clique", key, []byte("artifact-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	// Visible locally (same bytes on disk) and remotely.
+	local, err := disk.Get("clique", key)
+	if err != nil || string(local) != "artifact-bytes" {
+		t.Fatalf("disk view: %q, %v", local, err)
+	}
+	got, err := remote.Get("clique", key)
+	if err != nil || string(got) != "artifact-bytes" {
+		t.Fatalf("remote view: %q, %v", got, err)
+	}
+}

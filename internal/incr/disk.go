@@ -7,13 +7,13 @@ import (
 	"strings"
 )
 
-// DiskStore persists serialized cache values under a directory, one file
-// per entry at <dir>/<granularity>/<key[:2]>/<key>. Entries are
-// content-addressed so there is nothing to invalidate: stale values are
-// simply never looked up again. Writes go through a temp file + rename,
-// so concurrent processes sharing one cache directory never observe a
-// torn entry. The store performs no garbage collection; deleting the
-// directory (or any subtree) is always safe.
+// DiskStore is the filesystem BlobStore: one file per entry at
+// <dir>/<granularity>/<key[:2]>/<key>. Entries are content-addressed so
+// there is nothing to invalidate: stale values are simply never looked
+// up again. Writes go through a temp file + rename, so concurrent
+// processes sharing one cache directory never observe a torn entry. The
+// store performs no garbage collection; deleting the directory (or any
+// subtree) is always safe.
 type DiskStore struct {
 	dir string
 }
@@ -33,9 +33,9 @@ func NewDiskStore(dir string) (*DiskStore, error) {
 func (d *DiskStore) Dir() string { return d.dir }
 
 // path maps (granularity, key) to the entry's file path; keys are hex
-// digests, but anything path-hostile is rejected by validKey.
+// digests, but anything path-hostile is rejected by validBlobAddr.
 func (d *DiskStore) path(gran, key string) (string, bool) {
-	if !validKey(gran) || !validKey(key) || len(key) < 3 {
+	if !validBlobAddr(gran, key) {
 		return "", false
 	}
 	return filepath.Join(d.dir, gran, key[:2], key), true
@@ -48,24 +48,24 @@ func validKey(s string) bool {
 	return true
 }
 
-// Get reads one entry; ok is false when absent (or unreadable).
-func (d *DiskStore) Get(gran, key string) ([]byte, bool) {
+// Get implements BlobStore.
+func (d *DiskStore) Get(gran, key string) ([]byte, error) {
 	p, ok := d.path(gran, key)
 	if !ok {
-		return nil, false
+		return nil, ErrInvalidKey
 	}
 	b, err := os.ReadFile(p)
 	if err != nil {
-		return nil, false
+		return nil, ErrNotFound
 	}
-	return b, true
+	return b, nil
 }
 
-// Put writes one entry atomically (temp file + rename).
+// Put implements BlobStore (atomic: temp file + rename).
 func (d *DiskStore) Put(gran, key string, val []byte) error {
 	p, ok := d.path(gran, key)
 	if !ok {
-		return fmt.Errorf("incr: invalid cache key %q/%q", gran, key)
+		return fmt.Errorf("%w: %q/%q", ErrInvalidKey, gran, key)
 	}
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return err
@@ -84,4 +84,55 @@ func (d *DiskStore) Put(gran, key string, val []byte) error {
 		return err
 	}
 	return os.Rename(tmp.Name(), p)
+}
+
+// Stat implements BlobStore.
+func (d *DiskStore) Stat(gran, key string) (BlobInfo, error) {
+	p, ok := d.path(gran, key)
+	if !ok {
+		return BlobInfo{}, ErrInvalidKey
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		return BlobInfo{}, ErrNotFound
+	}
+	return BlobInfo{Key: key, Size: fi.Size()}, nil
+}
+
+// List implements BlobStore: walks the granularity's shard directories.
+func (d *DiskStore) List(gran, prefix string) ([]BlobInfo, error) {
+	if !validKey(gran) {
+		return nil, ErrInvalidKey
+	}
+	root := filepath.Join(d.dir, gran)
+	shards, err := os.ReadDir(root)
+	if err != nil {
+		return []BlobInfo{}, nil // granularity never written
+	}
+	out := []BlobInfo{}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		// A shard can only hold keys starting with its 2-char name.
+		if prefix != "" && len(prefix) >= 2 && shard.Name() != prefix[:2] {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(root, shard.Name()))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || strings.HasPrefix(name, ".tmp-") || !strings.HasPrefix(name, prefix) {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			out = append(out, BlobInfo{Key: name, Size: info.Size()})
+		}
+	}
+	return out, nil
 }

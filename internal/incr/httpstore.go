@@ -1,0 +1,217 @@
+package incr
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// HTTPStore is an S3-style HTTP object client implementing BlobStore:
+// objects live at <base>/<granularity>/<key> and respond to GET (read),
+// PUT (write), HEAD (stat) and GET <base>/<granularity>/?prefix= (list,
+// JSON array of BlobInfo). It is the remote half of a shared artifact
+// store — NewBlobHandler serves the same protocol over any local
+// BlobStore, so a merge coordinator can export its store to workers with
+// two lines, and the same client would speak to any S3-compatible
+// gateway exposing that surface.
+type HTTPStore struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPStore creates a client for the blob service rooted at baseURL
+// (e.g. "http://coordinator:8080/fabric/v1/blobs"). A nil client uses a
+// dedicated client with a 30s timeout.
+func NewHTTPStore(baseURL string, client *http.Client) *HTTPStore {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &HTTPStore{base: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+func (s *HTTPStore) url(gran, key string) string {
+	return s.base + "/" + url.PathEscape(gran) + "/" + url.PathEscape(key)
+}
+
+// Get implements BlobStore.
+func (s *HTTPStore) Get(gran, key string) ([]byte, error) {
+	if !validBlobAddr(gran, key) {
+		return nil, ErrInvalidKey
+	}
+	resp, err := s.client.Get(s.url(gran, key))
+	if err != nil {
+		return nil, fmt.Errorf("incr: blob get: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return io.ReadAll(resp.Body)
+	case http.StatusNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, fmt.Errorf("incr: blob get: unexpected status %s", resp.Status)
+	}
+}
+
+// Put implements BlobStore.
+func (s *HTTPStore) Put(gran, key string, val []byte) error {
+	if !validBlobAddr(gran, key) {
+		return ErrInvalidKey
+	}
+	req, err := http.NewRequest(http.MethodPut, s.url(gran, key), bytes.NewReader(val))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("incr: blob put: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated &&
+		resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("incr: blob put: unexpected status %s", resp.Status)
+	}
+	return nil
+}
+
+// Stat implements BlobStore.
+func (s *HTTPStore) Stat(gran, key string) (BlobInfo, error) {
+	if !validBlobAddr(gran, key) {
+		return BlobInfo{}, ErrInvalidKey
+	}
+	resp, err := s.client.Head(s.url(gran, key))
+	if err != nil {
+		return BlobInfo{}, fmt.Errorf("incr: blob stat: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return BlobInfo{Key: key, Size: resp.ContentLength}, nil
+	case http.StatusNotFound:
+		return BlobInfo{}, ErrNotFound
+	default:
+		return BlobInfo{}, fmt.Errorf("incr: blob stat: unexpected status %s", resp.Status)
+	}
+}
+
+// List implements BlobStore.
+func (s *HTTPStore) List(gran, prefix string) ([]BlobInfo, error) {
+	if !validKey(gran) {
+		return nil, ErrInvalidKey
+	}
+	u := s.base + "/" + url.PathEscape(gran) + "/?prefix=" + url.QueryEscape(prefix)
+	resp, err := s.client.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("incr: blob list: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("incr: blob list: unexpected status %s", resp.Status)
+	}
+	var out []BlobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("incr: blob list: %w", err)
+	}
+	return out, nil
+}
+
+// maxBlobBytes caps one PUT body on the serving side. Clique artifacts
+// are SDC text + a JSON report; 32 MiB matches the service's request
+// cap.
+const maxBlobBytes = 32 << 20
+
+// NewBlobHandler serves the HTTPStore protocol over any BlobStore:
+// mount it under a prefix (http.StripPrefix) and point NewHTTPStore at
+// that URL. Paths are <granularity>/<key> for GET/PUT/HEAD and
+// <granularity>/?prefix= for list.
+func NewBlobHandler(store BlobStore) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gran, key, ok := splitBlobPath(r.URL.Path)
+		if !ok {
+			http.Error(w, "malformed blob path", http.StatusBadRequest)
+			return
+		}
+		// List: trailing slash (empty key) with GET.
+		if key == "" {
+			if r.Method != http.MethodGet {
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			infos, err := store.List(gran, r.URL.Query().Get("prefix"))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(infos) //nolint:errcheck // client gone
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			b, err := store.Get(gran, key)
+			if err != nil {
+				blobError(w, err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(b) //nolint:errcheck // client gone
+		case http.MethodHead:
+			info, err := store.Stat(gran, key)
+			if err != nil {
+				blobError(w, err)
+				return
+			}
+			w.Header().Set("Content-Length", fmt.Sprint(info.Size))
+			w.WriteHeader(http.StatusOK)
+		case http.MethodPut:
+			b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBlobBytes))
+			if err != nil {
+				http.Error(w, "blob too large", http.StatusRequestEntityTooLarge)
+				return
+			}
+			if err := store.Put(gran, key, b); err != nil {
+				blobError(w, err)
+				return
+			}
+			w.WriteHeader(http.StatusCreated)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// splitBlobPath parses "<gran>/<key>" ("" key = list). The handler is
+// mounted with StripPrefix, so the leading slash may or may not remain.
+func splitBlobPath(p string) (gran, key string, ok bool) {
+	p = strings.TrimPrefix(p, "/")
+	gran, key, found := strings.Cut(p, "/")
+	if !found || gran == "" {
+		return "", "", false
+	}
+	if g, err := url.PathUnescape(gran); err == nil {
+		gran = g
+	}
+	if k, err := url.PathUnescape(key); err == nil {
+		key = k
+	}
+	return gran, key, true
+}
+
+// blobError maps store errors to HTTP statuses.
+func blobError(w http.ResponseWriter, err error) {
+	switch {
+	case err == ErrNotFound:
+		http.Error(w, "not found", http.StatusNotFound)
+	case err == ErrInvalidKey:
+		http.Error(w, "invalid key", http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

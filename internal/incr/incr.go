@@ -19,10 +19,12 @@
 // (InvalidatePrefix, Clear) exists for operators who want to drop state
 // eagerly.
 //
-// The cache is safe for concurrent use. An optional disk store persists
-// the two serializable granularities (pair verdicts and clique
-// artifacts) across processes, which is what makes warm CLI reruns
-// (`modemerge -cache-dir`) near-instant.
+// The cache is safe for concurrent use. An optional artifact store (see
+// BlobStore: disk, in-memory, or S3-style HTTP backends) persists the
+// serializable granularities (pair verdicts and clique artifacts) across
+// processes, which is what makes warm CLI reruns (`modemerge
+// -cache-dir`) near-instant and lets a distributed merge fabric share
+// per-clique artifacts between coordinator and workers.
 package incr
 
 import (
@@ -151,7 +153,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 }
 
 // Cache is one incremental sub-merge cache: a bounded in-memory LRU over
-// all three granularities plus an optional disk store behind the
+// all three granularities plus an optional BlobStore behind the
 // serializable ones. The zero value is not usable; construct with New.
 type Cache struct {
 	mu      sync.Mutex
@@ -159,7 +161,7 @@ type Cache struct {
 	order   *list.List // front = most recently used
 	entries map[string]*list.Element
 
-	disk  *DiskStore // optional; nil = memory only
+	store BlobStore // optional artifact store; nil = memory only
 	stats Stats
 
 	// hitObserver, when set, receives the lookup latency of every cache
@@ -187,18 +189,34 @@ func New(capacity int) *Cache {
 	return &Cache{cap: capacity, order: list.New(), entries: map[string]*list.Element{}}
 }
 
-// WithDisk layers a disk store under the serializable granularities
-// (pair verdicts, clique artifacts). Get falls through to disk on a
-// memory miss and promotes hits back into memory; Put writes through.
+// WithDisk layers a filesystem artifact store under the serializable
+// granularities (pair verdicts, clique artifacts). It is a thin adapter
+// over WithStore with the DiskStore backend.
 func (c *Cache) WithDisk(dir string) (*Cache, error) {
 	d, err := NewDiskStore(dir)
 	if err != nil {
 		return nil, err
 	}
+	return c.WithStore(d), nil
+}
+
+// WithStore layers an artifact store under the serializable
+// granularities: GetBytes falls through to the store on a memory miss
+// and promotes hits back into memory; PutBytes writes through. The store
+// may be shared with other caches and other processes — entries are
+// content-addressed, so cross-process sharing needs no coordination.
+func (c *Cache) WithStore(s BlobStore) *Cache {
 	c.mu.Lock()
-	c.disk = d
+	c.store = s
 	c.mu.Unlock()
-	return c, nil
+	return c
+}
+
+// Store returns the cache's artifact store (nil when memory only).
+func (c *Cache) Store() BlobStore {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store
 }
 
 // Stats exposes the hit/miss counters.
@@ -267,8 +285,8 @@ func (c *Cache) PutObject(g Granularity, key string, v any) {
 	c.put(fullKey(g, key), v, false)
 }
 
-// GetBytes looks a serialized value up: memory first, then the disk
-// store (when configured), promoting disk hits into memory.
+// GetBytes looks a serialized value up: memory first, then the artifact
+// store (when configured), promoting store hits into memory.
 func (c *Cache) GetBytes(g Granularity, key string) ([]byte, bool) {
 	start := c.hitStart()
 	fk := fullKey(g, key)
@@ -279,15 +297,15 @@ func (c *Cache) GetBytes(g Granularity, key string) ([]byte, bool) {
 		c.order.MoveToFront(el)
 		v = el.Value.(*entry).value.([]byte)
 	}
-	disk := c.disk
+	store := c.store
 	c.mu.Unlock()
 	if ok {
 		c.stats.hit(g)
 		c.observeHit(g, start)
 		return v, true
 	}
-	if disk != nil {
-		if b, ok := disk.Get(string(g), key); ok {
+	if store != nil {
+		if b, err := store.Get(string(g), key); err == nil {
 			c.put(fk, b, true)
 			c.stats.hit(g)
 			c.observeHit(g, start)
@@ -298,15 +316,15 @@ func (c *Cache) GetBytes(g Granularity, key string) ([]byte, bool) {
 	return nil, false
 }
 
-// PutBytes stores a serialized value, writing through to the disk store
-// when one is configured.
+// PutBytes stores a serialized value, writing through to the artifact
+// store when one is configured.
 func (c *Cache) PutBytes(g Granularity, key string, b []byte) {
 	c.put(fullKey(g, key), b, true)
 	c.mu.Lock()
-	disk := c.disk
+	store := c.store
 	c.mu.Unlock()
-	if disk != nil {
-		disk.Put(string(g), key, b) //nolint:errcheck // cache write-through is best effort
+	if store != nil {
+		store.Put(string(g), key, b) //nolint:errcheck // cache write-through is best effort
 	}
 }
 

@@ -152,7 +152,7 @@ func TestDiskStoreRejectsHostileKeys(t *testing.T) {
 		if err := ds.Put(string(GranClique), key, []byte("x")); err == nil {
 			t.Fatalf("Put accepted hostile key %q", key)
 		}
-		if _, ok := ds.Get(string(GranClique), key); ok {
+		if _, err := ds.Get(string(GranClique), key); err == nil {
 			t.Fatalf("Get accepted hostile key %q", key)
 		}
 	}

@@ -1,0 +1,277 @@
+// Package pipeline provides typed, channel-connected processing stages
+// for expressing a job as a small dataflow graph: a source emits items,
+// stages transform them (optionally fanned out across a bounded worker
+// pool with order-preserving fan-in), and a sink collects results.
+// Bounded channels give backpressure end to end — a slow downstream
+// stage throttles upstream producers instead of letting work pile up —
+// and every stage goroutine runs under one Group that converts the
+// first error or panic into cancellation of the whole graph.
+//
+// The service's merge job loop is built on this package: parse →
+// mergeability analysis → clique scheduling → per-clique merge (fan-out)
+// → ordered assembly. Order preservation in ParMap is what keeps the
+// staged pipeline byte-identical to the sequential loop it replaced.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// PanicError is a panic captured on a stage goroutine, carrying the
+// recovered value and the stack at the panic site. Group.Wait returns it
+// as an ordinary error so callers keep their existing panic accounting
+// (the service maps it back onto its crash telemetry).
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pipeline: stage panic: %v", e.Value)
+}
+
+// Group owns the goroutines of one pipeline run. The first failure
+// (error, panic, or external context cancellation) cancels the group
+// context; stages watch it and drain, so Wait never deadlocks on a
+// poisoned graph.
+type Group struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewGroup creates a stage group under parent. The returned context is
+// cancelled when any stage fails or when parent is cancelled; pass it to
+// long-running stage bodies that need explicit cancellation points.
+func NewGroup(parent context.Context) (*Group, context.Context) {
+	ctx, cancel := context.WithCancel(parent)
+	return &Group{ctx: ctx, cancel: cancel}, ctx
+}
+
+// Context returns the group's cancellation context.
+func (g *Group) Context() context.Context { return g.ctx }
+
+// Go runs fn on a new goroutine with panic capture. A non-nil return
+// (or a panic, wrapped as *PanicError) records the group's first error
+// and cancels the group context.
+func (g *Group) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() {
+			if v := recover(); v != nil {
+				g.fail(&PanicError{Value: v, Stack: debug.Stack()})
+			}
+		}()
+		if err := fn(); err != nil {
+			g.fail(err)
+		}
+	}()
+}
+
+func (g *Group) fail(err error) {
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.mu.Unlock()
+	g.cancel()
+}
+
+// Wait blocks until every stage goroutine has returned, then reports the
+// first recorded failure. When all stages succeeded but the parent
+// context was cancelled, it returns the context error: the pipeline was
+// interrupted, not completed.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	interrupted := g.ctx.Err() // read before releasing our own cancel
+	g.cancel()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.err != nil {
+		return g.err
+	}
+	return interrupted
+}
+
+// send delivers v to out unless the group is cancelled first.
+func send[T any](ctx context.Context, out chan<- T, v T) bool {
+	select {
+	case out <- v:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Emit starts a source stage producing the given items in order into a
+// channel with the given buffer (minimum 1). The channel is closed when
+// all items are emitted or the group is cancelled.
+func Emit[T any](g *Group, buf int, items ...T) <-chan T {
+	out := make(chan T, bufSize(buf))
+	g.Go(func() error {
+		defer close(out)
+		for _, v := range items {
+			if !send(g.ctx, out, v) {
+				return nil
+			}
+		}
+		return nil
+	})
+	return out
+}
+
+// Map starts a single-worker transform stage: items are processed and
+// emitted strictly in input order. An error from fn fails the group and
+// closes the output.
+func Map[In, Out any](g *Group, buf int, in <-chan In, fn func(context.Context, In) (Out, error)) <-chan Out {
+	out := make(chan Out, bufSize(buf))
+	g.Go(func() error {
+		defer close(out)
+		for {
+			v, ok, err := recv(g.ctx, in)
+			if err != nil || !ok {
+				return err
+			}
+			r, err := fn(g.ctx, v)
+			if err != nil {
+				return err
+			}
+			if !send(g.ctx, out, r) {
+				return nil
+			}
+		}
+	})
+	return out
+}
+
+// ParMap starts a fan-out/fan-in transform stage: up to workers items
+// are processed concurrently, and results are emitted in input order
+// regardless of completion order. In-flight work is bounded by
+// workers + buf, so downstream backpressure propagates upstream. An
+// error from any worker fails the group; remaining workers see the
+// cancelled context and stop.
+func ParMap[In, Out any](g *Group, buf, workers int, in <-chan In, fn func(context.Context, In) (Out, error)) <-chan Out {
+	if workers < 1 {
+		workers = 1
+	}
+	type task struct {
+		v     In
+		reply chan Out
+	}
+	work := make(chan task)                            // unbuffered: hand-off to an idle worker
+	order := make(chan chan Out, workers+bufSize(buf)) // bounds in-flight items
+	out := make(chan Out, bufSize(buf))
+
+	// Dispatcher: pair each input with a reply slot, preserving order.
+	g.Go(func() error {
+		defer close(work)
+		defer close(order)
+		for {
+			v, ok, err := recv(g.ctx, in)
+			if err != nil || !ok {
+				return err
+			}
+			t := task{v: v, reply: make(chan Out, 1)}
+			if !send(g.ctx, order, t.reply) {
+				return nil
+			}
+			if !send(g.ctx, work, t) {
+				return nil
+			}
+		}
+	})
+	// Workers: compute and fill reply slots, any order.
+	for i := 0; i < workers; i++ {
+		g.Go(func() error {
+			for {
+				t, ok, err := recv(g.ctx, work)
+				if err != nil || !ok {
+					return err
+				}
+				r, err := fn(g.ctx, t.v)
+				if err != nil {
+					return err
+				}
+				t.reply <- r // buffered; never blocks
+			}
+		})
+	}
+	// Fan-in: drain reply slots in dispatch order.
+	g.Go(func() error {
+		defer close(out)
+		for {
+			reply, ok, err := recv(g.ctx, order)
+			if err != nil || !ok {
+				return err
+			}
+			r, ok, err := recv(g.ctx, reply)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil // worker died before replying; group already failing
+			}
+			if !send(g.ctx, out, r) {
+				return nil
+			}
+		}
+	})
+	return out
+}
+
+// Collect starts a sink stage appending every item to the returned
+// slice. The slice must only be read after Wait returns.
+func Collect[T any](g *Group, in <-chan T) *[]T {
+	out := new([]T)
+	g.Go(func() error {
+		for {
+			v, ok, err := recv(g.ctx, in)
+			if err != nil || !ok {
+				return err
+			}
+			*out = append(*out, v)
+		}
+	})
+	return out
+}
+
+// Sink starts a terminal stage invoking fn for every item in order.
+func Sink[T any](g *Group, in <-chan T, fn func(context.Context, T) error) {
+	g.Go(func() error {
+		for {
+			v, ok, err := recv(g.ctx, in)
+			if err != nil || !ok {
+				return err
+			}
+			if err := fn(g.ctx, v); err != nil {
+				return err
+			}
+		}
+	})
+}
+
+// recv receives one item or reports closure; a cancelled group context
+// surfaces as a nil-item, nil-error stop so stages drain quietly (the
+// group already records the causal error).
+func recv[T any](ctx context.Context, in <-chan T) (v T, ok bool, err error) {
+	select {
+	case v, ok = <-in:
+		return v, ok, nil
+	case <-ctx.Done():
+		return v, false, nil
+	}
+}
+
+func bufSize(buf int) int {
+	if buf < 1 {
+		return 1
+	}
+	return buf
+}

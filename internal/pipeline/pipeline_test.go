@@ -1,0 +1,202 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOrderPreserved: ParMap with many workers and adversarial per-item
+// latency must still emit results in input order — the property the
+// merge pipeline's byte-identity rests on.
+func TestOrderPreserved(t *testing.T) {
+	g, _ := NewGroup(context.Background())
+	rng := rand.New(rand.NewSource(1))
+	delays := make([]time.Duration, 64)
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+		delays[i] = time.Duration(rng.Intn(3)) * time.Millisecond
+	}
+	in := Emit(g, 4, items...)
+	mapped := ParMap(g, 4, 8, in, func(_ context.Context, v int) (int, error) {
+		time.Sleep(delays[v])
+		return v * v, nil
+	})
+	got := Collect(g, mapped)
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != len(items) {
+		t.Fatalf("got %d results, want %d", len(*got), len(items))
+	}
+	for i, v := range *got {
+		if v != i*i {
+			t.Fatalf("out of order at %d: got %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestBackpressure: with a slow sink, the number of items in flight must
+// stay bounded by the stage buffers — producers block rather than race
+// ahead.
+func TestBackpressure(t *testing.T) {
+	g, _ := NewGroup(context.Background())
+	var produced, consumed atomic.Int64
+	var maxLag int64
+
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	src := make(chan int, 1)
+	g.Go(func() error {
+		defer close(src)
+		for _, v := range items {
+			if !send(g.ctx, src, v) {
+				return nil
+			}
+			produced.Add(1)
+		}
+		return nil
+	})
+	mapped := ParMap(g, 2, 2, src, func(_ context.Context, v int) (int, error) {
+		return v, nil
+	})
+	Sink(g, mapped, func(_ context.Context, v int) error {
+		time.Sleep(200 * time.Microsecond)
+		c := consumed.Add(1)
+		if lag := produced.Load() - c; lag > maxLag {
+			maxLag = lag
+		}
+		return nil
+	})
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Channel buffers: src 1 + order 4 + out 2 + reply slots ≈ 10. Allow
+	// slack for scheduling, but a runaway producer would hit ~100.
+	if maxLag > 20 {
+		t.Fatalf("backpressure failed: %d items in flight", maxLag)
+	}
+}
+
+// TestErrorShortCircuits: one failing item cancels the whole graph and
+// Wait returns that error without deadlocking.
+func TestErrorShortCircuits(t *testing.T) {
+	g, _ := NewGroup(context.Background())
+	boom := errors.New("boom")
+	items := make([]int, 500)
+	for i := range items {
+		items[i] = i
+	}
+	in := Emit(g, 2, items...)
+	mapped := ParMap(g, 2, 4, in, func(_ context.Context, v int) (int, error) {
+		if v == 17 {
+			return 0, fmt.Errorf("item %d: %w", v, boom)
+		}
+		return v, nil
+	})
+	got := Collect(g, mapped)
+	err := g.Wait()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want wrapped boom", err)
+	}
+	if len(*got) >= len(items) {
+		t.Fatal("error did not short-circuit the pipeline")
+	}
+}
+
+// TestPanicCaptured: a stage panic surfaces from Wait as *PanicError
+// with the panic value and a stack, instead of crashing the process.
+func TestPanicCaptured(t *testing.T) {
+	g, _ := NewGroup(context.Background())
+	in := Emit(g, 1, 1, 2, 3)
+	mapped := Map(g, 1, in, func(_ context.Context, v int) (int, error) {
+		if v == 2 {
+			panic("stage exploded")
+		}
+		return v, nil
+	})
+	Collect(g, mapped)
+	err := g.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Wait = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Value != "stage exploded" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "pipeline") {
+		t.Fatal("panic stack missing")
+	}
+}
+
+// TestExternalCancel: cancelling the parent context mid-run stops the
+// graph and Wait reports the context error.
+func TestExternalCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g, _ := NewGroup(ctx)
+	started := make(chan struct{})
+	var once atomic.Bool
+	items := make([]int, 100)
+	in := Emit(g, 1, items...)
+	mapped := Map(g, 1, in, func(c context.Context, v int) (int, error) {
+		if once.CompareAndSwap(false, true) {
+			close(started)
+		}
+		select {
+		case <-c.Done():
+			return 0, c.Err()
+		case <-time.After(50 * time.Millisecond):
+			return v, nil
+		}
+	})
+	Collect(g, mapped)
+	<-started
+	cancel()
+	if err := g.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+}
+
+// TestChainedStages: a multi-stage graph (emit → map → parmap → sink)
+// composes and completes.
+func TestChainedStages(t *testing.T) {
+	g, _ := NewGroup(context.Background())
+	in := Emit(g, 2, 1, 2, 3, 4, 5)
+	doubled := Map(g, 2, in, func(_ context.Context, v int) (int, error) { return v * 2, nil })
+	strs := ParMap(g, 2, 3, doubled, func(_ context.Context, v int) (string, error) {
+		return fmt.Sprint(v), nil
+	})
+	var joined []string
+	Sink(g, strs, func(_ context.Context, s string) error {
+		joined = append(joined, s)
+		return nil
+	})
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(joined, ","); got != "2,4,6,8,10" {
+		t.Fatalf("pipeline output = %q", got)
+	}
+}
+
+// TestEmptyInput: zero items flow through cleanly.
+func TestEmptyInput(t *testing.T) {
+	g, _ := NewGroup(context.Background())
+	in := Emit[int](g, 1)
+	mapped := ParMap(g, 1, 4, in, func(_ context.Context, v int) (int, error) { return v, nil })
+	got := Collect(g, mapped)
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 0 {
+		t.Fatalf("got %d results from empty input", len(*got))
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"expvar"
+	"io"
 	"net/http"
 
+	"modemerge/internal/fabric"
 	"modemerge/internal/obs"
 )
 
@@ -46,6 +48,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", deprecatedV1(s.handleCancel))
 	mux.HandleFunc("GET /v1/stats", deprecatedV1(s.handleStats))
 	s.registerV2(mux)
+	if s.fabric != nil {
+		// Cluster-internal wire API (join/poll/complete + blob
+		// passthrough); versioned by path, documented in docs/api.md.
+		mux.Handle("/fabric/v1/", s.fabric.Handler())
+	}
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -177,6 +184,40 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WritePrometheus(w) //nolint:errcheck // client gone; nothing to do
+	s.writeClusterMetrics(w)
+}
+
+// writeClusterMetrics appends the modemerged_cluster_* family to a
+// Prometheus scrape. The gauges exist on every server (enabled=0 when
+// no fabric runs) so dashboards need no existence checks.
+func (s *Server) writeClusterMetrics(w io.Writer) {
+	var st fabric.ClusterStatus
+	if s.fabric != nil {
+		st = s.fabric.Status()
+	}
+	pw := obs.NewPromWriter(w)
+	pw.Gauge("modemerged_cluster_enabled", "Whether this server coordinates a merge fabric.",
+		obs.Series{Value: boolGauge(st.Enabled)})
+	pw.Gauge("modemerged_cluster_workers", "Remote merge workers currently registered.",
+		obs.Series{Value: float64(len(st.Workers))})
+	pw.Gauge("modemerged_cluster_pending_cliques", "Clique jobs queued awaiting a worker.",
+		obs.Series{Value: float64(st.Pending)})
+	pw.Gauge("modemerged_cluster_inflight_cliques", "Clique jobs currently leased to workers.",
+		obs.Series{Value: float64(len(st.InFlight))})
+	pw.Counter("modemerged_cluster_steals_total", "Clique jobs claimed by remote workers.",
+		obs.Series{Value: float64(st.Steals)})
+	pw.Counter("modemerged_cluster_retries_total", "Clique jobs requeued after lease expiry or lost artifacts.",
+		obs.Series{Value: float64(st.Retries)})
+	pw.Counter("modemerged_cluster_cliques_total", "Clique jobs by terminal outcome.",
+		obs.Series{Labels: []string{"outcome", "completed"}, Value: float64(st.Completed)},
+		obs.Series{Labels: []string{"outcome", "failed"}, Value: float64(st.Failed)})
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

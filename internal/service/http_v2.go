@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 
+	"modemerge/internal/fabric"
 	"modemerge/internal/obs"
 )
 
@@ -61,6 +62,7 @@ var v2Routes = []string{
 	"GET /v2/jobs/{id}/flight",
 	"GET /v2/flights",
 	"GET /v2/stats",
+	"GET /v2/cluster",
 }
 
 // V2Routes lists the /v2 route patterns served by Handler (method,
@@ -80,6 +82,7 @@ func (s *Server) registerV2(mux *http.ServeMux) {
 		"GET /v2/jobs/{id}/flight":  s.handleFlightV2,
 		"GET /v2/flights":           s.handleFlightsV2,
 		"GET /v2/stats":             s.handleStats,
+		"GET /v2/cluster":           s.handleClusterV2,
 	}
 	for _, pattern := range v2Routes {
 		mux.HandleFunc(pattern, withTraceContext(handlers[pattern]))
@@ -470,4 +473,20 @@ func (s *Server) handleCancelV2(w http.ResponseWriter, r *http.Request) {
 		job.Cancel()
 		writeJSON(w, http.StatusAccepted, job.View())
 	}
+}
+
+// handleClusterV2 serves the merge fabric's cluster view: registered
+// workers, queued and in-flight clique jobs, and the steal/retry/
+// completion counters. With the fabric disabled it reports
+// enabled=false with empty collections (200, not 404 — the route is
+// always present, the feature is a runtime mode).
+func (s *Server) handleClusterV2(w http.ResponseWriter, r *http.Request) {
+	if s.fabric == nil {
+		writeJSON(w, http.StatusOK, fabric.ClusterStatus{
+			Workers:  []fabric.WorkerStatus{},
+			InFlight: []fabric.InFlight{},
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.fabric.Status())
 }

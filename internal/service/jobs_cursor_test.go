@@ -1,0 +1,112 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+)
+
+// listPage fetches one GET /v2/jobs page directly against the handler.
+func listPage(t *testing.T, s *Server, cursor string, limit int) jobsListResponse {
+	t.Helper()
+	url := "/v2/jobs?limit=" + itoa(limit)
+	if cursor != "" {
+		url += "&cursor=" + cursor
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET %s: %d %s", url, rec.Code, rec.Body.String())
+	}
+	var resp jobsListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// submitBatch submits n distinct quick jobs and waits for them all.
+func submitBatch(t *testing.T, s *Server, start, n int) []string {
+	t.Helper()
+	ids := make([]string, 0, n)
+	jobs := make([]*Job, 0, n)
+	for i := start; i < start+n; i++ {
+		req := quickRequest()
+		req.Modes[0] = fmtMode(i) // distinct digest per job, same design
+		job, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID)
+		jobs = append(jobs, job)
+	}
+	for _, j := range jobs {
+		waitDone(t, j)
+	}
+	return ids
+}
+
+// TestJobsCursorStableUnderEviction is the regression test for cursor
+// pagination racing the bounded finished-job history: eviction between
+// page fetches must never duplicate an entry or skip a job that is
+// still in the table. The cursor is a job id compared by jobIDLess (not
+// a positional offset), so pages resume correctly even when every job
+// served on an earlier page has since been evicted.
+func TestJobsCursorStableUnderEviction(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:         2,
+		JobHistoryLimit: 4,
+		Logger:          quietSlog(),
+	})
+
+	submitBatch(t, s, 0, 6) // history holds only the newest 4 of these
+
+	seen := map[string]bool{}
+	var pages [][]JobView
+	page := listPage(t, s, "", 2)
+	pages = append(pages, page.Jobs)
+
+	// Between pages, churn the history: six more finished jobs evict
+	// everything that was listed on page one (and more).
+	submitBatch(t, s, 100, 6)
+
+	cursor := page.NextCursor
+	for cursor != "" {
+		page = listPage(t, s, cursor, 2)
+		pages = append(pages, page.Jobs)
+		cursor = page.NextCursor
+	}
+
+	last := ""
+	for _, jobs := range pages {
+		for _, j := range jobs {
+			if seen[j.ID] {
+				t.Fatalf("job %s served twice across pages", j.ID)
+			}
+			seen[j.ID] = true
+			if last != "" && !jobIDLess(last, j.ID) {
+				t.Fatalf("page order regressed: %s after %s", j.ID, last)
+			}
+			last = j.ID
+		}
+	}
+
+	// Every job still in the table and past the first page's cursor must
+	// have been served by the later pages — eviction may hide old jobs,
+	// never surviving ones.
+	firstCursor := pages[0][len(pages[0])-1].ID
+	s.mu.Lock()
+	var missing []string
+	for id := range s.jobs {
+		if jobIDLess(firstCursor, id) && !seen[id] {
+			missing = append(missing, id)
+		}
+	}
+	s.mu.Unlock()
+	if len(missing) > 0 {
+		t.Fatalf("live jobs skipped by cursor pagination: %v", missing)
+	}
+}

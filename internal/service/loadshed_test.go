@@ -1,0 +1,156 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLoadShedBurst is the load-shed smoke test: a burst of concurrent
+// POST /v2/merge submissions with idempotency keys against a tiny queue
+// must drain through the documented envelope — every response is an
+// accept (202/200) or a shed (429 rate_limited with Retry-After; 503
+// only while draining) — with zero dropped-but-accepted jobs (every
+// accepted id reaches a terminal state and stays queryable) and no
+// goroutine leak once the server drains.
+func TestLoadShedBurst(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s := New(Config{
+		Workers:    1,
+		QueueDepth: 2,
+		Logger:     quietSlog(),
+	})
+	ts := httptest.NewServer(s.Handler())
+
+	const burst = 24
+	type outcome struct {
+		status int
+		body   []byte
+	}
+	outcomes := make([]outcome, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := quickRequest()
+			req.Modes[0] = fmtMode(i) // distinct payloads: no result-cache shortcut
+			payload, _ := json.Marshal(req)
+			hreq, _ := http.NewRequest("POST", ts.URL+"/v2/merge", bytes.NewReader(payload))
+			hreq.Header.Set("Content-Type", "application/json")
+			hreq.Header.Set("Idempotency-Key", fmt.Sprintf("burst-%d", i))
+			resp, err := http.DefaultClient.Do(hreq)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body) //nolint:errcheck // test buffer
+			outcomes[i] = outcome{status: resp.StatusCode, body: buf.Bytes()}
+		}(i)
+	}
+	wg.Wait()
+
+	var accepted []string
+	var acceptedIdx []int
+	shed := 0
+	for i, o := range outcomes {
+		switch o.status {
+		case http.StatusAccepted, http.StatusOK:
+			var sub submitResponseV2
+			if err := json.Unmarshal(o.body, &sub); err != nil || sub.ID == "" {
+				t.Fatalf("accept response %d unparseable: %s", i, o.body)
+			}
+			accepted = append(accepted, sub.ID)
+			acceptedIdx = append(acceptedIdx, i)
+		case http.StatusTooManyRequests:
+			shed++
+			var env v2ErrorResponse
+			if err := json.Unmarshal(o.body, &env); err != nil || env.Error.Code != codeRateLimited {
+				t.Fatalf("shed response %d lacks rate_limited envelope: %s", i, o.body)
+			}
+		default:
+			t.Fatalf("burst response %d: unexpected status %d: %s", i, o.status, o.body)
+		}
+	}
+	if len(accepted) == 0 {
+		t.Fatal("burst accepted nothing")
+	}
+	if shed == 0 {
+		t.Fatalf("queue depth 2 with %d submissions shed nothing (accepted %d)", burst, len(accepted))
+	}
+
+	// Zero dropped-but-accepted: every accepted job reaches a terminal
+	// state and remains queryable.
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range accepted {
+		for {
+			resp, err := http.Get(ts.URL + "/v2/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var view JobView
+			err = json.NewDecoder(resp.Body).Decode(&view)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || err != nil {
+				t.Fatalf("accepted job %s not queryable: %d %v", id, resp.StatusCode, err)
+			}
+			if view.Status == StatusDone || view.Status == StatusFailed || view.Status == StatusCanceled {
+				if view.Status != StatusDone {
+					t.Fatalf("accepted job %s ended %s: %s", id, view.Status, view.Error)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("accepted job %s stuck in %s", id, view.Status)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Idempotent replay after the burst: the same key + payload as an
+	// accepted submission returns the original job, not a new one.
+	req := quickRequest()
+	req.Modes[0] = fmtMode(acceptedIdx[0])
+	payload, _ := json.Marshal(req)
+	hreq, _ := http.NewRequest("POST", ts.URL+"/v2/merge", bytes.NewReader(payload))
+	hreq.Header.Set("Idempotency-Key", fmt.Sprintf("burst-%d", acceptedIdx[0]))
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replay submitResponseV2
+	json.NewDecoder(resp.Body).Decode(&replay) //nolint:errcheck // checked below
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || replay.ID != accepted[0] {
+		t.Fatalf("idempotent replay: status %d id %s (want 200 %s)", resp.StatusCode, replay.ID, accepted[0])
+	}
+
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// No goroutine leak once drained (allow slack for runtime/test
+	// helpers that settle asynchronously).
+	var after int
+	for i := 0; i < 100; i++ {
+		after = runtime.NumGoroutine()
+		if after <= before+5 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before burst, %d after drain", before, after)
+}

@@ -34,11 +34,13 @@ import (
 	"time"
 
 	"modemerge/internal/core"
+	"modemerge/internal/fabric"
 	"modemerge/internal/graph"
 	"modemerge/internal/incr"
 	"modemerge/internal/library"
 	"modemerge/internal/netlist"
 	"modemerge/internal/obs"
+	"modemerge/internal/pipeline"
 	"modemerge/internal/sdc"
 	"modemerge/internal/sta"
 )
@@ -90,6 +92,35 @@ type Config struct {
 	// span tree, stage counters, CPU profile and goroutine dump for jobs
 	// that run slow, fail or panic. Zero value disables recording.
 	Flight FlightConfig
+	// Fabric configures the distributed merge fabric. Zero value:
+	// disabled — per-clique merges run in-process on one pipeline worker,
+	// exactly the sequential order the single-process path always had.
+	Fabric FabricConfig
+}
+
+// FabricConfig enables the coordinator role of the distributed merge
+// fabric: multi-mode clique merges are published to a work-stealing
+// queue served under /fabric/v1/, where remote merge workers
+// (modemerged -role worker -join <addr>) and the coordinator's own
+// local executors compete for them. Merged output stays byte-identical
+// to the single-process path at any worker count.
+type FabricConfig struct {
+	// Enabled turns the coordinator on.
+	Enabled bool
+	// LocalExecutors is how many coordinator-side goroutines also pull
+	// clique jobs, so a cluster of one makes progress before any worker
+	// joins. 0 means the default of 1; -1 disables local execution
+	// (pure dispatcher — jobs wait for remote workers).
+	LocalExecutors int
+	// DispatchWidth bounds how many clique jobs one merge job keeps in
+	// flight on the fabric at once (the ParMap fan-out width). Default 8.
+	DispatchWidth int
+	// LeaseTTL is how long a claimed clique job may go silent before the
+	// worker is presumed dead and the job is requeued. Default 30s.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds executions of one clique job across lease
+	// expiries before it fails permanently. Default 3.
+	MaxAttempts int
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +148,9 @@ func (c Config) withDefaults() Config {
 	if c.JobHistoryLimit <= 0 {
 		c.JobHistoryLimit = 1024
 	}
+	if c.Fabric.DispatchWidth <= 0 {
+		c.Fabric.DispatchWidth = 8
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -139,6 +173,7 @@ type Server struct {
 	designs *designCache
 	results *lruCache
 	incr    *incr.Cache
+	fabric  *fabric.Coordinator // nil when the fabric is disabled
 
 	// idem maps Idempotency-Key values to the submitted request digest
 	// and job id; idemMu serializes the check-then-submit sequence so
@@ -183,6 +218,30 @@ func New(cfg Config) *Server {
 				"dir", cfg.IncrCacheDir, "error", err)
 		}
 	}
+	if cfg.Fabric.Enabled {
+		// Coordinator and workers must share one artifact store: reuse the
+		// incremental cache's write-through store (disk when IncrCacheDir
+		// is set) so every locally merged clique is already published, or
+		// install an in-memory store when the cache had none.
+		store := s.incr.Store()
+		if store == nil {
+			store = incr.NewMemStore()
+			s.incr.WithStore(store)
+		}
+		locals := cfg.Fabric.LocalExecutors
+		switch {
+		case locals == 0:
+			locals = 1
+		case locals < 0:
+			locals = 0
+		}
+		s.fabric = fabric.NewCoordinator(store, fabric.CoordinatorConfig{
+			LeaseTTL:       cfg.Fabric.LeaseTTL,
+			MaxAttempts:    cfg.Fabric.MaxAttempts,
+			LocalExecutors: locals,
+			Logger:         cfg.Logger,
+		})
+	}
 	if cfg.Flight.Dir != "" {
 		fr, err := NewFlightRecorder(cfg.Flight, cfg.Logger)
 		if err != nil {
@@ -206,6 +265,9 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // IncrCache exposes the shared incremental sub-merge cache.
 func (s *Server) IncrCache() *incr.Cache { return s.incr }
+
+// Fabric exposes the merge fabric coordinator (nil when disabled).
+func (s *Server) Fabric() *fabric.Coordinator { return s.fabric }
 
 // Job looks a job up by id.
 func (s *Server) Job(id string) (*Job, bool) {
@@ -381,6 +443,7 @@ func (s *Server) runJob(job *Job) {
 	start := time.Now()
 	result, err := s.execute(ctx, job, req)
 	elapsed := time.Since(start)
+	var pe *pipeline.PanicError
 	switch {
 	case err == nil:
 		s.results.put(req.resultKey(), result)
@@ -392,6 +455,15 @@ func (s *Server) runJob(job *Job) {
 		s.finishJob(job, StatusCanceled, nil, err)
 		logger.Info("job canceled",
 			"stage", job.currentStage(), "elapsed_ms", elapsed.Milliseconds())
+	case errors.As(err, &pe):
+		// A panic on a pipeline stage goroutine surfaces as an error from
+		// Group.Wait; map it onto the same crash accounting the worker's
+		// own recover gives in-goroutine panics.
+		logger.Error("job panicked",
+			"stage", job.currentStage(), "panic", pe.Value, "stack", string(pe.Stack))
+		job.notePanic(fmt.Sprint(pe.Value), pe.Stack)
+		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsFailed }, 1)
+		s.finishJob(job, StatusFailed, nil, fmt.Errorf("internal error: %v", pe.Value))
 	default:
 		s.metrics.add(func(m *Metrics) *atomic.Int64 { return &m.JobsFailed }, 1)
 		s.finishJob(job, StatusFailed, nil, err)
@@ -467,12 +539,14 @@ func (s *Server) execute(ctx context.Context, job *Job, req *MergeRequest) (*Res
 		Trace:               root,
 		Cache:               s.incr,
 	}
-	merged, reports, mb, err := core.MergeAll(ctx, prep.graph, modes, opt)
+	mb, cliques, err := core.PlanMerge(prep.graph, modes, opt)
 	if err != nil {
 		return nil, err
 	}
-
-	cliques := mb.Cliques()
+	merged, reports, err := s.mergeCliques(ctx, req, prep, modes, cliques, opt)
+	if err != nil {
+		return nil, err
+	}
 	result := &Result{
 		Reports:   reports,
 		Groups:    mb.GroupNames(cliques),
@@ -536,6 +610,100 @@ func (s *Server) execute(ctx context.Context, job *Job, req *MergeRequest) (*Res
 	return result, nil
 }
 
+// cliqueOut is one merged clique flowing through the merge stage.
+type cliqueOut struct {
+	mode   *sdc.Mode
+	report *core.Report
+}
+
+// mergeCliques is the per-clique merge stage of the job pipeline,
+// expressed as a typed dataflow: Emit(clique indices) → ParMap(merge) →
+// Collect, with ordered fan-in so assembly order equals clique order.
+// Without a fabric the stage runs one worker wide — the exact
+// sequential loop core.MergeAll runs, byte for byte. With a fabric,
+// multi-mode cliques are published to the work-stealing queue (up to
+// DispatchWidth in flight) and merged by whichever node is free first;
+// singletons pass straight through. Determinism of the merge engine
+// plus order preservation keeps the output byte-identical either way.
+func (s *Server) mergeCliques(ctx context.Context, req *MergeRequest, prep *preparedDesign, modes []*sdc.Mode, cliques [][]int, opt core.Options) ([]*sdc.Mode, []*core.Report, error) {
+	width := 1
+	if s.fabric != nil {
+		width = s.cfg.Fabric.DispatchWidth
+	}
+	pg, _ := pipeline.NewGroup(ctx)
+	idx := make([]int, len(cliques))
+	for i := range idx {
+		idx[i] = i
+	}
+	in := pipeline.Emit(pg, 1, idx...)
+	outs := pipeline.ParMap(pg, 1, width, in, func(cx context.Context, ci int) (cliqueOut, error) {
+		group := make([]*sdc.Mode, len(cliques[ci]))
+		for i, mi := range cliques[ci] {
+			group[i] = modes[mi]
+		}
+		if s.fabric != nil && len(group) > 1 {
+			m, rep, err := s.mergeOnFabric(cx, req, prep, group, opt)
+			return cliqueOut{mode: m, report: rep}, err
+		}
+		m, rep, err := core.MergeClique(cx, prep.graph, group, opt)
+		return cliqueOut{mode: m, report: rep}, err
+	})
+	collected := pipeline.Collect(pg, outs)
+	if err := pg.Wait(); err != nil {
+		return nil, nil, err
+	}
+	merged := make([]*sdc.Mode, len(*collected))
+	reports := make([]*core.Report, len(*collected))
+	for i, o := range *collected {
+		merged[i] = o.mode
+		reports[i] = o.report
+	}
+	return merged, reports, nil
+}
+
+// mergeOnFabric runs one multi-mode clique on the distributed fabric:
+// build the self-contained spec, address it by its content key, submit
+// to the coordinator (which short-circuits on a stored artifact, dedups
+// concurrent identical submissions and retries worker deaths), and
+// decode the artifact bytes. The span mirrors the one core.MergeClique
+// opens locally, so job traces keep their shape across deployments.
+func (s *Server) mergeOnFabric(ctx context.Context, req *MergeRequest, prep *preparedDesign, group []*sdc.Mode, opt core.Options) (*sdc.Mode, *core.Report, error) {
+	names := make([]string, len(group))
+	members := make([]fabric.Mode, len(group))
+	for i, m := range group {
+		names[i] = m.Name
+		// Canonical member texts: the worker re-parses and re-writes them,
+		// and sdc.Write∘Parse is stable, so both sides compute one key.
+		members[i] = fabric.Mode{Name: m.Name, SDC: sdc.Write(m)}
+	}
+	span := opt.Trace.Child("merge:" + strings.Join(names, "+"))
+	defer span.Finish()
+	span.SetAttr("design", prep.graph.Design.Name)
+	span.SetAttr("members", strings.Join(names, ","))
+	span.SetAttr("fabric", "1")
+	spec := fabric.Spec{
+		Key:                 core.CliqueKey(prep.graph, opt, group),
+		Verilog:             req.Verilog,
+		Top:                 req.Top,
+		Library:             req.Library,
+		MergedName:          opt.MergedName,
+		Tolerance:           opt.Tolerance,
+		MaxRefineIterations: opt.MaxRefineIterations,
+		STAWorkers:          opt.STA.Workers,
+		Corners:             fabric.WireCorners(opt.Corners),
+		Members:             members,
+	}
+	b, err := s.fabric.Exec(ctx, spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("merging %v: %w", names, err)
+	}
+	m, rep, err := core.DecodeCliqueArtifact(b, prep.graph)
+	if err != nil {
+		return nil, nil, fmt.Errorf("merging %v: decoding artifact: %w", names, err)
+	}
+	return m, rep, nil
+}
+
 // prepareDesign parses the library and netlist and builds the timing
 // graph; the result is immutable and shared across jobs. ctx is checked
 // between the pipeline steps so a canceled build releases its goroutine
@@ -595,13 +763,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.baseCancel()
+		s.closeFabric()
 		return nil
 	case <-ctx.Done():
 		// Grace period over: cancel every job (running ones abort
 		// cooperatively through their contexts) and wait for workers.
 		s.baseCancel()
 		<-done
+		s.closeFabric()
 		return ctx.Err()
+	}
+}
+
+// closeFabric stops the merge fabric coordinator once no job can submit
+// new clique work (workers drained), failing anything still queued with
+// fabric.ErrClosed.
+func (s *Server) closeFabric() {
+	if s.fabric != nil {
+		s.fabric.Close()
 	}
 }
 

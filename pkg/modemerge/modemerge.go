@@ -198,9 +198,40 @@ func NewCache(capacity int) *Cache {
 	return &Cache{c: incr.New(capacity)}
 }
 
+// BlobStore is a pluggable artifact backend for Cache (see
+// Cache.WithStore): immutable, content-addressed blobs under
+// (granularity, key). Implementations ship for local disk
+// (NewDiskBlobStore), memory (NewMemBlobStore) and a remote blob
+// service speaking the incr blob HTTP protocol (NewHTTPBlobStore) —
+// the same interface the distributed merge fabric shares between
+// coordinator and workers.
+type BlobStore = incr.BlobStore
+
+// NewMemBlobStore creates an in-memory blob store (tests, or sharing
+// artifacts between caches of one process).
+func NewMemBlobStore() BlobStore { return incr.NewMemStore() }
+
+// NewDiskBlobStore creates (or reopens) a blob store rooted at dir.
+func NewDiskBlobStore(dir string) (BlobStore, error) { return incr.NewDiskStore(dir) }
+
+// NewHTTPBlobStore creates a client for a remote blob store at baseURL
+// (an endpoint serving the incr blob protocol, e.g. a modemerged
+// coordinator's /fabric/v1/blobs).
+func NewHTTPBlobStore(baseURL string) BlobStore { return incr.NewHTTPStore(baseURL, nil) }
+
+// WithStore attaches a blob store as the cache's write-through backend
+// for the serializable granularities (pair verdicts and clique
+// artifacts): puts publish, misses consult the store before re-merging.
+// It returns c for chaining.
+func (c *Cache) WithStore(s BlobStore) *Cache {
+	c.c.WithStore(s)
+	return c
+}
+
 // WithDisk persists the serializable cache granularities (pair verdicts
 // and clique artifacts) under dir, so warm starts survive restarts. The
-// directory is created if needed.
+// directory is created if needed. It is shorthand for WithStore with a
+// NewDiskBlobStore backend.
 func (c *Cache) WithDisk(dir string) error {
 	_, err := c.c.WithDisk(dir)
 	return err
